@@ -1,0 +1,164 @@
+//! Criterion benches: one group per paper artifact, timing a trimmed
+//! configuration of the same code path the report binaries sweep.
+//!
+//! `cargo bench -p pumg-bench` — each bench uses small sizes and few
+//! samples so the whole suite stays in CI territory; the full paper-scale
+//! sweeps live in the `src/bin/*` report binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrts::compute::ExecutorKind;
+use mrts::config::MrtsConfig;
+use mrts::policy::PolicyKind;
+use pumg_bench::{graded_workload, mem_per_pe};
+use pumg_methods::domain::Workload;
+use pumg_methods::nupdr::{nupdr_incore, NupdrParams};
+use pumg_methods::ooc_nupdr::{onupdr_run, OnupdrOpts};
+use pumg_methods::ooc_pcdm::opcdm_run;
+use pumg_methods::ooc_updr::oupdr_run;
+use pumg_methods::pcdm::{pcdm_incore, PcdmParams};
+use pumg_methods::updr::{updr_incore, UpdrParams};
+
+const BIG: u64 = 1 << 34;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    use pumg_schedsim::*;
+    c.bench_function("fig1/sched_sim_2k_jobs", |b| {
+        let trace = generate_trace(128, &TraceConfig::default());
+        b.iter(|| simulate(&SchedConfig::default(), &trace).len())
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_table1_updr");
+    g.sample_size(10);
+    let p = UpdrParams::new(Workload::uniform_square(6_000), 4);
+    g.bench_function("updr_incore_16pe", |b| {
+        b.iter(|| updr_incore(&p, 16, BIG).unwrap().elements)
+    });
+    g.bench_function("oupdr_incore_16pe", |b| {
+        b.iter(|| oupdr_run(&p, MrtsConfig::in_core(16)).elements)
+    });
+    g.bench_function("oupdr_outofcore_16pe", |b| {
+        let budget = mem_per_pe(2_000, 16) as usize;
+        b.iter(|| oupdr_run(&p, MrtsConfig::out_of_core(16, budget)).elements)
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_table2_nupdr");
+    g.sample_size(10);
+    let p = NupdrParams::new(graded_workload(5_000));
+    g.bench_function("nupdr_incore_4pe", |b| {
+        b.iter(|| nupdr_incore(&p, 4, BIG).unwrap().elements)
+    });
+    g.bench_function("onupdr_incore_4pe", |b| {
+        let mut opts = OnupdrOpts::default();
+        opts.max_active = 4;
+        b.iter(|| onupdr_run(&p, MrtsConfig::in_core(4), opts).elements)
+    });
+    g.bench_function("onupdr_outofcore_4pe", |b| {
+        let mut opts = OnupdrOpts::default();
+        opts.max_active = 4;
+        let budget = mem_per_pe(1_500, 4) as usize;
+        b.iter(|| onupdr_run(&p, MrtsConfig::out_of_core(4, budget), opts).elements)
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_table3_pcdm");
+    g.sample_size(10);
+    let p = PcdmParams::new(Workload::uniform_pipe(6_000), 3);
+    g.bench_function("pcdm_incore_16pe", |b| {
+        b.iter(|| pcdm_incore(&p, 16, BIG).unwrap().elements)
+    });
+    g.bench_function("opcdm_incore_16pe", |b| {
+        b.iter(|| opcdm_run(&p, MrtsConfig::in_core(16)).elements)
+    });
+    g.bench_function("opcdm_outofcore_8pe", |b| {
+        let budget = mem_per_pe(2_000, 8) as usize;
+        b.iter(|| opcdm_run(&p, MrtsConfig::out_of_core(8, budget)).elements)
+    });
+    g.finish();
+}
+
+fn bench_large_ooc(c: &mut Criterion) {
+    // Figures 8-10 / Tables IV-VI: out-of-core runs well past the budget.
+    let mut g = c.benchmark_group("fig8_9_10_large_ooc");
+    g.sample_size(10);
+    g.bench_function("oupdr_4x_over_budget", |b| {
+        let p = UpdrParams::new(Workload::uniform_square(8_000), 4);
+        let budget = mem_per_pe(2_000, 8) as usize;
+        b.iter(|| oupdr_run(&p, MrtsConfig::out_of_core(8, budget)).elements)
+    });
+    g.bench_function("onupdr_4x_over_budget", |b| {
+        let p = NupdrParams::new(graded_workload(6_000));
+        let mut opts = OnupdrOpts::default();
+        opts.max_active = 4;
+        let budget = mem_per_pe(1_500, 4) as usize;
+        b.iter(|| onupdr_run(&p, MrtsConfig::out_of_core(4, budget), opts).elements)
+    });
+    g.bench_function("opcdm_4x_over_budget", |b| {
+        let p = PcdmParams::new(Workload::uniform_pipe(8_000), 3);
+        let budget = mem_per_pe(2_000, 8) as usize;
+        b.iter(|| opcdm_run(&p, MrtsConfig::out_of_core(8, budget)).elements)
+    });
+    g.finish();
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_computing_layer");
+    g.sample_size(10);
+    let p = NupdrParams::new(Workload::graded_pipe(5_000));
+    for (name, kind) in [
+        ("work_stealing_4core", ExecutorKind::WorkStealing),
+        ("fifo_4core", ExecutorKind::Fifo),
+    ] {
+        g.bench_function(name, |b| {
+            let mut opts = OnupdrOpts::default();
+            opts.max_active = 1;
+            opts.intra_tasks = 4;
+            let cfg = MrtsConfig::in_core(1).with_cores(4).with_executor(kind);
+            b.iter(|| onupdr_run(&p, cfg.clone(), opts).elements)
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_swap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_swap_policies");
+    g.sample_size(10);
+    let p = PcdmParams::new(Workload::uniform_pipe(6_000), 3);
+    let budget = mem_per_pe(2_000, 4) as usize;
+    for policy in PolicyKind::ALL {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                opcdm_run(
+                    &p,
+                    MrtsConfig::out_of_core(4, budget).with_policy(policy),
+                )
+                .elements
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = paper;
+    config = {
+        let mut c = Criterion::default()
+            .measurement_time(std::time::Duration::from_secs(5))
+            .warm_up_time(std::time::Duration::from_millis(500));
+        configure(&mut c);
+        c
+    };
+    targets = bench_fig1, bench_fig5, bench_fig6, bench_fig7, bench_large_ooc,
+              bench_table7, bench_ablation_swap
+}
+criterion_main!(paper);

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `ablation_multicast` artifact. See pumg-bench's lib docs.
+fn main() {
+    let scale = pumg_bench::Scale::from_env();
+    pumg_bench::ablation_multicast(scale).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig9` artifact. See pumg-bench's lib docs.
+fn main() {
+    let scale = pumg_bench::Scale::from_env();
+    pumg_bench::fig9(scale).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `table7` artifact. See pumg-bench's lib docs.
+fn main() {
+    let scale = pumg_bench::Scale::from_env();
+    pumg_bench::table7(scale).print();
+}

@@ -1,0 +1,189 @@
+//! Checkpoint/restore on top of the out-of-core subsystem.
+//!
+//! The paper's conclusion notes that "check and restore functionality for
+//! fault tolerance can be implemented with little effort on top of the
+//! out-of-core subsystem" — the machinery that serializes mobile objects
+//! (and their queued messages) for disk spill is exactly a checkpoint
+//! format. This module implements it for the virtual-time engine: a
+//! [`Checkpoint`] captures every live object, its placement, pinning,
+//! priority, and queued messages; restoring rebuilds a runtime that
+//! continues from the captured state.
+//!
+//! Limitations (documented, not hidden): in-flight events (messages between
+//! nodes, active disk transfers) are *not* captured — a checkpoint must be
+//! taken at quiescence (after [`crate::des::DesRuntime::run`] returns),
+//! which is also when an application would naturally persist between
+//! phases. Virtual clocks restart from zero in the restored runtime.
+
+use crate::codec::{PayloadReader, PayloadWriter, Truncated};
+use crate::config::MrtsConfig;
+use crate::des::DesRuntime;
+use crate::ids::{MobilePtr, NodeId, ObjectId};
+use crate::msg::Message;
+
+/// A serialized snapshot of all application state in a runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Per object: placement node, id, priority, pinned, packed bytes,
+    /// queued messages.
+    pub objects: Vec<CheckpointEntry>,
+    /// Per-node object-id allocation watermarks (so restored runtimes never
+    /// reuse ids).
+    pub next_seq: Vec<u64>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointEntry {
+    pub node: NodeId,
+    pub oid: ObjectId,
+    pub priority: u8,
+    pub locked: bool,
+    pub packed: Vec<u8>,
+    pub queued: Vec<Message>,
+}
+
+const MAGIC: u32 = 0x4d435031; // "MCP1"
+
+impl Checkpoint {
+    /// Serialize the checkpoint to bytes (suitable for a file).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.u32(MAGIC);
+        w.u32(self.next_seq.len() as u32);
+        for &s in &self.next_seq {
+            w.u64(s);
+        }
+        w.u32(self.objects.len() as u32);
+        for e in &self.objects {
+            w.u32(e.node as u32)
+                .u64(e.oid.0)
+                .u8(e.priority)
+                .u8(e.locked as u8)
+                .bytes(&e.packed);
+            w.u32(e.queued.len() as u32);
+            for m in &e.queued {
+                w.bytes(&m.encode());
+            }
+        }
+        w.finish()
+    }
+
+    /// Inverse of [`Checkpoint::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Checkpoint, Truncated> {
+        let mut r = PayloadReader::new(buf);
+        if r.u32()? != MAGIC {
+            return Err(Truncated);
+        }
+        let n_nodes = r.u32()? as usize;
+        let mut next_seq = Vec::with_capacity(n_nodes.min(1 << 16));
+        for _ in 0..n_nodes {
+            next_seq.push(r.u64()?);
+        }
+        let n = r.u32()? as usize;
+        let mut objects = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let node = r.u32()? as NodeId;
+            let oid = ObjectId(r.u64()?);
+            let priority = r.u8()?;
+            let locked = r.u8()? != 0;
+            let packed = r.bytes()?.to_vec();
+            let n_msgs = r.u32()? as usize;
+            let mut queued = Vec::with_capacity(n_msgs.min(1 << 16));
+            for _ in 0..n_msgs {
+                queued.push(Message::decode(r.bytes()?)?);
+            }
+            objects.push(CheckpointEntry {
+                node,
+                oid,
+                priority,
+                locked,
+                packed,
+                queued,
+            });
+        }
+        Ok(Checkpoint { objects, next_seq })
+    }
+
+    /// Rebuild a runtime from this checkpoint. The caller supplies the
+    /// configuration (which may differ — e.g. restore onto more nodes with
+    /// different budgets; objects whose node index exceeds the new node
+    /// count are placed round-robin) and must register the same types and
+    /// handlers before calling [`crate::des::DesRuntime::run`].
+    pub fn restore_into(&self, mut rt: DesRuntime) -> DesRuntime {
+        let nodes = rt.config().nodes;
+        for e in &self.objects {
+            // Placement must agree with the router's fallback (home node
+            // modulo cluster size) so posted messages find the object
+            // without directory warm-up.
+            let node = if (e.node as usize) < nodes {
+                e.node
+            } else {
+                (e.oid.home() as usize % nodes) as NodeId
+            };
+            rt.install_from_checkpoint(node, e.oid, &e.packed, e.priority, e.locked);
+            for m in &e.queued {
+                rt.post(MobilePtr::new(e.oid), m.handler, m.payload.clone());
+            }
+        }
+        rt.set_seq_watermarks(&self.next_seq);
+        rt
+    }
+}
+
+impl DesRuntime {
+    /// Capture all live application state. Must be called at quiescence
+    /// (before the first [`DesRuntime::run`] or after one returns).
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        let (objects, next_seq) = self.snapshot_objects();
+        Checkpoint { objects, next_seq }
+    }
+
+    /// Convenience: checkpoint, then rebuild under a new configuration.
+    /// Types/handlers must be re-registered by the caller on the result.
+    pub fn migrate_to_config(mut self, cfg: MrtsConfig) -> (Checkpoint, DesRuntime) {
+        let cp = self.checkpoint();
+        let rt = DesRuntime::new(cfg);
+        let restored = cp.restore_into(rt);
+        (cp, restored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HandlerId;
+
+    #[test]
+    fn empty_checkpoint_roundtrip() {
+        let cp = Checkpoint {
+            objects: vec![],
+            next_seq: vec![3, 7],
+        };
+        let back = Checkpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn entry_roundtrip_with_queued_messages() {
+        let oid = ObjectId::new(1, 42);
+        let cp = Checkpoint {
+            objects: vec![CheckpointEntry {
+                node: 1,
+                oid,
+                priority: 200,
+                locked: true,
+                packed: vec![1, 2, 3, 4],
+                queued: vec![Message::new(MobilePtr::new(oid), HandlerId(9), vec![5, 6])],
+            }],
+            next_seq: vec![0, 43],
+        };
+        let back = Checkpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Checkpoint::decode(&[1, 2, 3]).is_err());
+        assert!(Checkpoint::decode(&[0u8; 64]).is_err());
+    }
+}

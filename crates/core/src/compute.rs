@@ -1,0 +1,402 @@
+//! The computing layer: task-parallel execution inside message handlers.
+//!
+//! The paper's MRTS wraps two industrial multi-threading technologies —
+//! Intel TBB (work-stealing) and Apple GCD (global dispatch queue) — behind
+//! a uniform interface; message handlers are tasks that may spawn child
+//! tasks. This module provides the same shape:
+//!
+//! * [`TaskBackend`] — the uniform interface: run a batch of tasks to
+//!   completion, reporting per-task durations;
+//! * [`WorkStealingPool`] — TBB-like: per-worker Chase–Lev deques with
+//!   stealing (via `crossbeam-deque`);
+//! * [`FifoPool`] — GCD-like: a single global FIFO queue;
+//! * [`SequentialBackend`] — runs tasks serially while *measuring* them;
+//!   used by the discrete-event (virtual-time) mode, which converts the
+//!   measurements into a parallel makespan via [`ExecutorKind::makespan`].
+
+use crossbeam_channel as channel;
+use crossbeam_deque::{Injector, Stealer, Worker};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A child task spawned by a message handler.
+pub type Task = Box<dyn FnOnce() + Send>;
+
+/// What a parallel section did: per-task durations plus the wall-clock time
+/// the section took on this backend.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelReport {
+    pub durations: Vec<Duration>,
+    pub wall: Duration,
+}
+
+/// Uniform interface over the multi-threading technologies.
+pub trait TaskBackend: Send {
+    /// Run all tasks to completion.
+    fn run_parallel(&mut self, tasks: Vec<Task>) -> ParallelReport;
+}
+
+/// Which computing-layer implementation a runtime uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// TBB-like work stealing.
+    WorkStealing,
+    /// GCD-like global FIFO dispatch queue.
+    Fifo,
+}
+
+impl ExecutorKind {
+    /// Modeled per-task dispatch overhead, used by the virtual-time mode.
+    /// The FIFO queue pays a contended global-queue access per task; the
+    /// work-stealing deques are mostly uncontended. The constants are
+    /// calibrated to reproduce the paper's observation that the GCD
+    /// implementation is "slightly slower" with similar trends.
+    pub fn per_task_overhead(&self) -> Duration {
+        match self {
+            ExecutorKind::WorkStealing => Duration::from_nanos(200),
+            ExecutorKind::Fifo => Duration::from_nanos(900),
+        }
+    }
+
+    /// Virtual completion time of a task batch on `cores` cores under
+    /// greedy list scheduling with this backend's per-task overhead.
+    pub fn makespan(&self, durations: &[Duration], cores: usize) -> Duration {
+        assert!(cores > 0);
+        let ovh = self.per_task_overhead();
+        let mut load = vec![Duration::ZERO; cores];
+        for &d in durations {
+            let idx = (0..cores).min_by_key(|&i| load[i]).unwrap();
+            load[idx] += d + ovh;
+        }
+        load.into_iter().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Virtual serial time (1 core) of the batch.
+    pub fn serial_time(&self, durations: &[Duration]) -> Duration {
+        let ovh = self.per_task_overhead();
+        durations.iter().map(|&d| d + ovh).sum()
+    }
+}
+
+// ----- sequential (measuring) backend -------------------------------------
+
+/// Runs tasks serially, timing each — the measurement source for the
+/// discrete-event mode's makespan model.
+#[derive(Default)]
+pub struct SequentialBackend;
+
+impl TaskBackend for SequentialBackend {
+    fn run_parallel(&mut self, tasks: Vec<Task>) -> ParallelReport {
+        let start = Instant::now();
+        let mut durations = Vec::with_capacity(tasks.len());
+        for t in tasks {
+            let t0 = Instant::now();
+            t();
+            durations.push(t0.elapsed());
+        }
+        ParallelReport {
+            durations,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+// ----- work-stealing pool (TBB-like) -----------------------------------------
+
+enum PoolMsg {
+    Run(Task, Arc<AtomicUsize>),
+    Shutdown,
+}
+
+/// TBB-like pool: a global injector feeding per-worker Chase–Lev deques;
+/// idle workers steal from each other.
+pub struct WorkStealingPool {
+    injector: Arc<Injector<PoolMsg>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    n_workers: usize,
+}
+
+impl WorkStealingPool {
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0);
+        let injector: Arc<Injector<PoolMsg>> = Arc::new(Injector::new());
+        let workers: Vec<Worker<PoolMsg>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+        let stealers: Arc<Vec<Stealer<PoolMsg>>> =
+            Arc::new(workers.iter().map(|w| w.stealer()).collect());
+        let mut handles = Vec::with_capacity(n_workers);
+        for (i, local) in workers.into_iter().enumerate() {
+            let injector = injector.clone();
+            let stealers = stealers.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mrts-ws-{i}"))
+                    .spawn(move || loop {
+                        // Local work, then the injector, then steal.
+                        let job = local.pop().or_else(|| {
+                            std::iter::repeat_with(|| {
+                                injector.steal_batch_and_pop(&local).or_else(|| {
+                                    stealers
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(j, _)| *j != i)
+                                        .map(|(_, s)| s.steal())
+                                        .collect()
+                                })
+                            })
+                            .find(|s| !s.is_retry())
+                            .and_then(|s| s.success())
+                        });
+                        match job {
+                            Some(PoolMsg::Run(task, pending)) => {
+                                task();
+                                pending.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            Some(PoolMsg::Shutdown) => break,
+                            None => std::thread::yield_now(),
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+        WorkStealingPool {
+            injector,
+            handles,
+            n_workers,
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+}
+
+impl TaskBackend for WorkStealingPool {
+    fn run_parallel(&mut self, tasks: Vec<Task>) -> ParallelReport {
+        let start = Instant::now();
+        let n = tasks.len();
+        let pending = Arc::new(AtomicUsize::new(n));
+        // Timing is collected via wrapper tasks writing into a shared slot
+        // vector (each task owns its slot: no contention).
+        let slots: Arc<Vec<parking_lot::Mutex<Duration>>> = Arc::new(
+            (0..n)
+                .map(|_| parking_lot::Mutex::new(Duration::ZERO))
+                .collect(),
+        );
+        for (i, task) in tasks.into_iter().enumerate() {
+            let slots = slots.clone();
+            let wrapped: Task = Box::new(move || {
+                let t0 = Instant::now();
+                task();
+                *slots[i].lock() = t0.elapsed();
+            });
+            self.injector.push(PoolMsg::Run(wrapped, pending.clone()));
+        }
+        while pending.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+        let durations = slots.iter().map(|s| *s.lock()).collect();
+        ParallelReport {
+            durations,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        for _ in 0..self.handles.len() {
+            self.injector.push(PoolMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----- global FIFO pool (GCD-like) -----------------------------------------
+
+/// GCD-like pool: one global FIFO channel that all workers pull from.
+pub struct FifoPool {
+    tx: channel::Sender<PoolMsg>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    n_workers: usize,
+}
+
+impl FifoPool {
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0);
+        let (tx, rx) = channel::unbounded::<PoolMsg>();
+        let mut handles = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let rx = rx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mrts-fifo-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                PoolMsg::Run(task, pending) => {
+                                    task();
+                                    pending.fetch_sub(1, Ordering::AcqRel);
+                                }
+                                PoolMsg::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+        FifoPool {
+            tx,
+            handles,
+            n_workers,
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+}
+
+impl TaskBackend for FifoPool {
+    fn run_parallel(&mut self, tasks: Vec<Task>) -> ParallelReport {
+        let start = Instant::now();
+        let n = tasks.len();
+        let pending = Arc::new(AtomicUsize::new(n));
+        let slots: Arc<Vec<parking_lot::Mutex<Duration>>> = Arc::new(
+            (0..n)
+                .map(|_| parking_lot::Mutex::new(Duration::ZERO))
+                .collect(),
+        );
+        for (i, task) in tasks.into_iter().enumerate() {
+            let slots = slots.clone();
+            let wrapped: Task = Box::new(move || {
+                let t0 = Instant::now();
+                task();
+                *slots[i].lock() = t0.elapsed();
+            });
+            self.tx
+                .send(PoolMsg::Run(wrapped, pending.clone()))
+                .expect("pool alive");
+        }
+        while pending.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+        let durations = slots.iter().map(|s| *s.lock()).collect();
+        ParallelReport {
+            durations,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+impl Drop for FifoPool {
+    fn drop(&mut self) {
+        for _ in 0..self.handles.len() {
+            let _ = self.tx.send(PoolMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn counting_tasks(n: usize, counter: &Arc<AtomicU64>) -> Vec<Task> {
+        (0..n)
+            .map(|i| {
+                let c = counter.clone();
+                let t: Task = Box::new(move || {
+                    // A little real work so durations are nonzero.
+                    let mut acc = i as u64;
+                    for k in 0..1000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    c.fetch_add(1 + (acc & 0), Ordering::Relaxed);
+                });
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_backend_runs_and_measures() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut b = SequentialBackend;
+        let rep = b.run_parallel(counting_tasks(10, &counter));
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(rep.durations.len(), 10);
+        assert!(rep.wall >= rep.durations.iter().copied().sum::<Duration>() / 2);
+    }
+
+    #[test]
+    fn work_stealing_pool_completes_all_tasks() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = WorkStealingPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let rep = pool.run_parallel(counting_tasks(100, &counter));
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(rep.durations.len(), 100);
+        // Re-use the pool.
+        pool.run_parallel(counting_tasks(50, &counter));
+        assert_eq!(counter.load(Ordering::SeqCst), 150);
+    }
+
+    #[test]
+    fn fifo_pool_completes_all_tasks() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = FifoPool::new(2);
+        let rep = pool.run_parallel(counting_tasks(64, &counter));
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(rep.durations.len(), 64);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut pool = WorkStealingPool::new(2);
+        let rep = pool.run_parallel(vec![]);
+        assert!(rep.durations.is_empty());
+        let mut b = SequentialBackend;
+        assert!(b.run_parallel(vec![]).durations.is_empty());
+    }
+
+    #[test]
+    fn makespan_models_parallelism() {
+        let d = vec![Duration::from_millis(10); 8];
+        let ws = ExecutorKind::WorkStealing;
+        let serial = ws.serial_time(&d);
+        let quad = ws.makespan(&d, 4);
+        assert!(
+            quad < serial / 3,
+            "4-core makespan {quad:?} should be ~serial/4 of {serial:?}"
+        );
+        // Perfect split: 8 × 10ms on 4 cores = 20ms (+ overhead).
+        assert!(quad >= Duration::from_millis(20));
+        assert!(quad < Duration::from_millis(21));
+        // One core degenerates to serial.
+        assert_eq!(ws.makespan(&d, 1), serial);
+    }
+
+    #[test]
+    fn fifo_overhead_exceeds_work_stealing() {
+        let d = vec![Duration::from_micros(5); 1000];
+        let ws = ExecutorKind::WorkStealing.makespan(&d, 4);
+        let fifo = ExecutorKind::Fifo.makespan(&d, 4);
+        assert!(fifo > ws, "GCD-like dispatch must cost more: {fifo:?} vs {ws:?}");
+    }
+
+    #[test]
+    fn makespan_handles_uneven_tasks() {
+        // One long task dominates.
+        let mut d = vec![Duration::from_millis(1); 10];
+        d.push(Duration::from_millis(100));
+        let m = ExecutorKind::WorkStealing.makespan(&d, 4);
+        assert!(m >= Duration::from_millis(100));
+        assert!(m < Duration::from_millis(110));
+    }
+}

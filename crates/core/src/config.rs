@@ -1,0 +1,197 @@
+//! Runtime configuration.
+
+use crate::compute::ExecutorKind;
+use crate::policy::PolicyKind;
+use crate::storage::DiskModel;
+use std::time::Duration;
+
+/// Network model parameters (latency + bandwidth) for inter-node messages.
+#[derive(Clone, Copy, Debug)]
+pub struct NetModel {
+    pub latency: Duration,
+    /// Bytes per second.
+    pub bandwidth: f64,
+}
+
+impl NetModel {
+    /// A 2000s-era cluster interconnect (in line with SciClone/STEMS).
+    pub fn cluster() -> Self {
+        NetModel {
+            latency: Duration::from_micros(50),
+            bandwidth: 100e6,
+        }
+    }
+
+    pub fn instant() -> Self {
+        NetModel {
+            latency: Duration::ZERO,
+            bandwidth: f64::INFINITY,
+        }
+    }
+
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        if self.bandwidth.is_finite() && self.bandwidth > 0.0 {
+            self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+        } else {
+            self.latency
+        }
+    }
+}
+
+/// Configuration of an MRTS instance.
+#[derive(Clone, Debug)]
+pub struct MrtsConfig {
+    /// Number of (simulated) nodes.
+    pub nodes: usize,
+    /// Cores per node, used by the computing layer.
+    pub cores_per_node: usize,
+    /// Memory budget per node in bytes; `usize::MAX` disables the
+    /// out-of-core layer entirely (pure in-core execution).
+    pub mem_budget: usize,
+    /// Hard swapping threshold: keep at least `hard_mult × largest spilled
+    /// object` of headroom free when admitting new objects (paper default
+    /// 2).
+    pub hard_threshold_mult: f64,
+    /// Soft swapping threshold: when free memory drops below this fraction
+    /// of the budget, start swapping idle objects (paper default ½).
+    pub soft_threshold_frac: f64,
+    /// Swapping scheme.
+    pub policy: PolicyKind,
+    /// Computing-layer backend (TBB-like work stealing vs GCD-like FIFO).
+    pub executor: ExecutorKind,
+    /// Virtual-time scale applied to measured handler durations (DES mode).
+    /// 1.0 charges measured wall time as-is.
+    pub compute_scale: f64,
+    /// Network model.
+    pub net: NetModel,
+    /// Disk model (DES mode charging).
+    pub disk: DiskModel,
+    /// Spill directory for the threaded mode's `FileStore`; `None` spills
+    /// to memory (still exercising serialization).
+    pub spill_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for MrtsConfig {
+    fn default() -> Self {
+        MrtsConfig {
+            nodes: 1,
+            cores_per_node: 1,
+            mem_budget: usize::MAX,
+            hard_threshold_mult: 2.0,
+            soft_threshold_frac: 0.5,
+            policy: PolicyKind::Lru,
+            executor: ExecutorKind::WorkStealing,
+            compute_scale: 1.0,
+            net: NetModel::cluster(),
+            disk: DiskModel::cluster_disk(),
+            spill_dir: None,
+        }
+    }
+}
+
+impl MrtsConfig {
+    /// In-core configuration on `nodes` nodes (no memory pressure).
+    pub fn in_core(nodes: usize) -> Self {
+        MrtsConfig {
+            nodes,
+            ..MrtsConfig::default()
+        }
+    }
+
+    /// Out-of-core configuration: `nodes` nodes with `mem_budget` bytes
+    /// each.
+    pub fn out_of_core(nodes: usize, mem_budget: usize) -> Self {
+        MrtsConfig {
+            nodes,
+            mem_budget,
+            ..MrtsConfig::default()
+        }
+    }
+
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores_per_node = cores;
+        self
+    }
+
+    /// Is the out-of-core layer active?
+    pub fn ooc_enabled(&self) -> bool {
+        self.mem_budget != usize::MAX
+    }
+
+    /// Sanity-check the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("nodes must be > 0".into());
+        }
+        if self.cores_per_node == 0 {
+            return Err("cores_per_node must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.soft_threshold_frac) {
+            return Err("soft_threshold_frac must be in [0, 1]".into());
+        }
+        if self.hard_threshold_mult < 0.0 {
+            return Err("hard_threshold_mult must be >= 0".into());
+        }
+        if self.compute_scale <= 0.0 {
+            return Err("compute_scale must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let c = MrtsConfig::default();
+        c.validate().unwrap();
+        assert!(!c.ooc_enabled());
+        assert_eq!(c.hard_threshold_mult, 2.0);
+        assert_eq!(c.soft_threshold_frac, 0.5);
+        assert_eq!(c.policy, PolicyKind::Lru);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MrtsConfig::out_of_core(8, 1 << 20)
+            .with_policy(PolicyKind::Lfu)
+            .with_executor(ExecutorKind::Fifo)
+            .with_cores(4);
+        c.validate().unwrap();
+        assert!(c.ooc_enabled());
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.mem_budget, 1 << 20);
+        assert_eq!(c.cores_per_node, 4);
+        assert_eq!(c.executor, ExecutorKind::Fifo);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(MrtsConfig { nodes: 0, ..Default::default() }.validate().is_err());
+        assert!(MrtsConfig { cores_per_node: 0, ..Default::default() }.validate().is_err());
+        assert!(MrtsConfig { soft_threshold_frac: 1.5, ..Default::default() }.validate().is_err());
+        assert!(MrtsConfig { compute_scale: 0.0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn net_model_transfer_time() {
+        let n = NetModel {
+            latency: Duration::from_micros(100),
+            bandwidth: 1e6,
+        };
+        assert!((n.transfer_time(1_000_000).as_secs_f64() - 1.0001).abs() < 1e-9);
+        assert_eq!(NetModel::instant().transfer_time(1 << 20), Duration::ZERO);
+    }
+}

@@ -1,0 +1,1319 @@
+//! The deterministic virtual-time (discrete-event) execution engine.
+//!
+//! This engine *really executes* the application — handlers run, objects
+//! serialize, data moves — but node-level parallelism, network transfers,
+//! and disk I/O are accounted on **virtual clocks** instead of wall time:
+//!
+//! * every handler execution is timed with `Instant` and charged to the
+//!   destination node's earliest-free virtual core (scaled by
+//!   `compute_scale`); intra-handler task batches are charged their modeled
+//!   parallel makespan (see [`crate::compute::ExecutorKind::makespan`]);
+//! * a message from node *i* to node *j* becomes visible at
+//!   `send_time + latency + bytes/bandwidth`; both nodes accrue
+//!   communication busy time;
+//! * unloading/loading an object occupies the node's single virtual disk
+//!   channel for `seek + bytes/bandwidth`; the disk runs concurrently with
+//!   the cores, which is where the paper's computation/I/O *overlap* comes
+//!   from.
+//!
+//! The result is a deterministic simulation whose reported quantities
+//! (per-PE speed, overheads, comp/comm/disk shares, overlap) have the same
+//! meaning as the paper's cluster measurements — the substitution required
+//! because this reproduction runs on a single-core host (see DESIGN.md).
+
+use crate::compute::SequentialBackend;
+use crate::config::MrtsConfig;
+use crate::ctx::{Ctx, Effect};
+use crate::directory::Directory;
+use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
+use crate::msg::{Message, MulticastInfo};
+use crate::object::{MobileObject, Registry};
+use crate::ooc::{EvictCandidate, OocManager};
+use crate::policy::AccessMeta;
+use crate::stats::{NodeStats, RunStats};
+use crate::storage::{MemStore, StorageBackend};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Size in bytes charged for a directory-update service message.
+const DIR_UPDATE_BYTES: usize = 32;
+/// Size charged for control messages (migrate requests, multicast starts).
+const CTL_BYTES: usize = 64;
+
+enum EntryState {
+    InCore(Box<dyn MobileObject>),
+    OnDisk,
+    Loading,
+    /// Temporarily taken out for handler execution.
+    Executing,
+    /// Migrated away; forward messages to the node.
+    Moved(NodeId),
+}
+
+struct Entry {
+    state: EntryState,
+    queue: VecDeque<Message>,
+    meta: AccessMeta,
+    priority: u8,
+    locked: bool,
+    footprint: usize,
+    packed_len: usize,
+    spill_key: Option<u64>,
+    /// Virtual time at which this object's previous handler finishes.
+    obj_free_at: Duration,
+    /// Virtual time at which the on-disk bytes become valid.
+    disk_ready_at: Duration,
+    /// Set when the object must be shipped to another node once available.
+    pending_migration: Option<NodeId>,
+}
+
+impl Entry {
+    fn is_in_core(&self) -> bool {
+        matches!(self.state, EntryState::InCore(_))
+    }
+}
+
+struct McPending {
+    info: MulticastInfo,
+    handler: HandlerId,
+    payload: Vec<u8>,
+    waiting: Vec<ObjectId>,
+}
+
+struct NodeState {
+    table: HashMap<ObjectId, Entry>,
+    ooc: OocManager,
+    dir: Directory,
+    store: MemStore,
+    core_free: Vec<Duration>,
+    disk_free: Duration,
+    stats: NodeStats,
+    next_obj_seq: u64,
+    next_spill_key: u64,
+    multicasts: Vec<McPending>,
+}
+
+#[derive(Debug)]
+enum EvKind {
+    /// Application message arriving at a node.
+    Msg(Message),
+    /// A disk load completed.
+    Loaded(ObjectId),
+    /// Lazy directory update.
+    DirUpdate(ObjectId, NodeId),
+    /// Request to ship an object to `dest`.
+    MigrateReq(ObjectId, NodeId),
+    /// A migrated object arriving (packed bytes + its message queue).
+    Install {
+        oid: ObjectId,
+        bytes: Vec<u8>,
+        priority: u8,
+        locked: bool,
+        queue: VecDeque<Message>,
+    },
+    /// Start collecting a multicast at the coordinator.
+    McStart {
+        info: MulticastInfo,
+        handler: HandlerId,
+        payload: Vec<u8>,
+    },
+    /// Metadata operation routed to the object's owner.
+    Meta(ObjectId, MetaOp),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MetaOp {
+    Lock,
+    Unlock,
+    SetPriority(u8),
+}
+
+struct Event {
+    at: Duration,
+    seq: u64,
+    node: NodeId,
+    kind: EvKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The virtual-time MRTS engine. See the module docs.
+pub struct DesRuntime {
+    cfg: MrtsConfig,
+    registry: Registry,
+    nodes: Vec<NodeState>,
+    events: BinaryHeap<Reverse<Event>>,
+    now: Duration,
+    event_seq: u64,
+    end_time: Duration,
+    ran: bool,
+}
+
+impl DesRuntime {
+    pub fn new(cfg: MrtsConfig) -> Self {
+        cfg.validate().expect("invalid MrtsConfig");
+        let nodes = (0..cfg.nodes)
+            .map(|_| NodeState {
+                table: HashMap::new(),
+                ooc: OocManager::new(
+                    cfg.mem_budget,
+                    cfg.hard_threshold_mult,
+                    cfg.soft_threshold_frac,
+                    cfg.policy,
+                ),
+                dir: Directory::new(),
+                store: MemStore::new(),
+                core_free: vec![Duration::ZERO; cfg.cores_per_node],
+                disk_free: Duration::ZERO,
+                stats: NodeStats::default(),
+                next_obj_seq: 0,
+                next_spill_key: 0,
+                multicasts: Vec::new(),
+            })
+            .collect();
+        DesRuntime {
+            cfg,
+            registry: Registry::new(),
+            nodes,
+            events: BinaryHeap::new(),
+            now: Duration::ZERO,
+            event_seq: 0,
+            end_time: Duration::ZERO,
+            ran: false,
+        }
+    }
+
+    pub fn config(&self) -> &MrtsConfig {
+        &self.cfg
+    }
+
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Register an object type decoder.
+    pub fn register_type(&mut self, tag: crate::ids::TypeTag, decode: crate::object::DecodeFn) {
+        self.registry.register_type(tag, decode);
+    }
+
+    /// Register a message handler.
+    pub fn register_handler(
+        &mut self,
+        id: HandlerId,
+        name: &'static str,
+        f: crate::object::HandlerFn,
+    ) {
+        self.registry.register_handler(id, name, f);
+    }
+
+    // ----- bootstrap API ---------------------------------------------------
+
+    /// Create a mobile object on `node` before (or between) runs.
+    pub fn create_object(
+        &mut self,
+        node: NodeId,
+        obj: Box<dyn MobileObject>,
+        priority: u8,
+    ) -> MobilePtr {
+        let n = &mut self.nodes[node as usize];
+        let id = ObjectId::new(node, n.next_obj_seq);
+        n.next_obj_seq += 1;
+        let footprint = obj.footprint();
+        self.admit(node, footprint, Duration::ZERO);
+        let n = &mut self.nodes[node as usize];
+        let tick = n.ooc.tick();
+        n.ooc.note_in(footprint);
+        n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
+        n.table.insert(
+            id,
+            Entry {
+                state: EntryState::InCore(obj),
+                queue: VecDeque::new(),
+                meta: AccessMeta::new(tick),
+                priority,
+                locked: false,
+                footprint,
+                packed_len: 0,
+                spill_key: None,
+                obj_free_at: Duration::ZERO,
+                disk_ready_at: Duration::ZERO,
+                pending_migration: None,
+            },
+        );
+        MobilePtr::new(id)
+    }
+
+    /// Pin an object before the run.
+    pub fn lock_object(&mut self, ptr: MobilePtr) {
+        let node = self.owner_of(ptr.id);
+        let e = self.nodes[node as usize].table.get_mut(&ptr.id).unwrap();
+        e.locked = true;
+    }
+
+    /// Post an initial message (delivered at virtual time zero).
+    pub fn post(&mut self, to: MobilePtr, handler: HandlerId, payload: Vec<u8>) {
+        let node = self.owner_of(to.id);
+        self.push_event(Duration::ZERO, node, EvKind::Msg(Message::new(to, handler, payload)));
+    }
+
+    /// The routing fallback for an object with no directory hint: its home
+    /// node, wrapped into the current cluster size (checkpoints may be
+    /// restored onto fewer nodes than the ids were minted on).
+    fn home_of(&self, oid: ObjectId) -> NodeId {
+        (oid.home() as usize % self.nodes.len()) as NodeId
+    }
+
+    fn owner_of(&self, oid: ObjectId) -> NodeId {
+        // Follow Moved tombstones from the home node.
+        let mut n = self.home_of(oid);
+        for _ in 0..self.cfg.nodes + 1 {
+            match self.nodes[n as usize].table.get(&oid) {
+                Some(Entry {
+                    state: EntryState::Moved(f),
+                    ..
+                }) => n = *f,
+                Some(_) => return n,
+                None => return n,
+            }
+        }
+        n
+    }
+
+    // ----- event plumbing ----------------------------------------------------
+
+    fn push_event(&mut self, at: Duration, node: NodeId, kind: EvKind) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.end_time = self.end_time.max(at);
+        self.events.push(Reverse(Event {
+            at,
+            seq,
+            node,
+            kind,
+        }));
+    }
+
+    /// Send a message (or control traffic) from `from` to `to_node`,
+    /// charging both sides. Local sends are free.
+    fn ship(&mut self, at: Duration, from: NodeId, to_node: NodeId, bytes: usize, node_kind: EvKind) {
+        if from == to_node {
+            self.push_event(at, to_node, node_kind);
+            return;
+        }
+        let transfer = self.cfg.net.transfer_time(bytes);
+        self.nodes[from as usize].stats.comm += transfer;
+        self.nodes[to_node as usize].stats.comm += transfer;
+        self.nodes[from as usize].stats.bytes_sent += bytes as u64;
+        self.push_event(at + transfer, to_node, node_kind);
+    }
+
+    // ----- main loop -----------------------------------------------------------
+
+    /// Run to quiescence; returns the run's statistics. The runtime can be
+    /// inspected afterwards ([`DesRuntime::with_object`]) and re-posted to
+    /// for a second phase.
+    pub fn run(&mut self) -> RunStats {
+        self.ran = true;
+        while let Some(Reverse(ev)) = self.events.pop() {
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.handle(ev);
+        }
+        self.collect_stats()
+    }
+
+    fn collect_stats(&self) -> RunStats {
+        let mut total = self.end_time;
+        for n in &self.nodes {
+            for &c in &n.core_free {
+                total = total.max(c);
+            }
+            total = total.max(n.disk_free);
+        }
+        RunStats {
+            total,
+            nodes: self.nodes.iter().map(|n| n.stats.clone()).collect(),
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        let node = ev.node;
+        match ev.kind {
+            EvKind::Msg(msg) => self.on_msg(node, msg),
+            EvKind::Loaded(oid) => self.on_loaded(node, oid),
+            EvKind::DirUpdate(oid, loc) => {
+                self.nodes[node as usize].dir.update(oid, loc);
+            }
+            EvKind::MigrateReq(oid, dest) => self.on_migrate_req(node, oid, dest),
+            EvKind::Install {
+                oid,
+                bytes,
+                priority,
+                locked,
+                queue,
+            } => self.on_install(node, oid, bytes, priority, locked, queue),
+            EvKind::McStart {
+                info,
+                handler,
+                payload,
+            } => self.on_mc_start(node, info, handler, payload),
+            EvKind::Meta(oid, op) => self.on_meta(node, oid, op),
+        }
+    }
+
+    fn forward(&mut self, node: NodeId, mut msg: Message, kind_builder: fn(Message) -> EvKind) {
+        let oid = msg.to.id;
+        let hint = match self.nodes[node as usize].table.get(&oid) {
+            Some(Entry {
+                state: EntryState::Moved(f),
+                ..
+            }) => *f,
+            _ => self.nodes[node as usize].dir.lookup(oid),
+        };
+        let next = if hint == node { self.home_of(oid) } else { hint };
+        if next == node {
+            panic!("message for unknown object {oid:?} stuck at node {node}");
+        }
+        msg.route.push(node);
+        self.nodes[node as usize].stats.msgs_forwarded += 1;
+        let bytes = msg.wire_size();
+        self.ship(self.now, node, next, bytes, kind_builder(msg));
+    }
+
+    fn on_msg(&mut self, node: NodeId, msg: Message) {
+        let oid = msg.to.id;
+        let present = matches!(
+            self.nodes[node as usize].table.get(&oid),
+            Some(e) if !matches!(e.state, EntryState::Moved(_))
+        );
+        if !present {
+            self.forward(node, msg, EvKind::Msg);
+            return;
+        }
+        // Lazy directory updates along the route.
+        if !msg.route.is_empty() {
+            let route = msg.route.clone();
+            for hop in route {
+                if hop != node {
+                    self.ship(self.now, node, hop, DIR_UPDATE_BYTES, EvKind::DirUpdate(oid, node));
+                }
+            }
+        }
+        let now = self.now;
+        let entry = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+        match entry.state {
+            EntryState::InCore(_) | EntryState::Executing => {
+                self.execute(node, oid, msg);
+            }
+            EntryState::Loading => {
+                entry.queue.push_back(msg);
+            }
+            EntryState::OnDisk => {
+                entry.queue.push_back(msg);
+                self.start_load(node, oid, now);
+            }
+            EntryState::Moved(_) => unreachable!(),
+        }
+    }
+
+    /// Begin loading an on-disk object (message-driven prefetch).
+    fn start_load(&mut self, node: NodeId, oid: ObjectId, at: Duration) {
+        let packed_len = {
+            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            if !matches!(e.state, EntryState::OnDisk) {
+                return;
+            }
+            e.state = EntryState::Loading;
+            e.packed_len
+        };
+        // Admit the (approximate) footprint before the load begins.
+        let footprint = self.nodes[node as usize].table[&oid].footprint;
+        self.admit_for_load(node, footprint, at);
+        let n = &mut self.nodes[node as usize];
+        let dur = self.cfg.disk.op_time(packed_len);
+        let e = n.table.get_mut(&oid).unwrap();
+        let start = at.max(n.disk_free).max(e.disk_ready_at);
+        let end = start + dur;
+        n.disk_free = end;
+        n.stats.disk += dur;
+        n.stats.loads += 1;
+        n.stats.bytes_from_disk += packed_len as u64;
+        self.end_time = self.end_time.max(end);
+        self.push_event(end, node, EvKind::Loaded(oid));
+    }
+
+    fn on_loaded(&mut self, node: NodeId, oid: ObjectId) {
+        let (key, packed_len) = {
+            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            debug_assert!(matches!(e.state, EntryState::Loading));
+            (e.spill_key.expect("loading object has a spill key"), e.packed_len)
+        };
+        let bytes = self.nodes[node as usize]
+            .store
+            .load(key)
+            .expect("spilled bytes present");
+        debug_assert_eq!(bytes.len(), packed_len);
+        // Real unpack, charged as compute.
+        let t0 = Instant::now();
+        let obj = self.registry.unpack(&bytes);
+        let unpack = t0.elapsed().mul_f64(self.cfg.compute_scale);
+        let footprint = obj.footprint();
+        {
+            let n = &mut self.nodes[node as usize];
+            n.stats.comp += unpack;
+            let tick = n.ooc.tick();
+            let e = n.table.get_mut(&oid).unwrap();
+            e.meta.touch(tick);
+            // `admit` charged the stale footprint estimate; fix up.
+            let old_fp = e.footprint;
+            e.footprint = footprint;
+            e.state = EntryState::InCore(obj);
+            n.ooc.note_in(footprint);
+            let _ = old_fp;
+            n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
+        }
+        // A pending migration takes precedence over queued work.
+        let pending_mig = self.nodes[node as usize].table[&oid].pending_migration;
+        if let Some(dest) = pending_mig {
+            self.do_migrate(node, oid, dest);
+            return;
+        }
+        // Drain queued messages in arrival order.
+        loop {
+            let next = {
+                let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+                e.queue.pop_front()
+            };
+            match next {
+                Some(msg) => self.execute(node, oid, msg),
+                None => break,
+            }
+        }
+        self.mc_note_available(node, oid);
+    }
+
+    // ----- handler execution --------------------------------------------------
+
+    fn execute(&mut self, node: NodeId, oid: ObjectId, msg: Message) {
+        let handler = self.registry.handler(msg.handler);
+        // Take the object out for the duration of the call.
+        let (mut obj, old_footprint, arrival_floor) = {
+            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            let state = std::mem::replace(&mut e.state, EntryState::Executing);
+            let obj = match state {
+                EntryState::InCore(o) => o,
+                other => {
+                    e.state = other;
+                    // Object got evicted/migrated between queueing and now;
+                    // requeue through the normal path.
+                    self.on_msg(node, msg);
+                    return;
+                }
+            };
+            (obj, e.footprint, e.obj_free_at)
+        };
+
+        let mut next_seq = self.nodes[node as usize].next_obj_seq;
+        let mut backend = SequentialBackend;
+        let src_node = *msg.route.first().unwrap_or(&node);
+        let mut ctx = Ctx::new(node, msg.to, src_node, &mut next_seq, &mut backend);
+        let t0 = Instant::now();
+        handler(obj.as_mut(), &mut ctx, &msg.payload);
+        let wall = t0.elapsed();
+
+        // Virtual duration: measured serial time outside parallel sections,
+        // plus each section's modeled makespan on this node's cores.
+        let reports = std::mem::take(&mut ctx.parallel_reports);
+        let effects = std::mem::take(&mut ctx.effects);
+        drop(ctx);
+        self.nodes[node as usize].next_obj_seq = next_seq;
+        let tasks_wall: Duration = reports.iter().map(|r| r.wall).sum();
+        let tasks_virtual: Duration = reports
+            .iter()
+            .map(|r| self.cfg.executor.makespan(&r.durations, self.cfg.cores_per_node))
+            .sum();
+        let vdur = (wall.saturating_sub(tasks_wall) + tasks_virtual).mul_f64(self.cfg.compute_scale);
+
+        // Schedule on the earliest-free virtual core.
+        let end = {
+            let n = &mut self.nodes[node as usize];
+            let core = (0..n.core_free.len())
+                .min_by_key(|&i| n.core_free[i])
+                .unwrap();
+            let start = self.now.max(arrival_floor).max(n.core_free[core]);
+            let end = start + vdur;
+            n.core_free[core] = end;
+            n.stats.comp += vdur;
+            n.stats.handlers_run += 1;
+            n.stats.msgs_local += usize::from(msg.route.is_empty());
+            n.stats.msgs_remote += usize::from(!msg.route.is_empty());
+            end
+        };
+        self.end_time = self.end_time.max(end);
+
+        // Put the object back; update accounting for growth/shrink.
+        let new_footprint = obj.footprint();
+        {
+            let n = &mut self.nodes[node as usize];
+            let tick = n.ooc.tick();
+            let e = n.table.get_mut(&oid).unwrap();
+            e.state = EntryState::InCore(obj);
+            e.obj_free_at = end;
+            e.meta.touch(tick);
+            e.footprint = new_footprint;
+            n.ooc.note_resize(old_footprint, new_footprint);
+            n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
+        }
+
+        self.apply_effects(node, end, effects);
+
+        // Hard budget enforcement (handlers grow objects in place), then
+        // advisory soft-threshold swapping.
+        self.enforce_budget(node, end, Some(oid));
+        self.soft_swap(node, end);
+    }
+
+    fn apply_effects(&mut self, node: NodeId, at: Duration, effects: Vec<Effect>) {
+        for eff in effects {
+            match eff {
+                Effect::Send {
+                    to,
+                    handler,
+                    payload,
+                    immediate: _,
+                } => {
+                    let msg = Message::new(to, handler, payload);
+                    let local = matches!(
+                        self.nodes[node as usize].table.get(&to.id),
+                        Some(e) if !matches!(e.state, EntryState::Moved(_))
+                    );
+                    if local {
+                        self.push_event(at, node, EvKind::Msg(msg));
+                    } else {
+                        let dest = {
+                            let d = self.nodes[node as usize].dir.lookup(to.id);
+                            if d == node {
+                                self.home_of(to.id)
+                            } else {
+                                d
+                            }
+                        };
+                        let bytes = msg.wire_size();
+                        self.ship(at, node, dest, bytes, EvKind::Msg(msg));
+                    }
+                }
+                Effect::Multicast {
+                    info,
+                    handler,
+                    payload,
+                } => {
+                    // Coordinate at the (believed) location of the first
+                    // target.
+                    let coord = {
+                        let first = info.targets[0].id;
+                        let local = self.nodes[node as usize].table.contains_key(&first);
+                        if local {
+                            self.owner_of(first)
+                        } else {
+                            let d = self.nodes[node as usize].dir.lookup(first);
+                            if d == node {
+                                self.home_of(first)
+                            } else {
+                                d
+                            }
+                        }
+                    };
+                    self.ship(
+                        at,
+                        node,
+                        coord,
+                        CTL_BYTES + 8 * info.targets.len(),
+                        EvKind::McStart {
+                            info,
+                            handler,
+                            payload,
+                        },
+                    );
+                }
+                Effect::Create { id, obj, priority } => {
+                    let footprint = obj.footprint();
+                    self.admit(node, footprint, at);
+                    let n = &mut self.nodes[node as usize];
+                    let tick = n.ooc.tick();
+                    n.ooc.note_in(footprint);
+                    n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
+                    n.table.insert(
+                        id,
+                        Entry {
+                            state: EntryState::InCore(obj),
+                            queue: VecDeque::new(),
+                            meta: AccessMeta::new(tick),
+                            priority,
+                            locked: false,
+                            footprint,
+                            packed_len: 0,
+                            spill_key: None,
+                            obj_free_at: at,
+                            disk_ready_at: Duration::ZERO,
+                            pending_migration: None,
+                        },
+                    );
+                }
+                Effect::Lock(p) => self.route_meta(node, at, p.id, MetaOp::Lock),
+                Effect::Unlock(p) => self.route_meta(node, at, p.id, MetaOp::Unlock),
+                Effect::SetPriority(p, v) => {
+                    self.route_meta(node, at, p.id, MetaOp::SetPriority(v))
+                }
+                Effect::Migrate(p, dest) => {
+                    let oid = p.id;
+                    let local = matches!(
+                        self.nodes[node as usize].table.get(&oid),
+                        Some(e) if !matches!(e.state, EntryState::Moved(_))
+                    );
+                    if local {
+                        self.push_event(at, node, EvKind::MigrateReq(oid, dest));
+                    } else {
+                        let owner = {
+                            let d = self.nodes[node as usize].dir.lookup(oid);
+                            if d == node {
+                                self.home_of(oid)
+                            } else {
+                                d
+                            }
+                        };
+                        self.ship(at, node, owner, CTL_BYTES, EvKind::MigrateReq(oid, dest));
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_meta(&mut self, node: NodeId, at: Duration, oid: ObjectId, op: MetaOp) {
+        let local = matches!(
+            self.nodes[node as usize].table.get(&oid),
+            Some(e) if !matches!(e.state, EntryState::Moved(_))
+        );
+        if local {
+            self.push_event(at, node, EvKind::Meta(oid, op));
+        } else {
+            let owner = {
+                let d = self.nodes[node as usize].dir.lookup(oid);
+                if d == node {
+                    self.home_of(oid)
+                } else {
+                    d
+                }
+            };
+            self.ship(at, node, owner, CTL_BYTES, EvKind::Meta(oid, op));
+        }
+    }
+
+    fn on_meta(&mut self, node: NodeId, oid: ObjectId, op: MetaOp) {
+        let present = matches!(
+            self.nodes[node as usize].table.get(&oid),
+            Some(e) if !matches!(e.state, EntryState::Moved(_))
+        );
+        if !present {
+            let owner = {
+                let d = self.nodes[node as usize].dir.lookup(oid);
+                if d == node {
+                    self.home_of(oid)
+                } else {
+                    d
+                }
+            };
+            if owner == node {
+                return; // object destroyed; drop silently
+            }
+            self.ship(self.now, node, owner, CTL_BYTES, EvKind::Meta(oid, op));
+            return;
+        }
+        let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+        match op {
+            MetaOp::Lock => e.locked = true,
+            MetaOp::Unlock => e.locked = false,
+            MetaOp::SetPriority(v) => e.priority = v,
+        }
+    }
+
+    // ----- out-of-core mechanics ------------------------------------------------
+
+    /// Make room for `incoming` bytes on `node` (hard-threshold admission
+    /// for created/installed objects; may displace objects with queued
+    /// work — their reload is scheduled so nothing is lost).
+    fn admit(&mut self, node: NodeId, incoming: usize, at: Duration) {
+        let need = self.nodes[node as usize].ooc.needed_for_admission(incoming);
+        if need > 0 {
+            self.evict_bytes(node, need, at, true, None);
+        }
+    }
+
+    /// Admission for a disk *load*. Never displaces objects with queued
+    /// messages: a displaced-queued object immediately schedules its own
+    /// reload, and two loads displacing each other's queued objects is a
+    /// livelock. Prefer briefly overshooting the budget instead.
+    fn admit_for_load(&mut self, node: NodeId, incoming: usize, at: Duration) {
+        let need = self.nodes[node as usize].ooc.needed_for_admission(incoming);
+        if need > 0 {
+            self.evict_bytes(node, need, at, false, None);
+        }
+    }
+
+    /// Post-handler budget enforcement: objects grow during handlers
+    /// (meshes refine in place), which no admission path sees. `except`
+    /// protects the object whose message queue is currently being drained
+    /// (evicting it mid-drain would reorder its messages).
+    fn enforce_budget(&mut self, node: NodeId, at: Duration, except: Option<ObjectId>) {
+        let n = &self.nodes[node as usize];
+        if !n.ooc.enabled() {
+            return;
+        }
+        let over = n.ooc.used().saturating_sub(n.ooc.budget());
+        if over > 0 {
+            self.evict_bytes(node, over, at, true, except);
+        }
+    }
+
+    /// Soft-threshold advisory swap of idle objects.
+    fn soft_swap(&mut self, node: NodeId, at: Duration) {
+        let excess = self.nodes[node as usize].ooc.soft_excess();
+        if excess > 0 {
+            self.evict_bytes(node, excess, at, false, None);
+        }
+    }
+
+    fn evict_bytes(
+        &mut self,
+        node: NodeId,
+        need: usize,
+        at: Duration,
+        allow_queued: bool,
+        except: Option<ObjectId>,
+    ) {
+        let mut candidates: Vec<EvictCandidate> = self.nodes[node as usize]
+            .table
+            .iter()
+            .filter(|(&oid, e)| {
+                e.is_in_core()
+                    && !e.locked
+                    && e.obj_free_at <= at
+                    && e.pending_migration.is_none()
+                    && (allow_queued || e.queue.is_empty())
+                    && Some(oid) != except
+            })
+            .map(|(&oid, e)| EvictCandidate {
+                oid,
+                footprint: e.footprint,
+                meta: e.meta,
+                priority: e.priority,
+                queued_msgs: e.queue.len(),
+            })
+            .collect();
+        let victims = self.nodes[node as usize]
+            .ooc
+            .pick_victims(&mut candidates, need);
+        for oid in victims {
+            self.spill(node, oid, at);
+        }
+    }
+
+    /// Serialize an in-core object to the (modeled) disk.
+    fn spill(&mut self, node: NodeId, oid: ObjectId, at: Duration) {
+        let obj = {
+            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            match std::mem::replace(&mut e.state, EntryState::OnDisk) {
+                EntryState::InCore(o) => o,
+                other => {
+                    e.state = other;
+                    return;
+                }
+            }
+        };
+        // Real serialization, charged as compute.
+        let t0 = Instant::now();
+        let bytes = Registry::pack(obj.as_ref());
+        let pack = t0.elapsed().mul_f64(self.cfg.compute_scale);
+        drop(obj);
+        let packed_len = bytes.len();
+
+        let n = &mut self.nodes[node as usize];
+        n.stats.comp += pack;
+        let key = {
+            let e = n.table.get_mut(&oid).unwrap();
+            let key = *e.spill_key.get_or_insert_with(|| {
+                let k = n.next_spill_key;
+                n.next_spill_key += 1;
+                k
+            });
+            e.packed_len = packed_len;
+            key
+        };
+        n.store.store(key, &bytes).unwrap();
+        let dur = self.cfg.disk.op_time(packed_len);
+        let start = at.max(n.disk_free);
+        let end = start + dur;
+        n.disk_free = end;
+        n.stats.disk += dur;
+        n.stats.stores += 1;
+        n.stats.bytes_to_disk += packed_len as u64;
+        n.stats.evictions += 1;
+        let (footprint, has_queue) = {
+            let e = n.table.get_mut(&oid).unwrap();
+            e.disk_ready_at = end;
+            (e.footprint, !e.queue.is_empty())
+        };
+        n.ooc.note_out(footprint);
+        n.ooc.note_spilled(footprint);
+        self.end_time = self.end_time.max(end);
+        // An object evicted with queued messages still owes work: its
+        // messages were spilled with it, so schedule the reload (after the
+        // store completes) or the work would be lost.
+        if has_queue {
+            self.start_load(node, oid, end);
+        }
+    }
+
+    // ----- migration & multicast -------------------------------------------------
+
+    fn on_migrate_req(&mut self, node: NodeId, oid: ObjectId, dest: NodeId) {
+        let entry_state = self.nodes[node as usize].table.get(&oid).map(|e| match e.state {
+            EntryState::Moved(f) => Err(f),
+            EntryState::InCore(_) | EntryState::Executing => Ok(true),
+            EntryState::OnDisk | EntryState::Loading => Ok(false),
+        });
+        match entry_state {
+            None => {
+                // Not here: forward along the directory.
+                let owner = {
+                    let d = self.nodes[node as usize].dir.lookup(oid);
+                    if d == node {
+                        self.home_of(oid)
+                    } else {
+                        d
+                    }
+                };
+                if owner != node {
+                    self.ship(self.now, node, owner, CTL_BYTES, EvKind::MigrateReq(oid, dest));
+                }
+            }
+            Some(Err(f)) => {
+                self.ship(self.now, node, f, CTL_BYTES, EvKind::MigrateReq(oid, dest));
+            }
+            Some(Ok(true)) => {
+                if node == dest {
+                    // Already where it should be.
+                    self.mc_note_available(node, oid);
+                    return;
+                }
+                self.do_migrate(node, oid, dest);
+            }
+            Some(Ok(false)) => {
+                // Load it first, then ship.
+                let now = self.now;
+                {
+                    let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+                    e.pending_migration = Some(dest);
+                }
+                self.start_load(node, oid, now);
+            }
+        }
+    }
+
+    /// Pack and ship an in-core object to `dest`, leaving a Moved
+    /// tombstone; its queued messages travel along.
+    fn do_migrate(&mut self, node: NodeId, oid: ObjectId, dest: NodeId) {
+        let (obj, queue, priority, locked, footprint, free_at) = {
+            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            e.pending_migration = None;
+            let state = std::mem::replace(&mut e.state, EntryState::Moved(dest));
+            let obj = match state {
+                EntryState::InCore(o) => o,
+                other => {
+                    e.state = other;
+                    return;
+                }
+            };
+            (
+                obj,
+                std::mem::take(&mut e.queue),
+                e.priority,
+                e.locked,
+                e.footprint,
+                e.obj_free_at,
+            )
+        };
+        let t0 = Instant::now();
+        let bytes = Registry::pack(obj.as_ref());
+        let pack = t0.elapsed().mul_f64(self.cfg.compute_scale);
+        drop(obj);
+        {
+            let n = &mut self.nodes[node as usize];
+            n.stats.comp += pack;
+            n.stats.migrations += 1;
+            n.ooc.note_out(footprint);
+        }
+        let at = self.now.max(free_at);
+        let nbytes = bytes.len();
+        self.ship(
+            at,
+            node,
+            dest,
+            nbytes,
+            EvKind::Install {
+                oid,
+                bytes,
+                priority,
+                locked,
+                queue,
+            },
+        );
+        // Tell the home node where the object went (lazy update).
+        let home = self.home_of(oid);
+        if home != node && home != dest {
+            self.ship(at, node, home, DIR_UPDATE_BYTES, EvKind::DirUpdate(oid, dest));
+        }
+        self.nodes[node as usize].dir.update(oid, dest);
+    }
+
+    fn on_install(
+        &mut self,
+        node: NodeId,
+        oid: ObjectId,
+        bytes: Vec<u8>,
+        priority: u8,
+        locked: bool,
+        queue: VecDeque<Message>,
+    ) {
+        let t0 = Instant::now();
+        let obj = self.registry.unpack(&bytes);
+        let unpack = t0.elapsed().mul_f64(self.cfg.compute_scale);
+        let footprint = obj.footprint();
+        self.admit(node, footprint, self.now);
+        {
+            let n = &mut self.nodes[node as usize];
+            n.stats.comp += unpack;
+            let tick = n.ooc.tick();
+            n.ooc.note_in(footprint);
+            n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
+            n.dir.update(oid, node);
+            n.table.insert(
+                oid,
+                Entry {
+                    state: EntryState::InCore(obj),
+                    queue: VecDeque::new(),
+                    meta: AccessMeta::new(tick),
+                    priority,
+                    locked,
+                    footprint,
+                    packed_len: bytes.len(),
+                    spill_key: None,
+                    obj_free_at: self.now,
+                    disk_ready_at: Duration::ZERO,
+                    pending_migration: None,
+                },
+            );
+        }
+        // Replay the messages that traveled with the object.
+        for msg in queue {
+            self.push_event(self.now, node, EvKind::Msg(msg));
+        }
+        self.mc_note_available(node, oid);
+    }
+
+    fn on_mc_start(
+        &mut self,
+        node: NodeId,
+        info: MulticastInfo,
+        handler: HandlerId,
+        payload: Vec<u8>,
+    ) {
+        let mut waiting = Vec::new();
+        let now = self.now;
+        for t in &info.targets {
+            let oid = t.id;
+            let status = self.nodes[node as usize].table.get(&oid).map(|e| match &e.state {
+                EntryState::Moved(f) => Err(*f),
+                EntryState::InCore(_) | EntryState::Executing => Ok(true),
+                _ => Ok(false),
+            });
+            match status {
+                Some(Ok(true)) => {
+                    // Present: pin it until delivery.
+                    self.nodes[node as usize].table.get_mut(&oid).unwrap().locked = true;
+                }
+                Some(Ok(false)) => {
+                    waiting.push(oid);
+                    self.nodes[node as usize].table.get_mut(&oid).unwrap().locked = true;
+                    self.start_load(node, oid, now);
+                }
+                Some(Err(f)) => {
+                    waiting.push(oid);
+                    self.ship(now, node, f, CTL_BYTES, EvKind::MigrateReq(oid, node));
+                }
+                None => {
+                    waiting.push(oid);
+                    let owner = {
+                        let d = self.nodes[node as usize].dir.lookup(oid);
+                        if d == node {
+                            self.home_of(oid)
+                        } else {
+                            d
+                        }
+                    };
+                    self.ship(now, node, owner, CTL_BYTES, EvKind::MigrateReq(oid, node));
+                }
+            }
+        }
+        let pending = McPending {
+            info,
+            handler,
+            payload,
+            waiting,
+        };
+        if pending.waiting.is_empty() {
+            self.mc_deliver(node, pending);
+        } else {
+            self.nodes[node as usize].multicasts.push(pending);
+        }
+    }
+
+    /// An object became available in-core on `node`: progress any waiting
+    /// multicasts.
+    fn mc_note_available(&mut self, node: NodeId, oid: ObjectId) {
+        let mut ready = Vec::new();
+        {
+            let n = &mut self.nodes[node as usize];
+            let mut i = 0;
+            while i < n.multicasts.len() {
+                let mc = &mut n.multicasts[i];
+                mc.waiting.retain(|&w| w != oid);
+                if mc.waiting.is_empty() {
+                    ready.push(n.multicasts.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for mc in ready {
+            self.mc_deliver(node, mc);
+        }
+    }
+
+    fn mc_deliver(&mut self, node: NodeId, mc: McPending) {
+        // Deliver to the first `deliver_to` targets; unlock everyone.
+        for (i, t) in mc.info.targets.iter().enumerate() {
+            if (i as u32) < mc.info.deliver_to {
+                let msg = Message::new(*t, mc.handler, mc.payload.clone());
+                self.push_event(self.now, node, EvKind::Msg(msg));
+            }
+        }
+        for t in &mc.info.targets {
+            if let Some(e) = self.nodes[node as usize].table.get_mut(&t.id) {
+                e.locked = false;
+            }
+        }
+    }
+
+    // ----- inspection (post-run) ---------------------------------------------------
+
+    /// Visit an object wherever it is (following migrations, loading from
+    /// the spill store if needed — uncharged; for result extraction).
+    pub fn with_object<R>(&mut self, ptr: MobilePtr, f: impl FnOnce(&dyn MobileObject) -> R) -> R {
+        let node = self.owner_of(ptr.id);
+        let n = &mut self.nodes[node as usize];
+        let e = n
+            .table
+            .get_mut(&ptr.id)
+            .unwrap_or_else(|| panic!("no object {:?}", ptr.id));
+        match &e.state {
+            EntryState::InCore(obj) => f(obj.as_ref()),
+            EntryState::OnDisk | EntryState::Loading => {
+                let key = e.spill_key.expect("on-disk object has a key");
+                let bytes = n.store.load(key).expect("spilled bytes");
+                let obj = self.registry.unpack(&bytes);
+                f(obj.as_ref())
+            }
+            EntryState::Executing => unreachable!("no handler is running post-run"),
+            EntryState::Moved(_) => unreachable!("owner_of follows tombstones"),
+        }
+    }
+
+    /// Visit every live object (post-run; arbitrary order).
+    pub fn for_each_object(&mut self, mut f: impl FnMut(ObjectId, &dyn MobileObject)) {
+        for node in 0..self.nodes.len() {
+            let oids: Vec<ObjectId> = self.nodes[node]
+                .table
+                .iter()
+                .filter(|(_, e)| !matches!(e.state, EntryState::Moved(_)))
+                .map(|(&oid, _)| oid)
+                .collect();
+            for oid in oids {
+                self.with_object(MobilePtr::new(oid), |obj| f(oid, obj));
+            }
+        }
+    }
+
+    // ----- checkpoint support (see crate::checkpoint) ------------------------
+
+    /// Install an object from a checkpoint entry (bootstrap-time).
+    pub(crate) fn install_from_checkpoint(
+        &mut self,
+        node: NodeId,
+        oid: ObjectId,
+        packed: &[u8],
+        priority: u8,
+        locked: bool,
+    ) {
+        let obj = self.registry.unpack(packed);
+        let footprint = obj.footprint();
+        self.admit(node, footprint, Duration::ZERO);
+        let n = &mut self.nodes[node as usize];
+        let tick = n.ooc.tick();
+        n.ooc.note_in(footprint);
+        n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
+        let prev = n.table.insert(
+            oid,
+            Entry {
+                state: EntryState::InCore(obj),
+                queue: VecDeque::new(),
+                meta: AccessMeta::new(tick),
+                priority,
+                locked,
+                footprint,
+                packed_len: packed.len(),
+                spill_key: None,
+                obj_free_at: Duration::ZERO,
+                disk_ready_at: Duration::ZERO,
+                pending_migration: None,
+            },
+        );
+        assert!(prev.is_none(), "checkpoint restore collided with {oid:?}");
+    }
+
+    /// Raise per-node object-id allocation watermarks (restore path).
+    pub(crate) fn set_seq_watermarks(&mut self, seq: &[u64]) {
+        for (i, &s) in seq.iter().enumerate() {
+            if let Some(n) = self.nodes.get_mut(i) {
+                n.next_obj_seq = n.next_obj_seq.max(s);
+            }
+        }
+        // Objects restored from a differently-sized cluster keep their
+        // original home ids; make sure every node's allocator clears every
+        // restored id of its own home.
+        for node in 0..self.nodes.len() {
+            let max_seq = self.nodes[node]
+                .table
+                .keys()
+                .filter(|oid| oid.home() as usize == node)
+                .map(|oid| oid.seq() + 1)
+                .max()
+                .unwrap_or(0);
+            let n = &mut self.nodes[node];
+            n.next_obj_seq = n.next_obj_seq.max(max_seq);
+        }
+    }
+
+    /// Snapshot every live object (must be quiescent: no events pending).
+    pub(crate) fn snapshot_objects(
+        &mut self,
+    ) -> (Vec<crate::checkpoint::CheckpointEntry>, Vec<u64>) {
+        assert!(
+            self.events.is_empty(),
+            "checkpoint requires quiescence (run() completed)"
+        );
+        let mut out = Vec::new();
+        for node in 0..self.nodes.len() {
+            let oids: Vec<ObjectId> = self.nodes[node].table.keys().copied().collect();
+            for oid in oids {
+                let n = &mut self.nodes[node];
+                let e = n.table.get(&oid).unwrap();
+                let (priority, locked) = (e.priority, e.locked);
+                let queued: Vec<Message> = e.queue.iter().cloned().collect();
+                let packed = match &e.state {
+                    EntryState::InCore(obj) => Registry::pack(obj.as_ref()),
+                    EntryState::OnDisk | EntryState::Loading => {
+                        let key = e.spill_key.expect("spilled object has key");
+                        n.store.load(key).expect("spilled bytes present")
+                    }
+                    EntryState::Executing => unreachable!("quiescent"),
+                    EntryState::Moved(_) => continue,
+                };
+                out.push(crate::checkpoint::CheckpointEntry {
+                    node: node as NodeId,
+                    oid,
+                    priority,
+                    locked,
+                    packed,
+                    queued,
+                });
+            }
+        }
+        let next_seq = self.nodes.iter().map(|n| n.next_obj_seq).collect();
+        (out, next_seq)
+    }
+
+    // ----- load-balancing support (see crate::balance) ----------------------
+
+    /// Observe all live objects for the balancer.
+    pub(crate) fn observe_balance_items(
+        &self,
+        by: crate::balance::BalanceBy,
+    ) -> Vec<crate::balance::BalanceItem> {
+        let mut out = Vec::new();
+        for (node, n) in self.nodes.iter().enumerate() {
+            for (&oid, e) in &n.table {
+                if matches!(e.state, EntryState::Moved(_)) {
+                    continue;
+                }
+                let weight = match by {
+                    crate::balance::BalanceBy::Footprint => e.footprint as u64,
+                    crate::balance::BalanceBy::QueuedWork => e.queue.len() as u64,
+                };
+                out.push(crate::balance::BalanceItem {
+                    oid,
+                    node: node as NodeId,
+                    weight,
+                    locked: e.locked,
+                });
+            }
+        }
+        out.sort_by_key(|i| i.oid);
+        out
+    }
+
+    /// Request an object migration (processed by the next [`DesRuntime::run`]).
+    pub(crate) fn request_migration(&mut self, ptr: MobilePtr, dest: NodeId) {
+        let owner = self.owner_of(ptr.id);
+        let at = self.now;
+        self.push_event(at, owner, EvKind::MigrateReq(ptr.id, dest));
+    }
+
+    /// Number of live objects across all nodes.
+    pub fn num_objects(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.table
+                    .values()
+                    .filter(|e| !matches!(e.state, EntryState::Moved(_)))
+                    .count()
+            })
+            .sum()
+    }
+}

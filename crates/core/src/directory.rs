@@ -1,0 +1,90 @@
+//! The mobile object distributed directory with lazy updates.
+//!
+//! Each node remembers the *last known location* of remote mobile objects.
+//! A message is sent to that location; if the object has moved on, the
+//! message is forwarded along the chain of last-known locations, recording
+//! its route. When it finally reaches the object, *update service messages*
+//! go back to every node the message passed through — the lazy update
+//! scheme the paper found to be a good accuracy/overhead compromise.
+
+use crate::ids::{NodeId, ObjectId};
+use std::collections::HashMap;
+
+/// One node's view of where remote objects live.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    hints: HashMap<ObjectId, NodeId>,
+    pub updates_applied: usize,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Best guess for the object's location: the recorded hint, falling
+    /// back to the object's home node.
+    pub fn lookup(&self, oid: ObjectId) -> NodeId {
+        self.hints.get(&oid).copied().unwrap_or_else(|| oid.home())
+    }
+
+    /// Record a (lazily propagated) location update.
+    pub fn update(&mut self, oid: ObjectId, node: NodeId) {
+        self.updates_applied += 1;
+        if oid.home() == node {
+            // Pointing at home is the default; keep the map small.
+            self.hints.remove(&oid);
+        } else {
+            self.hints.insert(oid, node);
+        }
+    }
+
+    /// Forget an object entirely (it was destroyed).
+    pub fn forget(&mut self, oid: ObjectId) {
+        self.hints.remove(&oid);
+    }
+
+    /// Number of non-default hints held.
+    pub fn len(&self) -> usize {
+        self.hints.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_defaults_to_home() {
+        let d = Directory::new();
+        let oid = ObjectId::new(5, 77);
+        assert_eq!(d.lookup(oid), 5);
+    }
+
+    #[test]
+    fn update_and_lookup() {
+        let mut d = Directory::new();
+        let oid = ObjectId::new(5, 77);
+        d.update(oid, 2);
+        assert_eq!(d.lookup(oid), 2);
+        assert_eq!(d.len(), 1);
+        // Updating back to home removes the hint.
+        d.update(oid, 5);
+        assert_eq!(d.lookup(oid), 5);
+        assert!(d.is_empty());
+        assert_eq!(d.updates_applied, 2);
+    }
+
+    #[test]
+    fn forget_clears_hint() {
+        let mut d = Directory::new();
+        let oid = ObjectId::new(1, 1);
+        d.update(oid, 3);
+        d.forget(oid);
+        assert_eq!(d.lookup(oid), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # MRTS — the Multi-layered Run-Time System
+//!
+//! A Rust reproduction of the out-of-core parallel runtime of Kot,
+//! Chernikov & Chrisochoides (IPDPS 2011): location-independent **mobile
+//! objects** addressed by **mobile pointers**, one-sided **active
+//! messages** executed by registered handlers, an **out-of-core layer**
+//! that spills objects (and their message queues) to disk under memory
+//! pressure, a **control layer** with a lazily-updated distributed object
+//! directory, migration and multicast messages, and a **computing layer**
+//! wrapping two task-parallel backends (work-stealing / global FIFO).
+//!
+//! The runtime executes in either of two modes sharing one semantics:
+//!
+//! * [`des::DesRuntime`] — deterministic **virtual-time** execution: the
+//!   application really runs (single host thread), while node parallelism,
+//!   network and disk are charged on virtual clocks. This mode regenerates
+//!   the paper's evaluation on a machine with any number of cores.
+//! * [`threaded::ThreadedRuntime`] — real OS threads, one per simulated
+//!   node, on the [`armci_sim`] one-sided fabric, with real file-backed
+//!   spill; Safra's algorithm detects distributed termination.
+//!
+//! See the `pumg-methods` crate for complete applications (the out-of-core
+//! parallel mesh generation methods of the paper) and `DESIGN.md` at the
+//! workspace root for the system inventory.
+
+pub mod balance;
+pub mod checkpoint;
+pub mod codec;
+pub mod compute;
+pub mod config;
+pub mod ctx;
+pub mod des;
+pub mod directory;
+pub mod ids;
+pub mod msg;
+pub mod object;
+pub mod ooc;
+pub mod policy;
+pub mod stats;
+pub mod storage;
+pub mod threaded;
+
+/// The commonly used names in one import.
+pub mod prelude {
+    pub use crate::codec::{PayloadReader, PayloadWriter};
+    pub use crate::compute::ExecutorKind;
+    pub use crate::config::{MrtsConfig, NetModel};
+    pub use crate::ctx::Ctx;
+    pub use crate::des::DesRuntime;
+    pub use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId, TypeTag};
+    pub use crate::object::{MobileObject, Registry};
+    pub use crate::policy::PolicyKind;
+    pub use crate::stats::RunStats;
+    pub use crate::storage::DiskModel;
+    pub use crate::threaded::ThreadedRuntime;
+}

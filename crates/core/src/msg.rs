@@ -1,0 +1,150 @@
+//! Messages: one-sided active messages addressed to mobile pointers.
+//!
+//! A message is the amalgamation of a data transfer and a remote procedure
+//! call: destination mobile pointer, handler id, payload bytes. The runtime
+//! routes it to wherever the destination object lives (forwarding along the
+//! last-known-location chain, collecting the `route` for lazy directory
+//! updates), queues it with the object (messages of an out-of-core object
+//! are stored out-of-core with it), and eventually runs the handler.
+
+use crate::codec::{PayloadReader, PayloadWriter, Truncated};
+use crate::ids::{HandlerId, MobilePtr, NodeId};
+
+/// Multicast extension (the paper's experimental *multicast mobile
+/// message*): the runtime first collects all `targets` on one node and
+/// in-core, then delivers the message to the first `deliver_to` of them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MulticastInfo {
+    pub targets: Vec<MobilePtr>,
+    pub deliver_to: u32,
+}
+
+/// An in-flight or queued application message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    pub to: MobilePtr,
+    pub handler: HandlerId,
+    pub payload: Vec<u8>,
+    /// Nodes this message was forwarded through (for lazy directory
+    /// updates once it reaches the object).
+    pub route: Vec<NodeId>,
+    /// Set on the *coordinator copy* of a multicast message.
+    pub multicast: Option<MulticastInfo>,
+}
+
+impl Message {
+    pub fn new(to: MobilePtr, handler: HandlerId, payload: Vec<u8>) -> Self {
+        Message {
+            to,
+            handler,
+            payload,
+            route: Vec::new(),
+            multicast: None,
+        }
+    }
+
+    /// Approximate bytes on the wire (for transfer-time charging); an
+    /// upper bound on [`Message::encode`]'s output length.
+    pub fn wire_size(&self) -> usize {
+        let mc = self
+            .multicast
+            .as_ref()
+            .map_or(1, |m| 9 + 8 * m.targets.len());
+        8 + 4 + 4 + self.payload.len() + 4 * self.route.len() + mc + 16
+    }
+
+    /// Encode for transport over the fabric.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(self.wire_size());
+        w.ptr(self.to).u32(self.handler.0).bytes(&self.payload);
+        w.u32(self.route.len() as u32);
+        for &n in &self.route {
+            w.u32(n as u32);
+        }
+        match &self.multicast {
+            None => {
+                w.u8(0);
+            }
+            Some(mc) => {
+                w.u8(1).u32(mc.deliver_to).ptrs(&mc.targets);
+            }
+        }
+        w.finish()
+    }
+
+    /// Inverse of [`Message::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Message, Truncated> {
+        let mut r = PayloadReader::new(buf);
+        let to = r.ptr()?;
+        let handler = HandlerId(r.u32()?);
+        let payload = r.bytes()?.to_vec();
+        let n_route = r.u32()? as usize;
+        let mut route = Vec::with_capacity(n_route.min(1 << 12));
+        for _ in 0..n_route {
+            route.push(r.u32()? as NodeId);
+        }
+        let multicast = match r.u8()? {
+            0 => None,
+            _ => {
+                let deliver_to = r.u32()?;
+                let targets = r.ptrs()?;
+                Some(MulticastInfo {
+                    targets,
+                    deliver_to,
+                })
+            }
+        };
+        Ok(Message {
+            to,
+            handler,
+            payload,
+            route,
+            multicast,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjectId;
+
+    fn ptr(h: NodeId, s: u64) -> MobilePtr {
+        MobilePtr::new(ObjectId::new(h, s))
+    }
+
+    #[test]
+    fn encode_decode_plain() {
+        let m = Message::new(ptr(2, 17), HandlerId(9), vec![1, 2, 3]);
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn encode_decode_with_route_and_multicast() {
+        let mut m = Message::new(ptr(0, 1), HandlerId(1), vec![]);
+        m.route = vec![3, 1, 4];
+        m.multicast = Some(MulticastInfo {
+            targets: vec![ptr(0, 1), ptr(1, 2), ptr(2, 3)],
+            deliver_to: 1,
+        });
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let m = Message::new(ptr(2, 17), HandlerId(9), vec![5; 64]);
+        let buf = m.encode();
+        for cut in [1, 8, 12, buf.len() - 1] {
+            assert!(Message::decode(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        let small = Message::new(ptr(0, 0), HandlerId(0), vec![]);
+        let big = Message::new(ptr(0, 0), HandlerId(0), vec![0; 4096]);
+        assert!(big.wire_size() >= small.wire_size() + 4096);
+    }
+}

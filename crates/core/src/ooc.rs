@@ -1,0 +1,301 @@
+//! The out-of-core layer: memory accounting and swapping decisions.
+//!
+//! [`OocManager`] tracks the in-core footprint of one node against its
+//! budget and decides *when* and *what* to swap:
+//!
+//! * the **hard threshold** is enforced on admission: after loading or
+//!   creating an object, at least `hard_mult × largest-spilled-object`
+//!   bytes must remain free — otherwise unused objects are forcefully
+//!   unloaded first;
+//! * the **soft threshold** triggers advisory background swapping whenever
+//!   free memory drops below `soft_frac × budget`;
+//! * victims are chosen by the configured swapping scheme
+//!   ([`crate::policy::PolicyKind`]), never evicting locked (pinned)
+//!   objects, preferring objects with no queued messages, lower priorities
+//!   first.
+//!
+//! The manager is a pure decision component: it does not own the objects;
+//! the engines feed it candidate views and apply its verdicts.
+
+use crate::ids::ObjectId;
+use crate::policy::{AccessMeta, PolicyKind};
+
+/// A view of one in-core object offered as an eviction candidate.
+#[derive(Clone, Copy, Debug)]
+pub struct EvictCandidate {
+    pub oid: ObjectId,
+    pub footprint: usize,
+    pub meta: AccessMeta,
+    /// Swapping priority (higher = keep longer).
+    pub priority: u8,
+    /// Queued messages waiting for this object (objects with pending work
+    /// are evicted only under duress).
+    pub queued_msgs: usize,
+}
+
+/// Memory accounting + swapping policy for one node.
+#[derive(Clone, Debug)]
+pub struct OocManager {
+    budget: usize,
+    hard_mult: f64,
+    soft_frac: f64,
+    policy: PolicyKind,
+    used: usize,
+    largest_spilled: usize,
+    clock: u64,
+    pub peak_used: usize,
+}
+
+impl OocManager {
+    pub fn new(budget: usize, hard_mult: f64, soft_frac: f64, policy: PolicyKind) -> Self {
+        OocManager {
+            budget,
+            hard_mult,
+            soft_frac,
+            policy,
+            used: 0,
+            largest_spilled: 0,
+            clock: 0,
+            peak_used: 0,
+        }
+    }
+
+    /// Is the out-of-core machinery active at all?
+    pub fn enabled(&self) -> bool {
+        self.budget != usize::MAX
+    }
+
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Advance and return the logical access clock.
+    pub fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Account an object entering memory (created, loaded, or installed).
+    pub fn note_in(&mut self, footprint: usize) {
+        self.used += footprint;
+        self.peak_used = self.peak_used.max(self.used);
+    }
+
+    /// Account an object leaving memory (evicted, migrated away, or
+    /// dropped).
+    pub fn note_out(&mut self, footprint: usize) {
+        debug_assert!(self.used >= footprint, "memory accounting underflow");
+        self.used = self.used.saturating_sub(footprint);
+    }
+
+    /// Account an object's footprint change in place (objects grow during
+    /// refinement).
+    pub fn note_resize(&mut self, old: usize, new: usize) {
+        self.note_out(old);
+        self.note_in(new);
+    }
+
+    /// Record that an object of `footprint` bytes was spilled (maintains
+    /// the hard-threshold reference size).
+    pub fn note_spilled(&mut self, footprint: usize) {
+        self.largest_spilled = self.largest_spilled.max(footprint);
+    }
+
+    /// Headroom the hard threshold demands after an admission.
+    fn hard_reserve(&self) -> usize {
+        (self.hard_mult * self.largest_spilled as f64) as usize
+    }
+
+    /// How many bytes must be evicted before admitting `incoming` bytes.
+    /// Zero when the admission fits.
+    pub fn needed_for_admission(&self, incoming: usize) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        let demand = self.used.saturating_add(incoming).saturating_add(self.hard_reserve());
+        demand.saturating_sub(self.budget)
+    }
+
+    /// Soft threshold: free memory below `soft_frac × budget` advises the
+    /// storage layer to start swapping idle objects.
+    pub fn soft_pressure(&self) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let free = self.budget.saturating_sub(self.used);
+        (free as f64) < self.soft_frac * self.budget as f64
+    }
+
+    /// Bytes to shed to satisfy the soft threshold.
+    pub fn soft_excess(&self) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        let target_free = (self.soft_frac * self.budget as f64) as usize;
+        let free = self.budget.saturating_sub(self.used);
+        target_free.saturating_sub(free)
+    }
+
+    /// Choose eviction victims freeing at least `need` bytes from
+    /// `candidates` (all must be unlocked and not currently executing).
+    ///
+    /// Order: objects without queued messages first, then lower priority,
+    /// then the swapping scheme's score. Returns the chosen object ids (in
+    /// eviction order); may free less than `need` if candidates run out.
+    pub fn pick_victims(&self, candidates: &mut Vec<EvictCandidate>, need: usize) -> Vec<ObjectId> {
+        if need == 0 || candidates.is_empty() {
+            return Vec::new();
+        }
+        let now = self.clock;
+        candidates.sort_by(|a, b| {
+            let key_a = (
+                a.queued_msgs > 0,
+                a.priority,
+                self.policy.score(&a.meta, now),
+            );
+            let key_b = (
+                b.queued_msgs > 0,
+                b.priority,
+                self.policy.score(&b.meta, now),
+            );
+            key_a
+                .partial_cmp(&key_b)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut out = Vec::new();
+        let mut freed = 0usize;
+        for c in candidates.iter() {
+            if freed >= need {
+                break;
+            }
+            out.push(c.oid);
+            freed += c.footprint;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(seq: u64, footprint: usize, last: u64, count: u64, prio: u8, queued: usize) -> EvictCandidate {
+        EvictCandidate {
+            oid: ObjectId::new(0, seq),
+            footprint,
+            meta: AccessMeta {
+                last_access: last,
+                access_count: count,
+                birth: 0,
+            },
+            priority: prio,
+            queued_msgs: queued,
+        }
+    }
+
+    #[test]
+    fn disabled_manager_never_evicts() {
+        let m = OocManager::new(usize::MAX, 2.0, 0.5, PolicyKind::Lru);
+        assert!(!m.enabled());
+        assert_eq!(m.needed_for_admission(1 << 40), 0);
+        assert!(!m.soft_pressure());
+    }
+
+    #[test]
+    fn accounting_tracks_peak() {
+        let mut m = OocManager::new(1000, 0.0, 0.5, PolicyKind::Lru);
+        m.note_in(400);
+        m.note_in(300);
+        assert_eq!(m.used(), 700);
+        m.note_out(300);
+        assert_eq!(m.used(), 400);
+        m.note_resize(400, 600);
+        assert_eq!(m.used(), 600);
+        assert_eq!(m.peak_used, 700);
+    }
+
+    #[test]
+    fn admission_arithmetic_with_hard_threshold() {
+        let mut m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+        m.note_in(600);
+        // Nothing spilled yet: reserve 0; 600+300 ≤ 1000 fits.
+        assert_eq!(m.needed_for_admission(300), 0);
+        // After spilling a 100-byte object, reserve = 200.
+        m.note_spilled(100);
+        assert_eq!(m.needed_for_admission(300), 100); // 600+300+200-1000
+        assert_eq!(m.needed_for_admission(100), 0); // 600+100+200 ≤ 1000
+    }
+
+    #[test]
+    fn soft_threshold_advises_swapping() {
+        let mut m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+        m.note_in(400);
+        assert!(!m.soft_pressure()); // free = 600 ≥ 500
+        m.note_in(200);
+        assert!(m.soft_pressure()); // free = 400 < 500
+        assert_eq!(m.soft_excess(), 100);
+    }
+
+    #[test]
+    fn victims_prefer_idle_low_priority_lru() {
+        let m = {
+            let mut m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+            for _ in 0..100 {
+                m.tick();
+            }
+            m
+        };
+        let mut cands = vec![
+            cand(1, 100, 50, 5, 128, 0), // idle, default prio, mid-age
+            cand(2, 100, 10, 5, 128, 0), // idle, default prio, oldest → first
+            cand(3, 100, 5, 5, 255, 0),  // idle but high priority → later
+            cand(4, 100, 1, 5, 128, 3),  // has queued msgs → last resort
+        ];
+        let victims = m.pick_victims(&mut cands, 200);
+        assert_eq!(victims[0], ObjectId::new(0, 2));
+        assert_eq!(victims[1], ObjectId::new(0, 1));
+        assert_eq!(victims.len(), 2);
+    }
+
+    #[test]
+    fn victims_respect_policy_kind() {
+        let mut m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Mu);
+        for _ in 0..100 {
+            m.tick();
+        }
+        let mut cands = vec![
+            cand(1, 100, 50, 500, 128, 0), // most used → evicted first by MU
+            cand(2, 100, 60, 2, 128, 0),
+        ];
+        let victims = m.pick_victims(&mut cands, 100);
+        assert_eq!(victims, vec![ObjectId::new(0, 1)]);
+    }
+
+    #[test]
+    fn pick_victims_zero_need() {
+        let m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+        let mut cands = vec![cand(1, 100, 1, 1, 0, 0)];
+        assert!(m.pick_victims(&mut cands, 0).is_empty());
+    }
+
+    #[test]
+    fn pick_victims_exhausts_candidates() {
+        let m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+        let mut cands = vec![cand(1, 100, 1, 1, 0, 0), cand(2, 50, 2, 1, 0, 0)];
+        // Need more than available: returns everything.
+        let v = m.pick_victims(&mut cands, 1000);
+        assert_eq!(v.len(), 2);
+    }
+}

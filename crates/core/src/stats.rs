@@ -1,0 +1,209 @@
+//! Instrumentation: per-node resource accounting and the paper's metrics.
+//!
+//! The evaluation section of the paper reports, per configuration:
+//! computation / communication / disk-I/O as percentages of total execution
+//! time, their **overlap**, and the per-PE **speed** `S / (T · N)`. These
+//! are computed here from per-node busy-time accumulators filled in by
+//! either execution mode.
+//!
+//! Note on the overlap formula: the paper prints
+//! `Overlap = (Comp + Comm + Disk) / Total` but describes 50–62% values as
+//! *high overlap*, which is only consistent with the busy-time **excess**
+//! `(Comp + Comm + Disk − Total) / Total` — the fraction of the run during
+//! which at least two resources were busy simultaneously. We implement the
+//! latter (clamped at 0).
+
+use crate::ids::NodeId;
+use std::time::Duration;
+
+/// Busy-time accumulators and counters for one node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Time spent executing message handlers (and packing/unpacking
+    /// objects).
+    pub comp: Duration,
+    /// Time attributed to communication (transfer time of sent and
+    /// received messages).
+    pub comm: Duration,
+    /// Time the disk spent on this node's loads/stores.
+    pub disk: Duration,
+    pub handlers_run: usize,
+    pub msgs_local: usize,
+    pub msgs_remote: usize,
+    pub msgs_forwarded: usize,
+    pub bytes_sent: u64,
+    pub loads: usize,
+    pub stores: usize,
+    pub bytes_to_disk: u64,
+    pub bytes_from_disk: u64,
+    pub evictions: usize,
+    pub migrations: usize,
+    /// High-water mark of in-core object footprint.
+    pub peak_mem: usize,
+}
+
+/// Aggregated result of one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Makespan: wall clock (threaded mode) or virtual time (DES mode).
+    pub total: Duration,
+    pub nodes: Vec<NodeStats>,
+}
+
+impl RunStats {
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn pct(&self, f: impl Fn(&NodeStats) -> Duration) -> f64 {
+        if self.nodes.is_empty() || self.total.is_zero() {
+            return 0.0;
+        }
+        let sum: f64 = self.nodes.iter().map(|n| f(n).as_secs_f64()).sum();
+        100.0 * sum / (self.total.as_secs_f64() * self.nodes.len() as f64)
+    }
+
+    /// Computation as a percentage of total execution time (averaged over
+    /// nodes).
+    pub fn comp_pct(&self) -> f64 {
+        self.pct(|n| n.comp)
+    }
+
+    /// Communication/synchronization percentage.
+    pub fn comm_pct(&self) -> f64 {
+        self.pct(|n| n.comm)
+    }
+
+    /// Disk I/O percentage.
+    pub fn disk_pct(&self) -> f64 {
+        self.pct(|n| n.disk)
+    }
+
+    /// Overlap of computation, communication and disk I/O: the busy-time
+    /// excess over the wall clock, in percent (0 = fully serialized
+    /// resources, 100 = everything always overlapped twice).
+    pub fn overlap_pct(&self) -> f64 {
+        (self.comp_pct() + self.comm_pct() + self.disk_pct() - 100.0).max(0.0)
+    }
+
+    /// The paper's per-PE speed metric: `Speed = S / (T · N)` where `S` is
+    /// the problem size (mesh elements), `T` the total time and `N` the
+    /// number of PEs.
+    pub fn speed(&self, elements: u64) -> f64 {
+        if self.total.is_zero() || self.nodes.is_empty() {
+            return 0.0;
+        }
+        elements as f64 / (self.total.as_secs_f64() * self.nodes.len() as f64)
+    }
+
+    /// Sum over nodes of a counter.
+    pub fn total_of(&self, f: impl Fn(&NodeStats) -> usize) -> usize {
+        self.nodes.iter().map(f).sum()
+    }
+
+    /// Total bytes spilled to disk across nodes.
+    pub fn bytes_to_disk(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_to_disk).sum()
+    }
+
+    /// Total bytes read back from disk across nodes.
+    pub fn bytes_from_disk(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_from_disk).sum()
+    }
+
+    /// Peak in-core footprint over all nodes.
+    pub fn peak_mem(&self) -> usize {
+        self.nodes.iter().map(|n| n.peak_mem).max().unwrap_or(0)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "T={:.3}s nodes={} comp={:.1}% comm={:.1}% disk={:.1}% overlap={:.1}% loads={} stores={} peak_mem={}",
+            self.total.as_secs_f64(),
+            self.nodes.len(),
+            self.comp_pct(),
+            self.comm_pct(),
+            self.disk_pct(),
+            self.overlap_pct(),
+            self.total_of(|n| n.loads),
+            self.total_of(|n| n.stores),
+            self.peak_mem(),
+        )
+    }
+}
+
+/// Convenience: build a `RunStats` for `n` nodes (used by engines).
+pub fn empty_stats(n: usize) -> RunStats {
+    RunStats {
+        total: Duration::ZERO,
+        nodes: vec![NodeStats::default(); n],
+    }
+}
+
+/// Identifier helper for per-node indexing.
+pub fn node_idx(n: NodeId) -> usize {
+    n as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(total_ms: u64, per_node: &[(u64, u64, u64)]) -> RunStats {
+        RunStats {
+            total: Duration::from_millis(total_ms),
+            nodes: per_node
+                .iter()
+                .map(|&(c, m, d)| NodeStats {
+                    comp: Duration::from_millis(c),
+                    comm: Duration::from_millis(m),
+                    disk: Duration::from_millis(d),
+                    ..NodeStats::default()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn percentages_average_over_nodes() {
+        let s = stats_with(100, &[(50, 10, 20), (70, 30, 40)]);
+        assert!((s.comp_pct() - 60.0).abs() < 1e-9);
+        assert!((s.comm_pct() - 20.0).abs() < 1e-9);
+        assert!((s.disk_pct() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_is_busy_time_excess() {
+        // 60 + 20 + 30 = 110% of total → 10% overlap.
+        let s = stats_with(100, &[(50, 10, 20), (70, 30, 40)]);
+        assert!((s.overlap_pct() - 10.0).abs() < 1e-9);
+        // Fully serialized resources → zero overlap (clamped).
+        let s2 = stats_with(100, &[(30, 10, 20)]);
+        assert_eq!(s2.overlap_pct(), 0.0);
+    }
+
+    #[test]
+    fn speed_is_elements_per_second_per_pe() {
+        let s = stats_with(2000, &[(0, 0, 0); 4]);
+        // 8M elements / (2 s × 4 PEs) = 1M el/s/PE.
+        assert!((s.speed(8_000_000) - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_total_is_safe() {
+        let s = empty_stats(3);
+        assert_eq!(s.comp_pct(), 0.0);
+        assert_eq!(s.speed(100), 0.0);
+        assert_eq!(s.overlap_pct(), 0.0);
+        assert_eq!(s.num_nodes(), 3);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let s = stats_with(100, &[(50, 10, 20)]);
+        let text = s.summary();
+        assert!(text.contains("comp=50.0%"));
+        assert!(text.contains("nodes=1"));
+    }
+}

@@ -1,0 +1,1125 @@
+//! The threaded execution engine: one OS thread per simulated node.
+//!
+//! This mode is the shape of the paper's actual deployment: every node runs
+//! a control loop draining one-sided active messages from the
+//! [`armci_sim`] fabric, executing message handlers, spilling mobile
+//! objects through a dedicated per-node I/O thread (a real [`FileStore`]
+//! when a spill directory is configured), and participating in **Safra's
+//! ring-token termination detection**. Handlers may spawn child tasks on
+//! the node's computing-layer pool (work-stealing or FIFO).
+//!
+//! Statistics are wall-clock: computation is time spent inside handlers
+//! (and packing/unpacking), disk is the I/O thread's measured busy time,
+//! and communication is charged from the configured network model per
+//! message (the in-process fabric itself is too fast to measure
+//! meaningfully).
+
+use crate::compute::{ExecutorKind, FifoPool, SequentialBackend, TaskBackend, WorkStealingPool};
+use crate::config::MrtsConfig;
+use crate::ctx::{Ctx, Effect};
+use crate::directory::Directory;
+use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
+use crate::msg::{Message, MulticastInfo};
+use crate::object::{MobileObject, Registry};
+use crate::ooc::{EvictCandidate, OocManager};
+use crate::policy::AccessMeta;
+use crate::stats::{NodeStats, RunStats};
+use crate::storage::{FileStore, MemStore, StorageBackend};
+use armci_sim::{ActiveMessage, Endpoint, Fabric, NetworkModel};
+use crossbeam_channel as channel;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+// Fabric active-message tags.
+const AM_MSG: u32 = 1;
+const AM_DIR_UPDATE: u32 = 2;
+const AM_MIGRATE_REQ: u32 = 3;
+const AM_INSTALL: u32 = 4;
+const AM_MC_START: u32 = 5;
+const AM_META: u32 = 6;
+const AM_TOKEN: u32 = 7;
+const AM_EXIT: u32 = 8;
+
+const META_LOCK: u8 = 0;
+const META_UNLOCK: u8 = 1;
+const META_PRIO: u8 = 2;
+
+enum TState {
+    InCore(Box<dyn MobileObject>),
+    OnDisk,
+    Loading,
+    Moved(NodeId),
+}
+
+struct TEntry {
+    state: TState,
+    queue: VecDeque<Message>,
+    meta: AccessMeta,
+    priority: u8,
+    locked: bool,
+    footprint: usize,
+    packed_len: usize,
+    spill_key: Option<u64>,
+    pending_migration: Option<NodeId>,
+}
+
+enum IoReq {
+    Store { key: u64, bytes: Vec<u8>, oid: ObjectId },
+    Load { key: u64, oid: ObjectId },
+    Shutdown,
+}
+
+enum IoDone {
+    Stored { dur: Duration },
+    Loaded {
+        oid: ObjectId,
+        bytes: Vec<u8>,
+        dur: Duration,
+    },
+}
+
+struct McWait {
+    info: MulticastInfo,
+    handler: HandlerId,
+    payload: Vec<u8>,
+    waiting: Vec<ObjectId>,
+}
+
+/// Safra termination-detection state for one node.
+struct Safra {
+    color_black: bool,
+    counter: i64,
+    has_token: bool,
+    token_black: bool,
+    token_q: i64,
+    initiated: bool,
+}
+
+struct Worker {
+    node: NodeId,
+    n_nodes: usize,
+    cfg: MrtsConfig,
+    registry: std::sync::Arc<Registry>,
+    ep: Endpoint,
+    table: HashMap<ObjectId, TEntry>,
+    ooc: OocManager,
+    dir: Directory,
+    ready: VecDeque<ObjectId>,
+    io_tx: channel::Sender<IoReq>,
+    io_rx: channel::Receiver<IoDone>,
+    outstanding_io: usize,
+    backend: Box<dyn TaskBackend>,
+    stats: NodeStats,
+    next_obj_seq: u64,
+    next_spill_key: u64,
+    multicasts: Vec<McWait>,
+    safra: Safra,
+    done: bool,
+}
+
+impl Worker {
+    fn comm_charge(&mut self, bytes: usize) {
+        self.stats.comm += self.cfg.net.transfer_time(bytes);
+    }
+
+    fn am(&mut self, dest: NodeId, tag: u32, payload: Vec<u8>) {
+        let bytes = payload.len();
+        self.ep.am_send(dest, tag, payload);
+        if dest != self.node {
+            self.comm_charge(bytes);
+            if tag != AM_TOKEN && tag != AM_EXIT {
+                self.safra.counter += 1;
+            }
+        }
+    }
+
+    fn dir_next_hop(&self, oid: ObjectId) -> NodeId {
+        let d = self.dir.lookup(oid);
+        if d == self.node {
+            oid.home()
+        } else {
+            d
+        }
+    }
+
+    fn entry_present(&self, oid: ObjectId) -> bool {
+        matches!(self.table.get(&oid), Some(e) if !matches!(e.state, TState::Moved(_)))
+    }
+
+    // ----- message dispatch -------------------------------------------------
+
+    fn on_fabric(&mut self, am: ActiveMessage) {
+        if am.src != self.node && am.handler != AM_TOKEN && am.handler != AM_EXIT {
+            self.safra.counter -= 1;
+            self.safra.color_black = true;
+            self.comm_charge(am.payload.len());
+        }
+        match am.handler {
+            AM_MSG => {
+                let msg = Message::decode(&am.payload).expect("valid message");
+                self.route_msg(msg);
+            }
+            AM_DIR_UPDATE => {
+                let oid = ObjectId(u64::from_le_bytes(am.payload[..8].try_into().unwrap()));
+                let loc = u16::from_le_bytes(am.payload[8..10].try_into().unwrap());
+                self.dir.update(oid, loc);
+            }
+            AM_MIGRATE_REQ => {
+                let oid = ObjectId(u64::from_le_bytes(am.payload[..8].try_into().unwrap()));
+                let dest = u16::from_le_bytes(am.payload[8..10].try_into().unwrap());
+                self.on_migrate_req(oid, dest);
+            }
+            AM_INSTALL => self.on_install(&am.payload),
+            AM_MC_START => {
+                let msg = Message::decode(&am.payload).expect("valid mc message");
+                let info = msg.multicast.clone().expect("mc info");
+                self.on_mc_start(info, msg.handler, msg.payload);
+            }
+            AM_META => {
+                let oid = ObjectId(u64::from_le_bytes(am.payload[..8].try_into().unwrap()));
+                let op = am.payload[8];
+                let arg = am.payload[9];
+                self.on_meta(oid, op, arg);
+            }
+            AM_TOKEN => {
+                self.safra.has_token = true;
+                self.safra.token_black = am.payload[0] != 0;
+                self.safra.token_q = i64::from_le_bytes(am.payload[1..9].try_into().unwrap());
+            }
+            AM_EXIT => {
+                self.done = true;
+            }
+            other => panic!("unknown AM tag {other}"),
+        }
+    }
+
+    fn route_msg(&mut self, mut msg: Message) {
+        let oid = msg.to.id;
+        if !self.entry_present(oid) {
+            // Forward along the last-known-location chain.
+            let next = match self.table.get(&oid) {
+                Some(TEntry {
+                    state: TState::Moved(f),
+                    ..
+                }) => *f,
+                _ => self.dir_next_hop(oid),
+            };
+            assert_ne!(next, self.node, "message stuck for {oid:?}");
+            msg.route.push(self.node);
+            self.stats.msgs_forwarded += 1;
+            self.am(next, AM_MSG, msg.encode());
+            return;
+        }
+        // Lazy directory updates for forwarded messages.
+        if !msg.route.is_empty() {
+            let mut upd = Vec::with_capacity(10);
+            upd.extend_from_slice(&oid.0.to_le_bytes());
+            upd.extend_from_slice(&self.node.to_le_bytes());
+            for hop in msg.route.clone() {
+                if hop != self.node {
+                    self.am(hop, AM_DIR_UPDATE, upd.clone());
+                }
+            }
+        }
+        let e = self.table.get_mut(&oid).unwrap();
+        let was_empty = e.queue.is_empty();
+        e.queue.push_back(msg);
+        match e.state {
+            TState::InCore(_) => {
+                if was_empty {
+                    self.ready.push_back(oid);
+                }
+            }
+            TState::OnDisk => self.start_load(oid),
+            TState::Loading | TState::Moved(_) => {}
+        }
+    }
+
+    // ----- out-of-core -------------------------------------------------------
+
+    fn admit(&mut self, incoming: usize) {
+        let need = self.ooc.needed_for_admission(incoming);
+        if need > 0 {
+            self.evict_bytes(need, true);
+        }
+    }
+
+    /// Load admission never displaces queued objects (see the DES engine:
+    /// mutual displacement of queued objects is an evict/reload livelock).
+    fn admit_for_load(&mut self, incoming: usize) {
+        let need = self.ooc.needed_for_admission(incoming);
+        if need > 0 {
+            self.evict_bytes(need, false);
+        }
+    }
+
+    /// Post-handler budget enforcement (objects grow in place).
+    fn enforce_budget(&mut self) {
+        if !self.ooc.enabled() {
+            return;
+        }
+        let over = self.ooc.used().saturating_sub(self.ooc.budget());
+        if over > 0 {
+            self.evict_bytes(over, true);
+        }
+    }
+
+    fn soft_swap(&mut self) {
+        let excess = self.ooc.soft_excess();
+        if excess > 0 {
+            self.evict_bytes(excess, false);
+        }
+    }
+
+    fn evict_bytes(&mut self, need: usize, allow_queued: bool) {
+        let mut candidates: Vec<EvictCandidate> = self
+            .table
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e.state, TState::InCore(_))
+                    && !e.locked
+                    && e.pending_migration.is_none()
+                    && (allow_queued || e.queue.is_empty())
+            })
+            .map(|(&oid, e)| EvictCandidate {
+                oid,
+                footprint: e.footprint,
+                meta: e.meta,
+                priority: e.priority,
+                queued_msgs: e.queue.len(),
+            })
+            .collect();
+        let victims = self.ooc.pick_victims(&mut candidates, need);
+        for oid in victims {
+            self.spill(oid);
+        }
+    }
+
+    fn spill(&mut self, oid: ObjectId) {
+        let e = self.table.get_mut(&oid).unwrap();
+        let obj = match std::mem::replace(&mut e.state, TState::OnDisk) {
+            TState::InCore(o) => o,
+            other => {
+                e.state = other;
+                return;
+            }
+        };
+        let t0 = Instant::now();
+        let bytes = Registry::pack(obj.as_ref());
+        self.stats.comp += t0.elapsed();
+        drop(obj);
+        let key = {
+            let next = &mut self.next_spill_key;
+            let e = self.table.get_mut(&oid).unwrap();
+            let key = *e.spill_key.get_or_insert_with(|| {
+                let k = *next;
+                *next += 1;
+                k
+            });
+            e.packed_len = bytes.len();
+            key
+        };
+        let footprint = self.table[&oid].footprint;
+        self.ooc.note_out(footprint);
+        self.ooc.note_spilled(footprint);
+        self.stats.evictions += 1;
+        self.stats.stores += 1;
+        self.stats.bytes_to_disk += bytes.len() as u64;
+        self.outstanding_io += 1;
+        self.io_tx.send(IoReq::Store { key, bytes, oid }).unwrap();
+        // Drop the object from the ready list if it was there.
+        self.ready.retain(|&r| r != oid);
+        // An object evicted with queued messages still owes work: schedule
+        // the reload (the per-node I/O thread is FIFO, so the load reads
+        // the bytes the store just wrote).
+        if !self.table[&oid].queue.is_empty() {
+            self.start_load(oid);
+        }
+    }
+
+    fn start_load(&mut self, oid: ObjectId) {
+        let (key, footprint, packed_len) = {
+            let e = self.table.get_mut(&oid).unwrap();
+            if !matches!(e.state, TState::OnDisk) {
+                return;
+            }
+            e.state = TState::Loading;
+            (
+                e.spill_key.expect("on-disk object has spill key"),
+                e.footprint,
+                e.packed_len,
+            )
+        };
+        self.admit_for_load(footprint);
+        self.stats.loads += 1;
+        self.stats.bytes_from_disk += packed_len as u64;
+        self.outstanding_io += 1;
+        self.io_tx.send(IoReq::Load { key, oid }).unwrap();
+    }
+
+    fn on_io(&mut self, done: IoDone) {
+        self.outstanding_io -= 1;
+        match done {
+            IoDone::Stored { dur } => {
+                self.stats.disk += dur;
+            }
+            IoDone::Loaded { oid, bytes, dur } => {
+                self.stats.disk += dur;
+                let t0 = Instant::now();
+                let obj = self.registry.unpack(&bytes);
+                self.stats.comp += t0.elapsed();
+                let footprint = obj.footprint();
+                let tick = self.ooc.tick();
+                self.ooc.note_in(footprint);
+                self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.used());
+                let pending = {
+                    let e = self.table.get_mut(&oid).unwrap();
+                    e.state = TState::InCore(obj);
+                    e.footprint = footprint;
+                    e.meta.touch(tick);
+                    e.pending_migration
+                };
+                if let Some(dest) = pending {
+                    self.do_migrate(oid, dest);
+                    return;
+                }
+                if !self.table[&oid].queue.is_empty() {
+                    self.ready.push_back(oid);
+                }
+                self.mc_note_available(oid);
+            }
+        }
+    }
+
+    // ----- handler execution -----------------------------------------------------
+
+    /// Execute one queued message of one ready object. Returns false if no
+    /// work was available.
+    fn step(&mut self) -> bool {
+        let oid = loop {
+            match self.ready.pop_front() {
+                None => return false,
+                Some(oid) => {
+                    let ok = matches!(
+                        self.table.get(&oid),
+                        Some(e) if matches!(e.state, TState::InCore(_)) && !e.queue.is_empty()
+                    );
+                    if ok {
+                        break oid;
+                    }
+                }
+            }
+        };
+        let (mut obj, msg, old_footprint) = {
+            let e = self.table.get_mut(&oid).unwrap();
+            let obj = match std::mem::replace(&mut e.state, TState::Loading) {
+                TState::InCore(o) => o,
+                _ => unreachable!(),
+            };
+            let msg = e.queue.pop_front().unwrap();
+            (obj, msg, e.footprint)
+        };
+
+        let handler = self.registry.handler(msg.handler);
+        let src = *msg.route.first().unwrap_or(&self.node);
+        let mut next_seq = self.next_obj_seq;
+        let mut ctx = Ctx::new(self.node, msg.to, src, &mut next_seq, self.backend.as_mut());
+        let t0 = Instant::now();
+        handler(obj.as_mut(), &mut ctx, &msg.payload);
+        self.stats.comp += t0.elapsed();
+        let effects = std::mem::take(&mut ctx.effects);
+        drop(ctx);
+        self.next_obj_seq = next_seq;
+        self.stats.handlers_run += 1;
+        self.stats.msgs_local += usize::from(msg.route.is_empty());
+        self.stats.msgs_remote += usize::from(!msg.route.is_empty());
+
+        let new_footprint = obj.footprint();
+        let tick = self.ooc.tick();
+        {
+            let e = self.table.get_mut(&oid).unwrap();
+            e.state = TState::InCore(obj);
+            e.meta.touch(tick);
+            e.footprint = new_footprint;
+        }
+        self.ooc.note_resize(old_footprint, new_footprint);
+        self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.used());
+        if !self.table[&oid].queue.is_empty() {
+            self.ready.push_back(oid);
+        }
+
+        self.apply_effects(effects);
+        self.enforce_budget();
+        self.soft_swap();
+        true
+    }
+
+    fn apply_effects(&mut self, effects: Vec<Effect>) {
+        for eff in effects {
+            match eff {
+                Effect::Send {
+                    to,
+                    handler,
+                    payload,
+                    immediate: _,
+                } => {
+                    let msg = Message::new(to, handler, payload);
+                    if self.entry_present(to.id) {
+                        self.route_msg(msg);
+                    } else {
+                        let dest = self.dir_next_hop(to.id);
+                        self.am(dest, AM_MSG, msg.encode());
+                    }
+                }
+                Effect::Multicast {
+                    info,
+                    handler,
+                    payload,
+                } => {
+                    let first = info.targets[0].id;
+                    if self.entry_present(first) {
+                        self.on_mc_start(info, handler, payload);
+                    } else {
+                        let coord = self.dir_next_hop(first);
+                        let mut msg = Message::new(info.targets[0], handler, payload);
+                        msg.multicast = Some(info);
+                        self.am(coord, AM_MC_START, msg.encode());
+                    }
+                }
+                Effect::Create { id, obj, priority } => {
+                    let footprint = obj.footprint();
+                    self.admit(footprint);
+                    let tick = self.ooc.tick();
+                    self.ooc.note_in(footprint);
+                    self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.used());
+                    self.table.insert(
+                        id,
+                        TEntry {
+                            state: TState::InCore(obj),
+                            queue: VecDeque::new(),
+                            meta: AccessMeta::new(tick),
+                            priority,
+                            locked: false,
+                            footprint,
+                            packed_len: 0,
+                            spill_key: None,
+                            pending_migration: None,
+                        },
+                    );
+                }
+                Effect::Lock(p) => self.meta_op(p.id, META_LOCK, 0),
+                Effect::Unlock(p) => self.meta_op(p.id, META_UNLOCK, 0),
+                Effect::SetPriority(p, v) => self.meta_op(p.id, META_PRIO, v),
+                Effect::Migrate(p, dest) => {
+                    if self.entry_present(p.id) {
+                        self.on_migrate_req(p.id, dest);
+                    } else {
+                        let owner = self.dir_next_hop(p.id);
+                        let mut payload = Vec::with_capacity(10);
+                        payload.extend_from_slice(&p.id.0.to_le_bytes());
+                        payload.extend_from_slice(&dest.to_le_bytes());
+                        self.am(owner, AM_MIGRATE_REQ, payload);
+                    }
+                }
+            }
+        }
+    }
+
+    fn meta_op(&mut self, oid: ObjectId, op: u8, arg: u8) {
+        if self.entry_present(oid) {
+            self.on_meta(oid, op, arg);
+        } else {
+            let owner = self.dir_next_hop(oid);
+            let mut payload = Vec::with_capacity(10);
+            payload.extend_from_slice(&oid.0.to_le_bytes());
+            payload.push(op);
+            payload.push(arg);
+            self.am(owner, AM_META, payload);
+        }
+    }
+
+    fn on_meta(&mut self, oid: ObjectId, op: u8, arg: u8) {
+        if !self.entry_present(oid) {
+            let owner = self.dir_next_hop(oid);
+            if owner == self.node {
+                return;
+            }
+            let mut payload = Vec::with_capacity(10);
+            payload.extend_from_slice(&oid.0.to_le_bytes());
+            payload.push(op);
+            payload.push(arg);
+            self.am(owner, AM_META, payload);
+            return;
+        }
+        let e = self.table.get_mut(&oid).unwrap();
+        match op {
+            META_LOCK => e.locked = true,
+            META_UNLOCK => e.locked = false,
+            META_PRIO => e.priority = arg,
+            _ => unreachable!(),
+        }
+    }
+
+    // ----- migration & multicast ------------------------------------------------
+
+    fn on_migrate_req(&mut self, oid: ObjectId, dest: NodeId) {
+        if !self.entry_present(oid) {
+            let next = match self.table.get(&oid) {
+                Some(TEntry {
+                    state: TState::Moved(f),
+                    ..
+                }) => *f,
+                _ => self.dir_next_hop(oid),
+            };
+            if next == self.node {
+                return;
+            }
+            let mut payload = Vec::with_capacity(10);
+            payload.extend_from_slice(&oid.0.to_le_bytes());
+            payload.extend_from_slice(&dest.to_le_bytes());
+            self.am(next, AM_MIGRATE_REQ, payload);
+            return;
+        }
+        if dest == self.node {
+            self.mc_note_available(oid);
+            return;
+        }
+        match self.table[&oid].state {
+            TState::InCore(_) => self.do_migrate(oid, dest),
+            TState::OnDisk => {
+                self.table.get_mut(&oid).unwrap().pending_migration = Some(dest);
+                self.start_load(oid);
+            }
+            TState::Loading => {
+                self.table.get_mut(&oid).unwrap().pending_migration = Some(dest);
+            }
+            TState::Moved(_) => unreachable!(),
+        }
+    }
+
+    fn do_migrate(&mut self, oid: ObjectId, dest: NodeId) {
+        let (obj, queue, priority, locked, footprint) = {
+            let e = self.table.get_mut(&oid).unwrap();
+            e.pending_migration = None;
+            let obj = match std::mem::replace(&mut e.state, TState::Moved(dest)) {
+                TState::InCore(o) => o,
+                other => {
+                    e.state = other;
+                    return;
+                }
+            };
+            (
+                obj,
+                std::mem::take(&mut e.queue),
+                e.priority,
+                e.locked,
+                e.footprint,
+            )
+        };
+        self.ready.retain(|&r| r != oid);
+        let t0 = Instant::now();
+        let packed = Registry::pack(obj.as_ref());
+        self.stats.comp += t0.elapsed();
+        drop(obj);
+        self.ooc.note_out(footprint);
+        self.stats.migrations += 1;
+
+        // Install payload: oid, priority, locked, packed object, queued
+        // messages.
+        let mut w = crate::codec::PayloadWriter::with_capacity(packed.len() + 64);
+        w.u64(oid.0).u8(priority).u8(locked as u8).bytes(&packed);
+        w.u32(queue.len() as u32);
+        for m in &queue {
+            w.bytes(&m.encode());
+        }
+        self.am(dest, AM_INSTALL, w.finish());
+        self.dir.update(oid, dest);
+        let home = oid.home();
+        if home != self.node && home != dest {
+            let mut upd = Vec::with_capacity(10);
+            upd.extend_from_slice(&oid.0.to_le_bytes());
+            upd.extend_from_slice(&dest.to_le_bytes());
+            self.am(home, AM_DIR_UPDATE, upd);
+        }
+    }
+
+    fn on_install(&mut self, payload: &[u8]) {
+        let mut r = crate::codec::PayloadReader::new(payload);
+        let oid = ObjectId(r.u64().unwrap());
+        let priority = r.u8().unwrap();
+        let locked = r.u8().unwrap() != 0;
+        let packed = r.bytes().unwrap().to_vec();
+        let n_msgs = r.u32().unwrap();
+        let mut queue = VecDeque::with_capacity(n_msgs as usize);
+        for _ in 0..n_msgs {
+            queue.push_back(Message::decode(r.bytes().unwrap()).unwrap());
+        }
+        let t0 = Instant::now();
+        let obj = self.registry.unpack(&packed);
+        self.stats.comp += t0.elapsed();
+        let footprint = obj.footprint();
+        self.admit(footprint);
+        let tick = self.ooc.tick();
+        self.ooc.note_in(footprint);
+        self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.used());
+        self.table.insert(
+            oid,
+            TEntry {
+                state: TState::InCore(obj),
+                queue: VecDeque::new(),
+                meta: AccessMeta::new(tick),
+                priority,
+                locked,
+                footprint,
+                packed_len: packed.len(),
+                spill_key: None,
+                pending_migration: None,
+            },
+        );
+        self.dir.update(oid, self.node);
+        for m in queue {
+            self.route_msg(m);
+        }
+        self.mc_note_available(oid);
+    }
+
+    fn on_mc_start(&mut self, info: MulticastInfo, handler: HandlerId, payload: Vec<u8>) {
+        let mut waiting = Vec::new();
+        for t in &info.targets {
+            let oid = t.id;
+            if self.entry_present(oid) {
+                match self.table[&oid].state {
+                    TState::InCore(_) => {
+                        self.table.get_mut(&oid).unwrap().locked = true;
+                    }
+                    _ => {
+                        waiting.push(oid);
+                        self.table.get_mut(&oid).unwrap().locked = true;
+                        self.start_load(oid);
+                    }
+                }
+            } else {
+                waiting.push(oid);
+                let owner = self.dir_next_hop(oid);
+                let mut p = Vec::with_capacity(10);
+                p.extend_from_slice(&oid.0.to_le_bytes());
+                p.extend_from_slice(&self.node.to_le_bytes());
+                self.am(owner, AM_MIGRATE_REQ, p);
+            }
+        }
+        let mc = McWait {
+            info,
+            handler,
+            payload,
+            waiting,
+        };
+        if mc.waiting.is_empty() {
+            self.mc_deliver(mc);
+        } else {
+            self.multicasts.push(mc);
+        }
+    }
+
+    fn mc_note_available(&mut self, oid: ObjectId) {
+        let mut ready = Vec::new();
+        let mut i = 0;
+        while i < self.multicasts.len() {
+            let mc = &mut self.multicasts[i];
+            mc.waiting.retain(|&w| w != oid);
+            if mc.waiting.is_empty() {
+                ready.push(self.multicasts.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for mc in ready {
+            self.mc_deliver(mc);
+        }
+    }
+
+    fn mc_deliver(&mut self, mc: McWait) {
+        for (i, t) in mc.info.targets.iter().enumerate() {
+            if (i as u32) < mc.info.deliver_to {
+                self.route_msg(Message::new(*t, mc.handler, mc.payload.clone()));
+            }
+        }
+        for t in &mc.info.targets {
+            if let Some(e) = self.table.get_mut(&t.id) {
+                e.locked = false;
+            }
+        }
+    }
+
+    // ----- termination ------------------------------------------------------------
+
+    fn idle(&self) -> bool {
+        self.ready.is_empty() && self.outstanding_io == 0
+    }
+
+    fn send_token(&mut self, to: NodeId, black: bool, q: i64) {
+        let mut payload = vec![u8::from(black)];
+        payload.extend_from_slice(&q.to_le_bytes());
+        self.am(to, AM_TOKEN, payload);
+    }
+
+    /// Safra's algorithm: node 0 initiates white tokens carrying a running
+    /// message-count sum; a probe that returns white with
+    /// `q + counter_0 == 0` to a white, idle node 0 proves global
+    /// quiescence.
+    fn try_pass_token(&mut self) {
+        if !self.idle() {
+            return;
+        }
+        if self.n_nodes == 1 {
+            // Idle with no peers and no in-flight work: done.
+            self.done = true;
+            return;
+        }
+        if self.node == 0 {
+            if !self.safra.initiated {
+                self.safra.initiated = true;
+                self.safra.color_black = false;
+                self.send_token(1, false, 0);
+                return;
+            }
+            if self.safra.has_token {
+                self.safra.has_token = false;
+                let clean = !self.safra.token_black
+                    && !self.safra.color_black
+                    && self.safra.token_q + self.safra.counter == 0;
+                if clean {
+                    for n in 1..self.n_nodes as NodeId {
+                        self.am(n, AM_EXIT, vec![]);
+                    }
+                    self.done = true;
+                    return;
+                }
+                // Unclean probe: whiten and try again.
+                self.safra.color_black = false;
+                self.send_token(1, false, 0);
+            }
+        } else if self.safra.has_token {
+            self.safra.has_token = false;
+            let black = self.safra.token_black || self.safra.color_black;
+            let q = self.safra.token_q + self.safra.counter;
+            self.safra.color_black = false;
+            let next = ((self.node as usize + 1) % self.n_nodes) as NodeId;
+            self.send_token(next, black, q);
+        }
+    }
+
+    fn run(mut self) -> (NodeId, HashMap<ObjectId, Box<dyn MobileObject>>, NodeStats, u64) {
+        while !self.done {
+            // 1. Drain the fabric.
+            while let Some(am) = self.ep.try_recv() {
+                self.on_fabric(am);
+                if self.done {
+                    break;
+                }
+            }
+            if self.done {
+                break;
+            }
+            // 2. Drain I/O completions.
+            while let Ok(done) = self.io_rx.try_recv() {
+                self.on_io(done);
+            }
+            // 3. Execute one handler.
+            if self.step() {
+                continue;
+            }
+            // 4. Idle: termination protocol, then block briefly.
+            self.try_pass_token();
+            if self.done {
+                break;
+            }
+            if let Some(am) = self.ep.recv_timeout(Duration::from_micros(500)) {
+                self.on_fabric(am);
+            }
+        }
+        // Drain outstanding I/O so every object is materializable.
+        while self.outstanding_io > 0 {
+            if let Ok(done) = self.io_rx.recv() {
+                self.on_io(done);
+            }
+        }
+        // Materialize all objects for extraction.
+        let mut out: HashMap<ObjectId, Box<dyn MobileObject>> = HashMap::new();
+        let keys: Vec<ObjectId> = self.table.keys().copied().collect();
+        for oid in keys {
+            let e = self.table.remove(&oid).unwrap();
+            match e.state {
+                TState::InCore(obj) => {
+                    out.insert(oid, obj);
+                }
+                TState::OnDisk | TState::Loading => {
+                    // Loading cannot remain (outstanding_io drained), but
+                    // both carry a spill key.
+                    let key = e.spill_key.expect("spilled object has a key");
+                    self.outstanding_io += 1;
+                    self.io_tx.send(IoReq::Load { key, oid }).ok();
+                    if let Ok(IoDone::Loaded { bytes, .. }) = self.io_rx.recv() {
+                        self.outstanding_io -= 1;
+                        out.insert(oid, self.registry.unpack(&bytes));
+                    }
+                }
+                TState::Moved(_) => {}
+            }
+        }
+        self.io_tx.send(IoReq::Shutdown).ok();
+        self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.peak_used);
+        (self.node, out, self.stats, self.next_obj_seq)
+    }
+}
+
+fn spawn_io_thread(
+    mut store: Box<dyn StorageBackend>,
+) -> (channel::Sender<IoReq>, channel::Receiver<IoDone>, std::thread::JoinHandle<()>) {
+    let (req_tx, req_rx) = channel::unbounded::<IoReq>();
+    let (done_tx, done_rx) = channel::unbounded::<IoDone>();
+    let handle = std::thread::Builder::new()
+        .name("mrts-io".into())
+        .spawn(move || {
+            while let Ok(req) = req_rx.recv() {
+                match req {
+                    IoReq::Store { key, bytes, oid } => {
+                        let t0 = Instant::now();
+                        store.store(key, &bytes).expect("spill store");
+                        let dur = t0.elapsed();
+                        let _ = oid;
+                        done_tx.send(IoDone::Stored { dur }).ok();
+                    }
+                    IoReq::Load { key, oid } => {
+                        let t0 = Instant::now();
+                        let bytes = store.load(key).expect("spill load");
+                        let dur = t0.elapsed();
+                        done_tx.send(IoDone::Loaded { oid, bytes, dur }).ok();
+                    }
+                    IoReq::Shutdown => break,
+                }
+            }
+        })
+        .expect("spawn io thread");
+    (req_tx, done_rx, handle)
+}
+
+enum BootAction {
+    Create {
+        node: NodeId,
+        id: ObjectId,
+        obj: Box<dyn MobileObject>,
+        priority: u8,
+    },
+    Lock(MobilePtr),
+    Post(MobilePtr, HandlerId, Vec<u8>),
+}
+
+/// The threaded MRTS engine. Mirrors [`crate::des::DesRuntime`]'s API:
+/// register types/handlers, create bootstrap objects, post initial
+/// messages, [`ThreadedRuntime::run`], then inspect results.
+pub struct ThreadedRuntime {
+    cfg: MrtsConfig,
+    registry: Registry,
+    boot: Vec<BootAction>,
+    next_seq: Vec<u64>,
+    /// Post-run: all objects by id.
+    results: HashMap<ObjectId, Box<dyn MobileObject>>,
+}
+
+impl ThreadedRuntime {
+    pub fn new(cfg: MrtsConfig) -> Self {
+        cfg.validate().expect("invalid MrtsConfig");
+        let nodes = cfg.nodes;
+        ThreadedRuntime {
+            cfg,
+            registry: Registry::new(),
+            boot: Vec::new(),
+            next_seq: vec![0; nodes],
+            results: HashMap::new(),
+        }
+    }
+
+    pub fn register_type(&mut self, tag: crate::ids::TypeTag, decode: crate::object::DecodeFn) {
+        self.registry.register_type(tag, decode);
+    }
+
+    pub fn register_handler(
+        &mut self,
+        id: HandlerId,
+        name: &'static str,
+        f: crate::object::HandlerFn,
+    ) {
+        self.registry.register_handler(id, name, f);
+    }
+
+    pub fn create_object(
+        &mut self,
+        node: NodeId,
+        obj: Box<dyn MobileObject>,
+        priority: u8,
+    ) -> MobilePtr {
+        let id = ObjectId::new(node, self.next_seq[node as usize]);
+        self.next_seq[node as usize] += 1;
+        self.boot.push(BootAction::Create {
+            node,
+            id,
+            obj,
+            priority,
+        });
+        MobilePtr::new(id)
+    }
+
+    pub fn lock_object(&mut self, ptr: MobilePtr) {
+        self.boot.push(BootAction::Lock(ptr));
+    }
+
+    pub fn post(&mut self, to: MobilePtr, handler: HandlerId, payload: Vec<u8>) {
+        self.boot.push(BootAction::Post(to, handler, payload));
+    }
+
+    /// Run to distributed termination; returns wall-clock statistics.
+    pub fn run(&mut self) -> RunStats {
+        let n = self.cfg.nodes;
+        let endpoints = Fabric::new(n, NetworkModel::instant());
+        let registry = std::sync::Arc::new(std::mem::take(&mut self.registry));
+
+        let mut workers: Vec<Worker> = Vec::with_capacity(n);
+        let mut io_handles = Vec::with_capacity(n);
+        for (i, ep) in endpoints.into_iter().enumerate() {
+            let store: Box<dyn StorageBackend> = match &self.cfg.spill_dir {
+                Some(dir) => Box::new(
+                    FileStore::new(dir.join(format!("node-{i}"))).expect("spill dir"),
+                ),
+                None => Box::new(MemStore::new()),
+            };
+            let (io_tx, io_rx, io_handle) = spawn_io_thread(store);
+            io_handles.push(io_handle);
+            let backend: Box<dyn TaskBackend> = if self.cfg.cores_per_node <= 1 {
+                Box::new(SequentialBackend)
+            } else {
+                match self.cfg.executor {
+                    ExecutorKind::WorkStealing => {
+                        Box::new(WorkStealingPool::new(self.cfg.cores_per_node))
+                    }
+                    ExecutorKind::Fifo => Box::new(FifoPool::new(self.cfg.cores_per_node)),
+                }
+            };
+            workers.push(Worker {
+                node: i as NodeId,
+                n_nodes: n,
+                cfg: self.cfg.clone(),
+                registry: registry.clone(),
+                ep,
+                table: HashMap::new(),
+                ooc: OocManager::new(
+                    self.cfg.mem_budget,
+                    self.cfg.hard_threshold_mult,
+                    self.cfg.soft_threshold_frac,
+                    self.cfg.policy,
+                ),
+                dir: Directory::new(),
+                ready: VecDeque::new(),
+                io_tx,
+                io_rx,
+                outstanding_io: 0,
+                backend,
+                stats: NodeStats::default(),
+                next_obj_seq: 0,
+                next_spill_key: 0,
+                multicasts: Vec::new(),
+                safra: Safra {
+                    color_black: false,
+                    counter: 0,
+                    has_token: false,
+                    token_black: false,
+                    token_q: 0,
+                    initiated: false,
+                },
+                done: false,
+            });
+        }
+
+        // Apply bootstrap actions.
+        for action in self.boot.drain(..) {
+            match action {
+                BootAction::Create {
+                    node,
+                    id,
+                    obj,
+                    priority,
+                } => {
+                    let w = &mut workers[node as usize];
+                    let footprint = obj.footprint();
+                    let tick = w.ooc.tick();
+                    w.ooc.note_in(footprint);
+                    w.next_obj_seq = w.next_obj_seq.max(id.seq() + 1);
+                    w.table.insert(
+                        id,
+                        TEntry {
+                            state: TState::InCore(obj),
+                            queue: VecDeque::new(),
+                            meta: AccessMeta::new(tick),
+                            priority,
+                            locked: false,
+                            footprint,
+                            packed_len: 0,
+                            spill_key: None,
+                            pending_migration: None,
+                        },
+                    );
+                }
+                BootAction::Lock(p) => {
+                    let w = &mut workers[p.id.home() as usize];
+                    w.table.get_mut(&p.id).expect("boot lock target").locked = true;
+                }
+                BootAction::Post(to, handler, payload) => {
+                    let w = &mut workers[to.id.home() as usize];
+                    let msg = Message::new(to, handler, payload);
+                    w.route_msg(msg);
+                }
+            }
+        }
+
+        let t0 = Instant::now();
+        let mut joins = Vec::with_capacity(n);
+        for w in workers {
+            joins.push(std::thread::spawn(move || w.run()));
+        }
+        let mut nodes_stats = vec![NodeStats::default(); n];
+        for j in joins {
+            let (node, objects, stats, _) = j.join().expect("worker panic");
+            nodes_stats[node as usize] = stats;
+            self.results.extend(objects);
+        }
+        let total = t0.elapsed();
+        self.registry = std::sync::Arc::try_unwrap(registry)
+            .unwrap_or_else(|_| panic!("registry still shared"));
+        for h in io_handles {
+            let _ = h.join();
+        }
+        RunStats {
+            total,
+            nodes: nodes_stats,
+        }
+    }
+
+    /// Inspect an object after the run.
+    pub fn with_object<R>(&self, ptr: MobilePtr, f: impl FnOnce(&dyn MobileObject) -> R) -> R {
+        let obj = self
+            .results
+            .get(&ptr.id)
+            .unwrap_or_else(|| panic!("no object {:?}", ptr.id));
+        f(obj.as_ref())
+    }
+
+    /// Visit every object that survived the run.
+    pub fn for_each_object(&self, mut f: impl FnMut(ObjectId, &dyn MobileObject)) {
+        for (oid, obj) in &self.results {
+            f(*oid, obj.as_ref());
+        }
+    }
+
+    pub fn num_objects(&self) -> usize {
+        self.results.len()
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for MRTS invariants: arbitrary message/workload shapes
+//! must preserve application state across spills, reloads, and migrations
+//! — and the out-of-core configuration must never change results.
+
+use mrts::codec::{PayloadReader, PayloadWriter};
+use mrts::prelude::*;
+use proptest::prelude::*;
+use std::any::Any;
+
+const TAG: TypeTag = TypeTag(0xAA);
+const H_ADD: HandlerId = HandlerId(1);
+const H_FWD: HandlerId = HandlerId(2);
+
+struct Acc {
+    sum: u64,
+    pad: Vec<u8>,
+}
+
+impl Acc {
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        let sum = r.u64().unwrap();
+        let pad = r.bytes().unwrap().to_vec();
+        Box::new(Acc { sum, pad })
+    }
+}
+
+impl MobileObject for Acc {
+    fn type_tag(&self) -> TypeTag {
+        TAG
+    }
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        w.u64(self.sum).bytes(&self.pad);
+        buf.extend_from_slice(&w.finish());
+    }
+    fn footprint(&self) -> usize {
+        32 + self.pad.len()
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn h_add(obj: &mut dyn MobileObject, _ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    obj.as_any_mut().downcast_mut::<Acc>().unwrap().sum += r.u64().unwrap();
+}
+
+/// Forward `v` to the target pointer after adding it locally.
+fn h_fwd(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let v = r.u64().unwrap();
+    let hops = r.u32().unwrap();
+    let to = r.ptr().unwrap();
+    obj.as_any_mut().downcast_mut::<Acc>().unwrap().sum += v;
+    if hops > 0 {
+        let mut w = PayloadWriter::new();
+        w.u64(v).u32(hops - 1).ptr(ctx.self_ptr());
+        ctx.send(to, H_FWD, w.finish());
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Plan {
+    nodes: usize,
+    objects: usize,
+    pad: usize,
+    adds: Vec<(usize, u64)>,
+    fwds: Vec<(usize, usize, u64, u32)>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (1usize..4, 1usize..10, 0usize..4096).prop_flat_map(|(nodes, objects, pad)| {
+        let adds = prop::collection::vec((0..objects, 1u64..100), 0..24);
+        let fwds = prop::collection::vec((0..objects, 0..objects, 1u64..50, 0u32..6), 0..8);
+        (Just(nodes), Just(objects), Just(pad), adds, fwds).prop_map(
+            |(nodes, objects, pad, adds, fwds)| Plan {
+                nodes,
+                objects,
+                pad,
+                adds,
+                fwds,
+            },
+        )
+    })
+}
+
+fn run_plan(plan: &Plan, mem_budget: usize) -> (u64, usize, usize) {
+    let cfg = if mem_budget == usize::MAX {
+        MrtsConfig::in_core(plan.nodes)
+    } else {
+        MrtsConfig::out_of_core(plan.nodes, mem_budget)
+    };
+    let mut rt = DesRuntime::new(cfg);
+    rt.register_type(TAG, Acc::decode);
+    rt.register_handler(H_ADD, "add", h_add);
+    rt.register_handler(H_FWD, "fwd", h_fwd);
+    let ptrs: Vec<MobilePtr> = (0..plan.objects)
+        .map(|i| {
+            rt.create_object(
+                (i % plan.nodes) as NodeId,
+                Box::new(Acc {
+                    sum: 0,
+                    pad: vec![0; plan.pad],
+                }),
+                128,
+            )
+        })
+        .collect();
+    for &(o, v) in &plan.adds {
+        let mut w = PayloadWriter::new();
+        w.u64(v);
+        rt.post(ptrs[o], H_ADD, w.finish());
+    }
+    for &(a, b, v, hops) in &plan.fwds {
+        let mut w = PayloadWriter::new();
+        w.u64(v).u32(hops).ptr(ptrs[b]);
+        rt.post(ptrs[a], H_FWD, w.finish());
+    }
+    let stats = rt.run();
+    let mut total = 0;
+    rt.for_each_object(|_, o| total += o.as_any().downcast_ref::<Acc>().unwrap().sum);
+    (
+        total,
+        stats.total_of(|n| n.handlers_run),
+        stats.total_of(|n| n.stores),
+    )
+}
+
+fn expected_sum(plan: &Plan) -> u64 {
+    let adds: u64 = plan.adds.iter().map(|&(_, v)| v).sum();
+    let fwds: u64 = plan
+        .fwds
+        .iter()
+        .map(|&(_, _, v, hops)| v * (hops as u64 + 1))
+        .sum();
+    adds + fwds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn message_effects_are_exact(plan in plan_strategy()) {
+        let (total, handlers, _) = run_plan(&plan, usize::MAX);
+        prop_assert_eq!(total, expected_sum(&plan));
+        let expected_handlers = plan.adds.len()
+            + plan.fwds.iter().map(|&(_, _, _, h)| h as usize + 1).sum::<usize>();
+        prop_assert_eq!(handlers, expected_handlers);
+    }
+
+    #[test]
+    fn out_of_core_never_changes_results(plan in plan_strategy()) {
+        let (in_core, _, _) = run_plan(&plan, usize::MAX);
+        // A budget that can hold roughly two objects forces heavy traffic.
+        let budget = (2 * (plan.pad + 64)).max(256);
+        let (ooc, _, stores) = run_plan(&plan, budget);
+        prop_assert_eq!(in_core, ooc, "spilling changed application state");
+        // With more than two padded objects something must have spilled.
+        if plan.objects > 3 && plan.pad > 512 && !plan.adds.is_empty() {
+            prop_assert!(stores > 0, "expected spills with budget {budget}");
+        }
+    }
+
+    #[test]
+    fn application_results_are_deterministic(plan in plan_strategy()) {
+        // Handler durations are *measured*, so eviction decisions (and
+        // with them store/load counts) may differ run-to-run when timing
+        // jitter reorders near-simultaneous events. What must never vary:
+        // application state and the number of handler executions.
+        let (sum_a, handlers_a, _) = run_plan(&plan, 4096);
+        let (sum_b, handlers_b, _) = run_plan(&plan, 4096);
+        prop_assert_eq!(sum_a, sum_b);
+        prop_assert_eq!(handlers_a, handlers_b);
+    }
+}

@@ -1,0 +1,239 @@
+//! Building a constrained triangulation from a PSLG description.
+//!
+//! [`MeshBuilder`] collects points, segments (by point index), and hole
+//! seeds; [`MeshBuilder::build`] produces the carved constrained Delaunay
+//! triangulation: super-box → insert points → insert segments → carve
+//! exterior and holes.
+
+use crate::cdt::SegmentError;
+use crate::insert::InsertOutcome;
+use crate::mesh::{TriMesh, VFlags, VId};
+use pumg_geometry::{BBox, Point2};
+
+/// Errors from [`MeshBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// Fewer than three input points.
+    TooFewPoints,
+    /// A segment index is out of range.
+    BadSegmentIndex(usize),
+    /// Segment insertion failed.
+    Segment(SegmentError),
+    /// Two input points coincide.
+    DuplicatePoint(usize),
+}
+
+/// Declarative PSLG: points, segments between them, hole seeds.
+#[derive(Clone, Debug, Default)]
+pub struct MeshBuilder {
+    points: Vec<Point2>,
+    segments: Vec<(usize, usize)>,
+    holes: Vec<Point2>,
+}
+
+impl MeshBuilder {
+    pub fn new() -> Self {
+        MeshBuilder::default()
+    }
+
+    /// Add a point; returns its index in the PSLG.
+    pub fn add_point(&mut self, p: Point2) -> usize {
+        self.points.push(p);
+        self.points.len() - 1
+    }
+
+    /// Add a constrained segment between two point indices.
+    pub fn add_segment(&mut self, a: usize, b: usize) -> &mut Self {
+        self.segments.push((a, b));
+        self
+    }
+
+    /// Mark `seed` as lying inside a hole: everything connected to it
+    /// (without crossing segments) is removed.
+    pub fn add_hole(&mut self, seed: Point2) -> &mut Self {
+        self.holes.push(seed);
+        self
+    }
+
+    /// Append a closed polygon (points in order, consecutive segments plus
+    /// the closing one). Returns the index of the first point.
+    pub fn add_polygon(&mut self, pts: &[Point2]) -> usize {
+        let base = self.points.len();
+        for &p in pts {
+            self.points.push(p);
+        }
+        for i in 0..pts.len() {
+            self.segments.push((base + i, base + (i + 1) % pts.len()));
+        }
+        base
+    }
+
+    /// Axis-aligned rectangle domain.
+    pub fn rectangle(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        let mut b = MeshBuilder::new();
+        b.add_polygon(&[
+            Point2::new(x0, y0),
+            Point2::new(x1, y0),
+            Point2::new(x1, y1),
+            Point2::new(x0, y1),
+        ]);
+        b
+    }
+
+    /// A regular `n`-gon approximating a circle (CCW).
+    pub fn circle_points(center: Point2, radius: f64, n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                Point2::new(
+                    center.x + radius * theta.cos(),
+                    center.y + radius * theta.sin(),
+                )
+            })
+            .collect()
+    }
+
+    /// Punch a circular hole (approximated by an `n`-gon) into the domain.
+    pub fn with_circular_hole(mut self, center: Point2, radius: f64, n: usize) -> Self {
+        let pts = Self::circle_points(center, radius, n);
+        self.add_polygon(&pts);
+        self.add_hole(center);
+        self
+    }
+
+    /// The "pipe cross-section" domain of the paper's experiments: a disc
+    /// with a concentric circular bore.
+    pub fn pipe_cross_section(center: Point2, outer_r: f64, inner_r: f64, n: usize) -> Self {
+        let mut b = MeshBuilder::new();
+        b.add_polygon(&Self::circle_points(center, outer_r, n));
+        b.add_polygon(&Self::circle_points(center, inner_r, n.max(8) / 2));
+        b.add_hole(center);
+        b
+    }
+
+    /// Access the PSLG points (for index bookkeeping by callers).
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Build the carved constrained Delaunay triangulation.
+    pub fn build(&self) -> Result<TriMesh, BuildError> {
+        if self.points.len() < 3 {
+            return Err(BuildError::TooFewPoints);
+        }
+        for &(a, b) in &self.segments {
+            if a >= self.points.len() || b >= self.points.len() {
+                return Err(BuildError::BadSegmentIndex(a.max(b)));
+            }
+        }
+
+        let bbox = BBox::of_points(&self.points);
+        let margin = bbox.max_extent().max(1e-9) * 8.0;
+        let big = bbox.inflated(margin);
+
+        let mut mesh = TriMesh::new();
+        let s0 = mesh.add_vertex(big.min, VFlags(VFlags::SUPER));
+        let s1 = mesh.add_vertex(Point2::new(big.max.x, big.min.y), VFlags(VFlags::SUPER));
+        let s2 = mesh.add_vertex(big.max, VFlags(VFlags::SUPER));
+        let s3 = mesh.add_vertex(Point2::new(big.min.x, big.max.y), VFlags(VFlags::SUPER));
+        let t0 = mesh.add_tri([s0, s1, s2]);
+        let t1 = mesh.add_tri([s0, s2, s3]);
+        mesh.link(t0, 1, t1, 2);
+
+        // Insert PSLG points, tracking their vertex ids.
+        let mut vids: Vec<VId> = Vec::with_capacity(self.points.len());
+        for (i, &p) in self.points.iter().enumerate() {
+            match mesh.insert_point(p, VFlags(VFlags::INPUT)) {
+                InsertOutcome::Inserted(v) => vids.push(v),
+                InsertOutcome::Duplicate(v) => {
+                    // Tolerate exact duplicates that map to the same vertex
+                    // (common when polygons share corners) but keep the
+                    // mapping correct.
+                    if (v as usize) < 4 {
+                        return Err(BuildError::DuplicatePoint(i));
+                    }
+                    vids.push(v);
+                }
+                InsertOutcome::Outside => unreachable!("super-box contains all input"),
+            }
+        }
+
+        for &(a, b) in &self.segments {
+            mesh.insert_segment(vids[a], vids[b])
+                .map_err(BuildError::Segment)?;
+        }
+
+        mesh.carve_exterior(&self.holes);
+        Ok(mesh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_builds_and_carves() {
+        let mesh = MeshBuilder::rectangle(0.0, 0.0, 3.0, 2.0).build().unwrap();
+        mesh.validate().unwrap();
+        assert!((mesh.total_area() - 6.0).abs() < 1e-9);
+        for t in mesh.tri_ids() {
+            assert!(!mesh.touches_super(t));
+        }
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let mut b = MeshBuilder::new();
+        b.add_point(Point2::new(0.0, 0.0));
+        b.add_point(Point2::new(1.0, 0.0));
+        assert_eq!(b.build().unwrap_err(), BuildError::TooFewPoints);
+    }
+
+    #[test]
+    fn bad_segment_index_rejected() {
+        let mut b = MeshBuilder::rectangle(0.0, 0.0, 1.0, 1.0);
+        b.add_segment(0, 99);
+        assert!(matches!(b.build(), Err(BuildError::BadSegmentIndex(99))));
+    }
+
+    #[test]
+    fn square_with_hole_has_annular_area() {
+        let mesh = MeshBuilder::rectangle(0.0, 0.0, 4.0, 4.0)
+            .with_circular_hole(Point2::new(2.0, 2.0), 1.0, 32)
+            .build()
+            .unwrap();
+        mesh.validate().unwrap();
+        // Area = 16 − area of 32-gon of radius 1 ≈ 16 − π.
+        let ngon_area = 0.5 * 32.0 * (2.0 * std::f64::consts::PI / 32.0).sin();
+        assert!((mesh.total_area() - (16.0 - ngon_area)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pipe_cross_section_domain() {
+        let mesh = MeshBuilder::pipe_cross_section(Point2::new(0.0, 0.0), 2.0, 0.5, 48)
+            .build()
+            .unwrap();
+        mesh.validate().unwrap();
+        let outer = 0.5 * 48.0 * 4.0 * (2.0 * std::f64::consts::PI / 48.0).sin();
+        let inner = 0.5 * 24.0 * 0.25 * (2.0 * std::f64::consts::PI / 24.0).sin();
+        assert!(
+            (mesh.total_area() - (outer - inner)).abs() < 1e-6,
+            "area {} vs expected {}",
+            mesh.total_area(),
+            outer - inner
+        );
+    }
+
+    #[test]
+    fn boundary_vertices_are_marked() {
+        let mesh = MeshBuilder::rectangle(0.0, 0.0, 1.0, 1.0).build().unwrap();
+        let mut boundary = 0;
+        for v in 0..mesh.num_vertices() as u32 {
+            if mesh.vflags(v).is(VFlags::BOUNDARY) {
+                boundary += 1;
+            }
+        }
+        assert_eq!(boundary, 4);
+    }
+}

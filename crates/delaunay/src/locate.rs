@@ -1,0 +1,261 @@
+//! Point location by remembering walk.
+//!
+//! Starting from a hint triangle (the last one touched), repeatedly step
+//! through the edge that has the query point strictly on its outer side.
+//! All orientation tests use the exact predicates, so the classification
+//! (`Inside` / `OnEdge` / `OnVertex`) is reliable. Degenerate walk cycles
+//! are broken by alternating the preferred exit edge; a step-count guard
+//! falls back to an exhaustive scan (which cannot fail).
+
+use crate::mesh::{EdgeRef, TId, TriMesh, VId, NO_TRI};
+use pumg_geometry::{orient2d, Orientation, Point2};
+
+/// Where a query point lies relative to the triangulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// Strictly inside triangle `t`.
+    Inside(TId),
+    /// Exactly on the (interior or hull) edge `e` of triangle `t`.
+    OnEdge(EdgeRef),
+    /// Coincides with an existing vertex.
+    OnVertex(TId, VId),
+    /// Outside the triangulated region; the walk exited through the hull at
+    /// edge `e` of triangle `t`.
+    Outside(EdgeRef),
+}
+
+/// If `true`, the walk refuses to cross constrained edges and reports
+/// [`Location::Outside`] at the blocking edge instead. Used by refinement to
+/// detect circumcenters hidden behind a segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WalkMode {
+    #[default]
+    Free,
+    StopAtConstrained,
+}
+
+impl TriMesh {
+    /// Locate `p`, walking from the internal hint triangle.
+    pub fn locate(&mut self, p: Point2) -> Location {
+        let start = if self.hint != NO_TRI && self.is_alive(self.hint) {
+            self.hint
+        } else {
+            match self.tri_ids().next() {
+                Some(t) => t,
+                None => panic!("locate on an empty triangulation"),
+            }
+        };
+        let loc = self.locate_from(p, start, WalkMode::Free);
+        self.hint = match loc {
+            Location::Inside(t) | Location::OnVertex(t, _) => t,
+            Location::OnEdge(e) | Location::Outside(e) => e.t,
+        };
+        loc
+    }
+
+    /// Locate `p` starting the walk at triangle `start`.
+    pub fn locate_from(&self, p: Point2, start: TId, mode: WalkMode) -> Location {
+        debug_assert!(self.is_alive(start));
+        let mut t = start;
+        let mut steps = 0usize;
+        // Bound: a straight walk visits each triangle at most once; 4x
+        // slack, then switch to the exhaustive fallback.
+        let max_steps = 4 * self.num_tris() + 16;
+        loop {
+            match self.classify_in_tri(p, t) {
+                Classify::Inside => return Location::Inside(t),
+                Classify::OnEdge(e) => return Location::OnEdge(EdgeRef { t, e }),
+                Classify::OnVertex(v) => return Location::OnVertex(t, v),
+                Classify::Exit(candidates) => {
+                    // Alternate between the candidate exit edges to avoid
+                    // cycling on degenerate configurations.
+                    let pick = candidates[steps % candidates.len()];
+                    let tri = self.tri(t);
+                    if mode == WalkMode::StopAtConstrained && tri.is_constrained(pick) {
+                        return Location::Outside(EdgeRef { t, e: pick });
+                    }
+                    let n = tri.nbr[pick];
+                    if n == NO_TRI {
+                        return Location::Outside(EdgeRef { t, e: pick });
+                    }
+                    t = n;
+                }
+            }
+            steps += 1;
+            if steps > max_steps {
+                return self.locate_exhaustive(p, mode);
+            }
+        }
+    }
+
+    /// O(n) fallback: test every live triangle.
+    fn locate_exhaustive(&self, p: Point2, _mode: WalkMode) -> Location {
+        let mut hull_exit = None;
+        for t in self.tri_ids() {
+            match self.classify_in_tri(p, t) {
+                Classify::Inside => return Location::Inside(t),
+                Classify::OnEdge(e) => return Location::OnEdge(EdgeRef { t, e }),
+                Classify::OnVertex(v) => return Location::OnVertex(t, v),
+                Classify::Exit(cands) => {
+                    // Remember some hull edge for the Outside report.
+                    if hull_exit.is_none() {
+                        for &e in &cands {
+                            if self.tri(t).nbr[e] == NO_TRI {
+                                hull_exit = Some(EdgeRef { t, e });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Location::Outside(hull_exit.unwrap_or(EdgeRef { t: 0, e: 0 }))
+    }
+
+    /// Exact classification of `p` against triangle `t`.
+    fn classify_in_tri(&self, p: Point2, t: TId) -> Classify {
+        let tri = self.tri(t);
+        let pts = self.tri_points(t);
+        let mut collinear_edge = None;
+        let mut exits = [0usize; 3];
+        let mut n_exits = 0;
+        for e in 0..3 {
+            let a = pts[(e + 1) % 3];
+            let b = pts[(e + 2) % 3];
+            match orient2d(a, b, p) {
+                Orientation::Clockwise => {
+                    exits[n_exits] = e;
+                    n_exits += 1;
+                }
+                Orientation::Collinear => collinear_edge = Some(e),
+                Orientation::CounterClockwise => {}
+            }
+        }
+        if n_exits > 0 {
+            let mut cands = Vec::with_capacity(n_exits);
+            cands.extend_from_slice(&exits[..n_exits]);
+            return Classify::Exit(cands);
+        }
+        match collinear_edge {
+            None => Classify::Inside,
+            Some(e) => {
+                // On the line of edge e, inside the triangle: vertex or edge
+                // interior?
+                let (a, b) = (tri.v[(e + 1) % 3], tri.v[(e + 2) % 3]);
+                if self.point(a) == p {
+                    Classify::OnVertex(a)
+                } else if self.point(b) == p {
+                    Classify::OnVertex(b)
+                } else {
+                    Classify::OnEdge(e)
+                }
+            }
+        }
+    }
+}
+
+enum Classify {
+    Inside,
+    OnEdge(usize),
+    OnVertex(VId),
+    Exit(Vec<usize>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::VFlags;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn two_tris() -> TriMesh {
+        let mut m = TriMesh::new();
+        let a = m.add_vertex(p(0.0, 0.0), VFlags::default());
+        let b = m.add_vertex(p(1.0, 0.0), VFlags::default());
+        let c = m.add_vertex(p(0.0, 1.0), VFlags::default());
+        let d = m.add_vertex(p(1.0, 1.0), VFlags::default());
+        let t0 = m.add_tri([a, b, c]);
+        let t1 = m.add_tri([b, d, c]);
+        m.link(t0, 0, t1, 1);
+        m
+    }
+
+    #[test]
+    fn locate_inside() {
+        let mut m = two_tris();
+        assert_eq!(m.locate(p(0.2, 0.2)), Location::Inside(0));
+        assert_eq!(m.locate(p(0.8, 0.8)), Location::Inside(1));
+    }
+
+    #[test]
+    fn locate_on_vertex() {
+        let mut m = two_tris();
+        match m.locate(p(1.0, 0.0)) {
+            Location::OnVertex(_, v) => assert_eq!(v, 1),
+            other => panic!("expected OnVertex, got {other:?}"),
+        }
+        match m.locate(p(1.0, 1.0)) {
+            Location::OnVertex(_, v) => assert_eq!(v, 3),
+            other => panic!("expected OnVertex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locate_on_shared_edge() {
+        let mut m = two_tris();
+        match m.locate(p(0.5, 0.5)) {
+            Location::OnEdge(er) => {
+                let (a, b) = m.edge_verts(er);
+                assert!(matches!((a, b), (1, 2) | (2, 1)));
+            }
+            other => panic!("expected OnEdge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locate_on_hull_edge() {
+        let mut m = two_tris();
+        match m.locate(p(0.5, 0.0)) {
+            Location::OnEdge(er) => {
+                let (a, b) = m.edge_verts(er);
+                assert!(matches!((a, b), (0, 1) | (1, 0)));
+            }
+            other => panic!("expected OnEdge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locate_outside() {
+        let mut m = two_tris();
+        assert!(matches!(m.locate(p(2.0, 2.0)), Location::Outside(_)));
+        assert!(matches!(m.locate(p(-1.0, 0.5)), Location::Outside(_)));
+    }
+
+    #[test]
+    fn walk_from_far_triangle() {
+        let mut m = two_tris();
+        // Prime the hint with t0, then locate in t1 and vice versa.
+        m.hint = 0;
+        assert_eq!(m.locate(p(0.9, 0.9)), Location::Inside(1));
+        assert_eq!(m.locate(p(0.1, 0.1)), Location::Inside(0));
+    }
+
+    #[test]
+    fn stop_at_constrained_mode() {
+        let mut m = two_tris();
+        // Constrain the shared edge (b,c): edge 0 of t0 / edge 1 of t1.
+        m.tri_mut(0).set_constrained(0, true);
+        m.tri_mut(1).set_constrained(1, true);
+        // Walking from t0 toward a point in t1 must stop at the wall.
+        match m.locate_from(p(0.9, 0.9), 0, WalkMode::StopAtConstrained) {
+            Location::Outside(er) => {
+                assert_eq!(er.t, 0);
+                assert_eq!(er.e, 0);
+            }
+            other => panic!("expected Outside at the constrained edge, got {other:?}"),
+        }
+        // Free mode walks through.
+        assert_eq!(m.locate_from(p(0.9, 0.9), 0, WalkMode::Free), Location::Inside(1));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the Delaunay kernel: structural validity, the
+//! Delaunay property, area conservation, serialization round trips, and
+//! refinement quality on randomized inputs.
+
+use proptest::prelude::*;
+use pumg_delaunay::builder::MeshBuilder;
+use pumg_delaunay::mesh::{TriMesh, VFlags};
+use pumg_delaunay::refine::{refine, RefineParams};
+use pumg_geometry::Point2;
+
+fn interior_points(n: usize, w: f64, h: f64) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(
+        (0.01..0.99f64, 0.01..0.99f64).prop_map(move |(x, y)| Point2::new(x * w, y * h)),
+        0..n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_insertions_keep_mesh_valid(pts in interior_points(120, 3.0, 2.0)) {
+        let mut mesh = MeshBuilder::rectangle(0.0, 0.0, 3.0, 2.0).build().unwrap();
+        for p in pts {
+            mesh.insert_point(p, VFlags::default());
+        }
+        prop_assert!(mesh.validate().is_ok(), "{:?}", mesh.validate());
+        prop_assert!(mesh.validate_delaunay().is_ok(), "{:?}", mesh.validate_delaunay());
+        prop_assert!((mesh.total_area() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_insertions_are_stable(pts in interior_points(40, 1.0, 1.0)) {
+        let mut mesh = MeshBuilder::rectangle(0.0, 0.0, 1.0, 1.0).build().unwrap();
+        for &p in &pts {
+            mesh.insert_point(p, VFlags::default());
+        }
+        let (nv, nt) = (mesh.num_vertices(), mesh.num_tris());
+        // Re-inserting the same points must be a no-op.
+        for &p in &pts {
+            let out = mesh.insert_point(p, VFlags::default());
+            prop_assert!(matches!(out, pumg_delaunay::insert::InsertOutcome::Duplicate(_)));
+        }
+        prop_assert_eq!(mesh.num_vertices(), nv);
+        prop_assert_eq!(mesh.num_tris(), nt);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(pts in interior_points(60, 2.0, 2.0)) {
+        let mut mesh = MeshBuilder::rectangle(0.0, 0.0, 2.0, 2.0).build().unwrap();
+        for p in pts {
+            mesh.insert_point(p, VFlags::default());
+        }
+        let back = TriMesh::decode(&mesh.encode()).unwrap();
+        prop_assert!(back.validate().is_ok());
+        prop_assert_eq!(back.num_tris(), mesh.num_tris());
+        prop_assert!((back.total_area() - mesh.total_area()).abs() < 1e-9);
+        // Idempotent: encoding the compacted mesh again is byte-identical.
+        prop_assert_eq!(back.encode(), TriMesh::decode(&back.encode()).unwrap().encode());
+    }
+
+    #[test]
+    fn refinement_quality_on_random_domains(
+        w in 0.5..3.0f64,
+        h in 0.5..3.0f64,
+        size in 0.08..0.4f64,
+    ) {
+        let mut mesh = MeshBuilder::rectangle(0.0, 0.0, w, h).build().unwrap();
+        let report = refine(&mut mesh, &RefineParams::with_uniform_size(size));
+        prop_assert_eq!(report.remaining_bad, 0);
+        prop_assert!(mesh.validate().is_ok());
+        prop_assert!(mesh.validate_delaunay().is_ok());
+        prop_assert!((mesh.total_area() - w * h).abs() < 1e-6);
+        // Quality bound.
+        for t in mesh.tri_ids() {
+            let [a, b, c] = mesh.tri_points(t);
+            let q = pumg_geometry::TriangleQuality::of(a, b, c);
+            prop_assert!(q.ratio_sq <= 2.0 * (1.0 + 1e-9), "skinny triangle survived: {}", q.ratio_sq);
+        }
+    }
+
+    #[test]
+    fn segments_survive_refinement(n_seg in 1usize..4, size in 0.15..0.5f64) {
+        // Domain with interior constrained chords; refinement must keep a
+        // chain of constrained edges along each original chord line.
+        let mut b = MeshBuilder::rectangle(0.0, 0.0, 2.0, 2.0);
+        for i in 0..n_seg {
+            let y = 0.5 + 0.4 * i as f64;
+            let p0 = b.add_point(Point2::new(0.2, y));
+            let p1 = b.add_point(Point2::new(1.8, y));
+            b.add_segment(p0, p1);
+        }
+        let mut mesh = b.build().unwrap();
+        refine(&mut mesh, &RefineParams::with_uniform_size(size));
+        prop_assert!(mesh.validate().is_ok());
+        // Every constrained edge must lie on the rectangle boundary or on
+        // one of the chord lines y = 0.5 + 0.4 i.
+        for t in mesh.tri_ids() {
+            for e in 0..3 {
+                if mesh.tri(t).is_constrained(e) {
+                    let (a, bb) = mesh.edge_verts(pumg_delaunay::mesh::EdgeRef { t, e });
+                    let (pa, pb) = (mesh.point(a), mesh.point(bb));
+                    let on_rect = |p: Point2| {
+                        p.x == 0.0 || p.x == 2.0 || p.y == 0.0 || p.y == 2.0
+                    };
+                    let on_chord = |p: Point2| {
+                        (0..n_seg).any(|i| (p.y - (0.5 + 0.4 * i as f64)).abs() < 1e-12)
+                    };
+                    prop_assert!(
+                        (on_rect(pa) && on_rect(pb)) || (on_chord(pa) && on_chord(pb)),
+                        "constrained edge strayed: {pa:?} {pb:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Regression tests for degenerate on-segment insertions.
+//!
+//! The scenario (found by the out-of-core NUPDR port on the pipe domain):
+//! a constrained *chord* (non-axis-aligned segment) has its f64 midpoint
+//! an ulp off the exact line. A point with exactly those coordinates can
+//! already exist as an ordinary vertex (carried in from another
+//! subdomain's view of the same chord), and a later encroachment split of
+//! the chord recomputes the identical coordinates. The insertion path must
+//! neither duplicate coordinates nor create degenerate (non-CCW)
+//! triangles — `can_split_edge` + quad deduplication guard this.
+
+use pumg_delaunay::builder::MeshBuilder;
+use pumg_delaunay::mesh::VFlags;
+use pumg_delaunay::refine::{refine, RefineParams};
+use pumg_geometry::{orient2d, Orientation, Point2};
+
+/// A skewed chord whose midpoint is not exactly collinear with it.
+fn skewed_chord() -> (Point2, Point2, Point2) {
+    // Endpoints on a circle of radius 1 (64-gon vertices at 45° and
+    // 50.625°) — the configuration from the original failure.
+    let t1 = 45.0f64.to_radians();
+    let t2 = 50.625f64.to_radians();
+    let a = Point2::new(t1.cos(), t1.sin());
+    let b = Point2::new(t2.cos(), t2.sin());
+    let mid = a.midpoint(b);
+    (a, b, mid)
+}
+
+#[test]
+fn chord_midpoint_is_not_exactly_collinear() {
+    // Precondition of the whole scenario: document that f64 midpoints of
+    // skewed segments are (generally) off the line.
+    let (a, b, mid) = skewed_chord();
+    assert_ne!(
+        orient2d(a, b, mid),
+        Orientation::Collinear,
+        "this chord's midpoint happens to be exactly collinear; pick another"
+    );
+}
+
+#[test]
+fn preinserted_midpoint_then_chord_refinement_stays_valid() {
+    let (a, b, mid) = skewed_chord();
+    // Domain: a box around the chord with the chord constrained inside it.
+    let mut builder = MeshBuilder::rectangle(0.5, 0.5, 1.1, 1.1);
+    let ia = builder.add_point(a);
+    let ib = builder.add_point(b);
+    builder.add_segment(ia, ib);
+    let mut mesh = builder.build().unwrap();
+    mesh.validate().unwrap();
+
+    // Pre-insert the midpoint coordinates as an ordinary vertex — it lands
+    // *inside* a triangle (an ulp off the chord), exactly like a carried
+    // point re-inserted into a rebuilt region.
+    let out = mesh.insert_point(mid, VFlags(VFlags::STEINER));
+    assert!(
+        matches!(out, pumg_delaunay::insert::InsertOutcome::Inserted(_)),
+        "midpoint should insert as an interior vertex: {out:?}"
+    );
+    mesh.validate().unwrap();
+
+    // Refinement will find the chord encroached (the midpoint vertex sits
+    // inside its diametral circle) and try to split it at the *same*
+    // coordinates. This must not corrupt the mesh.
+    let report = refine(&mut mesh, &RefineParams::with_uniform_size(0.05));
+    mesh.validate().unwrap();
+    mesh.validate_delaunay().unwrap();
+    assert!(report.points_added() > 0);
+
+    // No two vertices may share coordinates.
+    let mut seen = std::collections::HashSet::new();
+    for t in mesh.tri_ids() {
+        for &v in &mesh.tri(t).v {
+            let p = mesh.point(v);
+            seen.insert((v, p.x.to_bits(), p.y.to_bits()));
+        }
+    }
+    let mut coords = std::collections::HashMap::new();
+    for &(v, x, y) in &seen {
+        if let Some(prev) = coords.insert((x, y), v) {
+            assert_eq!(prev, v, "duplicate coordinates across vertices {prev} and {v}");
+        }
+    }
+}
+
+#[test]
+fn many_near_collinear_chord_points_refine_cleanly() {
+    // Stack several near-chord points (midpoints of midpoints, all
+    // slightly off the line) before refining — the cascade of the original
+    // bug.
+    let (a, b, _) = skewed_chord();
+    let mut builder = MeshBuilder::rectangle(0.5, 0.5, 1.1, 1.1);
+    let ia = builder.add_point(a);
+    let ib = builder.add_point(b);
+    builder.add_segment(ia, ib);
+    let mut mesh = builder.build().unwrap();
+
+    let mut pts = vec![a, b];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for w in pts.windows(2) {
+            next.push(w[0]);
+            next.push(w[0].midpoint(w[1]));
+        }
+        next.push(*pts.last().unwrap());
+        pts = next;
+    }
+    for &p in &pts {
+        mesh.insert_point(p, VFlags(VFlags::STEINER));
+    }
+    mesh.validate().unwrap();
+
+    let report = refine(&mut mesh, &RefineParams::with_uniform_size(0.04));
+    mesh.validate().unwrap();
+    mesh.validate_delaunay().unwrap();
+    // The guarantee under adversarial exactly-collinear stacking is
+    // *validity*: the kernel declines operations that would degenerate
+    // (can_split_edge), so up to ~one sliver per stacked point may
+    // legitimately remain bad, pinned against the chord.
+    assert!(
+        report.remaining_bad <= pts.len(),
+        "too many unfixable triangles ({} stacked points): {report:?}",
+        pts.len()
+    );
+    assert!(report.points_added() > 0);
+}

@@ -1,0 +1,289 @@
+//! Exact floating-point *expansion* arithmetic.
+//!
+//! An expansion represents a real number as an unevaluated sum of `f64`
+//! components, ordered by increasing magnitude and non-overlapping in the
+//! sense of Shewchuk ("Adaptive Precision Floating-Point Arithmetic and Fast
+//! Robust Geometric Predicates", 1997). All operations here are *exact*: no
+//! rounding error is ever discarded, which lets the predicates in
+//! [`crate::predicates`] fall back to a correctly-signed result whenever
+//! their floating-point filters fail.
+//!
+//! Only the operations required by `orient2d`/`incircle` are provided:
+//! error-free transforms (`two_sum`, `two_product`), expansion + expansion,
+//! expansion × scalar, expansion × expansion, negation, and sign extraction.
+
+/// Error-free transform: returns `(x, y)` with `x = fl(a + b)` and
+/// `a + b = x + y` exactly. (Knuth's TwoSum; no branch on magnitudes.)
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bvirt = x - a;
+    let avirt = x - bvirt;
+    let bround = b - bvirt;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// Error-free transform: `x = fl(a - b)`, `a - b = x + y` exactly.
+#[inline]
+pub fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let x = a - b;
+    let bvirt = a - x;
+    let avirt = x + bvirt;
+    let bround = bvirt - b;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// Veltkamp splitting constant for `f64`: 2^27 + 1.
+const SPLITTER: f64 = 134_217_729.0;
+
+/// Split `a` into high and low halves with at most 26 significant bits each,
+/// such that `a = hi + lo` exactly.
+#[inline]
+pub fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let abig = c - a;
+    let ahi = c - abig;
+    let alo = a - ahi;
+    (ahi, alo)
+}
+
+/// Error-free transform: `x = fl(a * b)`, `a * b = x + y` exactly
+/// (Dekker's TwoProduct).
+#[inline]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let err1 = x - ahi * bhi;
+    let err2 = err1 - alo * bhi;
+    let err3 = err2 - ahi * blo;
+    let y = alo * blo - err3;
+    (x, y)
+}
+
+/// A number represented exactly as a sum of `f64` components in order of
+/// increasing magnitude. The zero value is the empty component list.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Expansion {
+    comps: Vec<f64>,
+}
+
+impl Expansion {
+    /// The zero expansion.
+    pub fn zero() -> Self {
+        Expansion { comps: Vec::new() }
+    }
+
+    /// A single-component expansion. Zero components are dropped.
+    pub fn from_f64(v: f64) -> Self {
+        debug_assert!(v.is_finite());
+        if v == 0.0 {
+            Expansion::zero()
+        } else {
+            Expansion { comps: vec![v] }
+        }
+    }
+
+    /// Exact product of two `f64`s as an expansion.
+    pub fn from_product(a: f64, b: f64) -> Self {
+        let (x, y) = two_product(a, b);
+        let mut comps = Vec::with_capacity(2);
+        if y != 0.0 {
+            comps.push(y);
+        }
+        if x != 0.0 {
+            comps.push(x);
+        }
+        Expansion { comps }
+    }
+
+    /// Number of nonzero components.
+    pub fn len(&self) -> usize {
+        self.comps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.comps.is_empty()
+    }
+
+    /// Exact sum `self + other` (Shewchuk's `fast_expansion_sum` requires a
+    /// merge precondition; we use the simpler repeated `grow_expansion`,
+    /// which is O(m·n) but exact and perfectly adequate for the rare exact
+    /// fallback path).
+    pub fn add(&self, other: &Expansion) -> Expansion {
+        let mut result = self.clone();
+        for &c in &other.comps {
+            result = result.grow(c);
+        }
+        result
+    }
+
+    /// Exact sum `self + b` for a scalar `b` (`grow_expansion`, with zero
+    /// elimination).
+    pub fn grow(&self, b: f64) -> Expansion {
+        let mut comps = Vec::with_capacity(self.comps.len() + 1);
+        let mut q = b;
+        for &e in &self.comps {
+            let (sum, err) = two_sum(q, e);
+            if err != 0.0 {
+                comps.push(err);
+            }
+            q = sum;
+        }
+        if q != 0.0 {
+            comps.push(q);
+        }
+        Expansion { comps }
+    }
+
+    /// Exact difference `self - other`.
+    pub fn sub(&self, other: &Expansion) -> Expansion {
+        self.add(&other.neg())
+    }
+
+    /// Exact negation.
+    pub fn neg(&self) -> Expansion {
+        Expansion {
+            comps: self.comps.iter().map(|c| -c).collect(),
+        }
+    }
+
+    /// Exact product `self * b` for a scalar (`scale_expansion_zeroelim`).
+    pub fn scale(&self, b: f64) -> Expansion {
+        if b == 0.0 || self.comps.is_empty() {
+            return Expansion::zero();
+        }
+        let mut comps = Vec::with_capacity(2 * self.comps.len());
+        let (mut q, hh) = two_product(self.comps[0], b);
+        if hh != 0.0 {
+            comps.push(hh);
+        }
+        for &e in &self.comps[1..] {
+            let (p1, p0) = two_product(e, b);
+            let (sum, err) = two_sum(q, p0);
+            if err != 0.0 {
+                comps.push(err);
+            }
+            let (newq, err2) = two_sum(p1, sum);
+            if err2 != 0.0 {
+                comps.push(err2);
+            }
+            q = newq;
+        }
+        if q != 0.0 {
+            comps.push(q);
+        }
+        Expansion { comps }
+    }
+
+    /// Exact product of two expansions (distribute scalar scaling).
+    pub fn mul(&self, other: &Expansion) -> Expansion {
+        let mut acc = Expansion::zero();
+        for &c in &other.comps {
+            acc = acc.add(&self.scale(c));
+        }
+        acc
+    }
+
+    /// Sign of the exact value: -1, 0, or +1. The largest-magnitude
+    /// component carries the sign of the whole expansion.
+    pub fn sign(&self) -> i32 {
+        match self.comps.last() {
+            None => 0,
+            Some(&c) => {
+                if c > 0.0 {
+                    1
+                } else if c < 0.0 {
+                    -1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Approximate value (exact sum evaluated in floating point, smallest
+    /// components first for accuracy).
+    pub fn estimate(&self) -> f64 {
+        self.comps.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_exactness() {
+        let a = 1.0;
+        let b = 1e-30;
+        let (x, y) = two_sum(a, b);
+        assert_eq!(x, 1.0);
+        assert_eq!(y, 1e-30);
+    }
+
+    #[test]
+    fn two_product_exactness() {
+        // (1 + 2^-52)^2 is not representable; TwoProduct must capture the
+        // rounding error exactly.
+        let a = 1.0 + f64::EPSILON;
+        let (x, y) = two_product(a, a);
+        // x + y == a * a exactly: verify via expansion compare against the
+        // algebraic identity (1+e)^2 = 1 + 2e + e^2.
+        let expect = Expansion::from_f64(1.0)
+            .grow(2.0 * f64::EPSILON)
+            .grow(f64::EPSILON * f64::EPSILON);
+        let got = Expansion::from_f64(y).grow(x);
+        assert_eq!(got.sub(&expect).sign(), 0);
+        assert!(y != 0.0, "error term must be captured");
+    }
+
+    #[test]
+    fn expansion_add_sub_roundtrip() {
+        let a = Expansion::from_f64(1e16).grow(1.0); // 1e16 + 1, exactly
+        let b = Expansion::from_f64(1e16);
+        let d = a.sub(&b);
+        assert_eq!(d.sign(), 1);
+        assert_eq!(d.estimate(), 1.0);
+    }
+
+    #[test]
+    fn expansion_scale_and_mul() {
+        let a = Expansion::from_f64(3.0).grow(1e-20);
+        let s = a.scale(2.0);
+        assert_eq!(s.estimate(), 6.0 + 2e-20);
+        let sq = a.mul(&a);
+        // (3 + e)^2 = 9 + 6e + e^2, built from exact products so that the
+        // expectation carries no decimal-literal rounding.
+        let e = 1e-20f64;
+        let expect = Expansion::from_f64(9.0)
+            .add(&Expansion::from_product(6.0, e))
+            .add(&Expansion::from_product(e, e));
+        assert_eq!(sq.sub(&expect).sign(), 0);
+    }
+
+    #[test]
+    fn sign_of_tiny_difference() {
+        // a = 2^60 + 1, b = 2^60: their difference has sign +1 even though
+        // naive subtraction of the parts would cancel.
+        let big = (1u64 << 60) as f64;
+        let a = Expansion::from_f64(big).grow(1.0);
+        let b = Expansion::from_f64(big);
+        assert_eq!(a.sub(&b).sign(), 1);
+        assert_eq!(b.sub(&a).sign(), -1);
+        assert_eq!(a.sub(&a).sign(), 0);
+    }
+
+    #[test]
+    fn zero_handling() {
+        let z = Expansion::zero();
+        assert_eq!(z.sign(), 0);
+        assert!(z.is_empty());
+        assert_eq!(z.add(&z).sign(), 0);
+        assert_eq!(z.scale(5.0).sign(), 0);
+        assert_eq!(Expansion::from_f64(0.0).len(), 0);
+        assert_eq!(Expansion::from_product(0.0, 3.0).sign(), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! 2-D geometric primitives and robust floating-point predicates.
+//!
+//! This crate is the numeric substrate of the parallel unstructured mesh
+//! generation (PUMG) suite. It provides:
+//!
+//! * [`Point2`] / [`BBox`] — plain-old-data primitives,
+//! * [`predicates`] — adaptively filtered, exactly-rounded `orient2d` and
+//!   `incircle` tests in the style of Shewchuk's predicates (a fast
+//!   floating-point filter backed by exact expansion arithmetic),
+//! * [`exact`] — the multi-component floating-point *expansion* arithmetic
+//!   used by the exact fallback paths,
+//! * [`circum`] — circumcircle computations and triangle quality measures
+//!   (circumradius-to-shortest-edge ratio) used by Delaunay refinement.
+//!
+//! All higher layers (the Delaunay kernel, the quadtree, the UPDR/NUPDR/PCDM
+//! meshers) depend only on this crate for geometry.
+
+pub mod circum;
+pub mod exact;
+pub mod point;
+pub mod predicates;
+
+pub use circum::{circumcenter, circumradius_sq, shortest_edge_sq, triangle_area2, TriangleQuality};
+pub use point::{BBox, Point2};
+pub use predicates::{incircle, orient2d, Orientation};

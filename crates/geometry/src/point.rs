@@ -1,0 +1,260 @@
+//! Plain-old-data 2-D point and axis-aligned bounding box.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or vector) in the plane, `f64` coordinates.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point2 {
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sq(&self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point2) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point2) -> Point2 {
+        Point2::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Dot product when interpreted as a vector.
+    #[inline]
+    pub fn dot(&self, other: Point2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z component of the cross product when interpreted as vectors.
+    #[inline]
+    pub fn cross(&self, other: Point2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Squared length when interpreted as a vector.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Length when interpreted as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// True if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Debug for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, s: f64) -> Point2 {
+        Point2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn div(self, s: f64) -> Point2 {
+        Point2::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn neg(self) -> Point2 {
+        Point2::new(-self.x, -self.y)
+    }
+}
+
+/// Axis-aligned bounding box.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BBox {
+    pub min: Point2,
+    pub max: Point2,
+}
+
+impl BBox {
+    pub const fn new(min: Point2, max: Point2) -> Self {
+        BBox { min, max }
+    }
+
+    /// The empty box (inverted bounds); extend with [`BBox::expand`].
+    pub fn empty() -> Self {
+        BBox {
+            min: Point2::new(f64::INFINITY, f64::INFINITY),
+            max: Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Box covering a set of points; the empty box for an empty set.
+    pub fn of_points(pts: &[Point2]) -> Self {
+        let mut b = BBox::empty();
+        for &p in pts {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Grow the box so that it contains `p`.
+    pub fn expand(&mut self, p: Point2) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        self.min.midpoint(self.max)
+    }
+
+    /// Closed-interval containment test.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when the two boxes share any point (closed intervals).
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Box grown by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> BBox {
+        BBox::new(
+            Point2::new(self.min.x - margin, self.min.y - margin),
+            Point2::new(self.max.x + margin, self.max.y + margin),
+        )
+    }
+
+    /// Longest side length.
+    #[inline]
+    pub fn max_extent(&self) -> f64 {
+        self.width().max(self.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, 5.0);
+        assert_eq!(a + b, Point2::new(4.0, 7.0));
+        assert_eq!(b - a, Point2::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point2::new(1.5, 2.5));
+        assert_eq!(-a, Point2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn point_metrics() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.midpoint(b), Point2::new(1.5, 2.0));
+        assert_eq!(b.norm(), 5.0);
+        assert_eq!(Point2::new(1.0, 0.0).cross(Point2::new(0.0, 1.0)), 1.0);
+        assert_eq!(Point2::new(1.0, 2.0).dot(Point2::new(3.0, 4.0)), 11.0);
+    }
+
+    #[test]
+    fn bbox_expansion_and_containment() {
+        let mut b = BBox::empty();
+        assert!(!b.contains(Point2::new(0.0, 0.0)));
+        b.expand(Point2::new(1.0, 1.0));
+        b.expand(Point2::new(-1.0, 2.0));
+        assert_eq!(b.min, Point2::new(-1.0, 1.0));
+        assert_eq!(b.max, Point2::new(1.0, 2.0));
+        assert!(b.contains(Point2::new(0.0, 1.5)));
+        assert!(!b.contains(Point2::new(0.0, 0.0)));
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 1.0);
+        assert_eq!(b.max_extent(), 2.0);
+    }
+
+    #[test]
+    fn bbox_intersection() {
+        let a = BBox::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
+        let b = BBox::new(Point2::new(1.0, 1.0), Point2::new(3.0, 3.0));
+        let c = BBox::new(Point2::new(2.5, 2.5), Point2::new(4.0, 4.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting (closed intervals).
+        let d = BBox::new(Point2::new(2.0, 0.0), Point2::new(3.0, 1.0));
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn bbox_inflate_center() {
+        let a = BBox::new(Point2::new(0.0, 0.0), Point2::new(2.0, 4.0));
+        assert_eq!(a.center(), Point2::new(1.0, 2.0));
+        let g = a.inflated(1.0);
+        assert_eq!(g.min, Point2::new(-1.0, -1.0));
+        assert_eq!(g.max, Point2::new(3.0, 5.0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the robust predicates.
+//!
+//! The key invariants: exact antisymmetry/cyclic symmetry of `orient2d`,
+//! agreement with exact rational arithmetic on adversarial near-degenerate
+//! inputs, and the characteristic symmetries of `incircle`.
+
+use proptest::prelude::*;
+use pumg_geometry::exact::Expansion;
+use pumg_geometry::{incircle, orient2d, Orientation, Point2};
+
+fn pt(range: f64) -> impl Strategy<Value = Point2> {
+    (-range..range, -range..range).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+/// Grid points are far more likely to produce exact degeneracies.
+fn grid_pt() -> impl Strategy<Value = Point2> {
+    (-8i32..8, -8i32..8).prop_map(|(x, y)| Point2::new(x as f64, y as f64))
+}
+
+fn orient_sign(a: Point2, b: Point2, c: Point2) -> i32 {
+    match orient2d(a, b, c) {
+        Orientation::CounterClockwise => 1,
+        Orientation::Clockwise => -1,
+        Orientation::Collinear => 0,
+    }
+}
+
+/// Reference orient2d via exact expansion arithmetic only (no filter).
+fn orient_sign_exact(a: Point2, b: Point2, c: Point2) -> i32 {
+    let terms = [
+        Expansion::from_product(a.x, b.y),
+        Expansion::from_product(a.x, c.y).neg(),
+        Expansion::from_product(a.y, b.x).neg(),
+        Expansion::from_product(a.y, c.x),
+        Expansion::from_product(b.x, c.y),
+        Expansion::from_product(b.y, c.x).neg(),
+    ];
+    let mut sum = Expansion::zero();
+    for t in &terms {
+        sum = sum.add(t);
+    }
+    sum.sign()
+}
+
+proptest! {
+    #[test]
+    fn orient_matches_exact_reference(a in pt(1e3), b in pt(1e3), c in pt(1e3)) {
+        prop_assert_eq!(orient_sign(a, b, c), orient_sign_exact(a, b, c));
+    }
+
+    #[test]
+    fn orient_matches_exact_on_grids(a in grid_pt(), b in grid_pt(), c in grid_pt()) {
+        prop_assert_eq!(orient_sign(a, b, c), orient_sign_exact(a, b, c));
+    }
+
+    #[test]
+    fn orient_cyclic_and_antisymmetric(a in pt(1e6), b in pt(1e6), c in pt(1e6)) {
+        let s = orient_sign(a, b, c);
+        prop_assert_eq!(orient_sign(b, c, a), s);
+        prop_assert_eq!(orient_sign(c, a, b), s);
+        prop_assert_eq!(orient_sign(b, a, c), -s);
+        prop_assert_eq!(orient_sign(a, c, b), -s);
+    }
+
+    #[test]
+    fn orient_near_collinear_perturbations(
+        t in 0.0f64..1.0,
+        scale in 1.0f64..1e8,
+        ulps in 1i64..4,
+    ) {
+        // c on the segment a-b (same line), then nudged by a few ulps in y.
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(scale, scale);
+        let on = Point2::new(t * scale, t * scale);
+        let up = Point2::new(on.x, f64::from_bits((on.y.to_bits() as i64 + ulps) as u64));
+        if on.y > 0.0 {
+            prop_assert_eq!(orient_sign(a, b, on), 0);
+            prop_assert_eq!(orient_sign(a, b, up), 1);
+        }
+    }
+
+    #[test]
+    fn incircle_swap_antisymmetry(a in pt(100.0), b in pt(100.0), c in pt(100.0), d in pt(100.0)) {
+        // Swapping two of the triangle vertices flips the determinant sign.
+        prop_assert_eq!(incircle(a, b, c, d), -incircle(b, a, c, d));
+        prop_assert_eq!(incircle(a, b, c, d), incircle(b, c, a, d));
+    }
+
+    #[test]
+    fn incircle_vertex_on_circle(a in pt(100.0), b in pt(100.0), c in pt(100.0)) {
+        // Any vertex of the triangle is exactly on its own circumcircle.
+        prop_assert_eq!(incircle(a, b, c, a), 0);
+        prop_assert_eq!(incircle(a, b, c, b), 0);
+        prop_assert_eq!(incircle(a, b, c, c), 0);
+    }
+
+    #[test]
+    fn incircle_far_point_is_outside(a in grid_pt(), b in grid_pt(), c in grid_pt()) {
+        // A point far beyond the circumcircle must test "outside" for a
+        // non-degenerate triangle (sign respects triangle orientation).
+        let s = orient_sign(a, b, c);
+        prop_assume!(s != 0);
+        let far = Point2::new(1e6, 1e6 + 7.0);
+        let r = incircle(a, b, c, far);
+        prop_assert_eq!(r, -s, "far point must be outside; got {} for orientation {}", r, s);
+    }
+
+    #[test]
+    fn circumcenter_is_equidistant_when_it_exists(a in pt(50.0), b in pt(50.0), c in pt(50.0)) {
+        if let Some(cc) = pumg_geometry::circumcenter(a, b, c) {
+            let (da, db, dc) = (cc.dist_sq(a), cc.dist_sq(b), cc.dist_sq(c));
+            let m = da.max(db).max(dc).max(1e-300);
+            // Floating-point circumcenters of near-degenerate triangles are
+            // inaccurate; only check when the triangle is reasonably fat.
+            let area2 = pumg_geometry::triangle_area2(a, b, c).abs();
+            if area2 > 1e-3 * m {
+                prop_assert!((da - db).abs() <= 1e-6 * m, "da={da} db={db}");
+                prop_assert!((da - dc).abs() <= 1e-6 * m, "da={da} dc={dc}");
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Workload descriptions: domains, sizing fields, and size estimation.
+
+use pumg_delaunay::builder::MeshBuilder;
+use pumg_delaunay::sizing::SizingField;
+use pumg_geometry::{BBox, Point2};
+
+/// The input geometry of a meshing problem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DomainSpec {
+    /// Axis-aligned rectangle `[0,w] × [0,h]`.
+    Rect { w: f64, h: f64 },
+    /// The paper's "pipe cross-section": a disc of radius `outer_r` with a
+    /// concentric bore of radius `inner_r`, centered at the origin,
+    /// approximated by `segments`-gons.
+    Pipe {
+        outer_r: f64,
+        inner_r: f64,
+        segments: usize,
+    },
+}
+
+impl DomainSpec {
+    pub fn unit_square() -> Self {
+        DomainSpec::Rect { w: 1.0, h: 1.0 }
+    }
+
+    pub fn pipe() -> Self {
+        DomainSpec::Pipe {
+            outer_r: 1.0,
+            inner_r: 0.3,
+            segments: 64,
+        }
+    }
+
+    /// Bounding box of the domain.
+    pub fn bbox(&self) -> BBox {
+        match *self {
+            DomainSpec::Rect { w, h } => BBox::new(Point2::new(0.0, 0.0), Point2::new(w, h)),
+            DomainSpec::Pipe { outer_r, .. } => BBox::new(
+                Point2::new(-outer_r, -outer_r),
+                Point2::new(outer_r, outer_r),
+            ),
+        }
+    }
+
+    /// Area of the domain.
+    pub fn area(&self) -> f64 {
+        match *self {
+            DomainSpec::Rect { w, h } => w * h,
+            DomainSpec::Pipe {
+                outer_r, inner_r, ..
+            } => std::f64::consts::PI * (outer_r * outer_r - inner_r * inner_r),
+        }
+    }
+
+    /// A PSLG builder for the whole domain.
+    pub fn builder(&self) -> MeshBuilder {
+        match *self {
+            DomainSpec::Rect { w, h } => MeshBuilder::rectangle(0.0, 0.0, w, h),
+            DomainSpec::Pipe {
+                outer_r,
+                inner_r,
+                segments,
+            } => MeshBuilder::pipe_cross_section(Point2::new(0.0, 0.0), outer_r, inner_r, segments),
+        }
+    }
+
+    /// Is `p` inside the domain? (Used to clip block/leaf regions.)
+    pub fn contains(&self, p: Point2) -> bool {
+        match *self {
+            DomainSpec::Rect { w, h } => p.x >= 0.0 && p.x <= w && p.y >= 0.0 && p.y <= h,
+            DomainSpec::Pipe {
+                outer_r, inner_r, ..
+            } => {
+                let r = p.norm();
+                r <= outer_r && r >= inner_r
+            }
+        }
+    }
+}
+
+/// The element sizing of a meshing problem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SizingSpec {
+    /// Constant target circumradius (UPDR, PCDM).
+    Uniform { h: f64 },
+    /// Graded: `h_min` near `focus`, `h_max` at distance `radius` (NUPDR).
+    Graded {
+        focus: Point2,
+        h_min: f64,
+        h_max: f64,
+        radius: f64,
+    },
+}
+
+impl SizingSpec {
+    pub fn field(&self) -> SizingField {
+        match *self {
+            SizingSpec::Uniform { h } => SizingField::Uniform(h),
+            SizingSpec::Graded {
+                focus,
+                h_min,
+                h_max,
+                radius,
+            } => SizingField::RadialGraded {
+                center: focus,
+                h_min,
+                h_max,
+                radius,
+            },
+        }
+    }
+
+    pub fn min_size(&self) -> f64 {
+        match *self {
+            SizingSpec::Uniform { h } => h,
+            SizingSpec::Graded { h_min, .. } => h_min,
+        }
+    }
+
+    pub fn size_at(&self, p: Point2) -> f64 {
+        self.field().size_at(p)
+    }
+}
+
+/// A complete meshing workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    pub domain: DomainSpec,
+    pub sizing: SizingSpec,
+}
+
+impl Workload {
+    /// Uniform unit-square workload targeting roughly `elements` triangles.
+    pub fn uniform_square(elements: u64) -> Workload {
+        let domain = DomainSpec::unit_square();
+        let h = h_for_elements(domain.area(), elements);
+        Workload {
+            domain,
+            sizing: SizingSpec::Uniform { h },
+        }
+    }
+
+    /// Uniform pipe-cross-section workload of roughly `elements` triangles.
+    pub fn uniform_pipe(elements: u64) -> Workload {
+        let domain = DomainSpec::pipe();
+        let h = h_for_elements(domain.area(), elements);
+        Workload {
+            domain,
+            sizing: SizingSpec::Uniform { h },
+        }
+    }
+
+    /// Graded pipe workload (NUPDR's motivating case): elements concentrate
+    /// near the bore.
+    pub fn graded_pipe(elements: u64) -> Workload {
+        let domain = DomainSpec::pipe();
+        // Calibrate h_min so the total lands near `elements`: the graded
+        // field averages roughly 2.5·h_min over this domain (measured).
+        let h_avg = h_for_elements(domain.area(), elements);
+        let h_min = h_avg / 2.5;
+        Workload {
+            domain,
+            sizing: SizingSpec::Graded {
+                focus: Point2::new(0.0, 0.0),
+                h_min,
+                h_max: h_min * 4.0,
+                radius: 1.0,
+            },
+        }
+    }
+
+    /// Rough element estimate for this workload (uniform case is accurate
+    /// to ~15%; used for scaling sweeps, not for reporting).
+    pub fn estimate_elements(&self) -> u64 {
+        match self.sizing {
+            SizingSpec::Uniform { h } => elements_for_h(self.domain.area(), h),
+            SizingSpec::Graded { h_min, .. } => {
+                elements_for_h(self.domain.area(), h_min * 2.5)
+            }
+        }
+    }
+}
+
+/// Triangle count for uniform target circumradius `h` on area `a`: the
+/// refiner produces near-equilateral triangles with circumradius ≈ h·0.72
+/// on average, i.e. area ≈ 0.65·h².
+pub fn elements_for_h(area: f64, h: f64) -> u64 {
+    (area / (0.65 * h * h)) as u64
+}
+
+/// Inverse of [`elements_for_h`].
+pub fn h_for_elements(area: f64, elements: u64) -> f64 {
+    (area / (0.65 * elements as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumg_delaunay::refine::{refine, RefineParams};
+
+    #[test]
+    fn rect_domain_properties() {
+        let d = DomainSpec::Rect { w: 2.0, h: 3.0 };
+        assert_eq!(d.area(), 6.0);
+        assert!(d.contains(Point2::new(1.0, 1.5)));
+        assert!(!d.contains(Point2::new(2.5, 1.0)));
+        assert_eq!(d.bbox().max, Point2::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn pipe_domain_properties() {
+        let d = DomainSpec::pipe();
+        assert!((d.area() - std::f64::consts::PI * (1.0 - 0.09)).abs() < 1e-9);
+        assert!(d.contains(Point2::new(0.5, 0.0)));
+        assert!(!d.contains(Point2::new(0.1, 0.0))); // inside the bore
+        assert!(!d.contains(Point2::new(1.5, 0.0)));
+    }
+
+    #[test]
+    fn element_estimate_matches_real_refinement() {
+        let wl = Workload::uniform_square(5_000);
+        let mut mesh = wl.domain.builder().build().unwrap();
+        refine(
+            &mut mesh,
+            &RefineParams::with_sizing(wl.sizing.field()),
+        );
+        let actual = mesh.num_tris() as f64;
+        let est = wl.estimate_elements() as f64;
+        let ratio = actual / est;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "estimate off: actual {actual}, estimated {est}"
+        );
+    }
+
+    #[test]
+    fn graded_workload_concentrates_near_focus() {
+        let wl = Workload::graded_pipe(3_000);
+        let near = wl.sizing.size_at(Point2::new(0.31, 0.0));
+        let far = wl.sizing.size_at(Point2::new(0.99, 0.0));
+        assert!(near < far, "sizing must grow away from the bore");
+    }
+
+    #[test]
+    fn estimates_are_monotonic() {
+        let a = Workload::uniform_square(1_000).estimate_elements();
+        let b = Workload::uniform_square(10_000).estimate_elements();
+        assert!(b > 5 * a);
+        assert!(h_for_elements(1.0, 1000) > h_for_elements(1.0, 100_000));
+    }
+}

@@ -1,0 +1,858 @@
+//! ONUPDR — the out-of-core NUPDR port on MRTS (paper, Section III).
+//!
+//! Every quadtree leaf becomes a mobile object holding its portion of the
+//! mesh (its owned point set); the **refinement queue** is itself a mobile
+//! object (holding the quadtree geometry) that is *locked in memory* — the
+//! first of the paper's optimizations. The message protocol follows the
+//! paper:
+//!
+//! * `update` (to the queue): a leaf finished; re-queue the leaves that
+//!   now contain poor-quality triangles; dispatch more leaves to refine.
+//! * `construct buffer` (to a leaf): prepare to collect the buffer; the
+//!   leaf asks its buffer leaves to contribute.
+//! * `add to buffer`: a buffer leaf's mesh portion arrives; when the
+//!   counter reaches zero the leaf refines (the `refine` step is invoked
+//!   directly instead of via a message — another paper optimization).
+//!
+//! Togglable optimizations from the paper ([`OnupdrOpts`]): direct handler
+//! calls for in-core objects, locking buffer leaves during collection,
+//! priority hints for dispatched leaves, and the experimental **multicast
+//! mobile message** that pre-collects the leaf and its buffer in-core.
+
+use crate::common::{
+    decode_point_batch, encode_point_batch, get_bbox, get_workload, put_bbox, put_workload,
+    MethodResult,
+};
+use crate::domain::Workload;
+use crate::nupdr::{build_leaves, leaf_task, LeafInfo, NupdrParams};
+use mrts::codec::{PayloadReader, PayloadWriter};
+use mrts::config::MrtsConfig;
+use mrts::ctx::Ctx;
+use mrts::des::DesRuntime;
+use mrts::ids::{HandlerId, MobilePtr, NodeId, ObjectId, TypeTag};
+use mrts::object::MobileObject;
+use pumg_geometry::{BBox, Point2};
+use std::any::Any;
+use std::collections::VecDeque;
+
+pub const LEAF_TAG: TypeTag = TypeTag(0x201);
+pub const QUEUE_TAG: TypeTag = TypeTag(0x202);
+pub const H_Q_KICK: HandlerId = HandlerId(0x210);
+pub const H_Q_UPDATE: HandlerId = HandlerId(0x211);
+pub const H_L_CONSTRUCT: HandlerId = HandlerId(0x212);
+pub const H_L_CONTRIBUTE: HandlerId = HandlerId(0x213);
+pub const H_L_ADDPTS: HandlerId = HandlerId(0x214);
+
+/// The paper's ONUPDR optimizations, togglable for ablation.
+#[derive(Clone, Copy, Debug)]
+pub struct OnupdrOpts {
+    /// Deliver local in-core messages by direct handler invocation.
+    pub direct_calls: bool,
+    /// Lock buffer leaves in memory while their contribution is pending.
+    pub lock_buffers: bool,
+    /// Raise the swapping priority of dispatched leaves and their buffers.
+    pub priorities: bool,
+    /// Use the experimental multicast mobile message to pre-collect the
+    /// leaf and its buffer in-core before refining.
+    pub multicast: bool,
+    /// Maximum concurrently dispatched leaves (0 = number of nodes).
+    pub max_active: u32,
+    /// Child tasks per leaf refinement (1 = sequential handler; 4 splits
+    /// the leaf into quadrants refined by the computing layer in parallel
+    /// — the configuration of the paper's Table VII).
+    pub intra_tasks: u8,
+}
+
+impl Default for OnupdrOpts {
+    fn default() -> Self {
+        OnupdrOpts {
+            direct_calls: true,
+            lock_buffers: true,
+            priorities: true,
+            multicast: false,
+            max_active: 0,
+            intra_tasks: 1,
+        }
+    }
+}
+
+impl OnupdrOpts {
+    /// All paper optimizations off (the "unoptimized" ablation arm).
+    pub fn unoptimized() -> Self {
+        OnupdrOpts {
+            direct_calls: false,
+            lock_buffers: false,
+            priorities: false,
+            multicast: false,
+            max_active: 0,
+            intra_tasks: 1,
+        }
+    }
+
+    fn encode(&self, w: &mut PayloadWriter) {
+        w.u8(self.direct_calls as u8)
+            .u8(self.lock_buffers as u8)
+            .u8(self.priorities as u8)
+            .u8(self.multicast as u8)
+            .u32(self.max_active)
+            .u8(self.intra_tasks);
+    }
+
+    fn decode(r: &mut PayloadReader) -> Self {
+        OnupdrOpts {
+            direct_calls: r.u8().unwrap() != 0,
+            lock_buffers: r.u8().unwrap() != 0,
+            priorities: r.u8().unwrap() != 0,
+            multicast: r.u8().unwrap() != 0,
+            max_active: r.u32().unwrap(),
+            intra_tasks: r.u8().unwrap(),
+        }
+    }
+}
+
+// ----- leaf object ------------------------------------------------------------
+
+/// A quadtree leaf's portion of the mesh: its owned point set.
+pub struct LeafObj {
+    pub idx: u32,
+    pub bbox: BBox,
+    pub region: BBox,
+    pub workload: Workload,
+    pub opts: OnupdrOpts,
+    pub points: Vec<Point2>,
+    pub buffer_ptrs: Vec<MobilePtr>,
+    pub queue_ptr: MobilePtr,
+    pub elems: u64,
+    pub verts: u64,
+    // Collection state.
+    expected: u32,
+    collected: Vec<Point2>,
+}
+
+impl LeafObj {
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        let idx = r.u32().unwrap();
+        let bbox = get_bbox(&mut r).unwrap();
+        let region = get_bbox(&mut r).unwrap();
+        let workload = get_workload(&mut r).unwrap();
+        let opts = OnupdrOpts::decode(&mut r);
+        let points = decode_point_batch(r.bytes().unwrap()).unwrap();
+        let buffer_ptrs = r.ptrs().unwrap();
+        let queue_ptr = r.ptr().unwrap();
+        let elems = r.u64().unwrap();
+        let verts = r.u64().unwrap();
+        let expected = r.u32().unwrap();
+        let collected = decode_point_batch(r.bytes().unwrap()).unwrap();
+        Box::new(LeafObj {
+            idx,
+            bbox,
+            region,
+            workload,
+            opts,
+            points,
+            buffer_ptrs,
+            queue_ptr,
+            elems,
+            verts,
+            expected,
+            collected,
+        })
+    }
+}
+
+impl MobileObject for LeafObj {
+    fn type_tag(&self) -> TypeTag {
+        LEAF_TAG
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::with_capacity(64 + 16 * self.points.len());
+        w.u32(self.idx);
+        put_bbox(&mut w, &self.bbox);
+        put_bbox(&mut w, &self.region);
+        put_workload(&mut w, &self.workload);
+        self.opts.encode(&mut w);
+        w.bytes(&encode_point_batch(&self.points));
+        w.ptrs(&self.buffer_ptrs);
+        w.ptr(self.queue_ptr);
+        w.u64(self.elems).u64(self.verts);
+        w.u32(self.expected);
+        w.bytes(&encode_point_batch(&self.collected));
+        buf.extend_from_slice(&w.finish());
+    }
+
+    fn footprint(&self) -> usize {
+        // Points dominate; the constant approximates the mesh fragment the
+        // points stand for (each point materializes ~2 triangles when the
+        // leaf is active).
+        96 + 72 * (self.points.len() + self.collected.len()) + 8 * self.buffer_ptrs.len()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ----- queue object ------------------------------------------------------------
+
+/// The refinement queue: quadtree geometry + scheduling state.
+pub struct QueueObj {
+    pub workload: Workload,
+    pub opts: OnupdrOpts,
+    pub leaf_ptrs: Vec<MobilePtr>,
+    pub bboxes: Vec<BBox>,
+    pub buffers: Vec<Vec<u32>>,
+    pub queue: VecDeque<u32>,
+    pub in_queue: Vec<bool>,
+    /// Consecutive barren (no-growth) runs per leaf; leaves past the cap
+    /// are not re-queued for bad-circumcenter reports (see nupdr.rs).
+    pub stale: Vec<u32>,
+    /// Leaves currently part of an in-flight refinement (the leaf itself
+    /// or a member of its buffer). The paper removes a dispatched leaf
+    /// *and its buffer* from the queue: two adjacent leaves must never
+    /// refine concurrently, or each computes from a stale view of the
+    /// other and the exchange never settles.
+    pub busy: Vec<bool>,
+    pub active: u32,
+    pub dispatched_tasks: u64,
+}
+
+/// Barren-run cap shared with the in-core baseline.
+const STALE_CAP: u32 = 3;
+
+impl QueueObj {
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        let workload = get_workload(&mut r).unwrap();
+        let opts = OnupdrOpts::decode(&mut r);
+        let leaf_ptrs = r.ptrs().unwrap();
+        let n = leaf_ptrs.len();
+        let mut bboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            bboxes.push(get_bbox(&mut r).unwrap());
+        }
+        let mut buffers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = r.u32().unwrap() as usize;
+            let mut b = Vec::with_capacity(k);
+            for _ in 0..k {
+                b.push(r.u32().unwrap());
+            }
+            buffers.push(b);
+        }
+        let qn = r.u32().unwrap() as usize;
+        let mut queue = VecDeque::with_capacity(qn);
+        for _ in 0..qn {
+            queue.push_back(r.u32().unwrap());
+        }
+        let mut in_queue = Vec::with_capacity(n);
+        for _ in 0..n {
+            in_queue.push(r.u8().unwrap() != 0);
+        }
+        let mut stale = Vec::with_capacity(n);
+        for _ in 0..n {
+            stale.push(r.u32().unwrap());
+        }
+        let mut busy = Vec::with_capacity(n);
+        for _ in 0..n {
+            busy.push(r.u8().unwrap() != 0);
+        }
+        let active = r.u32().unwrap();
+        let dispatched_tasks = r.u64().unwrap();
+        Box::new(QueueObj {
+            workload,
+            opts,
+            leaf_ptrs,
+            bboxes,
+            buffers,
+            queue,
+            in_queue,
+            stale,
+            busy,
+            active,
+            dispatched_tasks,
+        })
+    }
+
+    fn max_active(&self, nodes: usize) -> u32 {
+        if self.opts.max_active > 0 {
+            self.opts.max_active
+        } else {
+            nodes as u32
+        }
+    }
+
+    fn leaf_owning(&self, p: Point2) -> Option<u32> {
+        // The bboxes partition the domain box; linear scan is fine at the
+        // leaf counts we run (the paper's quadtree lives here too, in the
+        // queue object).
+        self.bboxes
+            .iter()
+            .position(|b| b.contains(p))
+            .map(|i| i as u32)
+    }
+
+    fn enqueue(&mut self, idx: u32) {
+        if !self.in_queue[idx as usize] {
+            self.in_queue[idx as usize] = true;
+            self.queue.push_back(idx);
+        }
+    }
+
+    /// Is this leaf free of conflicts with in-flight refinements?
+    fn dispatchable(&self, idx: u32) -> bool {
+        !self.busy[idx as usize]
+            && self.buffers[idx as usize]
+                .iter()
+                .all(|&b| !self.busy[b as usize])
+    }
+
+    /// Dispatch leaves while workers are available (the master loop of the
+    /// NUPDR algorithm, restructured as message handling). A dispatched
+    /// leaf and its whole buffer are marked busy — the paper's "buffer
+    /// zone BUF of the leaf is also removed from the queue".
+    fn dispatch(&mut self, ctx: &mut Ctx) {
+        let cap = self.max_active(1);
+        while self.active < cap {
+            // Find the first queued leaf without conflicts.
+            let Some(pos) = (0..self.queue.len()).find(|&i| self.dispatchable(self.queue[i]))
+            else {
+                break;
+            };
+            let idx = self.queue.remove(pos).unwrap();
+            self.in_queue[idx as usize] = false;
+            self.busy[idx as usize] = true;
+            for i in 0..self.buffers[idx as usize].len() {
+                let b = self.buffers[idx as usize][i];
+                self.busy[b as usize] = true;
+            }
+            self.active += 1;
+            self.dispatched_tasks += 1;
+            let leaf = self.leaf_ptrs[idx as usize];
+            if self.opts.priorities {
+                // Keep the dispatched leaf (and, less so, its buffer)
+                // in-core until the construct message lands.
+                ctx.set_priority(leaf, 230);
+                for &b in &self.buffers[idx as usize] {
+                    ctx.set_priority(self.leaf_ptrs[b as usize], 200);
+                }
+            }
+            if self.opts.multicast {
+                let mut targets = vec![leaf];
+                for &b in &self.buffers[idx as usize] {
+                    targets.push(self.leaf_ptrs[b as usize]);
+                }
+                ctx.multicast(targets, 1, H_L_CONSTRUCT, Vec::new());
+            } else {
+                ctx.send(leaf, H_L_CONSTRUCT, Vec::new());
+            }
+        }
+    }
+}
+
+impl MobileObject for QueueObj {
+    fn type_tag(&self) -> TypeTag {
+        QUEUE_TAG
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        put_workload(&mut w, &self.workload);
+        self.opts.encode(&mut w);
+        w.ptrs(&self.leaf_ptrs);
+        for b in &self.bboxes {
+            put_bbox(&mut w, b);
+        }
+        for b in &self.buffers {
+            w.u32(b.len() as u32);
+            for &x in b {
+                w.u32(x);
+            }
+        }
+        w.u32(self.queue.len() as u32);
+        for &x in &self.queue {
+            w.u32(x);
+        }
+        for &x in &self.in_queue {
+            w.u8(x as u8);
+        }
+        for &x in &self.stale {
+            w.u32(x);
+        }
+        for &x in &self.busy {
+            w.u8(x as u8);
+        }
+        w.u32(self.active);
+        w.u64(self.dispatched_tasks);
+        buf.extend_from_slice(&w.finish());
+    }
+
+    fn footprint(&self) -> usize {
+        64 + self.leaf_ptrs.len() * 64
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ----- handlers -----------------------------------------------------------------
+
+fn leaf_mut(obj: &mut dyn MobileObject) -> &mut LeafObj {
+    obj.as_any_mut().downcast_mut::<LeafObj>().unwrap()
+}
+
+fn queue_mut(obj: &mut dyn MobileObject) -> &mut QueueObj {
+    obj.as_any_mut().downcast_mut::<QueueObj>().unwrap()
+}
+
+/// `kick`: enqueue everything and start dispatching.
+fn h_q_kick(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
+    let q = queue_mut(obj);
+    for i in 0..q.leaf_ptrs.len() as u32 {
+        q.enqueue(i);
+    }
+    q.dispatch(ctx);
+}
+
+/// `update`: a leaf finished; requeue affected leaves, dispatch more.
+fn h_q_update(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let _finished = r.u32().unwrap();
+    let grew = r.u8().unwrap() != 0;
+    let affected_pts = decode_point_batch(r.bytes().unwrap()).unwrap();
+    let bad_ccs = decode_point_batch(r.bytes().unwrap()).unwrap();
+    let q = queue_mut(obj);
+    q.active = q.active.saturating_sub(1);
+    // Release the finished leaf and its buffer.
+    q.busy[_finished as usize] = false;
+    for i in 0..q.buffers[_finished as usize].len() {
+        let b = q.buffers[_finished as usize][i];
+        q.busy[b as usize] = false;
+    }
+    if grew {
+        q.stale[_finished as usize] = 0;
+    } else {
+        q.stale[_finished as usize] += 1;
+    }
+    if grew {
+        // New points near a buffer leaf's box re-queue that leaf.
+        let finished = _finished as usize;
+        let buffers = q.buffers[finished].clone();
+        for b in buffers {
+            let hit = affected_pts.iter().any(|&p| {
+                crate::nupdr::dist_to_bbox(p, &q.bboxes[b as usize])
+                    <= 2.0 * q.workload.sizing.size_at(p)
+            });
+            if hit {
+                q.enqueue(b);
+            }
+        }
+    }
+    for cc in bad_ccs {
+        if let Some(owner) = q.leaf_owning(cc) {
+            if q.stale[owner as usize] < STALE_CAP {
+                q.enqueue(owner);
+            }
+        }
+    }
+    q.dispatch(ctx);
+}
+
+/// `construct buffer` (at the target leaf): begin collecting the buffer.
+fn h_l_construct(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
+    let l = leaf_mut(obj);
+    l.expected = l.buffer_ptrs.len() as u32;
+    l.collected.clear();
+    if l.expected == 0 {
+        do_refine(l, ctx);
+        return;
+    }
+    let me = ctx.self_ptr();
+    let mut w = PayloadWriter::new();
+    w.ptr(me);
+    let req = w.finish();
+    let bufs = l.buffer_ptrs.clone();
+    let (lock, direct) = (l.opts.lock_buffers, l.opts.direct_calls);
+    for b in bufs {
+        if lock {
+            ctx.lock(b);
+        }
+        if direct {
+            ctx.send_immediate(b, H_L_CONTRIBUTE, req.clone());
+        } else {
+            ctx.send(b, H_L_CONTRIBUTE, req.clone());
+        }
+    }
+}
+
+/// `construct buffer` (at a buffer leaf): ship my portion to the target.
+fn h_l_contribute(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let target = r.ptr().unwrap();
+    let l = leaf_mut(obj);
+    let batch = encode_point_batch(&l.points);
+    if l.opts.direct_calls {
+        ctx.send_immediate(target, H_L_ADDPTS, batch);
+    } else {
+        ctx.send(target, H_L_ADDPTS, batch);
+    }
+}
+
+/// `add to buffer`: a buffer portion arrived; refine when complete.
+fn h_l_addpts(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let l = leaf_mut(obj);
+    let pts = decode_point_batch(payload).unwrap();
+    l.collected.extend(pts);
+    l.expected = l.expected.saturating_sub(1);
+    if l.expected == 0 {
+        do_refine(l, ctx);
+    }
+}
+
+/// The worker step, invoked directly when the buffer is complete (the
+/// paper's "call the refine handler directly" optimization).
+fn do_refine(l: &mut LeafObj, ctx: &mut Ctx) {
+    let out = if l.opts.intra_tasks > 1 {
+        refine_parallel(l, ctx)
+    } else {
+        let info = LeafInfo {
+            idx: l.idx as usize,
+            qnode: 0,
+            bbox: l.bbox,
+            region: l.region,
+            buffer: Vec::new(),
+        };
+        let input = l.points.iter().chain(l.collected.iter()).copied();
+        leaf_task(&l.workload, &info, input)
+    };
+    let (grew, new_points, bad_ccs) = match out {
+        None => (false, Vec::new(), Vec::new()),
+        Some(out) => {
+            let new_points: Vec<Point2> = out
+                .owned_points
+                .iter()
+                .copied()
+                .filter(|p| !l.points.contains(p))
+                .collect();
+            l.points = out.owned_points;
+            l.elems = out.owned_tris;
+            l.verts = out.owned_verts;
+            (!new_points.is_empty(), new_points, out.bad_ccs)
+        }
+    };
+    l.collected = Vec::new();
+    if l.opts.lock_buffers {
+        for &b in &l.buffer_ptrs {
+            ctx.unlock(b);
+        }
+    }
+    let mut w = PayloadWriter::new();
+    w.u32(l.idx)
+        .u8(grew as u8)
+        .bytes(&encode_point_batch(&new_points))
+        .bytes(&encode_point_batch(&bad_ccs));
+    ctx.send(l.queue_ptr, H_Q_UPDATE, w.finish());
+}
+
+/// Refine the leaf with child tasks on the computing layer: the leaf is
+/// split into quadrants, each refined as an independent task (the paper's
+/// intra-handler task parallelism for Table VII); quadrant results merge
+/// into one leaf result.
+fn refine_parallel(l: &LeafObj, ctx: &mut Ctx) -> Option<crate::nupdr::LeafTaskOutput> {
+    use std::sync::{Arc, Mutex};
+    let quads = split_bbox(&l.bbox, l.opts.intra_tasks as usize);
+    let results: Arc<Mutex<Vec<Option<crate::nupdr::LeafTaskOutput>>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    results.lock().unwrap().resize_with(quads.len(), || None);
+    let mut tasks: Vec<mrts::compute::Task> = Vec::with_capacity(quads.len());
+    for (qi, q) in quads.iter().enumerate() {
+        let results = results.clone();
+        let workload = l.workload;
+        let q = *q;
+        let region = l.region;
+        // Each quadrant task sees the points near its own box.
+        let margin = 4.0 * workload.sizing.min_size();
+        let grown = q.inflated(margin * 8.0);
+        let pts: Vec<Point2> = l
+            .points
+            .iter()
+            .chain(l.collected.iter())
+            .copied()
+            .filter(|p| grown.contains(*p))
+            .collect();
+        tasks.push(Box::new(move || {
+            let sub_region = BBox::new(
+                Point2::new(
+                    (q.min.x - margin * 4.0).max(region.min.x),
+                    (q.min.y - margin * 4.0).max(region.min.y),
+                ),
+                Point2::new(
+                    (q.max.x + margin * 4.0).min(region.max.x),
+                    (q.max.y + margin * 4.0).min(region.max.y),
+                ),
+            );
+            let info = LeafInfo {
+                idx: 0,
+                qnode: 0,
+                bbox: q,
+                region: sub_region,
+                buffer: Vec::new(),
+            };
+            let out = leaf_task(&workload, &info, pts.into_iter());
+            results.lock().unwrap()[qi] = out;
+        }));
+    }
+    ctx.run_tasks(tasks);
+    // Merge quadrant results.
+    let results = Arc::try_unwrap(results).ok().unwrap().into_inner().unwrap();
+    let mut merged: Option<crate::nupdr::LeafTaskOutput> = None;
+    for out in results {
+        let Some(out) = out else { continue };
+        let m = merged.get_or_insert_with(Default::default);
+        m.owned_points.extend(out.owned_points);
+        m.owned_tris += out.owned_tris;
+        m.owned_verts += out.owned_verts;
+        m.bad_ccs.extend(out.bad_ccs);
+        m.mesh_footprint += out.mesh_footprint;
+    }
+    merged
+}
+
+/// Split a box into k sub-boxes (k = 4 gives quadrants; otherwise vertical
+/// strips).
+fn split_bbox(b: &BBox, k: usize) -> Vec<BBox> {
+    if k == 4 {
+        let c = b.center();
+        return vec![
+            BBox::new(b.min, c),
+            BBox::new(Point2::new(c.x, b.min.y), Point2::new(b.max.x, c.y)),
+            BBox::new(Point2::new(b.min.x, c.y), Point2::new(c.x, b.max.y)),
+            BBox::new(c, b.max),
+        ];
+    }
+    (0..k)
+        .map(|i| {
+            BBox::new(
+                Point2::new(b.min.x + b.width() * i as f64 / k as f64, b.min.y),
+                Point2::new(b.min.x + b.width() * (i + 1) as f64 / k as f64, b.max.y),
+            )
+        })
+        .collect()
+}
+
+// ----- runner --------------------------------------------------------------------
+
+/// Run ONUPDR on the virtual-time MRTS engine.
+pub fn onupdr_run(params: &NupdrParams, cfg: MrtsConfig, opts: OnupdrOpts) -> MethodResult {
+    let mut rt = DesRuntime::new(cfg.clone());
+    register(&mut rt);
+
+    let (_tree, leaves) = build_leaves(params);
+    let n = leaves.len();
+    assert!(n > 0, "no leaves intersect the domain");
+    let nodes = cfg.nodes;
+
+    // Predictable placement: leaf i on node i % nodes; the queue object is
+    // created last on node 0.
+    let mut counters = vec![0u64; nodes];
+    let leaf_ptrs: Vec<MobilePtr> = (0..n)
+        .map(|i| {
+            let node = (i % nodes) as NodeId;
+            let seq = counters[i % nodes];
+            counters[i % nodes] += 1;
+            MobilePtr::new(ObjectId::new(node, seq))
+        })
+        .collect();
+    let queue_ptr = MobilePtr::new(ObjectId::new(0, counters[0]));
+
+    // Queue dispatch width: nodes by default.
+    let mut opts = opts;
+    if opts.max_active == 0 {
+        opts.max_active = nodes as u32;
+    }
+
+    for leaf in &leaves {
+        let node = (leaf.idx % nodes) as NodeId;
+        let created = rt.create_object(
+            node,
+            Box::new(LeafObj {
+                idx: leaf.idx as u32,
+                bbox: leaf.bbox,
+                region: leaf.region,
+                workload: params.workload,
+                opts,
+                points: Vec::new(),
+                buffer_ptrs: leaf.buffer.iter().map(|&b| leaf_ptrs[b]).collect(),
+                queue_ptr,
+                elems: 0,
+                verts: 0,
+                expected: 0,
+                collected: Vec::new(),
+            }),
+            128,
+        );
+        assert_eq!(created, leaf_ptrs[leaf.idx]);
+    }
+    let created = rt.create_object(
+        0,
+        Box::new(QueueObj {
+            workload: params.workload,
+            opts,
+            leaf_ptrs: leaf_ptrs.clone(),
+            bboxes: leaves.iter().map(|l| l.bbox).collect(),
+            buffers: leaves
+                .iter()
+                .map(|l| l.buffer.iter().map(|&b| b as u32).collect())
+                .collect(),
+            queue: VecDeque::new(),
+            in_queue: vec![false; n],
+            stale: vec![0; n],
+            busy: vec![false; n],
+            active: 0,
+            dispatched_tasks: 0,
+        }),
+        255,
+    );
+    assert_eq!(created, queue_ptr);
+    // The queue object is small, receives and sends many messages: locked
+    // in memory (paper optimization #1).
+    rt.lock_object(queue_ptr);
+
+    rt.post(queue_ptr, H_Q_KICK, Vec::new());
+
+    let stats = rt.run();
+
+    let mut elements = 0u64;
+    let mut vertices = 0u64;
+    let mut tasks = 0u64;
+    rt.for_each_object(|_, obj| {
+        if let Some(l) = obj.as_any().downcast_ref::<LeafObj>() {
+            elements += l.elems;
+            vertices += l.verts;
+        } else if let Some(q) = obj.as_any().downcast_ref::<QueueObj>() {
+            tasks = q.dispatched_tasks;
+        }
+    });
+    let _ = tasks;
+    MethodResult {
+        elements,
+        vertices,
+        stats,
+    }
+}
+
+/// Register ONUPDR's types and handlers on a runtime.
+pub fn register(rt: &mut DesRuntime) {
+    rt.register_type(LEAF_TAG, LeafObj::decode);
+    rt.register_type(QUEUE_TAG, QueueObj::decode);
+    rt.register_handler(H_Q_KICK, "nupdr_kick", h_q_kick);
+    rt.register_handler(H_Q_UPDATE, "nupdr_update", h_q_update);
+    rt.register_handler(H_L_CONSTRUCT, "nupdr_construct", h_l_construct);
+    rt.register_handler(H_L_CONTRIBUTE, "nupdr_contribute", h_l_contribute);
+    rt.register_handler(H_L_ADDPTS, "nupdr_addpts", h_l_addpts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::SizingSpec;
+    use crate::nupdr::nupdr_incore;
+
+    fn graded_square(elements: u64) -> NupdrParams {
+        let domain = crate::domain::DomainSpec::unit_square();
+        let h_avg = crate::domain::h_for_elements(domain.area(), elements);
+        let h_min = h_avg / 1.6;
+        NupdrParams::new(Workload {
+            domain,
+            sizing: SizingSpec::Graded {
+                focus: Point2::new(0.0, 0.0),
+                h_min,
+                h_max: h_min * 4.0,
+                radius: 1.4,
+            },
+        })
+    }
+
+    #[test]
+    fn leaf_obj_roundtrip() {
+        let obj = LeafObj {
+            idx: 3,
+            bbox: BBox::new(Point2::new(0.0, 0.0), Point2::new(0.5, 0.5)),
+            region: BBox::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            workload: Workload::uniform_square(1000),
+            opts: OnupdrOpts::default(),
+            points: vec![Point2::new(0.25, 0.25)],
+            buffer_ptrs: vec![MobilePtr::new(ObjectId::new(1, 2))],
+            queue_ptr: MobilePtr::new(ObjectId::new(0, 9)),
+            elems: 42,
+            verts: 30,
+            expected: 1,
+            collected: vec![Point2::new(0.6, 0.6)],
+        };
+        let packed = mrts::object::Registry::pack(&obj);
+        let mut reg = mrts::object::Registry::new();
+        reg.register_type(LEAF_TAG, LeafObj::decode);
+        let back = reg.unpack(&packed);
+        let back = back.as_any().downcast_ref::<LeafObj>().unwrap();
+        assert_eq!(back.idx, 3);
+        assert_eq!(back.points, obj.points);
+        assert_eq!(back.elems, 42);
+        assert_eq!(back.expected, 1);
+        assert_eq!(back.collected, obj.collected);
+    }
+
+    #[test]
+    fn onupdr_matches_baseline_shape() {
+        let p = graded_square(3000);
+        let base = nupdr_incore(&p, 2, 1 << 30).unwrap();
+        let port = onupdr_run(&p, MrtsConfig::in_core(2), OnupdrOpts::default());
+        // Same kernels but different scheduling order: counts agree
+        // approximately.
+        let ratio = port.elements as f64 / base.elements as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "port {} vs baseline {}",
+            port.elements,
+            base.elements
+        );
+    }
+
+    #[test]
+    fn onupdr_out_of_core_spills() {
+        let p = graded_square(4000);
+        let in_core = onupdr_run(&p, MrtsConfig::in_core(2), OnupdrOpts::default());
+        let budget = (in_core.stats.peak_mem() / 4).max(50_000);
+        let ooc = onupdr_run(&p, MrtsConfig::out_of_core(2, budget), OnupdrOpts::default());
+        assert!(
+            ooc.stats.total_of(|n| n.stores) > 0,
+            "must spill: {}",
+            ooc.stats.summary()
+        );
+        let ratio = ooc.elements as f64 / in_core.elements as f64;
+        assert!((0.8..1.25).contains(&ratio));
+    }
+
+    #[test]
+    fn onupdr_multicast_variant_works() {
+        let p = graded_square(2500);
+        let mut opts = OnupdrOpts::default();
+        opts.multicast = true;
+        let r = onupdr_run(&p, MrtsConfig::out_of_core(2, 200_000), opts);
+        assert!(r.elements > 500);
+    }
+
+    #[test]
+    fn onupdr_unoptimized_variant_works() {
+        let p = graded_square(2500);
+        let r = onupdr_run(&p, MrtsConfig::in_core(2), OnupdrOpts::unoptimized());
+        assert!(r.elements > 500);
+    }
+}

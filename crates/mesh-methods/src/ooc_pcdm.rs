@@ -1,0 +1,408 @@
+//! OPCDM — the out-of-core PCDM port on MRTS (the paper's [2]).
+//!
+//! PCDM maps directly onto the mobile-object programming model: every
+//! subdomain is a mobile object holding its constrained mesh; a `refine`
+//! message refines it and fires aggregated asynchronous `splits` messages
+//! at the neighbor objects; a neighbor that actually inserted new interface
+//! points posts `refine` to itself. Global termination is the runtime's
+//! quiescence detection — no coordinator exists, matching the method's
+//! fully unstructured communication.
+
+use crate::common::{
+    decode_point_batch, encode_point_batch, get_bbox, get_workload, put_bbox, put_workload,
+    MethodResult,
+};
+use crate::domain::Workload;
+use crate::pcdm::{build_subdomains, PcdmParams, Subdomain, SIDES};
+use mrts::codec::{PayloadReader, PayloadWriter};
+use mrts::config::MrtsConfig;
+use mrts::ctx::Ctx;
+use mrts::des::DesRuntime;
+use mrts::ids::{HandlerId, MobilePtr, NodeId, TypeTag};
+use mrts::object::MobileObject;
+use pumg_delaunay::mesh::VFlags;
+use pumg_delaunay::TriMesh;
+use std::any::Any;
+use std::collections::HashSet;
+
+pub const SUB_TAG: TypeTag = TypeTag(0x101);
+pub const H_REFINE: HandlerId = HandlerId(0x110);
+pub const H_SPLITS: HandlerId = HandlerId(0x111);
+
+/// A subdomain as a mobile object.
+pub struct SubObj {
+    pub sd: Subdomain,
+    pub workload: Workload,
+    pub neighbor_ptrs: [Option<MobilePtr>; SIDES],
+}
+
+impl SubObj {
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        let workload = get_workload(&mut r).unwrap();
+        let idx = r.u64().unwrap() as usize;
+        let cell = get_bbox(&mut r).unwrap();
+        let mesh = TriMesh::decode(r.bytes().unwrap()).unwrap();
+        let n_known = r.u32().unwrap() as usize;
+        let mut known = HashSet::with_capacity(n_known);
+        for _ in 0..n_known {
+            let a = r.u64().unwrap();
+            let b = r.u64().unwrap();
+            known.insert((a, b));
+        }
+        let mut neighbors = [None; SIDES];
+        let mut neighbor_ptrs = [None; SIDES];
+        for s in 0..SIDES {
+            if r.u8().unwrap() == 1 {
+                neighbors[s] = Some(r.u64().unwrap() as usize);
+                neighbor_ptrs[s] = Some(r.ptr().unwrap());
+            }
+        }
+        Box::new(SubObj {
+            sd: Subdomain::from_parts(idx, cell, mesh, known, neighbors),
+            workload,
+            neighbor_ptrs,
+        })
+    }
+}
+
+impl MobileObject for SubObj {
+    fn type_tag(&self) -> TypeTag {
+        SUB_TAG
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::with_capacity(self.sd.mesh.mem_footprint() / 2);
+        put_workload(&mut w, &self.workload);
+        w.u64(self.sd.idx as u64);
+        put_bbox(&mut w, &self.sd.cell);
+        w.bytes(&self.sd.mesh.encode());
+        w.u32(self.sd.known.len() as u32);
+        let mut known: Vec<_> = self.sd.known.iter().copied().collect();
+        known.sort_unstable();
+        for (a, b) in known {
+            w.u64(a).u64(b);
+        }
+        for s in 0..SIDES {
+            match (self.sd.neighbors[s], self.neighbor_ptrs[s]) {
+                (Some(n), Some(p)) => {
+                    w.u8(1).u64(n as u64).ptr(p);
+                }
+                _ => {
+                    w.u8(0);
+                }
+            }
+        }
+        buf.extend_from_slice(&w.finish());
+    }
+
+    fn footprint(&self) -> usize {
+        self.sd.mesh.mem_footprint() + self.sd.known.len() * 24 + 128
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn sub_mut(obj: &mut dyn MobileObject) -> &mut SubObj {
+    obj.as_any_mut().downcast_mut::<SubObj>().unwrap()
+}
+
+/// `refine`: refine the subdomain and fire aggregated split messages.
+fn h_refine(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
+    let so = sub_mut(obj);
+    let wl = so.workload;
+    let splits = so.sd.refine_step(&wl);
+    for (side, pts) in splits.into_iter().enumerate() {
+        if pts.is_empty() {
+            continue;
+        }
+        if let Some(np) = so.neighbor_ptrs[side] {
+            ctx.send(np, H_SPLITS, encode_point_batch(&pts));
+        }
+    }
+}
+
+/// `splits`: integrate interface points from a neighbor; if anything was
+/// new, schedule a local refinement.
+fn h_splits(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let so = sub_mut(obj);
+    let pts = decode_point_batch(payload).unwrap();
+    let inserted = so.sd.insert_splits(&pts);
+    if inserted > 0 {
+        ctx.send(ctx.self_ptr(), H_REFINE, Vec::new());
+    }
+}
+
+/// Register OPCDM's types and handlers on a virtual-time runtime.
+pub fn register(rt: &mut DesRuntime) {
+    rt.register_type(SUB_TAG, SubObj::decode);
+    rt.register_handler(H_REFINE, "pcdm_refine", h_refine);
+    rt.register_handler(H_SPLITS, "pcdm_splits", h_splits);
+}
+
+/// Register OPCDM's types and handlers on a threaded runtime (the handler
+/// functions are engine-agnostic).
+pub fn register_threaded(rt: &mut mrts::threaded::ThreadedRuntime) {
+    rt.register_type(SUB_TAG, SubObj::decode);
+    rt.register_handler(H_REFINE, "pcdm_refine", h_refine);
+    rt.register_handler(H_SPLITS, "pcdm_splits", h_splits);
+}
+
+/// Run OPCDM on the threaded engine (real OS threads + real spill files
+/// when `cfg.spill_dir` is set). Wall-clock statistics.
+pub fn opcdm_run_threaded(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult {
+    let mut rt = mrts::threaded::ThreadedRuntime::new(cfg.clone());
+    register_threaded(&mut rt);
+
+    let subs = build_subdomains(params);
+    let n = subs.len();
+    assert!(n > 0, "no subdomains intersect the domain");
+    let nodes = cfg.nodes;
+    let mut counters = vec![0u64; nodes];
+    let ptrs: Vec<MobilePtr> = (0..n)
+        .map(|i| {
+            let node = (i % nodes) as NodeId;
+            let seq = counters[i % nodes];
+            counters[i % nodes] += 1;
+            MobilePtr::new(mrts::ids::ObjectId::new(node, seq))
+        })
+        .collect();
+    for sd in subs {
+        let i = sd.idx;
+        let node = (i % nodes) as NodeId;
+        let mut neighbor_ptrs = [None; SIDES];
+        for s in 0..SIDES {
+            neighbor_ptrs[s] = sd.neighbors[s].map(|nb| ptrs[nb]);
+        }
+        let created = rt.create_object(
+            node,
+            Box::new(SubObj {
+                sd,
+                workload: params.workload,
+                neighbor_ptrs,
+            }),
+            128,
+        );
+        assert_eq!(created, ptrs[i]);
+    }
+    for &p in &ptrs {
+        rt.post(p, H_REFINE, Vec::new());
+    }
+    let stats = rt.run();
+
+    let mut elements = 0u64;
+    let mut vertices = 0u64;
+    rt.for_each_object(|_, obj| {
+        let so = obj.as_any().downcast_ref::<SubObj>().unwrap();
+        elements += so.sd.mesh.num_tris() as u64;
+        vertices += (0..so.sd.mesh.num_vertices() as u32)
+            .filter(|&v| !so.sd.mesh.vflags(v).is(VFlags::SUPER))
+            .count() as u64;
+    });
+    MethodResult {
+        elements,
+        vertices,
+        stats,
+    }
+}
+
+/// Run OPCDM on the virtual-time MRTS engine.
+pub fn opcdm_run(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult {
+    let mut rt = DesRuntime::new(cfg.clone());
+    register(&mut rt);
+
+    let subs = build_subdomains(params);
+    let n = subs.len();
+    assert!(n > 0, "no subdomains intersect the domain");
+
+    // Pre-allocate pointers: subdomain i goes to node i % nodes and gets
+    // the i-th object slot there, so pointers are predictable.
+    let nodes = cfg.nodes;
+    let mut counters = vec![0u64; nodes];
+    let ptrs: Vec<MobilePtr> = (0..n)
+        .map(|i| {
+            let node = (i % nodes) as NodeId;
+            let seq = counters[i % nodes];
+            counters[i % nodes] += 1;
+            MobilePtr::new(mrts::ids::ObjectId::new(node, seq))
+        })
+        .collect();
+
+    for sd in subs {
+        let i = sd.idx;
+        let node = (i % nodes) as NodeId;
+        let mut neighbor_ptrs = [None; SIDES];
+        for s in 0..SIDES {
+            neighbor_ptrs[s] = sd.neighbors[s].map(|nb| ptrs[nb]);
+        }
+        let created = rt.create_object(
+            node,
+            Box::new(SubObj {
+                sd,
+                workload: params.workload,
+                neighbor_ptrs,
+            }),
+            128,
+        );
+        assert_eq!(created, ptrs[i], "placement must match precomputed ptrs");
+    }
+    for &p in &ptrs {
+        rt.post(p, H_REFINE, Vec::new());
+    }
+
+    let stats = rt.run();
+
+    let mut elements = 0u64;
+    let mut vertices = 0u64;
+    rt.for_each_object(|_, obj| {
+        let so = obj.as_any().downcast_ref::<SubObj>().unwrap();
+        elements += so.sd.mesh.num_tris() as u64;
+        vertices += (0..so.sd.mesh.num_vertices() as u32)
+            .filter(|&v| !so.sd.mesh.vflags(v).is(VFlags::SUPER))
+            .count() as u64;
+    });
+    MethodResult {
+        elements,
+        vertices,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcdm::pcdm_incore;
+
+    fn params(elements: u64, grid: usize) -> PcdmParams {
+        PcdmParams::new(Workload::uniform_square(elements), grid)
+    }
+
+    #[test]
+    fn subobj_roundtrip() {
+        let subs = build_subdomains(&params(1500, 2));
+        let sd = subs.into_iter().next().unwrap();
+        let obj = SubObj {
+            sd,
+            workload: Workload::uniform_square(1500),
+            neighbor_ptrs: [
+                None,
+                Some(MobilePtr::new(mrts::ids::ObjectId::new(1, 7))),
+                None,
+                Some(MobilePtr::new(mrts::ids::ObjectId::new(0, 3))),
+            ],
+        };
+        let packed = mrts::object::Registry::pack(&obj);
+        let mut reg = mrts::object::Registry::new();
+        reg.register_type(SUB_TAG, SubObj::decode);
+        let back = reg.unpack(&packed);
+        let back = back.as_any().downcast_ref::<SubObj>().unwrap();
+        assert_eq!(back.sd.idx, obj.sd.idx);
+        assert_eq!(back.sd.mesh.num_tris(), obj.sd.mesh.num_tris());
+        assert_eq!(back.sd.known.len(), obj.sd.known.len());
+        assert_eq!(back.neighbor_ptrs, obj.neighbor_ptrs);
+        back.sd.mesh.validate().unwrap();
+    }
+
+    #[test]
+    fn opcdm_in_core_matches_baseline_count() {
+        let p = params(3000, 2);
+        let base = pcdm_incore(&p, 4, 1 << 30).unwrap();
+        let port = opcdm_run(&p, MrtsConfig::in_core(4));
+        // Same method, same kernels: identical meshes.
+        assert_eq!(port.elements, base.elements, "port must match baseline");
+        assert!(port.stats.total > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn opcdm_out_of_core_spills_and_matches() {
+        let p = params(4000, 3);
+        let base = pcdm_incore(&p, 2, 1 << 30).unwrap();
+        // A budget well below the aggregate mesh footprint forces spills.
+        let per_node = (base.stats.peak_mem() as usize).max(200_000) / 3;
+        let port = opcdm_run(&p, MrtsConfig::out_of_core(2, per_node));
+        // OOC queueing may reorder refine/split interleavings; counts stay
+        // within a whisker of the in-core result.
+        let ratio = port.elements as f64 / base.elements as f64;
+        assert!((0.97..1.03).contains(&ratio), "{} vs {}", port.elements, base.elements);
+        assert!(
+            port.stats.total_of(|n| n.stores) > 0,
+            "must spill: {}",
+            port.stats.summary()
+        );
+        assert!(port.stats.disk_pct() > 0.0);
+    }
+
+    #[test]
+    fn opcdm_conformity_across_objects() {
+        let p = params(2500, 2);
+        let mut rt = DesRuntime::new(MrtsConfig::in_core(2));
+        register(&mut rt);
+        let subs = build_subdomains(&p);
+        let n = subs.len();
+        let mut counters = vec![0u64; 2];
+        let ptrs: Vec<MobilePtr> = (0..n)
+            .map(|i| {
+                let node = (i % 2) as NodeId;
+                let seq = counters[i % 2];
+                counters[i % 2] += 1;
+                MobilePtr::new(mrts::ids::ObjectId::new(node, seq))
+            })
+            .collect();
+        for sd in subs {
+            let i = sd.idx;
+            let mut neighbor_ptrs = [None; SIDES];
+            for s in 0..SIDES {
+                neighbor_ptrs[s] = sd.neighbors[s].map(|nb| ptrs[nb]);
+            }
+            rt.create_object(
+                (i % 2) as NodeId,
+                Box::new(SubObj {
+                    sd,
+                    workload: p.workload,
+                    neighbor_ptrs,
+                }),
+                128,
+            );
+        }
+        for &pp in &ptrs {
+            rt.post(pp, H_REFINE, Vec::new());
+        }
+        rt.run();
+        // Collect interface point sets and check conformity.
+        let mut sides: std::collections::HashMap<(usize, usize), Vec<(u64, u64)>> =
+            std::collections::HashMap::new();
+        rt.for_each_object(|_, obj| {
+            let so = obj.as_any().downcast_ref::<SubObj>().unwrap();
+            for s in 0..SIDES {
+                if so.sd.neighbors[s].is_some() {
+                    sides.insert((so.sd.idx, s), so.sd.interface_points(s));
+                }
+            }
+        });
+        let mut checked = 0;
+        for (&(idx, s), pts) in &sides {
+            let opp = match s {
+                0 => 1,
+                1 => 0,
+                2 => 3,
+                _ => 2,
+            };
+            // Find the neighbor on this side by scanning the map.
+            for (&(jdx, t), qts) in &sides {
+                if jdx != idx && t == opp {
+                    // Sides face each other iff the point sets share the
+                    // same grid line; compare only the matching pair.
+                    if pts == qts && !pts.is_empty() {
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "some conforming interface must exist");
+    }
+}

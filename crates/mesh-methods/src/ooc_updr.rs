@@ -1,0 +1,460 @@
+//! OUPDR — the out-of-core UPDR port on MRTS (the paper's [1]).
+//!
+//! Each block is a mobile object carrying its *entire region mesh* between
+//! phases — these are the large objects that exercise the storage layer.
+//! A small coordinator object reproduces UPDR's structured communication
+//! and global synchronization: it releases phase 2 only when every block
+//! finished phase 1, and so on. Within a phase, blocks work independently
+//! and the runtime overlaps their disk traffic with other blocks'
+//! computation.
+
+use crate::common::{
+    decode_point_batch, encode_point_batch, get_bbox, get_workload, put_bbox, put_workload,
+    MethodResult,
+};
+use crate::domain::Workload;
+use crate::updr::{
+    block_counts, block_phase1, block_phase3, buffer_points_for, decompose, Block, UpdrParams,
+};
+use mrts::codec::{PayloadReader, PayloadWriter};
+use mrts::config::MrtsConfig;
+use mrts::ctx::Ctx;
+use mrts::des::DesRuntime;
+use mrts::ids::{HandlerId, MobilePtr, NodeId, ObjectId, TypeTag};
+use mrts::object::MobileObject;
+use pumg_delaunay::TriMesh;
+use pumg_geometry::{BBox, Point2};
+use std::any::Any;
+
+pub const BLOCK_TAG: TypeTag = TypeTag(0x301);
+pub const COORD_TAG: TypeTag = TypeTag(0x302);
+pub const H_C_START: HandlerId = HandlerId(0x310);
+pub const H_C_DONE1: HandlerId = HandlerId(0x311);
+pub const H_C_DONE3: HandlerId = HandlerId(0x312);
+pub const H_B_P1: HandlerId = HandlerId(0x320);
+pub const H_B_P2: HandlerId = HandlerId(0x321);
+pub const H_B_PTS: HandlerId = HandlerId(0x322);
+
+/// A UPDR block as a mobile object: geometry + its (phase-dependent) mesh.
+pub struct BlockObj {
+    pub idx: u32,
+    pub cell: BBox,
+    pub region: BBox,
+    pub workload: Workload,
+    pub coord: MobilePtr,
+    /// Pointers and regions of the neighbors (parallel arrays).
+    pub neighbor_ptrs: Vec<MobilePtr>,
+    pub neighbor_regions: Vec<BBox>,
+    pub mesh: Option<TriMesh>,
+    pub expected: u32,
+    pub received: Vec<Point2>,
+    pub elems: u64,
+    pub verts: u64,
+}
+
+impl BlockObj {
+    fn block(&self) -> Block {
+        Block {
+            idx: self.idx as usize,
+            cell: self.cell,
+            region: self.region,
+            neighbors: Vec::new(),
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        let idx = r.u32().unwrap();
+        let cell = get_bbox(&mut r).unwrap();
+        let region = get_bbox(&mut r).unwrap();
+        let workload = get_workload(&mut r).unwrap();
+        let coord = r.ptr().unwrap();
+        let neighbor_ptrs = r.ptrs().unwrap();
+        let mut neighbor_regions = Vec::with_capacity(neighbor_ptrs.len());
+        for _ in 0..neighbor_ptrs.len() {
+            neighbor_regions.push(get_bbox(&mut r).unwrap());
+        }
+        let mesh = match r.u8().unwrap() {
+            0 => None,
+            _ => Some(TriMesh::decode(r.bytes().unwrap()).unwrap()),
+        };
+        let expected = r.u32().unwrap();
+        let received = decode_point_batch(r.bytes().unwrap()).unwrap();
+        let elems = r.u64().unwrap();
+        let verts = r.u64().unwrap();
+        Box::new(BlockObj {
+            idx,
+            cell,
+            region,
+            workload,
+            coord,
+            neighbor_ptrs,
+            neighbor_regions,
+            mesh,
+            expected,
+            received,
+            elems,
+            verts,
+        })
+    }
+}
+
+impl MobileObject for BlockObj {
+    fn type_tag(&self) -> TypeTag {
+        BLOCK_TAG
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let cap = self.mesh.as_ref().map_or(256, |m| m.mem_footprint());
+        let mut w = PayloadWriter::with_capacity(cap);
+        w.u32(self.idx);
+        put_bbox(&mut w, &self.cell);
+        put_bbox(&mut w, &self.region);
+        put_workload(&mut w, &self.workload);
+        w.ptr(self.coord);
+        w.ptrs(&self.neighbor_ptrs);
+        for b in &self.neighbor_regions {
+            put_bbox(&mut w, b);
+        }
+        match &self.mesh {
+            None => {
+                w.u8(0);
+            }
+            Some(m) => {
+                w.u8(1).bytes(&m.encode());
+            }
+        }
+        w.u32(self.expected);
+        w.bytes(&encode_point_batch(&self.received));
+        w.u64(self.elems).u64(self.verts);
+        buf.extend_from_slice(&w.finish());
+    }
+
+    fn footprint(&self) -> usize {
+        256 + self.mesh.as_ref().map_or(0, |m| m.mem_footprint()) + 16 * self.received.len()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The phase coordinator: UPDR's global synchronization points.
+pub struct CoordObj {
+    pub block_ptrs: Vec<MobilePtr>,
+    pub pending: u32,
+    pub phase: u8,
+    pub elems: u64,
+    pub verts: u64,
+}
+
+impl CoordObj {
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        let block_ptrs = r.ptrs().unwrap();
+        let pending = r.u32().unwrap();
+        let phase = r.u8().unwrap();
+        let elems = r.u64().unwrap();
+        let verts = r.u64().unwrap();
+        Box::new(CoordObj {
+            block_ptrs,
+            pending,
+            phase,
+            elems,
+            verts,
+        })
+    }
+}
+
+impl MobileObject for CoordObj {
+    fn type_tag(&self) -> TypeTag {
+        COORD_TAG
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        w.ptrs(&self.block_ptrs);
+        w.u32(self.pending).u8(self.phase).u64(self.elems).u64(self.verts);
+        buf.extend_from_slice(&w.finish());
+    }
+
+    fn footprint(&self) -> usize {
+        64 + 8 * self.block_ptrs.len()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn block_mut(obj: &mut dyn MobileObject) -> &mut BlockObj {
+    obj.as_any_mut().downcast_mut::<BlockObj>().unwrap()
+}
+
+fn coord_mut(obj: &mut dyn MobileObject) -> &mut CoordObj {
+    obj.as_any_mut().downcast_mut::<CoordObj>().unwrap()
+}
+
+/// Coordinator: kick off phase 1 on every block.
+fn h_c_start(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
+    let c = coord_mut(obj);
+    c.phase = 1;
+    c.pending = c.block_ptrs.len() as u32;
+    for &b in &c.block_ptrs {
+        ctx.send(b, H_B_P1, Vec::new());
+    }
+}
+
+/// Coordinator: a block finished phase 1; when all have, release phase 2
+/// (the global synchronization point).
+fn h_c_done1(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
+    let c = coord_mut(obj);
+    c.pending = c.pending.saturating_sub(1);
+    if c.pending == 0 {
+        c.phase = 2;
+        c.pending = c.block_ptrs.len() as u32;
+        for &b in &c.block_ptrs {
+            ctx.send(b, H_B_P2, Vec::new());
+        }
+    }
+}
+
+/// Coordinator: a block finished phase 3 with its final counts.
+fn h_c_done3(obj: &mut dyn MobileObject, _ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let elems = r.u64().unwrap();
+    let verts = r.u64().unwrap();
+    let c = coord_mut(obj);
+    c.elems += elems;
+    c.verts += verts;
+    c.pending = c.pending.saturating_sub(1);
+    if c.pending == 0 {
+        c.phase = 4; // done
+    }
+}
+
+/// Block phase 1: mesh and refine the region.
+fn h_b_p1(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
+    let b = block_mut(obj);
+    b.mesh = block_phase1(&b.workload, &b.block());
+    ctx.send(b.coord, H_C_DONE1, Vec::new());
+}
+
+/// Block phase 2: ship owned buffer-zone points to every neighbor (an
+/// empty batch still counts — receivers count arrivals against the known
+/// neighbor count; UPDR's communication is fully structured).
+fn h_b_p2(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
+    let b = block_mut(obj);
+    b.expected = b.neighbor_ptrs.len() as u32;
+    for (i, &np) in b.neighbor_ptrs.iter().enumerate() {
+        let pts = match &b.mesh {
+            Some(m) => buffer_points_for(m, &b.cell, &b.neighbor_regions[i]),
+            None => Vec::new(),
+        };
+        ctx.send(np, H_B_PTS, encode_point_batch(&pts));
+    }
+    if b.expected == 0 {
+        finish_phase3(b, ctx);
+    }
+}
+
+/// Block: buffer points arrived from one neighbor.
+fn h_b_pts(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let b = block_mut(obj);
+    let pts = decode_point_batch(payload).unwrap();
+    b.received.extend(pts);
+    b.expected = b.expected.saturating_sub(1);
+    if b.expected == 0 {
+        finish_phase3(b, ctx);
+    }
+}
+
+/// Phase 3: integrate the exchanged points, restore quality, report.
+fn finish_phase3(b: &mut BlockObj, ctx: &mut Ctx) {
+    let block = b.block();
+    let received = std::mem::take(&mut b.received);
+    if let Some(mesh) = b.mesh.as_mut() {
+        block_phase3(&b.workload, &block, mesh, &received);
+        let (t, v) = block_counts(mesh, &block, &b.workload.domain.bbox());
+        b.elems = t;
+        b.verts = v;
+    }
+    let mut w = PayloadWriter::new();
+    w.u64(b.elems).u64(b.verts);
+    ctx.send(b.coord, H_C_DONE3, w.finish());
+}
+
+/// Register OUPDR's types and handlers on a runtime.
+pub fn register(rt: &mut DesRuntime) {
+    rt.register_type(BLOCK_TAG, BlockObj::decode);
+    rt.register_type(COORD_TAG, CoordObj::decode);
+    rt.register_handler(H_C_START, "updr_start", h_c_start);
+    rt.register_handler(H_C_DONE1, "updr_done1", h_c_done1);
+    rt.register_handler(H_C_DONE3, "updr_done3", h_c_done3);
+    rt.register_handler(H_B_P1, "updr_phase1", h_b_p1);
+    rt.register_handler(H_B_P2, "updr_phase2", h_b_p2);
+    rt.register_handler(H_B_PTS, "updr_points", h_b_pts);
+}
+
+/// Run OUPDR on the virtual-time MRTS engine.
+pub fn oupdr_run(params: &UpdrParams, cfg: MrtsConfig) -> MethodResult {
+    let mut rt = DesRuntime::new(cfg.clone());
+    register(&mut rt);
+
+    let blocks = decompose(params);
+    let n = blocks.len();
+    assert!(n > 0, "no blocks intersect the domain");
+    let nodes = cfg.nodes;
+
+    let mut counters = vec![0u64; nodes];
+    let ptrs: Vec<MobilePtr> = (0..n)
+        .map(|i| {
+            let node = (i % nodes) as NodeId;
+            let seq = counters[i % nodes];
+            counters[i % nodes] += 1;
+            MobilePtr::new(ObjectId::new(node, seq))
+        })
+        .collect();
+    let coord_ptr = MobilePtr::new(ObjectId::new(0, counters[0]));
+
+    for b in &blocks {
+        let node = (b.idx % nodes) as NodeId;
+        let created = rt.create_object(
+            node,
+            Box::new(BlockObj {
+                idx: b.idx as u32,
+                cell: b.cell,
+                region: b.region,
+                workload: params.workload,
+                coord: coord_ptr,
+                neighbor_ptrs: b.neighbors.iter().map(|&x| ptrs[x]).collect(),
+                neighbor_regions: b.neighbors.iter().map(|&x| blocks[x].region).collect(),
+                mesh: None,
+                expected: 0,
+                received: Vec::new(),
+                elems: 0,
+                verts: 0,
+            }),
+            128,
+        );
+        assert_eq!(created, ptrs[b.idx]);
+    }
+    let created = rt.create_object(
+        0,
+        Box::new(CoordObj {
+            block_ptrs: ptrs.clone(),
+            pending: 0,
+            phase: 0,
+            elems: 0,
+            verts: 0,
+        }),
+        255,
+    );
+    assert_eq!(created, coord_ptr);
+    rt.lock_object(coord_ptr);
+
+    rt.post(coord_ptr, H_C_START, Vec::new());
+    let stats = rt.run();
+
+    let mut elements = 0;
+    let mut vertices = 0;
+    let mut phase = 0;
+    rt.with_object(coord_ptr, |obj| {
+        let c = obj.as_any().downcast_ref::<CoordObj>().unwrap();
+        elements = c.elems;
+        vertices = c.verts;
+        phase = c.phase;
+    });
+    assert_eq!(phase, 4, "run must complete all phases");
+    MethodResult {
+        elements,
+        vertices,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updr::updr_incore;
+
+    fn params(elements: u64, grid: usize) -> UpdrParams {
+        UpdrParams::new(Workload::uniform_square(elements), grid)
+    }
+
+    #[test]
+    fn block_obj_roundtrip() {
+        let p = params(1500, 2);
+        let blocks = decompose(&p);
+        let mesh = block_phase1(&p.workload, &blocks[0]);
+        let obj = BlockObj {
+            idx: 0,
+            cell: blocks[0].cell,
+            region: blocks[0].region,
+            workload: p.workload,
+            coord: MobilePtr::new(ObjectId::new(0, 99)),
+            neighbor_ptrs: vec![MobilePtr::new(ObjectId::new(1, 1))],
+            neighbor_regions: vec![blocks[1].region],
+            mesh,
+            expected: 2,
+            received: vec![Point2::new(0.5, 0.5)],
+            elems: 10,
+            verts: 7,
+        };
+        let packed = mrts::object::Registry::pack(&obj);
+        let mut reg = mrts::object::Registry::new();
+        reg.register_type(BLOCK_TAG, BlockObj::decode);
+        let back = reg.unpack(&packed);
+        let back = back.as_any().downcast_ref::<BlockObj>().unwrap();
+        assert_eq!(back.idx, 0);
+        assert_eq!(
+            back.mesh.as_ref().unwrap().num_tris(),
+            obj.mesh.as_ref().unwrap().num_tris()
+        );
+        assert_eq!(back.received, obj.received);
+        assert_eq!(back.expected, 2);
+        back.mesh.as_ref().unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn oupdr_matches_baseline_count() {
+        let p = params(3000, 2);
+        let base = updr_incore(&p, 4, 1 << 30).unwrap();
+        let port = oupdr_run(&p, MrtsConfig::in_core(4));
+        assert_eq!(
+            port.elements, base.elements,
+            "identical kernels and deterministic phases must agree"
+        );
+    }
+
+    #[test]
+    fn oupdr_out_of_core_spills_and_matches() {
+        let p = params(4000, 3);
+        let base = updr_incore(&p, 2, 1 << 30).unwrap();
+        let in_core_port = oupdr_run(&p, MrtsConfig::in_core(2));
+        let budget = (in_core_port.stats.peak_mem() / 3).max(100_000);
+        let ooc = oupdr_run(&p, MrtsConfig::out_of_core(2, budget));
+        assert_eq!(ooc.elements, base.elements);
+        assert!(
+            ooc.stats.total_of(|n| n.stores) > 0,
+            "must spill: {}",
+            ooc.stats.summary()
+        );
+        // The out-of-core run must be slower but not absurdly so.
+        assert!(ooc.stats.total >= in_core_port.stats.total);
+    }
+
+    #[test]
+    fn oupdr_on_pipe_domain() {
+        let p = UpdrParams::new(Workload::uniform_pipe(3000), 3);
+        let base = updr_incore(&p, 2, 1 << 30).unwrap();
+        let port = oupdr_run(&p, MrtsConfig::in_core(2));
+        assert_eq!(port.elements, base.elements);
+    }
+}

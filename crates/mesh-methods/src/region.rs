@@ -1,0 +1,292 @@
+//! Meshing a rectangular sub-region of a domain.
+//!
+//! Every parallel method works on rectangular pieces (UPDR blocks, NUPDR
+//! quadtree leaves, PCDM subdomains). [`mesh_region`] builds the
+//! constrained triangulation of `region ∩ domain`:
+//!
+//! * the region rectangle is a constrained polygon (so neighboring pieces
+//!   share exact interface segments — grid coordinates are computed once
+//!   globally, and polygon/grid-line intersections use one deterministic
+//!   formula, making coincident interface geometry bit-identical on both
+//!   sides);
+//! * for the pipe domain, the boundary polygons are clipped to the region
+//!   box (Liang–Barsky) and inserted as constrained chains;
+//! * hole seeds sampled analytically carve the bore and the outside of the
+//!   outer wall.
+
+use crate::domain::DomainSpec;
+use pumg_delaunay::builder::MeshBuilder;
+use pumg_delaunay::TriMesh;
+use pumg_geometry::{BBox, Point2};
+
+/// Clip segment `a`–`b` to `bbox` (Liang–Barsky). Returns the clipped
+/// endpoints, or `None` if the segment misses the box.
+pub fn clip_segment_to_box(a: Point2, b: Point2, bbox: &BBox) -> Option<(Point2, Point2)> {
+    let d = b - a;
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+    let checks = [
+        (-d.x, a.x - bbox.min.x),
+        (d.x, bbox.max.x - a.x),
+        (-d.y, a.y - bbox.min.y),
+        (d.y, bbox.max.y - a.y),
+    ];
+    for (p, q) in checks {
+        if p == 0.0 {
+            if q < 0.0 {
+                return None;
+            }
+            continue;
+        }
+        let r = q / p;
+        if p < 0.0 {
+            if r > t1 {
+                return None;
+            }
+            if r > t0 {
+                t0 = r;
+            }
+        } else {
+            if r < t0 {
+                return None;
+            }
+            if r < t1 {
+                t1 = r;
+            }
+        }
+    }
+    if t0 >= t1 {
+        return None;
+    }
+    let pa = if t0 == 0.0 { a } else { a + d * t0 };
+    let pb = if t1 == 1.0 { b } else { a + d * t1 };
+    if pa == pb {
+        return None;
+    }
+    Some((pa, pb))
+}
+
+/// Mesh `region ∩ domain` as a constrained Delaunay triangulation whose
+/// rectangle border and domain-boundary chains are constrained segments.
+/// Returns `None` when the intersection is empty.
+pub fn mesh_region(domain: &DomainSpec, region: &BBox) -> Option<TriMesh> {
+    // Clamp to the domain's bounding box.
+    let bb = domain.bbox();
+    let clamped = BBox::new(
+        Point2::new(region.min.x.max(bb.min.x), region.min.y.max(bb.min.y)),
+        Point2::new(region.max.x.min(bb.max.x), region.max.y.min(bb.max.y)),
+    );
+    if clamped.width() <= 0.0 || clamped.height() <= 0.0 {
+        return None;
+    }
+
+    let mut b = MeshBuilder::new();
+    b.add_polygon(&[
+        clamped.min,
+        Point2::new(clamped.max.x, clamped.min.y),
+        clamped.max,
+        Point2::new(clamped.min.x, clamped.max.y),
+    ]);
+
+    match *domain {
+        DomainSpec::Rect { .. } => {}
+        DomainSpec::Pipe {
+            outer_r,
+            inner_r,
+            segments,
+        } => {
+            let inner_segments = segments.max(8) / 2;
+            for (r, n) in [(outer_r, segments), (inner_r, inner_segments)] {
+                let poly = MeshBuilder::circle_points(Point2::new(0.0, 0.0), r, n);
+                for i in 0..n {
+                    let (a, bpt) = (poly[i], poly[(i + 1) % n]);
+                    if let Some((ca, cb)) = clip_segment_to_box(a, bpt, &clamped) {
+                        let ia = b.add_point(ca);
+                        let ib = b.add_point(cb);
+                        b.add_segment(ia, ib);
+                    }
+                }
+            }
+            // Hole seeds: sample a grid; anything confidently inside the
+            // bore polygon or outside the outer polygon seeds a carve.
+            let inner_inradius =
+                inner_r * (std::f64::consts::PI / inner_segments as f64).cos();
+            for i in 0..10 {
+                for j in 0..10 {
+                    let p = Point2::new(
+                        clamped.min.x + clamped.width() * (i as f64 + 0.5) / 10.0,
+                        clamped.min.y + clamped.height() * (j as f64 + 0.5) / 10.0,
+                    );
+                    let r = p.norm();
+                    if r < inner_inradius * 0.98 || r > outer_r * 1.000_01 {
+                        b.add_hole(p);
+                    }
+                }
+            }
+        }
+    }
+
+    let mesh = b.build().ok()?;
+    if mesh.num_tris() == 0 {
+        return None;
+    }
+    Some(mesh)
+}
+
+/// Count triangles whose centroid lies in `cell`, with half-open ownership
+/// (`[min, max)`, closed at the global domain maximum) so that cells
+/// partition counted elements exactly.
+pub fn count_owned_triangles(mesh: &TriMesh, cell: &BBox, domain_bbox: &BBox) -> u64 {
+    let closed_x = cell.max.x >= domain_bbox.max.x;
+    let closed_y = cell.max.y >= domain_bbox.max.y;
+    mesh.tri_ids()
+        .filter(|&t| {
+            let c = mesh.centroid(t);
+            let x_ok = c.x >= cell.min.x && (c.x < cell.max.x || (closed_x && c.x <= cell.max.x));
+            let y_ok = c.y >= cell.min.y && (c.y < cell.max.y || (closed_y && c.y <= cell.max.y));
+            x_ok && y_ok
+        })
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumg_delaunay::refine::{refine, RefineParams};
+    use pumg_delaunay::sizing::SizingField;
+
+    #[test]
+    fn clip_fully_inside_and_outside() {
+        let bb = BBox::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let (a, b) = (Point2::new(0.2, 0.2), Point2::new(0.8, 0.8));
+        assert_eq!(clip_segment_to_box(a, b, &bb), Some((a, b)));
+        assert_eq!(
+            clip_segment_to_box(Point2::new(2.0, 2.0), Point2::new(3.0, 3.0), &bb),
+            None
+        );
+        // Parallel to an edge, outside.
+        assert_eq!(
+            clip_segment_to_box(Point2::new(-1.0, 2.0), Point2::new(2.0, 2.0), &bb),
+            None
+        );
+    }
+
+    #[test]
+    fn clip_crossing_segments() {
+        let bb = BBox::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let (ca, cb) =
+            clip_segment_to_box(Point2::new(-1.0, 0.5), Point2::new(2.0, 0.5), &bb).unwrap();
+        assert_eq!(ca, Point2::new(0.0, 0.5));
+        assert_eq!(cb, Point2::new(1.0, 0.5));
+        // Diagonal entering through the left edge, exiting through the top.
+        let (ra, rb) =
+            clip_segment_to_box(Point2::new(-0.5, 0.2), Point2::new(0.5, 1.2), &bb).unwrap();
+        assert!(bb.contains(ra) && bb.contains(rb));
+        assert_eq!(ra, Point2::new(0.0, 0.7));
+        assert_eq!(rb.y, 1.0);
+        // A segment that only grazes a corner degenerates to nothing.
+        assert_eq!(
+            clip_segment_to_box(Point2::new(-0.5, 0.5), Point2::new(0.5, 1.5), &bb),
+            None
+        );
+    }
+
+    #[test]
+    fn clip_determinism_across_boxes() {
+        // The same polygon edge clipped against two boxes sharing a grid
+        // line must produce the identical intersection point on that line.
+        let a = Point2::new(0.13, -0.7);
+        let b = Point2::new(0.81, 0.9);
+        let left = BBox::new(Point2::new(-1.0, -1.0), Point2::new(0.5, 1.0));
+        let right = BBox::new(Point2::new(0.5, -1.0), Point2::new(1.0, 1.0));
+        let (_, l_end) = clip_segment_to_box(a, b, &left).unwrap();
+        let (r_start, _) = clip_segment_to_box(a, b, &right).unwrap();
+        assert_eq!(l_end, r_start, "shared boundary point must be bit-identical");
+        assert_eq!(l_end.x, 0.5);
+    }
+
+    #[test]
+    fn rect_region_is_the_clamped_box() {
+        let d = DomainSpec::Rect { w: 2.0, h: 1.0 };
+        let region = BBox::new(Point2::new(1.0, 0.0), Point2::new(3.0, 2.0));
+        let mesh = mesh_region(&d, &region).unwrap();
+        mesh.validate().unwrap();
+        assert!((mesh.total_area() - 1.0).abs() < 1e-9); // [1,2]x[0,1]
+    }
+
+    #[test]
+    fn region_outside_domain_is_none() {
+        let d = DomainSpec::Rect { w: 1.0, h: 1.0 };
+        let region = BBox::new(Point2::new(2.0, 2.0), Point2::new(3.0, 3.0));
+        assert!(mesh_region(&d, &region).is_none());
+    }
+
+    #[test]
+    fn pipe_quadrant_region() {
+        let d = DomainSpec::pipe();
+        // The north-east quadrant box: includes outer arc and part of the
+        // bore.
+        let region = BBox::new(Point2::new(0.0, 0.0), Point2::new(1.2, 1.2));
+        let mesh = mesh_region(&d, &region).unwrap();
+        mesh.validate().unwrap();
+        // Area ≈ quarter of the pipe area (polygon approximation).
+        let expect = d.area() / 4.0;
+        assert!(
+            (mesh.total_area() - expect).abs() < 0.05 * expect,
+            "area {} vs expected {}",
+            mesh.total_area(),
+            expect
+        );
+        // Refining the region keeps it valid and respects the walls.
+        let mut mesh = mesh;
+        let before = mesh.total_area();
+        refine(
+            &mut mesh,
+            &RefineParams {
+                max_ratio: std::f64::consts::SQRT_2,
+                sizing: SizingField::Uniform(0.08),
+                min_edge_len: 1e-4,
+                max_inserted: usize::MAX,
+            },
+        );
+        mesh.validate().unwrap();
+        assert!((mesh.total_area() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipe_region_missing_the_bore() {
+        let d = DomainSpec::pipe();
+        // A box fully between bore and wall (no boundary crossing).
+        let region = BBox::new(Point2::new(0.4, -0.15), Point2::new(0.7, 0.15));
+        let mesh = mesh_region(&d, &region).unwrap();
+        mesh.validate().unwrap();
+        assert!((mesh.total_area() - 0.3 * 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipe_region_inside_bore_is_empty() {
+        let d = DomainSpec::pipe();
+        let region = BBox::new(Point2::new(-0.1, -0.1), Point2::new(0.1, 0.1));
+        assert!(mesh_region(&d, &region).is_none());
+    }
+
+    #[test]
+    fn ownership_counting_partitions() {
+        let d = DomainSpec::Rect { w: 1.0, h: 1.0 };
+        let mut mesh = mesh_region(&d, &d.bbox()).unwrap();
+        refine(&mut mesh, &RefineParams::with_uniform_size(0.08));
+        let total = mesh.num_tris() as u64;
+        // Count by 2x2 cells; they must sum to the total.
+        let mut sum = 0;
+        for i in 0..2 {
+            for j in 0..2 {
+                let cell = BBox::new(
+                    Point2::new(i as f64 * 0.5, j as f64 * 0.5),
+                    Point2::new((i + 1) as f64 * 0.5, (j + 1) as f64 * 0.5),
+                );
+                sum += count_owned_triangles(&mesh, &cell, &d.bbox());
+            }
+        }
+        assert_eq!(sum, total);
+    }
+}

@@ -1,0 +1,379 @@
+//! Region quadtree with neighbor/buffer-zone queries.
+//!
+//! The non-uniform parallel Delaunay refinement method (NUPDR) distributes
+//! the mesh into blocks corresponding to the **leaves of a quadtree**; a
+//! leaf is refined together with a *buffer* of neighboring leaves, and
+//! leaves are split while they are large relative to the local sizing. This
+//! crate provides exactly those primitives:
+//!
+//! * [`QuadTree::locate`] — which leaf covers a point,
+//! * [`QuadTree::split`] — replace a leaf by four children,
+//! * [`QuadTree::neighbors`] — the leaves sharing an edge or corner with a
+//!   leaf (the buffer zone `BUF` of the paper),
+//! * [`QuadTree::query`] — all leaves intersecting a box,
+//! * [`QuadTree::leaves`] — iteration over current leaves.
+//!
+//! Leaves carry an arbitrary payload `T` (the mesh methods store the mobile
+//! pointer of the leaf's mesh fragment there).
+
+use pumg_geometry::{BBox, Point2};
+
+/// Index of a node in the tree arena.
+pub type NodeId = u32;
+
+/// The root is always node 0.
+pub const ROOT: NodeId = 0;
+
+#[derive(Clone, Debug)]
+enum Kind<T> {
+    Leaf(T),
+    /// Children in quadrant order [SW, SE, NW, NE].
+    Internal([NodeId; 4]),
+}
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    bbox: BBox,
+    depth: u8,
+    parent: NodeId,
+    kind: Kind<T>,
+}
+
+/// A region quadtree over a rectangular domain.
+#[derive(Clone, Debug)]
+pub struct QuadTree<T> {
+    nodes: Vec<Node<T>>,
+    n_leaves: usize,
+}
+
+impl<T> QuadTree<T> {
+    /// A tree with a single leaf covering `bbox`.
+    pub fn new(bbox: BBox, root_data: T) -> Self {
+        QuadTree {
+            nodes: vec![Node {
+                bbox,
+                depth: 0,
+                parent: ROOT,
+                kind: Kind::Leaf(root_data),
+            }],
+            n_leaves: 1,
+        }
+    }
+
+    /// The domain covered by the tree.
+    pub fn bbox(&self) -> BBox {
+        self.nodes[ROOT as usize].bbox
+    }
+
+    /// Bounding box of a node.
+    pub fn node_bbox(&self, id: NodeId) -> BBox {
+        self.nodes[id as usize].bbox
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, id: NodeId) -> u8 {
+        self.nodes[id as usize].depth
+    }
+
+    /// Parent of a node (the root is its own parent).
+    pub fn parent(&self, id: NodeId) -> NodeId {
+        self.nodes[id as usize].parent
+    }
+
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id as usize].kind, Kind::Leaf(_))
+    }
+
+    /// Payload of a leaf; `None` for internal nodes.
+    pub fn leaf_data(&self, id: NodeId) -> Option<&T> {
+        match &self.nodes[id as usize].kind {
+            Kind::Leaf(d) => Some(d),
+            Kind::Internal(_) => None,
+        }
+    }
+
+    /// Mutable payload of a leaf.
+    pub fn leaf_data_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        match &mut self.nodes[id as usize].kind {
+            Kind::Leaf(d) => Some(d),
+            Kind::Internal(_) => None,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Total number of nodes (leaves + internal).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterator over leaf ids.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, Kind::Leaf(_)))
+            .map(|(i, _)| i as NodeId)
+    }
+
+    /// The leaf containing `p`. Points on internal split lines go to the
+    /// child with the greater coordinate (east/north bias); points outside
+    /// the root box return `None`.
+    pub fn locate(&self, p: Point2) -> Option<NodeId> {
+        if !self.bbox().contains(p) {
+            return None;
+        }
+        let mut id = ROOT;
+        loop {
+            match &self.nodes[id as usize].kind {
+                Kind::Leaf(_) => return Some(id),
+                Kind::Internal(children) => {
+                    let c = self.nodes[id as usize].bbox.center();
+                    let east = p.x >= c.x;
+                    let north = p.y >= c.y;
+                    let q = match (east, north) {
+                        (false, false) => 0, // SW
+                        (true, false) => 1,  // SE
+                        (false, true) => 2,  // NW
+                        (true, true) => 3,   // NE
+                    };
+                    id = children[q];
+                }
+            }
+        }
+    }
+
+    /// Split leaf `id` into four children whose payloads are produced by
+    /// `make_child` (called with the quadrant index 0..4 and the child
+    /// box). Returns the child ids in [SW, SE, NW, NE] order.
+    ///
+    /// Panics if `id` is not a leaf.
+    pub fn split(
+        &mut self,
+        id: NodeId,
+        mut make_child: impl FnMut(usize, BBox) -> T,
+    ) -> [NodeId; 4] {
+        assert!(self.is_leaf(id), "split of non-leaf node {id}");
+        let bbox = self.nodes[id as usize].bbox;
+        let depth = self.nodes[id as usize].depth;
+        let c = bbox.center();
+        let child_boxes = [
+            BBox::new(bbox.min, c),
+            BBox::new(Point2::new(c.x, bbox.min.y), Point2::new(bbox.max.x, c.y)),
+            BBox::new(Point2::new(bbox.min.x, c.y), Point2::new(c.x, bbox.max.y)),
+            BBox::new(c, bbox.max),
+        ];
+        let mut children = [0 as NodeId; 4];
+        for (q, cb) in child_boxes.into_iter().enumerate() {
+            let cid = self.nodes.len() as NodeId;
+            self.nodes.push(Node {
+                bbox: cb,
+                depth: depth + 1,
+                parent: id,
+                kind: Kind::Leaf(make_child(q, cb)),
+            });
+            children[q] = cid;
+        }
+        self.nodes[id as usize].kind = Kind::Internal(children);
+        self.n_leaves += 3; // -1 leaf, +4 leaves
+        children
+    }
+
+    /// All leaves whose box intersects `query` (closed intervals: touching
+    /// counts).
+    pub fn query(&self, query: &BBox) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![ROOT];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !node.bbox.intersects(query) {
+                continue;
+            }
+            match &node.kind {
+                Kind::Leaf(_) => out.push(id),
+                Kind::Internal(children) => stack.extend_from_slice(children),
+            }
+        }
+        out
+    }
+
+    /// The buffer zone of a leaf: all other leaves sharing an edge or a
+    /// corner with it.
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        debug_assert!(self.is_leaf(id));
+        let b = self.nodes[id as usize].bbox;
+        self.query(&b).into_iter().filter(|&n| n != id).collect()
+    }
+
+    /// Leaves sharing an *edge* (positive-length overlap) with `id`;
+    /// excludes pure corner contacts.
+    pub fn edge_neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let b = self.nodes[id as usize].bbox;
+        self.neighbors(id)
+            .into_iter()
+            .filter(|&n| {
+                let nb = self.nodes[n as usize].bbox;
+                let dx = nb.max.x.min(b.max.x) - nb.min.x.max(b.min.x);
+                let dy = nb.max.y.min(b.max.y) - nb.min.y.max(b.min.y);
+                (dx > 0.0 && dy >= 0.0) || (dy > 0.0 && dx >= 0.0)
+            })
+            .collect()
+    }
+
+    /// Split leaves until `should_split(leaf_bbox, depth)` is false
+    /// everywhere (bounded by `max_depth`). Returns the number of splits.
+    pub fn refine_while(
+        &mut self,
+        should_split: impl Fn(&BBox, u8) -> bool,
+        mut make_child: impl FnMut(usize, BBox) -> T,
+        max_depth: u8,
+    ) -> usize {
+        let mut splits = 0;
+        let mut stack: Vec<NodeId> = self.leaves().collect();
+        while let Some(id) = stack.pop() {
+            if !self.is_leaf(id) {
+                continue;
+            }
+            let node = &self.nodes[id as usize];
+            if node.depth >= max_depth || !should_split(&node.bbox, node.depth) {
+                continue;
+            }
+            let children = self.split(id, &mut make_child);
+            splits += 1;
+            stack.extend_from_slice(&children);
+        }
+        splits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tree() -> QuadTree<u32> {
+        QuadTree::new(BBox::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)), 0)
+    }
+
+    #[test]
+    fn fresh_tree_is_single_leaf() {
+        let t = unit_tree();
+        assert_eq!(t.num_leaves(), 1);
+        assert!(t.is_leaf(ROOT));
+        assert_eq!(t.locate(Point2::new(0.5, 0.5)), Some(ROOT));
+        assert_eq!(t.locate(Point2::new(2.0, 0.5)), None);
+        assert_eq!(t.leaf_data(ROOT), Some(&0));
+    }
+
+    #[test]
+    fn split_produces_four_quadrant_children() {
+        let mut t = unit_tree();
+        let kids = t.split(ROOT, |q, _| q as u32 + 10);
+        assert_eq!(t.num_leaves(), 4);
+        assert!(!t.is_leaf(ROOT));
+        assert_eq!(t.leaf_data(ROOT), None);
+        assert_eq!(t.locate(Point2::new(0.1, 0.1)), Some(kids[0])); // SW
+        assert_eq!(t.locate(Point2::new(0.9, 0.1)), Some(kids[1])); // SE
+        assert_eq!(t.locate(Point2::new(0.1, 0.9)), Some(kids[2])); // NW
+        assert_eq!(t.locate(Point2::new(0.9, 0.9)), Some(kids[3])); // NE
+        // Center goes to NE (east/north bias).
+        assert_eq!(t.locate(Point2::new(0.5, 0.5)), Some(kids[3]));
+        for (q, &k) in kids.iter().enumerate() {
+            assert_eq!(t.leaf_data(k), Some(&(q as u32 + 10)));
+            assert_eq!(t.depth(k), 1);
+            assert_eq!(t.parent(k), ROOT);
+        }
+    }
+
+    #[test]
+    fn query_finds_touching_leaves() {
+        let mut t = unit_tree();
+        let kids = t.split(ROOT, |q, _| q as u32);
+        let q = BBox::new(Point2::new(0.1, 0.1), Point2::new(0.2, 0.2));
+        assert_eq!(t.query(&q), vec![kids[0]]);
+        let q = BBox::new(Point2::new(0.4, 0.1), Point2::new(0.6, 0.2));
+        let mut r = t.query(&q);
+        r.sort();
+        let mut expect = vec![kids[0], kids[1]];
+        expect.sort();
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn neighbors_include_corners() {
+        let mut t = unit_tree();
+        let kids = t.split(ROOT, |q, _| q as u32);
+        // SW's neighbors: SE (edge), NW (edge), NE (corner).
+        let mut n = t.neighbors(kids[0]);
+        n.sort();
+        let mut expect = vec![kids[1], kids[2], kids[3]];
+        expect.sort();
+        assert_eq!(n, expect);
+        // Edge neighbors exclude the diagonal.
+        let mut en = t.edge_neighbors(kids[0]);
+        en.sort();
+        let mut expect = vec![kids[1], kids[2]];
+        expect.sort();
+        assert_eq!(en, expect);
+    }
+
+    #[test]
+    fn nested_neighbors_across_levels() {
+        let mut t = unit_tree();
+        let kids = t.split(ROOT, |q, _| q as u32);
+        // Split SE further; the NW child of SE touches SW.
+        let se_kids = t.split(kids[1], |q, _| 100 + q as u32);
+        let n = t.neighbors(se_kids[2]);
+        assert!(n.contains(&kids[0]), "fine leaf must see coarse neighbor");
+        // And the coarse SW leaf sees the fine leaf back.
+        assert!(t.neighbors(kids[0]).contains(&se_kids[2]));
+    }
+
+    #[test]
+    fn refine_while_respects_predicate_and_depth() {
+        let mut t = unit_tree();
+        // Split while leaves are wider than 0.3 → depth-2 grid (16 leaves).
+        let splits = t.refine_while(|b, _| b.width() > 0.3, |_, _| 0, 8);
+        assert_eq!(splits, 5); // root + 4 children
+        assert_eq!(t.num_leaves(), 16);
+        for l in t.leaves().collect::<Vec<_>>() {
+            assert!(t.node_bbox(l).width() <= 0.3);
+        }
+        // Depth cap.
+        let mut t2 = unit_tree();
+        t2.refine_while(|_, _| true, |_, _| 0, 2);
+        assert_eq!(t2.num_leaves(), 16);
+    }
+
+    #[test]
+    fn leaves_partition_the_domain() {
+        let mut t = unit_tree();
+        t.refine_while(|b, d| b.width() > 0.2 && d < 3, |_, _| 0, 8);
+        let total: f64 = t
+            .leaves()
+            .map(|l| {
+                let b = t.node_bbox(l);
+                b.width() * b.height()
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(t.num_leaves(), 64);
+    }
+
+    #[test]
+    fn locate_consistency_with_query() {
+        let mut t = unit_tree();
+        t.refine_while(|b, _| b.width() > 0.26, |_, _| 0, 8);
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = Point2::new(0.025 + i as f64 * 0.05, 0.025 + j as f64 * 0.05);
+                let leaf = t.locate(p).unwrap();
+                assert!(t.node_bbox(leaf).contains(p));
+                let hits = t.query(&BBox::new(p, p));
+                assert!(hits.contains(&leaf));
+            }
+        }
+    }
+}

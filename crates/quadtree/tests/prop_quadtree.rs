@@ -1,0 +1,92 @@
+//! Property tests: quadtree structural invariants under arbitrary split
+//! sequences — leaves always partition the domain, locate/query agree, and
+//! neighbor relations stay symmetric.
+
+use proptest::prelude::*;
+use pumg_geometry::{BBox, Point2};
+use pumg_quadtree::{NodeId, QuadTree, ROOT};
+
+fn build_tree(splits: &[u8]) -> QuadTree<u32> {
+    let mut t = QuadTree::new(
+        BBox::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+        0,
+    );
+    for &pick in splits {
+        let leaves: Vec<NodeId> = t.leaves().collect();
+        let leaf = leaves[pick as usize % leaves.len()];
+        if t.depth(leaf) < 6 {
+            t.split(leaf, |_, _| 0);
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn leaves_partition_area(splits in prop::collection::vec(any::<u8>(), 0..30)) {
+        let t = build_tree(&splits);
+        let total: f64 = t
+            .leaves()
+            .map(|l| {
+                let b = t.node_bbox(l);
+                b.width() * b.height()
+            })
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Leaf count bookkeeping matches enumeration.
+        prop_assert_eq!(t.num_leaves(), t.leaves().count());
+    }
+
+    #[test]
+    fn locate_agrees_with_geometry(
+        splits in prop::collection::vec(any::<u8>(), 0..25),
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..30),
+    ) {
+        let t = build_tree(&splits);
+        for (x, y) in pts {
+            let p = Point2::new(x, y);
+            let leaf = t.locate(p).expect("point inside the root box");
+            prop_assert!(t.is_leaf(leaf));
+            prop_assert!(t.node_bbox(leaf).contains(p));
+            // query with a degenerate box must include the located leaf.
+            let hits = t.query(&BBox::new(p, p));
+            prop_assert!(hits.contains(&leaf));
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric(splits in prop::collection::vec(any::<u8>(), 0..25)) {
+        let t = build_tree(&splits);
+        let leaves: Vec<NodeId> = t.leaves().collect();
+        for &l in &leaves {
+            for n in t.neighbors(l) {
+                prop_assert!(t.is_leaf(n));
+                prop_assert!(
+                    t.neighbors(n).contains(&l),
+                    "asymmetric neighbors {l} / {n}"
+                );
+                prop_assert!(t.node_bbox(l).intersects(&t.node_bbox(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_parent_links_consistent(splits in prop::collection::vec(any::<u8>(), 0..25)) {
+        let t = build_tree(&splits);
+        for l in t.leaves().collect::<Vec<_>>() {
+            let mut cur = l;
+            let mut hops = 0;
+            while cur != ROOT {
+                let parent = t.parent(cur);
+                prop_assert!(t.node_bbox(parent).contains(t.node_bbox(cur).center()));
+                prop_assert_eq!(t.depth(parent) + 1, t.depth(cur));
+                cur = parent;
+                hops += 1;
+                prop_assert!(hops <= 10, "parent chain too long");
+            }
+            prop_assert_eq!(hops, t.depth(l) as usize);
+        }
+    }
+}

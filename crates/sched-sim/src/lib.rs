@@ -1,0 +1,417 @@
+//! Batch-queue cluster scheduler simulator (FCFS + EASY backfilling).
+//!
+//! Figure 1 of the paper motivates out-of-core computing with queue-wait
+//! data from a shared university cluster: *requests for few nodes schedule
+//! within minutes; wide requests wait for hours*. This crate reproduces
+//! that phenomenon with a discrete-event simulation of a space-shared
+//! cluster under FCFS scheduling with EASY backfilling, fed a synthetic
+//! Poisson job trace with a realistic width mix.
+//!
+//! The headline derived metric — the paper's introduction example — is
+//! [`turnaround`]: wait time plus execution time, showing that a 16-node
+//! out-of-core job can *finish* before a 32-node in-core job has even
+//! started.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One batch job.
+#[derive(Clone, Copy, Debug)]
+pub struct Job {
+    pub id: usize,
+    /// Submission time (seconds).
+    pub submit: f64,
+    /// Nodes requested.
+    pub width: usize,
+    /// Execution time (seconds). Also used as the runtime estimate for
+    /// backfill reservations.
+    pub runtime: f64,
+}
+
+/// Scheduling outcome for one job.
+#[derive(Clone, Copy, Debug)]
+pub struct JobRecord {
+    pub job: Job,
+    /// When the job started running.
+    pub start: f64,
+    /// Queue wait = start − submit.
+    pub wait: f64,
+}
+
+/// Cluster and policy parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedConfig {
+    pub cluster_nodes: usize,
+    /// Enable EASY backfilling (FCFS head keeps a reservation; later jobs
+    /// may jump the queue if they do not delay it).
+    pub backfill: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            cluster_nodes: 128,
+            backfill: true,
+        }
+    }
+}
+
+/// Synthetic workload parameters for [`generate_trace`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    pub n_jobs: usize,
+    /// Mean inter-arrival time (seconds).
+    pub mean_interarrival: f64,
+    /// Mean runtime (seconds; log-normal-ish).
+    pub mean_runtime: f64,
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            n_jobs: 2000,
+            mean_interarrival: 120.0,
+            mean_runtime: 3600.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate a Poisson-arrival trace with a power-of-two width mix biased
+/// toward narrow jobs (the classic supercomputer workload shape).
+pub fn generate_trace(cluster_nodes: usize, cfg: &TraceConfig) -> Vec<Job> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let exp = rand::distributions::Uniform::new(0.0f64, 1.0);
+    let mut t = 0.0;
+    let mut jobs = Vec::with_capacity(cfg.n_jobs);
+    let max_pow = (cluster_nodes as f64).log2().floor() as u32;
+    for id in 0..cfg.n_jobs {
+        // Exponential inter-arrival.
+        let u: f64 = exp.sample(&mut rng).max(1e-12);
+        t += -cfg.mean_interarrival * u.ln();
+        // Width: 2^k with k geometric-ish (narrow jobs dominate).
+        let k = (0..=max_pow)
+            .find(|_| rng.gen_bool(0.55))
+            .unwrap_or(max_pow);
+        let width = (1usize << k).min(cluster_nodes);
+        // Runtime: exponential with a floor.
+        let u: f64 = exp.sample(&mut rng).max(1e-12);
+        let runtime = (60.0 - cfg.mean_runtime * u.ln() * 0.5).min(6.0 * cfg.mean_runtime);
+        jobs.push(Job {
+            id,
+            submit: t,
+            width,
+            runtime,
+        });
+    }
+    jobs
+}
+
+/// Run the space-shared scheduler over a trace; returns per-job records
+/// (sorted by job id).
+pub fn simulate(cfg: &SchedConfig, jobs: &[Job]) -> Vec<JobRecord> {
+    #[derive(PartialEq)]
+    struct End(f64, usize); // (end time, width)
+    impl Eq for End {}
+    impl PartialOrd for End {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for End {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).unwrap().then(self.1.cmp(&other.1))
+        }
+    }
+
+    let mut jobs: Vec<Job> = jobs.to_vec();
+    jobs.sort_by(|a, b| a.submit.partial_cmp(&b.submit).unwrap());
+
+    let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
+    let mut running: BinaryHeap<Reverse<End>> = BinaryHeap::new();
+    let mut free = cfg.cluster_nodes;
+    let mut queue: VecDeque<Job> = VecDeque::new();
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+
+    loop {
+        // Advance: release finished jobs at `now`.
+        while running.peek().map_or(false, |Reverse(End(t, _))| *t <= now) {
+            let Reverse(End(_, w)) = running.pop().unwrap();
+            free += w;
+        }
+        // Admit arrivals at `now`.
+        while next_arrival < jobs.len() && jobs[next_arrival].submit <= now {
+            queue.push_back(jobs[next_arrival]);
+            next_arrival += 1;
+        }
+
+        // Schedule: FCFS head, then (optionally) backfill.
+        loop {
+            let Some(&head) = queue.front() else { break };
+            if head.width <= free {
+                queue.pop_front();
+                free -= head.width;
+                running.push(Reverse(End(now + head.runtime, head.width)));
+                records.push(JobRecord {
+                    job: head,
+                    start: now,
+                    wait: now - head.submit,
+                });
+                continue;
+            }
+            // Head blocked: EASY backfill against its reservation.
+            if cfg.backfill {
+                // Shadow time: when enough nodes free up for the head.
+                let mut avail = free;
+                let mut shadow = f64::INFINITY;
+                let mut extra_at_shadow = 0usize;
+                let mut ends: Vec<(f64, usize)> =
+                    running.iter().map(|Reverse(End(t, w))| (*t, *w)).collect();
+                ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for (t, w) in ends {
+                    avail += w;
+                    if avail >= head.width {
+                        shadow = t;
+                        extra_at_shadow = avail - head.width;
+                        break;
+                    }
+                }
+                let mut i = 1; // skip the head
+                let mut backfilled = false;
+                while i < queue.len() {
+                    let cand = queue[i];
+                    let fits_now = cand.width <= free;
+                    let no_delay = now + cand.runtime <= shadow
+                        || cand.width <= extra_at_shadow.min(free);
+                    if fits_now && no_delay {
+                        queue.remove(i);
+                        free -= cand.width;
+                        running.push(Reverse(End(now + cand.runtime, cand.width)));
+                        records.push(JobRecord {
+                            job: cand,
+                            start: now,
+                            wait: now - cand.submit,
+                        });
+                        backfilled = true;
+                        // Restart the scan: free changed.
+                        break;
+                    }
+                    i += 1;
+                }
+                if backfilled {
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // Next event time.
+        let t_run = running.peek().map(|Reverse(End(t, _))| *t);
+        let t_arr = (next_arrival < jobs.len()).then(|| jobs[next_arrival].submit);
+        now = match (t_run, t_arr) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => {
+                if queue.is_empty() {
+                    break;
+                }
+                // Queue non-empty but nothing running and no arrivals: the
+                // head is wider than the cluster.
+                panic!("job {} wider than cluster", queue.front().unwrap().id);
+            }
+        };
+    }
+
+    records.sort_by_key(|r| r.job.id);
+    records
+}
+
+/// Average queue wait (seconds) per requested width, from a simulation's
+/// records. Returns `(width, mean wait, jobs)` sorted by width.
+pub fn wait_by_width(records: &[JobRecord]) -> Vec<(usize, f64, usize)> {
+    let mut map: std::collections::BTreeMap<usize, (f64, usize)> = Default::default();
+    for r in records {
+        let e = map.entry(r.job.width).or_insert((0.0, 0));
+        e.0 += r.wait;
+        e.1 += 1;
+    }
+    map.into_iter()
+        .map(|(w, (sum, n))| (w, sum / n as f64, n))
+        .collect()
+}
+
+/// Expected turnaround (wait + runtime) of a job of `width` nodes and
+/// `runtime` seconds against the measured waits — the paper's introduction
+/// example (in-core 32-node vs out-of-core 16-node).
+pub fn turnaround(records: &[JobRecord], width: usize, runtime: f64) -> f64 {
+    let by_width = wait_by_width(records);
+    // Interpolate the wait for `width` from the closest measured widths.
+    let wait = by_width
+        .iter()
+        .min_by_key(|(w, _, _)| w.abs_diff(width))
+        .map(|&(_, mean, _)| mean)
+        .unwrap_or(0.0);
+    wait + runtime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_default() -> Vec<JobRecord> {
+        let trace = generate_trace(128, &TraceConfig::default());
+        simulate(&SchedConfig::default(), &trace)
+    }
+
+    #[test]
+    fn all_jobs_complete_with_nonnegative_wait() {
+        let trace = generate_trace(128, &TraceConfig::default());
+        let records = simulate(&SchedConfig::default(), &trace);
+        assert_eq!(records.len(), trace.len());
+        for r in &records {
+            assert!(r.wait >= -1e-9, "negative wait for {:?}", r.job);
+            assert!(r.start >= r.job.submit - 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let a = generate_trace(128, &TraceConfig::default());
+        let b = generate_trace(128, &TraceConfig::default());
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.submit == y.submit && x.width == y.width));
+        let c = generate_trace(
+            128,
+            &TraceConfig {
+                seed: 8,
+                ..Default::default()
+            },
+        );
+        assert!(a.iter().zip(&c).any(|(x, y)| x.submit != y.submit));
+    }
+
+    #[test]
+    fn narrow_jobs_wait_less_than_wide_jobs() {
+        // The Figure 1 shape: mean wait grows with requested width.
+        let records = run_default();
+        let by_width = wait_by_width(&records);
+        assert!(by_width.len() >= 4);
+        let narrow: f64 = by_width
+            .iter()
+            .filter(|(w, _, _)| *w <= 8)
+            .map(|(_, m, _)| *m)
+            .sum::<f64>()
+            / by_width.iter().filter(|(w, _, _)| *w <= 8).count().max(1) as f64;
+        let wide: f64 = by_width
+            .iter()
+            .filter(|(w, _, _)| *w >= 64)
+            .map(|(_, m, _)| *m)
+            .sum::<f64>()
+            / by_width.iter().filter(|(w, _, _)| *w >= 64).count().max(1) as f64;
+        assert!(
+            wide > 3.0 * narrow,
+            "wide jobs must wait much longer: narrow {narrow:.0}s wide {wide:.0}s"
+        );
+    }
+
+    #[test]
+    fn backfilling_reduces_narrow_wait() {
+        let trace = generate_trace(128, &TraceConfig::default());
+        let with = simulate(&SchedConfig::default(), &trace);
+        let without = simulate(
+            &SchedConfig {
+                backfill: false,
+                ..Default::default()
+            },
+            &trace,
+        );
+        let mean = |rs: &[JobRecord]| {
+            rs.iter()
+                .filter(|r| r.job.width <= 4)
+                .map(|r| r.wait)
+                .sum::<f64>()
+                / rs.iter().filter(|r| r.job.width <= 4).count().max(1) as f64
+        };
+        assert!(
+            mean(&with) <= mean(&without),
+            "backfilling must not hurt narrow jobs: {} vs {}",
+            mean(&with),
+            mean(&without)
+        );
+    }
+
+    #[test]
+    fn cluster_never_oversubscribed() {
+        // Validated implicitly by simulate's free-node arithmetic: at any
+        // instant, running widths sum ≤ cluster. Re-check from records.
+        let records = run_default();
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        for r in &records {
+            events.push((r.start, r.job.width as i64));
+            events.push((r.start + r.job.runtime, -(r.job.width as i64)));
+        }
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then(a.1.cmp(&b.1)) // releases before starts at ties
+        });
+        let mut used = 0i64;
+        for (_, d) in events {
+            used += d;
+            assert!(used <= 128, "oversubscribed: {used}");
+        }
+    }
+
+    #[test]
+    fn turnaround_example_out_of_core_wins() {
+        // The paper's motivating arithmetic: a 32-node in-core job that
+        // runs 310 s vs the same problem out-of-core on 16 nodes in 731 s.
+        // On a contended cluster the 16-node job should *finish* earlier.
+        // Single-trace per-width means are noisy; average the bucketed
+        // waits over several seeds.
+        let mut narrow_sum = 0.0;
+        let mut wide_sum = 0.0;
+        for seed in 0..5 {
+            let trace = generate_trace(
+                128,
+                &TraceConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let records = simulate(&SchedConfig::default(), &trace);
+            let mean_bucket = |lo: usize, hi: usize| {
+                let rs: Vec<_> = records
+                    .iter()
+                    .filter(|r| r.job.width >= lo && r.job.width <= hi)
+                    .collect();
+                rs.iter().map(|r| r.wait).sum::<f64>() / rs.len().max(1) as f64
+            };
+            narrow_sum += mean_bucket(1, 16);
+            wide_sum += mean_bucket(32, 128);
+        }
+        let (narrow, wide) = (narrow_sum / 5.0, wide_sum / 5.0);
+        assert!(
+            wide > narrow,
+            "wait(≥32) {wide:.0}s must exceed wait(≤16) {narrow:.0}s"
+        );
+        // The paper's example: in-core needs 32 nodes for 310 s, the
+        // out-of-core port needs 16 nodes for 731 s. With the measured
+        // wait gap, out-of-core turnaround wins whenever the gap exceeds
+        // the 421 s runtime difference.
+        let in_core = narrow.max(wide) + 310.0; // 32-node job waits `wide`
+        let out_of_core = narrow + 731.0;
+        if wide - narrow > 421.0 {
+            assert!(out_of_core < in_core);
+        }
+    }
+}

@@ -123,11 +123,13 @@ pub struct TrafficStats {
     pub gets: usize,
 }
 
+type RegionMap = HashMap<(NodeId, u64), Arc<Mutex<Vec<u8>>>>;
+
 struct Shared {
     n: usize,
     model: NetworkModel,
     inboxes: Vec<Inbox>,
-    regions: Mutex<HashMap<(NodeId, u64), Arc<Mutex<Vec<u8>>>>>,
+    regions: Mutex<RegionMap>,
     locks: Mutex<HashMap<u64, NodeId>>,
     locks_cond: Condvar,
     barrier: BarrierState,
@@ -140,6 +142,9 @@ pub struct Fabric;
 
 impl Fabric {
     /// Build a fabric with `n` nodes; returns one [`Endpoint`] per node.
+    /// `Fabric` is a constructor namespace only -- all state lives in the
+    /// endpoints' shared core, so there is no `Self` to return.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(n: usize, model: NetworkModel) -> Vec<Endpoint> {
         assert!(n > 0 && n <= u16::MAX as usize);
         let shared = Arc::new(Shared {
@@ -251,7 +256,9 @@ impl Endpoint {
                 }
                 inbox.cond.wait_until(&mut heap, deadline);
             }
-            if Instant::now() >= deadline && heap.peek().map_or(true, |Reverse(t)| t.deliver_at > deadline) {
+            if Instant::now() >= deadline
+                && heap.peek().is_none_or(|Reverse(t)| t.deliver_at > deadline)
+            {
                 return None;
             }
         }
@@ -330,7 +337,10 @@ impl Endpoint {
         let mut locks = self.shared.locks.lock();
         match locks.remove(&id) {
             Some(owner) if owner == self.node => {}
-            other => panic!("unlock of lock {id} not held by node {} ({other:?})", self.node),
+            other => panic!(
+                "unlock of lock {id} not held by node {} ({other:?})",
+                self.node
+            ),
         }
         self.shared.locks_cond.notify_all();
     }
@@ -539,6 +549,9 @@ mod tests {
         };
         let t = m.transfer_time(1_000_000);
         assert!((t.as_secs_f64() - 1.0001).abs() < 1e-6);
-        assert_eq!(NetworkModel::instant().transfer_time(1 << 30), Duration::ZERO);
+        assert_eq!(
+            NetworkModel::instant().transfer_time(1 << 30),
+            Duration::ZERO
+        );
     }
 }

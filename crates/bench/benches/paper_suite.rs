@@ -57,13 +57,17 @@ fn bench_fig6(c: &mut Criterion) {
         b.iter(|| nupdr_incore(&p, 4, BIG).unwrap().elements)
     });
     g.bench_function("onupdr_incore_4pe", |b| {
-        let mut opts = OnupdrOpts::default();
-        opts.max_active = 4;
+        let opts = OnupdrOpts {
+            max_active: 4,
+            ..Default::default()
+        };
         b.iter(|| onupdr_run(&p, MrtsConfig::in_core(4), opts).elements)
     });
     g.bench_function("onupdr_outofcore_4pe", |b| {
-        let mut opts = OnupdrOpts::default();
-        opts.max_active = 4;
+        let opts = OnupdrOpts {
+            max_active: 4,
+            ..Default::default()
+        };
         let budget = mem_per_pe(1_500, 4) as usize;
         b.iter(|| onupdr_run(&p, MrtsConfig::out_of_core(4, budget), opts).elements)
     });
@@ -98,8 +102,10 @@ fn bench_large_ooc(c: &mut Criterion) {
     });
     g.bench_function("onupdr_4x_over_budget", |b| {
         let p = NupdrParams::new(graded_workload(6_000));
-        let mut opts = OnupdrOpts::default();
-        opts.max_active = 4;
+        let opts = OnupdrOpts {
+            max_active: 4,
+            ..Default::default()
+        };
         let budget = mem_per_pe(1_500, 4) as usize;
         b.iter(|| onupdr_run(&p, MrtsConfig::out_of_core(4, budget), opts).elements)
     });
@@ -120,9 +126,11 @@ fn bench_table7(c: &mut Criterion) {
         ("fifo_4core", ExecutorKind::Fifo),
     ] {
         g.bench_function(name, |b| {
-            let mut opts = OnupdrOpts::default();
-            opts.max_active = 1;
-            opts.intra_tasks = 4;
+            let opts = OnupdrOpts {
+                max_active: 1,
+                intra_tasks: 4,
+                ..Default::default()
+            };
             let cfg = MrtsConfig::in_core(1).with_cores(4).with_executor(kind);
             b.iter(|| onupdr_run(&p, cfg.clone(), opts).elements)
         });
@@ -138,11 +146,7 @@ fn bench_ablation_swap(c: &mut Criterion) {
     for policy in PolicyKind::ALL {
         g.bench_function(policy.name(), |b| {
             b.iter(|| {
-                opcdm_run(
-                    &p,
-                    MrtsConfig::out_of_core(4, budget).with_policy(policy),
-                )
-                .elements
+                opcdm_run(&p, MrtsConfig::out_of_core(4, budget).with_policy(policy)).elements
             })
         });
     }

@@ -9,7 +9,8 @@ use pumg_bench::*;
 fn main() {
     let scale = Scale::from_env();
     eprintln!("running all experiments at scale {} ...", scale.0);
-    let experiments: Vec<(&str, fn(Scale) -> Table)> = vec![
+    type Experiment = fn(Scale) -> Table;
+    let experiments: Vec<(&str, Experiment)> = vec![
         ("fig1", fig1),
         ("fig5", fig5),
         ("fig6", fig6),

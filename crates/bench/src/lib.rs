@@ -12,6 +12,9 @@
 //! every figure sweeps — is preserved (see DESIGN.md §3). Set `PUMG_SCALE`
 //! (default 1.0) to grow or shrink every sweep.
 
+use mrts::compute::ExecutorKind;
+use mrts::config::MrtsConfig;
+use mrts::policy::PolicyKind;
 use pumg_geometry::Point2;
 use pumg_methods::common::{MethodError, MethodResult};
 use pumg_methods::domain::{h_for_elements, DomainSpec, SizingSpec, Workload};
@@ -21,9 +24,6 @@ use pumg_methods::ooc_pcdm::opcdm_run;
 use pumg_methods::ooc_updr::oupdr_run;
 use pumg_methods::pcdm::{pcdm_incore_scaled, PcdmParams};
 use pumg_methods::updr::{updr_incore_scaled, UpdrParams};
-use mrts::compute::ExecutorKind;
-use mrts::config::MrtsConfig;
-use mrts::policy::PolicyKind;
 
 /// Bytes of in-core footprint per mesh element (measured: ~37 B/element
 /// for the triangulation arena, rounded up for per-object overhead; used
@@ -211,7 +211,11 @@ pub fn fig1(_scale: Scale) -> Table {
         &["nodes requested", "avg wait (min)", "jobs"],
     );
     for (w, wait, n) in wait_by_width(&records) {
-        t.row(vec![w.to_string(), format!("{:.1}", wait / 60.0), n.to_string()]);
+        t.row(vec![
+            w.to_string(),
+            format!("{:.1}", wait / 60.0),
+            n.to_string(),
+        ]);
     }
     let by = wait_by_width(&records);
     let wait_of = |w: usize| {
@@ -255,7 +259,13 @@ pub fn fig5(scale: Scale) -> Table {
     let sweep = UpdrSweep::new(scale);
     let mut t = Table::new(
         "Figure 5 — execution time of UPDR (16, 25 PEs) and OUPDR (16 PEs)",
-        &["size (target)", "elements", "UPDR-16 (s)", "UPDR-25 (s)", "OUPDR-16 (s)"],
+        &[
+            "size (target)",
+            "elements",
+            "UPDR-16 (s)",
+            "UPDR-25 (s)",
+            "OUPDR-16 (s)",
+        ],
     );
     let m16 = mem_per_pe(sweep.fit, 16);
     let m25 = mem_per_pe(sweep.fit, 16); // same per-PE memory, more PEs
@@ -287,7 +297,13 @@ pub fn table1(scale: Scale) -> Table {
     let m16 = mem_per_pe(sweep.fit, 16);
     let mut t = Table::new(
         "Table I — single-PE speed of UPDR and OUPDR (16 PEs), Speed = S/(T·N) in 10³ elements/s",
-        &["elements", "UPDR time (s)", "OUPDR time (s)", "UPDR speed", "OUPDR speed"],
+        &[
+            "elements",
+            "UPDR time (s)",
+            "OUPDR time (s)",
+            "UPDR speed",
+            "OUPDR speed",
+        ],
     );
     for &s in &sizes {
         let p = UpdrParams::new(Workload::uniform_square(s), sweep.grid);
@@ -309,7 +325,13 @@ pub fn fig8(scale: Scale) -> Table {
     let fit = scale.sz(30_000);
     let mut t = Table::new(
         "Figure 8 — OUPDR on very large problems (8 and 16 PEs)",
-        &["elements", "OUPDR-8 (s)", "OUPDR-16 (s)", "disk-8 (%)", "overlap-8 (%)"],
+        &[
+            "elements",
+            "OUPDR-8 (s)",
+            "OUPDR-16 (s)",
+            "disk-8 (%)",
+            "overlap-8 (%)",
+        ],
     );
     for &s in &[40_000u64, 80_000, 160_000, 320_000] {
         let s = scale.sz(s);
@@ -382,13 +404,11 @@ pub fn fig6(scale: Scale) -> Table {
             cells.push(maybe_secs(&r));
         }
         for pes in [2usize, 4, 8] {
-            let mut opts = OnupdrOpts::default();
-            opts.max_active = pes as u32;
-            let r = onupdr_run(
-                &p,
-                cfg_ooc(pes, mem_per_pe(fit, pes) as usize),
-                opts,
-            );
+            let opts = OnupdrOpts {
+                max_active: pes as u32,
+                ..Default::default()
+            };
+            let r = onupdr_run(&p, cfg_ooc(pes, mem_per_pe(fit, pes) as usize), opts);
             elements = r.elements;
             cells.push(secs(&r));
         }
@@ -403,19 +423,23 @@ pub fn table2(scale: Scale) -> Table {
     let pes = 4usize;
     let mut t = Table::new(
         "Table II — single-PE speed of NUPDR and ONUPDR (4 PEs), 10³ elements/s",
-        &["elements", "NUPDR time (s)", "ONUPDR time (s)", "NUPDR speed", "ONUPDR speed"],
+        &[
+            "elements",
+            "NUPDR time (s)",
+            "ONUPDR time (s)",
+            "NUPDR speed",
+            "ONUPDR speed",
+        ],
     );
     for &s in &[5_000u64, 10_000, 20_000, 40_000, 80_000, 160_000] {
         let s = scale.sz(s);
         let p = NupdrParams::new(graded_workload(s));
         let base = nupdr_incore_scaled(&p, pes, nupdr_mem_per_pe(fit, pes), COMPUTE_SCALE);
-        let mut opts = OnupdrOpts::default();
-        opts.max_active = pes as u32;
-        let port = onupdr_run(
-            &p,
-            cfg_ooc(pes, mem_per_pe(fit, pes) as usize),
-            opts,
-        );
+        let opts = OnupdrOpts {
+            max_active: pes as u32,
+            ..Default::default()
+        };
+        let port = onupdr_run(&p, cfg_ooc(pes, mem_per_pe(fit, pes) as usize), opts);
         t.row(vec![
             port.elements.to_string(),
             maybe_secs(&base),
@@ -439,13 +463,11 @@ pub fn fig9(scale: Scale) -> Table {
         let mut cells = vec![String::new()];
         let mut elements = 0;
         for pes in [2usize, 4, 8] {
-            let mut opts = OnupdrOpts::default();
-            opts.max_active = pes as u32;
-            let r = onupdr_run(
-                &p,
-                cfg_ooc(pes, mem_per_pe(fit, pes) as usize),
-                opts,
-            );
+            let opts = OnupdrOpts {
+                max_active: pes as u32,
+                ..Default::default()
+            };
+            let r = onupdr_run(&p, cfg_ooc(pes, mem_per_pe(fit, pes) as usize), opts);
             elements = r.elements;
             cells.push(secs(&r));
         }
@@ -465,13 +487,11 @@ pub fn table5(scale: Scale) -> Table {
         let s = scale.sz(s);
         for pes in [2usize, 4, 8] {
             let p = NupdrParams::new(graded_workload(s));
-            let mut opts = OnupdrOpts::default();
-            opts.max_active = pes as u32;
-            let r = onupdr_run(
-                &p,
-                cfg_ooc(pes, mem_per_pe(fit, pes) as usize),
-                opts,
-            );
+            let opts = OnupdrOpts {
+                max_active: pes as u32,
+                ..Default::default()
+            };
+            let r = onupdr_run(&p, cfg_ooc(pes, mem_per_pe(fit, pes) as usize), opts);
             t.row(vec![
                 r.elements.to_string(),
                 pes.to_string(),
@@ -528,7 +548,13 @@ pub fn table3(scale: Scale) -> Table {
     let pes = 16usize;
     let mut t = Table::new(
         "Table III — single-PE speed of PCDM and OPCDM (16 PEs), 10³ elements/s",
-        &["elements", "PCDM time (s)", "OPCDM time (s)", "PCDM speed", "OPCDM speed"],
+        &[
+            "elements",
+            "PCDM time (s)",
+            "OPCDM time (s)",
+            "PCDM speed",
+            "OPCDM speed",
+        ],
     );
     for &s in &[10_000u64, 20_000, 40_000, 80_000, 160_000, 320_000] {
         let s = scale.sz(s);
@@ -551,7 +577,13 @@ pub fn fig10(scale: Scale) -> Table {
     let grid = 7;
     let mut t = Table::new(
         "Figure 10 — OPCDM on very large problems (8 and 16 PEs)",
-        &["elements", "OPCDM-8 (s)", "OPCDM-16 (s)", "disk-8 (%)", "overlap-8 (%)"],
+        &[
+            "elements",
+            "OPCDM-8 (s)",
+            "OPCDM-16 (s)",
+            "disk-8 (%)",
+            "overlap-8 (%)",
+        ],
     );
     for &s in &[40_000u64, 80_000, 160_000, 320_000] {
         let s = scale.sz(s);
@@ -606,11 +638,17 @@ pub fn table7(scale: Scale) -> Table {
     for &s in &[10_000u64, 20_000, 40_000] {
         let s = scale.sz(s);
         let p = NupdrParams::new(Workload::graded_pipe(s));
-        for (name, kind) in [("TBB-like WS", ExecutorKind::WorkStealing), ("GCD-like FIFO", ExecutorKind::Fifo)] {
+        for (name, kind) in [
+            ("TBB-like WS", ExecutorKind::WorkStealing),
+            ("GCD-like FIFO", ExecutorKind::Fifo),
+        ] {
             let run = |cores: usize| {
-                let mut opts = OnupdrOpts::default();
-                opts.max_active = 1; // isolate intra-handler parallelism
-                opts.intra_tasks = 4;
+                // max_active 1 isolates intra-handler parallelism.
+                let opts = OnupdrOpts {
+                    max_active: 1,
+                    intra_tasks: 4,
+                    ..Default::default()
+                };
                 let mut cfg = MrtsConfig::in_core(1).with_cores(cores).with_executor(kind);
                 cfg.compute_scale = COMPUTE_SCALE;
                 onupdr_run(&p, cfg, opts)
@@ -648,13 +686,11 @@ pub fn ablation_swap(scale: Scale) -> Table {
     let budget_p = mem_per_pe(scale.sz(15_000), 8) as usize;
     for policy in PolicyKind::ALL {
         let u = oupdr_run(&updr_p, cfg_ooc(8, budget_u).with_policy(policy));
-        let mut opts = OnupdrOpts::default();
-        opts.max_active = 4;
-        let n = onupdr_run(
-            &nupdr_p,
-            cfg_ooc(4, budget_n).with_policy(policy),
-            opts,
-        );
+        let opts = OnupdrOpts {
+            max_active: 4,
+            ..Default::default()
+        };
+        let n = onupdr_run(&nupdr_p, cfg_ooc(4, budget_n).with_policy(policy), opts);
         let c = opcdm_run(&pcdm_p, cfg_ooc(8, budget_p).with_policy(policy));
         t.row(vec![
             policy.name().to_string(),
@@ -672,7 +708,14 @@ pub fn ablation_thresholds(scale: Scale) -> Table {
     let budget = mem_per_pe(scale.sz(20_000), 8) as usize;
     let mut t = Table::new(
         "Ablation — swapping thresholds (OUPDR, 8 PEs)",
-        &["hard mult", "soft frac", "time (s)", "stores", "loads", "peak mem (KiB)"],
+        &[
+            "hard mult",
+            "soft frac",
+            "time (s)",
+            "stores",
+            "loads",
+            "peak mem (KiB)",
+        ],
     );
     for hard in [1.0f64, 2.0, 4.0] {
         for soft in [0.25f64, 0.5, 0.75] {
@@ -703,28 +746,34 @@ pub fn ablation_multicast(scale: Scale) -> Table {
         &["variant", "time (s)", "loads", "stores", "comm %"],
     );
     let variants: Vec<(&str, OnupdrOpts)> = vec![
-        ("all optimizations", {
-            let mut o = OnupdrOpts::default();
-            o.max_active = 4;
-            o
-        }),
+        (
+            "all optimizations",
+            OnupdrOpts {
+                max_active: 4,
+                ..Default::default()
+            },
+        ),
         ("unoptimized", {
             let mut o = OnupdrOpts::unoptimized();
             o.max_active = 4;
             o
         }),
-        ("multicast collect", {
-            let mut o = OnupdrOpts::default();
-            o.max_active = 4;
-            o.multicast = true;
-            o
-        }),
-        ("no buffer locking", {
-            let mut o = OnupdrOpts::default();
-            o.max_active = 4;
-            o.lock_buffers = false;
-            o
-        }),
+        (
+            "multicast collect",
+            OnupdrOpts {
+                max_active: 4,
+                multicast: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "no buffer locking",
+            OnupdrOpts {
+                max_active: 4,
+                lock_buffers: false,
+                ..Default::default()
+            },
+        ),
     ];
     for (name, opts) in variants {
         let r = onupdr_run(&p, cfg_ooc(4, budget), opts);

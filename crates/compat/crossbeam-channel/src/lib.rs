@@ -1,0 +1,212 @@
+//! Std-backed shim for the `crossbeam-channel` API surface this workspace
+//! uses: an unbounded MPMC channel with cloneable `Sender` *and*
+//! `Receiver`, blocking `recv`, non-blocking `try_recv`, and
+//! `recv_timeout`. Disconnection semantics match crossbeam: `recv` fails
+//! once all senders are gone and the queue is drained; `send` fails once
+//! all receivers are gone.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like crossbeam, Debug does not require `T: Debug`.
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    cond: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+pub struct Sender<T>(Arc<Inner<T>>);
+
+pub struct Receiver<T>(Arc<Inner<T>>);
+
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        cond: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender(inner.clone()), Receiver(inner))
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+        if self.0.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(t));
+        }
+        self.0
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(t);
+        self.0.cond.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.senders.fetch_add(1, Ordering::AcqRel);
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake all blocked receivers so they observe the
+            // disconnect.
+            self.0.cond.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match q.pop_front() {
+            Some(t) => Ok(t),
+            None if self.0.senders.load(Ordering::Acquire) == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Ok(t);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            q = self.0.cond.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Ok(t);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .0
+                .cond
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn roundtrip_and_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_gone() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_share_queue() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        let h = thread::spawn(move || rx2.recv().unwrap() + rx2.recv().unwrap());
+        tx.send(20).unwrap();
+        tx.send(22).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+        drop(rx);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+}

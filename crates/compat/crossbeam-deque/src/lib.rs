@@ -1,0 +1,241 @@
+//! Std-backed shim for the `crossbeam-deque` API surface this workspace
+//! uses: `Injector`, `Worker` (LIFO), `Stealer`, and the `Steal` result
+//! enum (including its `FromIterator` impl used to fold stealer sweeps).
+//!
+//! Backed by mutex-protected deques rather than lock-free buffers; the
+//! work-stealing pool in this workspace models execution cost analytically,
+//! so shim overhead does not affect results.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// If this is a success, returns it; otherwise consults `f`. A `Retry`
+    /// on either side is preserved unless `f` succeeds.
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+        match self {
+            Steal::Success(t) => Steal::Success(t),
+            Steal::Empty => f(),
+            Steal::Retry => match f() {
+                Steal::Empty => Steal::Retry,
+                other => other,
+            },
+        }
+    }
+}
+
+/// Folds a sweep over several sources: first `Success` wins; any `Retry`
+/// seen (without a success) yields `Retry`; otherwise `Empty`.
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+        let mut retry = false;
+        for s in iter {
+            match s {
+                Steal::Success(t) => return Steal::Success(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+fn locked<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Global FIFO injector queue.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, t: T) {
+        locked(&self.queue).push_back(t);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Moves a batch from the injector into `dest`, returning one task.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = locked(&self.queue);
+        if q.is_empty() {
+            return Steal::Empty;
+        }
+        let take = (q.len() / 2).clamp(1, 32);
+        let first = q.pop_front().expect("non-empty");
+        let mut dq = locked(&dest.local);
+        for _ in 1..take {
+            if let Some(t) = q.pop_front() {
+                dq.push_back(t);
+            }
+        }
+        Steal::Success(first)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+/// Per-thread deque. The owner pops from the back (LIFO); stealers take
+/// from the front.
+pub struct Worker<T> {
+    local: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    pub fn new_lifo() -> Self {
+        Worker {
+            local: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn new_fifo() -> Self {
+        // The shim's owner side is always LIFO; this workspace only uses
+        // `new_lifo`, so `new_fifo` is provided for API parity only.
+        Self::new_lifo()
+    }
+
+    pub fn push(&self, t: T) {
+        locked(&self.local).push_back(t);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.local).pop_back()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.local).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.local).len()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            local: Arc::clone(&self.local),
+        }
+    }
+}
+
+pub struct Stealer<T> {
+    local: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            local: Arc::clone(&self.local),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.local).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.local).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_owner_fifo_stealer() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_pop_moves_work() {
+        let inj = Injector::new();
+        for i in 0..8 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Half the queue (4 of 8) moved: one returned, three landed locally.
+        assert_eq!(w.len(), 3);
+        assert_eq!(inj.len(), 4);
+    }
+
+    #[test]
+    fn steal_from_iterator_folds() {
+        let all_empty: Steal<u32> = [Steal::Empty, Steal::Empty].into_iter().collect();
+        assert!(all_empty.is_empty());
+        let with_retry: Steal<u32> = [Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(with_retry.is_retry());
+        let with_success: Steal<u32> = [Steal::Retry, Steal::Success(7), Steal::Empty]
+            .into_iter()
+            .collect();
+        assert_eq!(with_success.success(), Some(7));
+    }
+}

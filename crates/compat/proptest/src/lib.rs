@@ -1,0 +1,621 @@
+//! Std-only shim for the `proptest` API surface this workspace uses:
+//! the `proptest!`/`prop_assert*`/`prop_assume!` macros, `Strategy` with
+//! `prop_map`/`prop_flat_map`/`prop_filter`, `any::<T>()`, `Just`, range
+//! strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop::sample::Index`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberate for a hermetic build:
+//! no shrinking (a failing case reports its generated inputs verbatim),
+//! no persistence (`.proptest-regressions` files are ignored), and the
+//! generator is a splitmix64 stream seeded deterministically from the
+//! test name, so every run explores the same cases.
+
+pub mod test_runner {
+    /// Error produced by a single test case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case was rejected (filter miss or `prop_assume!`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Shim equivalent of `proptest::test_runner::Config`
+    /// (re-exported from the prelude as `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 stream; seeded from the test name so each
+    /// test explores a distinct but reproducible sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % bound
+        }
+    }
+
+    /// Drives `cfg.cases` passing cases of `case`, skipping rejected ones.
+    /// Panics (failing the `#[test]`) on the first `Fail`.
+    pub fn run<F>(cfg: Config, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_name(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let reject_cap = cfg.cases.saturating_mul(64).max(4096);
+        while passed < cfg.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    if rejected > reject_cap {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejected} rejects, last: {why})"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed after {passed} passing cases\n{msg}");
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::{TestCaseError, TestRng};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// A generator of values. Unlike real proptest there is no value tree /
+    /// shrinking: `generate` produces the final value directly.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Result<T, TestCaseError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> Result<O, TestCaseError> {
+            Ok((self.f)(self.inner.generate(rng)?))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, TestCaseError> {
+            (self.f)(self.inner.generate(rng)?).generate(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+            // Bounded local retry before giving the runner a rejection.
+            for _ in 0..256 {
+                let v = self.inner.generate(rng)?;
+                if (self.f)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(TestCaseError::reject(self.whence.clone()))
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    Ok((self.start as i128 + rng.below(span) as i128) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    Ok((start as i128 + rng.below(span) as i128) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> Result<f64, TestCaseError> {
+            assert!(self.start < self.end, "empty range strategy");
+            Ok(self.start + rng.unit_f64() * (self.end - self.start))
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> Result<f32, TestCaseError> {
+            assert!(self.start < self.end, "empty range strategy");
+            Ok(self.start + rng.unit_f64() as f32 * (self.end - self.start))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                    Ok(($(self.$idx.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// Strategy for `any::<T>()`.
+    pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+            Ok(T::arbitrary(rng))
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::AnyStrategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized + Debug {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mix of well-scaled values and raw bit patterns (the latter
+            // cover inf/NaN/subnormals for filters like `is_finite`).
+            match rng.next_u64() % 4 {
+                0 => f64::from_bits(rng.next_u64()),
+                1 => (rng.unit_f64() - 0.5) * 1e6,
+                2 => (rng.unit_f64() - 0.5) * 2.0,
+                _ => (rng.next_u64() as i64) as f64,
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng) as f32
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{TestCaseError, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+            let span = (self.size.end - self.size.start) as u128;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{TestCaseError, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `prop::option::of(strategy)`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+            if rng.next_u64() % 4 == 0 {
+                Ok(None)
+            } else {
+                Ok(Some(self.0.generate(rng)?))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Mirror of real proptest's `prop` re-export module.
+pub mod prop {
+    pub use crate::{collection, option, sample};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run($cfg, stringify!($name), |__rng| {
+                let __vals = ( $( $crate::strategy::Strategy::generate(&{ $strat }, __rng)?, )+ );
+                let __inputs = format!("{:#?}", __vals);
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let ( $($arg,)+ ) = __vals;
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match __outcome {
+                    Ok(Ok(())) => ::std::result::Result::Ok(()),
+                    Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                            format!("{msg}\ninputs: {__inputs}"),
+                        ))
+                    }
+                    Ok(Err(reject)) => ::std::result::Result::Err(reject),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".to_string());
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                            format!("panicked: {msg}\ninputs: {__inputs}"),
+                        ))
+                    }
+                }
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Wrapped(u64);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 1usize..9, b in -4i32..4, f in 0.25..0.75f64) {
+            prop_assert!((1..9).contains(&a));
+            prop_assert!((-4..4).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(any::<u8>(), 1..20),
+            o in prop::option::of(Just(7u32)),
+            w in (0u64..100).prop_map(Wrapped),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(o.is_none() || o == Some(7));
+            prop_assert!(w.0 < 100);
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn flat_map_respects_dependency(
+            (len, v) in (1usize..8).prop_flat_map(|len| {
+                (Just(len), prop::collection::vec(0u32..10, len..len + 1))
+            })
+        ) {
+            prop_assert_eq!(v.len(), len);
+        }
+
+        #[test]
+        fn filter_and_assume(x in (0u64..100).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assume!(x != 2);
+            prop_assert_eq!(x % 2, 0, "filter let an odd value through: {x}");
+            prop_assert_ne!(x, 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "impossible bound");
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = (0u64..1000, 0u64..1000);
+        let mut r1 = crate::test_runner::TestRng::from_name("det");
+        let mut r2 = crate::test_runner::TestRng::from_name("det");
+        for _ in 0..16 {
+            assert_eq!(s.generate(&mut r1).unwrap(), s.generate(&mut r2).unwrap());
+        }
+    }
+}

@@ -1,0 +1,991 @@
+//! Runtime auditing: canonical event stream, invariant checking, and a
+//! happens-before race detector for both MRTS engines.
+//!
+//! The engines ([`crate::des::DesRuntime`] and
+//! [`crate::threaded::ThreadedRuntime`]) are instrumented to emit a
+//! [`RuntimeEvent`] for every semantically meaningful transition of a
+//! mobile object: creation, load/unload (spill), pin/unpin, message
+//! post/delivery/forward, directory updates, migration out/in, in-place
+//! resize, multicast delivery, budget snapshots, and
+//! termination/shutdown. Any [`EventSink`] can observe the stream; the
+//! two shipped sinks are:
+//!
+//! * [`EventLog`] — records everything, for offline inspection;
+//! * [`InvariantChecker`] — validates the paper's runtime invariants
+//!   online and either panics at the first violation
+//!   ([`FailMode::Panic`]) or collects violations for later assertion
+//!   ([`FailMode::Collect`]).
+//!
+//! Instrumentation is compiled in only under `debug_assertions` or the
+//! `audit` cargo feature; release builds without the feature carry **no
+//! event-emission code and no sink fields** (the `audit_emit!` macro
+//! expands to nothing), so auditing is zero-cost where it is not wanted.
+//!
+//! ## Checked invariants
+//!
+//! 1. **Pinned objects are never evicted** — no `Unload` while pinned.
+//! 2. **Handlers run only on resident objects** — every `Deliver` finds
+//!    the object in-core on the delivering node.
+//! 3. **Message queues travel with objects** — the queued count announced
+//!    at `MigrateOut` equals the count observed at `MigrateIn`.
+//! 4. **Memory stays within budget** — at enforced budget snapshots,
+//!    `used ≤ budget + hard_reserve + pinned + largest-object` (the slack
+//!    terms cover the engine's deliberate overshoot when victims are
+//!    pinned and the one-object admission overshoot).
+//! 5. **Forwarding chains are acyclic and converge** — walking the
+//!    `Moved` tombstone graph from any directory hint terminates at the
+//!    object's (current or in-flight) location without revisiting a
+//!    node, and no object is forwarded without making progress
+//!    (a livelock streak cap backstops the walk).
+//! 6. **Multicast delivers only to resident targets** — every target of
+//!    a `McDeliver` is in-core on that node.
+//! 7. **Termination only at quiescence** — at `Terminate` no posted
+//!    message is undelivered and no migration is in flight.
+//! 8. **Accounting balances at shutdown** — each node's reported `used`
+//!    equals both the event-ledger total and the sum of in-core object
+//!    footprints.
+//!
+//! A ninth catch-all, [`Invariant::EventOrder`], flags protocol-impossible
+//! streams (loading an in-core object, installing a migration that never
+//! departed, …) so that checker state never silently desynchronizes.
+
+use crate::ids::{NodeId, ObjectId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Mutex;
+
+/// SplitMix64 finalizer: a cheap bijection on `u64`. Used by the DES
+/// engine's schedule-permutation mode to reshuffle same-timestamp
+/// tie-breaks (bijectivity keeps event sequence numbers unique) and
+/// available to tests that need a seedable hash.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One semantically meaningful runtime transition, as emitted by the
+/// engines. Byte counts are object footprints (see
+/// [`crate::object::MobileObject::footprint`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeEvent {
+    /// A mobile object materialized on `node` (bootstrap or handler
+    /// `create`).
+    Create {
+        node: NodeId,
+        oid: ObjectId,
+        footprint: usize,
+    },
+    /// An on-disk object was brought back in-core.
+    Load {
+        node: NodeId,
+        oid: ObjectId,
+        footprint: usize,
+    },
+    /// An in-core object was spilled to disk.
+    Unload {
+        node: NodeId,
+        oid: ObjectId,
+        footprint: usize,
+    },
+    /// The object was locked in memory.
+    Pin { node: NodeId, oid: ObjectId },
+    /// The lock was released.
+    Unpin { node: NodeId, oid: ObjectId },
+    /// A point-to-point message destined for `oid` entered the system.
+    Post { oid: ObjectId },
+    /// A handler ran against `oid` on `node` (consumes one `Post`).
+    Deliver { node: NodeId, oid: ObjectId },
+    /// A message for `oid` was re-routed from `node` towards `to`
+    /// (the object is not here; a `Moved` tombstone or the directory
+    /// pointed onward).
+    Forward {
+        node: NodeId,
+        oid: ObjectId,
+        to: NodeId,
+    },
+    /// `node` learned (or recorded) that `oid` now lives at `loc`.
+    DirUpdate {
+        node: NodeId,
+        oid: ObjectId,
+        loc: NodeId,
+    },
+    /// `oid` departed `node` towards `to`, carrying `queued` pending
+    /// messages.
+    MigrateOut {
+        node: NodeId,
+        oid: ObjectId,
+        to: NodeId,
+        queued: usize,
+        footprint: usize,
+    },
+    /// `oid` installed on `node` with `queued` pending messages.
+    MigrateIn {
+        node: NodeId,
+        oid: ObjectId,
+        queued: usize,
+        footprint: usize,
+    },
+    /// `oid`'s footprint changed in place after a handler ran.
+    Resize {
+        node: NodeId,
+        oid: ObjectId,
+        old: usize,
+        new: usize,
+    },
+    /// A multicast delivered to all its local `targets` at once.
+    McDeliver {
+        node: NodeId,
+        targets: Vec<ObjectId>,
+    },
+    /// A memory-accounting snapshot. `enforced` snapshots follow an
+    /// admission decision and are held to the budget invariant;
+    /// unenforced ones (bootstrap, reload completions) are
+    /// accounting-only.
+    Budget {
+        node: NodeId,
+        used: usize,
+        budget: usize,
+        hard_reserve: usize,
+        enforced: bool,
+    },
+    /// `node` decided (or was told) the computation terminated.
+    Terminate { node: NodeId },
+    /// `node` shut down reporting `used` in-core bytes still accounted.
+    Shutdown { node: NodeId, used: usize },
+}
+
+/// Observer of the runtime event stream. Must be thread-safe: the
+/// threaded engine invokes it concurrently from every worker.
+pub trait EventSink: Send + Sync {
+    fn record(&self, ev: &RuntimeEvent);
+}
+
+/// A sink that keeps every event, in arrival order.
+#[derive(Default)]
+pub struct EventLog {
+    events: Mutex<Vec<RuntimeEvent>>,
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> Vec<RuntimeEvent> {
+        lock(&self.events).clone()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.events).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for EventLog {
+    fn record(&self, ev: &RuntimeEvent) {
+        lock(&self.events).push(ev.clone());
+    }
+}
+
+/// What to do when an invariant breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailMode {
+    /// Panic at the first violation (fail fast; for CI gates).
+    Panic,
+    /// Record violations; the caller inspects [`InvariantChecker::violations`].
+    Collect,
+}
+
+/// The runtime invariants the checker enforces (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    PinnedEviction,
+    NonResidentDelivery,
+    QueueLostInMigration,
+    BudgetExceeded,
+    ForwardingCycle,
+    MulticastNonResident,
+    EarlyTermination,
+    AccountingImbalance,
+    /// A protocol-impossible event for the tracked state (catch-all that
+    /// keeps the checker honest about its own model).
+    EventOrder,
+}
+
+/// One detected violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub invariant: Invariant,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.invariant, self.detail)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Residency {
+    InCore,
+    OnDisk,
+    /// Packed and in flight between nodes.
+    Migrating,
+}
+
+struct ObjInfo {
+    /// Last node the object was resident on (departure node while
+    /// migrating).
+    loc: NodeId,
+    residency: Residency,
+    pinned: bool,
+    footprint: usize,
+}
+
+struct MigRecord {
+    to: NodeId,
+    queued: usize,
+}
+
+#[derive(Default)]
+struct CheckState {
+    objs: HashMap<ObjectId, ObjInfo>,
+    /// Per-node in-core byte ledger maintained from events alone.
+    ledger: HashMap<NodeId, i64>,
+    /// Departed-but-not-installed migrations, FIFO per object.
+    in_flight: HashMap<ObjectId, VecDeque<MigRecord>>,
+    /// The `Moved` tombstone graph: for each object, stale-location →
+    /// forwarding-target edges.
+    moved_edges: HashMap<ObjectId, HashMap<NodeId, NodeId>>,
+    /// Posted-but-undelivered message count (global).
+    outstanding: i64,
+    /// Consecutive forwards per object since it last made progress
+    /// (delivery or install); a runaway streak means a routing livelock.
+    forward_streak: HashMap<ObjectId, u32>,
+    violations: Vec<Violation>,
+    events: u64,
+}
+
+/// Online checker for the runtime invariants listed in the module docs.
+///
+/// Thread-safe; attach one instance to a whole run (both engines) via
+/// `attach_audit` and call [`InvariantChecker::assert_clean`] afterwards
+/// (or use [`FailMode::Panic`] to fail fast inside the run).
+pub struct InvariantChecker {
+    mode: FailMode,
+    /// Forward-streak cap backstopping cycle detection (invariant 5).
+    forward_streak_limit: u32,
+    state: Mutex<CheckState>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl InvariantChecker {
+    pub fn new(mode: FailMode) -> Self {
+        InvariantChecker {
+            mode,
+            forward_streak_limit: 256,
+            state: Mutex::new(CheckState::default()),
+        }
+    }
+
+    /// Override the forward-livelock streak cap (default 256). Legitimate
+    /// lazy-directory chains are bounded by a few hops per message; the
+    /// cap only needs to be far above `hops × queued messages`.
+    pub fn with_forward_limit(mode: FailMode, limit: u32) -> Self {
+        let mut c = Self::new(mode);
+        c.forward_streak_limit = limit;
+        c
+    }
+
+    pub fn violations(&self) -> Vec<Violation> {
+        lock(&self.state).violations.clone()
+    }
+
+    pub fn events_seen(&self) -> u64 {
+        lock(&self.state).events
+    }
+
+    /// Panics (listing every violation) unless the run was clean.
+    pub fn assert_clean(&self) {
+        let st = lock(&self.state);
+        if !st.violations.is_empty() {
+            let list: Vec<String> = st.violations.iter().map(|v| v.to_string()).collect();
+            drop(st);
+            panic!("runtime invariants violated:\n  {}", list.join("\n  "));
+        }
+    }
+}
+
+/// Walk the tombstone graph from `start`. The walk is clean when it
+/// reaches the object's resident location, any in-flight migration
+/// destination, or a node with no tombstone (the engine then re-routes
+/// via the home node). Revisiting a node is a forwarding cycle.
+fn walk_chain(st: &CheckState, oid: ObjectId, start: NodeId) -> Option<Violation> {
+    let resident = st
+        .objs
+        .get(&oid)
+        .filter(|o| o.residency != Residency::Migrating)
+        .map(|o| o.loc);
+    let dests: HashSet<NodeId> = st
+        .in_flight
+        .get(&oid)
+        .map(|q| q.iter().map(|r| r.to).collect())
+        .unwrap_or_default();
+    let mut cur = start;
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    loop {
+        if resident == Some(cur) || dests.contains(&cur) {
+            return None; // converged to where the object is (or will be)
+        }
+        if !visited.insert(cur) {
+            let path: Vec<NodeId> = visited.into_iter().collect();
+            return Some(Violation {
+                invariant: Invariant::ForwardingCycle,
+                detail: format!(
+                    "{oid:?}: tombstone walk from node {start} revisits node {cur} (seen {path:?})"
+                ),
+            });
+        }
+        match st.moved_edges.get(&oid).and_then(|m| m.get(&cur)) {
+            Some(&next) => cur = next,
+            None => return None, // chain end: engine falls back to the home node
+        }
+    }
+}
+
+impl EventSink for InvariantChecker {
+    fn record(&self, ev: &RuntimeEvent) {
+        let mut guard = lock(&self.state);
+        let st = &mut *guard;
+        st.events += 1;
+        // Violations are gathered locally and committed at the end: state
+        // updates and checks interleave, and the borrow of an object entry
+        // must end before the violation list (also inside `st`) grows.
+        let mut found: Vec<(Invariant, String)> = Vec::new();
+        match ev {
+            RuntimeEvent::Create {
+                node,
+                oid,
+                footprint,
+            } => {
+                if st.objs.contains_key(oid) {
+                    found.push((Invariant::EventOrder, format!("{oid:?} created twice")));
+                }
+                st.objs.insert(
+                    *oid,
+                    ObjInfo {
+                        loc: *node,
+                        residency: Residency::InCore,
+                        pinned: false,
+                        footprint: *footprint,
+                    },
+                );
+                *st.ledger.entry(*node).or_insert(0) += *footprint as i64;
+            }
+            RuntimeEvent::Load {
+                node,
+                oid,
+                footprint,
+            } => match st.objs.get_mut(oid) {
+                Some(o) if o.residency == Residency::OnDisk && o.loc == *node => {
+                    o.residency = Residency::InCore;
+                    o.footprint = *footprint;
+                    *st.ledger.entry(*node).or_insert(0) += *footprint as i64;
+                }
+                Some(o) => found.push((
+                    Invariant::EventOrder,
+                    format!(
+                        "{oid:?} loaded on node {node} but tracked {:?} at node {}",
+                        o.residency, o.loc
+                    ),
+                )),
+                None => found.push((
+                    Invariant::EventOrder,
+                    format!("{oid:?} loaded before creation"),
+                )),
+            },
+            RuntimeEvent::Unload {
+                node,
+                oid,
+                footprint,
+            } => match st.objs.get_mut(oid) {
+                Some(o) if o.residency == Residency::InCore && o.loc == *node => {
+                    if o.pinned {
+                        found.push((
+                            Invariant::PinnedEviction,
+                            format!("{oid:?} evicted from node {node} while pinned"),
+                        ));
+                    }
+                    if o.footprint != *footprint {
+                        found.push((
+                            Invariant::AccountingImbalance,
+                            format!("{oid:?} unloaded {footprint}B but tracked {}B", o.footprint),
+                        ));
+                    }
+                    o.residency = Residency::OnDisk;
+                    *st.ledger.entry(*node).or_insert(0) -= *footprint as i64;
+                }
+                Some(o) => found.push((
+                    Invariant::EventOrder,
+                    format!(
+                        "{oid:?} unloaded on node {node} but tracked {:?} at node {}",
+                        o.residency, o.loc
+                    ),
+                )),
+                None => found.push((
+                    Invariant::EventOrder,
+                    format!("{oid:?} unloaded before creation"),
+                )),
+            },
+            RuntimeEvent::Pin { node, oid } => match st.objs.get_mut(oid) {
+                Some(o) => o.pinned = true,
+                None => found.push((
+                    Invariant::EventOrder,
+                    format!("{oid:?} pinned on node {node} before creation"),
+                )),
+            },
+            RuntimeEvent::Unpin { node, oid } => match st.objs.get_mut(oid) {
+                Some(o) => o.pinned = false,
+                None => found.push((
+                    Invariant::EventOrder,
+                    format!("{oid:?} unpinned on node {node} before creation"),
+                )),
+            },
+            RuntimeEvent::Post { .. } => st.outstanding += 1,
+            RuntimeEvent::Deliver { node, oid } => {
+                st.outstanding -= 1;
+                st.forward_streak.remove(oid);
+                match st.objs.get(oid) {
+                    Some(o) if o.residency == Residency::InCore && o.loc == *node => {}
+                    Some(o) => found.push((
+                        Invariant::NonResidentDelivery,
+                        format!(
+                            "handler ran against {oid:?} on node {node} but object is {:?} at node {}",
+                            o.residency, o.loc
+                        ),
+                    )),
+                    None => found.push((
+                        Invariant::NonResidentDelivery,
+                        format!("handler ran against unknown {oid:?} on node {node}"),
+                    )),
+                }
+            }
+            RuntimeEvent::Forward { node, oid, to } => {
+                if to == node {
+                    found.push((
+                        Invariant::ForwardingCycle,
+                        format!("{oid:?} forwarded from node {node} to itself"),
+                    ));
+                }
+                let streak = st.forward_streak.entry(*oid).or_insert(0);
+                *streak += 1;
+                let streak = *streak;
+                if streak == self.forward_streak_limit {
+                    found.push((
+                        Invariant::ForwardingCycle,
+                        format!("{oid:?} forwarded {streak} times without a delivery or install (routing livelock)"),
+                    ));
+                }
+                if let Some(v) = walk_chain(st, *oid, *to) {
+                    found.push((v.invariant, v.detail));
+                }
+            }
+            RuntimeEvent::DirUpdate { node: _, oid, loc } => {
+                if let Some(v) = walk_chain(st, *oid, *loc) {
+                    found.push((v.invariant, v.detail));
+                }
+            }
+            RuntimeEvent::MigrateOut {
+                node,
+                oid,
+                to,
+                queued,
+                footprint,
+            } => {
+                match st.objs.get_mut(oid) {
+                    Some(o) if o.residency == Residency::InCore && o.loc == *node => {
+                        if o.footprint != *footprint {
+                            found.push((
+                                Invariant::AccountingImbalance,
+                                format!(
+                                    "{oid:?} departed with {footprint}B but tracked {}B",
+                                    o.footprint
+                                ),
+                            ));
+                        }
+                        o.residency = Residency::Migrating;
+                        *st.ledger.entry(*node).or_insert(0) -= *footprint as i64;
+                    }
+                    Some(o) => found.push((
+                        Invariant::EventOrder,
+                        format!(
+                            "{oid:?} migrated out of node {node} but tracked {:?} at node {}",
+                            o.residency, o.loc
+                        ),
+                    )),
+                    None => found.push((
+                        Invariant::EventOrder,
+                        format!("{oid:?} migrated before creation"),
+                    )),
+                }
+                st.moved_edges.entry(*oid).or_default().insert(*node, *to);
+                st.in_flight.entry(*oid).or_default().push_back(MigRecord {
+                    to: *to,
+                    queued: *queued,
+                });
+            }
+            RuntimeEvent::MigrateIn {
+                node,
+                oid,
+                queued,
+                footprint,
+            } => {
+                match st.in_flight.get_mut(oid).and_then(|q| q.pop_front()) {
+                    Some(rec) => {
+                        if rec.to != *node {
+                            found.push((
+                                Invariant::EventOrder,
+                                format!(
+                                    "{oid:?} installed on node {node} but was shipped to node {}",
+                                    rec.to
+                                ),
+                            ));
+                        }
+                        if rec.queued != *queued {
+                            found.push((
+                                Invariant::QueueLostInMigration,
+                                format!(
+                                    "{oid:?} departed with {} queued messages but installed with {queued}",
+                                    rec.queued
+                                ),
+                            ));
+                        }
+                    }
+                    None => found.push((
+                        Invariant::EventOrder,
+                        format!("{oid:?} installed on node {node} without a matching departure"),
+                    )),
+                }
+                st.forward_streak.remove(oid);
+                if let Some(o) = st.objs.get_mut(oid) {
+                    o.loc = *node;
+                    o.residency = Residency::InCore;
+                    o.footprint = *footprint;
+                }
+                // The object is here now: any stale tombstone on this node
+                // is overwritten by the engine.
+                if let Some(edges) = st.moved_edges.get_mut(oid) {
+                    edges.remove(node);
+                }
+                *st.ledger.entry(*node).or_insert(0) += *footprint as i64;
+            }
+            RuntimeEvent::Resize {
+                node,
+                oid,
+                old,
+                new,
+            } => match st.objs.get_mut(oid) {
+                Some(o) if o.residency == Residency::InCore && o.loc == *node => {
+                    if o.footprint != *old {
+                        found.push((
+                            Invariant::AccountingImbalance,
+                            format!("{oid:?} resized from {old}B but tracked {}B", o.footprint),
+                        ));
+                    }
+                    o.footprint = *new;
+                    *st.ledger.entry(*node).or_insert(0) += *new as i64 - *old as i64;
+                }
+                _ => found.push((
+                    Invariant::EventOrder,
+                    format!("{oid:?} resized on node {node} while not in-core there"),
+                )),
+            },
+            RuntimeEvent::McDeliver { node, targets } => {
+                for t in targets {
+                    match st.objs.get(t) {
+                        Some(o) if o.residency == Residency::InCore && o.loc == *node => {}
+                        _ => found.push((
+                            Invariant::MulticastNonResident,
+                            format!("multicast delivered on node {node} but target {t:?} is not resident there"),
+                        )),
+                    }
+                }
+            }
+            RuntimeEvent::Budget {
+                node,
+                used,
+                budget,
+                hard_reserve,
+                enforced,
+            } => {
+                let ledger = st.ledger.get(node).copied().unwrap_or(0);
+                if ledger != *used as i64 {
+                    found.push((
+                        Invariant::AccountingImbalance,
+                        format!("node {node} reports {used}B in-core but the event ledger says {ledger}B"),
+                    ));
+                }
+                if *enforced {
+                    // Slack the engine is allowed: pinned objects cannot be
+                    // evicted, and admission may overshoot by the incoming
+                    // object itself (see `OocManager::needed_for_admission`).
+                    let (pinned, largest) = st
+                        .objs
+                        .values()
+                        .filter(|o| o.residency == Residency::InCore && o.loc == *node)
+                        .fold((0usize, 0usize), |(p, m), o| {
+                            (
+                                p + if o.pinned { o.footprint } else { 0 },
+                                m.max(o.footprint),
+                            )
+                        });
+                    let cap = budget
+                        .saturating_add(*hard_reserve)
+                        .saturating_add(pinned)
+                        .saturating_add(largest);
+                    if *used > cap {
+                        found.push((
+                            Invariant::BudgetExceeded,
+                            format!(
+                                "node {node} holds {used}B in-core, over budget {budget}B + reserve {hard_reserve}B + pinned {pinned}B + one-object slack {largest}B"
+                            ),
+                        ));
+                    }
+                }
+            }
+            RuntimeEvent::Terminate { node } => {
+                if st.outstanding != 0 {
+                    found.push((
+                        Invariant::EarlyTermination,
+                        format!(
+                            "node {node} terminated with {} posted-but-undelivered messages",
+                            st.outstanding
+                        ),
+                    ));
+                }
+                let in_flight: Vec<ObjectId> = st
+                    .in_flight
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(oid, _)| *oid)
+                    .collect();
+                if !in_flight.is_empty() {
+                    found.push((
+                        Invariant::EarlyTermination,
+                        format!("node {node} terminated with migrations in flight: {in_flight:?}"),
+                    ));
+                }
+            }
+            RuntimeEvent::Shutdown { node, used } => {
+                let ledger = st.ledger.get(node).copied().unwrap_or(0);
+                if ledger != *used as i64 {
+                    found.push((
+                        Invariant::AccountingImbalance,
+                        format!("node {node} shut down reporting {used}B but the event ledger says {ledger}B"),
+                    ));
+                }
+                let live: usize = st
+                    .objs
+                    .values()
+                    .filter(|o| o.residency == Residency::InCore && o.loc == *node)
+                    .map(|o| o.footprint)
+                    .sum();
+                if live != *used {
+                    found.push((
+                        Invariant::AccountingImbalance,
+                        format!(
+                            "node {node} shut down reporting {used}B but in-core objects sum to {live}B"
+                        ),
+                    ));
+                }
+            }
+        }
+        for (invariant, detail) in found {
+            if self.mode == FailMode::Panic {
+                panic!("MRTS invariant violated — {invariant:?}: {detail}");
+            }
+            st.violations.push(Violation { invariant, detail });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Happens-before race detection
+// ---------------------------------------------------------------------------
+
+/// A classic vector clock over the worker threads of the threaded engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    pub fn new(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    pub fn tick(&mut self, i: usize) {
+        self.0[i] += 1;
+    }
+
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other` component-wise: the event stamped `self`
+    /// happens-before (or equals) one stamped `other`.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// One detected race: two accesses to the same mobile object unordered
+/// by the happens-before relation.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    pub oid: ObjectId,
+    pub first: (NodeId, AccessKind),
+    pub second: (NodeId, AccessKind),
+}
+
+#[derive(Default)]
+struct ObjHistory {
+    last_write: Option<(NodeId, VectorClock)>,
+    /// Reads since the last write, at most one (the latest) per thread.
+    reads: Vec<(NodeId, VectorClock)>,
+}
+
+struct RaceState {
+    clocks: Vec<VectorClock>,
+    /// Per (sender, receiver) FIFO of send stamps — matches the fabric's
+    /// per-pair ordered delivery, so each receive joins the clock of the
+    /// exact send it observed.
+    channels: HashMap<(NodeId, NodeId), VecDeque<VectorClock>>,
+    objects: HashMap<ObjectId, ObjHistory>,
+    races: Vec<RaceReport>,
+}
+
+/// Vector-clock happens-before race detector over mobile-object accesses
+/// in the threaded engine.
+///
+/// The engine's only inter-thread edges are active messages: every
+/// `am_send` calls [`RaceDetector::on_send`] before the message becomes
+/// visible, every fabric receipt calls [`RaceDetector::on_recv`], and
+/// every object access (handler execution, pack/unpack for migration or
+/// spill) calls [`RaceDetector::on_access`]. Two accesses to one object
+/// unordered by the resulting happens-before relation are a race: the
+/// object moved between threads without a carrying message.
+pub struct RaceDetector {
+    inner: Mutex<RaceState>,
+}
+
+impl RaceDetector {
+    pub fn new(n_threads: usize) -> Self {
+        RaceDetector {
+            inner: Mutex::new(RaceState {
+                clocks: vec![VectorClock::new(n_threads); n_threads],
+                channels: HashMap::new(),
+                objects: HashMap::new(),
+                races: Vec::new(),
+            }),
+        }
+    }
+
+    /// A message is about to leave `from` for `to`.
+    pub fn on_send(&self, from: NodeId, to: NodeId) {
+        let mut st = lock(&self.inner);
+        st.clocks[from as usize].tick(from as usize);
+        let stamp = st.clocks[from as usize].clone();
+        st.channels.entry((from, to)).or_default().push_back(stamp);
+    }
+
+    /// A message from `from` arrived at `at`.
+    pub fn on_recv(&self, at: NodeId, from: NodeId) {
+        let mut st = lock(&self.inner);
+        let stamp = st.channels.get_mut(&(from, at)).and_then(|q| q.pop_front());
+        if let Some(stamp) = stamp {
+            st.clocks[at as usize].join(&stamp);
+        }
+        st.clocks[at as usize].tick(at as usize);
+    }
+
+    /// Thread `thread` touched `oid`.
+    pub fn on_access(&self, thread: NodeId, oid: ObjectId, write: bool) {
+        let mut st = lock(&self.inner);
+        st.clocks[thread as usize].tick(thread as usize);
+        let now = st.clocks[thread as usize].clone();
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let hist = st.objects.entry(oid).or_default();
+        let mut found: Vec<RaceReport> = Vec::new();
+        if let Some((t, wc)) = &hist.last_write {
+            if *t != thread && !wc.leq(&now) {
+                found.push(RaceReport {
+                    oid,
+                    first: (*t, AccessKind::Write),
+                    second: (thread, kind),
+                });
+            }
+        }
+        if write {
+            for (t, rc) in &hist.reads {
+                if *t != thread && !rc.leq(&now) {
+                    found.push(RaceReport {
+                        oid,
+                        first: (*t, AccessKind::Read),
+                        second: (thread, kind),
+                    });
+                }
+            }
+            hist.last_write = Some((thread, now));
+            hist.reads.clear();
+        } else {
+            hist.reads.retain(|(t, _)| *t != thread);
+            hist.reads.push((thread, now));
+        }
+        st.races.extend(found);
+    }
+
+    pub fn races(&self) -> Vec<RaceReport> {
+        lock(&self.inner).races.clone()
+    }
+
+    pub fn assert_race_free(&self) {
+        let st = lock(&self.inner);
+        if !st.races.is_empty() {
+            let list: Vec<String> = st.races.iter().map(|r| format!("{r:?}")).collect();
+            drop(st);
+            panic!("data races on mobile objects:\n  {}", list.join("\n  "));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-side emission
+// ---------------------------------------------------------------------------
+
+/// Emit a [`RuntimeEvent`] through an `Option<Arc<dyn EventSink>>` slot.
+///
+/// Compiled away entirely (slot access, event construction and all) in
+/// release builds without the `audit` feature — the macro body sits
+/// inside a `#[cfg]`-gated block, so the tokens never reach name
+/// resolution.
+macro_rules! audit_emit {
+    ($slot:expr, $ev:expr) => {{
+        #[cfg(any(feature = "audit", debug_assertions))]
+        {
+            if let Some(sink) = $slot.as_ref() {
+                let ev: $crate::audit::RuntimeEvent = $ev;
+                $crate::audit::EventSink::record(&**sink, &ev);
+            }
+        }
+    }};
+}
+pub(crate) use audit_emit;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(seq: u64) -> ObjectId {
+        ObjectId::new(0, seq)
+    }
+
+    #[test]
+    fn mix64_is_injective_on_a_prefix() {
+        let mut seen = HashSet::new();
+        for x in 0..10_000u64 {
+            assert!(seen.insert(mix64(x)));
+        }
+        // And not the identity.
+        assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let log = EventLog::new();
+        log.record(&RuntimeEvent::Post { oid: oid(1) });
+        log.record(&RuntimeEvent::Post { oid: oid(2) });
+        let evs = log.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0], RuntimeEvent::Post { oid: oid(1) });
+    }
+
+    #[test]
+    fn vector_clock_orders_and_joins() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.tick(0);
+        assert!(!a.leq(&b));
+        b.join(&a);
+        b.tick(1);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn clean_lifecycle_has_no_violations() {
+        let c = InvariantChecker::new(FailMode::Collect);
+        c.record(&RuntimeEvent::Create {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Post { oid: oid(1) });
+        c.record(&RuntimeEvent::Deliver {
+            node: 0,
+            oid: oid(1),
+        });
+        c.record(&RuntimeEvent::Unload {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Load {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Terminate { node: 0 });
+        c.record(&RuntimeEvent::Shutdown { node: 0, used: 100 });
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        assert_eq!(c.events_seen(), 7);
+        c.assert_clean();
+    }
+
+    #[test]
+    #[should_panic(expected = "MRTS invariant violated")]
+    fn panic_mode_fails_fast() {
+        let c = InvariantChecker::new(FailMode::Panic);
+        c.record(&RuntimeEvent::Create {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Pin {
+            node: 0,
+            oid: oid(1),
+        });
+        c.record(&RuntimeEvent::Unload {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+    }
+}

@@ -82,9 +82,7 @@ pub fn plan_rebalance(nodes: usize, items: &[BalanceItem]) -> Vec<Move> {
         // Move the heaviest object that still *reduces* the spread: after
         // moving weight w, the new gap contribution is |gap − 2w|; any
         // w < gap improves it, and the largest such w improves it most.
-        let candidate = movable[max_n]
-            .iter()
-            .rposition(|&(w, _)| w > 0 && w < gap);
+        let candidate = movable[max_n].iter().rposition(|&(w, _)| w > 0 && w < gap);
         let Some(pos) = candidate else { break };
         let (w, oid) = movable[max_n].remove(pos);
         load[max_n] -= w;
@@ -208,8 +206,7 @@ mod tests {
 
     #[test]
     fn three_nodes_smooth_out() {
-        let items: Vec<BalanceItem> =
-            (0..9).map(|i| item(i, 0, 10 + i % 3, false)).collect();
+        let items: Vec<BalanceItem> = (0..9).map(|i| item(i, 0, 10 + i % 3, false)).collect();
         let moves = plan_rebalance(3, &items);
         assert!(!moves.is_empty());
         let mut after = items.clone();

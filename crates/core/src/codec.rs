@@ -141,7 +141,13 @@ mod tests {
         let p = MobilePtr::new(ObjectId::new(7, 99));
         let q = MobilePtr::new(ObjectId::new(1, 2));
         let mut w = PayloadWriter::new();
-        w.u8(5).u32(1234).u64(u64::MAX).f64(-0.5).ptr(p).bytes(b"hello").ptrs(&[p, q]);
+        w.u8(5)
+            .u32(1234)
+            .u64(u64::MAX)
+            .f64(-0.5)
+            .ptr(p)
+            .bytes(b"hello")
+            .ptrs(&[p, q]);
         let buf = w.finish();
 
         let mut r = PayloadReader::new(&buf);

@@ -317,7 +317,8 @@ mod tests {
                     for k in 0..1000u64 {
                         acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
                     }
-                    c.fetch_add(1 + (acc & 0), Ordering::Relaxed);
+                    std::hint::black_box(acc);
+                    c.fetch_add(1, Ordering::Relaxed);
                 });
                 t
             })
@@ -387,7 +388,10 @@ mod tests {
         let d = vec![Duration::from_micros(5); 1000];
         let ws = ExecutorKind::WorkStealing.makespan(&d, 4);
         let fifo = ExecutorKind::Fifo.makespan(&d, 4);
-        assert!(fifo > ws, "GCD-like dispatch must cost more: {fifo:?} vs {ws:?}");
+        assert!(
+            fifo > ws,
+            "GCD-like dispatch must cost more: {fifo:?} vs {ws:?}"
+        );
     }
 
     #[test]

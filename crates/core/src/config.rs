@@ -179,10 +179,30 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(MrtsConfig { nodes: 0, ..Default::default() }.validate().is_err());
-        assert!(MrtsConfig { cores_per_node: 0, ..Default::default() }.validate().is_err());
-        assert!(MrtsConfig { soft_threshold_frac: 1.5, ..Default::default() }.validate().is_err());
-        assert!(MrtsConfig { compute_scale: 0.0, ..Default::default() }.validate().is_err());
+        assert!(MrtsConfig {
+            nodes: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MrtsConfig {
+            cores_per_node: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MrtsConfig {
+            soft_threshold_frac: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MrtsConfig {
+            compute_scale: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

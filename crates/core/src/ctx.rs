@@ -220,13 +220,7 @@ mod tests {
     use std::sync::Arc;
 
     fn test_ctx<'a>(next_seq: &'a mut u64, backend: &'a mut SequentialBackend) -> Ctx<'a> {
-        Ctx::new(
-            3,
-            MobilePtr::new(ObjectId::new(3, 0)),
-            1,
-            next_seq,
-            backend,
-        )
+        Ctx::new(3, MobilePtr::new(ObjectId::new(3, 0)), 1, next_seq, backend)
     }
 
     #[test]
@@ -260,8 +254,12 @@ mod tests {
             .effects
             .iter()
             .map(|e| match e {
-                Effect::Send { immediate: false, .. } => "send",
-                Effect::Send { immediate: true, .. } => "send!",
+                Effect::Send {
+                    immediate: false, ..
+                } => "send",
+                Effect::Send {
+                    immediate: true, ..
+                } => "send!",
                 Effect::Lock(_) => "lock",
                 Effect::Unlock(_) => "unlock",
                 Effect::SetPriority(..) => "prio",

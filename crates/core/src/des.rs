@@ -21,6 +21,8 @@
 //! meaning as the paper's cluster measurements — the substitution required
 //! because this reproduction runs on a single-core host (see DESIGN.md).
 
+#[allow(unused_imports)]
+use crate::audit::{audit_emit, RuntimeEvent};
 use crate::compute::SequentialBackend;
 use crate::config::MrtsConfig;
 use crate::ctx::{Ctx, Effect};
@@ -163,6 +165,11 @@ pub struct DesRuntime {
     event_seq: u64,
     end_time: Duration,
     ran: bool,
+    /// When set, same-timestamp event tie-breaks are permuted through a
+    /// seeded bijection (see [`DesRuntime::set_schedule_seed`]).
+    schedule_seed: Option<u64>,
+    #[cfg(any(feature = "audit", debug_assertions))]
+    audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
 }
 
 impl DesRuntime {
@@ -196,7 +203,32 @@ impl DesRuntime {
             event_seq: 0,
             end_time: Duration::ZERO,
             ran: false,
+            schedule_seed: None,
+            #[cfg(any(feature = "audit", debug_assertions))]
+            audit: None,
         }
+    }
+
+    /// Attach a runtime-event sink (an
+    /// [`InvariantChecker`](crate::audit::InvariantChecker), an
+    /// [`EventLog`](crate::audit::EventLog), …). Available in debug builds
+    /// and under the `audit` feature; release builds without the feature
+    /// compile the instrumentation out entirely.
+    #[cfg(any(feature = "audit", debug_assertions))]
+    pub fn attach_audit(&mut self, sink: std::sync::Arc<dyn crate::audit::EventSink>) {
+        self.audit = Some(sink);
+    }
+
+    /// Permute same-timestamp event ordering with a deterministic seed.
+    ///
+    /// Events at equal virtual time are normally processed in creation
+    /// (FIFO) order. With a seed, the tie-break sequence numbers are
+    /// passed through a seeded bijection ([`crate::audit::mix64`]), so
+    /// each seed explores a different — but reproducible — legal schedule.
+    /// The runtime invariants and application results must be identical
+    /// across seeds; the audit gate sweeps several. `None` restores FIFO.
+    pub fn set_schedule_seed(&mut self, seed: Option<u64>) {
+        self.schedule_seed = seed;
     }
 
     pub fn config(&self) -> &MrtsConfig {
@@ -256,6 +288,15 @@ impl DesRuntime {
                 pending_migration: None,
             },
         );
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::Create {
+                node,
+                oid: id,
+                footprint
+            }
+        );
+        self.audit_budget(node, true);
         MobilePtr::new(id)
     }
 
@@ -264,12 +305,18 @@ impl DesRuntime {
         let node = self.owner_of(ptr.id);
         let e = self.nodes[node as usize].table.get_mut(&ptr.id).unwrap();
         e.locked = true;
+        audit_emit!(self.audit, RuntimeEvent::Pin { node, oid: ptr.id });
     }
 
     /// Post an initial message (delivered at virtual time zero).
     pub fn post(&mut self, to: MobilePtr, handler: HandlerId, payload: Vec<u8>) {
         let node = self.owner_of(to.id);
-        self.push_event(Duration::ZERO, node, EvKind::Msg(Message::new(to, handler, payload)));
+        audit_emit!(self.audit, RuntimeEvent::Post { oid: to.id });
+        self.push_event(
+            Duration::ZERO,
+            node,
+            EvKind::Msg(Message::new(to, handler, payload)),
+        );
     }
 
     /// The routing fallback for an object with no directory hint: its home
@@ -298,8 +345,18 @@ impl DesRuntime {
     // ----- event plumbing ----------------------------------------------------
 
     fn push_event(&mut self, at: Duration, node: NodeId, kind: EvKind) {
-        let seq = self.event_seq;
+        // Posts issued between runs arrive "now", not at virtual time
+        // zero — this keeps multi-phase drivers (post, run, post, run)
+        // from scheduling into the past.
+        let at = at.max(self.now);
+        let raw = self.event_seq;
         self.event_seq += 1;
+        // The bijection keeps sequence numbers unique, so permuting them
+        // only reshuffles same-timestamp ties, never drops an event.
+        let seq = match self.schedule_seed {
+            Some(s) => crate::audit::mix64(s ^ raw),
+            None => raw,
+        };
         self.end_time = self.end_time.max(at);
         self.events.push(Reverse(Event {
             at,
@@ -309,9 +366,36 @@ impl DesRuntime {
         }));
     }
 
+    /// Emit a memory-accounting snapshot for the invariant checker.
+    /// `enforced` marks snapshots taken right after an admission decision
+    /// (held to the budget invariant); reload completions are
+    /// accounting-only (the engine deliberately overshoots there, see
+    /// [`DesRuntime::admit_for_load`]).
+    #[allow(unused_variables)]
+    fn audit_budget(&self, node: NodeId, enforced: bool) {
+        #[cfg(any(feature = "audit", debug_assertions))]
+        if let Some(sink) = self.audit.as_ref() {
+            let ooc = &self.nodes[node as usize].ooc;
+            sink.record(&RuntimeEvent::Budget {
+                node,
+                used: ooc.used(),
+                budget: ooc.budget(),
+                hard_reserve: ooc.hard_reserve(),
+                enforced,
+            });
+        }
+    }
+
     /// Send a message (or control traffic) from `from` to `to_node`,
     /// charging both sides. Local sends are free.
-    fn ship(&mut self, at: Duration, from: NodeId, to_node: NodeId, bytes: usize, node_kind: EvKind) {
+    fn ship(
+        &mut self,
+        at: Duration,
+        from: NodeId,
+        to_node: NodeId,
+        bytes: usize,
+        node_kind: EvKind,
+    ) {
         if from == to_node {
             self.push_event(at, to_node, node_kind);
             return;
@@ -334,6 +418,19 @@ impl DesRuntime {
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
             self.handle(ev);
+        }
+        // Quiescence: the event heap drained, so the computation
+        // terminated — every node observes it.
+        #[cfg(any(feature = "audit", debug_assertions))]
+        for node in 0..self.nodes.len() as NodeId {
+            audit_emit!(self.audit, RuntimeEvent::Terminate { node });
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::Shutdown {
+                    node,
+                    used: self.nodes[node as usize].ooc.used()
+                }
+            );
         }
         self.collect_stats()
     }
@@ -359,6 +456,7 @@ impl DesRuntime {
             EvKind::Loaded(oid) => self.on_loaded(node, oid),
             EvKind::DirUpdate(oid, loc) => {
                 self.nodes[node as usize].dir.update(oid, loc);
+                audit_emit!(self.audit, RuntimeEvent::DirUpdate { node, oid, loc });
             }
             EvKind::MigrateReq(oid, dest) => self.on_migrate_req(node, oid, dest),
             EvKind::Install {
@@ -377,7 +475,13 @@ impl DesRuntime {
         }
     }
 
-    fn forward(&mut self, node: NodeId, mut msg: Message, kind_builder: fn(Message) -> EvKind) {
+    fn forward(
+        &mut self,
+        at: Duration,
+        node: NodeId,
+        mut msg: Message,
+        kind_builder: fn(Message) -> EvKind,
+    ) {
         let oid = msg.to.id;
         let hint = match self.nodes[node as usize].table.get(&oid) {
             Some(Entry {
@@ -386,14 +490,26 @@ impl DesRuntime {
             }) => *f,
             _ => self.nodes[node as usize].dir.lookup(oid),
         };
-        let next = if hint == node { self.home_of(oid) } else { hint };
+        let next = if hint == node {
+            self.home_of(oid)
+        } else {
+            hint
+        };
         if next == node {
             panic!("message for unknown object {oid:?} stuck at node {node}");
         }
         msg.route.push(node);
         self.nodes[node as usize].stats.msgs_forwarded += 1;
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::Forward {
+                node,
+                oid,
+                to: next
+            }
+        );
         let bytes = msg.wire_size();
-        self.ship(self.now, node, next, bytes, kind_builder(msg));
+        self.ship(at, node, next, bytes, kind_builder(msg));
     }
 
     fn on_msg(&mut self, node: NodeId, msg: Message) {
@@ -403,7 +519,8 @@ impl DesRuntime {
             Some(e) if !matches!(e.state, EntryState::Moved(_))
         );
         if !present {
-            self.forward(node, msg, EvKind::Msg);
+            let now = self.now;
+            self.forward(now, node, msg, EvKind::Msg);
             return;
         }
         // Lazy directory updates along the route.
@@ -411,7 +528,13 @@ impl DesRuntime {
             let route = msg.route.clone();
             for hop in route {
                 if hop != node {
-                    self.ship(self.now, node, hop, DIR_UPDATE_BYTES, EvKind::DirUpdate(oid, node));
+                    self.ship(
+                        self.now,
+                        node,
+                        hop,
+                        DIR_UPDATE_BYTES,
+                        EvKind::DirUpdate(oid, node),
+                    );
                 }
             }
         }
@@ -462,7 +585,10 @@ impl DesRuntime {
         let (key, packed_len) = {
             let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
             debug_assert!(matches!(e.state, EntryState::Loading));
-            (e.spill_key.expect("loading object has a spill key"), e.packed_len)
+            (
+                e.spill_key.expect("loading object has a spill key"),
+                e.packed_len,
+            )
         };
         let bytes = self.nodes[node as usize]
             .store
@@ -488,6 +614,15 @@ impl DesRuntime {
             let _ = old_fp;
             n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
         }
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::Load {
+                node,
+                oid,
+                footprint
+            }
+        );
+        self.audit_budget(node, false);
         // A pending migration takes precedence over queued work.
         let pending_mig = self.nodes[node as usize].table[&oid].pending_migration;
         if let Some(dest) = pending_mig {
@@ -528,6 +663,7 @@ impl DesRuntime {
             };
             (obj, e.footprint, e.obj_free_at)
         };
+        audit_emit!(self.audit, RuntimeEvent::Deliver { node, oid });
 
         let mut next_seq = self.nodes[node as usize].next_obj_seq;
         let mut backend = SequentialBackend;
@@ -546,9 +682,14 @@ impl DesRuntime {
         let tasks_wall: Duration = reports.iter().map(|r| r.wall).sum();
         let tasks_virtual: Duration = reports
             .iter()
-            .map(|r| self.cfg.executor.makespan(&r.durations, self.cfg.cores_per_node))
+            .map(|r| {
+                self.cfg
+                    .executor
+                    .makespan(&r.durations, self.cfg.cores_per_node)
+            })
             .sum();
-        let vdur = (wall.saturating_sub(tasks_wall) + tasks_virtual).mul_f64(self.cfg.compute_scale);
+        let vdur =
+            (wall.saturating_sub(tasks_wall) + tasks_virtual).mul_f64(self.cfg.compute_scale);
 
         // Schedule on the earliest-free virtual core.
         let end = {
@@ -580,6 +721,17 @@ impl DesRuntime {
             n.ooc.note_resize(old_footprint, new_footprint);
             n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
         }
+        if old_footprint != new_footprint {
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::Resize {
+                    node,
+                    oid,
+                    old: old_footprint,
+                    new: new_footprint
+                }
+            );
+        }
 
         self.apply_effects(node, end, effects);
 
@@ -598,6 +750,7 @@ impl DesRuntime {
                     payload,
                     immediate: _,
                 } => {
+                    audit_emit!(self.audit, RuntimeEvent::Post { oid: to.id });
                     let msg = Message::new(to, handler, payload);
                     let local = matches!(
                         self.nodes[node as usize].table.get(&to.id),
@@ -606,16 +759,12 @@ impl DesRuntime {
                     if local {
                         self.push_event(at, node, EvKind::Msg(msg));
                     } else {
-                        let dest = {
-                            let d = self.nodes[node as usize].dir.lookup(to.id);
-                            if d == node {
-                                self.home_of(to.id)
-                            } else {
-                                d
-                            }
-                        };
-                        let bytes = msg.wire_size();
-                        self.ship(at, node, dest, bytes, EvKind::Msg(msg));
+                        // Route like any misdirected message: the sender
+                        // joins the route, so the delivery-time lazy
+                        // update teaches it the object's location (and
+                        // `route.first()` stays the true source node),
+                        // matching the threaded engine.
+                        self.forward(at, node, msg, EvKind::Msg);
                     }
                 }
                 Effect::Multicast {
@@ -674,6 +823,15 @@ impl DesRuntime {
                             pending_migration: None,
                         },
                     );
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::Create {
+                            node,
+                            oid: id,
+                            footprint
+                        }
+                    );
+                    self.audit_budget(node, true);
                 }
                 Effect::Lock(p) => self.route_meta(node, at, p.id, MetaOp::Lock),
                 Effect::Unlock(p) => self.route_meta(node, at, p.id, MetaOp::Unlock),
@@ -746,8 +904,14 @@ impl DesRuntime {
         }
         let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
         match op {
-            MetaOp::Lock => e.locked = true,
-            MetaOp::Unlock => e.locked = false,
+            MetaOp::Lock => {
+                e.locked = true;
+                audit_emit!(self.audit, RuntimeEvent::Pin { node, oid });
+            }
+            MetaOp::Unlock => {
+                e.locked = false;
+                audit_emit!(self.audit, RuntimeEvent::Unpin { node, oid });
+            }
             MetaOp::SetPriority(v) => e.priority = v,
         }
     }
@@ -880,6 +1044,14 @@ impl DesRuntime {
         };
         n.ooc.note_out(footprint);
         n.ooc.note_spilled(footprint);
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::Unload {
+                node,
+                oid,
+                footprint
+            }
+        );
         self.end_time = self.end_time.max(end);
         // An object evicted with queued messages still owes work: its
         // messages were spilled with it, so schedule the reload (after the
@@ -892,11 +1064,14 @@ impl DesRuntime {
     // ----- migration & multicast -------------------------------------------------
 
     fn on_migrate_req(&mut self, node: NodeId, oid: ObjectId, dest: NodeId) {
-        let entry_state = self.nodes[node as usize].table.get(&oid).map(|e| match e.state {
-            EntryState::Moved(f) => Err(f),
-            EntryState::InCore(_) | EntryState::Executing => Ok(true),
-            EntryState::OnDisk | EntryState::Loading => Ok(false),
-        });
+        let entry_state = self.nodes[node as usize]
+            .table
+            .get(&oid)
+            .map(|e| match e.state {
+                EntryState::Moved(f) => Err(f),
+                EntryState::InCore(_) | EntryState::Executing => Ok(true),
+                EntryState::OnDisk | EntryState::Loading => Ok(false),
+            });
         match entry_state {
             None => {
                 // Not here: forward along the directory.
@@ -909,7 +1084,13 @@ impl DesRuntime {
                     }
                 };
                 if owner != node {
-                    self.ship(self.now, node, owner, CTL_BYTES, EvKind::MigrateReq(oid, dest));
+                    self.ship(
+                        self.now,
+                        node,
+                        owner,
+                        CTL_BYTES,
+                        EvKind::MigrateReq(oid, dest),
+                    );
                 }
             }
             Some(Err(f)) => {
@@ -968,6 +1149,16 @@ impl DesRuntime {
             n.stats.migrations += 1;
             n.ooc.note_out(footprint);
         }
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::MigrateOut {
+                node,
+                oid,
+                to: dest,
+                queued: queue.len(),
+                footprint
+            }
+        );
         let at = self.now.max(free_at);
         let nbytes = bytes.len();
         self.ship(
@@ -986,9 +1177,23 @@ impl DesRuntime {
         // Tell the home node where the object went (lazy update).
         let home = self.home_of(oid);
         if home != node && home != dest {
-            self.ship(at, node, home, DIR_UPDATE_BYTES, EvKind::DirUpdate(oid, dest));
+            self.ship(
+                at,
+                node,
+                home,
+                DIR_UPDATE_BYTES,
+                EvKind::DirUpdate(oid, dest),
+            );
         }
         self.nodes[node as usize].dir.update(oid, dest);
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::DirUpdate {
+                node,
+                oid,
+                loc: dest
+            }
+        );
     }
 
     fn on_install(
@@ -1029,6 +1234,24 @@ impl DesRuntime {
                 },
             );
         }
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::MigrateIn {
+                node,
+                oid,
+                queued: queue.len(),
+                footprint
+            }
+        );
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::DirUpdate {
+                node,
+                oid,
+                loc: node
+            }
+        );
+        self.audit_budget(node, true);
         // Replay the messages that traveled with the object.
         for msg in queue {
             self.push_event(self.now, node, EvKind::Msg(msg));
@@ -1047,19 +1270,32 @@ impl DesRuntime {
         let now = self.now;
         for t in &info.targets {
             let oid = t.id;
-            let status = self.nodes[node as usize].table.get(&oid).map(|e| match &e.state {
-                EntryState::Moved(f) => Err(*f),
-                EntryState::InCore(_) | EntryState::Executing => Ok(true),
-                _ => Ok(false),
-            });
+            let status = self.nodes[node as usize]
+                .table
+                .get(&oid)
+                .map(|e| match &e.state {
+                    EntryState::Moved(f) => Err(*f),
+                    EntryState::InCore(_) | EntryState::Executing => Ok(true),
+                    _ => Ok(false),
+                });
             match status {
                 Some(Ok(true)) => {
                     // Present: pin it until delivery.
-                    self.nodes[node as usize].table.get_mut(&oid).unwrap().locked = true;
+                    self.nodes[node as usize]
+                        .table
+                        .get_mut(&oid)
+                        .unwrap()
+                        .locked = true;
+                    audit_emit!(self.audit, RuntimeEvent::Pin { node, oid });
                 }
                 Some(Ok(false)) => {
                     waiting.push(oid);
-                    self.nodes[node as usize].table.get_mut(&oid).unwrap().locked = true;
+                    self.nodes[node as usize]
+                        .table
+                        .get_mut(&oid)
+                        .unwrap()
+                        .locked = true;
+                    audit_emit!(self.audit, RuntimeEvent::Pin { node, oid });
                     self.start_load(node, oid, now);
                 }
                 Some(Err(f)) => {
@@ -1116,9 +1352,17 @@ impl DesRuntime {
     }
 
     fn mc_deliver(&mut self, node: NodeId, mc: McPending) {
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::McDeliver {
+                node,
+                targets: mc.info.targets.iter().map(|t| t.id).collect(),
+            }
+        );
         // Deliver to the first `deliver_to` targets; unlock everyone.
         for (i, t) in mc.info.targets.iter().enumerate() {
             if (i as u32) < mc.info.deliver_to {
+                audit_emit!(self.audit, RuntimeEvent::Post { oid: t.id });
                 let msg = Message::new(*t, mc.handler, mc.payload.clone());
                 self.push_event(self.now, node, EvKind::Msg(msg));
             }
@@ -1126,6 +1370,7 @@ impl DesRuntime {
         for t in &mc.info.targets {
             if let Some(e) = self.nodes[node as usize].table.get_mut(&t.id) {
                 e.locked = false;
+                audit_emit!(self.audit, RuntimeEvent::Unpin { node, oid: t.id });
             }
         }
     }
@@ -1204,6 +1449,15 @@ impl DesRuntime {
             },
         );
         assert!(prev.is_none(), "checkpoint restore collided with {oid:?}");
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::Create {
+                node,
+                oid,
+                footprint
+            }
+        );
+        self.audit_budget(node, false);
     }
 
     /// Raise per-node object-id allocation watermarks (restore path).

@@ -23,6 +23,7 @@
 //! parallel mesh generation methods of the paper) and `DESIGN.md` at the
 //! workspace root for the system inventory.
 
+pub mod audit;
 pub mod balance;
 pub mod checkpoint;
 pub mod codec;
@@ -42,6 +43,9 @@ pub mod threaded;
 
 /// The commonly used names in one import.
 pub mod prelude {
+    pub use crate::audit::{
+        EventLog, EventSink, FailMode, InvariantChecker, RaceDetector, RuntimeEvent,
+    };
     pub use crate::codec::{PayloadReader, PayloadWriter};
     pub use crate::compute::ExecutorKind;
     pub use crate::config::{MrtsConfig, NetModel};

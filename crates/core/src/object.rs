@@ -192,7 +192,10 @@ mod tests {
         fn h(_: &mut dyn MobileObject, _: &mut Ctx, _: &[u8]) {}
         let mut reg = Registry::new();
         reg.register_handler(HandlerId(3), "test_handler", h);
-        assert_eq!(reg.handler(HandlerId(3)) as *const (), h as HandlerFn as *const ());
+        assert_eq!(
+            reg.handler(HandlerId(3)) as *const (),
+            h as HandlerFn as *const ()
+        );
         assert_eq!(reg.handler_name(HandlerId(3)), "test_handler");
         assert_eq!(reg.handler_name(HandlerId(9)), "?");
     }

@@ -101,10 +101,17 @@ impl OocManager {
     }
 
     /// Account an object's footprint change in place (objects grow during
-    /// refinement).
+    /// refinement). Applied as one atomic delta: going through
+    /// `note_out(old)` + `note_in(new)` would transiently under-count and
+    /// let a concurrent admission check see phantom headroom.
     pub fn note_resize(&mut self, old: usize, new: usize) {
-        self.note_out(old);
-        self.note_in(new);
+        if new >= old {
+            self.used += new - old;
+            self.peak_used = self.peak_used.max(self.used);
+        } else {
+            debug_assert!(self.used >= old - new, "memory accounting underflow");
+            self.used = self.used.saturating_sub(old - new);
+        }
     }
 
     /// Record that an object of `footprint` bytes was spilled (maintains
@@ -114,7 +121,7 @@ impl OocManager {
     }
 
     /// Headroom the hard threshold demands after an admission.
-    fn hard_reserve(&self) -> usize {
+    pub fn hard_reserve(&self) -> usize {
         (self.hard_mult * self.largest_spilled as f64) as usize
     }
 
@@ -124,7 +131,10 @@ impl OocManager {
         if !self.enabled() {
             return 0;
         }
-        let demand = self.used.saturating_add(incoming).saturating_add(self.hard_reserve());
+        let demand = self
+            .used
+            .saturating_add(incoming)
+            .saturating_add(self.hard_reserve());
         demand.saturating_sub(self.budget)
     }
 
@@ -154,25 +164,24 @@ impl OocManager {
     /// Order: objects without queued messages first, then lower priority,
     /// then the swapping scheme's score. Returns the chosen object ids (in
     /// eviction order); may free less than `need` if candidates run out.
-    pub fn pick_victims(&self, candidates: &mut Vec<EvictCandidate>, need: usize) -> Vec<ObjectId> {
+    pub fn pick_victims(&self, candidates: &mut [EvictCandidate], need: usize) -> Vec<ObjectId> {
         if need == 0 || candidates.is_empty() {
             return Vec::new();
         }
         let now = self.clock;
+        // Explicit lexicographic comparator: scores are f64 and a NaN
+        // anywhere in a tuple `partial_cmp` would collapse the whole key
+        // to `Equal`, silently disabling the ordering. `total_cmp` keeps
+        // the sort total (NaN orders after every finite score).
         candidates.sort_by(|a, b| {
-            let key_a = (
-                a.queued_msgs > 0,
-                a.priority,
-                self.policy.score(&a.meta, now),
-            );
-            let key_b = (
-                b.queued_msgs > 0,
-                b.priority,
-                self.policy.score(&b.meta, now),
-            );
-            key_a
-                .partial_cmp(&key_b)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            (a.queued_msgs > 0)
+                .cmp(&(b.queued_msgs > 0))
+                .then_with(|| a.priority.cmp(&b.priority))
+                .then_with(|| {
+                    self.policy
+                        .score(&a.meta, now)
+                        .total_cmp(&self.policy.score(&b.meta, now))
+                })
         });
         let mut out = Vec::new();
         let mut freed = 0usize;
@@ -191,7 +200,14 @@ impl OocManager {
 mod tests {
     use super::*;
 
-    fn cand(seq: u64, footprint: usize, last: u64, count: u64, prio: u8, queued: usize) -> EvictCandidate {
+    fn cand(
+        seq: u64,
+        footprint: usize,
+        last: u64,
+        count: u64,
+        prio: u8,
+        queued: usize,
+    ) -> EvictCandidate {
         EvictCandidate {
             oid: ObjectId::new(0, seq),
             footprint,
@@ -224,6 +240,25 @@ mod tests {
         m.note_resize(400, 600);
         assert_eq!(m.used(), 600);
         assert_eq!(m.peak_used, 700);
+    }
+
+    #[test]
+    fn resize_is_atomic_and_tracks_peak_growth() {
+        let mut m = OocManager::new(1000, 0.0, 0.5, PolicyKind::Lru);
+        m.note_in(400);
+        assert_eq!(m.peak_used, 400);
+        // Growth must raise the peak: the old note_out/note_in sequence
+        // dipped to 0 first, so a peak equal to the new footprint proves
+        // the delta was applied atomically.
+        m.note_resize(400, 900);
+        assert_eq!(m.used(), 900);
+        assert_eq!(m.peak_used, 900);
+        m.note_resize(900, 100);
+        assert_eq!(m.used(), 100);
+        assert_eq!(m.peak_used, 900);
+        // No-op resize.
+        m.note_resize(100, 100);
+        assert_eq!(m.used(), 100);
     }
 
     #[test]

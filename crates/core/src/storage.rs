@@ -100,10 +100,8 @@ impl FileStore {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "mrts-spill-{label}-{}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("mrts-spill-{label}-{}-{n}", std::process::id()));
         FileStore::new(dir)
     }
 
@@ -127,9 +125,7 @@ impl StorageBackend for FileStore {
 
     fn load(&mut self, key: u64) -> io::Result<Vec<u8>> {
         let mut f = io::BufReader::new(fs::File::open(self.path(key))?);
-        let mut buf = Vec::with_capacity(
-            self.sizes.get(&key).copied().unwrap_or(4096) as usize
-        );
+        let mut buf = Vec::with_capacity(self.sizes.get(&key).copied().unwrap_or(4096) as usize);
         f.read_to_end(&mut buf)?;
         Ok(buf)
     }
@@ -245,7 +241,10 @@ mod tests {
         fs.store(42, &payload).unwrap();
         // The file exists with the right size.
         let path = fs.dir().join(format!("obj-{:016x}.bin", 42));
-        assert_eq!(std::fs::metadata(&path).unwrap().len() as usize, payload.len());
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len() as usize,
+            payload.len()
+        );
         assert_eq!(fs.load(42).unwrap(), payload);
     }
 
@@ -259,6 +258,8 @@ mod tests {
         assert!((t.as_secs_f64() - 0.51).abs() < 1e-9);
         // Zero bytes still pays the seek.
         assert_eq!(d.op_time(0), Duration::from_millis(10));
-        assert!(DiskModel::fast_ssd().op_time(1 << 20) < DiskModel::cluster_disk().op_time(1 << 20));
+        assert!(
+            DiskModel::fast_ssd().op_time(1 << 20) < DiskModel::cluster_disk().op_time(1 << 20)
+        );
     }
 }

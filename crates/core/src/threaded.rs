@@ -14,6 +14,8 @@
 //! message (the in-process fabric itself is too fast to measure
 //! meaningfully).
 
+#[allow(unused_imports)]
+use crate::audit::{audit_emit, RuntimeEvent};
 use crate::compute::{ExecutorKind, FifoPool, SequentialBackend, TaskBackend, WorkStealingPool};
 use crate::config::MrtsConfig;
 use crate::ctx::{Ctx, Effect};
@@ -64,13 +66,22 @@ struct TEntry {
 }
 
 enum IoReq {
-    Store { key: u64, bytes: Vec<u8>, oid: ObjectId },
-    Load { key: u64, oid: ObjectId },
+    Store {
+        key: u64,
+        bytes: Vec<u8>,
+        oid: ObjectId,
+    },
+    Load {
+        key: u64,
+        oid: ObjectId,
+    },
     Shutdown,
 }
 
 enum IoDone {
-    Stored { dur: Duration },
+    Stored {
+        dur: Duration,
+    },
     Loaded {
         oid: ObjectId,
         bytes: Vec<u8>,
@@ -115,6 +126,10 @@ struct Worker {
     multicasts: Vec<McWait>,
     safra: Safra,
     done: bool,
+    #[cfg(any(feature = "audit", debug_assertions))]
+    audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
+    #[cfg(any(feature = "audit", debug_assertions))]
+    race: Option<std::sync::Arc<crate::audit::RaceDetector>>,
 }
 
 impl Worker {
@@ -122,8 +137,67 @@ impl Worker {
         self.stats.comm += self.cfg.net.transfer_time(bytes);
     }
 
+    /// Snapshot this node's memory accounting for the invariant checker.
+    /// `enforced = false` on paths where the engine deliberately overshoots
+    /// the budget (reloads, bootstrap) before evicting back down.
+    #[allow(unused_variables)]
+    fn audit_budget(&self, enforced: bool) {
+        #[cfg(any(feature = "audit", debug_assertions))]
+        {
+            if let Some(sink) = self.audit.as_ref() {
+                sink.record(&RuntimeEvent::Budget {
+                    node: self.node,
+                    used: self.ooc.used(),
+                    budget: self.ooc.budget(),
+                    hard_reserve: self.ooc.hard_reserve(),
+                    enforced,
+                });
+            }
+        }
+    }
+
+    /// Happens-before edge out: stamp this node's vector clock onto the
+    /// (self → to) channel. Must pair 1:1 with fabric sends so the
+    /// detector's channel FIFOs stay aligned with the fabric's.
+    #[allow(unused_variables)]
+    fn race_send(&self, to: NodeId) {
+        #[cfg(any(feature = "audit", debug_assertions))]
+        {
+            if let Some(r) = self.race.as_ref() {
+                r.on_send(self.node, to);
+            }
+        }
+    }
+
+    /// Happens-before edge in: join the sender's stamp from the
+    /// (from → self) channel.
+    #[allow(unused_variables)]
+    fn race_recv(&self, from: NodeId) {
+        #[cfg(any(feature = "audit", debug_assertions))]
+        {
+            if let Some(r) = self.race.as_ref() {
+                r.on_recv(self.node, from);
+            }
+        }
+    }
+
+    /// Record a (write) access to a mobile object's bytes by this worker
+    /// thread. Every touch of object state — handler execution, pack for
+    /// spill or migration, unpack on load or install — is a write from the
+    /// detector's point of view.
+    #[allow(unused_variables)]
+    fn race_access(&self, oid: ObjectId) {
+        #[cfg(any(feature = "audit", debug_assertions))]
+        {
+            if let Some(r) = self.race.as_ref() {
+                r.on_access(self.node, oid, true);
+            }
+        }
+    }
+
     fn am(&mut self, dest: NodeId, tag: u32, payload: Vec<u8>) {
         let bytes = payload.len();
+        self.race_send(dest);
         self.ep.am_send(dest, tag, payload);
         if dest != self.node {
             self.comm_charge(bytes);
@@ -149,6 +223,7 @@ impl Worker {
     // ----- message dispatch -------------------------------------------------
 
     fn on_fabric(&mut self, am: ActiveMessage) {
+        self.race_recv(am.src);
         if am.src != self.node && am.handler != AM_TOKEN && am.handler != AM_EXIT {
             self.safra.counter -= 1;
             self.safra.color_black = true;
@@ -163,6 +238,14 @@ impl Worker {
                 let oid = ObjectId(u64::from_le_bytes(am.payload[..8].try_into().unwrap()));
                 let loc = u16::from_le_bytes(am.payload[8..10].try_into().unwrap());
                 self.dir.update(oid, loc);
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::DirUpdate {
+                        node: self.node,
+                        oid,
+                        loc
+                    }
+                );
             }
             AM_MIGRATE_REQ => {
                 let oid = ObjectId(u64::from_le_bytes(am.payload[..8].try_into().unwrap()));
@@ -188,6 +271,7 @@ impl Worker {
             }
             AM_EXIT => {
                 self.done = true;
+                audit_emit!(self.audit, RuntimeEvent::Terminate { node: self.node });
             }
             other => panic!("unknown AM tag {other}"),
         }
@@ -207,6 +291,14 @@ impl Worker {
             assert_ne!(next, self.node, "message stuck for {oid:?}");
             msg.route.push(self.node);
             self.stats.msgs_forwarded += 1;
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::Forward {
+                    node: self.node,
+                    oid,
+                    to: next
+                }
+            );
             self.am(next, AM_MSG, msg.encode());
             return;
         }
@@ -322,6 +414,15 @@ impl Worker {
         let footprint = self.table[&oid].footprint;
         self.ooc.note_out(footprint);
         self.ooc.note_spilled(footprint);
+        self.race_access(oid);
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::Unload {
+                node: self.node,
+                oid,
+                footprint
+            }
+        );
         self.stats.evictions += 1;
         self.stats.stores += 1;
         self.stats.bytes_to_disk += bytes.len() as u64;
@@ -379,6 +480,16 @@ impl Worker {
                     e.meta.touch(tick);
                     e.pending_migration
                 };
+                self.race_access(oid);
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::Load {
+                        node: self.node,
+                        oid,
+                        footprint
+                    }
+                );
+                self.audit_budget(false);
                 if let Some(dest) = pending {
                     self.do_migrate(oid, dest);
                     return;
@@ -419,6 +530,14 @@ impl Worker {
             let msg = e.queue.pop_front().unwrap();
             (obj, msg, e.footprint)
         };
+        self.race_access(oid);
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::Deliver {
+                node: self.node,
+                oid
+            }
+        );
 
         let handler = self.registry.handler(msg.handler);
         let src = *msg.route.first().unwrap_or(&self.node);
@@ -443,6 +562,17 @@ impl Worker {
             e.footprint = new_footprint;
         }
         self.ooc.note_resize(old_footprint, new_footprint);
+        if old_footprint != new_footprint {
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::Resize {
+                    node: self.node,
+                    oid,
+                    old: old_footprint,
+                    new: new_footprint
+                }
+            );
+        }
         self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.used());
         if !self.table[&oid].queue.is_empty() {
             self.ready.push_back(oid);
@@ -463,6 +593,7 @@ impl Worker {
                     payload,
                     immediate: _,
                 } => {
+                    audit_emit!(self.audit, RuntimeEvent::Post { oid: to.id });
                     let msg = Message::new(to, handler, payload);
                     if self.entry_present(to.id) {
                         self.route_msg(msg);
@@ -506,6 +637,15 @@ impl Worker {
                             pending_migration: None,
                         },
                     );
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::Create {
+                            node: self.node,
+                            oid: id,
+                            footprint
+                        }
+                    );
+                    self.audit_budget(true);
                 }
                 Effect::Lock(p) => self.meta_op(p.id, META_LOCK, 0),
                 Effect::Unlock(p) => self.meta_op(p.id, META_UNLOCK, 0),
@@ -557,6 +697,23 @@ impl Worker {
             META_UNLOCK => e.locked = false,
             META_PRIO => e.priority = arg,
             _ => unreachable!(),
+        }
+        match op {
+            META_LOCK => audit_emit!(
+                self.audit,
+                RuntimeEvent::Pin {
+                    node: self.node,
+                    oid
+                }
+            ),
+            META_UNLOCK => audit_emit!(
+                self.audit,
+                RuntimeEvent::Unpin {
+                    node: self.node,
+                    oid
+                }
+            ),
+            _ => {}
         }
     }
 
@@ -617,12 +774,25 @@ impl Worker {
             )
         };
         self.ready.retain(|&r| r != oid);
+        self.race_access(oid);
         let t0 = Instant::now();
         let packed = Registry::pack(obj.as_ref());
         self.stats.comp += t0.elapsed();
         drop(obj);
         self.ooc.note_out(footprint);
         self.stats.migrations += 1;
+        // Emitted before the install message ships so the checker sees the
+        // departure strictly before the arrival.
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::MigrateOut {
+                node: self.node,
+                oid,
+                to: dest,
+                queued: queue.len(),
+                footprint
+            }
+        );
 
         // Install payload: oid, priority, locked, packed object, queued
         // messages.
@@ -634,6 +804,14 @@ impl Worker {
         }
         self.am(dest, AM_INSTALL, w.finish());
         self.dir.update(oid, dest);
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::DirUpdate {
+                node: self.node,
+                oid,
+                loc: dest
+            }
+        );
         let home = oid.home();
         if home != self.node && home != dest {
             let mut upd = Vec::with_capacity(10);
@@ -677,6 +855,25 @@ impl Worker {
             },
         );
         self.dir.update(oid, self.node);
+        self.race_access(oid);
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::MigrateIn {
+                node: self.node,
+                oid,
+                queued: n_msgs as usize,
+                footprint
+            }
+        );
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::DirUpdate {
+                node: self.node,
+                oid,
+                loc: self.node
+            }
+        );
+        self.audit_budget(true);
         for m in queue {
             self.route_msg(m);
         }
@@ -691,10 +888,24 @@ impl Worker {
                 match self.table[&oid].state {
                     TState::InCore(_) => {
                         self.table.get_mut(&oid).unwrap().locked = true;
+                        audit_emit!(
+                            self.audit,
+                            RuntimeEvent::Pin {
+                                node: self.node,
+                                oid
+                            }
+                        );
                     }
                     _ => {
                         waiting.push(oid);
                         self.table.get_mut(&oid).unwrap().locked = true;
+                        audit_emit!(
+                            self.audit,
+                            RuntimeEvent::Pin {
+                                node: self.node,
+                                oid
+                            }
+                        );
                         self.start_load(oid);
                     }
                 }
@@ -738,8 +949,16 @@ impl Worker {
     }
 
     fn mc_deliver(&mut self, mc: McWait) {
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::McDeliver {
+                node: self.node,
+                targets: mc.info.targets.iter().map(|t| t.id).collect()
+            }
+        );
         for (i, t) in mc.info.targets.iter().enumerate() {
             if (i as u32) < mc.info.deliver_to {
+                audit_emit!(self.audit, RuntimeEvent::Post { oid: t.id });
                 self.route_msg(Message::new(*t, mc.handler, mc.payload.clone()));
             }
         }
@@ -747,6 +966,13 @@ impl Worker {
             if let Some(e) = self.table.get_mut(&t.id) {
                 e.locked = false;
             }
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::Unpin {
+                    node: self.node,
+                    oid: t.id
+                }
+            );
         }
     }
 
@@ -773,6 +999,7 @@ impl Worker {
         if self.n_nodes == 1 {
             // Idle with no peers and no in-flight work: done.
             self.done = true;
+            audit_emit!(self.audit, RuntimeEvent::Terminate { node: self.node });
             return;
         }
         if self.node == 0 {
@@ -792,6 +1019,7 @@ impl Worker {
                         self.am(n, AM_EXIT, vec![]);
                     }
                     self.done = true;
+                    audit_emit!(self.audit, RuntimeEvent::Terminate { node: self.node });
                     return;
                 }
                 // Unclean probe: whiten and try again.
@@ -808,7 +1036,14 @@ impl Worker {
         }
     }
 
-    fn run(mut self) -> (NodeId, HashMap<ObjectId, Box<dyn MobileObject>>, NodeStats, u64) {
+    fn run(
+        mut self,
+    ) -> (
+        NodeId,
+        HashMap<ObjectId, Box<dyn MobileObject>>,
+        NodeStats,
+        u64,
+    ) {
         while !self.done {
             // 1. Drain the fabric.
             while let Some(am) = self.ep.try_recv() {
@@ -843,6 +1078,13 @@ impl Worker {
                 self.on_io(done);
             }
         }
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::Shutdown {
+                node: self.node,
+                used: self.ooc.used()
+            }
+        );
         // Materialize all objects for extraction.
         let mut out: HashMap<ObjectId, Box<dyn MobileObject>> = HashMap::new();
         let keys: Vec<ObjectId> = self.table.keys().copied().collect();
@@ -874,7 +1116,11 @@ impl Worker {
 
 fn spawn_io_thread(
     mut store: Box<dyn StorageBackend>,
-) -> (channel::Sender<IoReq>, channel::Receiver<IoDone>, std::thread::JoinHandle<()>) {
+) -> (
+    channel::Sender<IoReq>,
+    channel::Receiver<IoDone>,
+    std::thread::JoinHandle<()>,
+) {
     let (req_tx, req_rx) = channel::unbounded::<IoReq>();
     let (done_tx, done_rx) = channel::unbounded::<IoDone>();
     let handle = std::thread::Builder::new()
@@ -924,6 +1170,10 @@ pub struct ThreadedRuntime {
     next_seq: Vec<u64>,
     /// Post-run: all objects by id.
     results: HashMap<ObjectId, Box<dyn MobileObject>>,
+    #[cfg(any(feature = "audit", debug_assertions))]
+    audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
+    #[cfg(any(feature = "audit", debug_assertions))]
+    race: Option<std::sync::Arc<crate::audit::RaceDetector>>,
 }
 
 impl ThreadedRuntime {
@@ -936,7 +1186,32 @@ impl ThreadedRuntime {
             boot: Vec::new(),
             next_seq: vec![0; nodes],
             results: HashMap::new(),
+            #[cfg(any(feature = "audit", debug_assertions))]
+            audit: None,
+            #[cfg(any(feature = "audit", debug_assertions))]
+            race: None,
         }
+    }
+
+    /// Attach a runtime-event sink (e.g. [`crate::audit::InvariantChecker`]
+    /// or [`crate::audit::EventLog`]). The sink is shared by every worker
+    /// thread, which linearizes the event stream; emissions are ordered so
+    /// that causally related events (a migration's departure and arrival,
+    /// a post and its delivery) reach the sink in causal order.
+    ///
+    /// Only available in debug builds or with the `audit` feature; release
+    /// builds without the feature compile the instrumentation out.
+    #[cfg(any(feature = "audit", debug_assertions))]
+    pub fn attach_audit(&mut self, sink: std::sync::Arc<dyn crate::audit::EventSink>) {
+        self.audit = Some(sink);
+    }
+
+    /// Attach a happens-before race detector sized for this runtime's node
+    /// count. Every fabric send/receive contributes a vector-clock edge and
+    /// every object access is checked against the last conflicting access.
+    #[cfg(any(feature = "audit", debug_assertions))]
+    pub fn attach_race_detector(&mut self, det: std::sync::Arc<crate::audit::RaceDetector>) {
+        self.race = Some(det);
     }
 
     pub fn register_type(&mut self, tag: crate::ids::TypeTag, decode: crate::object::DecodeFn) {
@@ -987,9 +1262,9 @@ impl ThreadedRuntime {
         let mut io_handles = Vec::with_capacity(n);
         for (i, ep) in endpoints.into_iter().enumerate() {
             let store: Box<dyn StorageBackend> = match &self.cfg.spill_dir {
-                Some(dir) => Box::new(
-                    FileStore::new(dir.join(format!("node-{i}"))).expect("spill dir"),
-                ),
+                Some(dir) => {
+                    Box::new(FileStore::new(dir.join(format!("node-{i}"))).expect("spill dir"))
+                }
                 None => Box::new(MemStore::new()),
             };
             let (io_tx, io_rx, io_handle) = spawn_io_thread(store);
@@ -1036,6 +1311,10 @@ impl ThreadedRuntime {
                     initiated: false,
                 },
                 done: false,
+                #[cfg(any(feature = "audit", debug_assertions))]
+                audit: self.audit.clone(),
+                #[cfg(any(feature = "audit", debug_assertions))]
+                race: self.race.clone(),
             });
         }
 
@@ -1067,13 +1346,32 @@ impl ThreadedRuntime {
                             pending_migration: None,
                         },
                     );
+                    audit_emit!(
+                        w.audit,
+                        RuntimeEvent::Create {
+                            node,
+                            oid: id,
+                            footprint
+                        }
+                    );
+                    // Bootstrap creation bypasses admission (threads are not
+                    // running yet), so the budget may legitimately overshoot.
+                    w.audit_budget(false);
                 }
                 BootAction::Lock(p) => {
                     let w = &mut workers[p.id.home() as usize];
                     w.table.get_mut(&p.id).expect("boot lock target").locked = true;
+                    audit_emit!(
+                        w.audit,
+                        RuntimeEvent::Pin {
+                            node: p.id.home(),
+                            oid: p.id
+                        }
+                    );
                 }
                 BootAction::Post(to, handler, payload) => {
                     let w = &mut workers[to.id.home() as usize];
+                    audit_emit!(w.audit, RuntimeEvent::Post { oid: to.id });
                     let msg = Message::new(to, handler, payload);
                     w.route_msg(msg);
                 }

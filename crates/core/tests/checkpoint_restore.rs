@@ -143,7 +143,14 @@ fn restore_onto_fewer_nodes() {
 fn new_objects_after_restore_do_not_collide() {
     let mut rt = DesRuntime::new(MrtsConfig::in_core(1));
     register(&mut rt);
-    let p0 = rt.create_object(0, Box::new(Acc { sum: 0, pad: vec![] }), 128);
+    let p0 = rt.create_object(
+        0,
+        Box::new(Acc {
+            sum: 0,
+            pad: vec![],
+        }),
+        128,
+    );
     rt.run();
     let cp = rt.checkpoint();
 
@@ -151,7 +158,14 @@ fn new_objects_after_restore_do_not_collide() {
     register(&mut rt2);
     let mut rt2 = cp.restore_into(rt2);
     // A new object created after restore must get a fresh id.
-    let p1 = rt2.create_object(0, Box::new(Acc { sum: 7, pad: vec![] }), 128);
+    let p1 = rt2.create_object(
+        0,
+        Box::new(Acc {
+            sum: 7,
+            pad: vec![],
+        }),
+        128,
+    );
     assert_ne!(p0.id, p1.id);
     rt2.post(p1, H_ADD, add(1));
     rt2.run();
@@ -165,7 +179,14 @@ fn new_objects_after_restore_do_not_collide() {
 fn locked_and_priority_flags_survive() {
     let mut rt = DesRuntime::new(MrtsConfig::in_core(1));
     register(&mut rt);
-    let p = rt.create_object(0, Box::new(Acc { sum: 1, pad: vec![] }), 250);
+    let p = rt.create_object(
+        0,
+        Box::new(Acc {
+            sum: 1,
+            pad: vec![],
+        }),
+        250,
+    );
     rt.lock_object(p);
     rt.run();
     let cp = rt.checkpoint();
@@ -174,6 +195,6 @@ fn locked_and_priority_flags_survive() {
     assert_eq!(e.priority, 250);
     // And they decode identically.
     let back = Checkpoint::decode(&cp.encode()).unwrap();
-    assert_eq!(back.objects[0].locked, true);
+    assert!(back.objects[0].locked);
     assert_eq!(back.objects[0].priority, 250);
 }

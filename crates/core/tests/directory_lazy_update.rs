@@ -1,0 +1,225 @@
+//! Tests for the lazy distributed directory: hint bookkeeping at the
+//! [`mrts::directory::Directory`] level, and the paper's lazy-update
+//! scheme end to end — a message forwarded along a k-hop tombstone chain
+//! must trigger one location-update service message per hop, after which
+//! later sends go direct.
+
+#![cfg(any(feature = "audit", debug_assertions))]
+
+use mrts::audit::{EventLog, RuntimeEvent};
+use mrts::codec::{PayloadReader, PayloadWriter};
+use mrts::directory::Directory;
+use mrts::prelude::*;
+use std::any::Any;
+use std::sync::Arc;
+
+// ----- Directory unit behavior ------------------------------------------
+
+#[test]
+fn update_pointing_at_home_keeps_hints_empty() {
+    let mut d = Directory::new();
+    let oid = ObjectId::new(3, 9);
+    // Recording the default location must not grow the hint map.
+    d.update(oid, oid.home());
+    assert!(d.is_empty());
+    assert_eq!(d.lookup(oid), 3);
+    assert_eq!(d.updates_applied, 1);
+    // A real hint, then a correction back home, leaves the map empty too.
+    d.update(oid, 7);
+    assert_eq!(d.lookup(oid), 7);
+    d.update(oid, oid.home());
+    assert!(d.is_empty());
+    assert_eq!(d.lookup(oid), 3);
+}
+
+#[test]
+fn lookup_after_forget_falls_back_to_home() {
+    let mut d = Directory::new();
+    let oid = ObjectId::new(2, 41);
+    d.update(oid, 6);
+    assert_eq!(d.lookup(oid), 6);
+    d.forget(oid);
+    assert!(d.is_empty());
+    assert_eq!(d.lookup(oid), 2);
+    // Forgetting an object that was never hinted is a no-op.
+    d.forget(ObjectId::new(0, 0));
+    assert!(d.is_empty());
+}
+
+// ----- End-to-end lazy updates over a tombstone chain -------------------
+
+const CELL_TAG: TypeTag = TypeTag(1);
+const H_BUMP: HandlerId = HandlerId(1);
+const H_MOVE: HandlerId = HandlerId(2);
+const H_PING: HandlerId = HandlerId(3);
+
+struct Cell {
+    value: u64,
+}
+
+impl Cell {
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        Box::new(Cell {
+            value: r.u64().unwrap(),
+        })
+    }
+}
+
+impl MobileObject for Cell {
+    fn type_tag(&self) -> TypeTag {
+        CELL_TAG
+    }
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        w.u64(self.value);
+        buf.extend_from_slice(&w.finish());
+    }
+    fn footprint(&self) -> usize {
+        64
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn h_bump(obj: &mut dyn MobileObject, _ctx: &mut Ctx, _payload: &[u8]) {
+    obj.as_any_mut().downcast_mut::<Cell>().unwrap().value += 1;
+}
+
+fn h_move(_obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let dest = r.u64().unwrap() as NodeId;
+    ctx.migrate(ctx.self_ptr(), dest);
+}
+
+/// Relay: send a bump to the pointer in the payload (so the send
+/// originates from this object's node, exercising that node's directory).
+fn h_ping(_obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let target = r.ptr().unwrap();
+    ctx.send(target, H_BUMP, Vec::new());
+}
+
+fn u64_payload(v: u64) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(v);
+    w.finish()
+}
+
+/// Forward events for `oid` recorded after `from`, as (node, to) hops.
+fn forwards(log: &EventLog, from: usize, oid: ObjectId) -> Vec<(NodeId, NodeId)> {
+    log.snapshot()[from..]
+        .iter()
+        .filter_map(|ev| match *ev {
+            RuntimeEvent::Forward { node, oid: o, to } if o == oid => Some((node, to)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Directory updates for `oid` recorded after `from`, as (node, loc).
+fn updates(log: &EventLog, from: usize, oid: ObjectId) -> Vec<(NodeId, NodeId)> {
+    log.snapshot()[from..]
+        .iter()
+        .filter_map(|ev| match *ev {
+            RuntimeEvent::DirUpdate { node, oid: o, loc } if o == oid => Some((node, loc)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Migrate an object across a 3-hop tombstone chain (0→1→2→3), then send
+/// to it from an uninvolved node. The message must be forwarded once per
+/// stale hop, and delivery must push one lazy update back to *every* node
+/// the message passed through; a second send then goes direct.
+#[test]
+fn k_hop_chain_generates_one_update_per_hop() {
+    let log = Arc::new(EventLog::new());
+    let mut rt = DesRuntime::new(MrtsConfig::in_core(5));
+    rt.register_type(CELL_TAG, Cell::decode);
+    rt.register_handler(H_BUMP, "bump", h_bump);
+    rt.register_handler(H_MOVE, "move", h_move);
+    rt.register_handler(H_PING, "ping", h_ping);
+    rt.attach_audit(log.clone());
+
+    let x = rt.create_object(0, Box::new(Cell { value: 0 }), 128);
+    let relay = rt.create_object(4, Box::new(Cell { value: 0 }), 128);
+
+    // Walk x across nodes 0→1→2→3, one settled leg at a time, leaving a
+    // Moved tombstone at each departure point.
+    for dest in 1..=3u64 {
+        rt.post(x, H_MOVE, u64_payload(dest));
+        rt.run();
+    }
+
+    // Probe from node 4 (no tombstone, no hint): the send chases the
+    // chain home→1→2→3.
+    let mark = log.len();
+    let ping = {
+        let mut w = PayloadWriter::new();
+        w.ptr(x);
+        w.finish()
+    };
+    rt.post(relay, H_PING, ping.clone());
+    rt.run();
+
+    let hops = forwards(&log, mark, x.id);
+    assert_eq!(
+        hops,
+        vec![(4, 0), (0, 1), (1, 2), (2, 3)],
+        "expected the probe to traverse the full tombstone chain"
+    );
+    // Lazy updates: exactly one service message per hop of the route,
+    // each teaching that node the object's true location.
+    let mut upd = updates(&log, mark, x.id);
+    upd.sort_unstable();
+    assert_eq!(
+        upd,
+        vec![(0, 3), (1, 3), (2, 3), (4, 3)],
+        "every node on the route must learn the final location"
+    );
+
+    // Second probe: node 4 now knows the location, so the send goes
+    // direct — a single forward, no chain walk.
+    let mark = log.len();
+    rt.post(relay, H_PING, ping);
+    rt.run();
+    let hops = forwards(&log, mark, x.id);
+    assert_eq!(hops, vec![(4, 3)], "lazy update should have converged");
+
+    // Both pings landed.
+    assert_eq!(
+        rt.with_object(x, |o| o.as_any().downcast_ref::<Cell>().unwrap().value),
+        2
+    );
+}
+
+/// A message posted directly to a migrated object's current owner (the
+/// runtime resolves tombstones) generates no forwards and no updates.
+#[test]
+fn resolved_posts_do_not_touch_the_directory() {
+    let log = Arc::new(EventLog::new());
+    let mut rt = DesRuntime::new(MrtsConfig::in_core(3));
+    rt.register_type(CELL_TAG, Cell::decode);
+    rt.register_handler(H_BUMP, "bump", h_bump);
+    rt.register_handler(H_MOVE, "move", h_move);
+    rt.attach_audit(log.clone());
+
+    let x = rt.create_object(0, Box::new(Cell { value: 0 }), 128);
+    rt.post(x, H_MOVE, u64_payload(2));
+    rt.run();
+
+    let mark = log.len();
+    rt.post(x, H_BUMP, Vec::new());
+    rt.run();
+    assert!(forwards(&log, mark, x.id).is_empty());
+    assert!(updates(&log, mark, x.id).is_empty());
+    assert_eq!(
+        rt.with_object(x, |o| o.as_any().downcast_ref::<Cell>().unwrap().value),
+        1
+    );
+}

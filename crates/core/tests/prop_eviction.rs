@@ -1,0 +1,195 @@
+//! Property tests for the eviction path of the out-of-core layer:
+//! [`OocManager::pick_victims`] must free enough memory whenever the
+//! candidate set suffices, must respect the queued-message / priority
+//! ordering contract, and must honour each swapping scheme's score — for
+//! arbitrary candidate sets, including adversarial access metadata.
+
+use mrts::ids::ObjectId;
+use mrts::ooc::{EvictCandidate, OocManager};
+use mrts::policy::{AccessMeta, PolicyKind};
+use proptest::prelude::*;
+
+const CLOCK: u64 = 1_000;
+
+fn cand(
+    seq: u64,
+    footprint: usize,
+    last: u64,
+    count: u64,
+    prio: u8,
+    queued: usize,
+) -> EvictCandidate {
+    EvictCandidate {
+        oid: ObjectId::new(0, seq),
+        footprint,
+        meta: AccessMeta {
+            last_access: last,
+            access_count: count.max(1),
+            birth: last.saturating_sub(count),
+        },
+        priority: prio,
+        queued_msgs: queued,
+    }
+}
+
+fn manager(policy: PolicyKind) -> OocManager {
+    let mut m = OocManager::new(1 << 20, 2.0, 0.5, policy);
+    for _ in 0..CLOCK {
+        m.tick();
+    }
+    m
+}
+
+/// A generated candidate set: distinct oids, bounded footprints, metadata
+/// anywhere in the clock's past.
+fn candidates_strategy() -> impl Strategy<Value = Vec<EvictCandidate>> {
+    prop::collection::vec(
+        (
+            1usize..4096, // footprint
+            0u64..CLOCK,  // last_access
+            1u64..200,    // access_count
+            0u8..=255u8,  // priority
+            0usize..4,    // queued_msgs
+        ),
+        1..24,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (fp, last, count, prio, queued))| {
+                cand(i as u64, fp, last, count, prio, queued)
+            })
+            .collect()
+    })
+}
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    (0usize..PolicyKind::ALL.len()).prop_map(|i| PolicyKind::ALL[i])
+}
+
+/// Sort key mirrored from the documented contract, used to check the
+/// chosen victims are exactly a prefix of the contract's ordering.
+fn contract_key(m: &OocManager, c: &EvictCandidate) -> (bool, u8, f64) {
+    (
+        c.queued_msgs > 0,
+        c.priority,
+        m.policy().score(&c.meta, CLOCK),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whenever the candidates collectively hold `need` bytes, the chosen
+    /// victims free at least `need` — and never overshoot by more than the
+    /// final victim (dropping it would leave the request unsatisfied).
+    #[test]
+    fn frees_enough_when_candidates_suffice(
+        mut cands in candidates_strategy(),
+        policy in policy_strategy(),
+        frac in 1usize..=100,
+    ) {
+        let m = manager(policy);
+        let available: usize = cands.iter().map(|c| c.footprint).sum();
+        let need = (available * frac / 100).max(1);
+        let by_oid: std::collections::HashMap<_, _> =
+            cands.iter().map(|c| (c.oid, c.footprint)).collect();
+        let victims = m.pick_victims(&mut cands, need);
+        let freed: usize = victims.iter().map(|v| by_oid[v]).sum();
+        prop_assert!(freed >= need, "freed {freed} < need {need} of {available}");
+        let without_last: usize = victims[..victims.len() - 1]
+            .iter()
+            .map(|v| by_oid[v])
+            .sum();
+        prop_assert!(
+            without_last < need,
+            "over-eviction: {victims:?} frees {freed} but the last victim is unneeded"
+        );
+    }
+
+    /// The victim list is a prefix of the contract ordering: no candidate
+    /// with queued messages (or higher priority within the same class) is
+    /// evicted while a strictly-preferable candidate survives.
+    #[test]
+    fn never_evicts_busy_before_idle(
+        mut cands in candidates_strategy(),
+        policy in policy_strategy(),
+        frac in 1usize..=100,
+    ) {
+        let m = manager(policy);
+        let available: usize = cands.iter().map(|c| c.footprint).sum();
+        let need = (available * frac / 100).max(1);
+        let snapshot = cands.clone();
+        let victims = m.pick_victims(&mut cands, need);
+        let chosen: std::collections::HashSet<_> = victims.iter().copied().collect();
+        for v in snapshot.iter().filter(|c| chosen.contains(&c.oid)) {
+            for s in snapshot.iter().filter(|c| !chosen.contains(&c.oid)) {
+                let (vq, vp, vs) = contract_key(&m, v);
+                let (sq, sp, ss) = contract_key(&m, s);
+                let ord = (vq, vp).cmp(&(sq, sp)).then(vs.total_cmp(&ss));
+                prop_assert!(
+                    ord != std::cmp::Ordering::Greater,
+                    "evicted {:?} (queued={vq} prio={vp} score={vs}) while sparing \
+                     {:?} (queued={sq} prio={sp} score={ss}) under {:?}",
+                    v.oid, s.oid, policy,
+                );
+            }
+        }
+    }
+
+    /// Each of the five swapping schemes evicts its own notion of the
+    /// least valuable object first, given otherwise identical candidates.
+    #[test]
+    fn first_victim_minimizes_policy_score(
+        metas in prop::collection::vec((0u64..CLOCK, 1u64..200), 2..16),
+        policy in policy_strategy(),
+    ) {
+        let m = manager(policy);
+        let mut cands: Vec<EvictCandidate> = metas
+            .iter()
+            .enumerate()
+            .map(|(i, &(last, count))| cand(i as u64, 64, last, count, 128, 0))
+            .collect();
+        let snapshot = cands.clone();
+        let victims = m.pick_victims(&mut cands, 1);
+        prop_assert_eq!(victims.len(), 1);
+        let first = snapshot.iter().find(|c| c.oid == victims[0]).unwrap();
+        let best = snapshot
+            .iter()
+            .map(|c| policy.score(&c.meta, CLOCK))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(
+            policy.score(&first.meta, CLOCK), best,
+            "{:?} evicted a non-minimal-score candidate first", policy
+        );
+    }
+}
+
+/// Directed checks: one per scheme, with metadata chosen so each scheme
+/// must pick a *different* victim — proves the five orderings really are
+/// five orderings, not aliases.
+#[test]
+fn five_schemes_order_differently() {
+    // (seq, last_access, access_count, birth-implied-age)
+    let mk = || {
+        vec![
+            cand(0, 64, 10, 150, 128, 0), // oldest access, heavily used
+            cand(1, 64, 900, 2, 128, 0),  // newest access, barely used
+            cand(2, 64, 500, 40, 128, 0), // middling
+        ]
+    };
+    let first = |policy: PolicyKind| {
+        let m = manager(policy);
+        let mut cands = mk();
+        m.pick_victims(&mut cands, 1)[0]
+    };
+    assert_eq!(first(PolicyKind::Lru), ObjectId::new(0, 0)); // oldest access
+    assert_eq!(first(PolicyKind::Mru), ObjectId::new(0, 1)); // newest access
+    assert_eq!(first(PolicyKind::Lu), ObjectId::new(0, 1)); // fewest accesses
+    assert_eq!(first(PolicyKind::Mu), ObjectId::new(0, 0)); // most accesses
+
+    // LFU: lowest access rate (count / age), with age = now - birth and
+    // birth = last - count. Candidate 0: age 1000, rate 0.15; candidate 1:
+    // age 102, rate ~0.0196; candidate 2: age 540, rate ~0.074.
+    assert_eq!(first(PolicyKind::Lfu), ObjectId::new(0, 1));
+}

@@ -145,7 +145,9 @@ fn soft_threshold_swaps_proactively() {
     let mut cfg = MrtsConfig::out_of_core(1, 100_000);
     cfg.soft_threshold_frac = 0.5;
     let mut rt = rt(cfg);
-    let objs: Vec<MobilePtr> = (0..6).map(|_| rt.create_object(0, Blob::boxed(12_000), 128)).collect();
+    let objs: Vec<MobilePtr> = (0..6)
+        .map(|_| rt.create_object(0, Blob::boxed(12_000), 128))
+        .collect();
     for &o in &objs {
         rt.post(o, H_BUMP, bump(1));
     }
@@ -170,8 +172,9 @@ fn mru_policy_differs_from_lru_in_eviction_pattern() {
     // store/load pattern (the policies pick different victims).
     let run = |policy: PolicyKind| {
         let mut rt = rt(MrtsConfig::out_of_core(1, 50_000).with_policy(policy));
-        let objs: Vec<MobilePtr> =
-            (0..8).map(|_| rt.create_object(0, Blob::boxed(10_000), 128)).collect();
+        let objs: Vec<MobilePtr> = (0..8)
+            .map(|_| rt.create_object(0, Blob::boxed(10_000), 128))
+            .collect();
         // Touch objects in a skewed pattern: object 0 very hot.
         for round in 0..4 {
             rt.post(objs[0], H_BUMP, bump(1));

@@ -421,8 +421,7 @@ mod tests {
         let mut vs = vec![a, b, c, d];
         for _ in 0..n {
             let q = p(rng.gen_range(0.5..7.5), rng.gen_range(0.5..7.5));
-            if let crate::insert::InsertOutcome::Inserted(v) =
-                m.insert_point(q, VFlags::default())
+            if let crate::insert::InsertOutcome::Inserted(v) = m.insert_point(q, VFlags::default())
             {
                 vs.push(v);
             }
@@ -483,12 +482,15 @@ mod tests {
         let (mut m, _) = populated_square(60, 3);
         m.insert_segment(0, 2).unwrap();
         m.validate().unwrap();
-        assert!(has_constrained_edge(&m, 0, 2) || {
-            // The segment may have been split at collinear vertices; then
-            // there must exist a chain of constrained edges. Weak check:
-            // some constrained edge exists and the mesh is intact.
-            m.tri_ids().any(|t| (0..3).any(|e| m.tri(t).is_constrained(e)))
-        });
+        assert!(
+            has_constrained_edge(&m, 0, 2) || {
+                // The segment may have been split at collinear vertices; then
+                // there must exist a chain of constrained edges. Weak check:
+                // some constrained edge exists and the mesh is intact.
+                m.tri_ids()
+                    .any(|t| (0..3).any(|e| m.tri(t).is_constrained(e)))
+            }
+        );
         assert!((m.total_area() - 64.0).abs() < 1e-9);
     }
 

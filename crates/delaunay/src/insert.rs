@@ -86,9 +86,7 @@ impl TriMesh {
                             InsertOutcome::Inserted(v)
                         }
                         Location::OnVertex(_, v) => InsertOutcome::Duplicate(v),
-                        Location::OnEdge(er2)
-                            if er2 != er && self.can_split_edge(er2, p) =>
-                        {
+                        Location::OnEdge(er2) if er2 != er && self.can_split_edge(er2, p) => {
                             self.insert_at_location(p, Location::OnEdge(er2), flags)
                         }
                         _ => InsertOutcome::Outside,
@@ -294,7 +292,10 @@ impl TriMesh {
             for er2 in &stack {
                 let [x, y, z] = self.tri_points(er2.t);
                 if orient2d(x, y, z) != Orientation::CounterClockwise {
-                    panic!("2->4 split produced non-CCW {}: {x:?} {y:?} {z:?} (v={v})", er2.t);
+                    panic!(
+                        "2->4 split produced non-CCW {}: {x:?} {y:?} {z:?} (v={v})",
+                        er2.t
+                    );
                 }
             }
         }
@@ -540,7 +541,10 @@ mod tests {
                 if m.tri(t).is_constrained(e) {
                     let (x, y) = m.edge_verts(crate::mesh::EdgeRef { t, e });
                     let (px, py) = (m.point(x), m.point(y));
-                    assert!(px.y == 0.0 && py.y == 0.0, "constrained edge moved off the bottom");
+                    assert!(
+                        px.y == 0.0 && py.y == 0.0,
+                        "constrained edge moved off the bottom"
+                    );
                     constrained_hull_edges += 1;
                 }
             }

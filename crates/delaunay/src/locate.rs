@@ -256,6 +256,9 @@ mod tests {
             other => panic!("expected Outside at the constrained edge, got {other:?}"),
         }
         // Free mode walks through.
-        assert_eq!(m.locate_from(p(0.9, 0.9), 0, WalkMode::Free), Location::Inside(1));
+        assert_eq!(
+            m.locate_from(p(0.9, 0.9), 0, WalkMode::Free),
+            Location::Inside(1)
+        );
     }
 }

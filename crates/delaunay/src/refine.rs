@@ -165,9 +165,7 @@ pub fn refine_region(
 impl<F: Fn(Point2) -> bool> Pass<'_, F> {
     /// Is the segment `er` still present with the same endpoints?
     fn seg_is_current(&self, mesh: &TriMesh, er: EdgeRef, key: (VId, VId)) -> bool {
-        mesh.is_alive(er.t)
-            && mesh.tri(er.t).is_constrained(er.e)
-            && mesh.edge_verts(er) == key
+        mesh.is_alive(er.t) && mesh.tri(er.t).is_constrained(er.e) && mesh.edge_verts(er) == key
     }
 
     /// A segment is encroached iff the apex of an adjacent triangle lies
@@ -257,10 +255,8 @@ impl<F: Fn(Point2) -> bool> Pass<'_, F> {
         // Walk toward the circumcenter without crossing segments.
         let loc = mesh.locate_from(cc, t, WalkMode::StopAtConstrained);
         let requeue_and_split = |this: &mut Self, mesh: &mut TriMesh, seg: EdgeRef| {
-            if this.split_segment(mesh, seg).is_some() {
-                if mesh.is_alive(t) && mesh.tri(t).v == key {
-                    this.work.push(Work::Tri(t, key));
-                }
+            if this.split_segment(mesh, seg).is_some() && mesh.is_alive(t) && mesh.tri(t).v == key {
+                this.work.push(Work::Tri(t, key));
             }
         };
         match loc {
@@ -311,12 +307,7 @@ impl<F: Fn(Point2) -> bool> Pass<'_, F> {
     /// circumcircle contains `cc`, flood-filled without crossing
     /// constraints) and return the first constrained boundary edge whose
     /// diametral circle strictly contains `cc`.
-    fn find_encroached_by(
-        &self,
-        mesh: &TriMesh,
-        cc: Point2,
-        loc: Location,
-    ) -> Option<EdgeRef> {
+    fn find_encroached_by(&self, mesh: &TriMesh, cc: Point2, loc: Location) -> Option<EdgeRef> {
         use pumg_geometry::incircle;
         let seed = match loc {
             Location::Inside(t) => t,
@@ -412,7 +403,11 @@ mod tests {
         assert!((mesh.total_area() - 1.0).abs() < 1e-9);
         // Quality: minimum angle over all triangles must respect the bound
         // (ρ ≤ √2 ⇒ min angle ≥ ~20.7°).
-        assert!(min_angle_deg(&mesh) > 20.0, "min angle {}", min_angle_deg(&mesh));
+        assert!(
+            min_angle_deg(&mesh) > 20.0,
+            "min angle {}",
+            min_angle_deg(&mesh)
+        );
     }
 
     #[test]

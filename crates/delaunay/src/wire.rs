@@ -151,7 +151,14 @@ impl TriMesh {
                 put_u32(&mut buf, vmap[v as usize]);
             }
             for &n in &tri.nbr {
-                put_u32(&mut buf, if n == NO_TRI { NO_TRI } else { tmap[n as usize] });
+                put_u32(
+                    &mut buf,
+                    if n == NO_TRI {
+                        NO_TRI
+                    } else {
+                        tmap[n as usize]
+                    },
+                );
             }
             buf.push(tri.constrained);
         }
@@ -265,7 +272,10 @@ mod tests {
 
     #[test]
     fn mesh_decode_rejects_garbage() {
-        assert_eq!(TriMesh::decode(&[1, 2, 3]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            TriMesh::decode(&[1, 2, 3]).unwrap_err(),
+            WireError::Truncated
+        );
         let mut buf = Vec::new();
         put_u32(&mut buf, 0xdeadbeef);
         put_u32(&mut buf, 0);

@@ -78,7 +78,10 @@ fn preinserted_midpoint_then_chord_refinement_stays_valid() {
     let mut coords = std::collections::HashMap::new();
     for &(v, x, y) in &seen {
         if let Some(prev) = coords.insert((x, y), v) {
-            assert_eq!(prev, v, "duplicate coordinates across vertices {prev} and {v}");
+            assert_eq!(
+                prev, v,
+                "duplicate coordinates across vertices {prev} and {v}"
+            );
         }
     }
 }

@@ -20,6 +20,8 @@ pub mod exact;
 pub mod point;
 pub mod predicates;
 
-pub use circum::{circumcenter, circumradius_sq, shortest_edge_sq, triangle_area2, TriangleQuality};
+pub use circum::{
+    circumcenter, circumradius_sq, shortest_edge_sq, triangle_area2, TriangleQuality,
+};
 pub use point::{BBox, Point2};
 pub use predicates::{incircle, orient2d, Orientation};

@@ -129,7 +129,12 @@ pub fn put_workload(w: &mut PayloadWriter, wl: &Workload) {
             h_max,
             radius,
         } => {
-            w.u8(1).f64(focus.x).f64(focus.y).f64(h_min).f64(h_max).f64(radius);
+            w.u8(1)
+                .f64(focus.x)
+                .f64(focus.y)
+                .f64(h_min)
+                .f64(h_max)
+                .f64(radius);
         }
     }
 }
@@ -344,7 +349,13 @@ mod tests {
         let mut cs = ClusterSim::new(4, 100, NetModel::instant());
         assert!(cs.alloc(350).is_ok());
         let err = cs.alloc(100).unwrap_err();
-        assert!(matches!(err, MethodError::OutOfMemory { required_bytes: 450, available_bytes: 400 }));
+        assert!(matches!(
+            err,
+            MethodError::OutOfMemory {
+                required_bytes: 450,
+                available_bytes: 400
+            }
+        ));
         cs.free(300);
         assert_eq!(cs.mem_used, 150);
     }
@@ -356,6 +367,8 @@ mod tests {
             available_bytes: 5,
         };
         assert!(e.to_string().contains("out of memory"));
-        assert!(MethodError::BadWorkload("x".into()).to_string().contains("x"));
+        assert!(MethodError::BadWorkload("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

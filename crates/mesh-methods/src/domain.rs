@@ -175,9 +175,7 @@ impl Workload {
     pub fn estimate_elements(&self) -> u64 {
         match self.sizing {
             SizingSpec::Uniform { h } => elements_for_h(self.domain.area(), h),
-            SizingSpec::Graded { h_min, .. } => {
-                elements_for_h(self.domain.area(), h_min * 2.5)
-            }
+            SizingSpec::Graded { h_min, .. } => elements_for_h(self.domain.area(), h_min * 2.5),
         }
     }
 }
@@ -221,10 +219,7 @@ mod tests {
     fn element_estimate_matches_real_refinement() {
         let wl = Workload::uniform_square(5_000);
         let mut mesh = wl.domain.builder().build().unwrap();
-        refine(
-            &mut mesh,
-            &RefineParams::with_sizing(wl.sizing.field()),
-        );
+        refine(&mut mesh, &RefineParams::with_sizing(wl.sizing.field()));
         let actual = mesh.num_tris() as f64;
         let est = wl.estimate_elements() as f64;
         let ratio = actual / est;

@@ -25,12 +25,12 @@
 
 pub mod common;
 pub mod domain;
-pub mod region;
 pub mod nupdr;
 pub mod ooc_nupdr;
 pub mod ooc_pcdm;
 pub mod ooc_updr;
 pub mod pcdm;
+pub mod region;
 pub mod updr;
 
 pub use common::{MethodError, MethodResult};

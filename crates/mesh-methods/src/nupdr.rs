@@ -91,9 +91,9 @@ pub fn build_leaves(params: &NupdrParams) -> (QuadTree<u32>, Vec<LeafInfo>) {
         }
     }
     // Buffers and regions.
-    for i in 0..leaves.len() {
-        let q = leaves[i].qnode;
-        let mut region = leaves[i].bbox;
+    for leaf in leaves.iter_mut() {
+        let q = leaf.qnode;
+        let mut region = leaf.bbox;
         let mut buffer = Vec::new();
         for nq in tree.neighbors(q) {
             let data = *tree.leaf_data(nq).unwrap();
@@ -103,8 +103,8 @@ pub fn build_leaves(params: &NupdrParams) -> (QuadTree<u32>, Vec<LeafInfo>) {
                 region.expand(tree.node_bbox(nq).max);
             }
         }
-        leaves[i].buffer = buffer;
-        leaves[i].region = region;
+        leaf.buffer = buffer;
+        leaf.region = region;
     }
     (tree, leaves)
 }
@@ -153,7 +153,7 @@ pub fn leaf_task(
     // order buffers were collected in (message arrival order differs
     // between the baseline and the MRTS port).
     let mut pts: Vec<Point2> = input_points.collect();
-    pts.sort_by(|a, b| (a.x.to_bits(), a.y.to_bits()).cmp(&(b.x.to_bits(), b.y.to_bits())));
+    pts.sort_by_key(|a| (a.x.to_bits(), a.y.to_bits()));
     pts.dedup();
     for p in pts {
         mesh.insert_point(p, VFlags(VFlags::STEINER));
@@ -208,8 +208,7 @@ pub fn leaf_task(
             continue;
         };
         let band = dist_to_bbox(cc, &bbox) <= 2.0 * workload.sizing.size_at(cc);
-        let bad = q.is_skinny(params.max_ratio)
-            || q.is_oversized(workload.sizing.size_at(cc));
+        let bad = q.is_skinny(params.max_ratio) || q.is_oversized(workload.sizing.size_at(cc));
         // Triangles already at the minimum-edge floor are unfixable by
         // anyone; reporting them would re-queue their owners forever.
         let fixable = q.shortest_edge_sq >= params.min_edge_len * params.min_edge_len;
@@ -254,7 +253,9 @@ pub fn nupdr_incore_scaled(
 ) -> Result<MethodResult, MethodError> {
     let (tree, leaves) = build_leaves(params);
     if leaves.is_empty() {
-        return Err(MethodError::BadWorkload("no leaves intersect domain".into()));
+        return Err(MethodError::BadWorkload(
+            "no leaves intersect domain".into(),
+        ));
     }
     let mut sim = ClusterSim::new(pes, mem_per_pe, NetModel::cluster());
     sim.set_compute_scale(compute_scale);

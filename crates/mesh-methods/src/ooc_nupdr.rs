@@ -830,7 +830,11 @@ mod tests {
         let p = graded_square(4000);
         let in_core = onupdr_run(&p, MrtsConfig::in_core(2), OnupdrOpts::default());
         let budget = (in_core.stats.peak_mem() / 4).max(50_000);
-        let ooc = onupdr_run(&p, MrtsConfig::out_of_core(2, budget), OnupdrOpts::default());
+        let ooc = onupdr_run(
+            &p,
+            MrtsConfig::out_of_core(2, budget),
+            OnupdrOpts::default(),
+        );
         assert!(
             ooc.stats.total_of(|n| n.stores) > 0,
             "must spill: {}",
@@ -843,8 +847,10 @@ mod tests {
     #[test]
     fn onupdr_multicast_variant_works() {
         let p = graded_square(2500);
-        let mut opts = OnupdrOpts::default();
-        opts.multicast = true;
+        let opts = OnupdrOpts {
+            multicast: true,
+            ..Default::default()
+        };
         let r = onupdr_run(&p, MrtsConfig::out_of_core(2, 200_000), opts);
         assert!(r.elements > 500);
     }

@@ -176,8 +176,8 @@ pub fn opcdm_run_threaded(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult 
         let i = sd.idx;
         let node = (i % nodes) as NodeId;
         let mut neighbor_ptrs = [None; SIDES];
-        for s in 0..SIDES {
-            neighbor_ptrs[s] = sd.neighbors[s].map(|nb| ptrs[nb]);
+        for (np, nb) in neighbor_ptrs.iter_mut().zip(&sd.neighbors) {
+            *np = nb.map(|nb| ptrs[nb]);
         }
         let created = rt.create_object(
             node,
@@ -237,8 +237,8 @@ pub fn opcdm_run(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult {
         let i = sd.idx;
         let node = (i % nodes) as NodeId;
         let mut neighbor_ptrs = [None; SIDES];
-        for s in 0..SIDES {
-            neighbor_ptrs[s] = sd.neighbors[s].map(|nb| ptrs[nb]);
+        for (np, nb) in neighbor_ptrs.iter_mut().zip(&sd.neighbors) {
+            *np = nb.map(|nb| ptrs[nb]);
         }
         let created = rt.create_object(
             node,
@@ -323,12 +323,17 @@ mod tests {
         let p = params(4000, 3);
         let base = pcdm_incore(&p, 2, 1 << 30).unwrap();
         // A budget well below the aggregate mesh footprint forces spills.
-        let per_node = (base.stats.peak_mem() as usize).max(200_000) / 3;
+        let per_node = base.stats.peak_mem().max(200_000) / 3;
         let port = opcdm_run(&p, MrtsConfig::out_of_core(2, per_node));
         // OOC queueing may reorder refine/split interleavings; counts stay
         // within a whisker of the in-core result.
         let ratio = port.elements as f64 / base.elements as f64;
-        assert!((0.97..1.03).contains(&ratio), "{} vs {}", port.elements, base.elements);
+        assert!(
+            (0.97..1.03).contains(&ratio),
+            "{} vs {}",
+            port.elements,
+            base.elements
+        );
         assert!(
             port.stats.total_of(|n| n.stores) > 0,
             "must spill: {}",
@@ -344,7 +349,7 @@ mod tests {
         register(&mut rt);
         let subs = build_subdomains(&p);
         let n = subs.len();
-        let mut counters = vec![0u64; 2];
+        let mut counters = [0u64; 2];
         let ptrs: Vec<MobilePtr> = (0..n)
             .map(|i| {
                 let node = (i % 2) as NodeId;
@@ -356,8 +361,8 @@ mod tests {
         for sd in subs {
             let i = sd.idx;
             let mut neighbor_ptrs = [None; SIDES];
-            for s in 0..SIDES {
-                neighbor_ptrs[s] = sd.neighbors[s].map(|nb| ptrs[nb]);
+            for (np, nb) in neighbor_ptrs.iter_mut().zip(&sd.neighbors) {
+                *np = nb.map(|nb| ptrs[nb]);
             }
             rt.create_object(
                 (i % 2) as NodeId,

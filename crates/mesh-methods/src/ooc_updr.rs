@@ -177,7 +177,10 @@ impl MobileObject for CoordObj {
     fn encode(&self, buf: &mut Vec<u8>) {
         let mut w = PayloadWriter::new();
         w.ptrs(&self.block_ptrs);
-        w.u32(self.pending).u8(self.phase).u64(self.elems).u64(self.verts);
+        w.u32(self.pending)
+            .u8(self.phase)
+            .u64(self.elems)
+            .u64(self.verts);
         buf.extend_from_slice(&w.finish());
     }
 

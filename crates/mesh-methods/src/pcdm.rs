@@ -102,13 +102,13 @@ impl Subdomain {
         params.min_edge_len = workload.sizing.min_size() * 0.05;
         refine(&mut self.mesh, &params);
         let mut out: [Vec<Point2>; SIDES] = Default::default();
-        for side in 0..SIDES {
+        for (side, out_side) in out.iter_mut().enumerate() {
             if self.neighbors[side].is_none() {
                 continue;
             }
             for p in self.side_points(side) {
                 if self.known.insert(key(p)) {
-                    out[side].push(p);
+                    out_side.push(p);
                 }
             }
         }
@@ -226,7 +226,9 @@ pub fn pcdm_incore_scaled(
 ) -> Result<MethodResult, MethodError> {
     let mut subs = build_subdomains(params);
     if subs.is_empty() {
-        return Err(MethodError::BadWorkload("no subdomains intersect domain".into()));
+        return Err(MethodError::BadWorkload(
+            "no subdomains intersect domain".into(),
+        ));
     }
     let mut sim = ClusterSim::new(pes, mem_per_pe, NetModel::cluster());
     sim.set_compute_scale(compute_scale);

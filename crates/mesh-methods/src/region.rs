@@ -109,8 +109,7 @@ pub fn mesh_region(domain: &DomainSpec, region: &BBox) -> Option<TriMesh> {
             }
             // Hole seeds: sample a grid; anything confidently inside the
             // bore polygon or outside the outer polygon seeds a carve.
-            let inner_inradius =
-                inner_r * (std::f64::consts::PI / inner_segments as f64).cos();
+            let inner_inradius = inner_r * (std::f64::consts::PI / inner_segments as f64).cos();
             for i in 0..10 {
                 for j in 0..10 {
                     let p = Point2::new(
@@ -201,7 +200,10 @@ mod tests {
         let right = BBox::new(Point2::new(0.5, -1.0), Point2::new(1.0, 1.0));
         let (_, l_end) = clip_segment_to_box(a, b, &left).unwrap();
         let (r_start, _) = clip_segment_to_box(a, b, &right).unwrap();
-        assert_eq!(l_end, r_start, "shared boundary point must be bit-identical");
+        assert_eq!(
+            l_end, r_start,
+            "shared boundary point must be bit-identical"
+        );
         assert_eq!(l_end.x, 0.5);
     }
 

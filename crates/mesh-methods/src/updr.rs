@@ -183,17 +183,12 @@ pub fn buffer_points_for(mesh: &TriMesh, own_cell: &BBox, neighbor_region: &BBox
 
 /// Phase 3 kernel: integrate the received buffer points ("remesh Z") and
 /// restore quality.
-pub fn block_phase3(
-    workload: &Workload,
-    _block: &Block,
-    mesh: &mut TriMesh,
-    received: &[Point2],
-) {
+pub fn block_phase3(workload: &Workload, _block: &Block, mesh: &mut TriMesh, received: &[Point2]) {
     // Insertion order affects which Steiner points refinement later picks;
     // sort so the result is independent of message arrival order (the
     // baseline and the MRTS port then produce identical meshes).
     let mut received: Vec<Point2> = received.to_vec();
-    received.sort_by(|a, b| (a.x.to_bits(), a.y.to_bits()).cmp(&(b.x.to_bits(), b.y.to_bits())));
+    received.sort_by_key(|a| (a.x.to_bits(), a.y.to_bits()));
     received.dedup();
     for &p in &received {
         mesh.insert_point(p, VFlags::default());
@@ -244,7 +239,9 @@ pub fn updr_incore_scaled(
 ) -> Result<MethodResult, MethodError> {
     let blocks = decompose(params);
     if blocks.is_empty() {
-        return Err(MethodError::BadWorkload("no blocks intersect domain".into()));
+        return Err(MethodError::BadWorkload(
+            "no blocks intersect domain".into(),
+        ));
     }
     let mut sim = ClusterSim::new(pes, mem_per_pe, NetModel::cluster());
     sim.set_compute_scale(compute_scale);

@@ -278,7 +278,7 @@ mod tests {
         assert_eq!(t.locate(Point2::new(0.9, 0.1)), Some(kids[1])); // SE
         assert_eq!(t.locate(Point2::new(0.1, 0.9)), Some(kids[2])); // NW
         assert_eq!(t.locate(Point2::new(0.9, 0.9)), Some(kids[3])); // NE
-        // Center goes to NE (east/north bias).
+                                                                    // Center goes to NE (east/north bias).
         assert_eq!(t.locate(Point2::new(0.5, 0.5)), Some(kids[3]));
         for (q, &k) in kids.iter().enumerate() {
             assert_eq!(t.leaf_data(k), Some(&(q as u32 + 10)));

@@ -7,10 +7,7 @@ use pumg_geometry::{BBox, Point2};
 use pumg_quadtree::{NodeId, QuadTree, ROOT};
 
 fn build_tree(splits: &[u8]) -> QuadTree<u32> {
-    let mut t = QuadTree::new(
-        BBox::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
-        0,
-    );
+    let mut t = QuadTree::new(BBox::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)), 0);
     for &pick in splits {
         let leaves: Vec<NodeId> = t.leaves().collect();
         let leaf = leaves[pick as usize % leaves.len()];

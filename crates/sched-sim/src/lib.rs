@@ -124,7 +124,10 @@ pub fn simulate(cfg: &SchedConfig, jobs: &[Job]) -> Vec<JobRecord> {
     }
     impl Ord for End {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).unwrap().then(self.1.cmp(&other.1))
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap()
+                .then(self.1.cmp(&other.1))
         }
     }
 
@@ -140,7 +143,7 @@ pub fn simulate(cfg: &SchedConfig, jobs: &[Job]) -> Vec<JobRecord> {
 
     loop {
         // Advance: release finished jobs at `now`.
-        while running.peek().map_or(false, |Reverse(End(t, _))| *t <= now) {
+        while running.peek().is_some_and(|Reverse(End(t, _))| *t <= now) {
             let Reverse(End(_, w)) = running.pop().unwrap();
             free += w;
         }
@@ -151,8 +154,7 @@ pub fn simulate(cfg: &SchedConfig, jobs: &[Job]) -> Vec<JobRecord> {
         }
 
         // Schedule: FCFS head, then (optionally) backfill.
-        loop {
-            let Some(&head) = queue.front() else { break };
+        while let Some(&head) = queue.front() {
             if head.width <= free {
                 queue.pop_front();
                 free -= head.width;
@@ -186,8 +188,8 @@ pub fn simulate(cfg: &SchedConfig, jobs: &[Job]) -> Vec<JobRecord> {
                 while i < queue.len() {
                     let cand = queue[i];
                     let fits_now = cand.width <= free;
-                    let no_delay = now + cand.runtime <= shadow
-                        || cand.width <= extra_at_shadow.min(free);
+                    let no_delay =
+                        now + cand.runtime <= shadow || cand.width <= extra_at_shadow.min(free);
                     if fits_now && no_delay {
                         queue.remove(i);
                         free -= cand.width;
@@ -360,9 +362,7 @@ mod tests {
             events.push((r.start + r.job.runtime, -(r.job.width as i64)));
         }
         events.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap()
-                .then(a.1.cmp(&b.1)) // releases before starts at ties
+            a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)) // releases before starts at ties
         });
         let mut used = 0i64;
         for (_, d) in events {

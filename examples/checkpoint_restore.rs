@@ -13,7 +13,7 @@
 //! ```
 
 use pumg::methods::domain::Workload;
-use pumg::methods::ooc_pcdm::{register, H_REFINE, SUB_TAG, SubObj};
+use pumg::methods::ooc_pcdm::{register, SubObj, H_REFINE, SUB_TAG};
 use pumg::methods::pcdm::{build_subdomains, PcdmParams, SIDES};
 use pumg::mrts::checkpoint::Checkpoint;
 use pumg::mrts::config::MrtsConfig;
@@ -38,7 +38,7 @@ fn main() {
 
     let subs = build_subdomains(&coarse);
     let n = subs.len();
-    let mut counters = vec![0u64; 8];
+    let mut counters = [0u64; 8];
     let ptrs: Vec<MobilePtr> = (0..n)
         .map(|i| {
             let node = (i % 8) as NodeId;
@@ -50,8 +50,8 @@ fn main() {
     for sd in subs {
         let i = sd.idx;
         let mut neighbor_ptrs = [None; SIDES];
-        for s in 0..SIDES {
-            neighbor_ptrs[s] = sd.neighbors[s].map(|nb| ptrs[nb]);
+        for (np, nb) in neighbor_ptrs.iter_mut().zip(&sd.neighbors) {
+            *np = nb.map(|nb| ptrs[nb]);
         }
         rt.create_object(
             (i % 8) as NodeId,
@@ -100,6 +100,6 @@ fn main() {
         count_elements(&mut rt2),
         stats2.summary()
     );
-    assert_eq!(count_elements(&mut rt2) > 0, true);
+    assert!(count_elements(&mut rt2) > 0);
     let _ = SUB_TAG;
 }

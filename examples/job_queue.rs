@@ -21,7 +21,10 @@ fn main() {
     );
     let records = simulate(&SchedConfig::default(), &trace);
 
-    println!("{cluster}-node cluster, FCFS + EASY backfilling, {} jobs\n", trace.len());
+    println!(
+        "{cluster}-node cluster, FCFS + EASY backfilling, {} jobs\n",
+        trace.len()
+    );
     println!("{:>10} {:>14} {:>8}", "nodes", "avg wait", "jobs");
     for (width, wait, n) in wait_by_width(&records) {
         println!("{width:>10} {:>11.1} min {n:>8}", wait / 60.0);

@@ -118,7 +118,9 @@ impl MobileObject for Strip {
         for &(s, v) in &self.ghosts_right {
             w.u32(s).f64(v);
         }
-        w.u32(self.step).u32(self.total_steps).u8(self.announced as u8);
+        w.u32(self.step)
+            .u32(self.total_steps)
+            .u8(self.announced as u8);
         buf.extend_from_slice(&w.finish());
     }
 
@@ -181,10 +183,10 @@ fn advance(s: &mut Strip, ctx: &mut Ctx) {
         // Jacobi relaxation with the step's ghosts as boundary.
         let n = s.cells.len();
         let mut next = s.cells.clone();
-        for i in 0..n {
+        for (i, nx) in next.iter_mut().enumerate() {
             let l = if i == 0 { gl } else { s.cells[i - 1] };
             let r = if i + 1 == n { gr } else { s.cells[i + 1] };
-            next[i] = 0.5 * (l + r);
+            *nx = 0.5 * (l + r);
         }
         s.cells = next;
         s.step += 1;
@@ -260,11 +262,9 @@ fn main() {
             });
             (stats.summary(), temp, done_steps)
         } else {
-            let mut cfg =
-                MrtsConfig::out_of_core(nodes, 2048).with_executor(ExecutorKind::Fifo);
-            cfg.spill_dir = Some(
-                std::env::temp_dir().join(format!("mrts-example-{}", std::process::id())),
-            );
+            let mut cfg = MrtsConfig::out_of_core(nodes, 2048).with_executor(ExecutorKind::Fifo);
+            cfg.spill_dir =
+                Some(std::env::temp_dir().join(format!("mrts-example-{}", std::process::id())));
             let spill = cfg.spill_dir.clone().unwrap();
             let mut rt = ThreadedRuntime::new(cfg);
             rt.register_type(STRIP_TAG, Strip::decode);

@@ -77,10 +77,7 @@ fn threaded_engine_produces_identical_mesh() {
     let p = PcdmParams::new(Workload::uniform_square(6_000), 2);
     let des = opcdm_run(&p, MrtsConfig::in_core(2));
     let mut cfg = MrtsConfig::out_of_core(2, 300_000);
-    cfg.spill_dir = Some(std::env::temp_dir().join(format!(
-        "mrts-parity-{}",
-        std::process::id()
-    )));
+    cfg.spill_dir = Some(std::env::temp_dir().join(format!("mrts-parity-{}", std::process::id())));
     let spill = cfg.spill_dir.clone().unwrap();
     let threaded = opcdm_run_threaded(&p, cfg);
     assert_eq!(des.elements, threaded.elements);
@@ -95,10 +92,7 @@ fn more_nodes_means_less_virtual_time() {
     let p = PcdmParams::new(Workload::uniform_square(16_000), 4);
     let t2 = opcdm_run(&p, MrtsConfig::in_core(2)).stats.total;
     let t8 = opcdm_run(&p, MrtsConfig::in_core(8)).stats.total;
-    assert!(
-        t8 < t2,
-        "8 nodes ({t8:?}) must beat 2 nodes ({t2:?})"
-    );
+    assert!(t8 < t2, "8 nodes ({t8:?}) must beat 2 nodes ({t2:?})");
     let speedup = t2.as_secs_f64() / t8.as_secs_f64();
     assert!(
         speedup > 1.5,

@@ -45,7 +45,14 @@
 //!    equals both the event-ledger total and the sum of in-core object
 //!    footprints.
 //!
-//! A ninth catch-all, [`Invariant::EventOrder`], flags protocol-impossible
+//! 9. **Prefetch stays inside its window** — every look-ahead load is
+//!    issued against an on-disk object, and the in-flight totals it
+//!    announces never exceed the configured window caps.
+//! 10. **Compaction preserves every live object** — a spill-log
+//!     compaction reports identical live object counts and live bytes
+//!     before and after the rewrite.
+//!
+//! A catch-all, [`Invariant::EventOrder`], flags protocol-impossible
 //! streams (loading an in-core object, installing a migration that never
 //! departed, …) so that checker state never silently desynchronizes.
 
@@ -149,6 +156,27 @@ pub enum RuntimeEvent {
         hard_reserve: usize,
         enforced: bool,
     },
+    /// The prefetcher issued a look-ahead load for `oid`; the announced
+    /// in-flight totals include this load and are held to the window
+    /// caps.
+    Prefetch {
+        node: NodeId,
+        oid: ObjectId,
+        inflight_objects: usize,
+        window_objects: usize,
+        inflight_bytes: usize,
+        window_bytes: usize,
+    },
+    /// The node's spill log compacted; live payload must be preserved
+    /// exactly.
+    Compaction {
+        node: NodeId,
+        live_objects_before: usize,
+        live_objects_after: usize,
+        live_bytes_before: u64,
+        live_bytes_after: u64,
+        reclaimed_bytes: u64,
+    },
     /// `node` decided (or was told) the computation terminated.
     Terminate { node: NodeId },
     /// `node` shut down reporting `used` in-core bytes still accounted.
@@ -211,6 +239,10 @@ pub enum Invariant {
     MulticastNonResident,
     EarlyTermination,
     AccountingImbalance,
+    /// A look-ahead load overran the configured prefetch window.
+    PrefetchWindowExceeded,
+    /// A spill-log compaction dropped (or duplicated) live objects.
+    CompactionLoss,
     /// A protocol-impossible event for the tracked state (catch-all that
     /// keeps the checker honest about its own model).
     EventOrder,
@@ -660,6 +692,62 @@ impl EventSink for InvariantChecker {
                     }
                 }
             }
+            RuntimeEvent::Prefetch {
+                node,
+                oid,
+                inflight_objects,
+                window_objects,
+                inflight_bytes,
+                window_bytes,
+            } => {
+                if inflight_objects > window_objects || inflight_bytes > window_bytes {
+                    found.push((
+                        Invariant::PrefetchWindowExceeded,
+                        format!(
+                            "node {node} prefetching {oid:?} with {inflight_objects} objects / {inflight_bytes}B in flight, window {window_objects} objects / {window_bytes}B"
+                        ),
+                    ));
+                }
+                match st.objs.get(oid) {
+                    Some(o) if o.residency == Residency::OnDisk && o.loc == *node => {}
+                    Some(o) => found.push((
+                        Invariant::EventOrder,
+                        format!(
+                            "{oid:?} prefetched on node {node} but tracked {:?} at node {}",
+                            o.residency, o.loc
+                        ),
+                    )),
+                    None => found.push((
+                        Invariant::EventOrder,
+                        format!("{oid:?} prefetched before creation"),
+                    )),
+                }
+            }
+            RuntimeEvent::Compaction {
+                node,
+                live_objects_before,
+                live_objects_after,
+                live_bytes_before,
+                live_bytes_after,
+                ..
+            } => {
+                if live_objects_before != live_objects_after {
+                    found.push((
+                        Invariant::CompactionLoss,
+                        format!(
+                            "node {node} compaction went from {live_objects_before} to {live_objects_after} live objects"
+                        ),
+                    ));
+                }
+                if live_bytes_before != live_bytes_after {
+                    found.push((
+                        Invariant::CompactionLoss,
+                        format!(
+                            "node {node} compaction went from {live_bytes_before}B to {live_bytes_after}B live"
+                        ),
+                    ));
+                }
+            }
             RuntimeEvent::Terminate { node } => {
                 if st.outstanding != 0 {
                     found.push((
@@ -967,6 +1055,91 @@ mod tests {
         assert!(c.violations().is_empty(), "{:?}", c.violations());
         assert_eq!(c.events_seen(), 7);
         c.assert_clean();
+    }
+
+    #[test]
+    fn prefetch_window_checked() {
+        let c = InvariantChecker::new(FailMode::Collect);
+        c.record(&RuntimeEvent::Create {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Unload {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        // In-window prefetch of an on-disk object: clean.
+        c.record(&RuntimeEvent::Prefetch {
+            node: 0,
+            oid: oid(1),
+            inflight_objects: 2,
+            window_objects: 4,
+            inflight_bytes: 300,
+            window_bytes: 1000,
+        });
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        // Byte axis overrun.
+        c.record(&RuntimeEvent::Prefetch {
+            node: 0,
+            oid: oid(1),
+            inflight_objects: 2,
+            window_objects: 4,
+            inflight_bytes: 2000,
+            window_bytes: 1000,
+        });
+        assert!(c
+            .violations()
+            .iter()
+            .any(|v| v.invariant == Invariant::PrefetchWindowExceeded));
+        // Prefetching an in-core object is a protocol error.
+        c.record(&RuntimeEvent::Load {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Prefetch {
+            node: 0,
+            oid: oid(1),
+            inflight_objects: 1,
+            window_objects: 4,
+            inflight_bytes: 100,
+            window_bytes: 1000,
+        });
+        assert!(c
+            .violations()
+            .iter()
+            .any(|v| v.invariant == Invariant::EventOrder));
+    }
+
+    #[test]
+    fn compaction_loss_detected() {
+        let c = InvariantChecker::new(FailMode::Collect);
+        c.record(&RuntimeEvent::Compaction {
+            node: 0,
+            live_objects_before: 10,
+            live_objects_after: 10,
+            live_bytes_before: 5000,
+            live_bytes_after: 5000,
+            reclaimed_bytes: 2000,
+        });
+        assert!(c.violations().is_empty());
+        c.record(&RuntimeEvent::Compaction {
+            node: 0,
+            live_objects_before: 10,
+            live_objects_after: 9,
+            live_bytes_before: 5000,
+            live_bytes_after: 4500,
+            reclaimed_bytes: 2000,
+        });
+        let v = c.violations();
+        assert_eq!(
+            v.iter()
+                .filter(|v| v.invariant == Invariant::CompactionLoss)
+                .count(),
+            2
+        );
     }
 
     #[test]

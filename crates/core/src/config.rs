@@ -38,6 +38,18 @@ impl NetModel {
     }
 }
 
+/// On-disk layout of the threaded engine's spill store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpillBackend {
+    /// One file per object (`FileStore`): a `create`/`open`/`remove`
+    /// syscall per spill operation. This was the only layout before the
+    /// overlap subsystem; kept for comparison benchmarks.
+    PerObjectFile,
+    /// Segmented append-only log (`SegmentStore`): writes coalesce into
+    /// segment-sized batches, dead records are reclaimed by compaction.
+    SegmentLog,
+}
+
 /// Configuration of an MRTS instance.
 #[derive(Clone, Debug)]
 pub struct MrtsConfig {
@@ -66,9 +78,31 @@ pub struct MrtsConfig {
     pub net: NetModel,
     /// Disk model (DES mode charging).
     pub disk: DiskModel,
-    /// Spill directory for the threaded mode's `FileStore`; `None` spills
-    /// to memory (still exercising serialization).
+    /// Spill directory for the threaded mode's file-backed store; `None`
+    /// spills to memory (still exercising serialization).
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Width of the storage pipeline: I/O worker threads per node in the
+    /// threaded engine (pack/unpack run there, off the worker thread) and
+    /// modeled parallel disk channels in the DES engine.
+    pub io_threads: usize,
+    /// Prefetch window, object axis: at most this many look-ahead loads
+    /// in flight per node. `usize::MAX` removes the pacing entirely
+    /// (every queued-but-on-disk object loads immediately, the pre-overlap
+    /// behaviour); `0` disables look-ahead (loads issue only on demand,
+    /// when the node has no resident work left).
+    pub prefetch_window_objects: usize,
+    /// Prefetch window, byte axis: at most this many packed bytes of
+    /// look-ahead loads in flight per node.
+    pub prefetch_window_bytes: usize,
+    /// On-disk layout of the spill store (threaded engine,
+    /// `spill_dir`-backed runs only).
+    pub spill_backend: SpillBackend,
+    /// Segment log: bytes buffered per segment before it is sealed with a
+    /// single write syscall.
+    pub segment_bytes: usize,
+    /// Segment log: compact once dead records exceed this fraction of all
+    /// stored bytes.
+    pub segment_garbage_frac: f64,
 }
 
 impl Default for MrtsConfig {
@@ -85,6 +119,12 @@ impl Default for MrtsConfig {
             net: NetModel::cluster(),
             disk: DiskModel::cluster_disk(),
             spill_dir: None,
+            io_threads: 2,
+            prefetch_window_objects: 4,
+            prefetch_window_bytes: 4 << 20,
+            spill_backend: SpillBackend::SegmentLog,
+            segment_bytes: 1 << 20,
+            segment_garbage_frac: 0.5,
         }
     }
 }
@@ -123,6 +163,31 @@ impl MrtsConfig {
         self
     }
 
+    /// Bound the prefetch window (look-ahead loads in flight per node).
+    pub fn with_prefetch_window(mut self, objects: usize, bytes: usize) -> Self {
+        self.prefetch_window_objects = objects;
+        self.prefetch_window_bytes = bytes;
+        self
+    }
+
+    /// Set the storage-pipeline width (I/O threads / disk channels).
+    pub fn with_io_threads(mut self, n: usize) -> Self {
+        self.io_threads = n;
+        self
+    }
+
+    /// Pre-overlap I/O shape: one FIFO I/O thread, one file per spilled
+    /// object, no look-ahead pacing (loads issue the moment a message
+    /// reaches an on-disk object). Used as the baseline in comparison
+    /// benchmarks.
+    pub fn with_legacy_io(mut self) -> Self {
+        self.io_threads = 1;
+        self.prefetch_window_objects = usize::MAX;
+        self.prefetch_window_bytes = usize::MAX;
+        self.spill_backend = SpillBackend::PerObjectFile;
+        self
+    }
+
     /// Is the out-of-core layer active?
     pub fn ooc_enabled(&self) -> bool {
         self.mem_budget != usize::MAX
@@ -144,6 +209,15 @@ impl MrtsConfig {
         }
         if self.compute_scale <= 0.0 {
             return Err("compute_scale must be > 0".into());
+        }
+        if self.io_threads == 0 {
+            return Err("io_threads must be > 0".into());
+        }
+        if self.segment_bytes == 0 {
+            return Err("segment_bytes must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.segment_garbage_frac) || self.segment_garbage_frac == 0.0 {
+            return Err("segment_garbage_frac must be in (0, 1]".into());
         }
         Ok(())
     }
@@ -203,6 +277,36 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(MrtsConfig {
+            io_threads: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MrtsConfig {
+            segment_garbage_frac: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn overlap_knobs_default_and_legacy() {
+        let c = MrtsConfig::default();
+        assert_eq!(c.io_threads, 2);
+        assert_eq!(c.prefetch_window_objects, 4);
+        assert_eq!(c.spill_backend, SpillBackend::SegmentLog);
+        let l = MrtsConfig::out_of_core(2, 1 << 16).with_legacy_io();
+        l.validate().unwrap();
+        assert_eq!(l.io_threads, 1);
+        assert_eq!(l.prefetch_window_objects, usize::MAX);
+        assert_eq!(l.spill_backend, SpillBackend::PerObjectFile);
+        let w = MrtsConfig::default()
+            .with_prefetch_window(8, 1 << 22)
+            .with_io_threads(3);
+        assert_eq!(w.prefetch_window_objects, 8);
+        assert_eq!(w.io_threads, 3);
     }
 
     #[test]

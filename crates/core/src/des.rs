@@ -11,10 +11,13 @@
 //! * a message from node *i* to node *j* becomes visible at
 //!   `send_time + latency + bytes/bandwidth`; both nodes accrue
 //!   communication busy time;
-//! * unloading/loading an object occupies the node's single virtual disk
-//!   channel for `seek + bytes/bandwidth`; the disk runs concurrently with
-//!   the cores, which is where the paper's computation/I/O *overlap* comes
-//!   from.
+//! * unloading/loading an object occupies one of the node's `io_threads`
+//!   virtual disk channels for `seek + bytes/bandwidth`; the disk runs
+//!   concurrently with the cores, which is where the paper's
+//!   computation/I/O *overlap* comes from. Loads are issued through the
+//!   same prefetch-window pump as the threaded engine: a message for an
+//!   on-disk object queues a look-ahead load, paced against the memory
+//!   budget so prefetch never displaces objects with queued work.
 //!
 //! The result is a deterministic simulation whose reported quantities
 //! (per-PE speed, overheads, comp/comm/disk shares, overlap) have the same
@@ -68,6 +71,8 @@ struct Entry {
     disk_ready_at: Duration,
     /// Set when the object must be shipped to another node once available.
     pending_migration: Option<NodeId>,
+    /// The object sits in the node's `pending_loads` queue awaiting issue.
+    load_queued: bool,
 }
 
 impl Entry {
@@ -89,11 +94,18 @@ struct NodeState {
     dir: Directory,
     store: MemStore,
     core_free: Vec<Duration>,
-    disk_free: Duration,
+    /// Earliest-free time per virtual disk channel (`io_threads` of them —
+    /// the modeled I/O parallelism of the storage pipeline).
+    disk_free: Vec<Duration>,
     stats: NodeStats,
     next_obj_seq: u64,
     next_spill_key: u64,
     multicasts: Vec<McPending>,
+    /// Queued-but-on-disk objects awaiting a load slot, in arrival order.
+    pending_loads: VecDeque<ObjectId>,
+    /// Loads currently occupying disk channels, for the prefetch window.
+    inflight_loads: usize,
+    inflight_load_bytes: usize,
 }
 
 #[derive(Debug)]
@@ -187,11 +199,14 @@ impl DesRuntime {
                 dir: Directory::new(),
                 store: MemStore::new(),
                 core_free: vec![Duration::ZERO; cfg.cores_per_node],
-                disk_free: Duration::ZERO,
+                disk_free: vec![Duration::ZERO; cfg.io_threads],
                 stats: NodeStats::default(),
                 next_obj_seq: 0,
                 next_spill_key: 0,
                 multicasts: Vec::new(),
+                pending_loads: VecDeque::new(),
+                inflight_loads: 0,
+                inflight_load_bytes: 0,
             })
             .collect();
         DesRuntime {
@@ -271,7 +286,6 @@ impl DesRuntime {
         let n = &mut self.nodes[node as usize];
         let tick = n.ooc.tick();
         n.ooc.note_in(footprint);
-        n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
         n.table.insert(
             id,
             Entry {
@@ -286,6 +300,7 @@ impl DesRuntime {
                 obj_free_at: Duration::ZERO,
                 disk_ready_at: Duration::ZERO,
                 pending_migration: None,
+                load_queued: false,
             },
         );
         audit_emit!(
@@ -441,11 +456,23 @@ impl DesRuntime {
             for &c in &n.core_free {
                 total = total.max(c);
             }
-            total = total.max(n.disk_free);
+            for &d in &n.disk_free {
+                total = total.max(d);
+            }
         }
         RunStats {
             total,
-            nodes: self.nodes.iter().map(|n| n.stats.clone()).collect(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| {
+                    let mut s = n.stats.clone();
+                    // Peak footprint comes from the budget manager's own
+                    // high-water mark — the single source of truth.
+                    s.peak_mem = n.ooc.peak_used;
+                    s
+                })
+                .collect(),
         }
     }
 
@@ -473,6 +500,11 @@ impl DesRuntime {
             } => self.on_mc_start(node, info, handler, payload),
             EvKind::Meta(oid, op) => self.on_meta(node, oid, op),
         }
+        // Every event may queue or unblock loads (messages arriving for
+        // on-disk objects, evictions of queued objects, completed loads
+        // freeing window slots); issue what the window allows.
+        let now = self.now;
+        self.pump_loads(node, now);
     }
 
     fn forward(
@@ -538,7 +570,6 @@ impl DesRuntime {
                 }
             }
         }
-        let now = self.now;
         let entry = self.nodes[node as usize].table.get_mut(&oid).unwrap();
         match entry.state {
             EntryState::InCore(_) | EntryState::Executing => {
@@ -549,31 +580,173 @@ impl DesRuntime {
             }
             EntryState::OnDisk => {
                 entry.queue.push_back(msg);
-                self.start_load(node, oid, now);
+                self.queue_load(node, oid);
             }
             EntryState::Moved(_) => unreachable!(),
         }
     }
 
-    /// Begin loading an on-disk object (message-driven prefetch).
-    fn start_load(&mut self, node: NodeId, oid: ObjectId, at: Duration) {
-        let packed_len = {
-            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
-            if !matches!(e.state, EntryState::OnDisk) {
-                return;
+    /// Note that `oid` (on disk) has pending work; the load is issued by
+    /// [`DesRuntime::pump_loads`] under the prefetch window.
+    fn queue_load(&mut self, node: NodeId, oid: ObjectId) {
+        let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+        if e.load_queued || !matches!(e.state, EntryState::OnDisk) {
+            return;
+        }
+        e.load_queued = true;
+        self.nodes[node as usize].pending_loads.push_back(oid);
+    }
+
+    /// Bytes reclaimable by evicting only objects with no pending work —
+    /// the only victims a look-ahead load is allowed to displace.
+    fn idle_evictable_bytes(&self, node: NodeId, at: Duration) -> usize {
+        self.nodes[node as usize]
+            .table
+            .values()
+            .filter(|e| {
+                e.is_in_core()
+                    && !e.locked
+                    && e.obj_free_at <= at
+                    && e.pending_migration.is_none()
+                    && e.queue.is_empty()
+            })
+            .map(|e| e.footprint)
+            .sum()
+    }
+
+    /// Issue queued loads under the prefetch window; mirrors the threaded
+    /// engine's pump (see [`crate::threaded`]). A look-ahead load (virtual
+    /// cores busy beyond `at`) stays inside the window and is paced so it
+    /// never displaces an object with queued messages; urgent loads
+    /// (migration or multicast waiting) bypass the window. Because the DES
+    /// has no idle polling loop, the pump guarantees that a non-empty
+    /// queue always has at least one load in flight — a fully deferred
+    /// queue with nothing in flight would silently drop work.
+    fn pump_loads(&mut self, node: NodeId, at: Duration) {
+        if self.nodes[node as usize].pending_loads.is_empty() {
+            return;
+        }
+        let window_objs = self.cfg.prefetch_window_objects;
+        let window_bytes = self.cfg.prefetch_window_bytes;
+        // `usize::MAX` objects = the pre-overlap shape: issue immediately,
+        // never pace against the budget.
+        let unpaced = window_objs == usize::MAX;
+        let mut idle_evictable: Option<usize> = None;
+        let mut i = 0;
+        while i < self.nodes[node as usize].pending_loads.len() {
+            let oid = self.nodes[node as usize].pending_loads[i];
+            let (wants, urgent, footprint, packed_len) = {
+                let e = self.nodes[node as usize].table.get(&oid).unwrap();
+                let urgent = e.pending_migration.is_some() || e.locked;
+                let wants =
+                    matches!(e.state, EntryState::OnDisk) && (urgent || !e.queue.is_empty());
+                (wants, urgent, e.footprint, e.packed_len)
+            };
+            if !wants {
+                self.nodes[node as usize].pending_loads.remove(i);
+                let n = &mut self.nodes[node as usize];
+                n.table.get_mut(&oid).unwrap().load_queued = false;
+                n.stats.prefetch_cancels += 1;
+                continue;
             }
+            let n = &self.nodes[node as usize];
+            let look_ahead = n.core_free.iter().any(|&c| c > at);
+            if look_ahead && !urgent {
+                if n.inflight_loads >= window_objs {
+                    break;
+                }
+                if n.inflight_loads > 0
+                    && n.inflight_load_bytes.saturating_add(packed_len) > window_bytes
+                {
+                    break;
+                }
+                if !unpaced {
+                    let need = n.ooc.needed_for_admission(footprint);
+                    if need > 0 {
+                        let avail = *idle_evictable
+                            .get_or_insert_with(|| self.idle_evictable_bytes(node, at));
+                        if need > avail {
+                            // Paced: admission would thrash queued objects.
+                            i += 1;
+                            continue;
+                        }
+                    }
+                }
+            } else if n.inflight_loads > 0 && n.inflight_loads >= window_objs {
+                // Demand loads keep the pipe bounded too, but at least one
+                // is always in flight so the node cannot stall.
+                break;
+            }
+            self.nodes[node as usize].pending_loads.remove(i);
+            self.nodes[node as usize]
+                .table
+                .get_mut(&oid)
+                .unwrap()
+                .load_queued = false;
+            self.issue_load(node, oid, at, look_ahead && !urgent);
+            // Issuing may have evicted; recompute pacing headroom lazily.
+            idle_evictable = None;
+        }
+        // Progress guarantee: force the front entry through if everything
+        // was deferred and nothing is in flight (no future Loaded event
+        // would ever pump again).
+        if self.nodes[node as usize].inflight_loads == 0 {
+            if let Some(oid) = self.nodes[node as usize].pending_loads.pop_front() {
+                self.nodes[node as usize]
+                    .table
+                    .get_mut(&oid)
+                    .unwrap()
+                    .load_queued = false;
+                self.issue_load(node, oid, at, false);
+            }
+        }
+    }
+
+    /// Begin loading an on-disk object on the earliest-free virtual disk
+    /// channel.
+    fn issue_load(&mut self, node: NodeId, oid: ObjectId, at: Duration, look_ahead: bool) {
+        let (packed_len, footprint) = {
+            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            debug_assert!(matches!(e.state, EntryState::OnDisk));
             e.state = EntryState::Loading;
-            e.packed_len
+            (e.packed_len, e.footprint)
         };
+        {
+            let n = &mut self.nodes[node as usize];
+            n.inflight_loads += 1;
+            n.inflight_load_bytes += packed_len;
+            if look_ahead {
+                n.stats.prefetch_issued += 1;
+            }
+        }
+        if look_ahead {
+            #[cfg(any(feature = "audit", debug_assertions))]
+            {
+                let n = &self.nodes[node as usize];
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::Prefetch {
+                        node,
+                        oid,
+                        inflight_objects: n.inflight_loads,
+                        window_objects: self.cfg.prefetch_window_objects,
+                        inflight_bytes: n.inflight_load_bytes,
+                        window_bytes: self.cfg.prefetch_window_bytes,
+                    }
+                );
+            }
+        }
         // Admit the (approximate) footprint before the load begins.
-        let footprint = self.nodes[node as usize].table[&oid].footprint;
         self.admit_for_load(node, footprint, at);
         let n = &mut self.nodes[node as usize];
         let dur = self.cfg.disk.op_time(packed_len);
+        let ch = (0..n.disk_free.len())
+            .min_by_key(|&i| n.disk_free[i])
+            .unwrap();
         let e = n.table.get_mut(&oid).unwrap();
-        let start = at.max(n.disk_free).max(e.disk_ready_at);
+        let start = at.max(n.disk_free[ch]).max(e.disk_ready_at);
         let end = start + dur;
-        n.disk_free = end;
+        n.disk_free[ch] = end;
         n.stats.disk += dur;
         n.stats.loads += 1;
         n.stats.bytes_from_disk += packed_len as u64;
@@ -590,6 +763,19 @@ impl DesRuntime {
                 e.packed_len,
             )
         };
+        {
+            let now = self.now;
+            let n = &mut self.nodes[node as usize];
+            n.inflight_loads -= 1;
+            n.inflight_load_bytes = n.inflight_load_bytes.saturating_sub(packed_len);
+            // Overlap classification: a load completing while a virtual
+            // core is still busy was masked by computation.
+            if n.core_free.iter().any(|&c| c > now) {
+                n.stats.prefetch_hits += 1;
+            } else {
+                n.stats.prefetch_misses += 1;
+            }
+        }
         let bytes = self.nodes[node as usize]
             .store
             .load(key)
@@ -612,7 +798,6 @@ impl DesRuntime {
             e.state = EntryState::InCore(obj);
             n.ooc.note_in(footprint);
             let _ = old_fp;
-            n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
         }
         audit_emit!(
             self.audit,
@@ -719,7 +904,6 @@ impl DesRuntime {
             e.meta.touch(tick);
             e.footprint = new_footprint;
             n.ooc.note_resize(old_footprint, new_footprint);
-            n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
         }
         if old_footprint != new_footprint {
             audit_emit!(
@@ -806,7 +990,6 @@ impl DesRuntime {
                     let n = &mut self.nodes[node as usize];
                     let tick = n.ooc.tick();
                     n.ooc.note_in(footprint);
-                    n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
                     n.table.insert(
                         id,
                         Entry {
@@ -821,6 +1004,7 @@ impl DesRuntime {
                             obj_free_at: at,
                             disk_ready_at: Duration::ZERO,
                             pending_migration: None,
+                            load_queued: false,
                         },
                     );
                     audit_emit!(
@@ -1030,9 +1214,12 @@ impl DesRuntime {
         };
         n.store.store(key, &bytes).unwrap();
         let dur = self.cfg.disk.op_time(packed_len);
-        let start = at.max(n.disk_free);
+        let ch = (0..n.disk_free.len())
+            .min_by_key(|&i| n.disk_free[i])
+            .unwrap();
+        let start = at.max(n.disk_free[ch]);
         let end = start + dur;
-        n.disk_free = end;
+        n.disk_free[ch] = end;
         n.stats.disk += dur;
         n.stats.stores += 1;
         n.stats.bytes_to_disk += packed_len as u64;
@@ -1054,10 +1241,10 @@ impl DesRuntime {
         );
         self.end_time = self.end_time.max(end);
         // An object evicted with queued messages still owes work: its
-        // messages were spilled with it, so schedule the reload (after the
-        // store completes) or the work would be lost.
+        // messages were spilled with it, so queue the reload (the pump
+        // issues it; `disk_ready_at` keeps it after the store completes).
         if has_queue {
-            self.start_load(node, oid, end);
+            self.queue_load(node, oid);
         }
     }
 
@@ -1105,13 +1292,12 @@ impl DesRuntime {
                 self.do_migrate(node, oid, dest);
             }
             Some(Ok(false)) => {
-                // Load it first, then ship.
-                let now = self.now;
+                // Load it first, then ship (urgent: bypasses the window).
                 {
                     let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
                     e.pending_migration = Some(dest);
                 }
-                self.start_load(node, oid, now);
+                self.queue_load(node, oid);
             }
         }
     }
@@ -1215,7 +1401,6 @@ impl DesRuntime {
             n.stats.comp += unpack;
             let tick = n.ooc.tick();
             n.ooc.note_in(footprint);
-            n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
             n.dir.update(oid, node);
             n.table.insert(
                 oid,
@@ -1231,6 +1416,7 @@ impl DesRuntime {
                     obj_free_at: self.now,
                     disk_ready_at: Duration::ZERO,
                     pending_migration: None,
+                    load_queued: false,
                 },
             );
         }
@@ -1296,7 +1482,7 @@ impl DesRuntime {
                         .unwrap()
                         .locked = true;
                     audit_emit!(self.audit, RuntimeEvent::Pin { node, oid });
-                    self.start_load(node, oid, now);
+                    self.queue_load(node, oid);
                 }
                 Some(Err(f)) => {
                     waiting.push(oid);
@@ -1431,7 +1617,6 @@ impl DesRuntime {
         let n = &mut self.nodes[node as usize];
         let tick = n.ooc.tick();
         n.ooc.note_in(footprint);
-        n.stats.peak_mem = n.stats.peak_mem.max(n.ooc.used());
         let prev = n.table.insert(
             oid,
             Entry {
@@ -1446,6 +1631,7 @@ impl DesRuntime {
                 obj_free_at: Duration::ZERO,
                 disk_ready_at: Duration::ZERO,
                 pending_migration: None,
+                load_queued: false,
             },
         );
         assert!(prev.is_none(), "checkpoint restore collided with {oid:?}");

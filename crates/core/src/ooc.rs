@@ -172,8 +172,10 @@ impl OocManager {
         // Explicit lexicographic comparator: scores are f64 and a NaN
         // anywhere in a tuple `partial_cmp` would collapse the whole key
         // to `Equal`, silently disabling the ordering. `total_cmp` keeps
-        // the sort total (NaN orders after every finite score).
-        candidates.sort_by(|a, b| {
+        // the sort total (NaN orders after every finite score); the final
+        // oid tie-breaker keeps victim choice independent of the hash-map
+        // iteration order the candidates arrive in.
+        let cmp = |a: &EvictCandidate, b: &EvictCandidate| {
             (a.queued_msgs > 0)
                 .cmp(&(b.queued_msgs > 0))
                 .then_with(|| a.priority.cmp(&b.priority))
@@ -182,17 +184,34 @@ impl OocManager {
                         .score(&a.meta, now)
                         .total_cmp(&self.policy.score(&b.meta, now))
                 })
-        });
-        let mut out = Vec::new();
-        let mut freed = 0usize;
-        for c in candidates.iter() {
-            if freed >= need {
-                break;
+                .then_with(|| a.oid.cmp(&b.oid))
+        };
+        // Evictions usually shed a handful of objects out of a large
+        // resident set, so a full sort is wasted work: partition the k
+        // best victims to the front (O(n) typical), sort only that small
+        // prefix, and double k when their combined footprint still falls
+        // short of `need`.
+        let n = candidates.len();
+        let mut k = 8.min(n);
+        loop {
+            if k < n {
+                candidates.select_nth_unstable_by(k - 1, cmp);
             }
-            out.push(c.oid);
-            freed += c.footprint;
+            candidates[..k].sort_unstable_by(cmp);
+            let mut out = Vec::new();
+            let mut freed = 0usize;
+            for c in candidates[..k].iter() {
+                if freed >= need {
+                    break;
+                }
+                out.push(c.oid);
+                freed += c.footprint;
+            }
+            if freed >= need || k == n {
+                return out;
+            }
+            k = (k * 2).min(n);
         }
-        out
     }
 }
 
@@ -323,6 +342,29 @@ mod tests {
         let m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
         let mut cands = vec![cand(1, 100, 1, 1, 0, 0)];
         assert!(m.pick_victims(&mut cands, 0).is_empty());
+    }
+
+    #[test]
+    fn pick_victims_partial_selection_matches_full_sort() {
+        let mut m = OocManager::new(1 << 20, 2.0, 0.5, PolicyKind::Lru);
+        for _ in 0..1000 {
+            m.tick();
+        }
+        // 100 candidates in scrambled age order; need = 40 objects' worth
+        // so the selection must widen past its initial k.
+        let mut cands: Vec<EvictCandidate> = (0..100u64)
+            .map(|seq| cand(seq, 10, (seq * 37) % 997, 1, 128, 0))
+            .collect();
+        let mut reference = cands.clone();
+        reference.sort_by(|a, b| {
+            m.policy()
+                .score(&a.meta, m.now())
+                .total_cmp(&m.policy().score(&b.meta, m.now()))
+                .then_with(|| a.oid.cmp(&b.oid))
+        });
+        let want: Vec<ObjectId> = reference.iter().take(40).map(|c| c.oid).collect();
+        let got = m.pick_victims(&mut cands, 400);
+        assert_eq!(got, want);
     }
 
     #[test]

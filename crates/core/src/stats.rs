@@ -38,6 +38,18 @@ pub struct NodeStats {
     pub bytes_from_disk: u64,
     pub evictions: usize,
     pub migrations: usize,
+    /// Look-ahead loads issued by the prefetcher (loads started while the
+    /// node still had resident work to run).
+    pub prefetch_issued: usize,
+    /// Loads whose completion found the node with resident work still
+    /// queued — the disk time was masked by computation.
+    pub prefetch_hits: usize,
+    /// Loads whose completion found the node idle — the load sat on the
+    /// critical path.
+    pub prefetch_misses: usize,
+    /// Queued look-ahead loads abandoned before issue (queue drained,
+    /// object migrated or re-spilled in the meantime).
+    pub prefetch_cancels: usize,
     /// High-water mark of in-core object footprint.
     pub peak_mem: usize,
 }
@@ -114,6 +126,18 @@ impl RunStats {
     /// Peak in-core footprint over all nodes.
     pub fn peak_mem(&self) -> usize {
         self.nodes.iter().map(|n| n.peak_mem).max().unwrap_or(0)
+    }
+
+    /// Fraction of completed loads that overlapped with resident work
+    /// (0.0 when the run did no loads at all).
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        let hits = self.total_of(|n| n.prefetch_hits);
+        let done = hits + self.total_of(|n| n.prefetch_misses);
+        if done == 0 {
+            0.0
+        } else {
+            hits as f64 / done as f64
+        }
     }
 
     /// One-line human-readable summary.
@@ -197,6 +221,17 @@ mod tests {
         assert_eq!(s.speed(100), 0.0);
         assert_eq!(s.overlap_pct(), 0.0);
         assert_eq!(s.num_nodes(), 3);
+    }
+
+    #[test]
+    fn prefetch_hit_rate_over_completed_loads() {
+        let mut s = empty_stats(2);
+        assert_eq!(s.prefetch_hit_rate(), 0.0);
+        s.nodes[0].prefetch_hits = 3;
+        s.nodes[0].prefetch_misses = 1;
+        s.nodes[1].prefetch_hits = 1;
+        s.nodes[1].prefetch_misses = 3;
+        assert!((s.prefetch_hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -3,21 +3,39 @@
 //! This mode is the shape of the paper's actual deployment: every node runs
 //! a control loop draining one-sided active messages from the
 //! [`armci_sim`] fabric, executing message handlers, spilling mobile
-//! objects through a dedicated per-node I/O thread (a real [`FileStore`]
-//! when a spill directory is configured), and participating in **Safra's
-//! ring-token termination detection**. Handlers may spawn child tasks on
-//! the node's computing-layer pool (work-stealing or FIFO).
+//! objects through a per-node I/O thread pool (a real [`SegmentStore`] or
+//! [`FileStore`] when a spill directory is configured), and participating
+//! in **Safra's ring-token termination detection**. Handlers may spawn
+//! child tasks on the node's computing-layer pool (work-stealing or FIFO).
+//!
+//! ## I/O–compute overlap
+//!
+//! The storage pipeline is built to mask disk latency behind computation,
+//! the paper's headline mechanism:
+//!
+//! * **Message-driven prefetch** — a message arriving for an on-disk
+//!   object queues a look-ahead load instead of stalling; loads are
+//!   issued under a bounded prefetch window (`prefetch_window_objects` /
+//!   `prefetch_window_bytes`) so the disk streams the next objects in
+//!   while handlers drain the current ones.
+//! * **Resident-first scheduling** — the node keeps executing in-core
+//!   objects while loads are in flight, and a look-ahead load is paced:
+//!   it is issued only when admission can be paid for by evicting *idle*
+//!   objects, so prefetch never displaces anything with queued work.
+//! * **Non-blocking storage ops** — `io_threads` workers share the spill
+//!   store; object pack/unpack runs on them, off the node's control
+//!   thread, and the segmented spill log coalesces writes.
 //!
 //! Statistics are wall-clock: computation is time spent inside handlers
-//! (and packing/unpacking), disk is the I/O thread's measured busy time,
-//! and communication is charged from the configured network model per
-//! message (the in-process fabric itself is too fast to measure
-//! meaningfully).
+//! (and packing/unpacking, wherever it runs), disk is the I/O pool's
+//! measured busy time, and communication is charged from the configured
+//! network model per message (the in-process fabric itself is too fast to
+//! measure meaningfully).
 
 #[allow(unused_imports)]
 use crate::audit::{audit_emit, RuntimeEvent};
 use crate::compute::{ExecutorKind, FifoPool, SequentialBackend, TaskBackend, WorkStealingPool};
-use crate::config::MrtsConfig;
+use crate::config::{MrtsConfig, SpillBackend};
 use crate::ctx::{Ctx, Effect};
 use crate::directory::Directory;
 use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
@@ -26,7 +44,7 @@ use crate::object::{MobileObject, Registry};
 use crate::ooc::{EvictCandidate, OocManager};
 use crate::policy::AccessMeta;
 use crate::stats::{NodeStats, RunStats};
-use crate::storage::{FileStore, MemStore, StorageBackend};
+use crate::storage::{FileStore, MemStore, SegmentStore, StorageBackend};
 use armci_sim::{ActiveMessage, Endpoint, Fabric, NetworkModel};
 use crossbeam_channel as channel;
 use std::collections::{HashMap, VecDeque};
@@ -63,12 +81,18 @@ struct TEntry {
     packed_len: usize,
     spill_key: Option<u64>,
     pending_migration: Option<NodeId>,
+    /// The object sits in `pending_loads` awaiting issue.
+    load_queued: bool,
+    /// The object's latest spill is still in the I/O pool: a load for its
+    /// key must wait until the store lands (the pool is not FIFO).
+    store_inflight: bool,
 }
 
 enum IoReq {
+    /// Pack `obj` on the I/O thread and persist it under `key`.
     Store {
         key: u64,
-        bytes: Vec<u8>,
+        obj: Box<dyn MobileObject>,
         oid: ObjectId,
     },
     Load {
@@ -80,12 +104,17 @@ enum IoReq {
 
 enum IoDone {
     Stored {
-        dur: Duration,
+        oid: ObjectId,
+        packed_len: usize,
+        io_dur: Duration,
+        pack_dur: Duration,
     },
     Loaded {
         oid: ObjectId,
-        bytes: Vec<u8>,
-        dur: Duration,
+        obj: Box<dyn MobileObject>,
+        packed_len: usize,
+        io_dur: Duration,
+        unpack_dur: Duration,
     },
 }
 
@@ -119,6 +148,11 @@ struct Worker {
     io_tx: channel::Sender<IoReq>,
     io_rx: channel::Receiver<IoDone>,
     outstanding_io: usize,
+    /// Queued-but-on-disk objects awaiting a load slot, in arrival order.
+    pending_loads: VecDeque<ObjectId>,
+    /// Loads currently in the I/O pool, for the prefetch window.
+    inflight_load_objs: usize,
+    inflight_load_bytes: usize,
     backend: Box<dyn TaskBackend>,
     stats: NodeStats,
     next_obj_seq: u64,
@@ -322,7 +356,7 @@ impl Worker {
                     self.ready.push_back(oid);
                 }
             }
-            TState::OnDisk => self.start_load(oid),
+            TState::OnDisk => self.queue_load(oid),
             TState::Loading | TState::Moved(_) => {}
         }
     }
@@ -396,20 +430,15 @@ impl Worker {
                 return;
             }
         };
-        let t0 = Instant::now();
-        let bytes = Registry::pack(obj.as_ref());
-        self.stats.comp += t0.elapsed();
-        drop(obj);
         let key = {
             let next = &mut self.next_spill_key;
             let e = self.table.get_mut(&oid).unwrap();
-            let key = *e.spill_key.get_or_insert_with(|| {
+            e.store_inflight = true;
+            *e.spill_key.get_or_insert_with(|| {
                 let k = *next;
                 *next += 1;
                 k
-            });
-            e.packed_len = bytes.len();
-            key
+            })
         };
         let footprint = self.table[&oid].footprint;
         self.ooc.note_out(footprint);
@@ -425,25 +454,120 @@ impl Worker {
         );
         self.stats.evictions += 1;
         self.stats.stores += 1;
-        self.stats.bytes_to_disk += bytes.len() as u64;
         self.outstanding_io += 1;
-        self.io_tx.send(IoReq::Store { key, bytes, oid }).unwrap();
+        // Pack happens on the I/O pool, off this control thread.
+        self.io_tx.send(IoReq::Store { key, obj, oid }).unwrap();
         // Drop the object from the ready list if it was there.
         self.ready.retain(|&r| r != oid);
-        // An object evicted with queued messages still owes work: schedule
-        // the reload (the per-node I/O thread is FIFO, so the load reads
-        // the bytes the store just wrote).
+        // An object evicted with queued messages still owes work: queue
+        // the reload (it issues once the store lands).
         if !self.table[&oid].queue.is_empty() {
-            self.start_load(oid);
+            self.queue_load(oid);
         }
     }
 
-    fn start_load(&mut self, oid: ObjectId) {
+    /// Note that `oid` (on disk) has pending work; the load is issued by
+    /// [`Worker::pump_loads`] under the prefetch window.
+    fn queue_load(&mut self, oid: ObjectId) {
+        let e = self.table.get_mut(&oid).unwrap();
+        if e.load_queued || !matches!(e.state, TState::OnDisk) {
+            return;
+        }
+        e.load_queued = true;
+        self.pending_loads.push_back(oid);
+    }
+
+    /// Bytes reclaimable by evicting only objects with no pending work —
+    /// the only victims a look-ahead load is allowed to displace.
+    fn idle_evictable_bytes(&self) -> usize {
+        self.table
+            .values()
+            .filter(|e| {
+                matches!(e.state, TState::InCore(_))
+                    && !e.locked
+                    && e.pending_migration.is_none()
+                    && e.queue.is_empty()
+            })
+            .map(|e| e.footprint)
+            .sum()
+    }
+
+    /// Issue queued loads. A **look-ahead** load (the node still has
+    /// resident work) stays inside the prefetch window and is paced so it
+    /// never displaces an object with queued messages; a **demand** load
+    /// (nothing resident to run) or an urgent one (migration or multicast
+    /// waiting on the object) always makes progress. Entries whose reason
+    /// to load evaporated are cancelled here.
+    fn pump_loads(&mut self) {
+        if self.pending_loads.is_empty() {
+            return;
+        }
+        let window_objs = self.cfg.prefetch_window_objects;
+        let window_bytes = self.cfg.prefetch_window_bytes;
+        // `usize::MAX` objects = the pre-overlap shape: issue immediately,
+        // never pace against the budget.
+        let unpaced = window_objs == usize::MAX;
+        let mut idle_evictable: Option<usize> = None;
+        let mut i = 0;
+        while i < self.pending_loads.len() {
+            let oid = self.pending_loads[i];
+            let (wants, store_inflight, urgent, footprint, packed_len) = {
+                let e = self.table.get(&oid).unwrap();
+                let urgent = e.pending_migration.is_some() || e.locked;
+                let wants = matches!(e.state, TState::OnDisk) && (urgent || !e.queue.is_empty());
+                (wants, e.store_inflight, urgent, e.footprint, e.packed_len)
+            };
+            if !wants {
+                self.pending_loads.remove(i);
+                self.table.get_mut(&oid).unwrap().load_queued = false;
+                self.stats.prefetch_cancels += 1;
+                continue;
+            }
+            if store_inflight {
+                // Per-key ordering: the pool is not FIFO, so the load must
+                // wait for this object's store to land.
+                i += 1;
+                continue;
+            }
+            let look_ahead = !self.ready.is_empty();
+            if look_ahead && !urgent {
+                if self.inflight_load_objs >= window_objs {
+                    break;
+                }
+                if self.inflight_load_objs > 0
+                    && self.inflight_load_bytes.saturating_add(packed_len) > window_bytes
+                {
+                    break;
+                }
+                if !unpaced {
+                    let need = self.ooc.needed_for_admission(footprint);
+                    if need > 0 {
+                        let avail =
+                            *idle_evictable.get_or_insert_with(|| self.idle_evictable_bytes());
+                        if need > avail {
+                            // Paced: admission would thrash queued objects.
+                            i += 1;
+                            continue;
+                        }
+                    }
+                }
+            } else if self.inflight_load_objs > 0 && self.inflight_load_objs >= window_objs {
+                // Demand loads keep the pipe bounded too, but at least one
+                // is always in flight so the node cannot stall.
+                break;
+            }
+            self.pending_loads.remove(i);
+            self.table.get_mut(&oid).unwrap().load_queued = false;
+            self.issue_load(oid, look_ahead && !urgent);
+            // Issuing may have evicted; recompute pacing headroom lazily.
+            idle_evictable = None;
+        }
+    }
+
+    fn issue_load(&mut self, oid: ObjectId, look_ahead: bool) {
         let (key, footprint, packed_len) = {
             let e = self.table.get_mut(&oid).unwrap();
-            if !matches!(e.state, TState::OnDisk) {
-                return;
-            }
+            debug_assert!(matches!(e.state, TState::OnDisk));
             e.state = TState::Loading;
             (
                 e.spill_key.expect("on-disk object has spill key"),
@@ -451,6 +575,22 @@ impl Worker {
                 e.packed_len,
             )
         };
+        self.inflight_load_objs += 1;
+        self.inflight_load_bytes += packed_len;
+        if look_ahead {
+            self.stats.prefetch_issued += 1;
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::Prefetch {
+                    node: self.node,
+                    oid,
+                    inflight_objects: self.inflight_load_objs,
+                    window_objects: self.cfg.prefetch_window_objects,
+                    inflight_bytes: self.inflight_load_bytes,
+                    window_bytes: self.cfg.prefetch_window_bytes,
+                }
+            );
+        }
         self.admit_for_load(footprint);
         self.stats.loads += 1;
         self.stats.bytes_from_disk += packed_len as u64;
@@ -461,18 +601,40 @@ impl Worker {
     fn on_io(&mut self, done: IoDone) {
         self.outstanding_io -= 1;
         match done {
-            IoDone::Stored { dur } => {
-                self.stats.disk += dur;
+            IoDone::Stored {
+                oid,
+                packed_len,
+                io_dur,
+                pack_dur,
+            } => {
+                self.stats.disk += io_dur;
+                self.stats.comp += pack_dur;
+                self.stats.bytes_to_disk += packed_len as u64;
+                let e = self.table.get_mut(&oid).unwrap();
+                e.store_inflight = false;
+                e.packed_len = packed_len;
             }
-            IoDone::Loaded { oid, bytes, dur } => {
-                self.stats.disk += dur;
-                let t0 = Instant::now();
-                let obj = self.registry.unpack(&bytes);
-                self.stats.comp += t0.elapsed();
+            IoDone::Loaded {
+                oid,
+                obj,
+                packed_len,
+                io_dur,
+                unpack_dur,
+            } => {
+                self.stats.disk += io_dur;
+                self.stats.comp += unpack_dur;
+                self.inflight_load_objs -= 1;
+                self.inflight_load_bytes = self.inflight_load_bytes.saturating_sub(packed_len);
+                // Overlap classification: a load that completes while
+                // resident work remains was masked by computation.
+                if self.ready.is_empty() {
+                    self.stats.prefetch_misses += 1;
+                } else {
+                    self.stats.prefetch_hits += 1;
+                }
                 let footprint = obj.footprint();
                 let tick = self.ooc.tick();
                 self.ooc.note_in(footprint);
-                self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.used());
                 let pending = {
                     let e = self.table.get_mut(&oid).unwrap();
                     e.state = TState::InCore(obj);
@@ -573,7 +735,6 @@ impl Worker {
                 }
             );
         }
-        self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.used());
         if !self.table[&oid].queue.is_empty() {
             self.ready.push_back(oid);
         }
@@ -622,7 +783,6 @@ impl Worker {
                     self.admit(footprint);
                     let tick = self.ooc.tick();
                     self.ooc.note_in(footprint);
-                    self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.used());
                     self.table.insert(
                         id,
                         TEntry {
@@ -635,6 +795,8 @@ impl Worker {
                             packed_len: 0,
                             spill_key: None,
                             pending_migration: None,
+                            load_queued: false,
+                            store_inflight: false,
                         },
                     );
                     audit_emit!(
@@ -745,7 +907,7 @@ impl Worker {
             TState::InCore(_) => self.do_migrate(oid, dest),
             TState::OnDisk => {
                 self.table.get_mut(&oid).unwrap().pending_migration = Some(dest);
-                self.start_load(oid);
+                self.queue_load(oid);
             }
             TState::Loading => {
                 self.table.get_mut(&oid).unwrap().pending_migration = Some(dest);
@@ -839,7 +1001,6 @@ impl Worker {
         self.admit(footprint);
         let tick = self.ooc.tick();
         self.ooc.note_in(footprint);
-        self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.used());
         self.table.insert(
             oid,
             TEntry {
@@ -852,6 +1013,8 @@ impl Worker {
                 packed_len: packed.len(),
                 spill_key: None,
                 pending_migration: None,
+                load_queued: false,
+                store_inflight: false,
             },
         );
         self.dir.update(oid, self.node);
@@ -906,7 +1069,7 @@ impl Worker {
                                 oid
                             }
                         );
-                        self.start_load(oid);
+                        self.queue_load(oid);
                     }
                 }
             } else {
@@ -979,7 +1142,7 @@ impl Worker {
     // ----- termination ------------------------------------------------------------
 
     fn idle(&self) -> bool {
-        self.ready.is_empty() && self.outstanding_io == 0
+        self.ready.is_empty() && self.outstanding_io == 0 && self.pending_loads.is_empty()
     }
 
     fn send_token(&mut self, to: NodeId, black: bool, q: i64) {
@@ -1059,11 +1222,14 @@ impl Worker {
             while let Ok(done) = self.io_rx.try_recv() {
                 self.on_io(done);
             }
-            // 3. Execute one handler.
+            // 3. Issue queued loads under the prefetch window, so the disk
+            //    streams while step() executes resident work.
+            self.pump_loads();
+            // 4. Execute one handler.
             if self.step() {
                 continue;
             }
-            // 4. Idle: termination protocol, then block briefly.
+            // 5. Idle: termination protocol, then block briefly.
             self.try_pass_token();
             if self.done {
                 break;
@@ -1077,6 +1243,7 @@ impl Worker {
             if let Ok(done) = self.io_rx.recv() {
                 self.on_io(done);
             }
+            self.pump_loads();
         }
         audit_emit!(
             self.audit,
@@ -1098,55 +1265,134 @@ impl Worker {
                     // Loading cannot remain (outstanding_io drained), but
                     // both carry a spill key.
                     let key = e.spill_key.expect("spilled object has a key");
-                    self.outstanding_io += 1;
                     self.io_tx.send(IoReq::Load { key, oid }).ok();
-                    if let Ok(IoDone::Loaded { bytes, .. }) = self.io_rx.recv() {
-                        self.outstanding_io -= 1;
-                        out.insert(oid, self.registry.unpack(&bytes));
+                    if let Ok(IoDone::Loaded { obj, .. }) = self.io_rx.recv() {
+                        out.insert(oid, obj);
                     }
                 }
                 TState::Moved(_) => {}
             }
         }
-        self.io_tx.send(IoReq::Shutdown).ok();
-        self.stats.peak_mem = self.stats.peak_mem.max(self.ooc.peak_used);
+        for _ in 0..self.cfg.io_threads {
+            self.io_tx.send(IoReq::Shutdown).ok();
+        }
+        // Peak footprint comes from the budget manager's own high-water
+        // mark — the single source of truth for in-core accounting.
+        self.stats.peak_mem = self.ooc.peak_used;
         (self.node, out, self.stats, self.next_obj_seq)
     }
 }
 
-fn spawn_io_thread(
-    mut store: Box<dyn StorageBackend>,
+/// Spawn the node's I/O pool: `n_threads` workers sharing one spill store
+/// behind a mutex. Pack/unpack run on the pool **outside** the store lock,
+/// so serialization of one object overlaps the disk op of another and the
+/// node's control thread never blocks on either.
+fn spawn_io_pool(
+    node: NodeId,
+    store: Box<dyn StorageBackend>,
+    registry: std::sync::Arc<Registry>,
+    n_threads: usize,
+    audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
 ) -> (
     channel::Sender<IoReq>,
     channel::Receiver<IoDone>,
-    std::thread::JoinHandle<()>,
+    Vec<std::thread::JoinHandle<()>>,
 ) {
     let (req_tx, req_rx) = channel::unbounded::<IoReq>();
     let (done_tx, done_rx) = channel::unbounded::<IoDone>();
-    let handle = std::thread::Builder::new()
-        .name("mrts-io".into())
-        .spawn(move || {
-            while let Ok(req) = req_rx.recv() {
-                match req {
-                    IoReq::Store { key, bytes, oid } => {
-                        let t0 = Instant::now();
-                        store.store(key, &bytes).expect("spill store");
-                        let dur = t0.elapsed();
-                        let _ = oid;
-                        done_tx.send(IoDone::Stored { dur }).ok();
+    let store = std::sync::Arc::new(std::sync::Mutex::new(store));
+    let mut handles = Vec::with_capacity(n_threads);
+    for t in 0..n_threads {
+        let req_rx = req_rx.clone();
+        let done_tx = done_tx.clone();
+        let store = store.clone();
+        let registry = registry.clone();
+        let audit = audit.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("mrts-io-{t}"))
+            .spawn(move || {
+                while let Ok(req) = req_rx.recv() {
+                    match req {
+                        IoReq::Store { key, obj, oid } => {
+                            let t0 = Instant::now();
+                            let bytes = Registry::pack(obj.as_ref());
+                            let pack_dur = t0.elapsed();
+                            drop(obj);
+                            let packed_len = bytes.len();
+                            let t1 = Instant::now();
+                            let reports = {
+                                let mut s = store.lock().unwrap();
+                                s.store(key, &bytes).expect("spill store");
+                                // Drained unconditionally so the backend's
+                                // report buffer never accumulates.
+                                s.take_compaction_reports()
+                            };
+                            let io_dur = t1.elapsed();
+                            emit_compactions(node, &reports, &audit);
+                            done_tx
+                                .send(IoDone::Stored {
+                                    oid,
+                                    packed_len,
+                                    io_dur,
+                                    pack_dur,
+                                })
+                                .ok();
+                        }
+                        IoReq::Load { key, oid } => {
+                            let t0 = Instant::now();
+                            let bytes = {
+                                let mut s = store.lock().unwrap();
+                                s.load(key).expect("spill load")
+                            };
+                            let io_dur = t0.elapsed();
+                            let packed_len = bytes.len();
+                            let t1 = Instant::now();
+                            let obj = registry.unpack(&bytes);
+                            let unpack_dur = t1.elapsed();
+                            done_tx
+                                .send(IoDone::Loaded {
+                                    oid,
+                                    obj,
+                                    packed_len,
+                                    io_dur,
+                                    unpack_dur,
+                                })
+                                .ok();
+                        }
+                        IoReq::Shutdown => break,
                     }
-                    IoReq::Load { key, oid } => {
-                        let t0 = Instant::now();
-                        let bytes = store.load(key).expect("spill load");
-                        let dur = t0.elapsed();
-                        done_tx.send(IoDone::Loaded { oid, bytes, dur }).ok();
-                    }
-                    IoReq::Shutdown => break,
                 }
+            })
+            .expect("spawn io thread");
+        handles.push(handle);
+    }
+    (req_tx, done_rx, handles)
+}
+
+/// Forward compaction reports from the I/O pool to the audit sink. The
+/// emission body compiles out in release builds without the `audit`
+/// feature, but callers drain the reports either way.
+#[allow(unused_variables)]
+fn emit_compactions(
+    node: NodeId,
+    reports: &[crate::storage::CompactionReport],
+    audit: &Option<std::sync::Arc<dyn crate::audit::EventSink>>,
+) {
+    #[cfg(any(feature = "audit", debug_assertions))]
+    {
+        if let Some(sink) = audit.as_ref() {
+            for r in reports {
+                sink.record(&RuntimeEvent::Compaction {
+                    node,
+                    live_objects_before: r.live_objects_before,
+                    live_objects_after: r.live_objects_after,
+                    live_bytes_before: r.live_bytes_before,
+                    live_bytes_after: r.live_bytes_after,
+                    reclaimed_bytes: r.reclaimed_bytes,
+                });
             }
-        })
-        .expect("spawn io thread");
-    (req_tx, done_rx, handle)
+        }
+    }
 }
 
 enum BootAction {
@@ -1263,12 +1509,36 @@ impl ThreadedRuntime {
         for (i, ep) in endpoints.into_iter().enumerate() {
             let store: Box<dyn StorageBackend> = match &self.cfg.spill_dir {
                 Some(dir) => {
-                    Box::new(FileStore::new(dir.join(format!("node-{i}"))).expect("spill dir"))
+                    let node_dir = dir.join(format!("node-{i}"));
+                    match self.cfg.spill_backend {
+                        SpillBackend::SegmentLog => Box::new(
+                            SegmentStore::open(
+                                node_dir,
+                                self.cfg.segment_bytes,
+                                self.cfg.segment_garbage_frac,
+                            )
+                            .expect("spill dir")
+                            .cleanup_on_drop(true),
+                        ),
+                        SpillBackend::PerObjectFile => {
+                            Box::new(FileStore::new(node_dir).expect("spill dir"))
+                        }
+                    }
                 }
                 None => Box::new(MemStore::new()),
             };
-            let (io_tx, io_rx, io_handle) = spawn_io_thread(store);
-            io_handles.push(io_handle);
+            #[cfg(any(feature = "audit", debug_assertions))]
+            let pool_audit = self.audit.clone();
+            #[cfg(not(any(feature = "audit", debug_assertions)))]
+            let pool_audit: Option<std::sync::Arc<dyn crate::audit::EventSink>> = None;
+            let (io_tx, io_rx, handles) = spawn_io_pool(
+                i as NodeId,
+                store,
+                registry.clone(),
+                self.cfg.io_threads,
+                pool_audit,
+            );
+            io_handles.extend(handles);
             let backend: Box<dyn TaskBackend> = if self.cfg.cores_per_node <= 1 {
                 Box::new(SequentialBackend)
             } else {
@@ -1297,6 +1567,9 @@ impl ThreadedRuntime {
                 io_tx,
                 io_rx,
                 outstanding_io: 0,
+                pending_loads: VecDeque::new(),
+                inflight_load_objs: 0,
+                inflight_load_bytes: 0,
                 backend,
                 stats: NodeStats::default(),
                 next_obj_seq: 0,
@@ -1344,6 +1617,8 @@ impl ThreadedRuntime {
                             packed_len: 0,
                             spill_key: None,
                             pending_migration: None,
+                            load_queued: false,
+                            store_inflight: false,
                         },
                     );
                     audit_emit!(
@@ -1390,11 +1665,13 @@ impl ThreadedRuntime {
             self.results.extend(objects);
         }
         let total = t0.elapsed();
-        self.registry = std::sync::Arc::try_unwrap(registry)
-            .unwrap_or_else(|_| panic!("registry still shared"));
+        // The I/O pool threads hold registry clones for unpacking; join
+        // them before reclaiming the registry.
         for h in io_handles {
             let _ = h.join();
         }
+        self.registry = std::sync::Arc::try_unwrap(registry)
+            .unwrap_or_else(|_| panic!("registry still shared"));
         RunStats {
             total,
             nodes: nodes_stats,

@@ -235,9 +235,71 @@ mod invariant_sweep {
         Ok(())
     }
 
+    /// Out-of-core threaded run over real spill files: tiny budget and
+    /// tiny segments so the segmented spill log rolls and compacts while
+    /// the prefetch window streams reloads — the checker validates the
+    /// Prefetch (window bound, on-disk state) and Compaction (no live
+    /// object lost) invariants against a live run.
+    fn threaded_ooc_sweep() -> Result<(), String> {
+        let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+        let det = Arc::new(RaceDetector::new(3));
+        let mut cfg = MrtsConfig::out_of_core(3, 600);
+        cfg.soft_threshold_frac = 0.25;
+        cfg.segment_bytes = 512;
+        cfg.segment_garbage_frac = 0.3;
+        cfg.spill_dir =
+            Some(std::env::temp_dir().join(format!("mrts-audit-ooc-{}", std::process::id())));
+        let spill = cfg.spill_dir.clone().unwrap();
+        let mut rt = ThreadedRuntime::new(cfg);
+        rt.register_type(CELL_TAG, Cell::decode);
+        rt.register_handler(H_RING, "ring", h_ring);
+        rt.register_handler(H_MOVE, "move", h_move);
+        rt.attach_audit(chk.clone());
+        rt.attach_race_detector(det.clone());
+        let cells: Vec<MobilePtr> = (0..3)
+            .map(|n| MobilePtr::new(ObjectId::new(n, 0)))
+            .collect();
+        for (i, &p) in cells.iter().enumerate() {
+            let cell = Box::new(Cell {
+                value: 0,
+                neighbors: vec![cells[(i + 1) % 3]],
+                pad: vec![0x5A; 256],
+            });
+            rt.create_object(i as NodeId, cell, 128);
+            rt.post(p, H_RING, u64_payload(15));
+        }
+        rt.post(cells[0], H_MOVE, u64_payload(2));
+        let stats = rt.run();
+        let _ = std::fs::remove_dir_all(spill);
+        if !chk.violations().is_empty() {
+            return Err(format!(
+                "threaded OOC run violated invariants: {:?}",
+                chk.violations()
+            ));
+        }
+        if !det.races().is_empty() {
+            return Err(format!("threaded OOC run raced: {:?}", det.races()));
+        }
+        if stats.total_of(|n| n.stores) == 0 {
+            return Err("threaded OOC run never spilled — sweep is vacuous".into());
+        }
+        println!(
+            "    threaded-ooc: {} events checked ({} stores, {} loads, hit rate {:.0}%)",
+            chk.events_seen(),
+            stats.total_of(|n| n.stores),
+            stats.total_of(|n| n.loads),
+            100.0 * stats.prefetch_hit_rate(),
+        );
+        Ok(())
+    }
+
     pub fn run() -> bool {
         println!("==> invariant sweep (DES schedule permutations + threaded race check)");
-        for (name, res) in [("des", des_sweep()), ("threaded", threaded_sweep())] {
+        for (name, res) in [
+            ("des", des_sweep()),
+            ("threaded", threaded_sweep()),
+            ("threaded-ooc", threaded_ooc_sweep()),
+        ] {
             if let Err(e) = res {
                 eprintln!("audit: {name} sweep failed: {e}");
                 return false;

@@ -86,6 +86,97 @@ fn threaded_engine_produces_identical_mesh() {
 }
 
 #[test]
+fn prefetch_overlaps_loads_with_compute() {
+    // The message-driven prefetcher must turn queued-but-on-disk objects
+    // into look-ahead loads that complete while other objects compute.
+    let p = UpdrParams::new(Workload::uniform_square(24_000), 6);
+    let mut cfg = MrtsConfig::out_of_core(4, 120_000);
+    cfg.compute_scale = 32.0;
+    let r = oupdr_run(&p, cfg);
+    let stats = &r.stats;
+    let loads = stats.total_of(|n| n.loads);
+    assert!(
+        loads > 0,
+        "workload must be out-of-core: {}",
+        stats.summary()
+    );
+    // Every completed load is classified exactly once.
+    assert_eq!(
+        stats.total_of(|n| n.prefetch_hits) + stats.total_of(|n| n.prefetch_misses),
+        loads,
+        "hit/miss classification must cover every load"
+    );
+    assert!(
+        stats.total_of(|n| n.prefetch_issued) > 0,
+        "no look-ahead loads were issued: {}",
+        stats.summary()
+    );
+    assert!(
+        stats.prefetch_hit_rate() > 0.0,
+        "no load was masked by computation: {}",
+        stats.summary()
+    );
+}
+
+#[test]
+fn prefetch_pacing_respects_budget_under_pressure() {
+    // A paced prefetch window must not blow the memory budget even on a
+    // severely over-subscribed node (the look-ahead loads are charged
+    // against the same budget as demand loads).
+    let p = PcdmParams::new(Workload::uniform_square(8_000), 3);
+    let budget = 70_000usize;
+    let r = opcdm_run(
+        &p,
+        MrtsConfig::out_of_core(2, budget).with_prefetch_window(8, 1 << 20),
+    );
+    assert!(r.stats.total_of(|n| n.stores) > 0);
+    assert!(
+        r.stats.peak_mem() < 3 * budget,
+        "peak {} vs budget {budget}",
+        r.stats.peak_mem()
+    );
+    let loads = r.stats.total_of(|n| n.loads);
+    assert_eq!(
+        r.stats.total_of(|n| n.prefetch_hits) + r.stats.total_of(|n| n.prefetch_misses),
+        loads
+    );
+}
+
+#[test]
+fn wider_disk_pipeline_never_slows_the_des() {
+    // Virtual disk channels model the I/O pool: two channels must not be
+    // slower than one on the same deterministic OOC workload.
+    let p = PcdmParams::new(Workload::uniform_square(8_000), 3);
+    let budget = 70_000usize;
+    let t1 = opcdm_run(&p, MrtsConfig::out_of_core(2, budget).with_io_threads(1))
+        .stats
+        .total;
+    let t2 = opcdm_run(&p, MrtsConfig::out_of_core(2, budget).with_io_threads(2))
+        .stats
+        .total;
+    assert!(
+        t2 <= t1,
+        "2 disk channels ({t2:?}) must not lose to 1 ({t1:?})"
+    );
+}
+
+#[test]
+fn threaded_legacy_io_path_stays_correct() {
+    // The pre-overlap shape (single FIFO I/O thread, per-object spill
+    // files, unpaced loads) remains as the benchmark baseline and must
+    // still produce the reference mesh.
+    let p = PcdmParams::new(Workload::uniform_square(6_000), 2);
+    let des = opcdm_run(&p, MrtsConfig::in_core(2));
+    let mut cfg = MrtsConfig::out_of_core(2, 300_000).with_legacy_io();
+    cfg.spill_dir = Some(std::env::temp_dir().join(format!("mrts-legacy-{}", std::process::id())));
+    let spill = cfg.spill_dir.clone().unwrap();
+    let threaded = opcdm_run_threaded(&p, cfg);
+    assert_eq!(des.elements, threaded.elements);
+    assert_eq!(des.vertices, threaded.vertices);
+    let _ = std::fs::remove_dir_all(spill);
+}
+
+#[test]
 fn more_nodes_means_less_virtual_time() {
     // Node-level scaling in the virtual-time model: same OOC workload on
     // more nodes finishes sooner (the sub-linear scaling of the paper).

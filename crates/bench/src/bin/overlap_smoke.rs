@@ -95,7 +95,11 @@ fn main() {
             "  \"prefetch_hit_rate\": {:.4},\n",
             "  \"prefetch_issued\": {},\n",
             "  \"loads\": {},\n",
-            "  \"stores\": {}\n",
+            "  \"stores\": {},\n",
+            "  \"faults_injected\": {},\n",
+            "  \"io_retries\": {},\n",
+            "  \"io_gave_up\": {},\n",
+            "  \"degraded_entries\": {}\n",
             "}}\n"
         ),
         quick,
@@ -111,15 +115,23 @@ fn main() {
         s.total_of(|n| n.prefetch_issued),
         s.total_of(|n| n.loads),
         s.total_of(|n| n.stores),
+        s.total_of(|n| n.faults_injected),
+        s.total_of(|n| n.io_retries),
+        s.total_of(|n| n.io_gave_up),
+        s.total_of(|n| n.degraded_entries),
     );
     std::fs::write("BENCH_overlap.json", &json).expect("write BENCH_overlap.json");
     print!("{json}");
     eprintln!(
         "in-core {:.3}s | ooc-legacy {:.3}s | ooc-overlap {:.3}s ({speedup:.2}x vs legacy, \
-         hit rate {:.0}%)",
+         hit rate {:.0}%) | faults {} retries {} gave_up {} degraded {}",
         r_core.secs,
         r_legacy.secs,
         r_overlap.secs,
         100.0 * s.prefetch_hit_rate(),
+        s.total_of(|n| n.faults_injected),
+        s.total_of(|n| n.io_retries),
+        s.total_of(|n| n.io_gave_up),
+        s.total_of(|n| n.degraded_entries),
     );
 }

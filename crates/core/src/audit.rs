@@ -51,6 +51,9 @@
 //! 10. **Compaction preserves every live object** — a spill-log
 //!     compaction reports identical live object counts and live bytes
 //!     before and after the rewrite.
+//! 11. **Degraded mode stops evictions** — `Degraded` enter/exit events
+//!     alternate per node, and no object is unloaded on a node while it
+//!     is degraded (a full disk must not be written to).
 //!
 //! A catch-all, [`Invariant::EventOrder`], flags protocol-impossible
 //! streams (loading an in-core object, installing a migration that never
@@ -181,6 +184,24 @@ pub enum RuntimeEvent {
     Terminate { node: NodeId },
     /// `node` shut down reporting `used` in-core bytes still accounted.
     Shutdown { node: NodeId, used: usize },
+    /// The spill store faulted (injected or real) on an operation against
+    /// `key`.
+    Fault {
+        node: NodeId,
+        kind: crate::fault::FaultKind,
+        key: u64,
+    },
+    /// A storage operation for `oid` is being retried (`attempt` is
+    /// 1-based: the first retry after the initial failure is attempt 1).
+    Retry {
+        node: NodeId,
+        oid: ObjectId,
+        attempt: u32,
+    },
+    /// `node` entered (`on = true`) or left (`on = false`) degraded mode:
+    /// evictions stop, prefetch sheds, objects stay resident until the
+    /// backend accepts writes again.
+    Degraded { node: NodeId, on: bool },
 }
 
 /// Observer of the runtime event stream. Must be thread-safe: the
@@ -243,6 +264,8 @@ pub enum Invariant {
     PrefetchWindowExceeded,
     /// A spill-log compaction dropped (or duplicated) live objects.
     CompactionLoss,
+    /// An object was evicted on a node that had declared degraded mode.
+    DegradedEviction,
     /// A protocol-impossible event for the tracked state (catch-all that
     /// keeps the checker honest about its own model).
     EventOrder,
@@ -295,6 +318,8 @@ struct CheckState {
     moved_edges: HashMap<ObjectId, HashMap<NodeId, NodeId>>,
     /// Posted-but-undelivered message count (global).
     outstanding: i64,
+    /// Nodes currently in degraded mode (enter/exit must alternate).
+    degraded: HashSet<NodeId>,
     /// Consecutive forwards per object since it last made progress
     /// (delivery or install); a runaway streak means a routing livelock.
     forward_streak: HashMap<ObjectId, u32>,
@@ -453,6 +478,12 @@ impl EventSink for InvariantChecker {
                         found.push((
                             Invariant::PinnedEviction,
                             format!("{oid:?} evicted from node {node} while pinned"),
+                        ));
+                    }
+                    if st.degraded.contains(node) {
+                        found.push((
+                            Invariant::DegradedEviction,
+                            format!("{oid:?} evicted from node {node} while it is degraded"),
                         ));
                     }
                     if o.footprint != *footprint {
@@ -791,6 +822,25 @@ impl EventSink for InvariantChecker {
                         format!(
                             "node {node} shut down reporting {used}B but in-core objects sum to {live}B"
                         ),
+                    ));
+                }
+            }
+            // Fault and Retry are observability events: they mark where the
+            // storage layer failed and where the engine recovered, but do
+            // not change the object-state model.
+            RuntimeEvent::Fault { .. } | RuntimeEvent::Retry { .. } => {}
+            RuntimeEvent::Degraded { node, on } => {
+                if *on {
+                    if !st.degraded.insert(*node) {
+                        found.push((
+                            Invariant::EventOrder,
+                            format!("node {node} entered degraded mode twice"),
+                        ));
+                    }
+                } else if !st.degraded.remove(node) {
+                    found.push((
+                        Invariant::EventOrder,
+                        format!("node {node} left degraded mode without entering it"),
                     ));
                 }
             }
@@ -1139,6 +1189,54 @@ mod tests {
                 .filter(|v| v.invariant == Invariant::CompactionLoss)
                 .count(),
             2
+        );
+    }
+
+    #[test]
+    fn degraded_mode_blocks_evictions_and_balances() {
+        let c = InvariantChecker::new(FailMode::Collect);
+        c.record(&RuntimeEvent::Create {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        // Fault/Retry are informational.
+        c.record(&RuntimeEvent::Fault {
+            node: 0,
+            kind: crate::fault::FaultKind::TransientEio,
+            key: 1,
+        });
+        c.record(&RuntimeEvent::Retry {
+            node: 0,
+            oid: oid(1),
+            attempt: 1,
+        });
+        c.record(&RuntimeEvent::Degraded { node: 0, on: true });
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        // Evicting while degraded is the violation this mode exists to
+        // prevent.
+        c.record(&RuntimeEvent::Unload {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        assert!(c
+            .violations()
+            .iter()
+            .any(|v| v.invariant == Invariant::DegradedEviction));
+        c.record(&RuntimeEvent::Degraded { node: 0, on: false });
+        // Unbalanced transitions are protocol errors.
+        c.record(&RuntimeEvent::Degraded { node: 0, on: false });
+        c.record(&RuntimeEvent::Degraded { node: 1, on: true });
+        c.record(&RuntimeEvent::Degraded { node: 1, on: true });
+        assert_eq!(
+            c.violations()
+                .iter()
+                .filter(|v| v.invariant == Invariant::EventOrder)
+                .count(),
+            2,
+            "{:?}",
+            c.violations()
         );
     }
 

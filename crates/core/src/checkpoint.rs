@@ -4,10 +4,24 @@
 //! fault tolerance can be implemented with little effort on top of the
 //! out-of-core subsystem" — the machinery that serializes mobile objects
 //! (and their queued messages) for disk spill is exactly a checkpoint
-//! format. This module implements it for the virtual-time engine: a
-//! [`Checkpoint`] captures every live object, its placement, pinning,
+//! format. A [`Checkpoint`] captures every live object, its placement, pinning,
 //! priority, and queued messages; restoring rebuilds a runtime that
-//! continues from the captured state.
+//! continues from the captured state. Both engines are covered: the
+//! virtual-time [`DesRuntime`] and the threaded
+//! [`crate::threaded::ThreadedRuntime`] (capture at the quiescence
+//! barrier between mesh phases, restore into a fresh runtime).
+//!
+//! Two on-disk shapes exist:
+//!
+//! * [`Checkpoint::encode`]/[`Checkpoint::decode`] — one flat buffer,
+//!   suitable for a single atomic file write.
+//! * [`Checkpoint::write_segmented`]/[`Checkpoint::read_segmented`] — a
+//!   [`SegmentStore`]-backed directory written **crash-consistently**:
+//!   entries first, a manifest under a reserved key last, sealed by
+//!   `sync`. A crash mid-write leaves a torn tail the replay tolerates;
+//!   the missing manifest then makes the half-written checkpoint
+//!   *detectably* invalid ([`MrtsError::CheckpointCorrupt`]) instead of
+//!   silently partial.
 //!
 //! Limitations (documented, not hidden): in-flight events (messages between
 //! nodes, active disk transfers) are *not* captured — a checkpoint must be
@@ -18,8 +32,13 @@
 use crate::codec::{PayloadReader, PayloadWriter, Truncated};
 use crate::config::MrtsConfig;
 use crate::des::DesRuntime;
+use crate::fault::MrtsError;
 use crate::ids::{MobilePtr, NodeId, ObjectId};
 use crate::msg::Message;
+use crate::object::Registry;
+use crate::storage::{SegmentStore, StorageBackend};
+use crate::threaded::ThreadedRuntime;
+use std::path::Path;
 
 /// A serialized snapshot of all application state in a runtime.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,7 +63,59 @@ pub struct CheckpointEntry {
 
 const MAGIC: u32 = 0x4d435031; // "MCP1"
 
+/// Segmented layout: the manifest lives under a key no entry index can
+/// reach; it is written (and synced) last, making it the commit record.
+const MANIFEST_KEY: u64 = u64::MAX;
+
+fn corrupt(msg: impl Into<String>) -> MrtsError {
+    MrtsError::CheckpointCorrupt(msg.into())
+}
+
 impl Checkpoint {
+    fn encode_entry(w: &mut PayloadWriter, e: &CheckpointEntry) {
+        w.u32(e.node as u32)
+            .u64(e.oid.0)
+            .u8(e.priority)
+            .u8(e.locked as u8)
+            .bytes(&e.packed);
+        w.u32(e.queued.len() as u32);
+        for m in &e.queued {
+            w.bytes(&m.encode());
+        }
+    }
+
+    fn decode_entry(r: &mut PayloadReader) -> Result<CheckpointEntry, Truncated> {
+        let node = r.u32()? as NodeId;
+        let oid = ObjectId(r.u64()?);
+        let priority = r.u8()?;
+        let locked = r.u8()? != 0;
+        let packed = r.bytes()?.to_vec();
+        let n_msgs = r.u32()? as usize;
+        let mut queued = Vec::with_capacity(n_msgs.min(1 << 16));
+        for _ in 0..n_msgs {
+            queued.push(Message::decode(r.bytes()?)?);
+        }
+        Ok(CheckpointEntry {
+            node,
+            oid,
+            priority,
+            locked,
+            packed,
+            queued,
+        })
+    }
+
+    fn encode_manifest(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.u32(MAGIC);
+        w.u32(self.next_seq.len() as u32);
+        for &s in &self.next_seq {
+            w.u64(s);
+        }
+        w.u32(self.objects.len() as u32);
+        w.finish()
+    }
+
     /// Serialize the checkpoint to bytes (suitable for a file).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = PayloadWriter::new();
@@ -55,15 +126,7 @@ impl Checkpoint {
         }
         w.u32(self.objects.len() as u32);
         for e in &self.objects {
-            w.u32(e.node as u32)
-                .u64(e.oid.0)
-                .u8(e.priority)
-                .u8(e.locked as u8)
-                .bytes(&e.packed);
-            w.u32(e.queued.len() as u32);
-            for m in &e.queued {
-                w.bytes(&m.encode());
-            }
+            Self::encode_entry(&mut w, e);
         }
         w.finish()
     }
@@ -82,26 +145,88 @@ impl Checkpoint {
         let n = r.u32()? as usize;
         let mut objects = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
-            let node = r.u32()? as NodeId;
-            let oid = ObjectId(r.u64()?);
-            let priority = r.u8()?;
-            let locked = r.u8()? != 0;
-            let packed = r.bytes()?.to_vec();
-            let n_msgs = r.u32()? as usize;
-            let mut queued = Vec::with_capacity(n_msgs.min(1 << 16));
-            for _ in 0..n_msgs {
-                queued.push(Message::decode(r.bytes()?)?);
-            }
-            objects.push(CheckpointEntry {
-                node,
-                oid,
-                priority,
-                locked,
-                packed,
-                queued,
-            });
+            objects.push(Self::decode_entry(&mut r)?);
         }
         Ok(Checkpoint { objects, next_seq })
+    }
+
+    /// Write the checkpoint crash-consistently into `dir` on a
+    /// [`SegmentStore`]: one record per entry (keyed by index), then the
+    /// manifest under [`MANIFEST_KEY`], then `sync`. If the process dies
+    /// mid-write, replay tolerates the torn tail and
+    /// [`Checkpoint::read_segmented`] reports the checkpoint as corrupt
+    /// (missing manifest) rather than returning partial state.
+    pub fn write_segmented(&self, dir: &Path) -> std::io::Result<()> {
+        let mut store = SegmentStore::open(dir.to_path_buf(), 1 << 20, 1.0)?;
+        for (i, e) in self.objects.iter().enumerate() {
+            let mut w = PayloadWriter::with_capacity(e.packed.len() + 64);
+            Self::encode_entry(&mut w, e);
+            store.store(i as u64, &w.finish())?;
+        }
+        store.store(MANIFEST_KEY, &self.encode_manifest())?;
+        store.sync()
+    }
+
+    /// Read a checkpoint written by [`Checkpoint::write_segmented`]. A
+    /// missing or unparsable manifest (crash before the final sync) or a
+    /// missing entry yields [`MrtsError::CheckpointCorrupt`].
+    pub fn read_segmented(dir: &Path) -> Result<Checkpoint, MrtsError> {
+        let mut store = SegmentStore::open(dir.to_path_buf(), 1 << 20, 1.0)
+            .map_err(|e| corrupt(format!("cannot open checkpoint dir: {e}")))?;
+        let manifest = store.load(MANIFEST_KEY).map_err(|_| {
+            corrupt("manifest missing — checkpoint incomplete (crash before seal?)")
+        })?;
+        let mut r = PayloadReader::new(&manifest);
+        if r.u32().map_err(|_| corrupt("manifest truncated"))? != MAGIC {
+            return Err(corrupt("bad manifest magic"));
+        }
+        let n_nodes = r.u32().map_err(|_| corrupt("manifest truncated"))? as usize;
+        let mut next_seq = Vec::with_capacity(n_nodes.min(1 << 16));
+        for _ in 0..n_nodes {
+            next_seq.push(r.u64().map_err(|_| corrupt("manifest truncated"))?);
+        }
+        let n = r.u32().map_err(|_| corrupt("manifest truncated"))? as usize;
+        let mut objects = Vec::with_capacity(n.min(1 << 20));
+        for i in 0..n {
+            let bytes = store
+                .load(i as u64)
+                .map_err(|_| corrupt(format!("entry {i} missing")))?;
+            let mut er = PayloadReader::new(&bytes);
+            objects.push(
+                Self::decode_entry(&mut er).map_err(|_| corrupt(format!("entry {i} corrupt")))?,
+            );
+        }
+        Ok(Checkpoint { objects, next_seq })
+    }
+
+    /// Rebuild a [`ThreadedRuntime`] from this checkpoint. The runtime must
+    /// be freshly constructed with the same types/handlers registered;
+    /// objects are installed as bootstrap actions and come to life on the
+    /// next [`ThreadedRuntime::run`]. Placement follows the same rule as
+    /// [`Checkpoint::restore_into`]: the captured node if it exists under
+    /// the new configuration, otherwise home-modulo-cluster-size (the
+    /// router's cold-directory fallback). Restoring onto the same node
+    /// count is the supported, tested path; cross-shape restores work but
+    /// reshuffle migrated objects back toward their home nodes.
+    pub fn restore_into_threaded(&self, rt: &mut ThreadedRuntime) {
+        let nodes = rt.config().nodes;
+        for e in &self.objects {
+            let node = if (e.node as usize) < nodes {
+                e.node
+            } else {
+                (e.oid.home() as usize % nodes) as NodeId
+            };
+            let obj = rt.registry().unpack(&e.packed);
+            rt.boot_install(node, e.oid, obj, e.priority, e.locked);
+            for m in &e.queued {
+                rt.post(MobilePtr::new(e.oid), m.handler, m.payload.clone());
+            }
+        }
+        for (i, &s) in self.next_seq.iter().enumerate() {
+            if i < nodes {
+                rt.set_seq_watermark(i as NodeId, s);
+            }
+        }
     }
 
     /// Rebuild a runtime from this checkpoint. The caller supplies the
@@ -145,6 +270,34 @@ impl DesRuntime {
         let rt = DesRuntime::new(cfg);
         let restored = cp.restore_into(rt);
         (cp, restored)
+    }
+}
+
+impl ThreadedRuntime {
+    /// Capture all live application state from the last completed
+    /// [`ThreadedRuntime::run`]. The threaded engine only reaches its
+    /// result state at distributed termination (quiescence), so there are
+    /// no queued messages to capture — entry queues are empty by
+    /// construction. Entries are sorted by object id so two captures of
+    /// the same state encode identically.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut objects: Vec<CheckpointEntry> = self
+            .result_entries()
+            .iter()
+            .map(|(&oid, e)| CheckpointEntry {
+                node: e.node,
+                oid,
+                priority: e.priority,
+                locked: e.locked,
+                packed: Registry::pack(e.obj.as_ref()),
+                queued: Vec::new(),
+            })
+            .collect();
+        objects.sort_by_key(|e| e.oid.0);
+        Checkpoint {
+            objects,
+            next_seq: self.seq_watermarks().to_vec(),
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use crate::compute::ExecutorKind;
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::policy::PolicyKind;
 use crate::storage::DiskModel;
 use std::time::Duration;
@@ -103,6 +104,12 @@ pub struct MrtsConfig {
     /// Segment log: compact once dead records exceed this fraction of all
     /// stored bytes.
     pub segment_garbage_frac: f64,
+    /// Deterministic storage fault schedule; `None` runs fault-free. When
+    /// set, every node's spill store is wrapped in a
+    /// [`crate::fault::FaultyStore`] seeded with `plan.seed + node`.
+    pub fault: Option<FaultPlan>,
+    /// Retry/backoff policy for storage operations in both engines.
+    pub retry: RetryPolicy,
 }
 
 impl Default for MrtsConfig {
@@ -125,6 +132,8 @@ impl Default for MrtsConfig {
             spill_backend: SpillBackend::SegmentLog,
             segment_bytes: 1 << 20,
             segment_garbage_frac: 0.5,
+            fault: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -188,6 +197,18 @@ impl MrtsConfig {
         self
     }
 
+    /// Inject the faults of `plan` into every node's spill store.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Override the storage retry/backoff policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Is the out-of-core layer active?
     pub fn ooc_enabled(&self) -> bool {
         self.mem_budget != usize::MAX
@@ -218,6 +239,24 @@ impl MrtsConfig {
         }
         if !(0.0..=1.0).contains(&self.segment_garbage_frac) || self.segment_garbage_frac == 0.0 {
             return Err("segment_garbage_frac must be in (0, 1]".into());
+        }
+        if self.retry.max_attempts == 0 {
+            return Err("retry.max_attempts must be > 0".into());
+        }
+        if self.retry.base_delay > self.retry.max_delay {
+            return Err("retry.base_delay must not exceed retry.max_delay".into());
+        }
+        if let Some(f) = &self.fault {
+            for (name, rate) in [
+                ("store_eio_permille", f.store_eio_permille),
+                ("load_eio_permille", f.load_eio_permille),
+                ("torn_write_permille", f.torn_write_permille),
+                ("latency_permille", f.latency_permille),
+            ] {
+                if rate > 1000 {
+                    return Err(format!("fault.{name} must be <= 1000"));
+                }
+            }
         }
         Ok(())
     }

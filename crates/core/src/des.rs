@@ -30,6 +30,7 @@ use crate::compute::SequentialBackend;
 use crate::config::MrtsConfig;
 use crate::ctx::{Ctx, Effect};
 use crate::directory::Directory;
+use crate::fault::{is_out_of_space, FaultPlan, FaultyStore, MrtsError};
 use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
 use crate::msg::{Message, MulticastInfo};
 use crate::object::{MobileObject, Registry};
@@ -92,7 +93,9 @@ struct NodeState {
     table: HashMap<ObjectId, Entry>,
     ooc: OocManager,
     dir: Directory,
-    store: MemStore,
+    /// A [`MemStore`] in fault-free runs; wrapped in a
+    /// [`FaultyStore`] when the config carries a fault plan.
+    store: Box<dyn StorageBackend>,
     core_free: Vec<Duration>,
     /// Earliest-free time per virtual disk channel (`io_threads` of them —
     /// the modeled I/O parallelism of the storage pipeline).
@@ -180,6 +183,9 @@ pub struct DesRuntime {
     /// When set, same-timestamp event tie-breaks are permuted through a
     /// seeded bijection (see [`DesRuntime::set_schedule_seed`]).
     schedule_seed: Option<u64>,
+    /// Set when a spilled object could not be read back: the run aborts
+    /// and [`DesRuntime::try_run`] surfaces the typed error.
+    fatal: Option<MrtsError>,
     #[cfg(any(feature = "audit", debug_assertions))]
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
 }
@@ -188,7 +194,7 @@ impl DesRuntime {
     pub fn new(cfg: MrtsConfig) -> Self {
         cfg.validate().expect("invalid MrtsConfig");
         let nodes = (0..cfg.nodes)
-            .map(|_| NodeState {
+            .map(|i| NodeState {
                 table: HashMap::new(),
                 ooc: OocManager::new(
                     cfg.mem_budget,
@@ -197,7 +203,19 @@ impl DesRuntime {
                     cfg.policy,
                 ),
                 dir: Directory::new(),
-                store: MemStore::new(),
+                store: match cfg.fault {
+                    // Per-node seed offset: each node draws its own fault
+                    // schedule, like distinct physical disks failing
+                    // independently.
+                    Some(plan) => Box::new(FaultyStore::new(
+                        Box::new(MemStore::new()),
+                        FaultPlan {
+                            seed: plan.seed.wrapping_add(i as u64),
+                            ..plan
+                        },
+                    )),
+                    None => Box::new(MemStore::new()) as Box<dyn StorageBackend>,
+                },
                 core_free: vec![Duration::ZERO; cfg.cores_per_node],
                 disk_free: vec![Duration::ZERO; cfg.io_threads],
                 stats: NodeStats::default(),
@@ -219,6 +237,7 @@ impl DesRuntime {
             end_time: Duration::ZERO,
             ran: false,
             schedule_seed: None,
+            fatal: None,
             #[cfg(any(feature = "audit", debug_assertions))]
             audit: None,
         }
@@ -396,7 +415,8 @@ impl DesRuntime {
                 used: ooc.used(),
                 budget: ooc.budget(),
                 hard_reserve: ooc.hard_reserve(),
-                enforced,
+                // Degraded mode deliberately overshoots the budget.
+                enforced: enforced && !ooc.is_degraded(),
             });
         }
     }
@@ -426,13 +446,26 @@ impl DesRuntime {
 
     /// Run to quiescence; returns the run's statistics. The runtime can be
     /// inspected afterwards ([`DesRuntime::with_object`]) and re-posted to
-    /// for a second phase.
+    /// for a second phase. Panics if a spilled object became unreadable —
+    /// use [`DesRuntime::try_run`] to handle that as a typed error.
     pub fn run(&mut self) -> RunStats {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("MRTS run failed: {e}"))
+    }
+
+    /// Like [`DesRuntime::run`], but surfaces unrecoverable storage
+    /// failures (a spilled object unreadable after exhausting the retry
+    /// policy) as [`MrtsError`] instead of panicking. The run stops at the
+    /// failing event; the heap retains the unprocessed remainder.
+    pub fn try_run(&mut self) -> Result<RunStats, MrtsError> {
         self.ran = true;
         while let Some(Reverse(ev)) = self.events.pop() {
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
             self.handle(ev);
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
+            }
         }
         // Quiescence: the event heap drained, so the computation
         // terminated — every node observes it.
@@ -447,7 +480,7 @@ impl DesRuntime {
                 }
             );
         }
-        self.collect_stats()
+        Ok(self.collect_stats())
     }
 
     fn collect_stats(&self) -> RunStats {
@@ -505,6 +538,45 @@ impl DesRuntime {
         // freeing window slots); issue what the window allows.
         let now = self.now;
         self.pump_loads(node, now);
+        // A degraded node re-probes its backend on every event it handles;
+        // the first healthy probe restores normal eviction.
+        if self.nodes[node as usize].ooc.is_degraded() {
+            self.probe_degraded(node, now);
+        }
+    }
+
+    /// Re-probe a degraded node's spill store; on success exit degraded
+    /// mode and immediately shed the footprint overshoot accumulated while
+    /// evictions were suspended.
+    fn probe_degraded(&mut self, node: NodeId, at: Duration) {
+        let ok = self.nodes[node as usize].store.probe().is_ok();
+        self.drain_store_faults(node);
+        if ok && self.nodes[node as usize].ooc.exit_degraded() {
+            audit_emit!(self.audit, RuntimeEvent::Degraded { node, on: false });
+            self.enforce_budget(node, at, None);
+            self.soft_swap(node, at);
+        }
+    }
+
+    /// Drain fault reports from a node's store: count them, emit audit
+    /// events, and return the total injected latency (charged to the
+    /// virtual disk channel by the caller).
+    fn drain_store_faults(&mut self, node: NodeId) -> Duration {
+        let reports = self.nodes[node as usize].store.take_fault_reports();
+        let mut latency = Duration::ZERO;
+        for r in &reports {
+            latency += r.delay;
+            self.nodes[node as usize].stats.faults_injected += 1;
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::Fault {
+                    node,
+                    kind: r.kind,
+                    key: r.key
+                }
+            );
+        }
+        latency
     }
 
     fn forward(
@@ -652,6 +724,12 @@ impl DesRuntime {
             let n = &self.nodes[node as usize];
             let look_ahead = n.core_free.iter().any(|&c| c > at);
             if look_ahead && !urgent {
+                if n.ooc.is_degraded() {
+                    // Disk pressure: shed prefetch entirely; only demand
+                    // and urgent loads keep flowing.
+                    i += 1;
+                    continue;
+                }
                 if n.inflight_loads >= window_objs {
                     break;
                 }
@@ -776,10 +854,49 @@ impl DesRuntime {
                 n.stats.prefetch_misses += 1;
             }
         }
-        let bytes = self.nodes[node as usize]
-            .store
-            .load(key)
-            .expect("spilled bytes present");
+        // Read the spilled bytes back, retrying transient faults with
+        // bounded backoff charged to the virtual disk channel. Exhaustion
+        // is unrecoverable (the object exists nowhere else): abort the run
+        // with a typed error.
+        let retry = self.cfg.retry;
+        let mut attempt = 0u32;
+        let mut penalty = Duration::ZERO;
+        let bytes = loop {
+            attempt += 1;
+            match self.nodes[node as usize].store.load(key) {
+                Ok(b) => break b,
+                Err(source) => {
+                    penalty += self.drain_store_faults(node);
+                    if attempt >= retry.max_attempts {
+                        let n = &mut self.nodes[node as usize];
+                        n.stats.io_gave_up += 1;
+                        n.stats.disk += penalty;
+                        self.fatal = Some(MrtsError::LoadFailed {
+                            node,
+                            oid,
+                            attempts: attempt,
+                            source,
+                        });
+                        return;
+                    }
+                    penalty += self.cfg.disk.op_time(packed_len) + retry.delay(attempt, key);
+                    self.nodes[node as usize].stats.io_retries += 1;
+                    audit_emit!(self.audit, RuntimeEvent::Retry { node, oid, attempt });
+                }
+            }
+        };
+        penalty += self.drain_store_faults(node);
+        if !penalty.is_zero() {
+            let now = self.now;
+            let n = &mut self.nodes[node as usize];
+            let ch = (0..n.disk_free.len())
+                .min_by_key(|&i| n.disk_free[i])
+                .unwrap();
+            let end = now.max(n.disk_free[ch]) + penalty;
+            n.disk_free[ch] = end;
+            n.stats.disk += penalty;
+            self.end_time = self.end_time.max(end);
+        }
         debug_assert_eq!(bytes.len(), packed_len);
         // Real unpack, charged as compute.
         let t0 = Instant::now();
@@ -1129,7 +1246,9 @@ impl DesRuntime {
     /// (evicting it mid-drain would reorder its messages).
     fn enforce_budget(&mut self, node: NodeId, at: Duration, except: Option<ObjectId>) {
         let n = &self.nodes[node as usize];
-        if !n.ooc.enabled() {
+        // Degraded: the store is rejecting writes, so evicting would only
+        // burn retries; knowingly overshoot until the backend recovers.
+        if !n.ooc.enabled() || n.ooc.is_degraded() {
             return;
         }
         let over = n.ooc.used().saturating_sub(n.ooc.budget());
@@ -1181,7 +1300,10 @@ impl DesRuntime {
         }
     }
 
-    /// Serialize an in-core object to the (modeled) disk.
+    /// Serialize an in-core object to the (modeled) disk. Store failures
+    /// are retried with bounded backoff; exhaustion (or `ENOSPC`)
+    /// reinstates the object in-core and enters degraded mode instead of
+    /// panicking — the object never left memory.
     fn spill(&mut self, node: NodeId, oid: ObjectId, at: Duration) {
         let obj = {
             let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
@@ -1193,16 +1315,16 @@ impl DesRuntime {
                 }
             }
         };
-        // Real serialization, charged as compute.
+        // Real serialization, charged as compute. The object is kept alive
+        // until the store succeeds so a failed spill can reinstate it.
         let t0 = Instant::now();
         let bytes = Registry::pack(obj.as_ref());
         let pack = t0.elapsed().mul_f64(self.cfg.compute_scale);
-        drop(obj);
         let packed_len = bytes.len();
 
-        let n = &mut self.nodes[node as usize];
-        n.stats.comp += pack;
         let key = {
+            let n = &mut self.nodes[node as usize];
+            n.stats.comp += pack;
             let e = n.table.get_mut(&oid).unwrap();
             let key = *e.spill_key.get_or_insert_with(|| {
                 let k = n.next_spill_key;
@@ -1212,8 +1334,56 @@ impl DesRuntime {
             e.packed_len = packed_len;
             key
         };
-        n.store.store(key, &bytes).unwrap();
-        let dur = self.cfg.disk.op_time(packed_len);
+        // Retry loop: each failed attempt charges one disk op plus the
+        // backoff delay to the virtual channel. A torn write is repaired by
+        // the retry overwriting the same key (nothing can load the key
+        // while its spill is still in progress — per-object ordering).
+        let retry = self.cfg.retry;
+        let mut attempt = 0u32;
+        let mut penalty = Duration::ZERO;
+        let outcome = loop {
+            attempt += 1;
+            match self.nodes[node as usize].store.store(key, &bytes) {
+                Ok(()) => break Ok(()),
+                Err(e) => {
+                    penalty += self.drain_store_faults(node);
+                    if attempt >= retry.max_attempts || is_out_of_space(&e) {
+                        break Err(e);
+                    }
+                    penalty += self.cfg.disk.op_time(packed_len) + retry.delay(attempt, key);
+                    self.nodes[node as usize].stats.io_retries += 1;
+                    audit_emit!(self.audit, RuntimeEvent::Retry { node, oid, attempt });
+                }
+            }
+        };
+        penalty += self.drain_store_faults(node);
+
+        if outcome.is_err() {
+            // Graceful degradation: put the object back, charge the wasted
+            // disk time, and stop evicting until a probe succeeds.
+            let n = &mut self.nodes[node as usize];
+            n.stats.io_gave_up += 1;
+            let e = n.table.get_mut(&oid).unwrap();
+            debug_assert!(matches!(e.state, EntryState::OnDisk));
+            e.state = EntryState::InCore(obj);
+            if !penalty.is_zero() {
+                let ch = (0..n.disk_free.len())
+                    .min_by_key(|&i| n.disk_free[i])
+                    .unwrap();
+                let end = at.max(n.disk_free[ch]) + penalty;
+                n.disk_free[ch] = end;
+                n.stats.disk += penalty;
+                self.end_time = self.end_time.max(end);
+            }
+            if self.nodes[node as usize].ooc.enter_degraded() {
+                self.nodes[node as usize].stats.degraded_entries += 1;
+                audit_emit!(self.audit, RuntimeEvent::Degraded { node, on: true });
+            }
+            return;
+        }
+        drop(obj);
+        let n = &mut self.nodes[node as usize];
+        let dur = self.cfg.disk.op_time(packed_len) + penalty;
         let ch = (0..n.disk_free.len())
             .min_by_key(|&i| n.disk_free[i])
             .unwrap();
@@ -1563,6 +1733,21 @@ impl DesRuntime {
 
     // ----- inspection (post-run) ---------------------------------------------------
 
+    /// Post-run extraction read. There is no virtual clock left to charge
+    /// and a fault plan keeps injecting after the run completes, so retry
+    /// hard: the transient-fault counter advances per attempt, making 64
+    /// consecutive failures astronomically unlikely under any sane plan.
+    fn load_stubborn(store: &mut dyn StorageBackend, key: u64) -> Vec<u8> {
+        let mut last: Option<std::io::Error> = None;
+        for _ in 0..64 {
+            match store.load(key) {
+                Ok(b) => return b,
+                Err(e) => last = Some(e),
+            }
+        }
+        panic!("spilled object {key} unreadable after 64 attempts: {last:?}")
+    }
+
     /// Visit an object wherever it is (following migrations, loading from
     /// the spill store if needed — uncharged; for result extraction).
     pub fn with_object<R>(&mut self, ptr: MobilePtr, f: impl FnOnce(&dyn MobileObject) -> R) -> R {
@@ -1576,7 +1761,7 @@ impl DesRuntime {
             EntryState::InCore(obj) => f(obj.as_ref()),
             EntryState::OnDisk | EntryState::Loading => {
                 let key = e.spill_key.expect("on-disk object has a key");
-                let bytes = n.store.load(key).expect("spilled bytes");
+                let bytes = Self::load_stubborn(n.store.as_mut(), key);
                 let obj = self.registry.unpack(&bytes);
                 f(obj.as_ref())
             }
@@ -1689,7 +1874,7 @@ impl DesRuntime {
                     EntryState::InCore(obj) => Registry::pack(obj.as_ref()),
                     EntryState::OnDisk | EntryState::Loading => {
                         let key = e.spill_key.expect("spilled object has key");
-                        n.store.load(key).expect("spilled bytes present")
+                        Self::load_stubborn(n.store.as_mut(), key)
                     }
                     EntryState::Executing => unreachable!("quiescent"),
                     EntryState::Moved(_) => continue,

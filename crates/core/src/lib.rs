@@ -32,6 +32,7 @@ pub mod config;
 pub mod ctx;
 pub mod des;
 pub mod directory;
+pub mod fault;
 pub mod ids;
 pub mod msg;
 pub mod object;
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use crate::config::{MrtsConfig, NetModel};
     pub use crate::ctx::Ctx;
     pub use crate::des::DesRuntime;
+    pub use crate::fault::{FaultKind, FaultPlan, FaultyStore, MrtsError, RetryPolicy};
     pub use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId, TypeTag};
     pub use crate::object::{MobileObject, Registry};
     pub use crate::policy::PolicyKind;

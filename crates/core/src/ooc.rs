@@ -44,6 +44,11 @@ pub struct OocManager {
     largest_spilled: usize,
     clock: u64,
     pub peak_used: usize,
+    /// Degraded (disk-pressure) mode: the spill store is refusing writes
+    /// (`ENOSPC` or persistent failure), so eviction is pointless — the
+    /// manager stops demanding evictions and reports no soft pressure
+    /// until the engine probes the backend healthy again.
+    degraded: bool,
 }
 
 impl OocManager {
@@ -57,7 +62,23 @@ impl OocManager {
             largest_spilled: 0,
             clock: 0,
             peak_used: 0,
+            degraded: false,
         }
+    }
+
+    /// Enter degraded mode. Returns `true` on the transition (callers emit
+    /// the audit event and bump stats exactly once).
+    pub fn enter_degraded(&mut self) -> bool {
+        !std::mem::replace(&mut self.degraded, true)
+    }
+
+    /// Leave degraded mode. Returns `true` on the transition.
+    pub fn exit_degraded(&mut self) -> bool {
+        std::mem::replace(&mut self.degraded, false)
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Is the out-of-core machinery active at all?
@@ -128,7 +149,10 @@ impl OocManager {
     /// How many bytes must be evicted before admitting `incoming` bytes.
     /// Zero when the admission fits.
     pub fn needed_for_admission(&self, incoming: usize) -> usize {
-        if !self.enabled() {
+        if !self.enabled() || self.degraded {
+            // Degraded: the store cannot take evictions, so admission is
+            // unconditional — the budget is knowingly overshot (the
+            // effective threshold is raised) until space returns.
             return 0;
         }
         let demand = self
@@ -141,7 +165,7 @@ impl OocManager {
     /// Soft threshold: free memory below `soft_frac × budget` advises the
     /// storage layer to start swapping idle objects.
     pub fn soft_pressure(&self) -> bool {
-        if !self.enabled() {
+        if !self.enabled() || self.degraded {
             return false;
         }
         let free = self.budget.saturating_sub(self.used);
@@ -150,7 +174,7 @@ impl OocManager {
 
     /// Bytes to shed to satisfy the soft threshold.
     pub fn soft_excess(&self) -> usize {
-        if !self.enabled() {
+        if !self.enabled() || self.degraded {
             return 0;
         }
         let target_free = (self.soft_frac * self.budget as f64) as usize;
@@ -365,6 +389,30 @@ mod tests {
         let want: Vec<ObjectId> = reference.iter().take(40).map(|c| c.oid).collect();
         let got = m.pick_victims(&mut cands, 400);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn degraded_mode_suspends_pressure_and_admission_demands() {
+        let mut m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+        m.note_in(900);
+        m.note_spilled(100);
+        assert!(m.needed_for_admission(300) > 0);
+        assert!(m.soft_pressure());
+        // First entry is a transition, a second is not.
+        assert!(m.enter_degraded());
+        assert!(!m.enter_degraded());
+        assert!(m.is_degraded());
+        // Degraded: admission is unconditional, no advisory swapping.
+        assert_eq!(m.needed_for_admission(1 << 20), 0);
+        assert!(!m.soft_pressure());
+        assert_eq!(m.soft_excess(), 0);
+        // Accounting still runs (recovery needs an accurate `used`).
+        m.note_in(500);
+        assert_eq!(m.used(), 1400);
+        assert!(m.exit_degraded());
+        assert!(!m.exit_degraded());
+        assert!(m.soft_pressure());
+        assert!(m.needed_for_admission(300) > 0);
     }
 
     #[test]

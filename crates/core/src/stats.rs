@@ -52,6 +52,15 @@ pub struct NodeStats {
     pub prefetch_cancels: usize,
     /// High-water mark of in-core object footprint.
     pub peak_mem: usize,
+    /// Storage faults observed (injected or real) on this node's spill
+    /// store.
+    pub faults_injected: usize,
+    /// Storage operations retried after a transient failure.
+    pub io_retries: usize,
+    /// Storage operations abandoned after exhausting the retry budget.
+    pub io_gave_up: usize,
+    /// Times this node entered degraded (stop-evicting) mode.
+    pub degraded_entries: usize,
 }
 
 /// Aggregated result of one run.
@@ -140,9 +149,10 @@ impl RunStats {
         }
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. Fault-tolerance counters are
+    /// appended only when the run actually saw faults/retries.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "T={:.3}s nodes={} comp={:.1}% comm={:.1}% disk={:.1}% overlap={:.1}% loads={} stores={} peak_mem={}",
             self.total.as_secs_f64(),
             self.nodes.len(),
@@ -153,7 +163,17 @@ impl RunStats {
             self.total_of(|n| n.loads),
             self.total_of(|n| n.stores),
             self.peak_mem(),
-        )
+        );
+        let faults = self.total_of(|n| n.faults_injected);
+        let retries = self.total_of(|n| n.io_retries);
+        if faults + retries > 0 {
+            s.push_str(&format!(
+                " faults={faults} retries={retries} gave_up={} degraded={}",
+                self.total_of(|n| n.io_gave_up),
+                self.total_of(|n| n.degraded_entries),
+            ));
+        }
+        s
     }
 }
 
@@ -240,5 +260,21 @@ mod tests {
         let text = s.summary();
         assert!(text.contains("comp=50.0%"));
         assert!(text.contains("nodes=1"));
+        // Fault counters stay out of fault-free summaries.
+        assert!(!text.contains("faults="));
+    }
+
+    #[test]
+    fn summary_surfaces_fault_counters() {
+        let mut s = stats_with(100, &[(50, 10, 20)]);
+        s.nodes[0].faults_injected = 5;
+        s.nodes[0].io_retries = 4;
+        s.nodes[0].io_gave_up = 1;
+        s.nodes[0].degraded_entries = 2;
+        let text = s.summary();
+        assert!(text.contains("faults=5"));
+        assert!(text.contains("retries=4"));
+        assert!(text.contains("gave_up=1"));
+        assert!(text.contains("degraded=2"));
     }
 }

@@ -39,9 +39,19 @@ pub trait StorageBackend: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Health check: can the backend accept writes right now? Degraded
+    /// mode re-probes through this until space returns.
+    fn probe(&mut self) -> io::Result<()> {
+        Ok(())
+    }
     /// Drain the reports of compactions performed since the last call
     /// (log-structured stores only).
     fn take_compaction_reports(&mut self) -> Vec<CompactionReport> {
+        Vec::new()
+    }
+    /// Drain the reports of injected faults since the last call
+    /// ([`crate::fault::FaultyStore`] only).
+    fn take_fault_reports(&mut self) -> Vec<crate::fault::FaultReport> {
         Vec::new()
     }
 }
@@ -150,8 +160,15 @@ impl StorageBackend for FileStore {
     }
 
     fn load(&mut self, key: u64) -> io::Result<Vec<u8>> {
+        // Reject unknown keys eagerly: an absent size entry means the key
+        // was never stored, and guessing a 4096-byte allocation would only
+        // defer the miss to the (confusing) file-open error.
+        let size = *self
+            .sizes
+            .get(&key)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no object {key}")))?;
         let mut f = io::BufReader::new(fs::File::open(self.path(key))?);
-        let mut buf = Vec::with_capacity(self.sizes.get(&key).copied().unwrap_or(4096) as usize);
+        let mut buf = Vec::with_capacity(size as usize);
         f.read_to_end(&mut buf)?;
         Ok(buf)
     }
@@ -291,6 +308,13 @@ impl SegmentStore {
         self.total_bytes - self.live_bytes
     }
 
+    /// The live keys currently in the log (unsorted). Checkpoint recovery
+    /// uses this to enumerate the spilled objects a crashed run left
+    /// behind.
+    pub fn keys(&self) -> Vec<u64> {
+        self.index.keys().copied().collect()
+    }
+
     /// Seal the active segment to disk (one write syscall). Called on
     /// clean shutdown; an unsealed active segment is what a crash loses.
     pub fn sync(&mut self) -> io::Result<()> {
@@ -309,6 +333,14 @@ impl SegmentStore {
             .ok()
     }
 
+    /// Parse one record header at `off`: `(key, payload len)`. `None`
+    /// when fewer than [`REC_HDR`] bytes remain (a torn tail).
+    fn parse_header(data: &[u8], off: usize) -> Option<(u64, u32)> {
+        let key = u64::from_le_bytes(data.get(off..off + 8)?.try_into().ok()?);
+        let len = u32::from_le_bytes(data.get(off + 8..off + 12)?.try_into().ok()?);
+        Some((key, len))
+    }
+
     /// Replay the on-disk segments in id order: last record per key wins,
     /// tombstones delete, a torn tail ends that segment's replay.
     fn replay(&mut self) -> io::Result<()> {
@@ -321,8 +353,9 @@ impl SegmentStore {
             let data = fs::read(self.segment_path(*seg))?;
             let mut off = 0;
             while off + REC_HDR <= data.len() {
-                let key = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
-                let len = u32::from_le_bytes(data[off + 8..off + 12].try_into().unwrap());
+                let Some((key, len)) = Self::parse_header(&data, off) else {
+                    break; // torn header: ignore the tail
+                };
                 if len == TOMBSTONE {
                     self.retire(key);
                     self.index.remove(&key);
@@ -412,7 +445,18 @@ impl SegmentStore {
 
     fn read_record(&mut self, loc: RecordLoc) -> io::Result<Vec<u8>> {
         if loc.seg == self.active_id {
-            return Ok(self.active[loc.off..loc.off + loc.len].to_vec());
+            // Bounds-check instead of slicing: a corrupt index entry must
+            // surface as an I/O error, not a panic in the spill path.
+            return self
+                .active
+                .get(loc.off..loc.off + loc.len)
+                .map(<[u8]>::to_vec)
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "record location outside the active segment",
+                    )
+                });
         }
         let path = self.segment_path(loc.seg);
         let f = match self.handles.entry(loc.seg) {

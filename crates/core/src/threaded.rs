@@ -38,6 +38,7 @@ use crate::compute::{ExecutorKind, FifoPool, SequentialBackend, TaskBackend, Wor
 use crate::config::{MrtsConfig, SpillBackend};
 use crate::ctx::{Ctx, Effect};
 use crate::directory::Directory;
+use crate::fault::{is_out_of_space, FaultPlan, FaultyStore, MrtsError, RetryPolicy};
 use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
 use crate::msg::{Message, MulticastInfo};
 use crate::object::{MobileObject, Registry};
@@ -99,6 +100,8 @@ enum IoReq {
         key: u64,
         oid: ObjectId,
     },
+    /// Health check of the spill store (degraded-mode recovery).
+    Probe,
     Shutdown,
 }
 
@@ -108,6 +111,8 @@ enum IoDone {
         packed_len: usize,
         io_dur: Duration,
         pack_dur: Duration,
+        retries: u32,
+        faults: usize,
     },
     Loaded {
         oid: ObjectId,
@@ -115,6 +120,32 @@ enum IoDone {
         packed_len: usize,
         io_dur: Duration,
         unpack_dur: Duration,
+        retries: u32,
+        faults: usize,
+    },
+    /// The store rejected the object after exhausting the retry policy
+    /// (or reported `ENOSPC`). `obj` is reconstituted from the packed
+    /// bytes so the control thread can reinstate it in-core.
+    StoreFailed {
+        oid: ObjectId,
+        obj: Box<dyn MobileObject>,
+        io_dur: Duration,
+        pack_dur: Duration,
+        retries: u32,
+        faults: usize,
+    },
+    /// A spilled object could not be read back — unrecoverable (the
+    /// object exists nowhere else).
+    LoadFailed {
+        oid: ObjectId,
+        error: std::io::Error,
+        attempts: u32,
+        retries: u32,
+        faults: usize,
+    },
+    Probed {
+        ok: bool,
+        faults: usize,
     },
 }
 
@@ -160,6 +191,10 @@ struct Worker {
     multicasts: Vec<McWait>,
     safra: Safra,
     done: bool,
+    /// A degraded-mode health probe is in the I/O pool.
+    probe_inflight: bool,
+    /// First unrecoverable storage failure seen by this node.
+    fatal: Option<MrtsError>,
     #[cfg(any(feature = "audit", debug_assertions))]
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
     #[cfg(any(feature = "audit", debug_assertions))]
@@ -184,7 +219,8 @@ impl Worker {
                     used: self.ooc.used(),
                     budget: self.ooc.budget(),
                     hard_reserve: self.ooc.hard_reserve(),
-                    enforced,
+                    // Degraded mode deliberately overshoots the budget.
+                    enforced: enforced && !self.ooc.is_degraded(),
                 });
             }
         }
@@ -381,7 +417,9 @@ impl Worker {
 
     /// Post-handler budget enforcement (objects grow in place).
     fn enforce_budget(&mut self) {
-        if !self.ooc.enabled() {
+        // Degraded: the store is rejecting writes, so evicting would only
+        // burn retries; knowingly overshoot until the backend recovers.
+        if !self.ooc.enabled() || self.ooc.is_degraded() {
             return;
         }
         let over = self.ooc.used().saturating_sub(self.ooc.budget());
@@ -531,6 +569,12 @@ impl Worker {
             }
             let look_ahead = !self.ready.is_empty();
             if look_ahead && !urgent {
+                if self.ooc.is_degraded() {
+                    // Disk pressure: shed prefetch entirely; only demand
+                    // and urgent loads keep flowing.
+                    i += 1;
+                    continue;
+                }
                 if self.inflight_load_objs >= window_objs {
                     break;
                 }
@@ -606,13 +650,122 @@ impl Worker {
                 packed_len,
                 io_dur,
                 pack_dur,
+                retries,
+                faults,
             } => {
                 self.stats.disk += io_dur;
                 self.stats.comp += pack_dur;
                 self.stats.bytes_to_disk += packed_len as u64;
+                self.stats.io_retries += retries as usize;
+                self.stats.faults_injected += faults;
                 let e = self.table.get_mut(&oid).unwrap();
                 e.store_inflight = false;
                 e.packed_len = packed_len;
+            }
+            IoDone::StoreFailed {
+                oid,
+                obj,
+                io_dur,
+                pack_dur,
+                retries,
+                faults,
+            } => {
+                self.stats.disk += io_dur;
+                self.stats.comp += pack_dur;
+                self.stats.io_retries += retries as usize;
+                self.stats.faults_injected += faults;
+                self.stats.io_gave_up += 1;
+                // Graceful degradation: reinstate the object in-core (it
+                // was reconstituted from the packed bytes), balance the
+                // eager Unload with a Load, and stop evicting until a
+                // probe finds the backend healthy again.
+                let footprint = obj.footprint();
+                let tick = self.ooc.tick();
+                self.ooc.note_in(footprint);
+                let pending = {
+                    let e = self.table.get_mut(&oid).unwrap();
+                    e.store_inflight = false;
+                    e.state = TState::InCore(obj);
+                    e.footprint = footprint;
+                    e.meta.touch(tick);
+                    e.pending_migration
+                };
+                self.race_access(oid);
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::Load {
+                        node: self.node,
+                        oid,
+                        footprint
+                    }
+                );
+                if self.ooc.enter_degraded() {
+                    self.stats.degraded_entries += 1;
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::Degraded {
+                            node: self.node,
+                            on: true
+                        }
+                    );
+                }
+                self.audit_budget(false);
+                if let Some(dest) = pending {
+                    self.do_migrate(oid, dest);
+                    return;
+                }
+                if !self.table[&oid].queue.is_empty() {
+                    self.ready.push_back(oid);
+                }
+                self.mc_note_available(oid);
+            }
+            IoDone::LoadFailed {
+                oid,
+                error,
+                attempts,
+                retries,
+                faults,
+            } => {
+                self.stats.io_retries += retries as usize;
+                self.stats.faults_injected += faults;
+                self.stats.io_gave_up += 1;
+                let packed_len = self.table[&oid].packed_len;
+                self.inflight_load_objs -= 1;
+                self.inflight_load_bytes = self.inflight_load_bytes.saturating_sub(packed_len);
+                // Unrecoverable: the object exists nowhere else. Record the
+                // typed error and bring the whole computation down.
+                if self.fatal.is_none() {
+                    self.fatal = Some(MrtsError::LoadFailed {
+                        node: self.node,
+                        oid,
+                        attempts,
+                        source: error,
+                    });
+                }
+                for n in 0..self.n_nodes as NodeId {
+                    if n != self.node {
+                        self.am(n, AM_EXIT, vec![]);
+                    }
+                }
+                self.done = true;
+                audit_emit!(self.audit, RuntimeEvent::Terminate { node: self.node });
+            }
+            IoDone::Probed { ok, faults } => {
+                self.probe_inflight = false;
+                self.stats.faults_injected += faults;
+                if ok && self.ooc.exit_degraded() {
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::Degraded {
+                            node: self.node,
+                            on: false
+                        }
+                    );
+                    // Shed the footprint overshoot accumulated while
+                    // evictions were suspended.
+                    self.enforce_budget();
+                    self.soft_swap();
+                }
             }
             IoDone::Loaded {
                 oid,
@@ -620,9 +773,13 @@ impl Worker {
                 packed_len,
                 io_dur,
                 unpack_dur,
+                retries,
+                faults,
             } => {
                 self.stats.disk += io_dur;
                 self.stats.comp += unpack_dur;
+                self.stats.io_retries += retries as usize;
+                self.stats.faults_injected += faults;
                 self.inflight_load_objs -= 1;
                 self.inflight_load_bytes = self.inflight_load_bytes.saturating_sub(packed_len);
                 // Overlap classification: a load that completes while
@@ -1199,14 +1356,17 @@ impl Worker {
         }
     }
 
-    fn run(
-        mut self,
-    ) -> (
-        NodeId,
-        HashMap<ObjectId, Box<dyn MobileObject>>,
-        NodeStats,
-        u64,
-    ) {
+    /// While degraded, keep one health probe of the spill store in the
+    /// I/O pool; its completion decides whether to exit degraded mode.
+    fn maybe_probe(&mut self) {
+        if self.ooc.is_degraded() && !self.probe_inflight && !self.done {
+            self.probe_inflight = true;
+            self.outstanding_io += 1;
+            self.io_tx.send(IoReq::Probe).ok();
+        }
+    }
+
+    fn run(mut self) -> WorkerResult {
         while !self.done {
             // 1. Drain the fabric.
             while let Some(am) = self.ep.try_recv() {
@@ -1225,6 +1385,7 @@ impl Worker {
             // 3. Issue queued loads under the prefetch window, so the disk
             //    streams while step() executes resident work.
             self.pump_loads();
+            self.maybe_probe();
             // 4. Execute one handler.
             if self.step() {
                 continue;
@@ -1253,21 +1414,49 @@ impl Worker {
             }
         );
         // Materialize all objects for extraction.
-        let mut out: HashMap<ObjectId, Box<dyn MobileObject>> = HashMap::new();
+        let mut out: HashMap<ObjectId, ExtractedObject> = HashMap::new();
         let keys: Vec<ObjectId> = self.table.keys().copied().collect();
         for oid in keys {
             let e = self.table.remove(&oid).unwrap();
+            let (priority, locked) = (e.priority, e.locked);
             match e.state {
                 TState::InCore(obj) => {
-                    out.insert(oid, obj);
+                    out.insert(
+                        oid,
+                        ExtractedObject {
+                            obj,
+                            priority,
+                            locked,
+                        },
+                    );
                 }
                 TState::OnDisk | TState::Loading => {
                     // Loading cannot remain (outstanding_io drained), but
                     // both carry a spill key.
                     let key = e.spill_key.expect("spilled object has a key");
                     self.io_tx.send(IoReq::Load { key, oid }).ok();
-                    if let Ok(IoDone::Loaded { obj, .. }) = self.io_rx.recv() {
-                        out.insert(oid, obj);
+                    match self.io_rx.recv() {
+                        Ok(IoDone::Loaded { obj, .. }) => {
+                            out.insert(
+                                oid,
+                                ExtractedObject {
+                                    obj,
+                                    priority,
+                                    locked,
+                                },
+                            );
+                        }
+                        Ok(IoDone::LoadFailed {
+                            error, attempts, ..
+                        }) if self.fatal.is_none() => {
+                            self.fatal = Some(MrtsError::LoadFailed {
+                                node: self.node,
+                                oid,
+                                attempts,
+                                source: error,
+                            });
+                        }
+                        _ => {}
                     }
                 }
                 TState::Moved(_) => {}
@@ -1279,8 +1468,30 @@ impl Worker {
         // Peak footprint comes from the budget manager's own high-water
         // mark — the single source of truth for in-core accounting.
         self.stats.peak_mem = self.ooc.peak_used;
-        (self.node, out, self.stats, self.next_obj_seq)
+        WorkerResult {
+            node: self.node,
+            objects: out,
+            stats: self.stats,
+            next_seq: self.next_obj_seq,
+            fatal: self.fatal,
+        }
     }
+}
+
+/// An object recovered from a worker at shutdown, with the metadata a
+/// checkpoint needs.
+struct ExtractedObject {
+    obj: Box<dyn MobileObject>,
+    priority: u8,
+    locked: bool,
+}
+
+struct WorkerResult {
+    node: NodeId,
+    objects: HashMap<ObjectId, ExtractedObject>,
+    stats: NodeStats,
+    next_seq: u64,
+    fatal: Option<MrtsError>,
 }
 
 /// Spawn the node's I/O pool: `n_threads` workers sharing one spill store
@@ -1292,6 +1503,7 @@ fn spawn_io_pool(
     store: Box<dyn StorageBackend>,
     registry: std::sync::Arc<Registry>,
     n_threads: usize,
+    retry: RetryPolicy,
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
 ) -> (
     channel::Sender<IoReq>,
@@ -1320,42 +1532,123 @@ fn spawn_io_pool(
                             drop(obj);
                             let packed_len = bytes.len();
                             let t1 = Instant::now();
-                            let reports = {
-                                let mut s = store.lock().unwrap();
-                                s.store(key, &bytes).expect("spill store");
-                                // Drained unconditionally so the backend's
-                                // report buffer never accumulates.
-                                s.take_compaction_reports()
+                            let mut retries = 0u32;
+                            let mut faults = 0usize;
+                            let mut attempt = 0u32;
+                            // Retry with real backoff sleeps (outside the
+                            // store lock). A torn write is repaired by the
+                            // retry overwriting the same key: per-key
+                            // ordering means no load races this store.
+                            let outcome = loop {
+                                attempt += 1;
+                                let (res, fr, cr) = {
+                                    let mut s = store.lock().unwrap();
+                                    let res = s.store(key, &bytes);
+                                    // Drained unconditionally so the backend's
+                                    // report buffers never accumulate.
+                                    (res, s.take_fault_reports(), s.take_compaction_reports())
+                                };
+                                faults += fr.len();
+                                emit_faults(node, &fr, &audit);
+                                emit_compactions(node, &cr, &audit);
+                                match res {
+                                    Ok(()) => break Ok(()),
+                                    Err(e) => {
+                                        if attempt >= retry.max_attempts || is_out_of_space(&e) {
+                                            break Err(e);
+                                        }
+                                        retries += 1;
+                                        emit_retry(node, oid, attempt, &audit);
+                                        std::thread::sleep(retry.delay(attempt, key));
+                                    }
+                                }
                             };
                             let io_dur = t1.elapsed();
-                            emit_compactions(node, &reports, &audit);
-                            done_tx
-                                .send(IoDone::Stored {
+                            let done = match outcome {
+                                Ok(()) => IoDone::Stored {
                                     oid,
                                     packed_len,
                                     io_dur,
                                     pack_dur,
-                                })
-                                .ok();
+                                    retries,
+                                    faults,
+                                },
+                                Err(_) => IoDone::StoreFailed {
+                                    // The store rejected it: rebuild the
+                                    // object from the packed bytes so the
+                                    // control thread can reinstate it.
+                                    oid,
+                                    obj: registry.unpack(&bytes),
+                                    io_dur,
+                                    pack_dur,
+                                    retries,
+                                    faults,
+                                },
+                            };
+                            done_tx.send(done).ok();
                         }
                         IoReq::Load { key, oid } => {
                             let t0 = Instant::now();
-                            let bytes = {
-                                let mut s = store.lock().unwrap();
-                                s.load(key).expect("spill load")
+                            let mut retries = 0u32;
+                            let mut faults = 0usize;
+                            let mut attempt = 0u32;
+                            let outcome = loop {
+                                attempt += 1;
+                                let (res, fr) = {
+                                    let mut s = store.lock().unwrap();
+                                    (s.load(key), s.take_fault_reports())
+                                };
+                                faults += fr.len();
+                                emit_faults(node, &fr, &audit);
+                                match res {
+                                    Ok(b) => break Ok(b),
+                                    Err(e) => {
+                                        if attempt >= retry.max_attempts {
+                                            break Err(e);
+                                        }
+                                        retries += 1;
+                                        emit_retry(node, oid, attempt, &audit);
+                                        std::thread::sleep(retry.delay(attempt, key));
+                                    }
+                                }
                             };
                             let io_dur = t0.elapsed();
-                            let packed_len = bytes.len();
-                            let t1 = Instant::now();
-                            let obj = registry.unpack(&bytes);
-                            let unpack_dur = t1.elapsed();
-                            done_tx
-                                .send(IoDone::Loaded {
+                            let done = match outcome {
+                                Ok(bytes) => {
+                                    let packed_len = bytes.len();
+                                    let t1 = Instant::now();
+                                    let obj = registry.unpack(&bytes);
+                                    let unpack_dur = t1.elapsed();
+                                    IoDone::Loaded {
+                                        oid,
+                                        obj,
+                                        packed_len,
+                                        io_dur,
+                                        unpack_dur,
+                                        retries,
+                                        faults,
+                                    }
+                                }
+                                Err(error) => IoDone::LoadFailed {
                                     oid,
-                                    obj,
-                                    packed_len,
-                                    io_dur,
-                                    unpack_dur,
+                                    error,
+                                    attempts: attempt,
+                                    retries,
+                                    faults,
+                                },
+                            };
+                            done_tx.send(done).ok();
+                        }
+                        IoReq::Probe => {
+                            let (ok, fr) = {
+                                let mut s = store.lock().unwrap();
+                                (s.probe().is_ok(), s.take_fault_reports())
+                            };
+                            emit_faults(node, &fr, &audit);
+                            done_tx
+                                .send(IoDone::Probed {
+                                    ok,
+                                    faults: fr.len(),
                                 })
                                 .ok();
                         }
@@ -1367,6 +1660,44 @@ fn spawn_io_pool(
         handles.push(handle);
     }
     (req_tx, done_rx, handles)
+}
+
+/// Forward injected-fault reports from the I/O pool to the audit sink
+/// (compiled out without the `audit` feature in release builds).
+#[allow(unused_variables)]
+fn emit_faults(
+    node: NodeId,
+    reports: &[crate::fault::FaultReport],
+    audit: &Option<std::sync::Arc<dyn crate::audit::EventSink>>,
+) {
+    #[cfg(any(feature = "audit", debug_assertions))]
+    {
+        if let Some(sink) = audit.as_ref() {
+            for r in reports {
+                sink.record(&RuntimeEvent::Fault {
+                    node,
+                    kind: r.kind,
+                    key: r.key,
+                });
+            }
+        }
+    }
+}
+
+/// Emit a retry event from an I/O pool thread.
+#[allow(unused_variables)]
+fn emit_retry(
+    node: NodeId,
+    oid: ObjectId,
+    attempt: u32,
+    audit: &Option<std::sync::Arc<dyn crate::audit::EventSink>>,
+) {
+    #[cfg(any(feature = "audit", debug_assertions))]
+    {
+        if let Some(sink) = audit.as_ref() {
+            sink.record(&RuntimeEvent::Retry { node, oid, attempt });
+        }
+    }
 }
 
 /// Forward compaction reports from the I/O pool to the audit sink. The
@@ -1401,9 +1732,19 @@ enum BootAction {
         id: ObjectId,
         obj: Box<dyn MobileObject>,
         priority: u8,
+        locked: bool,
     },
     Lock(MobilePtr),
     Post(MobilePtr, HandlerId, Vec<u8>),
+}
+
+/// Post-run object record kept by [`ThreadedRuntime`]; the placement and
+/// metadata feed [`crate::checkpoint::Checkpoint`] capture.
+pub(crate) struct ResultEntry {
+    pub(crate) obj: Box<dyn MobileObject>,
+    pub(crate) priority: u8,
+    pub(crate) locked: bool,
+    pub(crate) node: NodeId,
 }
 
 /// The threaded MRTS engine. Mirrors [`crate::des::DesRuntime`]'s API:
@@ -1414,8 +1755,8 @@ pub struct ThreadedRuntime {
     registry: Registry,
     boot: Vec<BootAction>,
     next_seq: Vec<u64>,
-    /// Post-run: all objects by id.
-    results: HashMap<ObjectId, Box<dyn MobileObject>>,
+    /// Post-run: all objects by id, with the metadata a checkpoint needs.
+    results: HashMap<ObjectId, ResultEntry>,
     #[cfg(any(feature = "audit", debug_assertions))]
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
     #[cfg(any(feature = "audit", debug_assertions))]
@@ -1486,6 +1827,7 @@ impl ThreadedRuntime {
             id,
             obj,
             priority,
+            locked: false,
         });
         MobilePtr::new(id)
     }
@@ -1499,7 +1841,18 @@ impl ThreadedRuntime {
     }
 
     /// Run to distributed termination; returns wall-clock statistics.
+    /// Panics if a spilled object became unreadable — use
+    /// [`ThreadedRuntime::try_run`] to handle that as a typed error.
     pub fn run(&mut self) -> RunStats {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("MRTS run failed: {e}"))
+    }
+
+    /// Like [`ThreadedRuntime::run`], but surfaces unrecoverable storage
+    /// failures (a spilled object unreadable after exhausting the retry
+    /// policy) as [`MrtsError`] instead of panicking. The failing node
+    /// broadcasts an exit to every peer, so all workers stop and join.
+    pub fn try_run(&mut self) -> Result<RunStats, MrtsError> {
         let n = self.cfg.nodes;
         let endpoints = Fabric::new(n, NetworkModel::instant());
         let registry = std::sync::Arc::new(std::mem::take(&mut self.registry));
@@ -1527,6 +1880,22 @@ impl ThreadedRuntime {
                 }
                 None => Box::new(MemStore::new()),
             };
+            // Per-node seed offset: each node draws its own fault schedule,
+            // like distinct physical disks failing independently. Latency
+            // spikes really sleep here (wall-clock engine).
+            let store: Box<dyn StorageBackend> = match self.cfg.fault {
+                Some(plan) => Box::new(
+                    FaultyStore::new(
+                        store,
+                        FaultPlan {
+                            seed: plan.seed.wrapping_add(i as u64),
+                            ..plan
+                        },
+                    )
+                    .with_real_sleep(true),
+                ),
+                None => store,
+            };
             #[cfg(any(feature = "audit", debug_assertions))]
             let pool_audit = self.audit.clone();
             #[cfg(not(any(feature = "audit", debug_assertions)))]
@@ -1536,6 +1905,7 @@ impl ThreadedRuntime {
                 store,
                 registry.clone(),
                 self.cfg.io_threads,
+                self.cfg.retry,
                 pool_audit,
             );
             io_handles.extend(handles);
@@ -1584,6 +1954,8 @@ impl ThreadedRuntime {
                     initiated: false,
                 },
                 done: false,
+                probe_inflight: false,
+                fatal: None,
                 #[cfg(any(feature = "audit", debug_assertions))]
                 audit: self.audit.clone(),
                 #[cfg(any(feature = "audit", debug_assertions))]
@@ -1599,6 +1971,7 @@ impl ThreadedRuntime {
                     id,
                     obj,
                     priority,
+                    locked,
                 } => {
                     let w = &mut workers[node as usize];
                     let footprint = obj.footprint();
@@ -1612,7 +1985,7 @@ impl ThreadedRuntime {
                             queue: VecDeque::new(),
                             meta: AccessMeta::new(tick),
                             priority,
-                            locked: false,
+                            locked,
                             footprint,
                             packed_len: 0,
                             spill_key: None,
@@ -1621,6 +1994,9 @@ impl ThreadedRuntime {
                             store_inflight: false,
                         },
                     );
+                    if locked {
+                        audit_emit!(w.audit, RuntimeEvent::Pin { node, oid: id });
+                    }
                     audit_emit!(
                         w.audit,
                         RuntimeEvent::Create {
@@ -1652,6 +2028,11 @@ impl ThreadedRuntime {
                 }
             }
         }
+        // Sequence watermarks: a checkpoint restore may carry allocation
+        // counters past the highest installed id; never reuse ids.
+        for (i, w) in workers.iter_mut().enumerate() {
+            w.next_obj_seq = w.next_obj_seq.max(self.next_seq[i]);
+        }
 
         let t0 = Instant::now();
         let mut joins = Vec::with_capacity(n);
@@ -1659,10 +2040,25 @@ impl ThreadedRuntime {
             joins.push(std::thread::spawn(move || w.run()));
         }
         let mut nodes_stats = vec![NodeStats::default(); n];
+        let mut fatal: Option<MrtsError> = None;
         for j in joins {
-            let (node, objects, stats, _) = j.join().expect("worker panic");
-            nodes_stats[node as usize] = stats;
-            self.results.extend(objects);
+            let r = j.join().expect("worker panic");
+            nodes_stats[r.node as usize] = r.stats;
+            self.next_seq[r.node as usize] = self.next_seq[r.node as usize].max(r.next_seq);
+            for (oid, x) in r.objects {
+                self.results.insert(
+                    oid,
+                    ResultEntry {
+                        obj: x.obj,
+                        priority: x.priority,
+                        locked: x.locked,
+                        node: r.node,
+                    },
+                );
+            }
+            if fatal.is_none() {
+                fatal = r.fatal;
+            }
         }
         let total = t0.elapsed();
         // The I/O pool threads hold registry clones for unpacking; join
@@ -1672,29 +2068,77 @@ impl ThreadedRuntime {
         }
         self.registry = std::sync::Arc::try_unwrap(registry)
             .unwrap_or_else(|_| panic!("registry still shared"));
-        RunStats {
-            total,
-            nodes: nodes_stats,
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(RunStats {
+                total,
+                nodes: nodes_stats,
+            }),
         }
     }
 
     /// Inspect an object after the run.
     pub fn with_object<R>(&self, ptr: MobilePtr, f: impl FnOnce(&dyn MobileObject) -> R) -> R {
-        let obj = self
+        let entry = self
             .results
             .get(&ptr.id)
             .unwrap_or_else(|| panic!("no object {:?}", ptr.id));
-        f(obj.as_ref())
+        f(entry.obj.as_ref())
     }
 
     /// Visit every object that survived the run.
     pub fn for_each_object(&self, mut f: impl FnMut(ObjectId, &dyn MobileObject)) {
-        for (oid, obj) in &self.results {
-            f(*oid, obj.as_ref());
+        for (oid, entry) in &self.results {
+            f(*oid, entry.obj.as_ref());
         }
     }
 
     pub fn num_objects(&self) -> usize {
         self.results.len()
+    }
+
+    // ----- checkpoint support (see crate::checkpoint) ------------------------
+
+    pub fn config(&self) -> &MrtsConfig {
+        &self.cfg
+    }
+
+    /// Post-run results with metadata, for checkpoint capture.
+    pub(crate) fn result_entries(&self) -> &HashMap<ObjectId, ResultEntry> {
+        &self.results
+    }
+
+    /// Per-node object-sequence watermarks observed at shutdown.
+    pub(crate) fn seq_watermarks(&self) -> &[u64] {
+        &self.next_seq
+    }
+
+    /// Install an object from a checkpoint entry (bootstrap-time): it will
+    /// be created on `node` when the next [`ThreadedRuntime::run`] boots.
+    pub(crate) fn boot_install(
+        &mut self,
+        node: NodeId,
+        id: ObjectId,
+        obj: Box<dyn MobileObject>,
+        priority: u8,
+        locked: bool,
+    ) {
+        self.boot.push(BootAction::Create {
+            node,
+            id,
+            obj,
+            priority,
+            locked,
+        });
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Raise a node's boot sequence watermark (checkpoint restore).
+    pub(crate) fn set_seq_watermark(&mut self, node: NodeId, seq: u64) {
+        let s = &mut self.next_seq[node as usize];
+        *s = (*s).max(seq);
     }
 }

@@ -1,0 +1,119 @@
+//! Property tests for the checkpoint codec: arbitrary checkpoints must
+//! round-trip exactly, every strict prefix of an encoding must be
+//! rejected (the format declares all counts up front, so any truncation
+//! removes needed bytes), and magic corruption must be detected. The
+//! segmented on-disk shape gets the same round-trip treatment plus a
+//! missing-manifest (simulated crash) rejection check.
+
+use mrts::checkpoint::{Checkpoint, CheckpointEntry};
+use mrts::fault::MrtsError;
+use mrts::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
+use mrts::msg::Message;
+use proptest::prelude::*;
+
+fn arb_oid() -> impl Strategy<Value = ObjectId> {
+    (any::<u16>(), 0u64..(1 << 40)).prop_map(|(h, s)| ObjectId::new(h, s))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        arb_oid(),
+        any::<u32>(),
+        prop::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(oid, h, payload)| Message::new(MobilePtr::new(oid), HandlerId(h), payload))
+}
+
+fn arb_entry() -> impl Strategy<Value = CheckpointEntry> {
+    (
+        0u16..16,
+        arb_oid(),
+        any::<u8>(),
+        any::<bool>(),
+        prop::collection::vec(any::<u8>(), 0..128),
+        prop::collection::vec(arb_message(), 0..4),
+    )
+        .prop_map(
+            |(node, oid, priority, locked, packed, queued)| CheckpointEntry {
+                node: node as NodeId,
+                oid,
+                priority,
+                locked,
+                packed,
+                queued,
+            },
+        )
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (
+        prop::collection::vec(arb_entry(), 0..8),
+        prop::collection::vec(any::<u64>(), 0..8),
+    )
+        .prop_map(|(objects, next_seq)| Checkpoint { objects, next_seq })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn checkpoint_roundtrip(cp in arb_checkpoint()) {
+        let bytes = cp.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        prop_assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn truncated_prefix_rejected(cp in arb_checkpoint(), cut in any::<prop::sample::Index>()) {
+        let bytes = cp.encode();
+        // Every strict prefix must fail to decode: all counts are declared
+        // up front, so the decoder always knows exactly how many bytes it
+        // still needs and a shortened buffer cannot parse cleanly.
+        let cut = cut.index(bytes.len());
+        prop_assert!(Checkpoint::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_magic_rejected(cp in arb_checkpoint(), byte in 0usize..4, flip in 1u8..=255) {
+        let mut bytes = cp.encode();
+        bytes[byte] ^= flip;
+        prop_assert!(Checkpoint::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn segmented_roundtrip(cp in arb_checkpoint(), salt in any::<u32>()) {
+        let dir = std::env::temp_dir().join(format!(
+            "mrts-prop-ckpt-{}-{salt:08x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        cp.write_segmented(&dir).unwrap();
+        let back = Checkpoint::read_segmented(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(back, cp);
+    }
+}
+
+/// A checkpoint directory whose manifest never landed (crash before the
+/// final store+sync) must read back as corrupt, not as an empty or
+/// partial checkpoint.
+#[test]
+fn missing_manifest_rejected() {
+    let dir = std::env::temp_dir().join(format!("mrts-ckpt-nomanifest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Write entries only, by hand: a checkpoint with objects but whose
+    // manifest we simulate losing by writing to a store and never adding
+    // the manifest record. Easiest faithful simulation: write a full
+    // checkpoint, then rewrite the directory without the manifest by
+    // copying entry records through a fresh store.
+    use mrts::storage::{SegmentStore, StorageBackend};
+    let mut s = SegmentStore::open(dir.clone(), 1 << 20, 1.0).unwrap();
+    s.store(0, b"not a manifest, just an orphan entry").unwrap();
+    s.sync().unwrap();
+    drop(s);
+    match Checkpoint::read_segmented(&dir) {
+        Err(MrtsError::CheckpointCorrupt(msg)) => assert!(msg.contains("manifest")),
+        other => panic!("expected CheckpointCorrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -153,16 +153,21 @@ pub fn register_threaded(rt: &mut mrts::threaded::ThreadedRuntime) {
     rt.register_handler(H_SPLITS, "pcdm_splits", h_splits);
 }
 
-/// Run OPCDM on the threaded engine (real OS threads + real spill files
-/// when `cfg.spill_dir` is set). Wall-clock statistics.
-pub fn opcdm_run_threaded(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult {
-    let mut rt = mrts::threaded::ThreadedRuntime::new(cfg.clone());
+/// Build a threaded runtime with OPCDM registered, every subdomain
+/// created round-robin, and an initial `refine` posted to each — ready to
+/// run. Exposed so harnesses (chaos, checkpoint/restart) can attach audit
+/// sinks or take checkpoints around the run.
+pub fn opcdm_setup_threaded(
+    params: &PcdmParams,
+    cfg: MrtsConfig,
+) -> mrts::threaded::ThreadedRuntime {
+    let nodes = cfg.nodes;
+    let mut rt = mrts::threaded::ThreadedRuntime::new(cfg);
     register_threaded(&mut rt);
 
     let subs = build_subdomains(params);
     let n = subs.len();
     assert!(n > 0, "no subdomains intersect the domain");
-    let nodes = cfg.nodes;
     let mut counters = vec![0u64; nodes];
     let ptrs: Vec<MobilePtr> = (0..n)
         .map(|i| {
@@ -193,8 +198,11 @@ pub fn opcdm_run_threaded(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult 
     for &p in &ptrs {
         rt.post(p, H_REFINE, Vec::new());
     }
-    let stats = rt.run();
+    rt
+}
 
+/// Count `(elements, vertices)` over a finished runtime's objects.
+pub fn opcdm_collect_threaded(rt: &mrts::threaded::ThreadedRuntime) -> (u64, u64) {
     let mut elements = 0u64;
     let mut vertices = 0u64;
     rt.for_each_object(|_, obj| {
@@ -204,6 +212,20 @@ pub fn opcdm_run_threaded(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult 
             .filter(|&v| !so.sd.mesh.vflags(v).is(VFlags::SUPER))
             .count() as u64;
     });
+    (elements, vertices)
+}
+
+/// [`opcdm_run_threaded`] with a hook between setup and run (attach an
+/// invariant checker, a race detector, an event sink, …).
+pub fn opcdm_run_threaded_with(
+    params: &PcdmParams,
+    cfg: MrtsConfig,
+    hook: impl FnOnce(&mut mrts::threaded::ThreadedRuntime),
+) -> MethodResult {
+    let mut rt = opcdm_setup_threaded(params, cfg);
+    hook(&mut rt);
+    let stats = rt.run();
+    let (elements, vertices) = opcdm_collect_threaded(&rt);
     MethodResult {
         elements,
         vertices,
@@ -211,10 +233,29 @@ pub fn opcdm_run_threaded(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult 
     }
 }
 
+/// Run OPCDM on the threaded engine (real OS threads + real spill files
+/// when `cfg.spill_dir` is set). Wall-clock statistics.
+pub fn opcdm_run_threaded(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult {
+    opcdm_run_threaded_with(params, cfg, |_| {})
+}
+
 /// Run OPCDM on the virtual-time MRTS engine.
 pub fn opcdm_run(params: &PcdmParams, cfg: MrtsConfig) -> MethodResult {
+    opcdm_run_with(params, cfg, |_| {})
+}
+
+/// [`opcdm_run`] with a hook that runs before any object exists (attach
+/// an invariant checker — the DES engine emits Create events eagerly at
+/// `create_object`, so a sink attached later misses the births — or set a
+/// schedule seed, …).
+pub fn opcdm_run_with(
+    params: &PcdmParams,
+    cfg: MrtsConfig,
+    hook: impl FnOnce(&mut DesRuntime),
+) -> MethodResult {
     let mut rt = DesRuntime::new(cfg.clone());
     register(&mut rt);
+    hook(&mut rt);
 
     let subs = build_subdomains(params);
     let n = subs.len();

@@ -13,6 +13,13 @@
 //!
 //! The process exits non-zero on the first failing step, so the binary
 //! doubles as the CI gate.
+//!
+//! `--chaos` runs the storage-fault chaos sweep instead: ≥20 seeded
+//! fault schedules (transient EIO, torn writes, latency spikes, ENOSPC
+//! windows) driven through both engines on a real mesh workload, with
+//! the invariant checker attached and the final mesh compared against
+//! the fault-free run. `--quick` shrinks the sweep for smoke jobs. The
+//! sweep writes its per-schedule report to `target/chaos-report.txt`.
 
 use std::process::{Command, ExitCode};
 
@@ -321,8 +328,186 @@ mod invariant_sweep {
     }
 }
 
+#[cfg(any(feature = "audit", debug_assertions))]
+mod chaos_sweep {
+    //! Seeded storage-fault schedules through both engines on OPCDM:
+    //! every schedule must finish with zero invariant violations and the
+    //! fault-free mesh (transient faults cost time, never correctness);
+    //! ENOSPC schedules must degrade and recover.
+
+    use pumg::methods::domain::Workload;
+    use pumg::methods::ooc_pcdm::{
+        opcdm_run, opcdm_run_threaded, opcdm_run_threaded_with, opcdm_run_with,
+    };
+    use pumg::methods::pcdm::PcdmParams;
+    use pumg::mrts::audit::{FailMode, InvariantChecker, RaceDetector};
+    use pumg::mrts::config::MrtsConfig;
+    use pumg::mrts::fault::FaultPlan;
+    use pumg::mrts::stats::RunStats;
+    use std::io::Write;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn params() -> PcdmParams {
+        PcdmParams::new(Workload::uniform_square(6_000), 2)
+    }
+
+    fn mixed_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(0xC0FF_EE00 ^ seed)
+            .with_eio(60)
+            .with_torn_writes(40)
+            .with_latency(80, Duration::from_micros(300))
+    }
+
+    fn counters(stats: &RunStats) -> String {
+        format!(
+            "faults={} retries={} gave_up={} degraded={}",
+            stats.total_of(|n| n.faults_injected),
+            stats.total_of(|n| n.io_retries),
+            stats.total_of(|n| n.io_gave_up),
+            stats.total_of(|n| n.degraded_entries),
+        )
+    }
+
+    pub fn run(quick: bool) -> bool {
+        let (des_seeds, thr_seeds) = if quick { (4u64, 2u64) } else { (14, 6) };
+        let enospc_seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+        let mut report = Vec::<String>::new();
+        let mut ok = true;
+        let mut say = |line: String| {
+            println!("    {line}");
+            report.push(line);
+        };
+
+        let budget = 70_000usize;
+        println!("==> chaos sweep (seeded storage-fault schedules, both engines)");
+        let reference = opcdm_run(&params(), MrtsConfig::out_of_core(2, budget));
+
+        for seed in 0..des_seeds {
+            let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+            let sink = chk.clone();
+            let r = opcdm_run_with(
+                &params(),
+                MrtsConfig::out_of_core(2, budget).with_faults(mixed_plan(seed)),
+                move |rt| rt.attach_audit(sink),
+            );
+            let clean = chk.violations().is_empty()
+                && (r.elements, r.vertices) == (reference.elements, reference.vertices);
+            ok &= clean;
+            say(format!(
+                "des seed {seed:>2}: {} [{}] mesh {}",
+                if clean { "ok" } else { "FAIL" },
+                counters(&r.stats),
+                r.elements
+            ));
+            if !chk.violations().is_empty() {
+                say(format!("  violations: {:?}", chk.violations()));
+            }
+        }
+
+        let thr_budget = 70_000usize;
+        let thr_reference = {
+            let mut cfg = MrtsConfig::out_of_core(2, thr_budget);
+            cfg.spill_dir = Some(spill_dir("chaos-ref"));
+            let r = opcdm_run_threaded(&params(), cfg);
+            let _ = std::fs::remove_dir_all(spill_dir("chaos-ref"));
+            r
+        };
+        for seed in 0..thr_seeds {
+            let plan = FaultPlan::new(0xBAD_D15C ^ seed)
+                .with_eio(120)
+                .with_torn_writes(80)
+                .with_latency(60, Duration::from_micros(200));
+            let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+            let det = Arc::new(RaceDetector::new(2));
+            let dir = spill_dir(&format!("chaos-t{seed}"));
+            let mut cfg = MrtsConfig::out_of_core(2, thr_budget).with_faults(plan);
+            cfg.spill_dir = Some(dir.clone());
+            let (sink, races) = (chk.clone(), det.clone());
+            let r = opcdm_run_threaded_with(&params(), cfg, move |rt| {
+                rt.attach_audit(sink);
+                rt.attach_race_detector(races);
+            });
+            let _ = std::fs::remove_dir_all(dir);
+            let clean = chk.violations().is_empty()
+                && det.races().is_empty()
+                && (r.elements, r.vertices) == (thr_reference.elements, thr_reference.vertices);
+            ok &= clean;
+            say(format!(
+                "threaded seed {seed:>2}: {} [{}] mesh {}",
+                if clean { "ok" } else { "FAIL" },
+                counters(&r.stats),
+                r.elements
+            ));
+            if !chk.violations().is_empty() {
+                say(format!("  violations: {:?}", chk.violations()));
+            }
+        }
+
+        for &seed in enospc_seeds {
+            let plan = FaultPlan::new(seed).with_enospc_window(4, 6);
+            let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+            let sink = chk.clone();
+            let r = opcdm_run_with(
+                &params(),
+                MrtsConfig::out_of_core(2, budget).with_faults(plan),
+                move |rt| rt.attach_audit(sink),
+            );
+            let ratio = r.elements as f64 / reference.elements as f64;
+            let clean = chk.violations().is_empty()
+                && r.stats.total_of(|n| n.degraded_entries) > 0
+                && (0.97..1.03).contains(&ratio);
+            ok &= clean;
+            say(format!(
+                "enospc seed {seed:>2}: {} [{}] mesh {}",
+                if clean { "ok" } else { "FAIL" },
+                counters(&r.stats),
+                r.elements
+            ));
+        }
+
+        let _ = std::fs::create_dir_all("target");
+        if let Ok(mut f) = std::fs::File::create("target/chaos-report.txt") {
+            for line in &report {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+        println!(
+            "    {} schedules swept — report in target/chaos-report.txt",
+            des_seeds + thr_seeds + enospc_seeds.len() as u64
+        );
+        ok
+    }
+
+    fn spill_dir(label: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mrts-audit-{label}-{}", std::process::id()))
+    }
+}
+
+#[cfg(not(any(feature = "audit", debug_assertions)))]
+mod chaos_sweep {
+    pub fn run(_quick: bool) -> bool {
+        println!("==> chaos sweep skipped (instrumentation compiled out)");
+        true
+    }
+}
+
 fn main() -> ExitCode {
-    let ok = lint_and_test() && invariant_sweep::run();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.as_str() != "--chaos" && a.as_str() != "--quick")
+    {
+        eprintln!("audit: unknown flag {bad} (expected --chaos and/or --quick)");
+        return ExitCode::FAILURE;
+    }
+    let ok = if chaos {
+        chaos_sweep::run(quick)
+    } else {
+        lint_and_test() && invariant_sweep::run() && chaos_sweep::run(true)
+    };
     if ok {
         println!("audit: all gates passed");
         ExitCode::SUCCESS

@@ -1,0 +1,433 @@
+//! Chaos harness: seeded storage-fault schedules driven through both
+//! engines on a real mesh workload (OPCDM), checking that
+//!
+//! * no audit invariant is ever violated under injected faults,
+//! * the final mesh is the one the fault-free run produces (faults cost
+//!   time, never correctness),
+//! * a full disk degrades the run instead of killing it, and the run
+//!   recovers when space returns,
+//! * an unreadable spilled object surfaces as a typed error, not a panic,
+//! * a kill between mesh phases recovers from the on-disk checkpoint and
+//!   finishes with the identical mesh.
+//!
+//! The same schedules run in the audit gate (`--chaos`); these tests keep
+//! the behavior pinned under plain `cargo test`.
+
+use pumg::methods::domain::Workload;
+use pumg::methods::ooc_pcdm::{
+    opcdm_collect_threaded, opcdm_run, opcdm_run_threaded, opcdm_run_threaded_with, opcdm_run_with,
+    opcdm_setup_threaded, register_threaded, SubObj, H_REFINE,
+};
+use pumg::methods::pcdm::PcdmParams;
+use pumg::mrts::audit::{FailMode, InvariantChecker, RaceDetector};
+use pumg::mrts::checkpoint::Checkpoint;
+use pumg::mrts::codec::{PayloadReader, PayloadWriter};
+use pumg::mrts::config::MrtsConfig;
+use pumg::mrts::ctx::Ctx;
+use pumg::mrts::des::DesRuntime;
+use pumg::mrts::fault::{FaultPlan, MrtsError};
+use pumg::mrts::ids::{HandlerId, MobilePtr, ObjectId, TypeTag};
+use pumg::mrts::object::MobileObject;
+use pumg::mrts::threaded::ThreadedRuntime;
+use std::any::Any;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mrts-chaos-{label}-{}", std::process::id()))
+}
+
+fn small() -> PcdmParams {
+    PcdmParams::new(Workload::uniform_square(6_000), 2)
+}
+
+/// Mixed transient schedule: EIO on stores and loads, torn writes,
+/// latency spikes — everything the retry layer must absorb.
+fn mixed_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(0xC0FF_EE00 ^ seed)
+        .with_eio(60)
+        .with_torn_writes(40)
+        .with_latency(80, Duration::from_micros(300))
+}
+
+#[test]
+fn des_chaos_schedules_preserve_mesh_and_invariants() {
+    let budget = 70_000usize;
+    let reference = opcdm_run(&small(), MrtsConfig::out_of_core(2, budget));
+    let mut faults_total = 0usize;
+    for seed in 0..12u64 {
+        let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+        let sink = chk.clone();
+        let r = opcdm_run_with(
+            &small(),
+            MrtsConfig::out_of_core(2, budget).with_faults(mixed_plan(seed)),
+            move |rt| rt.attach_audit(sink),
+        );
+        assert!(
+            chk.violations().is_empty(),
+            "seed {seed} violated invariants: {:?}",
+            chk.violations()
+        );
+        assert_eq!(
+            (r.elements, r.vertices),
+            (reference.elements, reference.vertices),
+            "seed {seed}: faults changed the mesh"
+        );
+        assert!(
+            r.stats.total_of(|n| n.io_gave_up) == 0,
+            "seed {seed}: transient schedule must never exhaust retries"
+        );
+        faults_total += r.stats.total_of(|n| n.faults_injected);
+    }
+    assert!(faults_total > 0, "sweep injected no faults — vacuous");
+}
+
+#[test]
+fn threaded_chaos_schedules_preserve_mesh_and_invariants() {
+    let budget = 70_000usize;
+    let reference = {
+        let mut cfg = MrtsConfig::out_of_core(2, budget);
+        cfg.spill_dir = Some(tmp("t-ref"));
+        let r = opcdm_run_threaded(&small(), cfg);
+        let _ = std::fs::remove_dir_all(tmp("t-ref"));
+        r
+    };
+    let mut faults_total = 0usize;
+    for seed in 0..6u64 {
+        // Load EIO stays well under the exhaustion knee (p^4 per op) so a
+        // transient schedule can never turn into a fatal LoadFailed.
+        let plan = FaultPlan::new(0xBAD_D15C ^ seed)
+            .with_eio(120)
+            .with_torn_writes(80)
+            .with_latency(60, Duration::from_micros(200));
+        let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+        let det = Arc::new(RaceDetector::new(2));
+        let dir = tmp(&format!("t-{seed}"));
+        let mut cfg = MrtsConfig::out_of_core(2, budget).with_faults(plan);
+        cfg.spill_dir = Some(dir.clone());
+        let (sink, races) = (chk.clone(), det.clone());
+        let r = opcdm_run_threaded_with(&small(), cfg, move |rt| {
+            rt.attach_audit(sink);
+            rt.attach_race_detector(races);
+        });
+        let _ = std::fs::remove_dir_all(dir);
+        assert!(
+            chk.violations().is_empty(),
+            "seed {seed} violated invariants: {:?}",
+            chk.violations()
+        );
+        assert!(
+            det.races().is_empty(),
+            "seed {seed} raced: {:?}",
+            det.races()
+        );
+        assert_eq!(
+            (r.elements, r.vertices),
+            (reference.elements, reference.vertices),
+            "seed {seed}: faults changed the mesh"
+        );
+        faults_total += r.stats.total_of(|n| n.faults_injected);
+    }
+    assert!(faults_total > 0, "sweep injected no faults — vacuous");
+}
+
+#[test]
+fn enospc_window_degrades_and_recovers_des() {
+    let budget = 70_000usize;
+    let reference = opcdm_run(&small(), MrtsConfig::out_of_core(2, budget));
+    for seed in [1u64, 2] {
+        let plan = FaultPlan::new(seed).with_enospc_window(4, 6);
+        let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+        let sink = chk.clone();
+        let r = opcdm_run_with(
+            &small(),
+            MrtsConfig::out_of_core(2, budget).with_faults(plan),
+            move |rt| rt.attach_audit(sink),
+        );
+        assert!(
+            chk.violations().is_empty(),
+            "seed {seed}: {:?}",
+            chk.violations()
+        );
+        assert!(
+            r.stats.total_of(|n| n.degraded_entries) > 0,
+            "seed {seed}: full disk never entered degraded mode"
+        );
+        // Degraded windows pause eviction, which reorders refinement;
+        // the mesh stays equally valid but may differ slightly.
+        let ratio = r.elements as f64 / reference.elements as f64;
+        assert!(
+            (0.97..1.03).contains(&ratio),
+            "seed {seed}: degraded run changed the mesh materially: {} vs {}",
+            r.elements,
+            reference.elements
+        );
+        assert!(
+            r.stats.total_of(|n| n.stores) > 0,
+            "seed {seed}: never spilled after recovery"
+        );
+    }
+}
+
+#[test]
+fn enospc_window_degrades_and_recovers_threaded() {
+    let budget = 70_000usize;
+    // The threaded engine's spill count varies with thread interleaving;
+    // open the window on the second store so any run that spills at all
+    // walks into the full disk.
+    let plan = FaultPlan::new(7).with_enospc_window(1, 6);
+    let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+    let det = Arc::new(RaceDetector::new(2));
+    let dir = tmp("t-enospc");
+    let mut cfg = MrtsConfig::out_of_core(2, budget).with_faults(plan);
+    cfg.spill_dir = Some(dir.clone());
+    let (sink, races) = (chk.clone(), det.clone());
+    let r = opcdm_run_threaded_with(&small(), cfg, move |rt| {
+        rt.attach_audit(sink);
+        rt.attach_race_detector(races);
+    });
+    let _ = std::fs::remove_dir_all(dir);
+    assert!(chk.violations().is_empty(), "{:?}", chk.violations());
+    assert!(det.races().is_empty(), "{:?}", det.races());
+    assert!(
+        r.stats.total_of(|n| n.degraded_entries) > 0,
+        "full disk never entered degraded mode"
+    );
+    assert!(r.elements > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Typed load-failure errors: a tiny two-object ping-pong under a budget
+// that holds only one of them, with every load failing permanently.
+// ---------------------------------------------------------------------------
+
+const PAD_TAG: TypeTag = TypeTag(0x7A0);
+const H_PING: HandlerId = HandlerId(0x7A1);
+
+struct Pad {
+    peer: Option<MobilePtr>,
+    data: Vec<u8>,
+}
+
+impl Pad {
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        let peer = if r.u8().unwrap() == 1 {
+            Some(r.ptr().unwrap())
+        } else {
+            None
+        };
+        let data = r.bytes().unwrap().to_vec();
+        Box::new(Pad { peer, data })
+    }
+}
+
+impl MobileObject for Pad {
+    fn type_tag(&self) -> TypeTag {
+        PAD_TAG
+    }
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        match self.peer {
+            Some(p) => {
+                w.u8(1).ptr(p);
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+        w.bytes(&self.data);
+        buf.extend_from_slice(&w.finish());
+    }
+    fn footprint(&self) -> usize {
+        self.data.len() + 64
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn h_ping(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let hops = r.u64().unwrap();
+    let pad = obj.as_any_mut().downcast_mut::<Pad>().unwrap();
+    if hops > 0 {
+        if let Some(peer) = pad.peer {
+            let mut w = PayloadWriter::new();
+            w.u64(hops - 1);
+            ctx.send(peer, H_PING, w.finish());
+        }
+    }
+}
+
+/// Every load fails permanently; the first reload of a spilled object
+/// must exhaust the retry budget and surface as `MrtsError::LoadFailed`.
+fn dead_load_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new(0xDEAD);
+    plan.load_eio_permille = 1000;
+    plan
+}
+
+fn pad_cfg() -> MrtsConfig {
+    MrtsConfig::out_of_core(1, 3_000).with_faults(dead_load_plan())
+}
+
+fn ping_payload(hops: u64) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(hops);
+    w.finish()
+}
+
+#[test]
+fn load_exhaustion_is_typed_error_des() {
+    let mut rt = DesRuntime::new(pad_cfg());
+    rt.register_type(PAD_TAG, Pad::decode);
+    rt.register_handler(H_PING, "ping", h_ping);
+    let a = MobilePtr::new(ObjectId::new(0, 0));
+    let b = MobilePtr::new(ObjectId::new(0, 1));
+    rt.create_object(
+        0,
+        Box::new(Pad {
+            peer: Some(b),
+            data: vec![0x11; 2_500],
+        }),
+        128,
+    );
+    rt.create_object(
+        0,
+        Box::new(Pad {
+            peer: Some(a),
+            data: vec![0x22; 2_500],
+        }),
+        128,
+    );
+    rt.post(a, H_PING, ping_payload(6));
+    match rt.try_run() {
+        Err(MrtsError::LoadFailed { attempts, .. }) => {
+            assert!(attempts >= 1, "error must report the attempts made");
+        }
+        other => panic!("expected LoadFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn load_exhaustion_is_typed_error_threaded() {
+    let dir = tmp("exhaust");
+    let mut cfg = pad_cfg();
+    cfg.spill_dir = Some(dir.clone());
+    let mut rt = ThreadedRuntime::new(cfg);
+    rt.register_type(PAD_TAG, Pad::decode);
+    rt.register_handler(H_PING, "ping", h_ping);
+    let a = MobilePtr::new(ObjectId::new(0, 0));
+    let b = MobilePtr::new(ObjectId::new(0, 1));
+    rt.create_object(
+        0,
+        Box::new(Pad {
+            peer: Some(b),
+            data: vec![0x11; 2_500],
+        }),
+        128,
+    );
+    rt.create_object(
+        0,
+        Box::new(Pad {
+            peer: Some(a),
+            data: vec![0x22; 2_500],
+        }),
+        128,
+    );
+    rt.post(a, H_PING, ping_payload(6));
+    let res = rt.try_run();
+    let _ = std::fs::remove_dir_all(dir);
+    match res {
+        Err(MrtsError::LoadFailed { attempts, .. }) => {
+            assert!(attempts >= 1, "error must report the attempts made");
+        }
+        other => panic!("expected LoadFailed, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kill-between-phases recovery: phase 1 meshes a coarse workload, the
+// checkpoint is the phase barrier, phase 2 retunes every subdomain to a
+// finer workload and refines again. The crashed path persists the
+// checkpoint segmented on disk, "dies" (drops the runtime), reads the
+// checkpoint back — past a torn tail — and must finish with the mesh the
+// uninterrupted path produced.
+// ---------------------------------------------------------------------------
+
+const H_RETUNE: HandlerId = HandlerId(0x902);
+
+fn h_retune(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
+    let so = obj.as_any_mut().downcast_mut::<SubObj>().unwrap();
+    so.workload = Workload::uniform_square(9_000);
+    ctx.send(ctx.self_ptr(), H_REFINE, Vec::new());
+}
+
+fn run_phase2(cp: &Checkpoint, spill: PathBuf) -> (u64, u64) {
+    let mut cfg = MrtsConfig::out_of_core(2, 300_000);
+    cfg.spill_dir = Some(spill.clone());
+    let mut rt = ThreadedRuntime::new(cfg);
+    register_threaded(&mut rt);
+    rt.register_handler(H_RETUNE, "retune", h_retune);
+    cp.restore_into_threaded(&mut rt);
+    for e in &cp.objects {
+        rt.post(MobilePtr::new(e.oid), H_RETUNE, Vec::new());
+    }
+    rt.run();
+    let counts = opcdm_collect_threaded(&rt);
+    let _ = std::fs::remove_dir_all(spill);
+    counts
+}
+
+#[test]
+fn kill_between_phases_recovers_identical_mesh() {
+    let p = PcdmParams::new(Workload::uniform_square(4_000), 2);
+    let spill1 = tmp("kill-p1");
+    let mut cfg = MrtsConfig::out_of_core(2, 300_000);
+    cfg.spill_dir = Some(spill1.clone());
+    let mut rt = opcdm_setup_threaded(&p, cfg);
+    rt.run();
+    let cp = rt.checkpoint();
+    assert!(!cp.objects.is_empty());
+
+    // Uninterrupted path: the in-memory checkpoint is the phase barrier.
+    let uninterrupted = run_phase2(&cp, tmp("kill-a"));
+
+    // Crashed path: persist, kill the runtime, restart from disk.
+    let ckpt_dir = tmp("kill-ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    cp.write_segmented(&ckpt_dir).unwrap();
+    drop(rt);
+    let _ = std::fs::remove_dir_all(spill1);
+
+    // A torn tail after the seal (crash mid-append of a later record)
+    // must not impede recovery: the segment replay discards it.
+    let mut segs: Vec<_> = std::fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segs.sort();
+    if let Some(last) = segs.last() {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(last).unwrap();
+        f.write_all(&[0xFF, 0x00, 0xAB, 0x13, 0x37]).unwrap();
+    }
+
+    let recovered = Checkpoint::read_segmented(&ckpt_dir).unwrap();
+    assert_eq!(recovered, cp, "recovered checkpoint must match the capture");
+    let restarted = run_phase2(&recovered, tmp("kill-b"));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    assert_eq!(
+        restarted, uninterrupted,
+        "restart from checkpoint must reproduce the uninterrupted mesh"
+    );
+    // Phase 2 actually refined past phase 1's mesh.
+    let phase1: u64 = cp.objects.len() as u64;
+    assert!(restarted.0 > phase1, "phase 2 must have refined the mesh");
+}

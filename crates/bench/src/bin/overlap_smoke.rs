@@ -99,7 +99,11 @@ fn main() {
             "  \"faults_injected\": {},\n",
             "  \"io_retries\": {},\n",
             "  \"io_gave_up\": {},\n",
-            "  \"degraded_entries\": {}\n",
+            "  \"degraded_entries\": {},\n",
+            "  \"evictions_elided\": {},\n",
+            "  \"bytes_write_avoided\": {},\n",
+            "  \"spill_batches\": {},\n",
+            "  \"buffer_pool_hits\": {}\n",
             "}}\n"
         ),
         quick,
@@ -119,12 +123,17 @@ fn main() {
         s.total_of(|n| n.io_retries),
         s.total_of(|n| n.io_gave_up),
         s.total_of(|n| n.degraded_entries),
+        s.total_of(|n| n.evictions_elided),
+        s.bytes_write_avoided(),
+        s.total_of(|n| n.spill_batches),
+        s.total_of(|n| n.buffer_pool_hits),
     );
     std::fs::write("BENCH_overlap.json", &json).expect("write BENCH_overlap.json");
     print!("{json}");
     eprintln!(
         "in-core {:.3}s | ooc-legacy {:.3}s | ooc-overlap {:.3}s ({speedup:.2}x vs legacy, \
-         hit rate {:.0}%) | faults {} retries {} gave_up {} degraded {}",
+         hit rate {:.0}%) | faults {} retries {} gave_up {} degraded {} | \
+         spill: {} elided, {} B avoided, {} batches, {} pool hits",
         r_core.secs,
         r_legacy.secs,
         r_overlap.secs,
@@ -133,5 +142,9 @@ fn main() {
         s.total_of(|n| n.io_retries),
         s.total_of(|n| n.io_gave_up),
         s.total_of(|n| n.degraded_entries),
+        s.total_of(|n| n.evictions_elided),
+        s.bytes_write_avoided(),
+        s.total_of(|n| n.spill_batches),
+        s.total_of(|n| n.buffer_pool_hits),
     );
 }

@@ -54,6 +54,12 @@
 //! 11. **Degraded mode stops evictions** — `Degraded` enter/exit events
 //!     alternate per node, and no object is unloaded on a node while it
 //!     is degraded (a full disk must not be written to).
+//! 12. **Elided evictions reference current on-disk bytes** — an
+//!     `ElidedUnload` (a clean eviction that skipped the re-write) must
+//!     name an object whose last stored version equals its current
+//!     mutation version, and the checker's independent model of the
+//!     on-disk version (bumped at `Deliver`/`MigrateIn`, recorded at
+//!     `Unload`, invalidated by migration) must agree.
 //!
 //! A catch-all, [`Invariant::EventOrder`], flags protocol-impossible
 //! streams (loading an in-core object, installing a migration that never
@@ -97,6 +103,18 @@ pub enum RuntimeEvent {
         node: NodeId,
         oid: ObjectId,
         footprint: usize,
+    },
+    /// A clean in-core object was evicted without a write: the resident
+    /// copy was dropped because the on-disk bytes are already current.
+    /// `version` is the object's mutation version at eviction time and
+    /// `stored_version` the version the engine last wrote to disk; the
+    /// checker requires them to match its own model (invariant 12).
+    ElidedUnload {
+        node: NodeId,
+        oid: ObjectId,
+        footprint: usize,
+        version: u64,
+        stored_version: u64,
     },
     /// The object was locked in memory.
     Pin { node: NodeId, oid: ObjectId },
@@ -266,6 +284,9 @@ pub enum Invariant {
     CompactionLoss,
     /// An object was evicted on a node that had declared degraded mode.
     DegradedEviction,
+    /// A clean eviction skipped its write while the on-disk bytes were
+    /// stale (mutation version ahead of the last stored version).
+    StaleElision,
     /// A protocol-impossible event for the tracked state (catch-all that
     /// keeps the checker honest about its own model).
     EventOrder,
@@ -299,6 +320,14 @@ struct ObjInfo {
     residency: Residency,
     pinned: bool,
     footprint: usize,
+    /// Mutation version mirrored from the engines' dirty tracking:
+    /// bumped on every handler delivery and migration install, never on
+    /// a read-only load.
+    version: u64,
+    /// Version the on-disk bytes correspond to (`None` until the first
+    /// spill, and after any migration — bytes left behind on the old
+    /// node's store are unreachable there).
+    disk_version: Option<u64>,
 }
 
 struct MigRecord {
@@ -442,6 +471,8 @@ impl EventSink for InvariantChecker {
                         residency: Residency::InCore,
                         pinned: false,
                         footprint: *footprint,
+                        version: 0,
+                        disk_version: None,
                     },
                 );
                 *st.ledger.entry(*node).or_insert(0) += *footprint as i64;
@@ -493,6 +524,7 @@ impl EventSink for InvariantChecker {
                         ));
                     }
                     o.residency = Residency::OnDisk;
+                    o.disk_version = Some(o.version);
                     *st.ledger.entry(*node).or_insert(0) -= *footprint as i64;
                 }
                 Some(o) => found.push((
@@ -505,6 +537,67 @@ impl EventSink for InvariantChecker {
                 None => found.push((
                     Invariant::EventOrder,
                     format!("{oid:?} unloaded before creation"),
+                )),
+            },
+            RuntimeEvent::ElidedUnload {
+                node,
+                oid,
+                footprint,
+                version,
+                stored_version,
+            } => match st.objs.get_mut(oid) {
+                Some(o) if o.residency == Residency::InCore && o.loc == *node => {
+                    if o.pinned {
+                        found.push((
+                            Invariant::PinnedEviction,
+                            format!("{oid:?} elided-evicted from node {node} while pinned"),
+                        ));
+                    }
+                    if o.footprint != *footprint {
+                        found.push((
+                            Invariant::AccountingImbalance,
+                            format!(
+                                "{oid:?} elided-unloaded {footprint}B but tracked {}B",
+                                o.footprint
+                            ),
+                        ));
+                    }
+                    // Invariant 12: the skipped write is only legal when
+                    // the on-disk bytes are current — per the engine's
+                    // own bookkeeping *and* the checker's model.
+                    if version != stored_version {
+                        found.push((
+                            Invariant::StaleElision,
+                            format!(
+                                "{oid:?} elided on node {node} at version {version} but its last stored version is {stored_version}"
+                            ),
+                        ));
+                    }
+                    if o.disk_version != Some(*version) {
+                        found.push((
+                            Invariant::StaleElision,
+                            format!(
+                                "{oid:?} elided on node {node} claiming on-disk version {version} but the checker tracks {:?}",
+                                o.disk_version
+                            ),
+                        ));
+                    }
+                    // No DegradedEviction check: an elision performs no
+                    // write, so a full disk is not at risk (the engines
+                    // stop evicting entirely while degraded anyway).
+                    o.residency = Residency::OnDisk;
+                    *st.ledger.entry(*node).or_insert(0) -= *footprint as i64;
+                }
+                Some(o) => found.push((
+                    Invariant::EventOrder,
+                    format!(
+                        "{oid:?} elided-unloaded on node {node} but tracked {:?} at node {}",
+                        o.residency, o.loc
+                    ),
+                )),
+                None => found.push((
+                    Invariant::EventOrder,
+                    format!("{oid:?} elided-unloaded before creation"),
                 )),
             },
             RuntimeEvent::Pin { node, oid } => match st.objs.get_mut(oid) {
@@ -525,15 +618,20 @@ impl EventSink for InvariantChecker {
             RuntimeEvent::Deliver { node, oid } => {
                 st.outstanding -= 1;
                 st.forward_streak.remove(oid);
-                match st.objs.get(oid) {
-                    Some(o) if o.residency == Residency::InCore && o.loc == *node => {}
-                    Some(o) => found.push((
-                        Invariant::NonResidentDelivery,
-                        format!(
-                            "handler ran against {oid:?} on node {node} but object is {:?} at node {}",
-                            o.residency, o.loc
-                        ),
-                    )),
+                match st.objs.get_mut(oid) {
+                    Some(o) if o.residency == Residency::InCore && o.loc == *node => {
+                        o.version += 1;
+                    }
+                    Some(o) => {
+                        o.version += 1;
+                        found.push((
+                            Invariant::NonResidentDelivery,
+                            format!(
+                                "handler ran against {oid:?} on node {node} but object is {:?} at node {}",
+                                o.residency, o.loc
+                            ),
+                        ))
+                    }
                     None => found.push((
                         Invariant::NonResidentDelivery,
                         format!("handler ran against unknown {oid:?} on node {node}"),
@@ -584,6 +682,7 @@ impl EventSink for InvariantChecker {
                             ));
                         }
                         o.residency = Residency::Migrating;
+                        o.disk_version = None;
                         *st.ledger.entry(*node).or_insert(0) -= *footprint as i64;
                     }
                     Some(o) => found.push((
@@ -641,6 +740,11 @@ impl EventSink for InvariantChecker {
                     o.loc = *node;
                     o.residency = Residency::InCore;
                     o.footprint = *footprint;
+                    // Installing counts as a mutation (the version rides
+                    // in the payload), and any bytes spilled on the old
+                    // node are unreachable here.
+                    o.version += 1;
+                    o.disk_version = None;
                 }
                 // The object is here now: any stale tombstone on this node
                 // is overwritten by the engine.
@@ -1105,6 +1209,116 @@ mod tests {
         assert!(c.violations().is_empty(), "{:?}", c.violations());
         assert_eq!(c.events_seen(), 7);
         c.assert_clean();
+    }
+
+    #[test]
+    fn elided_unload_requires_current_disk_bytes() {
+        let c = InvariantChecker::new(FailMode::Collect);
+        c.record(&RuntimeEvent::Create {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Post { oid: oid(1) });
+        c.record(&RuntimeEvent::Deliver {
+            node: 0,
+            oid: oid(1),
+        }); // version -> 1
+        c.record(&RuntimeEvent::Unload {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        }); // disk_version = Some(1)
+        c.record(&RuntimeEvent::Load {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        // Reloaded but not mutated: eliding the re-write is legal.
+        c.record(&RuntimeEvent::ElidedUnload {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+            version: 1,
+            stored_version: 1,
+        });
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        // A handler runs after the next reload: the disk bytes go stale,
+        // so a subsequent elision must be flagged.
+        c.record(&RuntimeEvent::Load {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Post { oid: oid(1) });
+        c.record(&RuntimeEvent::Deliver {
+            node: 0,
+            oid: oid(1),
+        }); // version -> 2
+        c.record(&RuntimeEvent::ElidedUnload {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+            version: 2,
+            stored_version: 1,
+        });
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.invariant == Invariant::StaleElision),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn migration_invalidates_elision_model() {
+        let c = InvariantChecker::new(FailMode::Collect);
+        c.record(&RuntimeEvent::Create {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Unload {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        }); // disk_version = Some(0) on node 0's store
+        c.record(&RuntimeEvent::Load {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::MigrateOut {
+            node: 0,
+            oid: oid(1),
+            to: 1,
+            queued: 0,
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::MigrateIn {
+            node: 1,
+            oid: oid(1),
+            queued: 0,
+            footprint: 100,
+        }); // version -> 1, disk_version -> None
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        // The old node's spilled bytes are unreachable on node 1: even a
+        // version-consistent elision claim must be rejected.
+        c.record(&RuntimeEvent::ElidedUnload {
+            node: 1,
+            oid: oid(1),
+            footprint: 100,
+            version: 1,
+            stored_version: 1,
+        });
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.invariant == Invariant::StaleElision),
+            "{:?}",
+            c.violations()
+        );
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct MrtsConfig {
     /// Segment log: compact once dead records exceed this fraction of all
     /// stored bytes.
     pub segment_garbage_frac: f64,
+    /// Disable the spill fast path (dirty tracking, clean-eviction
+    /// elision, batched eviction writes, pooled spill buffers) and spill
+    /// the pre-fast-path way: every eviction re-packs and re-writes its
+    /// object, one store per victim, one fresh buffer per pack. Kept as
+    /// the baseline for `spill_bench` and as an escape hatch.
+    pub legacy_spill: bool,
     /// Deterministic storage fault schedule; `None` runs fault-free. When
     /// set, every node's spill store is wrapped in a
     /// [`crate::fault::FaultyStore`] seeded with `plan.seed + node`.
@@ -132,6 +138,7 @@ impl Default for MrtsConfig {
             spill_backend: SpillBackend::SegmentLog,
             segment_bytes: 1 << 20,
             segment_garbage_frac: 0.5,
+            legacy_spill: false,
             fault: None,
             retry: RetryPolicy::default(),
         }
@@ -194,6 +201,14 @@ impl MrtsConfig {
         self.prefetch_window_objects = usize::MAX;
         self.prefetch_window_bytes = usize::MAX;
         self.spill_backend = SpillBackend::PerObjectFile;
+        self
+    }
+
+    /// Disable the spill fast path: re-pack and re-write every eviction
+    /// victim individually, with per-op buffer allocation (the
+    /// pre-fast-path shape). Baseline for `spill_bench`.
+    pub fn with_legacy_spill(mut self) -> Self {
+        self.legacy_spill = true;
         self
     }
 
@@ -346,6 +361,19 @@ mod tests {
             .with_io_threads(3);
         assert_eq!(w.prefetch_window_objects, 8);
         assert_eq!(w.io_threads, 3);
+    }
+
+    #[test]
+    fn spill_fast_path_default_and_escape_hatch() {
+        // Fast path on by default; with_legacy_spill() turns only the
+        // spill fast path off, leaving the overlap pipeline intact.
+        let c = MrtsConfig::default();
+        assert!(!c.legacy_spill);
+        let l = MrtsConfig::out_of_core(2, 1 << 16).with_legacy_spill();
+        l.validate().unwrap();
+        assert!(l.legacy_spill);
+        assert_eq!(l.spill_backend, SpillBackend::SegmentLog);
+        assert_eq!(l.io_threads, 2);
     }
 
     #[test]

@@ -74,11 +74,22 @@ struct Entry {
     pending_migration: Option<NodeId>,
     /// The object sits in the node's `pending_loads` queue awaiting issue.
     load_queued: bool,
+    /// Mutation counter: bumped after every handler run and on migration
+    /// install, never on read-only loads.
+    version: u64,
+    /// The [`Entry::version`] the on-disk bytes correspond to, if any.
+    stored_version: Option<u64>,
 }
 
 impl Entry {
     fn is_in_core(&self) -> bool {
         matches!(self.state, EntryState::InCore(_))
+    }
+
+    /// The on-disk bytes are current: a spill key exists and no handler has
+    /// mutated the object since the last successful store completed.
+    fn is_clean(&self) -> bool {
+        self.spill_key.is_some() && self.stored_version == Some(self.version)
     }
 }
 
@@ -109,6 +120,9 @@ struct NodeState {
     /// Loads currently occupying disk channels, for the prefetch window.
     inflight_loads: usize,
     inflight_load_bytes: usize,
+    /// Reusable pack buffer for spills (the virtual-time analogue of the
+    /// threaded engine's I/O-pool buffer pool).
+    pack_buf: Vec<u8>,
 }
 
 #[derive(Debug)]
@@ -127,6 +141,9 @@ enum EvKind {
         bytes: Vec<u8>,
         priority: u8,
         locked: bool,
+        /// Sender-side mutation counter; the receiver installs at
+        /// `version + 1`, mirroring the audit checker's model.
+        version: u64,
         queue: VecDeque<Message>,
     },
     /// Start collecting a multicast at the coordinator.
@@ -225,6 +242,7 @@ impl DesRuntime {
                 pending_loads: VecDeque::new(),
                 inflight_loads: 0,
                 inflight_load_bytes: 0,
+                pack_buf: Vec::new(),
             })
             .collect();
         DesRuntime {
@@ -320,6 +338,8 @@ impl DesRuntime {
                 disk_ready_at: Duration::ZERO,
                 pending_migration: None,
                 load_queued: false,
+                version: 0,
+                stored_version: None,
             },
         );
         audit_emit!(
@@ -495,6 +515,9 @@ impl DesRuntime {
         }
         RunStats {
             total,
+            // Virtual time has no wall-clock overlap measurement; the
+            // busy-excess estimate in `overlap_pct` applies instead.
+            measured_overlap: false,
             nodes: self
                 .nodes
                 .iter()
@@ -524,8 +547,9 @@ impl DesRuntime {
                 bytes,
                 priority,
                 locked,
+                version,
                 queue,
-            } => self.on_install(node, oid, bytes, priority, locked, queue),
+            } => self.on_install(node, oid, bytes, priority, locked, version, queue),
             EvKind::McStart {
                 info,
                 handler,
@@ -1020,6 +1044,9 @@ impl DesRuntime {
             e.obj_free_at = end;
             e.meta.touch(tick);
             e.footprint = new_footprint;
+            // The handler may have mutated the object: any on-disk copy is
+            // now stale, which the version counter records.
+            e.version += 1;
             n.ooc.note_resize(old_footprint, new_footprint);
         }
         if old_footprint != new_footprint {
@@ -1122,6 +1149,8 @@ impl DesRuntime {
                             disk_ready_at: Duration::ZERO,
                             pending_migration: None,
                             load_queued: false,
+                            version: 0,
+                            stored_version: None,
                         },
                     );
                     audit_emit!(
@@ -1273,6 +1302,7 @@ impl DesRuntime {
         allow_queued: bool,
         except: Option<ObjectId>,
     ) {
+        let legacy = self.cfg.legacy_spill;
         let mut candidates: Vec<EvictCandidate> = self.nodes[node as usize]
             .table
             .iter()
@@ -1290,35 +1320,110 @@ impl DesRuntime {
                 meta: e.meta,
                 priority: e.priority,
                 queued_msgs: e.queue.len(),
+                clean: !legacy && e.is_clean(),
             })
             .collect();
         let victims = self.nodes[node as usize]
             .ooc
             .pick_victims(&mut candidates, need);
+        // Fast path: clean victims are elided (their on-disk bytes are
+        // current), and the dirty remainder coalesces into one batched
+        // append — only the first store pays the seek component.
+        let mut stored = 0usize;
         for oid in victims {
-            self.spill(node, oid, at);
+            if self.try_elide(node, oid) {
+                continue;
+            }
+            if self.spill(node, oid, at, !legacy && stored > 0) {
+                stored += 1;
+            }
         }
+        if !legacy && stored >= 2 {
+            self.nodes[node as usize].stats.spill_batches += 1;
+        }
+    }
+
+    /// Clean-eviction elision: drop the resident copy of an object whose
+    /// on-disk bytes are already current — no re-pack, no disk charge, and
+    /// `disk_ready_at` stays at the (past) completion of the original
+    /// store. Returns `false` (caller must spill) under the legacy path or
+    /// when the object is dirty.
+    fn try_elide(&mut self, node: NodeId, oid: ObjectId) -> bool {
+        if self.cfg.legacy_spill {
+            return false;
+        }
+        let has_queue = {
+            let n = &mut self.nodes[node as usize];
+            let e = n.table.get_mut(&oid).unwrap();
+            if !e.is_in_core() || !e.is_clean() {
+                return false;
+            }
+            let obj = match std::mem::replace(&mut e.state, EntryState::OnDisk) {
+                EntryState::InCore(o) => o,
+                _ => unreachable!(),
+            };
+            drop(obj);
+            let footprint = e.footprint;
+            let avoided = e.packed_len as u64;
+            let has_queue = !e.queue.is_empty();
+            n.ooc.note_out(footprint);
+            n.ooc.note_spilled(footprint);
+            n.stats.evictions += 1;
+            n.stats.evictions_elided += 1;
+            n.stats.bytes_write_avoided += avoided;
+            has_queue
+        };
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::ElidedUnload {
+                node,
+                oid,
+                footprint: self.nodes[node as usize].table[&oid].footprint,
+                version: self.nodes[node as usize].table[&oid].version,
+                stored_version: self.nodes[node as usize].table[&oid]
+                    .stored_version
+                    .expect("clean object has a stored version"),
+            }
+        );
+        if has_queue {
+            self.queue_load(node, oid);
+        }
+        true
     }
 
     /// Serialize an in-core object to the (modeled) disk. Store failures
     /// are retried with bounded backoff; exhaustion (or `ENOSPC`)
     /// reinstates the object in-core and enters degraded mode instead of
     /// panicking — the object never left memory.
-    fn spill(&mut self, node: NodeId, oid: ObjectId, at: Duration) {
+    ///
+    /// `coalesce` marks a store that joins an earlier one from the same
+    /// eviction round in a single batched append: it is charged transfer
+    /// time only (the seek component was paid by the first store). Returns
+    /// `true` iff bytes actually reached the modeled disk.
+    fn spill(&mut self, node: NodeId, oid: ObjectId, at: Duration, coalesce: bool) -> bool {
         let obj = {
             let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
             match std::mem::replace(&mut e.state, EntryState::OnDisk) {
                 EntryState::InCore(o) => o,
                 other => {
                     e.state = other;
-                    return;
+                    return false;
                 }
             }
         };
         // Real serialization, charged as compute. The object is kept alive
         // until the store succeeds so a failed spill can reinstate it.
+        // The fast path packs into the node's reusable buffer; legacy
+        // allocates fresh every time, as the old code did.
+        let legacy = self.cfg.legacy_spill;
         let t0 = Instant::now();
-        let bytes = Registry::pack(obj.as_ref());
+        let mut bytes = if legacy {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.nodes[node as usize].pack_buf)
+        };
+        let pool_hit = !legacy && bytes.capacity() > 0;
+        Registry::pack_into(obj.as_ref(), &mut bytes);
         let pack = t0.elapsed().mul_f64(self.cfg.compute_scale);
         let packed_len = bytes.len();
 
@@ -1358,14 +1463,20 @@ impl DesRuntime {
         };
         penalty += self.drain_store_faults(node);
 
+        if !legacy {
+            self.nodes[node as usize].pack_buf = std::mem::take(&mut bytes);
+        }
+
         if outcome.is_err() {
             // Graceful degradation: put the object back, charge the wasted
-            // disk time, and stop evicting until a probe succeeds.
+            // disk time, and stop evicting until a probe succeeds. The
+            // on-disk copy (if any) may be torn: mark it stale.
             let n = &mut self.nodes[node as usize];
             n.stats.io_gave_up += 1;
             let e = n.table.get_mut(&oid).unwrap();
             debug_assert!(matches!(e.state, EntryState::OnDisk));
             e.state = EntryState::InCore(obj);
+            e.stored_version = None;
             if !penalty.is_zero() {
                 let ch = (0..n.disk_free.len())
                     .min_by_key(|&i| n.disk_free[i])
@@ -1379,11 +1490,18 @@ impl DesRuntime {
                 self.nodes[node as usize].stats.degraded_entries += 1;
                 audit_emit!(self.audit, RuntimeEvent::Degraded { node, on: true });
             }
-            return;
+            return false;
         }
         drop(obj);
         let n = &mut self.nodes[node as usize];
-        let dur = self.cfg.disk.op_time(packed_len) + penalty;
+        // A coalesced store appends to the same segment the batch's first
+        // store opened: charge transfer time only, refunding the seek.
+        let op = self.cfg.disk.op_time(packed_len);
+        let dur = if coalesce {
+            op.saturating_sub(self.cfg.disk.seek) + penalty
+        } else {
+            op + penalty
+        };
         let ch = (0..n.disk_free.len())
             .min_by_key(|&i| n.disk_free[i])
             .unwrap();
@@ -1394,9 +1512,11 @@ impl DesRuntime {
         n.stats.stores += 1;
         n.stats.bytes_to_disk += packed_len as u64;
         n.stats.evictions += 1;
+        n.stats.buffer_pool_hits += usize::from(pool_hit);
         let (footprint, has_queue) = {
             let e = n.table.get_mut(&oid).unwrap();
             e.disk_ready_at = end;
+            e.stored_version = Some(e.version);
             (e.footprint, !e.queue.is_empty())
         };
         n.ooc.note_out(footprint);
@@ -1416,6 +1536,7 @@ impl DesRuntime {
         if has_queue {
             self.queue_load(node, oid);
         }
+        true
     }
 
     // ----- migration & multicast -------------------------------------------------
@@ -1475,7 +1596,7 @@ impl DesRuntime {
     /// Pack and ship an in-core object to `dest`, leaving a Moved
     /// tombstone; its queued messages travel along.
     fn do_migrate(&mut self, node: NodeId, oid: ObjectId, dest: NodeId) {
-        let (obj, queue, priority, locked, footprint, free_at) = {
+        let (obj, queue, priority, locked, footprint, free_at, version) = {
             let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
             e.pending_migration = None;
             let state = std::mem::replace(&mut e.state, EntryState::Moved(dest));
@@ -1493,6 +1614,7 @@ impl DesRuntime {
                 e.locked,
                 e.footprint,
                 e.obj_free_at,
+                e.version,
             )
         };
         let t0 = Instant::now();
@@ -1527,6 +1649,7 @@ impl DesRuntime {
                 bytes,
                 priority,
                 locked,
+                version,
                 queue,
             },
         );
@@ -1552,6 +1675,7 @@ impl DesRuntime {
         );
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the Install event's fields
     fn on_install(
         &mut self,
         node: NodeId,
@@ -1559,6 +1683,7 @@ impl DesRuntime {
         bytes: Vec<u8>,
         priority: u8,
         locked: bool,
+        version: u64,
         queue: VecDeque<Message>,
     ) {
         let t0 = Instant::now();
@@ -1587,6 +1712,11 @@ impl DesRuntime {
                     disk_ready_at: Duration::ZERO,
                     pending_migration: None,
                     load_queued: false,
+                    // Install counts as a mutation (the checker model bumps
+                    // on MigrateIn); any spill key left behind on the old
+                    // node is invalid here anyway.
+                    version: version + 1,
+                    stored_version: None,
                 },
             );
         }
@@ -1817,6 +1947,8 @@ impl DesRuntime {
                 disk_ready_at: Duration::ZERO,
                 pending_migration: None,
                 load_queued: false,
+                version: 0,
+                stored_version: None,
             },
         );
         assert!(prev.is_none(), "checkpoint restore collided with {oid:?}");

@@ -86,9 +86,18 @@ impl Registry {
     /// on-wire framing).
     pub fn pack(obj: &dyn MobileObject) -> Vec<u8> {
         let mut buf = Vec::with_capacity(16 + obj.footprint() / 2);
-        buf.extend_from_slice(&obj.type_tag().0.to_le_bytes());
-        obj.encode(&mut buf);
+        Registry::pack_into(obj, &mut buf);
         buf
+    }
+
+    /// [`Registry::pack`] into a caller-owned buffer: the buffer is cleared
+    /// and refilled, reusing its capacity. Hot spill paths pass pooled
+    /// buffers here instead of allocating per-op.
+    pub fn pack_into(obj: &dyn MobileObject, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(16 + obj.footprint() / 2);
+        buf.extend_from_slice(&obj.type_tag().0.to_le_bytes());
+        obj.encode(buf);
     }
 
     /// Inverse of [`Registry::pack`].
@@ -168,6 +177,18 @@ mod tests {
         let back = back.as_any().downcast_ref::<Counter>().unwrap();
         assert_eq!(back, &c);
         assert_eq!(back.footprint(), 116);
+    }
+
+    #[test]
+    fn pack_into_reuses_capacity_and_matches_pack() {
+        let c = Counter::new(7, 256);
+        let allocating = Registry::pack(&c);
+        let mut buf = Vec::with_capacity(1024);
+        buf.extend_from_slice(b"stale contents from a previous pack");
+        let cap = buf.capacity();
+        Registry::pack_into(&c, &mut buf);
+        assert_eq!(buf, allocating);
+        assert_eq!(buf.capacity(), cap, "pack_into must reuse capacity");
     }
 
     #[test]

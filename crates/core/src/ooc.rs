@@ -31,6 +31,11 @@ pub struct EvictCandidate {
     /// Queued messages waiting for this object (objects with pending work
     /// are evicted only under duress).
     pub queued_msgs: usize,
+    /// The on-disk bytes are still current (no mutation since the last
+    /// store), so evicting this object needs no re-pack or re-write.
+    /// Preferred at equal swap-scheme rank — a clean eviction is nearly
+    /// free.
+    pub clean: bool,
 }
 
 /// Memory accounting + swapping policy for one node.
@@ -186,7 +191,8 @@ impl OocManager {
     /// `candidates` (all must be unlocked and not currently executing).
     ///
     /// Order: objects without queued messages first, then lower priority,
-    /// then the swapping scheme's score. Returns the chosen object ids (in
+    /// then the swapping scheme's score, with clean objects (valid on-disk
+    /// bytes) preferred at equal score. Returns the chosen object ids (in
     /// eviction order); may free less than `need` if candidates run out.
     pub fn pick_victims(&self, candidates: &mut [EvictCandidate], need: usize) -> Vec<ObjectId> {
         if need == 0 || candidates.is_empty() {
@@ -208,6 +214,9 @@ impl OocManager {
                         .score(&a.meta, now)
                         .total_cmp(&self.policy.score(&b.meta, now))
                 })
+                // Equal swap-scheme rank: prefer the clean object — its
+                // eviction elides the pack and the write entirely.
+                .then_with(|| b.clean.cmp(&a.clean))
                 .then_with(|| a.oid.cmp(&b.oid))
         };
         // Evictions usually shed a handful of objects out of a large
@@ -261,6 +270,7 @@ mod tests {
             },
             priority: prio,
             queued_msgs: queued,
+            clean: false,
         }
     }
 
@@ -345,6 +355,34 @@ mod tests {
         assert_eq!(victims[0], ObjectId::new(0, 2));
         assert_eq!(victims[1], ObjectId::new(0, 1));
         assert_eq!(victims.len(), 2);
+    }
+
+    #[test]
+    fn clean_victims_preferred_at_equal_rank_only() {
+        let mut m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+        for _ in 0..100 {
+            m.tick();
+        }
+        // Identical swap-scheme rank (same last access, priority, queue):
+        // the clean candidate goes first.
+        let mut tied = vec![cand(1, 100, 50, 5, 128, 0), {
+            let mut c = cand(2, 100, 50, 5, 128, 0);
+            c.clean = true;
+            c
+        }];
+        assert_eq!(
+            m.pick_victims(&mut tied, 100),
+            vec![ObjectId::new(0, 2)],
+            "clean candidate must win the tie"
+        );
+        // Cleanness must NOT override the swap scheme: a clean but
+        // recently-used object survives a dirty LRU victim.
+        let mut ranked = vec![cand(1, 100, 10, 5, 128, 0), {
+            let mut c = cand(2, 100, 90, 5, 128, 0);
+            c.clean = true;
+            c
+        }];
+        assert_eq!(m.pick_victims(&mut ranked, 100), vec![ObjectId::new(0, 1)]);
     }
 
     #[test]

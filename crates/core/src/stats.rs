@@ -61,6 +61,24 @@ pub struct NodeStats {
     pub io_gave_up: usize,
     /// Times this node entered degraded (stop-evicting) mode.
     pub degraded_entries: usize,
+    /// Evictions served by the clean-eviction fast path: the on-disk bytes
+    /// were still current, so the resident copy was dropped without
+    /// re-pack or re-write.
+    pub evictions_elided: usize,
+    /// Packed bytes whose re-serialization and re-write were avoided by
+    /// elided evictions.
+    pub bytes_write_avoided: u64,
+    /// Multi-victim evictions whose payloads were coalesced into a single
+    /// batched store (one backend call, one sync decision).
+    pub spill_batches: usize,
+    /// Spill packs that reused a pooled buffer's capacity instead of
+    /// allocating.
+    pub buffer_pool_hits: usize,
+    /// Handler-execution time that ran while this node had storage I/O in
+    /// flight — a direct wall-clock measurement of I/O–compute overlap
+    /// (threaded engine only; the DES derives overlap from busy-time
+    /// excess instead).
+    pub overlapped: Duration,
 }
 
 /// Aggregated result of one run.
@@ -69,6 +87,13 @@ pub struct RunStats {
     /// Makespan: wall clock (threaded mode) or virtual time (DES mode).
     pub total: Duration,
     pub nodes: Vec<NodeStats>,
+    /// Set by engines that measure overlap directly (per-node `overlapped`
+    /// accumulators) rather than deriving it from busy-time excess. The
+    /// threaded engine sets this: its nodes are OS threads sharing a wall
+    /// clock, so summed busy percentages rarely exceed 100% even when I/O
+    /// genuinely runs under computation, and the excess formula would
+    /// clamp real overlap to zero.
+    pub measured_overlap: bool,
 }
 
 impl RunStats {
@@ -100,10 +125,18 @@ impl RunStats {
         self.pct(|n| n.disk)
     }
 
-    /// Overlap of computation, communication and disk I/O: the busy-time
-    /// excess over the wall clock, in percent (0 = fully serialized
-    /// resources, 100 = everything always overlapped twice).
+    /// Overlap of computation, communication and disk I/O, in percent.
+    ///
+    /// Engines with per-resource virtual clocks (the DES) report the
+    /// busy-time excess over the wall clock (0 = fully serialized
+    /// resources, 100 = everything always overlapped twice). Engines that
+    /// measure overlap directly (`measured_overlap`, the threaded engine)
+    /// report the measured fraction of the run during which handlers
+    /// executed with storage I/O in flight.
     pub fn overlap_pct(&self) -> f64 {
+        if self.measured_overlap {
+            return self.pct(|n| n.overlapped);
+        }
         (self.comp_pct() + self.comm_pct() + self.disk_pct() - 100.0).max(0.0)
     }
 
@@ -135,6 +168,22 @@ impl RunStats {
     /// Peak in-core footprint over all nodes.
     pub fn peak_mem(&self) -> usize {
         self.nodes.iter().map(|n| n.peak_mem).max().unwrap_or(0)
+    }
+
+    /// Total packed bytes whose re-write was avoided by elided evictions.
+    pub fn bytes_write_avoided(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_write_avoided).sum()
+    }
+
+    /// Fraction of evictions served by the clean-eviction fast path
+    /// (0.0 when the run evicted nothing).
+    pub fn elision_rate(&self) -> f64 {
+        let evictions = self.total_of(|n| n.evictions);
+        if evictions == 0 {
+            0.0
+        } else {
+            self.total_of(|n| n.evictions_elided) as f64 / evictions as f64
+        }
     }
 
     /// Fraction of completed loads that overlapped with resident work
@@ -173,6 +222,15 @@ impl RunStats {
                 self.total_of(|n| n.degraded_entries),
             ));
         }
+        let elided = self.total_of(|n| n.evictions_elided);
+        let batches = self.total_of(|n| n.spill_batches);
+        if elided + batches > 0 {
+            s.push_str(&format!(
+                " elided={elided} write_avoided={}B batches={batches} pool_hits={}",
+                self.bytes_write_avoided(),
+                self.total_of(|n| n.buffer_pool_hits),
+            ));
+        }
         s
     }
 }
@@ -182,6 +240,7 @@ pub fn empty_stats(n: usize) -> RunStats {
     RunStats {
         total: Duration::ZERO,
         nodes: vec![NodeStats::default(); n],
+        measured_overlap: false,
     }
 }
 
@@ -206,6 +265,7 @@ mod tests {
                     ..NodeStats::default()
                 })
                 .collect(),
+            measured_overlap: false,
         }
     }
 
@@ -225,6 +285,23 @@ mod tests {
         // Fully serialized resources → zero overlap (clamped).
         let s2 = stats_with(100, &[(30, 10, 20)]);
         assert_eq!(s2.overlap_pct(), 0.0);
+    }
+
+    /// A threaded-style run: nodes are OS threads against one wall clock,
+    /// so busy percentages sum below 100% even with real overlap — the
+    /// excess formula clamps to zero. The measured per-node `overlapped`
+    /// accumulator must carry the metric instead.
+    #[test]
+    fn measured_overlap_survives_idle_nodes() {
+        // 40 ms of handler time ran with I/O in flight on node 0, 20 ms on
+        // node 1, out of a 100 ms run: 30% overlap. Busy excess would be
+        // (50 + 10 + 20 + 30 + 5 + 10) / 2 = 62.5% < 100% → clamped 0.
+        let mut s = stats_with(100, &[(50, 10, 20), (30, 5, 10)]);
+        assert_eq!(s.overlap_pct(), 0.0, "excess formula hides the overlap");
+        s.nodes[0].overlapped = Duration::from_millis(40);
+        s.nodes[1].overlapped = Duration::from_millis(20);
+        s.measured_overlap = true;
+        assert!((s.overlap_pct() - 30.0).abs() < 1e-9);
     }
 
     #[test]
@@ -276,5 +353,23 @@ mod tests {
         assert!(text.contains("retries=4"));
         assert!(text.contains("gave_up=1"));
         assert!(text.contains("degraded=2"));
+        // Spill fast-path counters stay out until the path actually fires.
+        assert!(!text.contains("elided="));
+    }
+
+    #[test]
+    fn summary_surfaces_spill_fast_path_counters() {
+        let mut s = stats_with(100, &[(50, 10, 20)]);
+        s.nodes[0].evictions = 10;
+        s.nodes[0].evictions_elided = 4;
+        s.nodes[0].bytes_write_avoided = 4096;
+        s.nodes[0].spill_batches = 2;
+        s.nodes[0].buffer_pool_hits = 6;
+        let text = s.summary();
+        assert!(text.contains("elided=4"));
+        assert!(text.contains("write_avoided=4096B"));
+        assert!(text.contains("batches=2"));
+        assert!(text.contains("pool_hits=6"));
+        assert!((s.elision_rate() - 0.4).abs() < 1e-12);
     }
 }

@@ -87,6 +87,24 @@ struct TEntry {
     /// The object's latest spill is still in the I/O pool: a load for its
     /// key must wait until the store lands (the pool is not FIFO).
     store_inflight: bool,
+    /// Mutation version: bumped after every handler run and on migration
+    /// install, never by a read-only load. The dirty-tracking basis for
+    /// clean-eviction elision.
+    version: u64,
+    /// The mutation version the on-disk bytes correspond to (`None` until
+    /// the first store lands, and after any store failure).
+    stored_version: Option<u64>,
+}
+
+impl TEntry {
+    /// On-disk bytes current: a spill key exists, the last store landed,
+    /// and no handler has mutated the object since that store. Evicting a
+    /// clean object needs no re-pack and no write.
+    fn is_clean(&self) -> bool {
+        self.spill_key.is_some()
+            && !self.store_inflight
+            && self.stored_version == Some(self.version)
+    }
 }
 
 enum IoReq {
@@ -95,6 +113,12 @@ enum IoReq {
         key: u64,
         obj: Box<dyn MobileObject>,
         oid: ObjectId,
+    },
+    /// Pack every object on the I/O thread and persist the batch through
+    /// one [`StorageBackend::store_batch`] call — a single coalesced
+    /// append (one syscall, one sync decision) on the segment log.
+    StoreBatch {
+        items: Vec<(u64, Box<dyn MobileObject>, ObjectId)>,
     },
     Load {
         key: u64,
@@ -109,6 +133,28 @@ enum IoDone {
     Stored {
         oid: ObjectId,
         packed_len: usize,
+        io_dur: Duration,
+        pack_dur: Duration,
+        retries: u32,
+        faults: usize,
+        /// The pack buffer came from the I/O pool's buffer pool.
+        pool_hit: bool,
+    },
+    /// A whole [`IoReq::StoreBatch`] landed; `items` are per-object
+    /// `(oid, packed_len)` in batch order.
+    StoredBatch {
+        items: Vec<(ObjectId, usize)>,
+        io_dur: Duration,
+        pack_dur: Duration,
+        retries: u32,
+        faults: usize,
+        pool_hits: usize,
+    },
+    /// A batch store failed as a whole (a prefix may have landed, but no
+    /// record is trusted); every object is reconstituted for the control
+    /// thread to reinstate in-core.
+    StoreBatchFailed {
+        items: Vec<(ObjectId, Box<dyn MobileObject>)>,
         io_dur: Duration,
         pack_dur: Duration,
         retries: u32,
@@ -436,6 +482,7 @@ impl Worker {
     }
 
     fn evict_bytes(&mut self, need: usize, allow_queued: bool) {
+        let legacy = self.cfg.legacy_spill;
         let mut candidates: Vec<EvictCandidate> = self
             .table
             .iter()
@@ -451,15 +498,82 @@ impl Worker {
                 meta: e.meta,
                 priority: e.priority,
                 queued_msgs: e.queue.len(),
+                // Legacy spill ignores dirty tracking; forcing `false`
+                // keeps the victim ordering byte-for-byte the old one.
+                clean: !legacy && e.is_clean(),
             })
             .collect();
         let victims = self.ooc.pick_victims(&mut candidates, need);
+        if legacy || victims.len() <= 1 {
+            for oid in victims {
+                self.spill(oid);
+            }
+            return;
+        }
+        // Fast path, multiple victims: elide the clean ones and coalesce
+        // the dirty remainder into one batched store.
+        let mut dirty = Vec::new();
         for oid in victims {
-            self.spill(oid);
+            if !self.try_elide(oid) {
+                dirty.push(oid);
+            }
+        }
+        match dirty.len() {
+            0 => {}
+            1 => self.spill(dirty[0]),
+            _ => self.spill_batch(dirty),
         }
     }
 
+    /// Clean-eviction elision: drop the resident copy of a clean object
+    /// without re-packing or re-writing — the on-disk bytes are already
+    /// current. Returns `false` (caller must store) when the fast path is
+    /// disabled or the object is dirty.
+    fn try_elide(&mut self, oid: ObjectId) -> bool {
+        if self.cfg.legacy_spill {
+            return false;
+        }
+        let (footprint, packed_len) = {
+            let e = self.table.get_mut(&oid).unwrap();
+            if !matches!(e.state, TState::InCore(_)) || !e.is_clean() {
+                return false;
+            }
+            let obj = match std::mem::replace(&mut e.state, TState::OnDisk) {
+                TState::InCore(o) => o,
+                _ => unreachable!(),
+            };
+            drop(obj);
+            (e.footprint, e.packed_len)
+        };
+        self.ooc.note_out(footprint);
+        self.ooc.note_spilled(footprint);
+        self.race_access(oid);
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::ElidedUnload {
+                node: self.node,
+                oid,
+                footprint,
+                version: self.table[&oid].version,
+                stored_version: self.table[&oid]
+                    .stored_version
+                    .expect("clean object has a stored version"),
+            }
+        );
+        self.stats.evictions += 1;
+        self.stats.evictions_elided += 1;
+        self.stats.bytes_write_avoided += packed_len as u64;
+        self.ready.retain(|&r| r != oid);
+        if !self.table[&oid].queue.is_empty() {
+            self.queue_load(oid);
+        }
+        true
+    }
+
     fn spill(&mut self, oid: ObjectId) {
+        if self.try_elide(oid) {
+            return;
+        }
         let e = self.table.get_mut(&oid).unwrap();
         let obj = match std::mem::replace(&mut e.state, TState::OnDisk) {
             TState::InCore(o) => o,
@@ -472,6 +586,9 @@ impl Worker {
             let next = &mut self.next_spill_key;
             let e = self.table.get_mut(&oid).unwrap();
             e.store_inflight = true;
+            // The object cannot mutate while out of core, so the version
+            // at send time is the version the packed bytes will carry.
+            e.stored_version = Some(e.version);
             *e.spill_key.get_or_insert_with(|| {
                 let k = *next;
                 *next += 1;
@@ -502,6 +619,59 @@ impl Worker {
         if !self.table[&oid].queue.is_empty() {
             self.queue_load(oid);
         }
+    }
+
+    /// Spill several dirty victims through one coalesced batch write: one
+    /// store op (a single append on the segment log), one sync decision,
+    /// one I/O-pool round trip — instead of one of each per victim.
+    fn spill_batch(&mut self, victims: Vec<ObjectId>) {
+        let mut items: Vec<(u64, Box<dyn MobileObject>, ObjectId)> =
+            Vec::with_capacity(victims.len());
+        for oid in victims {
+            let next = &mut self.next_spill_key;
+            let e = self.table.get_mut(&oid).unwrap();
+            let obj = match std::mem::replace(&mut e.state, TState::OnDisk) {
+                TState::InCore(o) => o,
+                other => {
+                    e.state = other;
+                    continue;
+                }
+            };
+            e.store_inflight = true;
+            e.stored_version = Some(e.version);
+            let key = *e.spill_key.get_or_insert_with(|| {
+                let k = *next;
+                *next += 1;
+                k
+            });
+            let footprint = e.footprint;
+            self.ooc.note_out(footprint);
+            self.ooc.note_spilled(footprint);
+            self.race_access(oid);
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::Unload {
+                    node: self.node,
+                    oid,
+                    footprint
+                }
+            );
+            self.stats.evictions += 1;
+            self.stats.stores += 1;
+            self.ready.retain(|&r| r != oid);
+            if !self.table[&oid].queue.is_empty() {
+                self.queue_load(oid);
+            }
+            items.push((key, obj, oid));
+        }
+        if items.is_empty() {
+            return;
+        }
+        if items.len() >= 2 {
+            self.stats.spill_batches += 1;
+        }
+        self.outstanding_io += 1;
+        self.io_tx.send(IoReq::StoreBatch { items }).unwrap();
     }
 
     /// Note that `oid` (on disk) has pending work; the load is issued by
@@ -652,15 +822,100 @@ impl Worker {
                 pack_dur,
                 retries,
                 faults,
+                pool_hit,
             } => {
                 self.stats.disk += io_dur;
                 self.stats.comp += pack_dur;
                 self.stats.bytes_to_disk += packed_len as u64;
                 self.stats.io_retries += retries as usize;
                 self.stats.faults_injected += faults;
+                self.stats.buffer_pool_hits += usize::from(pool_hit);
                 let e = self.table.get_mut(&oid).unwrap();
                 e.store_inflight = false;
                 e.packed_len = packed_len;
+            }
+            IoDone::StoredBatch {
+                items,
+                io_dur,
+                pack_dur,
+                retries,
+                faults,
+                pool_hits,
+            } => {
+                self.stats.disk += io_dur;
+                self.stats.comp += pack_dur;
+                self.stats.io_retries += retries as usize;
+                self.stats.faults_injected += faults;
+                self.stats.buffer_pool_hits += pool_hits;
+                for (oid, packed_len) in items {
+                    self.stats.bytes_to_disk += packed_len as u64;
+                    let e = self.table.get_mut(&oid).unwrap();
+                    e.store_inflight = false;
+                    e.packed_len = packed_len;
+                }
+            }
+            IoDone::StoreBatchFailed {
+                items,
+                io_dur,
+                pack_dur,
+                retries,
+                faults,
+            } => {
+                self.stats.disk += io_dur;
+                self.stats.comp += pack_dur;
+                self.stats.io_retries += retries as usize;
+                self.stats.faults_injected += faults;
+                self.stats.io_gave_up += 1;
+                // Whole-batch failure: reinstate every object in-core. A
+                // prefix of the batch may have landed, but no record is
+                // trusted — all objects are marked dirty so no later
+                // elision can reference the torn batch.
+                let mut migrations = Vec::new();
+                for (oid, obj) in items {
+                    let footprint = obj.footprint();
+                    let tick = self.ooc.tick();
+                    self.ooc.note_in(footprint);
+                    let pending = {
+                        let e = self.table.get_mut(&oid).unwrap();
+                        e.store_inflight = false;
+                        e.stored_version = None;
+                        e.state = TState::InCore(obj);
+                        e.footprint = footprint;
+                        e.meta.touch(tick);
+                        e.pending_migration
+                    };
+                    self.race_access(oid);
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::Load {
+                            node: self.node,
+                            oid,
+                            footprint
+                        }
+                    );
+                    if let Some(dest) = pending {
+                        migrations.push((oid, dest));
+                    } else {
+                        if !self.table[&oid].queue.is_empty() {
+                            self.ready.push_back(oid);
+                        }
+                        self.mc_note_available(oid);
+                    }
+                }
+                if self.ooc.enter_degraded() {
+                    self.stats.degraded_entries += 1;
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::Degraded {
+                            node: self.node,
+                            on: true
+                        }
+                    );
+                }
+                self.audit_budget(false);
+                for (oid, dest) in migrations {
+                    self.do_migrate(oid, dest);
+                }
             }
             IoDone::StoreFailed {
                 oid,
@@ -685,6 +940,7 @@ impl Worker {
                 let pending = {
                     let e = self.table.get_mut(&oid).unwrap();
                     e.store_inflight = false;
+                    e.stored_version = None;
                     e.state = TState::InCore(obj);
                     e.footprint = footprint;
                     e.meta.touch(tick);
@@ -864,7 +1120,13 @@ impl Worker {
         let mut ctx = Ctx::new(self.node, msg.to, src, &mut next_seq, self.backend.as_mut());
         let t0 = Instant::now();
         handler(obj.as_mut(), &mut ctx, &msg.payload);
-        self.stats.comp += t0.elapsed();
+        let dur = t0.elapsed();
+        self.stats.comp += dur;
+        // Handler time with storage ops in flight is measured I/O–compute
+        // overlap (the paper's headline quantity).
+        if self.outstanding_io > 0 {
+            self.stats.overlapped += dur;
+        }
         let effects = std::mem::take(&mut ctx.effects);
         drop(ctx);
         self.next_obj_seq = next_seq;
@@ -879,6 +1141,9 @@ impl Worker {
             e.state = TState::InCore(obj);
             e.meta.touch(tick);
             e.footprint = new_footprint;
+            // Dirty tracking: the handler may have mutated the object, so
+            // any spilled bytes are stale from here on.
+            e.version += 1;
         }
         self.ooc.note_resize(old_footprint, new_footprint);
         if old_footprint != new_footprint {
@@ -954,6 +1219,8 @@ impl Worker {
                             pending_migration: None,
                             load_queued: false,
                             store_inflight: false,
+                            version: 0,
+                            stored_version: None,
                         },
                     );
                     audit_emit!(
@@ -1074,7 +1341,7 @@ impl Worker {
     }
 
     fn do_migrate(&mut self, oid: ObjectId, dest: NodeId) {
-        let (obj, queue, priority, locked, footprint) = {
+        let (obj, queue, priority, locked, footprint, version) = {
             let e = self.table.get_mut(&oid).unwrap();
             e.pending_migration = None;
             let obj = match std::mem::replace(&mut e.state, TState::Moved(dest)) {
@@ -1090,6 +1357,7 @@ impl Worker {
                 e.priority,
                 e.locked,
                 e.footprint,
+                e.version,
             )
         };
         self.ready.retain(|&r| r != oid);
@@ -1113,10 +1381,16 @@ impl Worker {
             }
         );
 
-        // Install payload: oid, priority, locked, packed object, queued
-        // messages.
+        // Install payload: oid, priority, locked, mutation version, packed
+        // object, queued messages. The version travels with the object so
+        // the receiver's dirty tracking stays in sync with the checker's
+        // model (install counts as a mutation on arrival).
         let mut w = crate::codec::PayloadWriter::with_capacity(packed.len() + 64);
-        w.u64(oid.0).u8(priority).u8(locked as u8).bytes(&packed);
+        w.u64(oid.0)
+            .u8(priority)
+            .u8(locked as u8)
+            .u64(version)
+            .bytes(&packed);
         w.u32(queue.len() as u32);
         for m in &queue {
             w.bytes(&m.encode());
@@ -1145,14 +1419,17 @@ impl Worker {
         let oid = ObjectId(r.u64().unwrap());
         let priority = r.u8().unwrap();
         let locked = r.u8().unwrap() != 0;
-        let packed = r.bytes().unwrap().to_vec();
+        let version = r.u64().unwrap();
+        // Unpack straight from the payload's borrowed bytes — no
+        // intermediate copy of the packed object.
+        let packed = r.bytes().unwrap();
         let n_msgs = r.u32().unwrap();
         let mut queue = VecDeque::with_capacity(n_msgs as usize);
         for _ in 0..n_msgs {
             queue.push_back(Message::decode(r.bytes().unwrap()).unwrap());
         }
         let t0 = Instant::now();
-        let obj = self.registry.unpack(&packed);
+        let obj = self.registry.unpack(packed);
         self.stats.comp += t0.elapsed();
         let footprint = obj.footprint();
         self.admit(footprint);
@@ -1172,6 +1449,11 @@ impl Worker {
                 pending_migration: None,
                 load_queued: false,
                 store_inflight: false,
+                // Installing is a mutation (matches the checker's
+                // `MigrateIn` bump); any bytes spilled on the old node
+                // are unreachable here.
+                version: version + 1,
+                stored_version: None,
             },
         );
         self.dir.update(oid, self.node);
@@ -1494,16 +1776,53 @@ struct WorkerResult {
     fatal: Option<MrtsError>,
 }
 
+/// Bounded pool of reusable pack buffers shared by one node's I/O pool
+/// workers. `max = 0` disables pooling (the legacy-spill escape hatch):
+/// every `get` misses and every `put` drops the buffer.
+struct BufferPool {
+    bufs: std::sync::Mutex<Vec<Vec<u8>>>,
+    max: usize,
+}
+
+impl BufferPool {
+    fn new(max: usize) -> Self {
+        BufferPool {
+            bufs: std::sync::Mutex::new(Vec::new()),
+            max,
+        }
+    }
+
+    /// A buffer to pack into, plus whether it came from the pool (its
+    /// capacity is reused — no fresh allocation on the hot path).
+    fn get(&self) -> (Vec<u8>, bool) {
+        match self.bufs.lock().unwrap().pop() {
+            Some(b) => (b, true),
+            None => (Vec::new(), false),
+        }
+    }
+
+    fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut g = self.bufs.lock().unwrap();
+        if g.len() < self.max {
+            g.push(buf);
+        }
+    }
+}
+
 /// Spawn the node's I/O pool: `n_threads` workers sharing one spill store
 /// behind a mutex. Pack/unpack run on the pool **outside** the store lock,
 /// so serialization of one object overlaps the disk op of another and the
-/// node's control thread never blocks on either.
+/// node's control thread never blocks on either. Pack buffers are drawn
+/// from a bounded [`BufferPool`] (capacity `pool_max`) and recycled after
+/// each store — and load result buffers feed back into it.
 fn spawn_io_pool(
     node: NodeId,
     store: Box<dyn StorageBackend>,
     registry: std::sync::Arc<Registry>,
     n_threads: usize,
     retry: RetryPolicy,
+    pool_max: usize,
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
 ) -> (
     channel::Sender<IoReq>,
@@ -1513,11 +1832,13 @@ fn spawn_io_pool(
     let (req_tx, req_rx) = channel::unbounded::<IoReq>();
     let (done_tx, done_rx) = channel::unbounded::<IoDone>();
     let store = std::sync::Arc::new(std::sync::Mutex::new(store));
+    let pool = std::sync::Arc::new(BufferPool::new(pool_max));
     let mut handles = Vec::with_capacity(n_threads);
     for t in 0..n_threads {
         let req_rx = req_rx.clone();
         let done_tx = done_tx.clone();
         let store = store.clone();
+        let pool = pool.clone();
         let registry = registry.clone();
         let audit = audit.clone();
         let handle = std::thread::Builder::new()
@@ -1527,7 +1848,8 @@ fn spawn_io_pool(
                     match req {
                         IoReq::Store { key, obj, oid } => {
                             let t0 = Instant::now();
-                            let bytes = Registry::pack(obj.as_ref());
+                            let (mut bytes, pool_hit) = pool.get();
+                            Registry::pack_into(obj.as_ref(), &mut bytes);
                             let pack_dur = t0.elapsed();
                             drop(obj);
                             let packed_len = bytes.len();
@@ -1565,20 +1887,101 @@ fn spawn_io_pool(
                             };
                             let io_dur = t1.elapsed();
                             let done = match outcome {
-                                Ok(()) => IoDone::Stored {
-                                    oid,
-                                    packed_len,
-                                    io_dur,
-                                    pack_dur,
-                                    retries,
-                                    faults,
-                                },
+                                Ok(()) => {
+                                    let done = IoDone::Stored {
+                                        oid,
+                                        packed_len,
+                                        io_dur,
+                                        pack_dur,
+                                        retries,
+                                        faults,
+                                        pool_hit,
+                                    };
+                                    pool.put(bytes);
+                                    done
+                                }
                                 Err(_) => IoDone::StoreFailed {
                                     // The store rejected it: rebuild the
                                     // object from the packed bytes so the
                                     // control thread can reinstate it.
                                     oid,
                                     obj: registry.unpack(&bytes),
+                                    io_dur,
+                                    pack_dur,
+                                    retries,
+                                    faults,
+                                },
+                            };
+                            done_tx.send(done).ok();
+                        }
+                        IoReq::StoreBatch { items } => {
+                            // Pack every object into a pooled buffer, then
+                            // land the whole batch through one
+                            // `store_batch` call under one lock hold: a
+                            // single coalesced append on the segment log.
+                            let t0 = Instant::now();
+                            let mut pool_hits = 0usize;
+                            let mut packed: Vec<(u64, Vec<u8>, ObjectId)> =
+                                Vec::with_capacity(items.len());
+                            for (key, obj, oid) in items {
+                                let (mut buf, hit) = pool.get();
+                                pool_hits += usize::from(hit);
+                                Registry::pack_into(obj.as_ref(), &mut buf);
+                                drop(obj);
+                                packed.push((key, buf, oid));
+                            }
+                            let pack_dur = t0.elapsed();
+                            let first = packed[0].2;
+                            let t1 = Instant::now();
+                            let mut retries = 0u32;
+                            let mut faults = 0usize;
+                            let mut attempt = 0u32;
+                            let outcome = loop {
+                                attempt += 1;
+                                let pairs: Vec<(u64, &[u8])> =
+                                    packed.iter().map(|(k, b, _)| (*k, b.as_slice())).collect();
+                                let (res, fr, cr) = {
+                                    let mut s = store.lock().unwrap();
+                                    let res = s.store_batch(&pairs);
+                                    (res, s.take_fault_reports(), s.take_compaction_reports())
+                                };
+                                faults += fr.len();
+                                emit_faults(node, &fr, &audit);
+                                emit_compactions(node, &cr, &audit);
+                                match res {
+                                    Ok(()) => break Ok(()),
+                                    Err(e) => {
+                                        if attempt >= retry.max_attempts || is_out_of_space(&e) {
+                                            break Err(e);
+                                        }
+                                        retries += 1;
+                                        emit_retry(node, first, attempt, &audit);
+                                        std::thread::sleep(retry.delay(attempt, packed[0].0));
+                                    }
+                                }
+                            };
+                            let io_dur = t1.elapsed();
+                            let done = match outcome {
+                                Ok(()) => {
+                                    let mut out = Vec::with_capacity(packed.len());
+                                    for (_, buf, oid) in packed {
+                                        out.push((oid, buf.len()));
+                                        pool.put(buf);
+                                    }
+                                    IoDone::StoredBatch {
+                                        items: out,
+                                        io_dur,
+                                        pack_dur,
+                                        retries,
+                                        faults,
+                                        pool_hits,
+                                    }
+                                }
+                                Err(_) => IoDone::StoreBatchFailed {
+                                    items: packed
+                                        .iter()
+                                        .map(|(_, b, oid)| (*oid, registry.unpack(b)))
+                                        .collect(),
                                     io_dur,
                                     pack_dur,
                                     retries,
@@ -1619,6 +2022,9 @@ fn spawn_io_pool(
                                     let t1 = Instant::now();
                                     let obj = registry.unpack(&bytes);
                                     let unpack_dur = t1.elapsed();
+                                    // The loaded allocation feeds the pack
+                                    // buffer pool for future stores.
+                                    pool.put(bytes);
                                     IoDone::Loaded {
                                         oid,
                                         obj,
@@ -1900,12 +2306,20 @@ impl ThreadedRuntime {
             let pool_audit = self.audit.clone();
             #[cfg(not(any(feature = "audit", debug_assertions)))]
             let pool_audit: Option<std::sync::Arc<dyn crate::audit::EventSink>> = None;
+            // Legacy spill disables buffer pooling (capacity 0: every get
+            // allocates, every put drops).
+            let pool_max = if self.cfg.legacy_spill {
+                0
+            } else {
+                self.cfg.io_threads * 2 + 2
+            };
             let (io_tx, io_rx, handles) = spawn_io_pool(
                 i as NodeId,
                 store,
                 registry.clone(),
                 self.cfg.io_threads,
                 self.cfg.retry,
+                pool_max,
                 pool_audit,
             );
             io_handles.extend(handles);
@@ -1992,6 +2406,8 @@ impl ThreadedRuntime {
                             pending_migration: None,
                             load_queued: false,
                             store_inflight: false,
+                            version: 0,
+                            stored_version: None,
                         },
                     );
                     if locked {
@@ -2073,6 +2489,10 @@ impl ThreadedRuntime {
             None => Ok(RunStats {
                 total,
                 nodes: nodes_stats,
+                // Workers accumulate overlap directly (handler time with
+                // storage ops in flight), so `overlap_pct` reports the
+                // measurement instead of the busy-excess estimate.
+                measured_overlap: true,
             }),
         }
     }

@@ -29,6 +29,7 @@ fn cand(
         },
         priority: prio,
         queued_msgs: queued,
+        clean: false,
     }
 }
 
@@ -45,19 +46,22 @@ fn manager(policy: PolicyKind) -> OocManager {
 fn candidates_strategy() -> impl Strategy<Value = Vec<EvictCandidate>> {
     prop::collection::vec(
         (
-            1usize..4096, // footprint
-            0u64..CLOCK,  // last_access
-            1u64..200,    // access_count
-            0u8..=255u8,  // priority
-            0usize..4,    // queued_msgs
+            1usize..4096,  // footprint
+            0u64..CLOCK,   // last_access
+            1u64..200,     // access_count
+            0u8..=255u8,   // priority
+            0usize..4,     // queued_msgs
+            any::<bool>(), // clean (valid on-disk bytes)
         ),
         1..24,
     )
     .prop_map(|raw| {
         raw.into_iter()
             .enumerate()
-            .map(|(i, (fp, last, count, prio, queued))| {
-                cand(i as u64, fp, last, count, prio, queued)
+            .map(|(i, (fp, last, count, prio, queued, clean))| {
+                let mut c = cand(i as u64, fp, last, count, prio, queued);
+                c.clean = clean;
+                c
             })
             .collect()
     })

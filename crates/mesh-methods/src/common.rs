@@ -295,7 +295,12 @@ impl ClusterSim {
                 ..NodeStats::default()
             })
             .collect();
-        RunStats { total, nodes }
+        RunStats {
+            total,
+            nodes,
+            // Analytic PE model, not a wall-clock run.
+            measured_overlap: false,
+        }
     }
 }
 

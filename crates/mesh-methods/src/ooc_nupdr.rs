@@ -842,6 +842,16 @@ mod tests {
         );
         let ratio = ooc.elements as f64 / in_core.elements as f64;
         assert!((0.8..1.25).contains(&ratio));
+        // Spill fast-path accounting stays coherent on this method too.
+        assert!(
+            ooc.stats.total_of(|n| n.evictions_elided) <= ooc.stats.total_of(|n| n.evictions),
+            "{}",
+            ooc.stats.summary()
+        );
+        assert_eq!(
+            ooc.stats.bytes_write_avoided() > 0,
+            ooc.stats.total_of(|n| n.evictions_elided) > 0
+        );
     }
 
     #[test]

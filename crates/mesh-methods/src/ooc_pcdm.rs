@@ -381,6 +381,13 @@ mod tests {
             port.stats.summary()
         );
         assert!(port.stats.disk_pct() > 0.0);
+        // Spill fast-path accounting must stay coherent: elisions are a
+        // subset of evictions and avoided bytes exist iff something was
+        // elided.
+        let evictions = port.stats.total_of(|n| n.evictions);
+        let elided = port.stats.total_of(|n| n.evictions_elided);
+        assert!(elided <= evictions, "{}", port.stats.summary());
+        assert_eq!(port.stats.bytes_write_avoided() > 0, elided > 0);
     }
 
     #[test]

@@ -451,6 +451,17 @@ mod tests {
         );
         // The out-of-core run must be slower but not absurdly so.
         assert!(ooc.stats.total >= in_core_port.stats.total);
+        // Spill fast-path accounting stays coherent on this method too.
+        assert!(
+            ooc.stats.total_of(|n| n.evictions_elided) <= ooc.stats.total_of(|n| n.evictions),
+            "{}",
+            ooc.stats.summary()
+        );
+        // The legacy escape hatch must still mesh identically.
+        let legacy = oupdr_run(&p, MrtsConfig::out_of_core(2, budget).with_legacy_spill());
+        assert_eq!(legacy.elements, ooc.elements);
+        assert_eq!(legacy.stats.total_of(|n| n.evictions_elided), 0);
+        assert_eq!(legacy.stats.total_of(|n| n.spill_batches), 0);
     }
 
     #[test]

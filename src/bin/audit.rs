@@ -291,11 +291,15 @@ mod invariant_sweep {
             return Err("threaded OOC run never spilled — sweep is vacuous".into());
         }
         println!(
-            "    threaded-ooc: {} events checked ({} stores, {} loads, hit rate {:.0}%)",
+            "    threaded-ooc: {} events checked ({} stores, {} loads, hit rate {:.0}%, \
+             {} elided, {} batches, {} pool hits)",
             chk.events_seen(),
             stats.total_of(|n| n.stores),
             stats.total_of(|n| n.loads),
             100.0 * stats.prefetch_hit_rate(),
+            stats.total_of(|n| n.evictions_elided),
+            stats.total_of(|n| n.spill_batches),
+            stats.total_of(|n| n.buffer_pool_hits),
         );
         Ok(())
     }
@@ -361,11 +365,13 @@ mod chaos_sweep {
 
     fn counters(stats: &RunStats) -> String {
         format!(
-            "faults={} retries={} gave_up={} degraded={}",
+            "faults={} retries={} gave_up={} degraded={} elided={} batches={}",
             stats.total_of(|n| n.faults_injected),
             stats.total_of(|n| n.io_retries),
             stats.total_of(|n| n.io_gave_up),
             stats.total_of(|n| n.degraded_entries),
+            stats.total_of(|n| n.evictions_elided),
+            stats.total_of(|n| n.spill_batches),
         )
     }
 

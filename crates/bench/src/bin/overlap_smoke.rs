@@ -103,7 +103,12 @@ fn main() {
             "  \"evictions_elided\": {},\n",
             "  \"bytes_write_avoided\": {},\n",
             "  \"spill_batches\": {},\n",
-            "  \"buffer_pool_hits\": {}\n",
+            "  \"buffer_pool_hits\": {},\n",
+            "  \"messages_dropped\": {},\n",
+            "  \"retransmits\": {},\n",
+            "  \"dup_suppressed\": {},\n",
+            "  \"hints_invalidated\": {},\n",
+            "  \"acks_sent\": {}\n",
             "}}\n"
         ),
         quick,
@@ -127,13 +132,30 @@ fn main() {
         s.bytes_write_avoided(),
         s.total_of(|n| n.spill_batches),
         s.total_of(|n| n.buffer_pool_hits),
+        s.total_of(|n| n.messages_dropped),
+        s.total_of(|n| n.retransmits),
+        s.total_of(|n| n.dup_suppressed),
+        s.total_of(|n| n.hints_invalidated),
+        s.total_of(|n| n.acks_sent),
     );
+    // This benchmark runs fault-free: a non-zero network counter here
+    // means the reliable-delivery layer did work it had no reason to.
+    for (name, v) in [
+        ("messages_dropped", s.total_of(|n| n.messages_dropped)),
+        ("retransmits", s.total_of(|n| n.retransmits)),
+        ("dup_suppressed", s.total_of(|n| n.dup_suppressed)),
+        ("hints_invalidated", s.total_of(|n| n.hints_invalidated)),
+        ("acks_sent", s.total_of(|n| n.acks_sent)),
+    ] {
+        assert_eq!(v, 0, "fault-free run charged net counter {name} = {v}");
+    }
     std::fs::write("BENCH_overlap.json", &json).expect("write BENCH_overlap.json");
     print!("{json}");
     eprintln!(
         "in-core {:.3}s | ooc-legacy {:.3}s | ooc-overlap {:.3}s ({speedup:.2}x vs legacy, \
          hit rate {:.0}%) | faults {} retries {} gave_up {} degraded {} | \
-         spill: {} elided, {} B avoided, {} batches, {} pool hits",
+         spill: {} elided, {} B avoided, {} batches, {} pool hits | \
+         net: {} dropped {} retx {} dups {} hints {} acks",
         r_core.secs,
         r_legacy.secs,
         r_overlap.secs,
@@ -146,5 +168,10 @@ fn main() {
         s.bytes_write_avoided(),
         s.total_of(|n| n.spill_batches),
         s.total_of(|n| n.buffer_pool_hits),
+        s.total_of(|n| n.messages_dropped),
+        s.total_of(|n| n.retransmits),
+        s.total_of(|n| n.dup_suppressed),
+        s.total_of(|n| n.hints_invalidated),
+        s.total_of(|n| n.acks_sent),
     );
 }

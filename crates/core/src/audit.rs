@@ -60,6 +60,10 @@
 //!     mutation version, and the checker's independent model of the
 //!     on-disk version (bumped at `Deliver`/`MigrateIn`, recorded at
 //!     `Unload`, invalidated by migration) must agree.
+//! 13. **Handlers execute exactly once per post** — even under duplicated
+//!     transmissions, every `Deliver` consumes an outstanding `Post`; a
+//!     duplicate that escaped receiver-side dedup drives the outstanding
+//!     count negative and is flagged.
 //!
 //! A catch-all, [`Invariant::EventOrder`], flags protocol-impossible
 //! streams (loading an in-core object, installing a migration that never
@@ -220,6 +224,32 @@ pub enum RuntimeEvent {
     /// evictions stop, prefetch sheds, objects stay resident until the
     /// backend accepts writes again.
     Degraded { node: NodeId, on: bool },
+    /// The network fault plan hit a transmission from `node` towards
+    /// `dest` (injected drop/duplicate/delay/reorder).
+    NetFault {
+        node: NodeId,
+        dest: NodeId,
+        kind: crate::netfault::NetFaultKind,
+    },
+    /// The reliable-delivery layer retransmitted sequence number `seq`
+    /// from `node` to `dest` (`attempt` is 1-based).
+    Retransmit {
+        node: NodeId,
+        dest: NodeId,
+        seq: u64,
+        attempt: u32,
+    },
+    /// Receiver-side dedup on `node` suppressed a duplicate delivery of
+    /// sequence number `seq` from `src` — the handler did not run again.
+    DupSuppressed { node: NodeId, src: NodeId, seq: u64 },
+    /// `node` dropped its directory hint for `oid` (which pointed at
+    /// `loc`) after repeated delivery failure; routing falls back to the
+    /// object's home.
+    HintInvalidated {
+        node: NodeId,
+        oid: ObjectId,
+        loc: NodeId,
+    },
 }
 
 /// Observer of the runtime event stream. Must be thread-safe: the
@@ -287,6 +317,9 @@ pub enum Invariant {
     /// A clean eviction skipped its write while the on-disk bytes were
     /// stale (mutation version ahead of the last stored version).
     StaleElision,
+    /// A handler executed more often than messages were posted — a
+    /// duplicated transmission slipped past receiver-side dedup.
+    DuplicateDelivery,
     /// A protocol-impossible event for the tracked state (catch-all that
     /// keeps the checker honest about its own model).
     EventOrder,
@@ -617,6 +650,15 @@ impl EventSink for InvariantChecker {
             RuntimeEvent::Post { .. } => st.outstanding += 1,
             RuntimeEvent::Deliver { node, oid } => {
                 st.outstanding -= 1;
+                if st.outstanding < 0 {
+                    found.push((
+                        Invariant::DuplicateDelivery,
+                        format!(
+                            "handler ran against {oid:?} on node {node} with no outstanding post \
+                             — a duplicated transmission slipped past dedup"
+                        ),
+                    ));
+                }
                 st.forward_streak.remove(oid);
                 match st.objs.get_mut(oid) {
                     Some(o) if o.residency == Residency::InCore && o.loc == *node => {
@@ -929,10 +971,17 @@ impl EventSink for InvariantChecker {
                     ));
                 }
             }
-            // Fault and Retry are observability events: they mark where the
-            // storage layer failed and where the engine recovered, but do
-            // not change the object-state model.
-            RuntimeEvent::Fault { .. } | RuntimeEvent::Retry { .. } => {}
+            // Fault/Retry and the network-fault events are observability
+            // events: they mark where a layer failed and where the engine
+            // recovered, but do not change the object-state model (the
+            // duplicate-delivery invariant is enforced at `Deliver`, where
+            // a duplicate that escaped dedup would surface).
+            RuntimeEvent::Fault { .. }
+            | RuntimeEvent::Retry { .. }
+            | RuntimeEvent::NetFault { .. }
+            | RuntimeEvent::Retransmit { .. }
+            | RuntimeEvent::DupSuppressed { .. }
+            | RuntimeEvent::HintInvalidated { .. } => {}
             RuntimeEvent::Degraded { node, on } => {
                 if *on {
                     if !st.degraded.insert(*node) {
@@ -1209,6 +1258,62 @@ mod tests {
         assert!(c.violations().is_empty(), "{:?}", c.violations());
         assert_eq!(c.events_seen(), 7);
         c.assert_clean();
+    }
+
+    #[test]
+    fn duplicate_delivery_is_flagged() {
+        let c = InvariantChecker::new(FailMode::Collect);
+        c.record(&RuntimeEvent::Create {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::Post { oid: oid(1) });
+        c.record(&RuntimeEvent::Deliver {
+            node: 0,
+            oid: oid(1),
+        });
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        // The same message delivered again (dedup failed): one post, two
+        // handler executions.
+        c.record(&RuntimeEvent::Deliver {
+            node: 0,
+            oid: oid(1),
+        });
+        assert!(
+            c.violations()
+                .iter()
+                .any(|v| v.invariant == Invariant::DuplicateDelivery),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn net_fault_events_are_observability_only() {
+        let c = InvariantChecker::new(FailMode::Panic);
+        c.record(&RuntimeEvent::NetFault {
+            node: 0,
+            dest: 1,
+            kind: crate::netfault::NetFaultKind::Drop,
+        });
+        c.record(&RuntimeEvent::Retransmit {
+            node: 0,
+            dest: 1,
+            seq: 7,
+            attempt: 1,
+        });
+        c.record(&RuntimeEvent::DupSuppressed {
+            node: 1,
+            src: 0,
+            seq: 7,
+        });
+        c.record(&RuntimeEvent::HintInvalidated {
+            node: 0,
+            oid: oid(1),
+            loc: 2,
+        });
+        assert_eq!(c.events_seen(), 4);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::compute::ExecutorKind;
 use crate::fault::{FaultPlan, RetryPolicy};
+use crate::netfault::NetFaultPlan;
 use crate::policy::PolicyKind;
 use crate::storage::DiskModel;
 use std::time::Duration;
@@ -114,8 +115,16 @@ pub struct MrtsConfig {
     /// set, every node's spill store is wrapped in a
     /// [`crate::fault::FaultyStore`] seeded with `plan.seed + node`.
     pub fault: Option<FaultPlan>,
-    /// Retry/backoff policy for storage operations in both engines.
+    /// Retry/backoff policy for storage operations in both engines (also
+    /// paces message retransmission in the reliable-delivery layer).
     pub retry: RetryPolicy,
+    /// Deterministic network fault schedule; `None` runs over a reliable
+    /// fabric. When set, the threaded engine activates its
+    /// reliable-delivery layer (sequence numbers, acks, retransmits,
+    /// receiver dedup) and injects the plan's faults into every physical
+    /// transmission; the DES models the same faults on its virtual
+    /// channels.
+    pub net_fault: Option<NetFaultPlan>,
 }
 
 impl Default for MrtsConfig {
@@ -141,6 +150,7 @@ impl Default for MrtsConfig {
             legacy_spill: false,
             fault: None,
             retry: RetryPolicy::default(),
+            net_fault: None,
         }
     }
 }
@@ -224,6 +234,13 @@ impl MrtsConfig {
         self
     }
 
+    /// Inject the message faults of `plan` into the fabric (and turn on
+    /// the threaded engine's reliable-delivery layer).
+    pub fn with_net_faults(mut self, plan: NetFaultPlan) -> Self {
+        self.net_fault = Some(plan);
+        self
+    }
+
     /// Is the out-of-core layer active?
     pub fn ooc_enabled(&self) -> bool {
         self.mem_budget != usize::MAX
@@ -270,6 +287,23 @@ impl MrtsConfig {
             ] {
                 if rate > 1000 {
                     return Err(format!("fault.{name} must be <= 1000"));
+                }
+            }
+        }
+        if let Some(n) = &self.net_fault {
+            for (name, rate) in [
+                ("drop_permille", n.drop_permille),
+                ("dup_permille", n.dup_permille),
+                ("delay_permille", n.delay_permille),
+                ("reorder_permille", n.reorder_permille),
+            ] {
+                if rate > 1000 {
+                    return Err(format!("net_fault.{name} must be <= 1000"));
+                }
+            }
+            if let Some((node, _)) = n.kill_node {
+                if node as usize >= self.nodes {
+                    return Err(format!("net_fault.kill_node {node} out of range"));
                 }
             }
         }
@@ -374,6 +408,19 @@ mod tests {
         assert!(l.legacy_spill);
         assert_eq!(l.spill_backend, SpillBackend::SegmentLog);
         assert_eq!(l.io_threads, 2);
+    }
+
+    #[test]
+    fn net_fault_plan_validates() {
+        let ok = MrtsConfig::in_core(3).with_net_faults(NetFaultPlan::new(1).with_drops(100));
+        ok.validate().unwrap();
+        assert!(ok.net_fault.is_some());
+        let bad_rate =
+            MrtsConfig::in_core(3).with_net_faults(NetFaultPlan::new(1).with_drops(1001));
+        assert!(bad_rate.validate().is_err());
+        let bad_kill =
+            MrtsConfig::in_core(3).with_net_faults(NetFaultPlan::new(1).with_kill_node(7, 10));
+        assert!(bad_kill.validate().is_err());
     }
 
     #[test]

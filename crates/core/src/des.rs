@@ -203,6 +203,9 @@ pub struct DesRuntime {
     /// Set when a spilled object could not be read back: the run aborts
     /// and [`DesRuntime::try_run`] surfaces the typed error.
     fatal: Option<MrtsError>,
+    /// Per-directed-edge logical message counter for the network fault
+    /// model (sequence numbers the fault plan draws against).
+    net_seq: HashMap<(NodeId, NodeId), u64>,
     #[cfg(any(feature = "audit", debug_assertions))]
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
 }
@@ -256,6 +259,7 @@ impl DesRuntime {
             ran: false,
             schedule_seed: None,
             fatal: None,
+            net_seq: HashMap::new(),
             #[cfg(any(feature = "audit", debug_assertions))]
             audit: None,
         }
@@ -443,6 +447,17 @@ impl DesRuntime {
 
     /// Send a message (or control traffic) from `from` to `to_node`,
     /// charging both sides. Local sends are free.
+    ///
+    /// When a network fault plan is configured, the fate of the shipment
+    /// is modeled on the virtual channel: dropped transmissions are
+    /// recovered by charged retransmissions after the retry policy's
+    /// backoff (the bounded-drop guarantee of
+    /// [`crate::netfault::NetFaultPlan`] means delivery always succeeds
+    /// eventually — the DES has no dead nodes), duplicates are suppressed
+    /// by the modeled receiver dedup without re-running the handler, and
+    /// delay/reorder faults skew the arrival time, which reorders the
+    /// event heap exactly as a reordering fabric would. The final
+    /// delivery is positively acknowledged (counted, not charged).
     fn ship(
         &mut self,
         at: Duration,
@@ -459,7 +474,87 @@ impl DesRuntime {
         self.nodes[from as usize].stats.comm += transfer;
         self.nodes[to_node as usize].stats.comm += transfer;
         self.nodes[from as usize].stats.bytes_sent += bytes as u64;
-        self.push_event(at + transfer, to_node, node_kind);
+        let mut arrive = at + transfer;
+        if let Some(plan) = self.cfg.net_fault {
+            let seq_slot = self.net_seq.entry((from, to_node)).or_insert(0);
+            let seq = *seq_slot;
+            *seq_slot += 1;
+            let mut attempt = 0u32;
+            loop {
+                let d = plan.decide(from, to_node, seq, attempt);
+                if d.drop {
+                    // The sender's ack timeout recovers the loss: charge
+                    // the backoff plus a fresh transfer for the
+                    // retransmission.
+                    self.nodes[from as usize].stats.messages_dropped += 1;
+                    self.nodes[from as usize].stats.retransmits += 1;
+                    self.nodes[from as usize].stats.comm += transfer;
+                    self.nodes[to_node as usize].stats.comm += transfer;
+                    self.nodes[from as usize].stats.bytes_sent += bytes as u64;
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::NetFault {
+                            node: from,
+                            dest: to_node,
+                            kind: crate::netfault::NetFaultKind::Drop,
+                        }
+                    );
+                    attempt += 1;
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::Retransmit {
+                            node: from,
+                            dest: to_node,
+                            seq,
+                            attempt,
+                        }
+                    );
+                    arrive += self.cfg.retry.delay(attempt, seq) + transfer;
+                    continue;
+                }
+                if d.duplicate {
+                    // The duplicate copy reaches the receiver, whose
+                    // sequence-number dedup suppresses it: the handler
+                    // will run exactly once.
+                    self.nodes[to_node as usize].stats.dup_suppressed += 1;
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::NetFault {
+                            node: from,
+                            dest: to_node,
+                            kind: crate::netfault::NetFaultKind::Duplicate,
+                        }
+                    );
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::DupSuppressed {
+                            node: to_node,
+                            src: from,
+                            seq,
+                        }
+                    );
+                }
+                if !d.delay.is_zero() {
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::NetFault {
+                            node: from,
+                            dest: to_node,
+                            kind: if d.delay > plan.delay {
+                                crate::netfault::NetFaultKind::Reorder
+                            } else {
+                                crate::netfault::NetFaultKind::Delay
+                            },
+                        }
+                    );
+                    arrive += d.delay;
+                }
+                break;
+            }
+            // Every delivered data message is positively acknowledged.
+            self.nodes[to_node as usize].stats.acks_sent += 1;
+        }
+        self.push_event(arrive, to_node, node_kind);
     }
 
     // ----- main loop -----------------------------------------------------------

@@ -373,6 +373,19 @@ pub enum MrtsError {
     /// A checkpoint image was rejected (truncated, bad magic, or an
     /// incomplete segmented capture).
     CheckpointCorrupt(String),
+    /// A peer never acknowledged a message despite exhausting the
+    /// retransmit budget *after* directory-hint invalidation and
+    /// re-routing to the object's home — the node is dead or partitioned
+    /// away for good. Recovery is a checkpoint restore onto the surviving
+    /// nodes (see `crate::checkpoint`).
+    NodeUnreachable {
+        /// The node that gave up.
+        node: NodeId,
+        /// The peer that never answered.
+        dest: NodeId,
+        /// Physical transmissions attempted for the abandoned message.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for MrtsError {
@@ -388,6 +401,14 @@ impl std::fmt::Display for MrtsError {
                 "node {node}: load of spilled {oid:?} failed after {attempts} attempts: {source}"
             ),
             MrtsError::CheckpointCorrupt(why) => write!(f, "checkpoint corrupt: {why}"),
+            MrtsError::NodeUnreachable {
+                node,
+                dest,
+                attempts,
+            } => write!(
+                f,
+                "node {node}: peer {dest} unreachable after {attempts} transmissions"
+            ),
         }
     }
 }
@@ -396,7 +417,7 @@ impl std::error::Error for MrtsError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MrtsError::LoadFailed { source, .. } => Some(source),
-            MrtsError::CheckpointCorrupt(_) => None,
+            MrtsError::CheckpointCorrupt(_) | MrtsError::NodeUnreachable { .. } => None,
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod directory;
 pub mod fault;
 pub mod ids;
 pub mod msg;
+pub mod netfault;
 pub mod object;
 pub mod ooc;
 pub mod policy;
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::des::DesRuntime;
     pub use crate::fault::{FaultKind, FaultPlan, FaultyStore, MrtsError, RetryPolicy};
     pub use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId, TypeTag};
+    pub use crate::netfault::{NetFaultKind, NetFaultPlan};
     pub use crate::object::{MobileObject, Registry};
     pub use crate::policy::PolicyKind;
     pub use crate::stats::RunStats;

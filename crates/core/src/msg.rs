@@ -10,6 +10,55 @@
 use crate::codec::{PayloadReader, PayloadWriter, Truncated};
 use crate::ids::{HandlerId, MobilePtr, NodeId};
 
+/// Hard cap on the decoded `route` length and multicast target count.
+/// Routes grow by one hop per forward and targets are application-sized;
+/// anything beyond this is a corrupt or hostile frame, rejected before any
+/// length-driven allocation loop runs.
+pub const MAX_ROUTE_LEN: usize = 1 << 12;
+
+/// Typed [`Message::decode`] failure: distinguishes a short buffer from a
+/// frame whose announced lengths exceed [`MAX_ROUTE_LEN`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgDecodeError {
+    /// The buffer ended before the frame was complete.
+    Truncated,
+    /// The route length field exceeds [`MAX_ROUTE_LEN`].
+    RouteTooLong(usize),
+    /// The multicast target count exceeds [`MAX_ROUTE_LEN`].
+    TargetsTooLong(usize),
+}
+
+impl From<Truncated> for MsgDecodeError {
+    fn from(_: Truncated) -> Self {
+        MsgDecodeError::Truncated
+    }
+}
+
+/// Contexts that only care that *a* decode failure occurred (the
+/// checkpoint codec reports any damage as a corrupt image) may flatten
+/// the typed error back down.
+impl From<MsgDecodeError> for Truncated {
+    fn from(_: MsgDecodeError) -> Self {
+        Truncated
+    }
+}
+
+impl std::fmt::Display for MsgDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgDecodeError::Truncated => write!(f, "message frame truncated"),
+            MsgDecodeError::RouteTooLong(n) => {
+                write!(f, "route length {n} exceeds cap {MAX_ROUTE_LEN}")
+            }
+            MsgDecodeError::TargetsTooLong(n) => {
+                write!(f, "multicast target count {n} exceeds cap {MAX_ROUTE_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MsgDecodeError {}
+
 /// Multicast extension (the paper's experimental *multicast mobile
 /// message*): the runtime first collects all `targets` on one node and
 /// in-core, then delivers the message to the first `deliver_to` of them.
@@ -69,17 +118,29 @@ impl Message {
                 w.u8(1).u32(mc.deliver_to).ptrs(&mc.targets);
             }
         }
-        w.finish()
+        let buf = w.finish();
+        debug_assert!(
+            buf.len() <= self.wire_size(),
+            "encode produced {} bytes, over the documented wire_size bound {}",
+            buf.len(),
+            self.wire_size()
+        );
+        buf
     }
 
-    /// Inverse of [`Message::encode`].
-    pub fn decode(buf: &[u8]) -> Result<Message, Truncated> {
+    /// Inverse of [`Message::encode`]. Length fields beyond
+    /// [`MAX_ROUTE_LEN`] are rejected up front — the decoder never loops
+    /// on an attacker-controlled count larger than the cap.
+    pub fn decode(buf: &[u8]) -> Result<Message, MsgDecodeError> {
         let mut r = PayloadReader::new(buf);
         let to = r.ptr()?;
         let handler = HandlerId(r.u32()?);
         let payload = r.bytes()?.to_vec();
         let n_route = r.u32()? as usize;
-        let mut route = Vec::with_capacity(n_route.min(1 << 12));
+        if n_route > MAX_ROUTE_LEN {
+            return Err(MsgDecodeError::RouteTooLong(n_route));
+        }
+        let mut route = Vec::with_capacity(n_route);
         for _ in 0..n_route {
             route.push(r.u32()? as NodeId);
         }
@@ -87,7 +148,14 @@ impl Message {
             0 => None,
             _ => {
                 let deliver_to = r.u32()?;
-                let targets = r.ptrs()?;
+                let n_targets = r.u32()? as usize;
+                if n_targets > MAX_ROUTE_LEN {
+                    return Err(MsgDecodeError::TargetsTooLong(n_targets));
+                }
+                let mut targets = Vec::with_capacity(n_targets);
+                for _ in 0..n_targets {
+                    targets.push(r.ptr()?);
+                }
                 Some(MulticastInfo {
                     targets,
                     deliver_to,
@@ -139,6 +207,39 @@ mod tests {
         for cut in [1, 8, 12, buf.len() - 1] {
             assert!(Message::decode(&buf[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn decode_rejects_oversized_route_count() {
+        let m = Message::new(ptr(2, 17), HandlerId(9), vec![1, 2, 3]);
+        let mut buf = m.encode();
+        // The route-count field sits right after the length-prefixed
+        // payload: ptr (8) + handler (4) + payload len (4) + payload (3).
+        let off = 8 + 4 + 4 + 3;
+        buf[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Message::decode(&buf),
+            Err(MsgDecodeError::RouteTooLong(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_oversized_multicast_count() {
+        let mut m = Message::new(ptr(0, 1), HandlerId(1), vec![]);
+        m.multicast = Some(MulticastInfo {
+            targets: vec![ptr(0, 1)],
+            deliver_to: 1,
+        });
+        let mut buf = m.encode();
+        // Multicast tail: ... route count (4, = 0) + flag (1) +
+        // deliver_to (4) + target count (4) + targets. The count field is
+        // 12 bytes before the single 8-byte target at the end.
+        let off = buf.len() - 8 - 4;
+        buf[off..off + 4].copy_from_slice(&0x0010_0000u32.to_le_bytes());
+        assert_eq!(
+            Message::decode(&buf),
+            Err(MsgDecodeError::TargetsTooLong(0x0010_0000))
+        );
     }
 
     #[test]

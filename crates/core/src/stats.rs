@@ -79,6 +79,20 @@ pub struct NodeStats {
     /// (threaded engine only; the DES derives overlap from busy-time
     /// excess instead).
     pub overlapped: Duration,
+    /// Physical transmissions dropped by the network fault plan on this
+    /// node's outgoing edges.
+    pub messages_dropped: usize,
+    /// Physical retransmissions issued by the reliable-delivery layer
+    /// (each recovers a dropped or unacknowledged transmission).
+    pub retransmits: usize,
+    /// Duplicate deliveries suppressed by receiver-side sequence-number
+    /// dedup (the handler ran exactly once regardless).
+    pub dup_suppressed: usize,
+    /// Directory hints dropped after repeated delivery failure to the
+    /// hinted location (self-healing fallback to the home node).
+    pub hints_invalidated: usize,
+    /// Positive acknowledgements sent for received data messages.
+    pub acks_sent: usize,
 }
 
 /// Aggregated result of one run.
@@ -231,6 +245,17 @@ impl RunStats {
                 self.total_of(|n| n.buffer_pool_hits),
             ));
         }
+        let dropped = self.total_of(|n| n.messages_dropped);
+        let retrans = self.total_of(|n| n.retransmits);
+        let dups = self.total_of(|n| n.dup_suppressed);
+        let acks = self.total_of(|n| n.acks_sent);
+        if dropped + retrans + dups + acks > 0 {
+            s.push_str(&format!(
+                " net_dropped={dropped} retransmits={retrans} dup_suppressed={dups} \
+                 hints_invalidated={} acks={acks}",
+                self.total_of(|n| n.hints_invalidated),
+            ));
+        }
         s
     }
 }
@@ -355,6 +380,24 @@ mod tests {
         assert!(text.contains("degraded=2"));
         // Spill fast-path counters stay out until the path actually fires.
         assert!(!text.contains("elided="));
+    }
+
+    #[test]
+    fn summary_surfaces_net_fault_counters() {
+        let mut s = stats_with(100, &[(50, 10, 20)]);
+        let text = s.summary();
+        assert!(!text.contains("net_dropped="), "quiet runs stay quiet");
+        s.nodes[0].messages_dropped = 7;
+        s.nodes[0].retransmits = 9;
+        s.nodes[0].dup_suppressed = 2;
+        s.nodes[0].hints_invalidated = 1;
+        s.nodes[0].acks_sent = 40;
+        let text = s.summary();
+        assert!(text.contains("net_dropped=7"));
+        assert!(text.contains("retransmits=9"));
+        assert!(text.contains("dup_suppressed=2"));
+        assert!(text.contains("hints_invalidated=1"));
+        assert!(text.contains("acks=40"));
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::directory::Directory;
 use crate::fault::{is_out_of_space, FaultPlan, FaultyStore, MrtsError, RetryPolicy};
 use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
 use crate::msg::{Message, MulticastInfo};
+use crate::netfault::{NetFaultKind, NetFaultPlan};
 use crate::object::{MobileObject, Registry};
 use crate::ooc::{EvictCandidate, OocManager};
 use crate::policy::AccessMeta;
@@ -48,7 +49,7 @@ use crate::stats::{NodeStats, RunStats};
 use crate::storage::{FileStore, MemStore, SegmentStore, StorageBackend};
 use armci_sim::{ActiveMessage, Endpoint, Fabric, NetworkModel};
 use crossbeam_channel as channel;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 // Fabric active-message tags.
@@ -60,6 +61,9 @@ const AM_MC_START: u32 = 5;
 const AM_META: u32 = 6;
 const AM_TOKEN: u32 = 7;
 const AM_EXIT: u32 = 8;
+/// Positive acknowledgement of one reliable-layer sequence number
+/// (net-fault runs only; see [`NetLayer`]).
+const AM_ACK: u32 = 9;
 
 const META_LOCK: u8 = 0;
 const META_UNLOCK: u8 = 1;
@@ -202,6 +206,54 @@ struct McWait {
     waiting: Vec<ObjectId>,
 }
 
+/// One logical message awaiting acknowledgement (net-fault runs).
+struct Unacked {
+    tag: u32,
+    /// Full frame including the 8-byte sequence prefix, ready to resend.
+    frame: Vec<u8>,
+    /// Retransmissions so far (the initial transmission is attempt 0).
+    attempts: u32,
+    /// Backoff deadline for the next retransmission.
+    next_at: Instant,
+}
+
+/// Reliable-delivery state for one node, active only when
+/// [`MrtsConfig::net_fault`] is set (fault-free runs bypass the layer
+/// entirely, so their fast path is untouched).
+///
+/// Every remote data message (every tag except `AM_TOKEN` / `AM_EXIT` /
+/// `AM_ACK`) gets a per-destination sequence number, is buffered until the
+/// receiver acknowledges it, and is retransmitted on a bounded-exponential
+/// backoff ([`RetryPolicy`]). The receiver acks every arrival, suppresses
+/// duplicates, and *releases* frames strictly in per-source sequence
+/// order — restoring the per-edge FIFO the fault-free fabric provides, so
+/// handler execution under drop/duplicate/reorder faults is exactly-once
+/// and in-order, and the mesh comes out byte-identical. The token/exit
+/// control ring is deliberately out of scope: it models a reliable
+/// control plane and stays out of the race detector's channel FIFOs,
+/// whose stamp order faults would otherwise scramble (see `DESIGN.md`
+/// §11).
+struct NetLayer {
+    plan: NetFaultPlan,
+    /// Next sequence number per destination edge.
+    send_seq: HashMap<NodeId, u64>,
+    /// Sent-but-unacknowledged logical messages, keyed `(dest, seq)`.
+    unacked: HashMap<(NodeId, u64), Unacked>,
+    /// Next sequence number to release, per source.
+    expected: HashMap<NodeId, u64>,
+    /// Received frames above the watermark, held for in-order release.
+    held: HashMap<NodeId, BTreeMap<u64, (u32, Vec<u8>)>>,
+    /// Transmissions deferred by an injected delay/reorder fault:
+    /// `(due, dest, tag, frame)`.
+    deferred: Vec<(Instant, NodeId, u32, Vec<u8>)>,
+    /// Handlers executed on this node, for the kill countdown.
+    handlers_run: u64,
+    /// This node crashes once `handlers_run` reaches this bound — after
+    /// finishing that handler (its sends are in flight, possibly
+    /// unacknowledged) but before touching anything else.
+    kill_at: Option<u64>,
+}
+
 /// Safra termination-detection state for one node.
 struct Safra {
     color_black: bool,
@@ -237,6 +289,10 @@ struct Worker {
     multicasts: Vec<McWait>,
     safra: Safra,
     done: bool,
+    /// Reliable-delivery layer; `Some` only under a net-fault plan.
+    net: Option<NetLayer>,
+    /// Crashed by the plan's `kill_node`: silent until the exit broadcast.
+    dead: bool,
     /// A degraded-mode health probe is in the I/O pool.
     probe_inflight: bool,
     /// First unrecoverable storage failure seen by this node.
@@ -313,6 +369,25 @@ impl Worker {
 
     fn am(&mut self, dest: NodeId, tag: u32, payload: Vec<u8>) {
         let bytes = payload.len();
+        if self.net.is_some() && dest != self.node {
+            if tag == AM_TOKEN || tag == AM_EXIT {
+                // Control ring: modeled as a reliable control plane (out of
+                // fault scope) and kept out of the race detector's channel
+                // FIFOs, whose stamp order would no longer match the data
+                // stream's under faults.
+                self.ep.am_send(dest, tag, payload);
+                self.comm_charge(bytes);
+                return;
+            }
+            // Reliable-delivery path. Safra, the race detector, and the
+            // comm meter account the *logical* send exactly once, here —
+            // retransmits and duplicate copies are invisible to them.
+            self.race_send(dest);
+            self.comm_charge(bytes);
+            self.safra.counter += 1;
+            self.net_send(dest, tag, payload);
+            return;
+        }
         self.race_send(dest);
         self.ep.am_send(dest, tag, payload);
         if dest != self.node {
@@ -323,10 +398,19 @@ impl Worker {
         }
     }
 
+    /// An object's home node in *this* fabric. After a checkpoint restore
+    /// onto fewer nodes than the capture ran with, ids homed on a lost
+    /// node wrap onto a survivor — the same modulo the restore placement
+    /// uses, so routing and placement agree.
+    fn home_of(&self, oid: ObjectId) -> NodeId {
+        (oid.home() as usize % self.n_nodes) as NodeId
+    }
+
     fn dir_next_hop(&self, oid: ObjectId) -> NodeId {
         let d = self.dir.lookup(oid);
+        let d = (d as usize % self.n_nodes) as NodeId;
         if d == self.node {
-            oid.home()
+            self.home_of(oid)
         } else {
             d
         }
@@ -336,23 +420,368 @@ impl Worker {
         matches!(self.table.get(&oid), Some(e) if !matches!(e.state, TState::Moved(_)))
     }
 
+    // ----- reliable delivery (net-fault runs) -------------------------------
+
+    /// Assign the next sequence number on the `self → dest` edge, record
+    /// the frame for retransmission, and physically transmit it.
+    fn net_send(&mut self, dest: NodeId, tag: u32, payload: Vec<u8>) {
+        let (seq, frame, next_at) = {
+            let net = self.net.as_mut().expect("net layer");
+            let s = net.send_seq.entry(dest).or_insert(0);
+            let seq = *s;
+            *s += 1;
+            let mut frame = Vec::with_capacity(8 + payload.len());
+            frame.extend_from_slice(&seq.to_le_bytes());
+            frame.extend_from_slice(&payload);
+            (seq, frame, Instant::now() + self.cfg.retry.delay(1, seq))
+        };
+        self.transmit(dest, tag, seq, frame.clone(), 0);
+        self.net.as_mut().expect("net layer").unacked.insert(
+            (dest, seq),
+            Unacked {
+                tag,
+                frame,
+                attempts: 0,
+                next_at,
+            },
+        );
+    }
+
+    /// One physical transmission, subject to the fault plan. Drops,
+    /// duplicates and delays are injected here — below the logical
+    /// accounting, so they only show up as retransmits and suppressed
+    /// duplicates, never as semantics.
+    fn transmit(&mut self, dest: NodeId, tag: u32, seq: u64, frame: Vec<u8>, attempt: u32) {
+        let plan = self.net.as_ref().expect("net layer").plan;
+        let d = plan.decide(self.node, dest, seq, attempt);
+        if d.drop {
+            self.stats.messages_dropped += 1;
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::NetFault {
+                    node: self.node,
+                    dest,
+                    kind: NetFaultKind::Drop
+                }
+            );
+            return;
+        }
+        if d.duplicate {
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::NetFault {
+                    node: self.node,
+                    dest,
+                    kind: NetFaultKind::Duplicate
+                }
+            );
+            self.ep.am_send(dest, tag, frame.clone());
+        }
+        if d.delay.is_zero() {
+            self.ep.am_send(dest, tag, frame);
+        } else {
+            let kind = if d.delay > plan.delay {
+                NetFaultKind::Reorder
+            } else {
+                NetFaultKind::Delay
+            };
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::NetFault {
+                    node: self.node,
+                    dest,
+                    kind
+                }
+            );
+            self.net.as_mut().expect("net layer").deferred.push((
+                Instant::now() + d.delay,
+                dest,
+                tag,
+                frame,
+            ));
+        }
+    }
+
+    /// Arrival of a reliable-layer frame: ack it, dedup it, hold it for
+    /// in-order release. Handler execution happens only at release, so a
+    /// duplicated or reordered transmission can never run a handler twice
+    /// or out of order.
+    fn on_net_arrival(&mut self, am: ActiveMessage) {
+        let src = am.src;
+        let seq = u64::from_le_bytes(am.payload[..8].try_into().expect("seq prefix"));
+        // Ack every arrival, duplicates included: the previous ack may
+        // have raced the sender's retransmit timer.
+        self.stats.acks_sent += 1;
+        self.comm_charge(8);
+        self.ep.am_send(src, AM_ACK, seq.to_le_bytes().to_vec());
+        let dup = {
+            let net = self.net.as_ref().expect("net layer");
+            let exp = net.expected.get(&src).copied().unwrap_or(0);
+            seq < exp || net.held.get(&src).is_some_and(|h| h.contains_key(&seq))
+        };
+        if dup {
+            self.stats.dup_suppressed += 1;
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::DupSuppressed {
+                    node: self.node,
+                    src,
+                    seq
+                }
+            );
+            return;
+        }
+        self.net
+            .as_mut()
+            .expect("net layer")
+            .held
+            .entry(src)
+            .or_default()
+            .insert(seq, (am.handler, am.payload[8..].to_vec()));
+        // Release every consecutive frame from the watermark up.
+        loop {
+            let (tag, payload) = {
+                let net = self.net.as_mut().expect("net layer");
+                let exp = net.expected.entry(src).or_insert(0);
+                match net.held.get_mut(&src).and_then(|h| h.remove(exp)) {
+                    Some(f) => {
+                        *exp += 1;
+                        f
+                    }
+                    None => break,
+                }
+            };
+            self.release(src, tag, &payload);
+            if self.done {
+                break;
+            }
+        }
+    }
+
+    /// In-order release of one logical message: every fault-free receive
+    /// effect (happens-before edge, Safra counter, comm charge, handler
+    /// dispatch) happens here, exactly once per logical message.
+    fn release(&mut self, src: NodeId, tag: u32, payload: &[u8]) {
+        self.race_recv(src);
+        self.safra.counter -= 1;
+        self.safra.color_black = true;
+        self.comm_charge(payload.len());
+        self.dispatch_data(tag, payload);
+    }
+
+    /// Crash this node if the plan's kill countdown has expired.
+    fn check_kill(&mut self) -> bool {
+        if self.dead {
+            return true;
+        }
+        if let Some(net) = self.net.as_ref() {
+            if net.kill_at.is_some_and(|k| net.handlers_run >= k) {
+                self.dead = true;
+            }
+        }
+        self.dead
+    }
+
+    /// Retransmissions before a destination is declared unreachable:
+    /// generous enough for the bounded-drop guarantee to land both the
+    /// frame and its ack with margin, so only a genuinely dead peer ever
+    /// exhausts it.
+    fn net_attempt_limit(&self) -> u32 {
+        let plan = &self.net.as_ref().expect("net layer").plan;
+        self.cfg.retry.max_attempts.max(4) + 2 * plan.max_drops_per_msg + 4
+    }
+
+    /// Drive the reliable layer's timers: flush deferred (delayed)
+    /// transmissions that have come due and retransmit unacked messages
+    /// whose backoff deadline passed, escalating once a peer exhausts the
+    /// retry budget.
+    fn net_pump(&mut self) {
+        if self.net.is_none() || self.dead || self.done {
+            return;
+        }
+        let now = Instant::now();
+        loop {
+            let due = {
+                let net = self.net.as_mut().expect("net layer");
+                match net.deferred.iter().position(|(t, ..)| *t <= now) {
+                    Some(i) => net.deferred.swap_remove(i),
+                    None => break,
+                }
+            };
+            let (_, dest, tag, frame) = due;
+            self.ep.am_send(dest, tag, frame);
+        }
+        let limit = self.net_attempt_limit();
+        let due: Vec<(NodeId, u64)> = self
+            .net
+            .as_ref()
+            .expect("net layer")
+            .unacked
+            .iter()
+            .filter(|(_, u)| u.next_at <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for (dest, seq) in due {
+            let (tag, frame, attempts) = {
+                let net = self.net.as_mut().expect("net layer");
+                let Some(u) = net.unacked.get_mut(&(dest, seq)) else {
+                    continue;
+                };
+                u.attempts += 1;
+                if u.attempts > limit {
+                    let u = net.unacked.remove(&(dest, seq)).expect("present");
+                    (u.tag, u.frame, u.attempts)
+                } else {
+                    u.next_at = now + self.cfg.retry.delay(u.attempts + 1, seq);
+                    (u.tag, u.frame.clone(), u.attempts)
+                }
+            };
+            if attempts > limit {
+                self.escalate(dest, tag, &frame, attempts);
+                if self.done {
+                    return;
+                }
+                continue;
+            }
+            self.stats.retransmits += 1;
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::Retransmit {
+                    node: self.node,
+                    dest,
+                    seq,
+                    attempt: attempts
+                }
+            );
+            self.transmit(dest, tag, seq, frame, attempts);
+        }
+    }
+
+    /// A peer exhausted the retransmit budget — under the bounded-drop
+    /// guarantee that means it is dead, or the hint that routed us there
+    /// is stale. Cancel the logical send (restoring the global Safra sum),
+    /// invalidate whatever routing state pointed at the peer, and either
+    /// re-route the message toward the object's home or declare the peer
+    /// unreachable.
+    fn escalate(&mut self, dest: NodeId, tag: u32, frame: &[u8], attempts: u32) {
+        self.safra.counter -= 1;
+        self.safra.color_black = true;
+        match tag {
+            // A lazy hint push is an optimization; losing one is safe.
+            AM_DIR_UPDATE => {}
+            AM_MSG => {
+                let msg = Message::decode(&frame[8..]).expect("valid message");
+                let oid = msg.to.id;
+                if self.dir.invalidate(oid) {
+                    self.stats.hints_invalidated += 1;
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::HintInvalidated {
+                            node: self.node,
+                            oid,
+                            loc: dest
+                        }
+                    );
+                }
+                // A forwarding tombstone pointing at the dead peer is just
+                // as stale as a directory hint.
+                if matches!(
+                    self.table.get(&oid),
+                    Some(TEntry { state: TState::Moved(f), .. }) if *f == dest
+                ) {
+                    self.table.remove(&oid);
+                }
+                let next = self.dir_next_hop(oid);
+                if self.entry_present(oid) {
+                    // The object came back to us while the send was in
+                    // flight; deliver locally.
+                    self.route_msg(msg);
+                } else if next != dest && next != self.node {
+                    self.am(next, AM_MSG, msg.encode());
+                } else {
+                    self.fatal_unreachable(dest, attempts);
+                }
+            }
+            _ => self.fatal_unreachable(dest, attempts),
+        }
+    }
+
+    /// Unrecoverable: a peer is gone and an in-flight message cannot be
+    /// re-routed. Record the typed error and bring the whole computation
+    /// down (mirrors the unreadable-spill path).
+    fn fatal_unreachable(&mut self, dest: NodeId, attempts: u32) {
+        if self.fatal.is_none() {
+            self.fatal = Some(MrtsError::NodeUnreachable {
+                node: self.node,
+                dest,
+                attempts,
+            });
+        }
+        for n in 0..self.n_nodes as NodeId {
+            if n != self.node {
+                self.am(n, AM_EXIT, vec![]);
+            }
+        }
+        self.done = true;
+        audit_emit!(self.audit, RuntimeEvent::Terminate { node: self.node });
+    }
+
     // ----- message dispatch -------------------------------------------------
 
     fn on_fabric(&mut self, am: ActiveMessage) {
-        self.race_recv(am.src);
+        if self.net.is_some() && am.src != self.node {
+            match am.handler {
+                AM_ACK => {
+                    let seq = u64::from_le_bytes(am.payload[..8].try_into().expect("ack seq"));
+                    self.net
+                        .as_mut()
+                        .expect("net layer")
+                        .unacked
+                        .remove(&(am.src, seq));
+                    return;
+                }
+                // Control ring: delivered directly, no race stamp (see
+                // `am`).
+                AM_TOKEN | AM_EXIT => {}
+                _ => {
+                    self.on_net_arrival(am);
+                    return;
+                }
+            }
+        } else {
+            self.race_recv(am.src);
+        }
         if am.src != self.node && am.handler != AM_TOKEN && am.handler != AM_EXIT {
             self.safra.counter -= 1;
             self.safra.color_black = true;
             self.comm_charge(am.payload.len());
         }
         match am.handler {
+            AM_TOKEN => {
+                self.safra.has_token = true;
+                self.safra.token_black = am.payload[0] != 0;
+                self.safra.token_q = i64::from_le_bytes(am.payload[1..9].try_into().unwrap());
+            }
+            AM_EXIT => {
+                self.done = true;
+                audit_emit!(self.audit, RuntimeEvent::Terminate { node: self.node });
+            }
+            other => self.dispatch_data(other, &am.payload),
+        }
+    }
+
+    /// Dispatch one data message (every tag except TOKEN/EXIT/ACK) to its
+    /// handler. Under the reliable layer this runs exactly once per
+    /// logical message, at in-order release.
+    fn dispatch_data(&mut self, tag: u32, payload: &[u8]) {
+        match tag {
             AM_MSG => {
-                let msg = Message::decode(&am.payload).expect("valid message");
+                let msg = Message::decode(payload).expect("valid message");
                 self.route_msg(msg);
             }
             AM_DIR_UPDATE => {
-                let oid = ObjectId(u64::from_le_bytes(am.payload[..8].try_into().unwrap()));
-                let loc = u16::from_le_bytes(am.payload[8..10].try_into().unwrap());
+                let oid = ObjectId(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+                let loc = u16::from_le_bytes(payload[8..10].try_into().unwrap());
                 self.dir.update(oid, loc);
                 audit_emit!(
                     self.audit,
@@ -364,30 +793,21 @@ impl Worker {
                 );
             }
             AM_MIGRATE_REQ => {
-                let oid = ObjectId(u64::from_le_bytes(am.payload[..8].try_into().unwrap()));
-                let dest = u16::from_le_bytes(am.payload[8..10].try_into().unwrap());
+                let oid = ObjectId(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+                let dest = u16::from_le_bytes(payload[8..10].try_into().unwrap());
                 self.on_migrate_req(oid, dest);
             }
-            AM_INSTALL => self.on_install(&am.payload),
+            AM_INSTALL => self.on_install(payload),
             AM_MC_START => {
-                let msg = Message::decode(&am.payload).expect("valid mc message");
+                let msg = Message::decode(payload).expect("valid mc message");
                 let info = msg.multicast.clone().expect("mc info");
                 self.on_mc_start(info, msg.handler, msg.payload);
             }
             AM_META => {
-                let oid = ObjectId(u64::from_le_bytes(am.payload[..8].try_into().unwrap()));
-                let op = am.payload[8];
-                let arg = am.payload[9];
+                let oid = ObjectId(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+                let op = payload[8];
+                let arg = payload[9];
                 self.on_meta(oid, op, arg);
-            }
-            AM_TOKEN => {
-                self.safra.has_token = true;
-                self.safra.token_black = am.payload[0] != 0;
-                self.safra.token_q = i64::from_le_bytes(am.payload[1..9].try_into().unwrap());
-            }
-            AM_EXIT => {
-                self.done = true;
-                audit_emit!(self.audit, RuntimeEvent::Terminate { node: self.node });
             }
             other => panic!("unknown AM tag {other}"),
         }
@@ -1405,7 +1825,7 @@ impl Worker {
                 loc: dest
             }
         );
-        let home = oid.home();
+        let home = self.home_of(oid);
         if home != self.node && home != dest {
             let mut upd = Vec::with_capacity(10);
             upd.extend_from_slice(&oid.0.to_le_bytes());
@@ -1581,7 +2001,19 @@ impl Worker {
     // ----- termination ------------------------------------------------------------
 
     fn idle(&self) -> bool {
-        self.ready.is_empty() && self.outstanding_io == 0 && self.pending_loads.is_empty()
+        self.ready.is_empty()
+            && self.outstanding_io == 0
+            && self.pending_loads.is_empty()
+            // Under faults a node with an unacked message, a deferred
+            // transmission, or a held-back frame is *not* quiet: Safra must
+            // never see it idle, or termination could be declared with a
+            // retransmit still owed. (The counter sum already protects the
+            // released/unacked window; these checks close the rest.)
+            && self.net.as_ref().is_none_or(|n| {
+                n.unacked.is_empty()
+                    && n.deferred.is_empty()
+                    && n.held.values().all(|h| h.is_empty())
+            })
     }
 
     fn send_token(&mut self, to: NodeId, black: bool, q: i64) {
@@ -1653,32 +2085,50 @@ impl Worker {
             // 1. Drain the fabric.
             while let Some(am) = self.ep.try_recv() {
                 self.on_fabric(am);
-                if self.done {
+                if self.done || self.dead {
                     break;
                 }
+            }
+            if self.dead {
+                return self.run_dead();
             }
             if self.done {
                 break;
             }
-            // 2. Drain I/O completions.
+            // 2. Reliable-delivery timers: deferred transmissions and
+            //    retransmit backoffs (no-op without a net-fault plan).
+            self.net_pump();
+            if self.done {
+                break;
+            }
+            // 3. Drain I/O completions.
             while let Ok(done) = self.io_rx.try_recv() {
                 self.on_io(done);
             }
-            // 3. Issue queued loads under the prefetch window, so the disk
+            // 4. Issue queued loads under the prefetch window, so the disk
             //    streams while step() executes resident work.
             self.pump_loads();
             self.maybe_probe();
-            // 4. Execute one handler.
+            // 5. Execute one handler.
             if self.step() {
+                if self.net.is_some() {
+                    self.net.as_mut().expect("net layer").handlers_run += 1;
+                    if self.check_kill() {
+                        return self.run_dead();
+                    }
+                }
                 continue;
             }
-            // 5. Idle: termination protocol, then block briefly.
+            // 6. Idle: termination protocol, then block briefly.
             self.try_pass_token();
             if self.done {
                 break;
             }
             if let Some(am) = self.ep.recv_timeout(Duration::from_micros(500)) {
                 self.on_fabric(am);
+                if self.dead {
+                    return self.run_dead();
+                }
             }
         }
         // Drain outstanding I/O so every object is materializable.
@@ -1756,6 +2206,44 @@ impl Worker {
             stats: self.stats,
             next_seq: self.next_obj_seq,
             fatal: self.fatal,
+        }
+    }
+
+    /// Crashed-node mode (`NetFaultPlan::kill_node`): the worker goes
+    /// silent — no sends, no acks, no handler execution — and merely
+    /// drains its inbox until a survivor's retransmit exhaustion escalates
+    /// into an exit broadcast that releases the thread. Its objects are
+    /// lost with it, exactly like a real node crash; recovery is the
+    /// checkpoint subsystem's job (see `crate::checkpoint` and
+    /// `tests/chaos.rs`).
+    fn run_dead(mut self) -> WorkerResult {
+        audit_emit!(self.audit, RuntimeEvent::Terminate { node: self.node });
+        loop {
+            // Keep the I/O pool from backing up while we linger.
+            while self.io_rx.try_recv().is_ok() {
+                self.outstanding_io = self.outstanding_io.saturating_sub(1);
+            }
+            match self.ep.recv_timeout(Duration::from_millis(2)) {
+                Some(am) if am.handler == AM_EXIT => break,
+                _ => {} // discarded unanswered — the node is gone
+            }
+        }
+        while self.outstanding_io > 0 {
+            if self.io_rx.recv().is_err() {
+                break;
+            }
+            self.outstanding_io -= 1;
+        }
+        for _ in 0..self.cfg.io_threads {
+            self.io_tx.send(IoReq::Shutdown).ok();
+        }
+        self.stats.peak_mem = self.ooc.peak_used;
+        WorkerResult {
+            node: self.node,
+            objects: HashMap::new(),
+            stats: self.stats,
+            next_seq: self.next_obj_seq,
+            fatal: None,
         }
     }
 }
@@ -2368,6 +2856,17 @@ impl ThreadedRuntime {
                     initiated: false,
                 },
                 done: false,
+                net: self.cfg.net_fault.map(|plan| NetLayer {
+                    plan,
+                    send_seq: HashMap::new(),
+                    unacked: HashMap::new(),
+                    expected: HashMap::new(),
+                    held: HashMap::new(),
+                    deferred: Vec::new(),
+                    handlers_run: 0,
+                    kill_at: plan.kills(i as NodeId),
+                }),
+                dead: false,
                 probe_inflight: false,
                 fatal: None,
                 #[cfg(any(feature = "audit", debug_assertions))]
@@ -2426,18 +2925,21 @@ impl ThreadedRuntime {
                     w.audit_budget(false);
                 }
                 BootAction::Lock(p) => {
-                    let w = &mut workers[p.id.home() as usize];
+                    // Modulo: after a restore onto fewer nodes, homes wrap
+                    // (matches `Worker::home_of` and the restore placement).
+                    let h = p.id.home() as usize % n;
+                    let w = &mut workers[h];
                     w.table.get_mut(&p.id).expect("boot lock target").locked = true;
                     audit_emit!(
                         w.audit,
                         RuntimeEvent::Pin {
-                            node: p.id.home(),
+                            node: h as NodeId,
                             oid: p.id
                         }
                     );
                 }
                 BootAction::Post(to, handler, payload) => {
-                    let w = &mut workers[to.id.home() as usize];
+                    let w = &mut workers[to.id.home() as usize % n];
                     audit_emit!(w.audit, RuntimeEvent::Post { oid: to.id });
                     let msg = Message::new(to, handler, payload);
                     w.route_msg(msg);

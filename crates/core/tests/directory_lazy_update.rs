@@ -198,6 +198,90 @@ fn k_hop_chain_generates_one_update_per_hop() {
     );
 }
 
+// ----- Property: hint bookkeeping matches a reference model -------------
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One directory mutation, as seen during concurrent object movement:
+/// lazy updates racing with destruction (`Forget`) and failure-driven
+/// self-healing (`Invalidate` / `InvalidateNode`).
+#[derive(Clone, Debug)]
+enum Op {
+    Update(usize, NodeId),
+    Forget(usize),
+    Invalidate(usize),
+    InvalidateNode(NodeId),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Weighted by selector range: half the ops are lazy updates, the rest
+    // split between destruction and the two self-healing paths.
+    (0u8..8, 0usize..8, 0usize..6).prop_map(|(sel, i, n)| match sel {
+        0..=3 => Op::Update(i, n as NodeId),
+        4 => Op::Forget(i),
+        5 | 6 => Op::Invalidate(i),
+        _ => Op::InvalidateNode(n as NodeId),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random interleavings of updates, forgets and invalidations over a
+    /// small object pool: `lookup` always agrees with a reference model —
+    /// in particular it never returns a forgotten or invalidated hint,
+    /// falling back to `oid.home()` — and the self-healing counters track
+    /// exactly the hints that were actually dropped.
+    #[test]
+    fn hints_match_reference_model(ops in prop::collection::vec(arb_op(), 0..64)) {
+        let oids: Vec<ObjectId> =
+            (0..8u64).map(|i| ObjectId::new((i % 3) as NodeId, i)).collect();
+        let mut d = Directory::new();
+        let mut model: HashMap<ObjectId, NodeId> = HashMap::new();
+        let mut invalidated = 0usize;
+        let mut updates = 0usize;
+        for op in &ops {
+            match *op {
+                Op::Update(i, n) => {
+                    d.update(oids[i], n);
+                    updates += 1;
+                    if n == oids[i].home() {
+                        model.remove(&oids[i]);
+                    } else {
+                        model.insert(oids[i], n);
+                    }
+                }
+                Op::Forget(i) => {
+                    d.forget(oids[i]);
+                    model.remove(&oids[i]);
+                }
+                Op::Invalidate(i) => {
+                    let had = model.remove(&oids[i]).is_some();
+                    prop_assert_eq!(d.invalidate(oids[i]), had);
+                    invalidated += had as usize;
+                }
+                Op::InvalidateNode(n) => {
+                    let before = model.len();
+                    model.retain(|_, &mut loc| loc != n);
+                    let dropped = before - model.len();
+                    prop_assert_eq!(d.invalidate_node(n), dropped);
+                    invalidated += dropped;
+                }
+            }
+            for &oid in &oids {
+                prop_assert_eq!(
+                    d.lookup(oid),
+                    model.get(&oid).copied().unwrap_or_else(|| oid.home())
+                );
+            }
+        }
+        prop_assert_eq!(d.len(), model.len());
+        prop_assert_eq!(d.updates_applied, updates);
+        prop_assert_eq!(d.hints_invalidated, invalidated);
+    }
+}
+
 /// A message posted directly to a migrated object's current owner (the
 /// runtime resolves tombstones) generates no forwards and no updates.
 #[test]

@@ -3,7 +3,7 @@
 
 use mrts::codec::{PayloadReader, PayloadWriter};
 use mrts::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
-use mrts::msg::{Message, MulticastInfo};
+use mrts::msg::{Message, MsgDecodeError, MulticastInfo, MAX_ROUTE_LEN};
 use proptest::prelude::*;
 
 fn arb_ptr() -> impl Strategy<Value = MobilePtr> {
@@ -38,7 +38,9 @@ proptest! {
     #[test]
     fn message_roundtrip(m in arb_message()) {
         let bytes = m.encode();
-        prop_assert!(bytes.len() <= m.wire_size() + 16);
+        // `wire_size` is documented as an upper bound on the encoded
+        // length; transfer-time charging and spill budgeting rely on it.
+        prop_assert!(bytes.len() <= m.wire_size());
         let back = Message::decode(&bytes).unwrap();
         prop_assert_eq!(back, m);
     }
@@ -46,8 +48,43 @@ proptest! {
     #[test]
     fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         // Arbitrary input must either decode into something or fail
-        // cleanly with Truncated — never panic or over-allocate wildly.
+        // cleanly with a typed MsgDecodeError — never panic or
+        // over-allocate wildly.
         let _ = Message::decode(&bytes);
+    }
+
+    /// A frame announcing a route longer than [`MAX_ROUTE_LEN`] must be
+    /// rejected with the typed cap error — before the decoder loops on the
+    /// hostile count — not misreported as a short buffer.
+    #[test]
+    fn oversized_route_count_is_a_typed_error(
+        m in arb_message(),
+        n in (MAX_ROUTE_LEN as u32 + 1)..=u32::MAX,
+    ) {
+        let mut w = PayloadWriter::new();
+        w.ptr(m.to).u32(m.handler.0).bytes(&m.payload);
+        w.u32(n); // hostile route count, no entries follow
+        prop_assert_eq!(
+            Message::decode(&w.finish()),
+            Err(MsgDecodeError::RouteTooLong(n as usize))
+        );
+    }
+
+    /// Same cap, multicast arm: a hostile target count draws the typed
+    /// error even though the buffer ends right after the count field.
+    #[test]
+    fn oversized_multicast_count_is_a_typed_error(
+        m in arb_message(),
+        n in (MAX_ROUTE_LEN as u32 + 1)..=u32::MAX,
+    ) {
+        let mut w = PayloadWriter::new();
+        w.ptr(m.to).u32(m.handler.0).bytes(&m.payload);
+        w.u32(0); // empty route
+        w.u8(1).u32(1).u32(n); // multicast flag, deliver_to, hostile count
+        prop_assert_eq!(
+            Message::decode(&w.finish()),
+            Err(MsgDecodeError::TargetsTooLong(n as usize))
+        );
     }
 
     #[test]

@@ -852,6 +852,23 @@ mod tests {
             ooc.stats.bytes_write_avoided() > 0,
             ooc.stats.total_of(|n| n.evictions_elided) > 0
         );
+        // No fault plan configured: the reliable-delivery layer must stay
+        // entirely quiescent (see DESIGN.md §11).
+        for (name, v) in [
+            (
+                "messages_dropped",
+                ooc.stats.total_of(|n| n.messages_dropped),
+            ),
+            ("retransmits", ooc.stats.total_of(|n| n.retransmits)),
+            ("dup_suppressed", ooc.stats.total_of(|n| n.dup_suppressed)),
+            (
+                "hints_invalidated",
+                ooc.stats.total_of(|n| n.hints_invalidated),
+            ),
+            ("acks_sent", ooc.stats.total_of(|n| n.acks_sent)),
+        ] {
+            assert_eq!(v, 0, "fault-free run charged net counter {name} = {v}");
+        }
     }
 
     #[test]

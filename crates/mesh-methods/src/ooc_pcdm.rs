@@ -388,6 +388,23 @@ mod tests {
         let elided = port.stats.total_of(|n| n.evictions_elided);
         assert!(elided <= evictions, "{}", port.stats.summary());
         assert_eq!(port.stats.bytes_write_avoided() > 0, elided > 0);
+        // No fault plan configured: the reliable-delivery layer must stay
+        // entirely quiescent (see DESIGN.md §11).
+        for (name, v) in [
+            (
+                "messages_dropped",
+                port.stats.total_of(|n| n.messages_dropped),
+            ),
+            ("retransmits", port.stats.total_of(|n| n.retransmits)),
+            ("dup_suppressed", port.stats.total_of(|n| n.dup_suppressed)),
+            (
+                "hints_invalidated",
+                port.stats.total_of(|n| n.hints_invalidated),
+            ),
+            ("acks_sent", port.stats.total_of(|n| n.acks_sent)),
+        ] {
+            assert_eq!(v, 0, "fault-free run charged net counter {name} = {v}");
+        }
     }
 
     #[test]

@@ -457,6 +457,23 @@ mod tests {
             "{}",
             ooc.stats.summary()
         );
+        // No fault plan configured: the reliable-delivery layer must stay
+        // entirely quiescent (see DESIGN.md §11).
+        for (name, v) in [
+            (
+                "messages_dropped",
+                ooc.stats.total_of(|n| n.messages_dropped),
+            ),
+            ("retransmits", ooc.stats.total_of(|n| n.retransmits)),
+            ("dup_suppressed", ooc.stats.total_of(|n| n.dup_suppressed)),
+            (
+                "hints_invalidated",
+                ooc.stats.total_of(|n| n.hints_invalidated),
+            ),
+            ("acks_sent", ooc.stats.total_of(|n| n.acks_sent)),
+        ] {
+            assert_eq!(v, 0, "fault-free run charged net counter {name} = {v}");
+        }
         // The legacy escape hatch must still mesh identically.
         let legacy = oupdr_run(&p, MrtsConfig::out_of_core(2, budget).with_legacy_spill());
         assert_eq!(legacy.elements, ooc.elements);

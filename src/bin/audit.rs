@@ -20,6 +20,13 @@
 //! the invariant checker attached and the final mesh compared against
 //! the fault-free run. `--quick` shrinks the sweep for smoke jobs. The
 //! sweep writes its per-schedule report to `target/chaos-report.txt`.
+//!
+//! `--chaos-net` runs the fabric-fault sweep: ≥20 seeded message
+//! drop/duplicate/delay/reorder schedules per engine (plus partition
+//! windows and a duplicate storm), each required to produce the
+//! fault-free mesh with zero invariant violations — the
+//! reliable-delivery layer absorbs every fault. Report in
+//! `target/chaos-net-report.txt`.
 
 use std::process::{Command, ExitCode};
 
@@ -498,21 +505,230 @@ mod chaos_sweep {
     }
 }
 
+#[cfg(any(feature = "audit", debug_assertions))]
+mod chaos_net_sweep {
+    //! Seeded fabric-fault schedules (message drops, duplicates, delays,
+    //! reorders, partition windows) through both engines on OPCDM. The
+    //! reliable-delivery layer — sequence numbers, positive acks,
+    //! bounded-exponential retransmit, receiver dedup — must finish every
+    //! schedule with zero invariant violations and the byte-identical
+    //! fault-free mesh; a duplicate storm must never re-execute a handler.
+
+    use pumg::methods::domain::Workload;
+    use pumg::methods::ooc_pcdm::{
+        opcdm_run, opcdm_run_threaded, opcdm_run_threaded_with, opcdm_run_with,
+    };
+    use pumg::methods::pcdm::PcdmParams;
+    use pumg::mrts::audit::{FailMode, InvariantChecker, RaceDetector};
+    use pumg::mrts::config::MrtsConfig;
+    use pumg::mrts::netfault::NetFaultPlan;
+    use pumg::mrts::stats::RunStats;
+    use std::io::Write;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn params() -> PcdmParams {
+        PcdmParams::new(Workload::uniform_square(6_000), 2)
+    }
+
+    // Rates run hotter than the `tests/chaos.rs` schedules: the mesh
+    // workload exchanges only a handful of remote messages per run, so a
+    // sweep at realistic rates could pass without injecting anything.
+    fn net_plan(seed: u64) -> NetFaultPlan {
+        NetFaultPlan::new(0x6E7F_A017 ^ seed)
+            .with_drops(200)
+            .with_dups(150)
+            .with_delay(80, Duration::from_micros(300))
+            .with_reorder(60)
+    }
+
+    fn counters(stats: &RunStats) -> String {
+        format!(
+            "dropped={} retransmits={} dups={} hints={} acks={}",
+            stats.total_of(|n| n.messages_dropped),
+            stats.total_of(|n| n.retransmits),
+            stats.total_of(|n| n.dup_suppressed),
+            stats.total_of(|n| n.hints_invalidated),
+            stats.total_of(|n| n.acks_sent),
+        )
+    }
+
+    pub fn run(quick: bool) -> bool {
+        let (des_seeds, thr_seeds) = if quick { (4u64, 2u64) } else { (20, 20) };
+        let partition_seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+        let mut report = Vec::<String>::new();
+        let mut ok = true;
+        let mut say = |line: String| {
+            println!("    {line}");
+            report.push(line);
+        };
+
+        let budget = 70_000usize;
+        println!("==> chaos-net sweep (seeded fabric-fault schedules, both engines)");
+        let reference = opcdm_run(&params(), MrtsConfig::out_of_core(2, budget));
+
+        let mut injected = 0usize;
+        for seed in 0..des_seeds {
+            let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+            let sink = chk.clone();
+            let r = opcdm_run_with(
+                &params(),
+                MrtsConfig::out_of_core(2, budget).with_net_faults(net_plan(seed)),
+                move |rt| rt.attach_audit(sink),
+            );
+            let clean = chk.violations().is_empty()
+                && (r.elements, r.vertices) == (reference.elements, reference.vertices);
+            ok &= clean;
+            injected +=
+                r.stats.total_of(|n| n.messages_dropped) + r.stats.total_of(|n| n.dup_suppressed);
+            say(format!(
+                "des seed {seed:>2}: {} [{}] mesh {}",
+                if clean { "ok" } else { "FAIL" },
+                counters(&r.stats),
+                r.elements
+            ));
+            if !chk.violations().is_empty() {
+                say(format!("  violations: {:?}", chk.violations()));
+            }
+        }
+
+        // Partition windows: a contiguous range of sequence numbers per
+        // edge is dropped on every attempt the bounded-drop guarantee
+        // allows, then the fabric heals. The window sits at low sequence
+        // numbers because the mesh workload exchanges only a handful of
+        // remote messages per edge.
+        for &seed in partition_seeds {
+            let plan = NetFaultPlan::new(0x9A27 ^ seed).with_partition(1, 6);
+            let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+            let sink = chk.clone();
+            let r = opcdm_run_with(
+                &params(),
+                MrtsConfig::out_of_core(2, budget).with_net_faults(plan),
+                move |rt| rt.attach_audit(sink),
+            );
+            let clean = chk.violations().is_empty()
+                && (r.elements, r.vertices) == (reference.elements, reference.vertices);
+            ok &= clean;
+            say(format!(
+                "partition seed {seed:>2}: {} [{}] mesh {}",
+                if clean { "ok" } else { "FAIL" },
+                counters(&r.stats),
+                r.elements
+            ));
+        }
+
+        let thr_reference = {
+            let mut cfg = MrtsConfig::out_of_core(2, budget);
+            cfg.spill_dir = Some(spill_dir("chaos-net-ref"));
+            let r = opcdm_run_threaded(&params(), cfg);
+            let _ = std::fs::remove_dir_all(spill_dir("chaos-net-ref"));
+            r
+        };
+        for seed in 0..thr_seeds {
+            let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+            let det = Arc::new(RaceDetector::new(2));
+            let dir = spill_dir(&format!("chaos-net-t{seed}"));
+            let mut cfg = MrtsConfig::out_of_core(2, budget).with_net_faults(net_plan(seed));
+            cfg.spill_dir = Some(dir.clone());
+            let (sink, races) = (chk.clone(), det.clone());
+            let r = opcdm_run_threaded_with(&params(), cfg, move |rt| {
+                rt.attach_audit(sink);
+                rt.attach_race_detector(races);
+            });
+            let _ = std::fs::remove_dir_all(dir);
+            let clean = chk.violations().is_empty()
+                && det.races().is_empty()
+                && (r.elements, r.vertices) == (thr_reference.elements, thr_reference.vertices);
+            ok &= clean;
+            injected +=
+                r.stats.total_of(|n| n.messages_dropped) + r.stats.total_of(|n| n.dup_suppressed);
+            say(format!(
+                "threaded seed {seed:>2}: {} [{}] mesh {}",
+                if clean { "ok" } else { "FAIL" },
+                counters(&r.stats),
+                r.elements
+            ));
+            if !chk.violations().is_empty() {
+                say(format!("  violations: {:?}", chk.violations()));
+            }
+        }
+
+        // Duplicate storm: half of all transmissions duplicated; a handler
+        // executed twice drives the checker's outstanding-delivery count
+        // negative (DuplicateDelivery) and would mutate the mesh.
+        {
+            let plan = NetFaultPlan::new(0xD0D0).with_dups(500);
+            let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+            let dir = spill_dir("chaos-net-dup");
+            let mut cfg = MrtsConfig::out_of_core(2, budget).with_net_faults(plan);
+            cfg.spill_dir = Some(dir.clone());
+            let sink = chk.clone();
+            let r = opcdm_run_threaded_with(&params(), cfg, move |rt| rt.attach_audit(sink));
+            let _ = std::fs::remove_dir_all(dir);
+            let clean = chk.violations().is_empty()
+                && r.stats.total_of(|n| n.dup_suppressed) > 0
+                && (r.elements, r.vertices) == (thr_reference.elements, thr_reference.vertices);
+            ok &= clean;
+            say(format!(
+                "dup storm:       {} [{}] mesh {}",
+                if clean { "ok" } else { "FAIL" },
+                counters(&r.stats),
+                r.elements
+            ));
+        }
+
+        if injected == 0 {
+            say("FAIL: sweep injected no fabric faults — vacuous".into());
+            ok = false;
+        }
+
+        let _ = std::fs::create_dir_all("target");
+        if let Ok(mut f) = std::fs::File::create("target/chaos-net-report.txt") {
+            for line in &report {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+        println!(
+            "    {} schedules swept — report in target/chaos-net-report.txt",
+            des_seeds + thr_seeds + partition_seeds.len() as u64 + 1
+        );
+        ok
+    }
+
+    fn spill_dir(label: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mrts-audit-{label}-{}", std::process::id()))
+    }
+}
+
+#[cfg(not(any(feature = "audit", debug_assertions)))]
+mod chaos_net_sweep {
+    pub fn run(_quick: bool) -> bool {
+        println!("==> chaos-net sweep skipped (instrumentation compiled out)");
+        true
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let chaos = args.iter().any(|a| a == "--chaos");
+    let chaos_net = args.iter().any(|a| a == "--chaos-net");
     let quick = args.iter().any(|a| a == "--quick");
     if let Some(bad) = args
         .iter()
-        .find(|a| a.as_str() != "--chaos" && a.as_str() != "--quick")
+        .find(|a| a.as_str() != "--chaos" && a.as_str() != "--chaos-net" && a.as_str() != "--quick")
     {
-        eprintln!("audit: unknown flag {bad} (expected --chaos and/or --quick)");
+        eprintln!("audit: unknown flag {bad} (expected --chaos, --chaos-net and/or --quick)");
         return ExitCode::FAILURE;
     }
-    let ok = if chaos {
+    let ok = if chaos_net {
+        chaos_net_sweep::run(quick)
+    } else if chaos {
         chaos_sweep::run(quick)
     } else {
-        lint_and_test() && invariant_sweep::run() && chaos_sweep::run(true)
+        lint_and_test()
+            && invariant_sweep::run()
+            && chaos_sweep::run(true)
+            && chaos_net_sweep::run(true)
     };
     if ok {
         println!("audit: all gates passed");

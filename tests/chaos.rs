@@ -10,8 +10,14 @@
 //! * a kill between mesh phases recovers from the on-disk checkpoint and
 //!   finishes with the identical mesh.
 //!
-//! The same schedules run in the audit gate (`--chaos`); these tests keep
-//! the behavior pinned under plain `cargo test`.
+//! Network chaos (the `netfault` module) gets the same treatment: seeded
+//! message drop/duplicate/delay/reorder schedules through both engines
+//! with byte-identical meshes, exactly-once handler execution under
+//! duplication, directory self-healing past a dead hint, and a mid-run
+//! node crash that re-homes from the checkpoint onto surviving nodes.
+//!
+//! The same schedules run in the audit gate (`--chaos` / `--chaos-net`);
+//! these tests keep the behavior pinned under plain `cargo test`.
 
 use pumg::methods::domain::Workload;
 use pumg::methods::ooc_pcdm::{
@@ -19,7 +25,7 @@ use pumg::methods::ooc_pcdm::{
     opcdm_setup_threaded, register_threaded, SubObj, H_REFINE,
 };
 use pumg::methods::pcdm::PcdmParams;
-use pumg::mrts::audit::{FailMode, InvariantChecker, RaceDetector};
+use pumg::mrts::audit::{EventLog, FailMode, InvariantChecker, RaceDetector, RuntimeEvent};
 use pumg::mrts::checkpoint::Checkpoint;
 use pumg::mrts::codec::{PayloadReader, PayloadWriter};
 use pumg::mrts::config::MrtsConfig;
@@ -27,6 +33,7 @@ use pumg::mrts::ctx::Ctx;
 use pumg::mrts::des::DesRuntime;
 use pumg::mrts::fault::{FaultPlan, MrtsError};
 use pumg::mrts::ids::{HandlerId, MobilePtr, ObjectId, TypeTag};
+use pumg::mrts::netfault::NetFaultPlan;
 use pumg::mrts::object::MobileObject;
 use pumg::mrts::threaded::ThreadedRuntime;
 use std::any::Any;
@@ -368,8 +375,11 @@ fn h_retune(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
     ctx.send(ctx.self_ptr(), H_REFINE, Vec::new());
 }
 
-fn run_phase2(cp: &Checkpoint, spill: PathBuf) -> (u64, u64) {
-    let mut cfg = MrtsConfig::out_of_core(2, 300_000);
+/// Phase 2 from a checkpoint on a cluster of `nodes` workers. Homes wrap
+/// modulo the cluster size, so a checkpoint taken on two nodes restores
+/// cleanly onto one (the crash re-homing path).
+fn run_phase2_on(cp: &Checkpoint, spill: PathBuf, nodes: usize) -> (u64, u64) {
+    let mut cfg = MrtsConfig::out_of_core(nodes, 300_000);
     cfg.spill_dir = Some(spill.clone());
     let mut rt = ThreadedRuntime::new(cfg);
     register_threaded(&mut rt);
@@ -382,6 +392,10 @@ fn run_phase2(cp: &Checkpoint, spill: PathBuf) -> (u64, u64) {
     let counts = opcdm_collect_threaded(&rt);
     let _ = std::fs::remove_dir_all(spill);
     counts
+}
+
+fn run_phase2(cp: &Checkpoint, spill: PathBuf) -> (u64, u64) {
+    run_phase2_on(cp, spill, 2)
 }
 
 #[test]
@@ -430,4 +444,372 @@ fn kill_between_phases_recovers_identical_mesh() {
     // Phase 2 actually refined past phase 1's mesh.
     let phase1: u64 = cp.objects.len() as u64;
     assert!(restarted.0 > phase1, "phase 2 must have refined the mesh");
+}
+
+// ---------------------------------------------------------------------------
+// Network chaos: the same mesh workload over an unreliable fabric. The
+// reliable-delivery layer (sequence numbers + acks + bounded-exponential
+// retransmit) must absorb every seeded drop/dup/delay/reorder schedule
+// without changing the mesh, executing a handler twice, or declaring
+// termination with a message still in flight.
+// ---------------------------------------------------------------------------
+
+/// Mixed fabric schedule: drops under the bounded-drop guarantee, dups
+/// for the receiver dedup, delays and reorders for the in-order release.
+fn net_plan(seed: u64) -> NetFaultPlan {
+    NetFaultPlan::new(0x6E7F_A017 ^ seed)
+        .with_drops(80)
+        .with_dups(60)
+        .with_delay(50, Duration::from_micros(300))
+        .with_reorder(40)
+}
+
+#[test]
+fn des_net_chaos_schedules_preserve_mesh_and_counters() {
+    let budget = 70_000usize;
+    let reference = opcdm_run(&small(), MrtsConfig::out_of_core(2, budget));
+    let (mut dropped, mut dups, mut acks) = (0usize, 0usize, 0usize);
+    for seed in 0..12u64 {
+        let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+        let sink = chk.clone();
+        let r = opcdm_run_with(
+            &small(),
+            MrtsConfig::out_of_core(2, budget).with_net_faults(net_plan(seed)),
+            move |rt| rt.attach_audit(sink),
+        );
+        // A clean checker run includes clean termination: Safra never
+        // declared with an unacked message still in flight.
+        assert!(
+            chk.violations().is_empty(),
+            "seed {seed} violated invariants: {:?}",
+            chk.violations()
+        );
+        assert_eq!(
+            (r.elements, r.vertices),
+            (reference.elements, reference.vertices),
+            "seed {seed}: fabric faults changed the mesh"
+        );
+        assert_eq!(
+            r.stats.total_of(|n| n.messages_dropped),
+            r.stats.total_of(|n| n.retransmits),
+            "seed {seed}: every drop is recovered by exactly one retransmit"
+        );
+        dropped += r.stats.total_of(|n| n.messages_dropped);
+        dups += r.stats.total_of(|n| n.dup_suppressed);
+        acks += r.stats.total_of(|n| n.acks_sent);
+    }
+    assert!(dropped > 0, "sweep dropped no messages — vacuous");
+    assert!(dups > 0, "sweep suppressed no duplicates — vacuous");
+    assert!(acks > 0, "delivered data messages must be acknowledged");
+}
+
+#[test]
+fn threaded_net_chaos_schedules_preserve_mesh_and_counters() {
+    let budget = 70_000usize;
+    let reference = {
+        let mut cfg = MrtsConfig::out_of_core(2, budget);
+        cfg.spill_dir = Some(tmp("net-ref"));
+        let r = opcdm_run_threaded(&small(), cfg);
+        let _ = std::fs::remove_dir_all(tmp("net-ref"));
+        r
+    };
+    let (mut dropped, mut retrans, mut dups, mut acks) = (0usize, 0usize, 0usize, 0usize);
+    for seed in 0..6u64 {
+        let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+        let det = Arc::new(RaceDetector::new(2));
+        let dir = tmp(&format!("net-{seed}"));
+        let mut cfg = MrtsConfig::out_of_core(2, budget).with_net_faults(net_plan(seed));
+        cfg.spill_dir = Some(dir.clone());
+        let (sink, races) = (chk.clone(), det.clone());
+        let r = opcdm_run_threaded_with(&small(), cfg, move |rt| {
+            rt.attach_audit(sink);
+            rt.attach_race_detector(races);
+        });
+        let _ = std::fs::remove_dir_all(dir);
+        assert!(
+            chk.violations().is_empty(),
+            "seed {seed} violated invariants: {:?}",
+            chk.violations()
+        );
+        assert!(
+            det.races().is_empty(),
+            "seed {seed} raced: {:?}",
+            det.races()
+        );
+        assert_eq!(
+            (r.elements, r.vertices),
+            (reference.elements, reference.vertices),
+            "seed {seed}: fabric faults changed the mesh"
+        );
+        assert_eq!(
+            r.stats.total_of(|n| n.hints_invalidated),
+            0,
+            "seed {seed}: no node died, so no hint may be invalidated"
+        );
+        dropped += r.stats.total_of(|n| n.messages_dropped);
+        retrans += r.stats.total_of(|n| n.retransmits);
+        dups += r.stats.total_of(|n| n.dup_suppressed);
+        acks += r.stats.total_of(|n| n.acks_sent);
+    }
+    assert!(dropped > 0, "sweep dropped no messages — vacuous");
+    assert!(
+        retrans >= dropped,
+        "every drop needs at least one retransmit"
+    );
+    assert!(dups > 0, "sweep suppressed no duplicates — vacuous");
+    assert!(acks > 0, "delivered data messages must be acknowledged");
+}
+
+/// Half of all transmissions are duplicated; the receiver's sequence-number
+/// dedup must make every handler run exactly once. A double execution
+/// drives the checker's outstanding-delivery count negative
+/// (`Invariant::DuplicateDelivery`), and a mutated mesh would diverge.
+#[test]
+fn duplicate_storm_executes_handlers_exactly_once() {
+    let budget = 70_000usize;
+    let reference = {
+        let mut cfg = MrtsConfig::out_of_core(2, budget);
+        cfg.spill_dir = Some(tmp("dup-ref"));
+        let r = opcdm_run_threaded(&small(), cfg);
+        let _ = std::fs::remove_dir_all(tmp("dup-ref"));
+        r
+    };
+    let plan = NetFaultPlan::new(0xD0D0).with_dups(500);
+    let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+    let dir = tmp("dup-storm");
+    let mut cfg = MrtsConfig::out_of_core(2, budget).with_net_faults(plan);
+    cfg.spill_dir = Some(dir.clone());
+    let sink = chk.clone();
+    let r = opcdm_run_threaded_with(&small(), cfg, move |rt| rt.attach_audit(sink));
+    let _ = std::fs::remove_dir_all(dir);
+    assert!(chk.violations().is_empty(), "{:?}", chk.violations());
+    assert!(
+        r.stats.total_of(|n| n.dup_suppressed) > 0,
+        "a 500‰ dup storm must exercise the dedup path"
+    );
+    assert_eq!(
+        (r.elements, r.vertices),
+        (reference.elements, reference.vertices),
+        "duplicated transmissions changed the mesh"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Directory self-healing: a three-node relay where X migrates
+// 2 -> 0 -> 1 -> 2 (home again) and node 1 then dies. Node 0 performed
+// the 0 -> 1 migration, so it deterministically holds the stale hint
+// X -> 1; its next send to X must exhaust the retransmit budget against
+// the dead node, invalidate the hint, and re-route to X's home — where
+// the message is delivered. The final step sends to an object *homed* on
+// the dead node, for which no fallback exists: that is the typed
+// `NodeUnreachable` error.
+// ---------------------------------------------------------------------------
+
+const SAGA_TAG: TypeTag = TypeTag(0x5A6);
+const H_SAGA: HandlerId = HandlerId(0x5A7);
+
+struct Saga {
+    x: MobilePtr,
+    a: MobilePtr,
+    b: MobilePtr,
+}
+
+impl Saga {
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        Box::new(Saga {
+            x: r.ptr().unwrap(),
+            a: r.ptr().unwrap(),
+            b: r.ptr().unwrap(),
+        })
+    }
+}
+
+impl MobileObject for Saga {
+    fn type_tag(&self) -> TypeTag {
+        SAGA_TAG
+    }
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        w.ptr(self.x).ptr(self.a).ptr(self.b);
+        buf.extend_from_slice(&w.finish());
+    }
+    fn footprint(&self) -> usize {
+        96
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn h_saga(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let s = obj.as_any_mut().downcast_mut::<Saga>().unwrap();
+    let (x, a, b) = (s.x, s.a, s.b);
+    let me = ctx.self_ptr();
+    match payload[0] {
+        // A kicks the relay off.
+        0 => ctx.send(x, H_SAGA, vec![1]),
+        // X walks 2 -> 0 -> 1 -> 2; the self-send chases it through the
+        // forwarding tombstones. The 0 -> 1 leg plants node 0's hint.
+        1 => {
+            ctx.migrate(me, 0);
+            ctx.send(me, H_SAGA, vec![2]);
+        }
+        2 => {
+            ctx.migrate(me, 1);
+            ctx.send(me, H_SAGA, vec![3]);
+        }
+        // Node 1's first and only handler execution: it dies right after,
+        // with the install to node 2 already on the wire.
+        3 => {
+            ctx.migrate(me, 2);
+            ctx.send(me, H_SAGA, vec![4]);
+        }
+        // X (home again on node 2) pings A so A's next send uses the
+        // stale hint...
+        4 => ctx.send(a, H_SAGA, vec![5]),
+        // ...here: node 0 routes to dead node 1, exhausts, invalidates
+        // the hint, re-routes to home — X must receive step 6.
+        5 => ctx.send(x, H_SAGA, vec![6]),
+        // B is homed on the dead node: no hint to heal, no fallback.
+        6 => ctx.send(b, H_SAGA, vec![7]),
+        _ => unreachable!("B is homed on the dead node; its handler must never run"),
+    }
+}
+
+#[test]
+fn stale_hint_self_heals_and_dead_home_is_typed_error() {
+    let log = Arc::new(EventLog::new());
+    let plan = NetFaultPlan::new(0xBEEF).with_kill_node(1, 1);
+    let mut rt = ThreadedRuntime::new(MrtsConfig::in_core(3).with_net_faults(plan));
+    rt.attach_audit(log.clone());
+    rt.register_type(SAGA_TAG, Saga::decode);
+    rt.register_handler(H_SAGA, "saga", h_saga);
+    let a = MobilePtr::new(ObjectId::new(0, 0));
+    let b = MobilePtr::new(ObjectId::new(1, 0));
+    let x = MobilePtr::new(ObjectId::new(2, 0));
+    let pa = rt.create_object(0, Box::new(Saga { x, a, b }), 128);
+    let pb = rt.create_object(1, Box::new(Saga { x, a, b }), 128);
+    let px = rt.create_object(2, Box::new(Saga { x, a, b }), 128);
+    assert_eq!((pa.id, pb.id, px.id), (a.id, b.id, x.id));
+    rt.post(a, H_SAGA, vec![0]);
+    match rt.try_run() {
+        Err(MrtsError::NodeUnreachable {
+            node,
+            dest,
+            attempts,
+        }) => {
+            // Node 2 only reaches step 6 if node 0's re-route delivered
+            // step 5's message past the invalidated hint — the error's
+            // origin is itself the proof of self-healing.
+            assert_eq!(
+                (node, dest),
+                (2, 1),
+                "the unreachable send must be X's node contacting B's dead home"
+            );
+            assert!(attempts > 0, "exhaustion must report its attempts");
+        }
+        other => panic!("expected NodeUnreachable, got {other:?}"),
+    }
+    // The healing step is also visible in the event stream (audit events
+    // compile into debug builds).
+    if cfg!(debug_assertions) {
+        let healed = log.snapshot().iter().any(|e| {
+            matches!(
+                e,
+                RuntimeEvent::HintInvalidated { node: 0, oid, loc: 1 } if *oid == x.id
+            )
+        });
+        assert!(
+            healed,
+            "node 0 must invalidate the stale hint before re-routing"
+        );
+    }
+}
+
+/// Cross-node heartbeat for the crash test: a bounded ping-pong between
+/// one subdomain on each node. Each leg is sent only after the peer's
+/// reply arrived, so while hops remain there is always a data message
+/// bound for the other node — the killed node is guaranteed to leave one
+/// unacknowledged in flight.
+const H_CHAT: HandlerId = HandlerId(0x903);
+
+fn h_chat(_obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let hops = r.u64().unwrap();
+    let peer = r.ptr().unwrap();
+    if hops > 0 {
+        let mut w = PayloadWriter::new();
+        w.u64(hops - 1).ptr(ctx.self_ptr());
+        ctx.send(peer, H_CHAT, w.finish());
+    }
+}
+
+/// A node dies mid-refinement under fabric faults. The survivors must
+/// surface the typed error (not hang), and restoring the pre-crash
+/// checkpoint onto the surviving node alone — homes wrap modulo the
+/// smaller cluster — must finish with the exact mesh the uninterrupted
+/// two-node run produces.
+#[test]
+fn node_crash_rehomes_from_checkpoint_onto_survivors() {
+    let p = PcdmParams::new(Workload::uniform_square(4_000), 2);
+    let spill1 = tmp("net-kill-p1");
+    let mut cfg = MrtsConfig::out_of_core(2, 300_000);
+    cfg.spill_dir = Some(spill1.clone());
+    let mut rt = opcdm_setup_threaded(&p, cfg);
+    rt.run();
+    let cp = rt.checkpoint();
+    drop(rt);
+    let _ = std::fs::remove_dir_all(spill1);
+    assert!(!cp.objects.is_empty());
+
+    let uninterrupted = run_phase2(&cp, tmp("net-kill-ref"));
+
+    // Crashed attempt: node 1 goes silent 25 handlers into phase 2 while
+    // the fabric drops and duplicates. The heartbeat keeps both nodes
+    // talking, so node 0 is still owed replies when node 1 dies: its next
+    // send exhausts the retransmit budget and brings the run down with
+    // the typed error.
+    let plan = NetFaultPlan::new(0xC4A5)
+        .with_drops(60)
+        .with_dups(40)
+        .with_kill_node(1, 25);
+    let spill2 = tmp("net-kill-crash");
+    let mut cfg = MrtsConfig::out_of_core(2, 300_000).with_net_faults(plan);
+    cfg.spill_dir = Some(spill2.clone());
+    let mut rt = ThreadedRuntime::new(cfg);
+    register_threaded(&mut rt);
+    rt.register_handler(H_RETUNE, "retune", h_retune);
+    rt.register_handler(H_CHAT, "chat", h_chat);
+    cp.restore_into_threaded(&mut rt);
+    for e in &cp.objects {
+        rt.post(MobilePtr::new(e.oid), H_RETUNE, Vec::new());
+    }
+    let on_node = |n: u8| {
+        cp.objects
+            .iter()
+            .map(|e| e.oid)
+            .find(|o| o.home() == n as pumg::mrts::ids::NodeId)
+            .expect("a subdomain homed on each node")
+    };
+    let mut w = PayloadWriter::new();
+    w.u64(600).ptr(MobilePtr::new(on_node(1)));
+    rt.post(MobilePtr::new(on_node(0)), H_CHAT, w.finish());
+    let crashed = rt.try_run();
+    drop(rt);
+    let _ = std::fs::remove_dir_all(spill2);
+    match crashed {
+        Err(MrtsError::NodeUnreachable { dest: 1, .. }) => {}
+        other => panic!("expected NodeUnreachable for the killed node, got {other:?}"),
+    }
+
+    // Re-home the same checkpoint onto the survivor and finish the mesh.
+    let rehomed = run_phase2_on(&cp, tmp("net-kill-rehome"), 1);
+    assert_eq!(
+        rehomed, uninterrupted,
+        "re-homed recovery must reproduce the uninterrupted mesh"
+    );
 }

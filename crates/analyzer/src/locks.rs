@@ -1,0 +1,319 @@
+//! Checker 2: lock-order graph.
+//!
+//! Within each runtime function of the `LockScan` files, guard lifetimes
+//! are tracked token-by-token: `let g = path.lock()…` creates a guard
+//! live to the end of its block (or an explicit `drop(g)`), a bare
+//! `path.lock()…` expression creates a temporary live to the end of its
+//! statement. Acquiring lock B while guard A is live adds the directed
+//! edge A→B. Violations:
+//!
+//! * a **cycle** in the resulting graph — a potential deadlock between
+//!   runtime locks (AB/BA anywhere in the codebase, even across
+//!   functions and threads);
+//! * **re-acquiring a lock already held** — immediate self-deadlock on
+//!   `std::sync::Mutex`;
+//! * a **channel send while holding a lock** (`.send(..)` on a `*tx`
+//!   handle, or `.am_send(..)`) — the send can block or wake a peer
+//!   that needs the same lock, and under the fabric it publishes state
+//!   while the protecting critical section is still open.
+//!
+//! Locks are named by the last path segment of the receiver
+//! (`self.shared.regions.lock()` → `regions`); precise alias analysis is
+//! out of scope, and leaf names are unique across the runtime's lock
+//! sites — the analyzer fails closed by merging same-named locks.
+
+use crate::model::{walk_fns, FileRole, Workspace};
+use crate::{Check, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use syn::{TokKind, Token};
+
+struct Guard {
+    lock: String,
+    /// Binding name (`None` = temporary, dies at `;`).
+    binding: Option<String>,
+    /// Brace depth at creation; dies when the depth drops below it.
+    depth: usize,
+    line: u32,
+}
+
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) -> Result<usize, String> {
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    // edge -> first place we saw it
+    let mut edges: BTreeMap<(String, String), (PathBuf, u32)> = BTreeMap::new();
+
+    for f in ws.files_with(FileRole::LockScan) {
+        // `.read()` / `.write()` are lock acquisitions only in files
+        // that actually use RwLock; otherwise they are I/O calls.
+        let uses_rwlock = file_mentions(&f.ast, "RwLock");
+        walk_fns(&f.ast.items, false, &mut |fun, in_test| {
+            if in_test {
+                return;
+            }
+            scan_fn(&fun.body, uses_rwlock, &f.path, &mut nodes, &mut edges, out);
+        });
+    }
+
+    // Cycle detection over the directed edge set.
+    let adj: BTreeMap<&str, Vec<&str>> = {
+        let mut m: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            m.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        m
+    };
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for &start in adj.keys() {
+        if let Some(cycle) = find_cycle(start, &adj) {
+            // Canonical form so each cycle is reported once.
+            let mut canon = cycle.clone();
+            canon.sort();
+            let key = canon.join(",");
+            if reported.insert(key) {
+                let (file, line) = edges
+                    .get(&(cycle[0].to_string(), cycle[1].to_string()))
+                    .cloned()
+                    .unwrap_or_else(|| (PathBuf::from("<graph>"), 0));
+                out.push(Violation {
+                    check: Check::LockOrder,
+                    file,
+                    line,
+                    msg: format!(
+                        "lock-order cycle (potential deadlock): {}",
+                        cycle.join(" -> ")
+                    ),
+                });
+            }
+        }
+    }
+    Ok(nodes.len())
+}
+
+fn file_mentions(file: &syn::File, needle: &str) -> bool {
+    let mut found = false;
+    walk_fns(&file.items, false, &mut |fun, _| {
+        if fun.body.iter().any(|t| t.text == needle) {
+            found = true;
+        }
+    });
+    // Struct fields can also carry the type.
+    found || {
+        let mut f2 = false;
+        collect_field_types(&file.items, &mut |ty| {
+            if ty.contains(needle) {
+                f2 = true;
+            }
+        });
+        f2
+    }
+}
+
+fn collect_field_types(items: &[syn::Item], f: &mut impl FnMut(&str)) {
+    for item in items {
+        match item {
+            syn::Item::Struct(s) => {
+                for field in &s.fields {
+                    f(&field.ty);
+                }
+            }
+            syn::Item::Mod(m) => {
+                if let Some(c) = &m.content {
+                    collect_field_types(c, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn scan_fn(
+    body: &[Token],
+    uses_rwlock: bool,
+    path: &std::path::Path,
+    nodes: &mut BTreeSet<String>,
+    edges: &mut BTreeMap<(String, String), (PathBuf, u32)>,
+    out: &mut Vec<Violation>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    // Index of the start of the current statement (last `;`/`{`/`}`).
+    let mut stmt_start = 0usize;
+    let mut i = 0;
+    while i < body.len() {
+        let t = &body[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.binding.is_none() || g.depth <= depth);
+                stmt_start = i + 1;
+            }
+            ";" => {
+                guards.retain(|g| g.binding.is_some());
+                stmt_start = i + 1;
+            }
+            "drop" => {
+                // `drop(g)` / `mem::drop(g)` ends a named guard early.
+                let opens_call = body.get(i + 1).map(|n| n.text.as_str()) == Some("(");
+                if let Some(name) = body.get(i + 2).filter(|_| opens_call) {
+                    guards.retain(|g| g.binding.as_deref() != Some(name.text.as_str()));
+                }
+            }
+            "lock" | "read" | "write" => {
+                let is_acquire = (t.text == "lock" || uses_rwlock)
+                    && i >= 1
+                    && body[i - 1].text == "."
+                    && body.get(i + 1).map(|n| n.text.as_str()) == Some("(");
+                if is_acquire {
+                    let lock_name = receiver_name(body, i - 1);
+                    if let Some(lock_name) = lock_name {
+                        nodes.insert(lock_name.clone());
+                        for g in &guards {
+                            if g.lock == lock_name {
+                                out.push(Violation {
+                                    check: Check::LockOrder,
+                                    file: path.to_path_buf(),
+                                    line: t.line,
+                                    msg: format!(
+                                        "lock `{lock_name}` acquired at line {} is \
+                                         re-acquired while still held (self-deadlock)",
+                                        g.line
+                                    ),
+                                });
+                            } else {
+                                edges
+                                    .entry((g.lock.clone(), lock_name.clone()))
+                                    .or_insert((path.to_path_buf(), t.line));
+                            }
+                        }
+                        guards.push(Guard {
+                            lock: lock_name,
+                            binding: binding_of(body, stmt_start, i),
+                            depth,
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+            "send" | "am_send" => {
+                let is_call = i >= 1
+                    && body[i - 1].text == "."
+                    && body.get(i + 1).map(|n| n.text.as_str()) == Some("(");
+                if is_call && !guards.is_empty() {
+                    let channelish = t.text == "am_send"
+                        || receiver_name(body, i - 1)
+                            .is_some_and(|r| r == "tx" || r.ends_with("_tx") || r.ends_with("tx"));
+                    if channelish {
+                        let held: Vec<&str> = guards.iter().map(|g| g.lock.as_str()).collect();
+                        out.push(Violation {
+                            check: Check::LockOrder,
+                            file: path.to_path_buf(),
+                            line: t.line,
+                            msg: format!(
+                                "channel send while holding lock(s) {held:?} — \
+                                 release the guard before publishing"
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Last path segment of the receiver expression ending at the `.`
+/// before the method name: `self.shared.regions.` → `regions`,
+/// `slots[i].` → `slots`, `self.region(n, k).` → `region`.
+fn receiver_name(body: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot.checked_sub(1)?;
+    while let close @ ("]" | ")") = body[j].text.as_str() {
+        // Walk back over the balanced group.
+        let close = close.to_string();
+        let open = if close == "]" { "[" } else { "(" };
+        let mut d = 0usize;
+        loop {
+            if body[j].text == close {
+                d += 1;
+            } else if body[j].text == open {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        j = j.checked_sub(1)?;
+    }
+    let tok = &body[j];
+    if tok.kind == TokKind::Ident && tok.text != "self" {
+        Some(tok.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Binding name if the current statement is `let [mut] name = …`.
+fn binding_of(body: &[Token], stmt_start: usize, upto: usize) -> Option<String> {
+    let mut j = stmt_start;
+    while j < upto {
+        if body[j].text == "let" {
+            let mut k = j + 1;
+            if body.get(k).map(|t| t.text.as_str()) == Some("mut") {
+                k += 1;
+            }
+            let tok = body.get(k)?;
+            if tok.kind == TokKind::Ident {
+                return Some(tok.text.clone());
+            }
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// DFS from `start`; returns a cycle path `a -> … -> a` if one exists
+/// through `start`'s component.
+fn find_cycle<'a>(start: &'a str, adj: &BTreeMap<&'a str, Vec<&'a str>>) -> Option<Vec<&'a str>> {
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a str>>,
+        path: &mut Vec<&'a str>,
+        on_path: &mut BTreeSet<&'a str>,
+        visited: &mut BTreeSet<&'a str>,
+    ) -> Option<Vec<&'a str>> {
+        if on_path.contains(node) {
+            let pos = path.iter().position(|n| *n == node).unwrap_or(0);
+            let mut cycle = path[pos..].to_vec();
+            cycle.push(node);
+            return Some(cycle);
+        }
+        if !visited.insert(node) {
+            return None;
+        }
+        on_path.insert(node);
+        path.push(node);
+        if let Some(nexts) = adj.get(node) {
+            for n in nexts {
+                if let Some(c) = dfs(n, adj, path, on_path, visited) {
+                    return Some(c);
+                }
+            }
+        }
+        path.pop();
+        on_path.remove(node);
+        None
+    }
+    dfs(
+        start,
+        adj,
+        &mut Vec::new(),
+        &mut BTreeSet::new(),
+        &mut BTreeSet::new(),
+    )
+}

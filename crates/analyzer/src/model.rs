@@ -1,0 +1,192 @@
+//! Workspace model: which files play which protocol roles.
+//!
+//! The checkers are driven by roles, not hard-coded paths, so the
+//! self-test fixtures can point each checker at a deliberately broken
+//! mini-tree and prove it still bites.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What a source file contributes to the analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileRole {
+    /// Declares the `AM_*` wire tags and their dispatch arms (threaded
+    /// engine).
+    ThreadedEngine,
+    /// Declares the DES event enum and its dispatch arms.
+    DesEngine,
+    /// Declares the counter struct and the summary renderer.
+    Stats,
+    /// A reporting surface (benchmark JSON emitter): every incremented
+    /// counter must be mentioned here.
+    Report,
+    /// Scanned for lock acquisition order.
+    LockScan,
+    /// Scanned for runtime-path `unwrap()`.
+    UnwrapScan,
+    /// Scanned for counter increments (`.field +=`).
+    CounterScan,
+}
+
+/// One parsed source file with its roles.
+pub struct SourceFile {
+    pub path: PathBuf,
+    pub ast: syn::File,
+    pub roles: Vec<FileRole>,
+}
+
+impl SourceFile {
+    pub fn has_role(&self, r: FileRole) -> bool {
+        self.roles.contains(&r)
+    }
+}
+
+/// The analysis input: parsed files plus the protocol equivalences the
+/// checkers may assume.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    /// Name of the DES event enum (`EvKind`).
+    pub des_event_enum: String,
+    /// Name of the per-node counter struct (`NodeStats`).
+    pub stats_struct: String,
+    /// Type whose `summary` method is the gate reporting surface
+    /// (`RunStats`).
+    pub summary_impl: String,
+    /// Threaded-only control-plane tags with no DES analog (the DES has
+    /// no physical fabric: no acks, no termination ring, no exit
+    /// broadcast).
+    pub tags_without_des_analog: Vec<String>,
+    /// DES event variants with no wire tag (I/O completions arrive as
+    /// `IoDone` messages in the threaded engine).
+    pub variants_without_threaded_analog: Vec<String>,
+    /// Tags whose dispatch arms legitimately emit no audit event
+    /// (pure bookkeeping: ack clears a retransmit slot, the ring token
+    /// is control-plane traffic audited at termination instead).
+    pub tags_without_audit: Vec<String>,
+    /// DES variants whose arms legitimately emit no audit event.
+    pub variants_without_audit: Vec<String>,
+}
+
+impl Workspace {
+    /// An empty model with MRTS protocol names; fixtures start here and
+    /// push their own files.
+    pub fn bare() -> Workspace {
+        Workspace {
+            files: Vec::new(),
+            des_event_enum: "EvKind".into(),
+            stats_struct: "NodeStats".into(),
+            summary_impl: "RunStats".into(),
+            tags_without_des_analog: vec!["AM_TOKEN".into(), "AM_EXIT".into(), "AM_ACK".into()],
+            variants_without_threaded_analog: vec!["Loaded".into()],
+            tags_without_audit: vec!["AM_TOKEN".into(), "AM_ACK".into()],
+            variants_without_audit: Vec::new(),
+        }
+    }
+
+    /// Parse `path` and add it with `roles`.
+    pub fn load(&mut self, path: &Path, roles: Vec<FileRole>) -> Result<(), String> {
+        let src = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        self.push_source(path, &src, roles)
+    }
+
+    /// Add an in-memory source (used by tests).
+    pub fn push_source(
+        &mut self,
+        path: &Path,
+        src: &str,
+        roles: Vec<FileRole>,
+    ) -> Result<(), String> {
+        let ast = syn::parse_file(src).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        self.files.push(SourceFile {
+            path: path.to_path_buf(),
+            ast,
+            roles,
+        });
+        Ok(())
+    }
+
+    /// The real MRTS tree: engines, stats, reporting benchmark, fabric,
+    /// and every core source file for the unwrap/counter sweeps.
+    pub fn mrts(root: &Path) -> Result<Workspace, String> {
+        use FileRole::*;
+        let mut ws = Workspace::bare();
+        let core = root.join("crates/core/src");
+        let entries =
+            fs::read_dir(&core).map_err(|e| format!("read_dir {}: {e}", core.display()))?;
+        let mut core_files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        core_files.sort();
+        for p in core_files {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let roles = match name {
+                "threaded.rs" => vec![ThreadedEngine, LockScan, UnwrapScan, CounterScan],
+                "des.rs" => vec![DesEngine, UnwrapScan, CounterScan],
+                "stats.rs" => vec![Stats, UnwrapScan],
+                _ => vec![UnwrapScan, CounterScan],
+            };
+            ws.load(&p, roles)?;
+        }
+        ws.load(
+            &root.join("crates/armci-sim/src/lib.rs"),
+            vec![LockScan, UnwrapScan],
+        )?;
+        ws.load(
+            &root.join("crates/bench/src/bin/overlap_smoke.rs"),
+            vec![Report],
+        )?;
+        Ok(ws)
+    }
+
+    pub fn files_with(&self, r: FileRole) -> impl Iterator<Item = &SourceFile> {
+        self.files.iter().filter(move |f| f.has_role(r))
+    }
+}
+
+/// Visit every function item (any nesting), with a flag saying whether
+/// it sits inside test-only code (`#[cfg(test)]` module / `#[test]` fn /
+/// any attr mentioning `test`).
+pub fn walk_fns<'a>(
+    items: &'a [syn::Item],
+    in_test: bool,
+    f: &mut impl FnMut(&'a syn::ItemFn, bool),
+) {
+    for item in items {
+        match item {
+            syn::Item::Fn(fun) => {
+                let t = in_test || attrs_are_test(&fun.attrs);
+                f(fun, t);
+            }
+            syn::Item::Impl(im) => {
+                let t = in_test || attrs_are_test(&im.attrs);
+                walk_fns(&im.items, t, f);
+            }
+            syn::Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    let t = in_test || attrs_are_test(&m.attrs);
+                    walk_fns(content, t, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether an attribute set marks test-only code.
+pub fn attrs_are_test(attrs: &[String]) -> bool {
+    attrs.iter().any(|a| a.contains("test"))
+}
+
+/// All functions of a file keyed by name (first definition wins), for
+/// transitive call-following. Test functions are excluded — an audit
+/// emission inside a test does not make the runtime path audited.
+pub fn fn_map(file: &syn::File) -> std::collections::HashMap<&str, &syn::ItemFn> {
+    let mut map = std::collections::HashMap::new();
+    walk_fns(&file.items, false, &mut |f, in_test| {
+        if !in_test {
+            map.entry(f.ident.as_str()).or_insert(f);
+        }
+    });
+    map
+}

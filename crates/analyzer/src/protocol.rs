@@ -1,0 +1,498 @@
+//! Checker 1: protocol exhaustiveness.
+//!
+//! * Every `AM_*` tag declared in the threaded engine must have a
+//!   dispatch arm there, and (unless exempt) a same-named event variant
+//!   in the DES engine — and vice versa — so the two engines cannot
+//!   silently drift apart.
+//! * Every dispatch arm must reach an audit-event emission
+//!   (`audit_emit!` / `RuntimeEvent`), directly or through functions it
+//!   calls, unless the tag is on the no-audit exempt list.
+//! * Every integer `NodeStats` counter that is incremented anywhere in
+//!   the runtime must surface both in the gate summary
+//!   (`RunStats::summary` or a helper it calls) and in the benchmark
+//!   report files.
+
+use crate::model::{fn_map, FileRole, Workspace};
+use crate::{Check, Violation};
+use std::collections::{HashMap, HashSet};
+use syn::{Item, Token};
+
+/// Max depth when following calls out of a dispatch arm looking for an
+/// audit emission.
+const CALL_DEPTH: usize = 6;
+
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) -> Result<(usize, usize), String> {
+    let tags = check_tags_and_variants(ws, out);
+    let counters = check_counters(ws, out);
+    Ok((tags, counters))
+}
+
+fn norm_tag(tag: &str) -> String {
+    tag.trim_start_matches("AM_")
+        .replace('_', "")
+        .to_lowercase()
+}
+
+fn norm_variant(v: &str) -> String {
+    v.to_lowercase()
+}
+
+struct Decl {
+    file: std::path::PathBuf,
+    line: u32,
+}
+
+fn check_tags_and_variants(ws: &Workspace, out: &mut Vec<Violation>) -> usize {
+    // ---- collect declarations -----------------------------------------
+    let mut tags: HashMap<String, Decl> = HashMap::new();
+    for f in ws.files_with(FileRole::ThreadedEngine) {
+        collect_consts(&f.ast.items, &mut |c| {
+            if c.ident.starts_with("AM_") {
+                tags.insert(
+                    c.ident.clone(),
+                    Decl {
+                        file: f.path.clone(),
+                        line: c.line,
+                    },
+                );
+            }
+        });
+    }
+    let mut variants: HashMap<String, Decl> = HashMap::new();
+    for f in ws.files_with(FileRole::DesEngine) {
+        collect_enums(&f.ast.items, &mut |e| {
+            if e.ident == ws.des_event_enum {
+                for v in &e.variants {
+                    variants.insert(
+                        v.ident.clone(),
+                        Decl {
+                            file: f.path.clone(),
+                            line: v.line,
+                        },
+                    );
+                }
+            }
+        });
+    }
+
+    // ---- dispatch arms + audit reach ----------------------------------
+    for (tag, decl) in &tags {
+        let mut dispatched = false;
+        let mut audited = false;
+        for f in ws.files_with(FileRole::ThreadedEngine) {
+            let fns = fn_map(&f.ast);
+            for fun in fns.values() {
+                for (i, t) in fun.body.iter().enumerate() {
+                    if t.text != *tag {
+                        continue;
+                    }
+                    let next = fun.body.get(i + 1).map(|t| t.text.as_str());
+                    let prev = i.checked_sub(1).and_then(|j| fun.body.get(j));
+                    let is_arm = matches!(next, Some("=>") | Some("|"))
+                        || prev.is_some_and(|p| p.text == "==");
+                    if !is_arm {
+                        continue;
+                    }
+                    dispatched = true;
+                    if let Some(arm) = arm_tokens(&fun.body, i) {
+                        if arm_reaches_audit(arm, &fns, CALL_DEPTH, &mut HashSet::new()) {
+                            audited = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !dispatched {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!("tag {tag} has no dispatch arm in the threaded engine"),
+            });
+        } else if !audited && !ws.tags_without_audit.iter().any(|t| t == tag) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "no dispatch arm for {tag} reaches an audit emission \
+                     (audit_emit!/RuntimeEvent within {CALL_DEPTH} calls)"
+                ),
+            });
+        }
+    }
+
+    for (variant, decl) in &variants {
+        let mut dispatched = false;
+        let mut audited = false;
+        for f in ws.files_with(FileRole::DesEngine) {
+            let fns = fn_map(&f.ast);
+            for fun in fns.values() {
+                for (i, t) in fun.body.iter().enumerate() {
+                    // Look for `EvKind :: Variant [payload-pattern] =>`.
+                    if t.text != *variant
+                        || i < 2
+                        || fun.body[i - 1].text != "::"
+                        || fun.body[i - 2].text != ws.des_event_enum
+                    {
+                        continue;
+                    }
+                    let mut j = i + 1;
+                    if matches!(
+                        fun.body.get(j).map(|t| t.text.as_str()),
+                        Some("(") | Some("{")
+                    ) {
+                        j = skip_group(&fun.body, j);
+                    }
+                    if fun.body.get(j).map(|t| t.text.as_str()) != Some("=>") {
+                        continue;
+                    }
+                    dispatched = true;
+                    if let Some(arm) = arm_tokens(&fun.body, j - 1) {
+                        if arm_reaches_audit(arm, &fns, CALL_DEPTH, &mut HashSet::new()) {
+                            audited = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !dispatched {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "{}::{variant} has no dispatch arm in the DES engine",
+                    ws.des_event_enum
+                ),
+            });
+        } else if !audited && !ws.variants_without_audit.iter().any(|v| v == variant) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "no dispatch arm for {}::{variant} reaches an audit emission",
+                    ws.des_event_enum
+                ),
+            });
+        }
+    }
+
+    // ---- cross-engine mapping -----------------------------------------
+    let variant_norms: HashSet<String> = variants.keys().map(|v| norm_variant(v)).collect();
+    let tag_norms: HashSet<String> = tags.keys().map(|t| norm_tag(t)).collect();
+    for (tag, decl) in &tags {
+        if ws.tags_without_des_analog.iter().any(|t| t == tag) {
+            continue;
+        }
+        if !variant_norms.contains(&norm_tag(tag)) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "tag {tag} has no corresponding {} variant in the DES engine \
+                     (engines drifting apart?)",
+                    ws.des_event_enum
+                ),
+            });
+        }
+    }
+    for (variant, decl) in &variants {
+        if ws
+            .variants_without_threaded_analog
+            .iter()
+            .any(|v| v == variant)
+        {
+            continue;
+        }
+        if !tag_norms.contains(&norm_variant(variant)) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "{}::{variant} has no corresponding AM_* tag in the threaded engine",
+                    ws.des_event_enum
+                ),
+            });
+        }
+    }
+    tags.len()
+}
+
+/// Tokens of the match arm whose `=>` follows position `i` (the last
+/// pattern token): either the following brace group or everything up to
+/// the arm-terminating comma.
+fn arm_tokens(body: &[Token], i: usize) -> Option<&[Token]> {
+    let mut j = i + 1;
+    // Skip a leading `|`-chain to the `=>`.
+    while j < body.len() && body[j].text != "=>" {
+        if body[j].text == "(" || body[j].text == "{" || body[j].text == "[" {
+            j = skip_group(body, j);
+        } else {
+            j += 1;
+        }
+        if j > i + 16 {
+            return None; // not actually an arm
+        }
+    }
+    if j >= body.len() {
+        return None;
+    }
+    j += 1; // past =>
+    let start = j;
+    if body.get(j).map(|t| t.text.as_str()) == Some("{") {
+        let end = skip_group(body, j);
+        return Some(&body[start..end]);
+    }
+    let mut depth = 0usize;
+    while j < body.len() {
+        match body[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            "," if depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    Some(&body[start..j])
+}
+
+/// Index just past a balanced bracket group opening at `open`.
+fn skip_group(body: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < body.len() {
+        match body[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    body.len()
+}
+
+fn tokens_have_audit(toks: &[Token]) -> bool {
+    toks.iter()
+        .any(|t| t.text == "audit_emit" || t.text == "RuntimeEvent")
+}
+
+/// Does this arm emit an audit event, directly or via functions it
+/// calls (same file, up to `depth` levels)?
+fn arm_reaches_audit<'a>(
+    toks: &'a [Token],
+    fns: &HashMap<&str, &'a syn::ItemFn>,
+    depth: usize,
+    seen: &mut HashSet<&'a str>,
+) -> bool {
+    if tokens_have_audit(toks) {
+        return true;
+    }
+    if depth == 0 {
+        return false;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        // A call: `name (` not preceded by `fn` (definition).
+        if toks.get(i + 1).map(|n| n.text.as_str()) != Some("(") {
+            continue;
+        }
+        let Some(callee) = fns.get(t.text.as_str()) else {
+            continue;
+        };
+        if !seen.insert(t.text.as_str()) {
+            continue;
+        }
+        if arm_reaches_audit(&callee.body, fns, depth - 1, seen) {
+            return true;
+        }
+    }
+    false
+}
+
+// ---- counter reporting -------------------------------------------------
+
+fn check_counters(ws: &Workspace, out: &mut Vec<Violation>) -> usize {
+    // Integer fields of the counter struct.
+    let mut counters: Vec<(String, Decl)> = Vec::new();
+    for f in ws.files_with(FileRole::Stats) {
+        collect_structs(&f.ast.items, &mut |s| {
+            if s.ident == ws.stats_struct {
+                for field in &s.fields {
+                    if matches!(field.ty.as_str(), "u64" | "u32" | "usize" | "u128") {
+                        counters.push((
+                            field.ident.clone(),
+                            Decl {
+                                file: f.path.clone(),
+                                line: field.line,
+                            },
+                        ));
+                    }
+                }
+            }
+        });
+    }
+
+    // Incremented anywhere in the runtime? (`.field +=`)
+    let mut incremented: HashSet<String> = HashSet::new();
+    for f in ws.files.iter().filter(|f| {
+        f.has_role(FileRole::CounterScan)
+            || f.has_role(FileRole::ThreadedEngine)
+            || f.has_role(FileRole::DesEngine)
+    }) {
+        crate::model::walk_fns(&f.ast.items, false, &mut |fun, in_test| {
+            if in_test {
+                return;
+            }
+            for (i, t) in fun.body.iter().enumerate() {
+                if t.text == "+="
+                    && i >= 2
+                    && fun.body[i - 2].text == "."
+                    && counters.iter().any(|(c, _)| *c == fun.body[i - 1].text)
+                {
+                    incremented.insert(fun.body[i - 1].text.clone());
+                }
+            }
+        });
+    }
+
+    // Reported in the gate summary (summary + helpers it calls)?
+    let mut summary_tokens: Vec<String> = Vec::new();
+    for f in ws.files_with(FileRole::Stats) {
+        for item in &f.ast.items {
+            let Item::Impl(im) = item else { continue };
+            if im.self_ty != ws.summary_impl {
+                continue;
+            }
+            let mut impl_fns: HashMap<&str, &syn::ItemFn> = HashMap::new();
+            for it in &im.items {
+                if let Item::Fn(fun) = it {
+                    impl_fns.insert(fun.ident.as_str(), fun);
+                }
+            }
+            let Some(summary) = impl_fns.get("summary") else {
+                continue;
+            };
+            // Breadth-first closure over same-impl helper calls.
+            let mut queue = vec![*summary];
+            let mut seen: HashSet<&str> = HashSet::new();
+            seen.insert("summary");
+            while let Some(fun) = queue.pop() {
+                for (i, t) in fun.body.iter().enumerate() {
+                    summary_tokens.push(t.text.clone());
+                    if fun.body.get(i + 1).map(|n| n.text.as_str()) == Some("(") {
+                        if let Some(callee) = impl_fns.get(t.text.as_str()) {
+                            if seen.insert(t.text.as_str()) {
+                                queue.push(callee);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let summary_set: HashSet<&str> = summary_tokens.iter().map(|s| s.as_str()).collect();
+
+    // Reported by the benchmark JSON emitters?
+    let mut report_set: HashSet<String> = HashSet::new();
+    for f in ws.files_with(FileRole::Report) {
+        crate::model::walk_fns(&f.ast.items, false, &mut |fun, _| {
+            for t in &fun.body {
+                report_set.insert(t.text.trim_matches('"').to_string());
+            }
+        });
+    }
+
+    for (name, decl) in &counters {
+        if !incremented.contains(name.as_str()) {
+            continue; // dead counters are clippy's problem, not ours
+        }
+        if !summary_set.contains(name.as_str()) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "counter `{name}` is incremented but never surfaced by \
+                     {}::summary (or a helper it calls)",
+                    ws.summary_impl
+                ),
+            });
+        }
+        if !report_set.contains(name.as_str()) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "counter `{name}` is incremented but missing from the \
+                     benchmark report JSON"
+                ),
+            });
+        }
+    }
+    counters.len()
+}
+
+// ---- item collectors ---------------------------------------------------
+
+fn collect_consts(items: &[Item], f: &mut impl FnMut(&syn::ItemConst)) {
+    for item in items {
+        match item {
+            Item::Const(c) => f(c),
+            Item::Impl(im) => collect_consts(&im.items, f),
+            Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    if !crate::model::attrs_are_test(&m.attrs) {
+                        collect_consts(content, f);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_enums(items: &[Item], f: &mut impl FnMut(&syn::ItemEnum)) {
+    for item in items {
+        match item {
+            Item::Enum(e) => f(e),
+            Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    if !crate::model::attrs_are_test(&m.attrs) {
+                        collect_enums(content, f);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_structs(items: &[Item], f: &mut impl FnMut(&syn::ItemStruct)) {
+    for item in items {
+        match item {
+            Item::Struct(s) => f(s),
+            Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    if !crate::model::attrs_are_test(&m.attrs) {
+                        collect_structs(content, f);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Checker 3: runtime-path `unwrap()`/`expect`-discipline ban.
+//!
+//! Bare `.unwrap()` in runtime code turns any broken invariant into an
+//! unlabelled panic at a random line; the repo's convention is
+//! `.expect("which invariant broke")` for genuinely impossible states
+//! and `?`/explicit handling for reachable ones. This checker flags
+//! every `.unwrap()` in a non-test function of the `UnwrapScan` files.
+//!
+//! Allowlist: `#[cfg(test)]` modules, `#[test]` functions (detected by
+//! [`crate::model::walk_fns`]'s `in_test` flag). Integration tests and
+//! bench binaries simply aren't given the `UnwrapScan` role.
+//!
+//! `Mutex::lock().unwrap()` is *not* exempted: lock poisoning is a real
+//! runtime state (a panicking I/O thread poisons the store lock), and
+//! the call sites must say what they assume about it.
+
+use crate::model::{walk_fns, FileRole, Workspace};
+use crate::{Check, Violation};
+
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) -> Result<usize, String> {
+    let mut fns_scanned = 0usize;
+    for f in ws.files_with(FileRole::UnwrapScan) {
+        walk_fns(&f.ast.items, false, &mut |fun, in_test| {
+            if in_test {
+                return;
+            }
+            fns_scanned += 1;
+            let body = &fun.body;
+            for i in 1..body.len() {
+                if body[i].text == "unwrap"
+                    && body[i - 1].text == "."
+                    && body.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+                {
+                    out.push(Violation {
+                        check: Check::Unwrap,
+                        file: f.path.clone(),
+                        line: body[i].line,
+                        msg: format!(
+                            "bare `.unwrap()` in runtime fn `{}` — use \
+                             `.expect(\"invariant\")` or handle the error",
+                            fun.ident
+                        ),
+                    });
+                }
+            }
+        });
+    }
+    Ok(fns_scanned)
+}

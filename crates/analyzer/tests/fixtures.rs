@@ -1,0 +1,414 @@
+//! Self-tests: aim each checker at a deliberately broken mini-tree and
+//! prove it fires — and at a clean mini-tree and prove it stays quiet.
+//!
+//! Every test also asserts the checker's coverage count, so a checker
+//! that silently stops looking at anything (a vacuous pass) fails the
+//! suite even though no violation is expected.
+
+use mrts_analyzer::{analyze, analyze_tree, Check, FileRole, Workspace};
+use std::path::Path;
+
+fn ws_with(files: &[(&str, &str, &[FileRole])]) -> Workspace {
+    let mut ws = Workspace::bare();
+    for (name, src, roles) in files {
+        ws.push_source(Path::new(name), src, roles.to_vec())
+            .expect("fixture source parses");
+    }
+    ws
+}
+
+fn msgs(ws: &Workspace) -> (mrts_analyzer::AnalysisReport, Vec<String>) {
+    let report = analyze(ws).expect("analysis runs");
+    let m = report.violations.iter().map(|v| v.to_string()).collect();
+    (report, m)
+}
+
+// ---- the clean mini-tree -----------------------------------------------
+
+const THREADED_OK: &str = r#"
+pub const AM_PING: u32 = 1;
+
+fn audit_emit(kind: u32) {
+    let _ = kind;
+}
+
+fn handle_ping(st: &mut NodeStats) {
+    audit_emit(1);
+    st.pings += 1;
+}
+
+fn dispatch(tag: u32, st: &mut NodeStats) {
+    match tag {
+        AM_PING => handle_ping(st),
+        _ => {}
+    }
+}
+"#;
+
+const DES_OK: &str = r#"
+pub enum EvKind {
+    Ping(u32),
+}
+
+fn audit_emit(kind: u32) {
+    let _ = kind;
+}
+
+fn step(ev: EvKind) {
+    match ev {
+        EvKind::Ping(n) => {
+            audit_emit(n);
+        }
+    }
+}
+"#;
+
+const STATS_OK: &str = r#"
+pub struct NodeStats {
+    pub pings: u64,
+}
+
+pub struct RunStats {
+    nodes: Vec<NodeStats>,
+}
+
+impl RunStats {
+    pub fn summary(&self) -> String {
+        format!("pings={}", self.total(|n| n.pings))
+    }
+
+    fn total(&self, f: impl Fn(&NodeStats) -> u64) -> u64 {
+        self.nodes.iter().map(f).sum()
+    }
+}
+"#;
+
+const REPORT_OK: &str = r#"
+fn emit(total: u64) {
+    let pings = total;
+    println!("{{\"pings\": {pings}}}");
+}
+"#;
+
+const LOCKS_OK: &str = r#"
+fn ordered(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().expect("a");
+    let gb = b.lock().expect("b");
+    let _ = (*ga, *gb);
+}
+
+fn also_ordered(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().expect("a");
+    let gb = b.lock().expect("b");
+    let _ = (*ga, *gb);
+}
+"#;
+
+const UNWRAP_OK: &str = r#"
+fn careful(v: Option<u32>) -> u32 {
+    v.expect("fixture invariant: v is always Some here")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_allowlisted() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}
+"#;
+
+fn clean_files() -> Vec<(&'static str, &'static str, &'static [FileRole])> {
+    use FileRole::*;
+    vec![
+        (
+            "fix/threaded.rs",
+            THREADED_OK,
+            &[ThreadedEngine, CounterScan][..],
+        ),
+        ("fix/des.rs", DES_OK, &[DesEngine][..]),
+        ("fix/stats.rs", STATS_OK, &[Stats][..]),
+        ("fix/report.rs", REPORT_OK, &[Report][..]),
+        ("fix/locks.rs", LOCKS_OK, &[LockScan][..]),
+        ("fix/unwraps.rs", UNWRAP_OK, &[UnwrapScan][..]),
+    ]
+}
+
+/// Swap the source for one fixture file, keeping the rest of the clean
+/// tree around it, so each test isolates a single defect.
+fn ws_with_broken(name: &str, src: &'static str) -> Workspace {
+    let mut files = clean_files();
+    let slot = files
+        .iter_mut()
+        .find(|(n, _, _)| *n == name)
+        .expect("fixture slot exists");
+    slot.1 = src;
+    ws_with(&files)
+}
+
+#[test]
+fn clean_mini_tree_passes_and_every_checker_covers_something() {
+    let (report, m) = msgs(&ws_with(&clean_files()));
+    assert!(report.pass(), "clean fixture tree must be clean: {m:?}");
+    assert_eq!(report.tags_checked, 1, "protocol checker went vacuous");
+    assert_eq!(report.counters_checked, 1, "counter checker went vacuous");
+    assert_eq!(report.locks_seen, 2, "lock checker went vacuous");
+    assert!(report.fns_scanned >= 1, "unwrap checker went vacuous");
+}
+
+// ---- checker 1: protocol -----------------------------------------------
+
+#[test]
+fn missing_dispatch_arm_is_flagged() {
+    let ws = ws_with_broken(
+        "fix/threaded.rs",
+        r#"
+pub const AM_PING: u32 = 1;
+
+fn audit_emit(kind: u32) {
+    let _ = kind;
+}
+
+fn dispatch(tag: u32, st: &mut NodeStats) {
+    let _ = tag;
+    audit_emit(0);
+    st.pings += 1;
+}
+"#,
+    );
+    let (report, m) = msgs(&ws);
+    assert_eq!(report.tags_checked, 1);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("AM_PING has no dispatch arm in the threaded engine")),
+        "missing arm not flagged: {m:?}"
+    );
+}
+
+#[test]
+fn missing_des_variant_is_flagged() {
+    let ws = ws_with_broken(
+        "fix/des.rs",
+        r#"
+pub enum EvKind {}
+
+fn step(ev: EvKind) {
+    let _ = ev;
+}
+"#,
+    );
+    let (_, m) = msgs(&ws);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("AM_PING has no corresponding EvKind variant")),
+        "cross-engine drift not flagged: {m:?}"
+    );
+}
+
+#[test]
+fn handler_that_never_audits_is_flagged() {
+    let ws = ws_with_broken(
+        "fix/threaded.rs",
+        r#"
+pub const AM_PING: u32 = 1;
+
+fn handle_ping(st: &mut NodeStats) {
+    st.pings += 1;
+}
+
+fn dispatch(tag: u32, st: &mut NodeStats) {
+    match tag {
+        AM_PING => handle_ping(st),
+        _ => {}
+    }
+}
+"#,
+    );
+    let (_, m) = msgs(&ws);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("no dispatch arm for AM_PING reaches an audit emission")),
+        "unaudited handler not flagged: {m:?}"
+    );
+}
+
+#[test]
+fn incremented_but_unreported_counter_is_flagged_in_summary_and_json() {
+    // `pings` is still incremented by the threaded fixture, but the
+    // summary no longer surfaces it…
+    let mut files = clean_files();
+    files
+        .iter_mut()
+        .find(|(n, _, _)| *n == "fix/stats.rs")
+        .expect("stats slot")
+        .1 = r#"
+pub struct NodeStats {
+    pub pings: u64,
+}
+
+pub struct RunStats {
+    nodes: Vec<NodeStats>,
+}
+
+impl RunStats {
+    pub fn summary(&self) -> String {
+        String::from("ok")
+    }
+}
+"#;
+    // …and neither does the benchmark JSON.
+    files
+        .iter_mut()
+        .find(|(n, _, _)| *n == "fix/report.rs")
+        .expect("report slot")
+        .1 = r#"
+fn emit() {
+    println!("{{}}");
+}
+"#;
+    let (report, m) = msgs(&ws_with(&files));
+    assert_eq!(report.counters_checked, 1);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("never surfaced by RunStats::summary")),
+        "summary gap not flagged: {m:?}"
+    );
+    assert!(
+        m.iter()
+            .any(|v| v.contains("missing from the benchmark report JSON")),
+        "report gap not flagged: {m:?}"
+    );
+}
+
+// ---- checker 2: lock order ---------------------------------------------
+
+#[test]
+fn lock_order_cycle_is_flagged() {
+    let ws = ws_with_broken(
+        "fix/locks.rs",
+        r#"
+fn ab(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().expect("a");
+    let gb = b.lock().expect("b");
+    let _ = (*ga, *gb);
+}
+
+fn ba(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let gb = b.lock().expect("b");
+    let ga = a.lock().expect("a");
+    let _ = (*ga, *gb);
+}
+"#,
+    );
+    let (report, m) = msgs(&ws);
+    assert_eq!(report.locks_seen, 2);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("lock-order cycle (potential deadlock)")),
+        "AB/BA cycle not flagged: {m:?}"
+    );
+}
+
+#[test]
+fn channel_send_under_lock_is_flagged() {
+    let ws = ws_with_broken(
+        "fix/locks.rs",
+        r#"
+fn publish(a: &Mutex<u32>, out_tx: &Sender<u32>) {
+    let ga = a.lock().expect("a");
+    out_tx.send(*ga).expect("peer alive");
+}
+"#,
+    );
+    let (_, m) = msgs(&ws);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("channel send while holding lock")),
+        "send-under-lock not flagged: {m:?}"
+    );
+}
+
+#[test]
+fn reacquiring_a_held_lock_is_flagged() {
+    let ws = ws_with_broken(
+        "fix/locks.rs",
+        r#"
+fn twice(a: &Mutex<u32>) {
+    let ga = a.lock().expect("a");
+    let gb = a.lock().expect("a again");
+    let _ = (*ga, *gb);
+}
+"#,
+    );
+    let (_, m) = msgs(&ws);
+    assert!(
+        m.iter().any(|v| v.contains("re-acquired while still held")),
+        "self-deadlock not flagged: {m:?}"
+    );
+}
+
+#[test]
+fn dropping_the_guard_before_sending_is_clean() {
+    let ws = ws_with_broken(
+        "fix/locks.rs",
+        r#"
+fn publish(a: &Mutex<u32>, out_tx: &Sender<u32>) {
+    let ga = a.lock().expect("a");
+    let v = *ga;
+    drop(ga);
+    out_tx.send(v).expect("peer alive");
+}
+"#,
+    );
+    let (report, m) = msgs(&ws);
+    assert!(report.pass(), "guard was dropped before the send: {m:?}");
+}
+
+// ---- checker 3: unwrap ban ---------------------------------------------
+
+#[test]
+fn runtime_unwrap_is_flagged_but_test_unwrap_is_not() {
+    let ws = ws_with_broken(
+        "fix/unwraps.rs",
+        r#"
+fn sloppy(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}
+"#,
+    );
+    let (report, m) = msgs(&ws);
+    let unwrap_hits: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::Unwrap)
+        .collect();
+    assert_eq!(
+        unwrap_hits.len(),
+        1,
+        "exactly the runtime unwrap, not the test one: {m:?}"
+    );
+}
+
+// ---- the real tree ------------------------------------------------------
+
+/// The production workspace model must stay wired to real files: clean,
+/// and with every checker covering a plausible amount of the tree.
+#[test]
+fn real_tree_is_clean_and_every_checker_is_nonvacuous() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze_tree(&root).expect("analyze the real tree");
+    let m: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(report.pass(), "the tree must stay analysis-clean: {m:#?}");
+    assert!(report.tags_checked >= 5, "AM tag coverage collapsed");
+    assert!(report.counters_checked >= 10, "counter coverage collapsed");
+    assert!(report.locks_seen >= 3, "lock coverage collapsed");
+    assert!(report.fns_scanned >= 100, "function coverage collapsed");
+}

@@ -221,7 +221,7 @@ impl Endpoint {
         let mut heap = inbox.heap.lock();
         if let Some(Reverse(top)) = heap.peek() {
             if top.deliver_at <= Instant::now() {
-                let msg = heap.pop().unwrap().0.msg;
+                let msg = heap.pop().expect("peek() just returned this entry").0.msg;
                 self.stats.msgs_received += 1;
                 self.stats.bytes_received += msg.payload.len();
                 return Some(msg);
@@ -239,7 +239,7 @@ impl Endpoint {
             let now = Instant::now();
             if let Some(Reverse(top)) = heap.peek() {
                 if top.deliver_at <= now {
-                    let msg = heap.pop().unwrap().0.msg;
+                    let msg = heap.pop().expect("peek() just returned this entry").0.msg;
                     self.stats.msgs_received += 1;
                     self.stats.bytes_received += msg.payload.len();
                     return Some(msg);
@@ -311,7 +311,11 @@ impl Endpoint {
     pub fn accumulate_u64(&mut self, node: NodeId, key: u64, offset: usize, delta: u64) -> u64 {
         let region = self.region(node, key);
         let mut mem = region.lock();
-        let old = u64::from_le_bytes(mem[offset..offset + 8].try_into().unwrap());
+        let old = u64::from_le_bytes(
+            mem[offset..offset + 8]
+                .try_into()
+                .expect("accumulate window is 8 bytes"),
+        );
         mem[offset..offset + 8].copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
         old
     }

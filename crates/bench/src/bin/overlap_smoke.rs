@@ -47,8 +47,11 @@ fn run(params: &PcdmParams, cfg: &MrtsConfig, label: &str, repeats: usize) -> Ti
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("PUMG_QUICK").is_ok_and(|v| v != "0");
+    // Budgets are sized so even the quick run is genuinely out-of-core:
+    // the resident set must exceed the budget enough that the overlap
+    // engine spills AND issues prefetches (asserted below).
     let (elements, subdomains, nodes, budget, repeats) = if quick {
-        (8_000, 3, 2, 70_000usize, 3)
+        (8_000, 6, 2, 36_000usize, 3)
     } else {
         (24_000, 4, 2, 120_000usize, 5)
     };
@@ -94,8 +97,20 @@ fn main() {
             "  \"overlap_fraction_pct\": {:.2},\n",
             "  \"prefetch_hit_rate\": {:.4},\n",
             "  \"prefetch_issued\": {},\n",
+            "  \"prefetch_hits\": {},\n",
+            "  \"prefetch_misses\": {},\n",
+            "  \"prefetch_cancels\": {},\n",
             "  \"loads\": {},\n",
             "  \"stores\": {},\n",
+            "  \"handlers_run\": {},\n",
+            "  \"msgs_local\": {},\n",
+            "  \"msgs_remote\": {},\n",
+            "  \"msgs_forwarded\": {},\n",
+            "  \"bytes_sent\": {},\n",
+            "  \"bytes_to_disk\": {},\n",
+            "  \"bytes_from_disk\": {},\n",
+            "  \"evictions\": {},\n",
+            "  \"migrations\": {},\n",
             "  \"faults_injected\": {},\n",
             "  \"io_retries\": {},\n",
             "  \"io_gave_up\": {},\n",
@@ -122,8 +137,20 @@ fn main() {
         s.overlap_pct(),
         s.prefetch_hit_rate(),
         s.total_of(|n| n.prefetch_issued),
+        s.total_of(|n| n.prefetch_hits),
+        s.total_of(|n| n.prefetch_misses),
+        s.total_of(|n| n.prefetch_cancels),
         s.total_of(|n| n.loads),
         s.total_of(|n| n.stores),
+        s.total_of(|n| n.handlers_run),
+        s.total_of(|n| n.msgs_local),
+        s.total_of(|n| n.msgs_remote),
+        s.total_of(|n| n.msgs_forwarded),
+        s.bytes_sent(),
+        s.bytes_to_disk(),
+        s.bytes_from_disk(),
+        s.total_of(|n| n.evictions),
+        s.total_of(|n| n.migrations),
         s.total_of(|n| n.faults_injected),
         s.total_of(|n| n.io_retries),
         s.total_of(|n| n.io_gave_up),
@@ -137,6 +164,19 @@ fn main() {
         s.total_of(|n| n.dup_suppressed),
         s.total_of(|n| n.hints_invalidated),
         s.total_of(|n| n.acks_sent),
+    );
+    // The OOC configurations must actually run out of core: a budget
+    // loose enough that the overlap run never spills or prefetches
+    // measures nothing. Guards the quick-mode budget against workload
+    // drift silently turning this benchmark into an in-core timing.
+    assert!(
+        s.total_of(|n| n.prefetch_issued) > 0,
+        "ooc-overlap run issued no prefetches — memory budget {budget} is not out-of-core \
+         for this workload"
+    );
+    assert!(
+        s.bytes_to_disk() > 0,
+        "ooc-overlap run spilled nothing — memory budget {budget} is not out-of-core"
     );
     // This benchmark runs fault-free: a non-zero network counter here
     // means the reliable-delivery layer did work it had no reason to.

@@ -1,0 +1,1012 @@
+//! Hermetic shim for the `loom` API surface used by this workspace.
+//!
+//! Like the real `loom`, this crate model-checks concurrent code: the
+//! closure passed to [`model`] is executed repeatedly, once per distinct
+//! thread interleaving, until the bounded schedule space is exhausted or
+//! an execution fails (assertion panic or deadlock). The mechanism is a
+//! *controlled cooperative scheduler*: every synchronization operation
+//! (mutex acquire/release, condvar wait/notify, atomic access, spawn,
+//! join, yield) is a **schedule point** where exactly one runnable thread
+//! is chosen to proceed; all other threads are parked. Each execution
+//! records its decision trace; depth-first search over the last
+//! not-fully-explored decision enumerates the space.
+//!
+//! Two bounds keep exploration finite and fast, in the CHESS style:
+//!
+//! * a **preemption bound** (default 2, `LOOM_MAX_PREEMPTIONS`):
+//!   involuntary context switches per execution are limited; voluntary
+//!   switches (blocking, yielding, exiting) are always explored. Most
+//!   concurrency bugs manifest within 2 preemptions.
+//! * an **iteration cap** (default 500 000, `LOOM_MAX_ITERATIONS`):
+//!   a backstop against state-space blowup; hitting it is an error, not
+//!   a silent truncation.
+//!
+//! Semantics are sequentially consistent (the scheduler serializes all
+//! operations), which is sound for the lock/counter protocols checked
+//! here; the real loom additionally models C11 weak orderings. Checked
+//! closures must be deterministic apart from scheduling — replay
+//! divergence is detected and reported rather than silently explored.
+//!
+//! Outside [`model`], every primitive falls back to plain `std`
+//! behavior, so code compiled with `--cfg loom` still runs normally
+//! when touched outside a model run.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+// ---------------------------------------------------------------------
+// Exploration state
+// ---------------------------------------------------------------------
+
+/// One scheduling decision: how many threads were runnable, which was
+/// picked. `chosen + 1 < options` means unexplored siblings remain.
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    options: u32,
+    chosen: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Want {
+    Lock(usize),
+    Cond { cv: usize, lock: usize },
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CState {
+    Ready,
+    Wants(Want),
+    Finished,
+}
+
+struct St {
+    cells: Vec<CState>,
+    active: usize,
+    lock_holder: Vec<Option<usize>>,
+    next_res: usize,
+    prefix: Vec<Choice>,
+    trace: Vec<Choice>,
+    preemptions: usize,
+    bound: Option<usize>,
+    done: bool,
+    aborted: bool,
+    fail: Option<String>,
+}
+
+struct Shared {
+    mu: StdMutex<St>,
+    cv: StdCondvar,
+}
+
+struct LoomAbort;
+
+impl Shared {
+    fn new(prefix: Vec<Choice>, bound: Option<usize>) -> Shared {
+        Shared {
+            mu: StdMutex::new(St {
+                cells: Vec::new(),
+                active: 0,
+                lock_holder: Vec::new(),
+                next_res: 0,
+                prefix,
+                trace: Vec::new(),
+                preemptions: 0,
+                bound,
+                done: false,
+                aborted: false,
+                fail: None,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, St> {
+        self.mu.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn runnable(st: &St, t: usize) -> bool {
+        match st.cells[t] {
+            CState::Ready => true,
+            CState::Finished => false,
+            CState::Wants(Want::Lock(r)) => st.lock_holder[r].is_none(),
+            CState::Wants(Want::Cond { .. }) => false,
+            CState::Wants(Want::Join(c)) => st.cells[c] == CState::Finished,
+        }
+    }
+
+    /// Pick the next active thread at a schedule point reached by `me`.
+    /// Must be called with the state lock held.
+    fn reschedule(&self, st: &mut St, me: usize) {
+        if st.aborted {
+            return;
+        }
+        let me_runnable = Self::runnable(st, me);
+        let mut options: Vec<usize> = Vec::new();
+        if me_runnable {
+            options.push(me);
+        }
+        for t in 0..st.cells.len() {
+            if t != me && Self::runnable(st, t) {
+                options.push(t);
+            }
+        }
+        if options.is_empty() {
+            if st.cells.iter().all(|c| *c == CState::Finished) {
+                st.done = true;
+            } else {
+                let blocked: Vec<(usize, CState)> = st
+                    .cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c != CState::Finished)
+                    .map(|(i, c)| (i, *c))
+                    .collect();
+                st.fail = Some(format!("deadlock: all live threads blocked: {blocked:?}"));
+                self.abort(st);
+            }
+            self.cv.notify_all();
+            return;
+        }
+        // Preemption bounding: once the budget is spent, a runnable
+        // active thread always continues (a single forced option).
+        let budget_spent = st.bound.is_some_and(|b| st.preemptions >= b);
+        let effective: Vec<usize> = if me_runnable && budget_spent {
+            vec![me]
+        } else {
+            options
+        };
+        let step = st.trace.len();
+        let chosen_ix = if step < st.prefix.len() {
+            let c = st.prefix[step];
+            if c.chosen as usize >= effective.len() {
+                st.fail = Some(format!(
+                    "non-deterministic model: replay step {step} chose {} of {} options",
+                    c.chosen,
+                    effective.len()
+                ));
+                self.abort(st);
+                return;
+            }
+            c.chosen as usize
+        } else {
+            0
+        };
+        st.trace.push(Choice {
+            options: effective.len() as u32,
+            chosen: chosen_ix as u32,
+        });
+        if st.trace.len() > 100_000 {
+            st.fail = Some("schedule too long (> 100000 points): model not bounded".into());
+            self.abort(st);
+            return;
+        }
+        let next = effective[chosen_ix];
+        if me_runnable && next != me {
+            st.preemptions += 1;
+        }
+        st.active = next;
+        self.cv.notify_all();
+    }
+
+    fn abort(&self, st: &mut St) {
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// Park until this thread is active again (or the run is aborted,
+    /// in which case unwind out of user code).
+    fn wait_active(&self, mut st: std::sync::MutexGuard<'_, St>, me: usize) {
+        while !st.aborted && st.active != me {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let aborted = st.aborted;
+        drop(st);
+        if aborted {
+            std::panic::panic_any(LoomAbort);
+        }
+    }
+
+    /// A plain schedule point for thread `me`.
+    fn point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(LoomAbort);
+        }
+        self.reschedule(&mut st, me);
+        self.wait_active(st, me);
+    }
+}
+
+// Per-OS-thread handle into the active model run.
+thread_local! {
+    static CTX: RefCell<Option<(StdArc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(StdArc<Shared>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Marks the controlled thread finished on exit (normal or panicking)
+/// and hands the schedule on.
+struct ExitGuard {
+    sh: StdArc<Shared>,
+    me: usize,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        let mut st = self.sh.lock();
+        if std::thread::panicking() && st.fail.is_none() && !st.aborted {
+            st.fail = Some(format!(
+                "thread {} panicked (see stderr for the panic message)",
+                self.me
+            ));
+            self.sh.abort(&mut st);
+        }
+        st.cells[self.me] = CState::Finished;
+        if st.aborted {
+            if st.cells.iter().all(|c| *c == CState::Finished) {
+                st.done = true;
+            }
+            self.sh.cv.notify_all();
+            return;
+        }
+        self.sh.reschedule(&mut st, self.me);
+    }
+}
+
+fn spawn_controlled<T: Send + 'static>(
+    sh: StdArc<Shared>,
+    me: usize,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> std::thread::JoinHandle<Option<T>> {
+    std::thread::Builder::new()
+        .name(format!("loom-{me}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((sh.clone(), me)));
+            let _guard = ExitGuard { sh: sh.clone(), me };
+            // Park until first scheduled.
+            let st = sh.lock();
+            sh.wait_active(st, me);
+            let out = f();
+            Some(out)
+        })
+        .expect("spawn controlled thread")
+}
+
+/// After a completed execution, compute the replay prefix for the next
+/// one: deepest decision with an unexplored sibling, advanced by one.
+fn next_prefix(trace: &[Choice]) -> Option<Vec<Choice>> {
+    for i in (0..trace.len()).rev() {
+        if trace[i].chosen + 1 < trace[i].options {
+            let mut p = trace[..=i].to_vec();
+            p[i].chosen += 1;
+            return Some(p);
+        }
+    }
+    None
+}
+
+// Model runs are serialized process-wide: the scheduler state is global
+// per run and tests may execute on multiple harness threads.
+static MODEL_GATE: StdMutex<()> = StdMutex::new(());
+
+pub mod model {
+    use super::*;
+
+    /// Configurable model runner, mirroring `loom::model::Builder`.
+    pub struct Builder {
+        /// Max involuntary context switches per execution; `None` is a
+        /// full (unbounded) DFS.
+        pub preemption_bound: Option<usize>,
+        /// Hard cap on explored executions.
+        pub max_iterations: usize,
+        /// Print a one-line summary after exploration.
+        pub log: bool,
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            let bound = std::env::var("LOOM_MAX_PREEMPTIONS")
+                .ok()
+                .and_then(|v| v.parse::<i64>().ok())
+                .map_or(Some(2), |n| if n < 0 { None } else { Some(n as usize) });
+            let max_iterations = std::env::var("LOOM_MAX_ITERATIONS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(500_000);
+            let log = std::env::var("LOOM_LOG").is_ok();
+            Builder {
+                preemption_bound: bound,
+                max_iterations,
+                log,
+            }
+        }
+    }
+
+    impl Builder {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Builder {
+            Builder::default()
+        }
+
+        /// Explore `f` exhaustively within bounds. Panics if any
+        /// execution fails (assertion, deadlock, nondeterminism) or if
+        /// the iteration cap is hit; returns the number of distinct
+        /// executions otherwise.
+        pub fn check<F>(&self, f: F) -> usize
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            let _gate = MODEL_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+            let f = StdArc::new(f);
+            let mut prefix: Vec<Choice> = Vec::new();
+            let mut iters = 0usize;
+            loop {
+                iters += 1;
+                let sh = StdArc::new(Shared::new(prefix.clone(), self.preemption_bound));
+                {
+                    let mut st = sh.lock();
+                    st.cells.push(CState::Ready);
+                    st.active = 0;
+                }
+                let froot = f.clone();
+                let root = spawn_controlled(sh.clone(), 0, move || froot());
+                {
+                    let mut st = sh.lock();
+                    while !st.done {
+                        st = sh.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+                let _ = root.join();
+                let st = sh.lock();
+                if let Some(msg) = &st.fail {
+                    let trace: Vec<u32> = st.trace.iter().map(|c| c.chosen).collect();
+                    panic!(
+                        "loom: model failed on execution {iters}: {msg}\n\
+                         failing schedule (choice per decision point): {trace:?}"
+                    );
+                }
+                let trace = st.trace.clone();
+                drop(st);
+                match next_prefix(&trace) {
+                    Some(p) => prefix = p,
+                    None => {
+                        if self.log {
+                            eprintln!(
+                                "loom: explored {iters} executions exhaustively \
+                                 (preemption bound {:?})",
+                                self.preemption_bound
+                            );
+                        }
+                        return iters;
+                    }
+                }
+                assert!(
+                    iters < self.max_iterations,
+                    "loom: exceeded {} executions without exhausting the \
+                     schedule space; tighten the scenario or raise \
+                     LOOM_MAX_ITERATIONS",
+                    self.max_iterations
+                );
+            }
+        }
+    }
+}
+
+/// Explore `f` under the default bounds. See [`model::Builder`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model::Builder::default().check(f);
+}
+
+// ---------------------------------------------------------------------
+// loom::thread
+// ---------------------------------------------------------------------
+
+pub mod thread {
+    use super::*;
+
+    pub struct JoinHandle<T> {
+        os: std::thread::JoinHandle<Option<T>>,
+        /// Controlled-thread index, `None` when spawned outside a model.
+        idx: Option<usize>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            if let (Some(child), Some((sh, me))) = (self.idx, ctx()) {
+                let mut st = sh.lock();
+                if st.aborted {
+                    drop(st);
+                    std::panic::panic_any(LoomAbort);
+                }
+                st.cells[me] = CState::Wants(Want::Join(child));
+                sh.reschedule(&mut st, me);
+                sh.wait_active(st, me);
+                let mut st = sh.lock();
+                st.cells[me] = CState::Ready;
+                drop(st);
+            }
+            match self.os.join() {
+                Ok(Some(v)) => Ok(v),
+                // The child unwound with `LoomAbort` after the run was
+                // already torn down; surface it as a generic panic.
+                Ok(None) => Err(Box::new("loom execution aborted")),
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            Some((sh, me)) => {
+                let child;
+                {
+                    let mut st = sh.lock();
+                    if st.aborted {
+                        drop(st);
+                        std::panic::panic_any(LoomAbort);
+                    }
+                    child = st.cells.len();
+                    assert!(child < 16, "loom: more than 16 controlled threads");
+                    st.cells.push(CState::Ready);
+                }
+                let os = spawn_controlled(sh.clone(), child, f);
+                // Spawning is a schedule point: the child is now a
+                // candidate.
+                sh.point(me);
+                JoinHandle {
+                    os,
+                    idx: Some(child),
+                }
+            }
+            None => JoinHandle {
+                os: std::thread::spawn(move || Some(f())),
+                idx: None,
+            },
+        }
+    }
+
+    pub fn yield_now() {
+        if let Some((sh, me)) = ctx() {
+            sh.point(me);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// loom::sync
+// ---------------------------------------------------------------------
+
+pub mod sync {
+    use super::*;
+    pub use std::sync::Arc;
+
+    fn alloc_res(sh: &Shared) -> usize {
+        let mut st = sh.lock();
+        let id = st.next_res;
+        st.next_res += 1;
+        st.lock_holder.push(None);
+        id
+    }
+
+    /// A model-checked mutex. The payload lives in a `std` mutex (never
+    /// contended inside a model run — the scheduler serializes access);
+    /// blocking and ordering are decided at the control layer.
+    pub struct Mutex<T> {
+        inner: StdMutex<T>,
+        /// Lazily bound control id for the current model run:
+        /// `usize::MAX` = unassigned. Assignment order is deterministic
+        /// under replay, so ids are stable across executions.
+        res: std::sync::atomic::AtomicUsize,
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Mutex<T> {
+            Mutex::new(T::default())
+        }
+    }
+
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        std: Option<std::sync::MutexGuard<'a, T>>,
+        res: Option<usize>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Mutex<T> {
+            Mutex {
+                inner: StdMutex::new(v),
+                res: std::sync::atomic::AtomicUsize::new(usize::MAX),
+            }
+        }
+
+        fn res_id(&self, sh: &Shared) -> usize {
+            let cur = self.res.load(StdOrdering::Relaxed);
+            if cur != usize::MAX {
+                return cur;
+            }
+            let id = alloc_res(sh);
+            self.res.store(id, StdOrdering::Relaxed);
+            id
+        }
+
+        pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError<MutexGuard<'_, T>>> {
+            match ctx() {
+                Some((sh, me)) => {
+                    let res = self.res_id(&sh);
+                    let mut st = sh.lock();
+                    if st.aborted {
+                        drop(st);
+                        std::panic::panic_any(LoomAbort);
+                    }
+                    st.cells[me] = CState::Wants(Want::Lock(res));
+                    sh.reschedule(&mut st, me);
+                    sh.wait_active(st, me);
+                    let mut st = sh.lock();
+                    debug_assert!(st.lock_holder[res].is_none());
+                    st.lock_holder[res] = Some(me);
+                    st.cells[me] = CState::Ready;
+                    drop(st);
+                    let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        lock: self,
+                        std: Some(g),
+                        res: Some(res),
+                    })
+                }
+                None => {
+                    let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        lock: self,
+                        std: Some(g),
+                        res: None,
+                    })
+                }
+            }
+        }
+
+        pub fn into_inner(self) -> Result<T, PoisonError<T>> {
+            Ok(self
+                .inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner))
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.std.as_ref().expect("guard accessed after wait")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.std.as_mut().expect("guard accessed after wait")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Drop the std-level guard before handing the control-level
+            // lock to a successor.
+            self.std = None;
+            if let (Some(res), Some((sh, me))) = (self.res, ctx()) {
+                let mut st = sh.lock();
+                if st.aborted {
+                    return;
+                }
+                st.lock_holder[res] = None;
+                if std::thread::panicking() {
+                    // Unwinding through a critical section: stop the run
+                    // now rather than parking a dying thread.
+                    if st.fail.is_none() {
+                        st.fail = Some(format!(
+                            "thread {me} panicked while holding a lock \
+                             (see stderr for the panic message)"
+                        ));
+                    }
+                    sh.abort(&mut st);
+                    return;
+                }
+                sh.reschedule(&mut st, me);
+                sh.wait_active(st, me);
+            }
+        }
+    }
+
+    /// A model-checked condition variable. `notify_one` deterministically
+    /// wakes the lowest-index waiter (the real loom explores the choice;
+    /// this shim trades that for a smaller schedule space).
+    pub struct Condvar {
+        inner: StdCondvar,
+        res: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        pub fn new() -> Condvar {
+            Condvar {
+                inner: StdCondvar::new(),
+                res: std::sync::atomic::AtomicUsize::new(usize::MAX),
+            }
+        }
+
+        fn res_id(&self, sh: &Shared) -> usize {
+            let cur = self.res.load(StdOrdering::Relaxed);
+            if cur != usize::MAX {
+                return cur;
+            }
+            let id = alloc_res(sh);
+            self.res.store(id, StdOrdering::Relaxed);
+            id
+        }
+
+        pub fn wait<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+        ) -> Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>> {
+            match ctx() {
+                Some((sh, me)) => {
+                    let cv = self.res_id(&sh);
+                    let lock_res = guard.res.expect("loom condvar with uncontrolled mutex");
+                    let mutex = guard.lock;
+                    // Atomically (at the control layer) release the
+                    // mutex and start waiting.
+                    guard.std = None;
+                    guard.res = None; // guard drop becomes a no-op
+                    let mut st = sh.lock();
+                    if st.aborted {
+                        drop(st);
+                        std::panic::panic_any(LoomAbort);
+                    }
+                    st.lock_holder[lock_res] = None;
+                    st.cells[me] = CState::Wants(Want::Cond { cv, lock: lock_res });
+                    sh.reschedule(&mut st, me);
+                    sh.wait_active(st, me);
+                    // Woken: we hold the control-level lock claim.
+                    let mut st = sh.lock();
+                    debug_assert!(st.lock_holder[lock_res].is_none());
+                    st.lock_holder[lock_res] = Some(me);
+                    st.cells[me] = CState::Ready;
+                    drop(st);
+                    drop(guard);
+                    let g = mutex.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        lock: mutex,
+                        std: Some(g),
+                        res: Some(lock_res),
+                    })
+                }
+                None => {
+                    let mutex = guard.lock;
+                    let std_guard = guard.std.take().expect("guard accessed after wait");
+                    guard.res = None;
+                    drop(guard);
+                    let g = self
+                        .inner
+                        .wait(std_guard)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        lock: mutex,
+                        std: Some(g),
+                        res: None,
+                    })
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            if let Some((sh, me)) = ctx() {
+                let cv = self.res_id(&sh);
+                let mut st = sh.lock();
+                if st.aborted {
+                    drop(st);
+                    std::panic::panic_any(LoomAbort);
+                }
+                let waiter = (0..st.cells.len()).find(
+                    |&t| matches!(st.cells[t], CState::Wants(Want::Cond { cv: c, .. }) if c == cv),
+                );
+                if let Some(t) = waiter {
+                    if let CState::Wants(Want::Cond { lock, .. }) = st.cells[t] {
+                        st.cells[t] = CState::Wants(Want::Lock(lock));
+                    }
+                }
+                sh.reschedule(&mut st, me);
+                sh.wait_active(st, me);
+            } else {
+                self.inner.notify_one();
+            }
+        }
+
+        pub fn notify_all(&self) {
+            if let Some((sh, me)) = ctx() {
+                let cv = self.res_id(&sh);
+                let mut st = sh.lock();
+                if st.aborted {
+                    drop(st);
+                    std::panic::panic_any(LoomAbort);
+                }
+                for t in 0..st.cells.len() {
+                    if let CState::Wants(Want::Cond { cv: c, lock }) = st.cells[t] {
+                        if c == cv {
+                            st.cells[t] = CState::Wants(Want::Lock(lock));
+                        }
+                    }
+                }
+                sh.reschedule(&mut st, me);
+                sh.wait_active(st, me);
+            } else {
+                self.inner.notify_all();
+            }
+        }
+    }
+
+    pub mod atomic {
+        use super::*;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_shim {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Model-checked atomic: every access is a schedule
+                /// point; the serialized scheduler makes all orderings
+                /// sequentially consistent.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    v: $std,
+                }
+
+                impl $name {
+                    pub fn new(v: $prim) -> Self {
+                        Self { v: <$std>::new(v) }
+                    }
+
+                    fn pt(&self) {
+                        if let Some((sh, me)) = ctx() {
+                            sh.point(me);
+                        }
+                    }
+
+                    pub fn load(&self, _o: Ordering) -> $prim {
+                        self.pt();
+                        self.v.load(Ordering::SeqCst)
+                    }
+
+                    pub fn store(&self, x: $prim, _o: Ordering) {
+                        self.pt();
+                        self.v.store(x, Ordering::SeqCst)
+                    }
+
+                    pub fn swap(&self, x: $prim, _o: Ordering) -> $prim {
+                        self.pt();
+                        self.v.swap(x, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_add(&self, x: $prim, _o: Ordering) -> $prim {
+                        self.pt();
+                        self.v.fetch_add(x, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_sub(&self, x: $prim, _o: Ordering) -> $prim {
+                        self.pt();
+                        self.v.fetch_sub(x, Ordering::SeqCst)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $prim,
+                        new: $prim,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        self.pt();
+                        self.v
+                            .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_shim!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+        atomic_shim!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        /// `AtomicBool` (separate: no fetch_add).
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            v: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                Self {
+                    v: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            fn pt(&self) {
+                if let Some((sh, me)) = ctx() {
+                    sh.point(me);
+                }
+            }
+
+            pub fn load(&self, _o: Ordering) -> bool {
+                self.pt();
+                self.v.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, x: bool, _o: Ordering) {
+                self.pt();
+                self.v.store(x, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, x: bool, _o: Ordering) -> bool {
+                self.pt();
+                self.v.swap(x, Ordering::SeqCst)
+            }
+        }
+    }
+
+    /// Queue-free mpsc stand-in used by some loom consumers; provided
+    /// for API parity where tests want a checked channel.
+    pub struct MpscQueue<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for MpscQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> MpscQueue<T> {
+        pub fn new() -> Self {
+            MpscQueue {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, v: T) {
+            self.q.lock().expect("queue lock").push_back(v);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().expect("queue lock").pop_front()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn finds_lost_update_on_unsynchronized_counter() {
+        // Two threads doing load-then-store: the model must find the
+        // interleaving where one update is lost. If the checker were
+        // vacuous (single schedule), the assertion would always hold
+        // and model() would return normally.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let a = {
+                    let n = n.clone();
+                    super::thread::spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                };
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+                a.join().expect("join");
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        }));
+        assert!(r.is_err(), "model failed to find the lost update");
+    }
+
+    #[test]
+    fn mutex_protected_counter_is_exhaustively_clean() {
+        let execs = super::model::Builder::new().check(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let a = {
+                let n = n.clone();
+                super::thread::spawn(move || {
+                    *n.lock().expect("lock") += 1;
+                })
+            };
+            *n.lock().expect("lock") += 1;
+            a.join().expect("join");
+            assert_eq!(*n.lock().expect("lock"), 2);
+        });
+        assert!(execs >= 2, "only {execs} interleavings explored");
+    }
+
+    #[test]
+    fn detects_ab_ba_deadlock() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let t = {
+                    let a = a.clone();
+                    let b = b.clone();
+                    super::thread::spawn(move || {
+                        let _ga = a.lock().expect("lock a");
+                        let _gb = b.lock().expect("lock b");
+                    })
+                };
+                let _gb = b.lock().expect("lock b");
+                let _ga = a.lock().expect("lock a");
+                drop(_ga);
+                drop(_gb);
+                let _ = t.join();
+            });
+        }));
+        let msg = format!("{:?}", r.err().map(|e| e.downcast::<String>().ok()));
+        assert!(msg.contains("deadlock"), "no deadlock reported: {msg}");
+    }
+
+    #[test]
+    fn condvar_handoff_completes() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let t = {
+                let pair = pair.clone();
+                super::thread::spawn(move || {
+                    let (m, cv) = &*pair;
+                    let mut ready = m.lock().expect("lock");
+                    *ready = true;
+                    drop(ready);
+                    cv.notify_one();
+                })
+            };
+            let (m, cv) = &*pair;
+            let mut ready = m.lock().expect("lock");
+            while !*ready {
+                ready = cv.wait(ready).expect("wait");
+            }
+            drop(ready);
+            t.join().expect("join");
+        });
+    }
+
+    #[test]
+    fn primitives_work_outside_model() {
+        let m = Mutex::new(5);
+        *m.lock().expect("lock") += 1;
+        assert_eq!(*m.lock().expect("lock"), 6);
+        let n = AtomicUsize::new(1);
+        assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
+        let h = super::thread::spawn(|| 7);
+        assert_eq!(h.join().expect("join"), 7);
+    }
+}

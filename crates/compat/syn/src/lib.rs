@@ -1,0 +1,1044 @@
+//! Hermetic shim for the `syn` API surface used by this workspace.
+//!
+//! The real `syn` crate parses Rust source into a full AST. The
+//! `mrts-analyzer` static checks only need the *item-level* structure —
+//! constants, enum variants, struct fields, function bodies as token
+//! streams, `impl`/`mod` nesting, and attributes — so this shim implements
+//! exactly that: a lossless-enough lexer (comments stripped, line numbers
+//! kept) and a lenient item parser. Expression-level syntax inside function
+//! bodies is deliberately left as a flat token slice; the analyzer's
+//! checkers are token-pattern scans, which keeps them robust against
+//! syntax the parser does not model.
+//!
+//! Swap the workspace path entry back to the registry `syn` to use the
+//! real crate; the analyzer would then need the usual `visit` plumbing.
+
+use std::fmt;
+
+/// Lexical token category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation, possibly multi-character (`::`, `=>`, `+=`, ...).
+    Punct,
+    /// Number, string, char, or byte literal (text includes quotes).
+    Lit,
+    /// Lifetime such as `'a` (text includes the leading quote).
+    Lifetime,
+}
+
+/// One lexical token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub text: String,
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// Parse or lex failure: unbalanced brackets, unterminated literals.
+#[derive(Debug)]
+pub struct Error {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A parsed source file: the flat token stream plus item structure.
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// An item. Unmodelled forms (traits, uses, type aliases, macros) come
+/// back as [`Item::Other`] so walkers can stay exhaustive.
+pub enum Item {
+    Const(ItemConst),
+    Enum(ItemEnum),
+    Struct(ItemStruct),
+    Fn(ItemFn),
+    Impl(ItemImpl),
+    Mod(ItemMod),
+    Other,
+}
+
+pub struct ItemConst {
+    pub attrs: Vec<String>,
+    pub ident: String,
+    pub ty: String,
+    pub value: String,
+    pub line: u32,
+}
+
+pub struct ItemEnum {
+    pub attrs: Vec<String>,
+    pub ident: String,
+    pub variants: Vec<Variant>,
+    pub line: u32,
+}
+
+pub struct Variant {
+    pub ident: String,
+    pub line: u32,
+}
+
+pub struct ItemStruct {
+    pub attrs: Vec<String>,
+    pub ident: String,
+    pub fields: Vec<Field>,
+    pub line: u32,
+}
+
+pub struct Field {
+    pub ident: String,
+    pub ty: String,
+    pub line: u32,
+}
+
+pub struct ItemFn {
+    pub attrs: Vec<String>,
+    pub ident: String,
+    /// Body tokens, exclusive of the outer braces.
+    pub body: Vec<Token>,
+    pub line: u32,
+}
+
+pub struct ItemImpl {
+    pub attrs: Vec<String>,
+    /// First identifier of the implemented-on type (`Foo` for
+    /// `impl<T> Trait for Foo<T>`).
+    pub self_ty: String,
+    pub items: Vec<Item>,
+    pub line: u32,
+}
+
+pub struct ItemMod {
+    pub attrs: Vec<String>,
+    pub ident: String,
+    /// `None` for out-of-line `mod foo;` declarations.
+    pub content: Option<Vec<Item>>,
+    pub line: u32,
+}
+
+/// Parse a whole source file.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let tokens = lex(src)?;
+    let mut p = Parser { t: &tokens, i: 0 };
+    let items = p.items(None)?;
+    Ok(File { items })
+}
+
+/// Lex a source file: comments stripped, everything else tokenized with
+/// line numbers. Exposed for checkers that scan raw streams.
+pub fn lex(src: &str) -> Result<Vec<Token>, Error> {
+    let c: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = c.len();
+    macro_rules! push {
+        ($kind:expr, $text:expr, $line:expr) => {
+            out.push(Token {
+                text: $text,
+                kind: $kind,
+                line: $line,
+            })
+        };
+    }
+    while i < n {
+        let ch = c[i];
+        if ch == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if ch.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if ch == '/' && i + 1 < n && c[i + 1] == '/' {
+            while i < n && c[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if ch == '/' && i + 1 < n && c[i + 1] == '*' {
+            let start = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if c[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if c[i] == '/' && i + 1 < n && c[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if c[i] == '*' && i + 1 < n && c[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if depth > 0 {
+                return Err(Error {
+                    line: start,
+                    msg: "unterminated block comment".into(),
+                });
+            }
+            continue;
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#"..."#, b'x'.
+        if (ch == 'r' || ch == 'b') && i + 1 < n {
+            let (pfx_len, is_raw) = if ch == 'b' && i + 1 < n && c[i + 1] == 'r' {
+                (2, true)
+            } else if ch == 'r' {
+                (1, true)
+            } else {
+                (1, false)
+            };
+            let after = i + pfx_len;
+            if is_raw && after < n && (c[after] == '"' || c[after] == '#') {
+                let start_line = line;
+                let mut j = after;
+                let mut hashes = 0;
+                while j < n && c[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && c[j] == '"' {
+                    j += 1;
+                    'raw: while j < n {
+                        if c[j] == '\n' {
+                            line += 1;
+                        }
+                        if c[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && c[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    push!(TokKind::Lit, c[i..j].iter().collect(), start_line);
+                    i = j;
+                    continue;
+                }
+            } else if ch == 'b' && after < n && (c[after] == '"' || c[after] == '\'') {
+                // Fall through to quote handling below with the prefix
+                // folded into the literal.
+                let quote = c[after];
+                let start_line = line;
+                let mut j = after + 1;
+                while j < n {
+                    if c[j] == '\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if c[j] == '\n' {
+                        line += 1;
+                    }
+                    if c[j] == quote {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                push!(TokKind::Lit, c[i..j].iter().collect(), start_line);
+                i = j;
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if ch == '_' || ch.is_alphabetic() {
+            let start = i;
+            while i < n && (c[i] == '_' || c[i].is_alphanumeric()) {
+                i += 1;
+            }
+            push!(TokKind::Ident, c[start..i].iter().collect(), line);
+            continue;
+        }
+        // Numbers (suffixes and hex digits ride along; `1.5` handled,
+        // `1..2` left to the range operator).
+        if ch.is_ascii_digit() {
+            let start = i;
+            while i < n && (c[i] == '_' || c[i].is_alphanumeric()) {
+                i += 1;
+            }
+            if i + 1 < n && c[i] == '.' && c[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (c[i] == '_' || c[i].is_alphanumeric()) {
+                    i += 1;
+                }
+            }
+            push!(TokKind::Lit, c[start..i].iter().collect(), line);
+            continue;
+        }
+        // Strings.
+        if ch == '"' {
+            let start_line = line;
+            let start = i;
+            i += 1;
+            while i < n {
+                if c[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if c[i] == '\n' {
+                    line += 1;
+                }
+                if c[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            push!(TokKind::Lit, c[start..i].iter().collect(), start_line);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if ch == '\'' {
+            // Escaped char, or exactly one char followed by a closing
+            // quote, is a char literal; otherwise a lifetime.
+            if i + 1 < n && c[i + 1] == '\\' {
+                let start = i;
+                i += 2; // consume '\ and the escape head
+                while i < n && c[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                push!(TokKind::Lit, c[start..i.min(n)].iter().collect(), line);
+                continue;
+            }
+            if i + 2 < n && c[i + 2] == '\'' && c[i + 1] != '\'' {
+                push!(TokKind::Lit, c[i..i + 3].iter().collect(), line);
+                i += 3;
+                continue;
+            }
+            let start = i;
+            i += 1;
+            while i < n && (c[i] == '_' || c[i].is_alphanumeric()) {
+                i += 1;
+            }
+            push!(TokKind::Lifetime, c[start..i].iter().collect(), line);
+            continue;
+        }
+        // Multi-character punctuation, longest first.
+        const PUNCTS: &[&str] = &[
+            "..=", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+            "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+        ];
+        let mut matched = false;
+        for p in PUNCTS {
+            let pl = p.chars().count();
+            if i + pl <= n && c[i..i + pl].iter().collect::<String>() == **p {
+                push!(TokKind::Punct, (*p).to_string(), line);
+                i += pl;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        push!(TokKind::Punct, ch.to_string(), line);
+        i += 1;
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    t: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.t.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.t.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> u32 {
+        self.t.get(self.i).map_or(0, |t| t.line)
+    }
+
+    fn at(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is(s))
+    }
+
+    /// Consume a balanced bracket group whose opener is the current token;
+    /// returns the token range *inside* the brackets.
+    fn group(&mut self) -> Result<(usize, usize), Error> {
+        let open = self.t[self.i].text.clone();
+        let close = match open.as_str() {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => {
+                return Err(Error {
+                    line: self.line(),
+                    msg: format!("expected bracket, found `{open}`"),
+                })
+            }
+        };
+        let start_line = self.line();
+        self.i += 1;
+        let body_start = self.i;
+        let mut depth = 1usize;
+        while let Some(t) = self.t.get(self.i) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            // Closers must pair up for the file to have
+                            // lexed from valid Rust; mismatches only
+                            // arise on non-Rust input.
+                            if t.text != close {
+                                return Err(Error {
+                                    line: t.line,
+                                    msg: format!("mismatched `{open}` closed by `{}`", t.text),
+                                });
+                            }
+                            let body_end = self.i;
+                            self.i += 1;
+                            return Ok((body_start, body_end));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.i += 1;
+        }
+        Err(Error {
+            line: start_line,
+            msg: format!("unclosed `{open}`"),
+        })
+    }
+
+    /// Skip forward to the `;` terminating the current item (balanced
+    /// through any bracket groups), consuming it.
+    fn skip_to_semi(&mut self) -> Result<(), Error> {
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                ";" => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                "(" | "[" | "{" => {
+                    self.group()?;
+                }
+                _ => {
+                    self.i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect `#[...]` / `#![...]` attributes as compact strings
+    /// (tokens joined without spaces: `cfg(test)`, `allow(dead_code)`).
+    fn attrs(&mut self) -> Result<Vec<String>, Error> {
+        let mut out = Vec::new();
+        while self.at("#") {
+            self.i += 1;
+            if self.at("!") {
+                self.i += 1;
+            }
+            if !self.at("[") {
+                break;
+            }
+            let (s, e) = self.group()?;
+            out.push(
+                self.t[s..e]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect::<String>(),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Parse items until EOF (`until == None`) or a closing brace already
+    /// consumed by the caller's `group()` (in which case the caller hands
+    /// us a sub-parser).
+    fn items(&mut self, until: Option<usize>) -> Result<Vec<Item>, Error> {
+        let end = until.unwrap_or(self.t.len());
+        let mut out = Vec::new();
+        while self.i < end {
+            let attrs = self.attrs()?;
+            if self.i >= end {
+                break;
+            }
+            // Visibility and qualifier soup.
+            while self.at("pub")
+                || self.at("unsafe")
+                || self.at("async")
+                || self.at("default")
+                || self.at("extern")
+            {
+                let was_extern = self.at("extern");
+                self.i += 1;
+                if self.at("(") {
+                    self.group()?; // pub(crate), pub(super), ...
+                }
+                if was_extern && self.peek().is_some_and(|t| t.kind == TokKind::Lit) {
+                    self.i += 1; // extern "C"
+                }
+            }
+            if self.i >= end {
+                break;
+            }
+            let kw = self.t[self.i].text.clone();
+            let line = self.t[self.i].line;
+            match kw.as_str() {
+                "const" | "static" => {
+                    self.i += 1;
+                    if self.at("mut") {
+                        self.i += 1;
+                    }
+                    let ident = self.bump().map_or(String::new(), |t| t.text.clone());
+                    // `const fn` — the ident slot held `fn`.
+                    if ident == "fn" {
+                        out.push(self.item_fn(attrs, line)?);
+                        continue;
+                    }
+                    let mut ty = String::new();
+                    let mut value = String::new();
+                    let mut in_value = false;
+                    let mut seen_colon = false;
+                    while self.i < end {
+                        let t = &self.t[self.i];
+                        match t.text.as_str() {
+                            ";" => {
+                                self.i += 1;
+                                break;
+                            }
+                            "=" if !in_value => {
+                                in_value = true;
+                                self.i += 1;
+                            }
+                            ":" if !seen_colon && !in_value => {
+                                seen_colon = true;
+                                self.i += 1;
+                            }
+                            "(" | "[" | "{" => {
+                                let (s, e) = self.group()?;
+                                let inner: String =
+                                    self.t[s..e].iter().map(|x| x.text.as_str()).collect();
+                                let grouped = format!(
+                                    "{}{}{}",
+                                    self.t[s - 1].text,
+                                    inner,
+                                    self.t.get(e).map_or("", |x| x.text.as_str())
+                                );
+                                if in_value {
+                                    value.push_str(&grouped);
+                                } else if seen_colon {
+                                    ty.push_str(&grouped);
+                                }
+                            }
+                            _ => {
+                                if in_value {
+                                    value.push_str(&t.text);
+                                } else if seen_colon {
+                                    ty.push_str(&t.text);
+                                }
+                                self.i += 1;
+                            }
+                        }
+                    }
+                    out.push(Item::Const(ItemConst {
+                        attrs,
+                        ident,
+                        ty,
+                        value,
+                        line,
+                    }));
+                }
+                "enum" => {
+                    self.i += 1;
+                    let ident = self.bump().map_or(String::new(), |t| t.text.clone());
+                    while self.i < end && !self.at("{") {
+                        self.i += 1; // generics, where clause
+                    }
+                    let (s, e) = self.group()?;
+                    let mut vp = Parser {
+                        t: &self.t[..e],
+                        i: s,
+                    };
+                    let mut variants = Vec::new();
+                    while vp.i < e {
+                        vp.attrs()?;
+                        if vp.i >= e {
+                            break;
+                        }
+                        let vt = &vp.t[vp.i];
+                        if vt.kind == TokKind::Ident {
+                            variants.push(Variant {
+                                ident: vt.text.clone(),
+                                line: vt.line,
+                            });
+                            vp.i += 1;
+                        }
+                        // Skip payload / discriminant to the next comma.
+                        while vp.i < e {
+                            match vp.t[vp.i].text.as_str() {
+                                "," => {
+                                    vp.i += 1;
+                                    break;
+                                }
+                                "(" | "[" | "{" => {
+                                    vp.group()?;
+                                }
+                                _ => vp.i += 1,
+                            }
+                        }
+                    }
+                    out.push(Item::Enum(ItemEnum {
+                        attrs,
+                        ident,
+                        variants,
+                        line,
+                    }));
+                }
+                "struct" | "union" => {
+                    self.i += 1;
+                    let ident = self.bump().map_or(String::new(), |t| t.text.clone());
+                    let mut fields = Vec::new();
+                    // Scan to `{` (named fields), `(` (tuple), or `;` (unit).
+                    loop {
+                        if self.i >= end || self.at(";") {
+                            if self.at(";") {
+                                self.i += 1;
+                            }
+                            break;
+                        }
+                        if self.at("(") {
+                            self.group()?;
+                            self.skip_to_semi()?;
+                            break;
+                        }
+                        if self.at("{") {
+                            let (s, e) = self.group()?;
+                            let mut fp = Parser {
+                                t: &self.t[..e],
+                                i: s,
+                            };
+                            while fp.i < e {
+                                fp.attrs()?;
+                                while fp.at("pub") {
+                                    fp.i += 1;
+                                    if fp.at("(") {
+                                        fp.group()?;
+                                    }
+                                }
+                                if fp.i >= e {
+                                    break;
+                                }
+                                let name_tok = fp.t[fp.i].clone();
+                                fp.i += 1;
+                                if !fp.at(":") {
+                                    continue;
+                                }
+                                fp.i += 1;
+                                let mut ty = String::new();
+                                let mut angle = 0i32;
+                                while fp.i < e {
+                                    let tt = &fp.t[fp.i];
+                                    match tt.text.as_str() {
+                                        "," if angle == 0 => {
+                                            fp.i += 1;
+                                            break;
+                                        }
+                                        "<" => angle += 1,
+                                        ">" => angle -= 1,
+                                        ">>" => angle -= 2,
+                                        "(" | "[" | "{" => {
+                                            let (gs, ge) = fp.group()?;
+                                            ty.push_str(&fp.t[gs - 1].text.clone());
+                                            for x in &fp.t[gs..ge] {
+                                                ty.push_str(&x.text);
+                                            }
+                                            if let Some(x) = fp.t.get(ge) {
+                                                ty.push_str(&x.text);
+                                            }
+                                            continue;
+                                        }
+                                        _ => {}
+                                    }
+                                    ty.push_str(&tt.text);
+                                    fp.i += 1;
+                                }
+                                fields.push(Field {
+                                    ident: name_tok.text,
+                                    ty,
+                                    line: name_tok.line,
+                                });
+                            }
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    out.push(Item::Struct(ItemStruct {
+                        attrs,
+                        ident,
+                        fields,
+                        line,
+                    }));
+                }
+                "fn" => {
+                    out.push(self.item_fn(attrs, line)?);
+                }
+                "impl" => {
+                    self.i += 1;
+                    // Everything up to the body brace: generics, trait,
+                    // `for`, self type, where clause.
+                    let head_start = self.i;
+                    while self.i < end && !self.at("{") {
+                        if self.at("(") || self.at("[") {
+                            self.group()?;
+                        } else {
+                            self.i += 1;
+                        }
+                    }
+                    let head = &self.t[head_start..self.i];
+                    let self_ty = impl_self_ty(head);
+                    let (s, e) = self.group()?;
+                    let mut ip = Parser {
+                        t: &self.t[..e],
+                        i: s,
+                    };
+                    let items = ip.items(Some(e))?;
+                    out.push(Item::Impl(ItemImpl {
+                        attrs,
+                        self_ty,
+                        items,
+                        line,
+                    }));
+                }
+                "mod" => {
+                    self.i += 1;
+                    let ident = self.bump().map_or(String::new(), |t| t.text.clone());
+                    if self.at(";") {
+                        self.i += 1;
+                        out.push(Item::Mod(ItemMod {
+                            attrs,
+                            ident,
+                            content: None,
+                            line,
+                        }));
+                    } else {
+                        let (s, e) = self.group()?;
+                        let mut mp = Parser {
+                            t: &self.t[..e],
+                            i: s,
+                        };
+                        let content = mp.items(Some(e))?;
+                        out.push(Item::Mod(ItemMod {
+                            attrs,
+                            ident,
+                            content: Some(content),
+                            line,
+                        }));
+                    }
+                }
+                "trait" => {
+                    self.i += 1;
+                    while self.i < end && !self.at("{") {
+                        self.i += 1;
+                    }
+                    if self.at("{") {
+                        self.group()?;
+                    }
+                    out.push(Item::Other);
+                }
+                "use" | "type" => {
+                    self.skip_to_semi()?;
+                    out.push(Item::Other);
+                }
+                "macro_rules" => {
+                    self.i += 1; // macro_rules
+                    if self.at("!") {
+                        self.i += 1;
+                    }
+                    self.i += 1; // name
+                    if self.at("{") || self.at("(") || self.at("[") {
+                        self.group()?;
+                    }
+                    out.push(Item::Other);
+                }
+                _ => {
+                    // Item-level macro invocation `name! { ... }` or stray
+                    // token; skip conservatively.
+                    self.i += 1;
+                    if self.at("!") {
+                        self.i += 1;
+                        if self.at("(") || self.at("[") {
+                            self.group()?;
+                            if self.at(";") {
+                                self.i += 1;
+                            }
+                        } else if self.at("{") {
+                            self.group()?;
+                        }
+                        out.push(Item::Other);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn item_fn(&mut self, attrs: Vec<String>, line: u32) -> Result<Item, Error> {
+        // Current token is `fn`.
+        self.i += 1;
+        let ident = self.bump().map_or(String::new(), |t| t.text.clone());
+        // Signature: scan to the body `{` (or `;` for trait decls),
+        // balancing parens so closure types in arguments don't confuse us.
+        loop {
+            if self.i >= self.t.len() {
+                return Ok(Item::Fn(ItemFn {
+                    attrs,
+                    ident,
+                    body: Vec::new(),
+                    line,
+                }));
+            }
+            if self.at(";") {
+                self.i += 1;
+                return Ok(Item::Fn(ItemFn {
+                    attrs,
+                    ident,
+                    body: Vec::new(),
+                    line,
+                }));
+            }
+            if self.at("{") {
+                break;
+            }
+            if self.at("(") || self.at("[") {
+                self.group()?;
+            } else {
+                self.i += 1;
+            }
+        }
+        let (s, e) = self.group()?;
+        Ok(Item::Fn(ItemFn {
+            attrs,
+            ident,
+            body: self.t[s..e].to_vec(),
+            line,
+        }))
+    }
+}
+
+/// Pick the self-type identifier out of an impl header token slice.
+fn impl_self_ty(head: &[Token]) -> String {
+    // Strip a leading generic parameter list.
+    let mut i = 0;
+    if head.first().is_some_and(|t| t.is("<")) {
+        let mut depth = 0i32;
+        while i < head.len() {
+            match head[i].text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    // `impl Trait for Type` → after `for`; otherwise the first ident.
+    let rest = &head[i..];
+    let after_for = rest
+        .iter()
+        .position(|t| t.is("for"))
+        .map(|p| &rest[p + 1..]);
+    let region = after_for.unwrap_or(rest);
+    for t in region {
+        if t.kind == TokKind::Ident && t.text != "where" && t.text != "mut" && t.text != "dyn" {
+            return t.text.clone();
+        }
+    }
+    String::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+//! Doc comment with 'quotes' and "strings".
+pub const AM_MSG: u32 = 1;
+pub const AM_ACK: u32 = 9;
+
+#[derive(Clone)]
+pub enum EvKind {
+    Msg(Message),
+    Loaded(ObjectId),
+    Install { oid: ObjectId, bytes: Vec<u8> },
+}
+
+pub struct NodeStats {
+    pub loads: u64,
+    pub stores: u64,
+    pub comp: Duration,
+}
+
+impl Worker<'_> {
+    fn dispatch(&mut self, tag: u32) {
+        match tag {
+            AM_MSG => self.on_msg(),
+            AM_ACK => {}
+            other => panic!("unknown AM tag {other}"),
+        }
+        let g = self.store.lock().unwrap();
+        g.send(1).expect("channel closed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = vec![1, 2].pop().unwrap();
+        assert_eq!(x, 2);
+    }
+}
+"#;
+
+    fn idents_of(items: &[Item]) -> Vec<&str> {
+        items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Const(c) => Some(c.ident.as_str()),
+                Item::Enum(e) => Some(e.ident.as_str()),
+                Item::Struct(s) => Some(s.ident.as_str()),
+                Item::Fn(f) => Some(f.ident.as_str()),
+                Item::Impl(i) => Some(i.self_ty.as_str()),
+                Item::Mod(m) => Some(m.ident.as_str()),
+                Item::Other => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parses_item_structure() {
+        let f = parse_file(SRC).unwrap();
+        assert_eq!(
+            idents_of(&f.items),
+            ["AM_MSG", "AM_ACK", "EvKind", "NodeStats", "Worker", "tests"]
+        );
+    }
+
+    #[test]
+    fn extracts_const_values_and_enum_variants() {
+        let f = parse_file(SRC).unwrap();
+        let consts: Vec<(&str, &str)> = f
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Const(c) => Some((c.ident.as_str(), c.value.as_str())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consts, [("AM_MSG", "1"), ("AM_ACK", "9")]);
+        let Some(Item::Enum(e)) = f.items.iter().find(|i| matches!(i, Item::Enum(_))) else {
+            panic!("no enum");
+        };
+        let names: Vec<&str> = e.variants.iter().map(|v| v.ident.as_str()).collect();
+        assert_eq!(names, ["Msg", "Loaded", "Install"]);
+    }
+
+    #[test]
+    fn extracts_struct_fields_with_types() {
+        let f = parse_file(SRC).unwrap();
+        let Some(Item::Struct(s)) = f.items.iter().find(|i| matches!(i, Item::Struct(_))) else {
+            panic!("no struct");
+        };
+        let fields: Vec<(&str, &str)> = s
+            .fields
+            .iter()
+            .map(|fl| (fl.ident.as_str(), fl.ty.as_str()))
+            .collect();
+        assert_eq!(
+            fields,
+            [("loads", "u64"), ("stores", "u64"), ("comp", "Duration")]
+        );
+    }
+
+    #[test]
+    fn fn_bodies_are_token_streams_with_lines() {
+        let f = parse_file(SRC).unwrap();
+        let Some(Item::Impl(im)) = f.items.iter().find(|i| matches!(i, Item::Impl(_))) else {
+            panic!("no impl");
+        };
+        let Some(Item::Fn(fun)) = im.items.iter().find(|i| matches!(i, Item::Fn(_))) else {
+            panic!("no fn");
+        };
+        assert_eq!(fun.ident, "dispatch");
+        assert!(fun.body.iter().any(|t| t.is("unwrap")));
+        assert!(fun.body.iter().any(|t| t.is("AM_MSG")));
+        // Line numbers survive comment stripping.
+        let unwrap_tok = fun.body.iter().find(|t| t.is("unwrap")).unwrap();
+        assert!(unwrap_tok.line > 20, "line {}", unwrap_tok.line);
+    }
+
+    #[test]
+    fn cfg_test_mod_attrs_survive() {
+        let f = parse_file(SRC).unwrap();
+        let Some(Item::Mod(m)) = f.items.iter().find(|i| matches!(i, Item::Mod(_))) else {
+            panic!("no mod");
+        };
+        assert_eq!(m.attrs, ["cfg(test)"]);
+        let inner = m.content.as_ref().unwrap();
+        let Some(Item::Fn(t)) = inner.iter().find(|i| matches!(i, Item::Fn(_))) else {
+            panic!("no test fn");
+        };
+        assert_eq!(t.attrs, ["test"]);
+    }
+
+    #[test]
+    fn lexes_tricky_literals() {
+        let toks =
+            lex(r##"let s = r#"raw "str""#; let c = 'x'; let lt: &'static str = b"by";"##).unwrap();
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, [r##"r#"raw "str""#"##, "'x'", r#"b"by""#]);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+    }
+}

@@ -71,8 +71,12 @@ pub fn plan_rebalance(nodes: usize, items: &[BalanceItem]) -> Vec<Move> {
     let max_iters = items.len() + 1;
     for _ in 0..max_iters {
         let (max_n, min_n) = {
-            let max_n = (0..nodes).max_by_key(|&i| load[i]).unwrap();
-            let min_n = (0..nodes).min_by_key(|&i| load[i]).unwrap();
+            let max_n = (0..nodes)
+                .max_by_key(|&i| load[i])
+                .expect("rebalance needs at least one node");
+            let min_n = (0..nodes)
+                .min_by_key(|&i| load[i])
+                .expect("rebalance needs at least one node");
             (max_n, min_n)
         };
         if max_n == min_n {

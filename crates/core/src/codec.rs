@@ -97,11 +97,15 @@ impl<'a> PayloadReader<'a> {
     }
 
     pub fn u32(&mut self) -> Result<u32, Truncated> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("take(4) yields 4 bytes"),
+        ))
     }
 
     pub fn u64(&mut self) -> Result<u64, Truncated> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("take(8) yields 8 bytes"),
+        ))
     }
 
     pub fn f64(&mut self) -> Result<f64, Truncated> {
@@ -109,7 +113,9 @@ impl<'a> PayloadReader<'a> {
     }
 
     pub fn ptr(&mut self) -> Result<MobilePtr, Truncated> {
-        Ok(MobilePtr::from_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(MobilePtr::from_bytes(
+            self.take(8)?.try_into().expect("take(8) yields 8 bytes"),
+        ))
     }
 
     pub fn bytes(&mut self) -> Result<&'a [u8], Truncated> {

@@ -66,7 +66,9 @@ impl ExecutorKind {
         let ovh = self.per_task_overhead();
         let mut load = vec![Duration::ZERO; cores];
         for &d in durations {
-            let idx = (0..cores).min_by_key(|&i| load[i]).unwrap();
+            let idx = (0..cores)
+                .min_by_key(|&i| load[i])
+                .expect("scheduler has at least one core");
             load[idx] += d + ovh;
         }
         load.into_iter().max().unwrap_or(Duration::ZERO)

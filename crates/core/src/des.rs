@@ -361,7 +361,10 @@ impl DesRuntime {
     /// Pin an object before the run.
     pub fn lock_object(&mut self, ptr: MobilePtr) {
         let node = self.owner_of(ptr.id);
-        let e = self.nodes[node as usize].table.get_mut(&ptr.id).unwrap();
+        let e = self.nodes[node as usize]
+            .table
+            .get_mut(&ptr.id)
+            .expect("tracked object has a table entry");
         e.locked = true;
         audit_emit!(self.audit, RuntimeEvent::Pin { node, oid: ptr.id });
     }
@@ -761,7 +764,10 @@ impl DesRuntime {
                 }
             }
         }
-        let entry = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+        let entry = self.nodes[node as usize]
+            .table
+            .get_mut(&oid)
+            .expect("tracked object has a table entry");
         match entry.state {
             EntryState::InCore(_) | EntryState::Executing => {
                 self.execute(node, oid, msg);
@@ -780,7 +786,10 @@ impl DesRuntime {
     /// Note that `oid` (on disk) has pending work; the load is issued by
     /// [`DesRuntime::pump_loads`] under the prefetch window.
     fn queue_load(&mut self, node: NodeId, oid: ObjectId) {
-        let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+        let e = self.nodes[node as usize]
+            .table
+            .get_mut(&oid)
+            .expect("tracked object has a table entry");
         if e.load_queued || !matches!(e.state, EntryState::OnDisk) {
             return;
         }
@@ -827,7 +836,10 @@ impl DesRuntime {
         while i < self.nodes[node as usize].pending_loads.len() {
             let oid = self.nodes[node as usize].pending_loads[i];
             let (wants, urgent, footprint, packed_len) = {
-                let e = self.nodes[node as usize].table.get(&oid).unwrap();
+                let e = self.nodes[node as usize]
+                    .table
+                    .get(&oid)
+                    .expect("tracked object has a table entry");
                 let urgent = e.pending_migration.is_some() || e.locked;
                 let wants =
                     matches!(e.state, EntryState::OnDisk) && (urgent || !e.queue.is_empty());
@@ -836,7 +848,10 @@ impl DesRuntime {
             if !wants {
                 self.nodes[node as usize].pending_loads.remove(i);
                 let n = &mut self.nodes[node as usize];
-                n.table.get_mut(&oid).unwrap().load_queued = false;
+                n.table
+                    .get_mut(&oid)
+                    .expect("tracked object has a table entry")
+                    .load_queued = false;
                 n.stats.prefetch_cancels += 1;
                 continue;
             }
@@ -878,7 +893,7 @@ impl DesRuntime {
             self.nodes[node as usize]
                 .table
                 .get_mut(&oid)
-                .unwrap()
+                .expect("tracked object has a table entry")
                 .load_queued = false;
             self.issue_load(node, oid, at, look_ahead && !urgent);
             // Issuing may have evicted; recompute pacing headroom lazily.
@@ -892,7 +907,7 @@ impl DesRuntime {
                 self.nodes[node as usize]
                     .table
                     .get_mut(&oid)
-                    .unwrap()
+                    .expect("tracked object has a table entry")
                     .load_queued = false;
                 self.issue_load(node, oid, at, false);
             }
@@ -903,7 +918,10 @@ impl DesRuntime {
     /// channel.
     fn issue_load(&mut self, node: NodeId, oid: ObjectId, at: Duration, look_ahead: bool) {
         let (packed_len, footprint) = {
-            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            let e = self.nodes[node as usize]
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             debug_assert!(matches!(e.state, EntryState::OnDisk));
             e.state = EntryState::Loading;
             (e.packed_len, e.footprint)
@@ -939,8 +957,11 @@ impl DesRuntime {
         let dur = self.cfg.disk.op_time(packed_len);
         let ch = (0..n.disk_free.len())
             .min_by_key(|&i| n.disk_free[i])
-            .unwrap();
-        let e = n.table.get_mut(&oid).unwrap();
+            .expect("node has at least one disk channel");
+        let e = n
+            .table
+            .get_mut(&oid)
+            .expect("tracked object has a table entry");
         let start = at.max(n.disk_free[ch]).max(e.disk_ready_at);
         let end = start + dur;
         n.disk_free[ch] = end;
@@ -953,7 +974,10 @@ impl DesRuntime {
 
     fn on_loaded(&mut self, node: NodeId, oid: ObjectId) {
         let (key, packed_len) = {
-            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            let e = self.nodes[node as usize]
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             debug_assert!(matches!(e.state, EntryState::Loading));
             (
                 e.spill_key.expect("loading object has a spill key"),
@@ -1010,7 +1034,7 @@ impl DesRuntime {
             let n = &mut self.nodes[node as usize];
             let ch = (0..n.disk_free.len())
                 .min_by_key(|&i| n.disk_free[i])
-                .unwrap();
+                .expect("node has at least one disk channel");
             let end = now.max(n.disk_free[ch]) + penalty;
             n.disk_free[ch] = end;
             n.stats.disk += penalty;
@@ -1026,7 +1050,10 @@ impl DesRuntime {
             let n = &mut self.nodes[node as usize];
             n.stats.comp += unpack;
             let tick = n.ooc.tick();
-            let e = n.table.get_mut(&oid).unwrap();
+            let e = n
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             e.meta.touch(tick);
             // `admit` charged the stale footprint estimate; fix up.
             let old_fp = e.footprint;
@@ -1053,7 +1080,10 @@ impl DesRuntime {
         // Drain queued messages in arrival order.
         loop {
             let next = {
-                let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+                let e = self.nodes[node as usize]
+                    .table
+                    .get_mut(&oid)
+                    .expect("tracked object has a table entry");
                 e.queue.pop_front()
             };
             match next {
@@ -1070,7 +1100,10 @@ impl DesRuntime {
         let handler = self.registry.handler(msg.handler);
         // Take the object out for the duration of the call.
         let (mut obj, old_footprint, arrival_floor) = {
-            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            let e = self.nodes[node as usize]
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             let state = std::mem::replace(&mut e.state, EntryState::Executing);
             let obj = match state {
                 EntryState::InCore(o) => o,
@@ -1117,7 +1150,7 @@ impl DesRuntime {
             let n = &mut self.nodes[node as usize];
             let core = (0..n.core_free.len())
                 .min_by_key(|&i| n.core_free[i])
-                .unwrap();
+                .expect("node has at least one core");
             let start = self.now.max(arrival_floor).max(n.core_free[core]);
             let end = start + vdur;
             n.core_free[core] = end;
@@ -1134,7 +1167,10 @@ impl DesRuntime {
         {
             let n = &mut self.nodes[node as usize];
             let tick = n.ooc.tick();
-            let e = n.table.get_mut(&oid).unwrap();
+            let e = n
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             e.state = EntryState::InCore(obj);
             e.obj_free_at = end;
             e.meta.touch(tick);
@@ -1327,7 +1363,10 @@ impl DesRuntime {
             self.ship(self.now, node, owner, CTL_BYTES, EvKind::Meta(oid, op));
             return;
         }
-        let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+        let e = self.nodes[node as usize]
+            .table
+            .get_mut(&oid)
+            .expect("tracked object has a table entry");
         match op {
             MetaOp::Lock => {
                 e.locked = true;
@@ -1449,7 +1488,10 @@ impl DesRuntime {
         }
         let has_queue = {
             let n = &mut self.nodes[node as usize];
-            let e = n.table.get_mut(&oid).unwrap();
+            let e = n
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             if !e.is_in_core() || !e.is_clean() {
                 return false;
             }
@@ -1497,7 +1539,10 @@ impl DesRuntime {
     /// `true` iff bytes actually reached the modeled disk.
     fn spill(&mut self, node: NodeId, oid: ObjectId, at: Duration, coalesce: bool) -> bool {
         let obj = {
-            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            let e = self.nodes[node as usize]
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             match std::mem::replace(&mut e.state, EntryState::OnDisk) {
                 EntryState::InCore(o) => o,
                 other => {
@@ -1525,7 +1570,10 @@ impl DesRuntime {
         let key = {
             let n = &mut self.nodes[node as usize];
             n.stats.comp += pack;
-            let e = n.table.get_mut(&oid).unwrap();
+            let e = n
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             let key = *e.spill_key.get_or_insert_with(|| {
                 let k = n.next_spill_key;
                 n.next_spill_key += 1;
@@ -1568,14 +1616,17 @@ impl DesRuntime {
             // on-disk copy (if any) may be torn: mark it stale.
             let n = &mut self.nodes[node as usize];
             n.stats.io_gave_up += 1;
-            let e = n.table.get_mut(&oid).unwrap();
+            let e = n
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             debug_assert!(matches!(e.state, EntryState::OnDisk));
             e.state = EntryState::InCore(obj);
             e.stored_version = None;
             if !penalty.is_zero() {
                 let ch = (0..n.disk_free.len())
                     .min_by_key(|&i| n.disk_free[i])
-                    .unwrap();
+                    .expect("node has at least one disk channel");
                 let end = at.max(n.disk_free[ch]) + penalty;
                 n.disk_free[ch] = end;
                 n.stats.disk += penalty;
@@ -1599,7 +1650,7 @@ impl DesRuntime {
         };
         let ch = (0..n.disk_free.len())
             .min_by_key(|&i| n.disk_free[i])
-            .unwrap();
+            .expect("node has at least one disk channel");
         let start = at.max(n.disk_free[ch]);
         let end = start + dur;
         n.disk_free[ch] = end;
@@ -1609,7 +1660,10 @@ impl DesRuntime {
         n.stats.evictions += 1;
         n.stats.buffer_pool_hits += usize::from(pool_hit);
         let (footprint, has_queue) = {
-            let e = n.table.get_mut(&oid).unwrap();
+            let e = n
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             e.disk_ready_at = end;
             e.stored_version = Some(e.version);
             (e.footprint, !e.queue.is_empty())
@@ -1680,7 +1734,10 @@ impl DesRuntime {
             Some(Ok(false)) => {
                 // Load it first, then ship (urgent: bypasses the window).
                 {
-                    let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+                    let e = self.nodes[node as usize]
+                        .table
+                        .get_mut(&oid)
+                        .expect("tracked object has a table entry");
                     e.pending_migration = Some(dest);
                 }
                 self.queue_load(node, oid);
@@ -1692,7 +1749,10 @@ impl DesRuntime {
     /// tombstone; its queued messages travel along.
     fn do_migrate(&mut self, node: NodeId, oid: ObjectId, dest: NodeId) {
         let (obj, queue, priority, locked, footprint, free_at, version) = {
-            let e = self.nodes[node as usize].table.get_mut(&oid).unwrap();
+            let e = self.nodes[node as usize]
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             e.pending_migration = None;
             let state = std::mem::replace(&mut e.state, EntryState::Moved(dest));
             let obj = match state {
@@ -1865,7 +1925,7 @@ impl DesRuntime {
                     self.nodes[node as usize]
                         .table
                         .get_mut(&oid)
-                        .unwrap()
+                        .expect("tracked object has a table entry")
                         .locked = true;
                     audit_emit!(self.audit, RuntimeEvent::Pin { node, oid });
                 }
@@ -1874,7 +1934,7 @@ impl DesRuntime {
                     self.nodes[node as usize]
                         .table
                         .get_mut(&oid)
-                        .unwrap()
+                        .expect("tracked object has a table entry")
                         .locked = true;
                     audit_emit!(self.audit, RuntimeEvent::Pin { node, oid });
                     self.queue_load(node, oid);
@@ -2094,7 +2154,7 @@ impl DesRuntime {
             let oids: Vec<ObjectId> = self.nodes[node].table.keys().copied().collect();
             for oid in oids {
                 let n = &mut self.nodes[node];
-                let e = n.table.get(&oid).unwrap();
+                let e = n.table.get(&oid).expect("tracked object has a table entry");
                 let (priority, locked) = (e.priority, e.locked);
                 let queued: Vec<Message> = e.queue.iter().cloned().collect();
                 let packed = match &e.state {

@@ -39,8 +39,10 @@ pub mod netfault;
 pub mod object;
 pub mod ooc;
 pub mod policy;
+pub mod relnet;
 pub mod stats;
 pub mod storage;
+pub mod sync;
 pub mod threaded;
 
 /// The commonly used names in one import.

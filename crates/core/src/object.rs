@@ -102,7 +102,11 @@ impl Registry {
 
     /// Inverse of [`Registry::pack`].
     pub fn unpack(&self, buf: &[u8]) -> Box<dyn MobileObject> {
-        let tag = TypeTag(u32::from_le_bytes(buf[..4].try_into().unwrap()));
+        let tag = TypeTag(u32::from_le_bytes(
+            buf[..4]
+                .try_into()
+                .expect("header checked to hold a 4-byte tag"),
+        ));
         (self.decoder(tag))(&buf[4..])
     }
 }

@@ -169,6 +169,11 @@ impl RunStats {
         self.nodes.iter().map(f).sum()
     }
 
+    /// Total message payload bytes sent across nodes.
+    pub fn bytes_sent(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
     /// Total bytes spilled to disk across nodes.
     pub fn bytes_to_disk(&self) -> u64 {
         self.nodes.iter().map(|n| n.bytes_to_disk).sum()
@@ -227,6 +232,30 @@ impl RunStats {
             self.total_of(|n| n.stores),
             self.peak_mem(),
         );
+        s.push_str(&format!(
+            " handlers={} msgs_local={} msgs_remote={} forwarded={} bytes_sent={} \
+             to_disk={}B from_disk={}B evictions={} migrations={}",
+            self.total_of(|n| n.handlers_run),
+            self.total_of(|n| n.msgs_local),
+            self.total_of(|n| n.msgs_remote),
+            self.total_of(|n| n.msgs_forwarded),
+            self.bytes_sent(),
+            self.bytes_to_disk(),
+            self.bytes_from_disk(),
+            self.total_of(|n| n.evictions),
+            self.total_of(|n| n.migrations),
+        ));
+        let issued = self.total_of(|n| n.prefetch_issued);
+        if issued > 0 {
+            s.push_str(&format!(
+                " prefetch_issued={issued} prefetch_hits={} prefetch_misses={} \
+                 prefetch_cancels={} hit_rate={:.0}%",
+                self.total_of(|n| n.prefetch_hits),
+                self.total_of(|n| n.prefetch_misses),
+                self.total_of(|n| n.prefetch_cancels),
+                self.prefetch_hit_rate() * 100.0,
+            ));
+        }
         let faults = self.total_of(|n| n.faults_injected);
         let retries = self.total_of(|n| n.io_retries);
         if faults + retries > 0 {

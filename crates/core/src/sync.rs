@@ -1,0 +1,79 @@
+//! Synchronization primitives for the threaded engine, swappable for
+//! `loom`'s model-checked versions.
+//!
+//! Build normally and these are thin wrappers over `std::sync`; build
+//! with `RUSTFLAGS="--cfg loom"` and every `Arc`, `Mutex` and atomic
+//! becomes a loom schedule point, so the loom tests
+//! (`cargo test -p mrts --test loom` under that cfg) explore every
+//! bounded interleaving of the code that uses them. The threaded
+//! engine's shared state (spill-store handle, buffer pool) goes through
+//! this module so the exact production types are the ones model-checked.
+//!
+//! [`Mutex::lock`] returns the guard directly, panicking on poisoning:
+//! a panic on an I/O pool thread already aborts the run, and no MRTS
+//! critical section can repair a half-applied update, so poisoning is
+//! never recoverable here.
+
+#[cfg(loom)]
+use loom::sync as imp;
+#[cfg(not(loom))]
+use std::sync as imp;
+
+pub use imp::atomic;
+pub use imp::Arc;
+
+/// A mutex whose `lock()` yields the guard directly (see module docs
+/// for the poisoning policy).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(imp::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Mutex<T> {
+        Mutex(imp::Mutex::new(t))
+    }
+
+    #[track_caller]
+    pub fn lock(&self) -> imp::MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .expect("mutex poisoned: a thread panicked inside this critical section")
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .expect("mutex poisoned: a thread panicked inside this critical section")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_yields_guard_directly() {
+        let m = Mutex::new(3);
+        *m.lock() += 4;
+        assert_eq!(*m.lock(), 7);
+        assert_eq!(m.into_inner(), 7);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        assert_eq!(*m.lock(), 400);
+    }
+}

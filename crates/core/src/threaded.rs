@@ -45,11 +45,12 @@ use crate::netfault::{NetFaultKind, NetFaultPlan};
 use crate::object::{MobileObject, Registry};
 use crate::ooc::{EvictCandidate, OocManager};
 use crate::policy::AccessMeta;
+use crate::relnet::{ReliableReceiver, ReliableSender, Safra, TimerAction};
 use crate::stats::{NodeStats, RunStats};
 use crate::storage::{FileStore, MemStore, SegmentStore, StorageBackend};
 use armci_sim::{ActiveMessage, Endpoint, Fabric, NetworkModel};
 use crossbeam_channel as channel;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 // Fabric active-message tags.
@@ -206,17 +207,6 @@ struct McWait {
     waiting: Vec<ObjectId>,
 }
 
-/// One logical message awaiting acknowledgement (net-fault runs).
-struct Unacked {
-    tag: u32,
-    /// Full frame including the 8-byte sequence prefix, ready to resend.
-    frame: Vec<u8>,
-    /// Retransmissions so far (the initial transmission is attempt 0).
-    attempts: u32,
-    /// Backoff deadline for the next retransmission.
-    next_at: Instant,
-}
-
 /// Reliable-delivery state for one node, active only when
 /// [`MrtsConfig::net_fault`] is set (fault-free runs bypass the layer
 /// entirely, so their fast path is untouched).
@@ -235,14 +225,15 @@ struct Unacked {
 /// §11).
 struct NetLayer {
     plan: NetFaultPlan,
-    /// Next sequence number per destination edge.
-    send_seq: HashMap<NodeId, u64>,
-    /// Sent-but-unacknowledged logical messages, keyed `(dest, seq)`.
-    unacked: HashMap<(NodeId, u64), Unacked>,
-    /// Next sequence number to release, per source.
-    expected: HashMap<NodeId, u64>,
-    /// Received frames above the watermark, held for in-order release.
-    held: HashMap<NodeId, BTreeMap<u64, (u32, Vec<u8>)>>,
+    /// Protocol state, sender half: sequence assignment plus the
+    /// unacknowledged-frame buffer (see [`crate::relnet`]; the same
+    /// state machine the loom suite model-checks).
+    tx: ReliableSender,
+    /// Protocol state, receiver half: dedup plus in-order release.
+    rx: ReliableReceiver,
+    /// Backoff deadline per outstanding frame. Physical timing lives
+    /// here, outside the deterministic protocol core.
+    timers: HashMap<(NodeId, u64), Instant>,
     /// Transmissions deferred by an injected delay/reorder fault:
     /// `(due, dest, tag, frame)`.
     deferred: Vec<(Instant, NodeId, u32, Vec<u8>)>,
@@ -252,16 +243,6 @@ struct NetLayer {
     /// finishing that handler (its sends are in flight, possibly
     /// unacknowledged) but before touching anything else.
     kill_at: Option<u64>,
-}
-
-/// Safra termination-detection state for one node.
-struct Safra {
-    color_black: bool,
-    counter: i64,
-    has_token: bool,
-    token_black: bool,
-    token_q: i64,
-    initiated: bool,
 }
 
 struct Worker {
@@ -384,7 +365,7 @@ impl Worker {
             // retransmits and duplicate copies are invisible to them.
             self.race_send(dest);
             self.comm_charge(bytes);
-            self.safra.counter += 1;
+            self.safra.on_send();
             self.net_send(dest, tag, payload);
             return;
         }
@@ -393,7 +374,7 @@ impl Worker {
         if dest != self.node {
             self.comm_charge(bytes);
             if tag != AM_TOKEN && tag != AM_EXIT {
-                self.safra.counter += 1;
+                self.safra.on_send();
             }
         }
     }
@@ -425,26 +406,14 @@ impl Worker {
     /// Assign the next sequence number on the `self → dest` edge, record
     /// the frame for retransmission, and physically transmit it.
     fn net_send(&mut self, dest: NodeId, tag: u32, payload: Vec<u8>) {
-        let (seq, frame, next_at) = {
+        let (seq, frame) = {
             let net = self.net.as_mut().expect("net layer");
-            let s = net.send_seq.entry(dest).or_insert(0);
-            let seq = *s;
-            *s += 1;
-            let mut frame = Vec::with_capacity(8 + payload.len());
-            frame.extend_from_slice(&seq.to_le_bytes());
-            frame.extend_from_slice(&payload);
-            (seq, frame, Instant::now() + self.cfg.retry.delay(1, seq))
+            let (seq, frame) = net.tx.next_frame(dest, tag, &payload);
+            net.timers
+                .insert((dest, seq), Instant::now() + self.cfg.retry.delay(1, seq));
+            (seq, frame)
         };
-        self.transmit(dest, tag, seq, frame.clone(), 0);
-        self.net.as_mut().expect("net layer").unacked.insert(
-            (dest, seq),
-            Unacked {
-                tag,
-                frame,
-                attempts: 0,
-                next_at,
-            },
-        );
+        self.transmit(dest, tag, seq, frame, 0);
     }
 
     /// One physical transmission, subject to the fault plan. Drops,
@@ -514,12 +483,13 @@ impl Worker {
         self.stats.acks_sent += 1;
         self.comm_charge(8);
         self.ep.am_send(src, AM_ACK, seq.to_le_bytes().to_vec());
-        let dup = {
-            let net = self.net.as_ref().expect("net layer");
-            let exp = net.expected.get(&src).copied().unwrap_or(0);
-            seq < exp || net.held.get(&src).is_some_and(|h| h.contains_key(&seq))
-        };
-        if dup {
+        let accepted = self.net.as_mut().expect("net layer").rx.accept(
+            src,
+            seq,
+            am.handler,
+            am.payload[8..].to_vec(),
+        );
+        if !accepted {
             self.stats.dup_suppressed += 1;
             audit_emit!(
                 self.audit,
@@ -531,26 +501,9 @@ impl Worker {
             );
             return;
         }
-        self.net
-            .as_mut()
-            .expect("net layer")
-            .held
-            .entry(src)
-            .or_default()
-            .insert(seq, (am.handler, am.payload[8..].to_vec()));
         // Release every consecutive frame from the watermark up.
-        loop {
-            let (tag, payload) = {
-                let net = self.net.as_mut().expect("net layer");
-                let exp = net.expected.entry(src).or_insert(0);
-                match net.held.get_mut(&src).and_then(|h| h.remove(exp)) {
-                    Some(f) => {
-                        *exp += 1;
-                        f
-                    }
-                    None => break,
-                }
-            };
+        while let Some((tag, payload)) = self.net.as_mut().expect("net layer").rx.next_release(src)
+        {
             self.release(src, tag, &payload);
             if self.done {
                 break;
@@ -563,8 +516,7 @@ impl Worker {
     /// dispatch) happens here, exactly once per logical message.
     fn release(&mut self, src: NodeId, tag: u32, payload: &[u8]) {
         self.race_recv(src);
-        self.safra.counter -= 1;
-        self.safra.color_black = true;
+        self.safra.on_deliver();
         self.comm_charge(payload.len());
         self.dispatch_data(tag, payload);
     }
@@ -616,44 +568,56 @@ impl Worker {
             .net
             .as_ref()
             .expect("net layer")
-            .unacked
+            .timers
             .iter()
-            .filter(|(_, u)| u.next_at <= now)
+            .filter(|(_, t)| **t <= now)
             .map(|(&k, _)| k)
             .collect();
         for (dest, seq) in due {
-            let (tag, frame, attempts) = {
+            let action = {
                 let net = self.net.as_mut().expect("net layer");
-                let Some(u) = net.unacked.get_mut(&(dest, seq)) else {
-                    continue;
-                };
-                u.attempts += 1;
-                if u.attempts > limit {
-                    let u = net.unacked.remove(&(dest, seq)).expect("present");
-                    (u.tag, u.frame, u.attempts)
-                } else {
-                    u.next_at = now + self.cfg.retry.delay(u.attempts + 1, seq);
-                    (u.tag, u.frame.clone(), u.attempts)
+                let action = net.tx.on_timer(dest, seq, limit);
+                match &action {
+                    TimerAction::Retransmit { attempt, .. } => {
+                        net.timers
+                            .insert((dest, seq), now + self.cfg.retry.delay(attempt + 1, seq));
+                    }
+                    TimerAction::Acked | TimerAction::GiveUp { .. } => {
+                        net.timers.remove(&(dest, seq));
+                    }
                 }
+                action
             };
-            if attempts > limit {
-                self.escalate(dest, tag, &frame, attempts);
-                if self.done {
-                    return;
+            match action {
+                TimerAction::Acked => {}
+                TimerAction::GiveUp {
+                    tag,
+                    frame,
+                    attempts,
+                } => {
+                    self.escalate(dest, tag, &frame, attempts);
+                    if self.done {
+                        return;
+                    }
                 }
-                continue;
+                TimerAction::Retransmit {
+                    tag,
+                    frame,
+                    attempt,
+                } => {
+                    self.stats.retransmits += 1;
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::Retransmit {
+                            node: self.node,
+                            dest,
+                            seq,
+                            attempt
+                        }
+                    );
+                    self.transmit(dest, tag, seq, frame, attempt);
+                }
             }
-            self.stats.retransmits += 1;
-            audit_emit!(
-                self.audit,
-                RuntimeEvent::Retransmit {
-                    node: self.node,
-                    dest,
-                    seq,
-                    attempt: attempts
-                }
-            );
-            self.transmit(dest, tag, seq, frame, attempts);
         }
     }
 
@@ -664,8 +628,7 @@ impl Worker {
     /// re-route the message toward the object's home or declare the peer
     /// unreachable.
     fn escalate(&mut self, dest: NodeId, tag: u32, frame: &[u8], attempts: u32) {
-        self.safra.counter -= 1;
-        self.safra.color_black = true;
+        self.safra.on_cancel();
         match tag {
             // A lazy hint push is an optimization; losing one is safe.
             AM_DIR_UPDATE => {}
@@ -733,11 +696,9 @@ impl Worker {
             match am.handler {
                 AM_ACK => {
                     let seq = u64::from_le_bytes(am.payload[..8].try_into().expect("ack seq"));
-                    self.net
-                        .as_mut()
-                        .expect("net layer")
-                        .unacked
-                        .remove(&(am.src, seq));
+                    let net = self.net.as_mut().expect("net layer");
+                    net.tx.on_ack(am.src, seq);
+                    net.timers.remove(&(am.src, seq));
                     return;
                 }
                 // Control ring: delivered directly, no race stamp (see
@@ -752,15 +713,19 @@ impl Worker {
             self.race_recv(am.src);
         }
         if am.src != self.node && am.handler != AM_TOKEN && am.handler != AM_EXIT {
-            self.safra.counter -= 1;
-            self.safra.color_black = true;
+            self.safra.on_deliver();
             self.comm_charge(am.payload.len());
         }
         match am.handler {
             AM_TOKEN => {
-                self.safra.has_token = true;
-                self.safra.token_black = am.payload[0] != 0;
-                self.safra.token_q = i64::from_le_bytes(am.payload[1..9].try_into().unwrap());
+                self.safra.on_token(
+                    am.payload[0] != 0,
+                    i64::from_le_bytes(
+                        am.payload[1..9]
+                            .try_into()
+                            .expect("ring token payload is 9 bytes"),
+                    ),
+                );
             }
             AM_EXIT => {
                 self.done = true;
@@ -780,8 +745,16 @@ impl Worker {
                 self.route_msg(msg);
             }
             AM_DIR_UPDATE => {
-                let oid = ObjectId(u64::from_le_bytes(payload[..8].try_into().unwrap()));
-                let loc = u16::from_le_bytes(payload[8..10].try_into().unwrap());
+                let oid = ObjectId(u64::from_le_bytes(
+                    payload[..8]
+                        .try_into()
+                        .expect("dir-update payload is 10 bytes"),
+                ));
+                let loc = u16::from_le_bytes(
+                    payload[8..10]
+                        .try_into()
+                        .expect("dir-update payload is 10 bytes"),
+                );
                 self.dir.update(oid, loc);
                 audit_emit!(
                     self.audit,
@@ -793,8 +766,16 @@ impl Worker {
                 );
             }
             AM_MIGRATE_REQ => {
-                let oid = ObjectId(u64::from_le_bytes(payload[..8].try_into().unwrap()));
-                let dest = u16::from_le_bytes(payload[8..10].try_into().unwrap());
+                let oid = ObjectId(u64::from_le_bytes(
+                    payload[..8]
+                        .try_into()
+                        .expect("migrate-req payload is 10 bytes"),
+                ));
+                let dest = u16::from_le_bytes(
+                    payload[8..10]
+                        .try_into()
+                        .expect("migrate-req payload is 10 bytes"),
+                );
                 self.on_migrate_req(oid, dest);
             }
             AM_INSTALL => self.on_install(payload),
@@ -804,7 +785,11 @@ impl Worker {
                 self.on_mc_start(info, msg.handler, msg.payload);
             }
             AM_META => {
-                let oid = ObjectId(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+                let oid = ObjectId(u64::from_le_bytes(
+                    payload[..8]
+                        .try_into()
+                        .expect("meta payload starts with an 8-byte oid"),
+                ));
                 let op = payload[8];
                 let arg = payload[9];
                 self.on_meta(oid, op, arg);
@@ -849,7 +834,10 @@ impl Worker {
                 }
             }
         }
-        let e = self.table.get_mut(&oid).unwrap();
+        let e = self
+            .table
+            .get_mut(&oid)
+            .expect("tracked object has a table entry");
         let was_empty = e.queue.is_empty();
         e.queue.push_back(msg);
         match e.state {
@@ -954,7 +942,10 @@ impl Worker {
             return false;
         }
         let (footprint, packed_len) = {
-            let e = self.table.get_mut(&oid).unwrap();
+            let e = self
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             if !matches!(e.state, TState::InCore(_)) || !e.is_clean() {
                 return false;
             }
@@ -994,7 +985,10 @@ impl Worker {
         if self.try_elide(oid) {
             return;
         }
-        let e = self.table.get_mut(&oid).unwrap();
+        let e = self
+            .table
+            .get_mut(&oid)
+            .expect("tracked object has a table entry");
         let obj = match std::mem::replace(&mut e.state, TState::OnDisk) {
             TState::InCore(o) => o,
             other => {
@@ -1004,7 +998,10 @@ impl Worker {
         };
         let key = {
             let next = &mut self.next_spill_key;
-            let e = self.table.get_mut(&oid).unwrap();
+            let e = self
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             e.store_inflight = true;
             // The object cannot mutate while out of core, so the version
             // at send time is the version the packed bytes will carry.
@@ -1031,7 +1028,9 @@ impl Worker {
         self.stats.stores += 1;
         self.outstanding_io += 1;
         // Pack happens on the I/O pool, off this control thread.
-        self.io_tx.send(IoReq::Store { key, obj, oid }).unwrap();
+        self.io_tx
+            .send(IoReq::Store { key, obj, oid })
+            .expect("I/O pool outlives the worker");
         // Drop the object from the ready list if it was there.
         self.ready.retain(|&r| r != oid);
         // An object evicted with queued messages still owes work: queue
@@ -1049,7 +1048,10 @@ impl Worker {
             Vec::with_capacity(victims.len());
         for oid in victims {
             let next = &mut self.next_spill_key;
-            let e = self.table.get_mut(&oid).unwrap();
+            let e = self
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             let obj = match std::mem::replace(&mut e.state, TState::OnDisk) {
                 TState::InCore(o) => o,
                 other => {
@@ -1091,13 +1093,18 @@ impl Worker {
             self.stats.spill_batches += 1;
         }
         self.outstanding_io += 1;
-        self.io_tx.send(IoReq::StoreBatch { items }).unwrap();
+        self.io_tx
+            .send(IoReq::StoreBatch { items })
+            .expect("I/O pool outlives the worker");
     }
 
     /// Note that `oid` (on disk) has pending work; the load is issued by
     /// [`Worker::pump_loads`] under the prefetch window.
     fn queue_load(&mut self, oid: ObjectId) {
-        let e = self.table.get_mut(&oid).unwrap();
+        let e = self
+            .table
+            .get_mut(&oid)
+            .expect("tracked object has a table entry");
         if e.load_queued || !matches!(e.state, TState::OnDisk) {
             return;
         }
@@ -1140,14 +1147,20 @@ impl Worker {
         while i < self.pending_loads.len() {
             let oid = self.pending_loads[i];
             let (wants, store_inflight, urgent, footprint, packed_len) = {
-                let e = self.table.get(&oid).unwrap();
+                let e = self
+                    .table
+                    .get(&oid)
+                    .expect("tracked object has a table entry");
                 let urgent = e.pending_migration.is_some() || e.locked;
                 let wants = matches!(e.state, TState::OnDisk) && (urgent || !e.queue.is_empty());
                 (wants, e.store_inflight, urgent, e.footprint, e.packed_len)
             };
             if !wants {
                 self.pending_loads.remove(i);
-                self.table.get_mut(&oid).unwrap().load_queued = false;
+                self.table
+                    .get_mut(&oid)
+                    .expect("tracked object has a table entry")
+                    .load_queued = false;
                 self.stats.prefetch_cancels += 1;
                 continue;
             }
@@ -1191,7 +1204,10 @@ impl Worker {
                 break;
             }
             self.pending_loads.remove(i);
-            self.table.get_mut(&oid).unwrap().load_queued = false;
+            self.table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry")
+                .load_queued = false;
             self.issue_load(oid, look_ahead && !urgent);
             // Issuing may have evicted; recompute pacing headroom lazily.
             idle_evictable = None;
@@ -1200,7 +1216,10 @@ impl Worker {
 
     fn issue_load(&mut self, oid: ObjectId, look_ahead: bool) {
         let (key, footprint, packed_len) = {
-            let e = self.table.get_mut(&oid).unwrap();
+            let e = self
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             debug_assert!(matches!(e.state, TState::OnDisk));
             e.state = TState::Loading;
             (
@@ -1229,7 +1248,9 @@ impl Worker {
         self.stats.loads += 1;
         self.stats.bytes_from_disk += packed_len as u64;
         self.outstanding_io += 1;
-        self.io_tx.send(IoReq::Load { key, oid }).unwrap();
+        self.io_tx
+            .send(IoReq::Load { key, oid })
+            .expect("I/O pool outlives the worker");
     }
 
     fn on_io(&mut self, done: IoDone) {
@@ -1250,7 +1271,10 @@ impl Worker {
                 self.stats.io_retries += retries as usize;
                 self.stats.faults_injected += faults;
                 self.stats.buffer_pool_hits += usize::from(pool_hit);
-                let e = self.table.get_mut(&oid).unwrap();
+                let e = self
+                    .table
+                    .get_mut(&oid)
+                    .expect("tracked object has a table entry");
                 e.store_inflight = false;
                 e.packed_len = packed_len;
             }
@@ -1269,7 +1293,10 @@ impl Worker {
                 self.stats.buffer_pool_hits += pool_hits;
                 for (oid, packed_len) in items {
                     self.stats.bytes_to_disk += packed_len as u64;
-                    let e = self.table.get_mut(&oid).unwrap();
+                    let e = self
+                        .table
+                        .get_mut(&oid)
+                        .expect("tracked object has a table entry");
                     e.store_inflight = false;
                     e.packed_len = packed_len;
                 }
@@ -1296,7 +1323,10 @@ impl Worker {
                     let tick = self.ooc.tick();
                     self.ooc.note_in(footprint);
                     let pending = {
-                        let e = self.table.get_mut(&oid).unwrap();
+                        let e = self
+                            .table
+                            .get_mut(&oid)
+                            .expect("tracked object has a table entry");
                         e.store_inflight = false;
                         e.stored_version = None;
                         e.state = TState::InCore(obj);
@@ -1358,7 +1388,10 @@ impl Worker {
                 let tick = self.ooc.tick();
                 self.ooc.note_in(footprint);
                 let pending = {
-                    let e = self.table.get_mut(&oid).unwrap();
+                    let e = self
+                        .table
+                        .get_mut(&oid)
+                        .expect("tracked object has a table entry");
                     e.store_inflight = false;
                     e.stored_version = None;
                     e.state = TState::InCore(obj);
@@ -1469,7 +1502,10 @@ impl Worker {
                 let tick = self.ooc.tick();
                 self.ooc.note_in(footprint);
                 let pending = {
-                    let e = self.table.get_mut(&oid).unwrap();
+                    let e = self
+                        .table
+                        .get_mut(&oid)
+                        .expect("tracked object has a table entry");
                     e.state = TState::InCore(obj);
                     e.footprint = footprint;
                     e.meta.touch(tick);
@@ -1517,12 +1553,15 @@ impl Worker {
             }
         };
         let (mut obj, msg, old_footprint) = {
-            let e = self.table.get_mut(&oid).unwrap();
+            let e = self
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             let obj = match std::mem::replace(&mut e.state, TState::Loading) {
                 TState::InCore(o) => o,
                 _ => unreachable!(),
             };
-            let msg = e.queue.pop_front().unwrap();
+            let msg = e.queue.pop_front().expect("queue checked non-empty");
             (obj, msg, e.footprint)
         };
         self.race_access(oid);
@@ -1557,7 +1596,10 @@ impl Worker {
         let new_footprint = obj.footprint();
         let tick = self.ooc.tick();
         {
-            let e = self.table.get_mut(&oid).unwrap();
+            let e = self
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             e.state = TState::InCore(obj);
             e.meta.touch(tick);
             e.footprint = new_footprint;
@@ -1697,7 +1739,10 @@ impl Worker {
             self.am(owner, AM_META, payload);
             return;
         }
-        let e = self.table.get_mut(&oid).unwrap();
+        let e = self
+            .table
+            .get_mut(&oid)
+            .expect("tracked object has a table entry");
         match op {
             META_LOCK => e.locked = true,
             META_UNLOCK => e.locked = false,
@@ -1750,11 +1795,17 @@ impl Worker {
         match self.table[&oid].state {
             TState::InCore(_) => self.do_migrate(oid, dest),
             TState::OnDisk => {
-                self.table.get_mut(&oid).unwrap().pending_migration = Some(dest);
+                self.table
+                    .get_mut(&oid)
+                    .expect("tracked object has a table entry")
+                    .pending_migration = Some(dest);
                 self.queue_load(oid);
             }
             TState::Loading => {
-                self.table.get_mut(&oid).unwrap().pending_migration = Some(dest);
+                self.table
+                    .get_mut(&oid)
+                    .expect("tracked object has a table entry")
+                    .pending_migration = Some(dest);
             }
             TState::Moved(_) => unreachable!(),
         }
@@ -1762,7 +1813,10 @@ impl Worker {
 
     fn do_migrate(&mut self, oid: ObjectId, dest: NodeId) {
         let (obj, queue, priority, locked, footprint, version) = {
-            let e = self.table.get_mut(&oid).unwrap();
+            let e = self
+                .table
+                .get_mut(&oid)
+                .expect("tracked object has a table entry");
             e.pending_migration = None;
             let obj = match std::mem::replace(&mut e.state, TState::Moved(dest)) {
                 TState::InCore(o) => o,
@@ -1836,17 +1890,20 @@ impl Worker {
 
     fn on_install(&mut self, payload: &[u8]) {
         let mut r = crate::codec::PayloadReader::new(payload);
-        let oid = ObjectId(r.u64().unwrap());
-        let priority = r.u8().unwrap();
-        let locked = r.u8().unwrap() != 0;
-        let version = r.u64().unwrap();
+        let oid = ObjectId(r.u64().expect("install payload well-formed"));
+        let priority = r.u8().expect("install payload well-formed");
+        let locked = r.u8().expect("install payload well-formed") != 0;
+        let version = r.u64().expect("install payload well-formed");
         // Unpack straight from the payload's borrowed bytes — no
         // intermediate copy of the packed object.
-        let packed = r.bytes().unwrap();
-        let n_msgs = r.u32().unwrap();
+        let packed = r.bytes().expect("install payload well-formed");
+        let n_msgs = r.u32().expect("install payload well-formed");
         let mut queue = VecDeque::with_capacity(n_msgs as usize);
         for _ in 0..n_msgs {
-            queue.push_back(Message::decode(r.bytes().unwrap()).unwrap());
+            queue.push_back(
+                Message::decode(r.bytes().expect("install payload well-formed"))
+                    .expect("embedded message decodes"),
+            );
         }
         let t0 = Instant::now();
         let obj = self.registry.unpack(packed);
@@ -1909,7 +1966,10 @@ impl Worker {
             if self.entry_present(oid) {
                 match self.table[&oid].state {
                     TState::InCore(_) => {
-                        self.table.get_mut(&oid).unwrap().locked = true;
+                        self.table
+                            .get_mut(&oid)
+                            .expect("tracked object has a table entry")
+                            .locked = true;
                         audit_emit!(
                             self.audit,
                             RuntimeEvent::Pin {
@@ -1920,7 +1980,10 @@ impl Worker {
                     }
                     _ => {
                         waiting.push(oid);
-                        self.table.get_mut(&oid).unwrap().locked = true;
+                        self.table
+                            .get_mut(&oid)
+                            .expect("tracked object has a table entry")
+                            .locked = true;
                         audit_emit!(
                             self.audit,
                             RuntimeEvent::Pin {
@@ -2010,9 +2073,7 @@ impl Worker {
             // retransmit still owed. (The counter sum already protects the
             // released/unacked window; these checks close the rest.)
             && self.net.as_ref().is_none_or(|n| {
-                n.unacked.is_empty()
-                    && n.deferred.is_empty()
-                    && n.held.values().all(|h| h.is_empty())
+                n.tx.outstanding() == 0 && n.deferred.is_empty() && n.rx.held_frames() == 0
             })
     }
 
@@ -2038,17 +2099,13 @@ impl Worker {
         }
         if self.node == 0 {
             if !self.safra.initiated {
-                self.safra.initiated = true;
-                self.safra.color_black = false;
+                self.safra.start_probe();
                 self.send_token(1, false, 0);
                 return;
             }
             if self.safra.has_token {
                 self.safra.has_token = false;
-                let clean = !self.safra.token_black
-                    && !self.safra.color_black
-                    && self.safra.token_q + self.safra.counter == 0;
-                if clean {
+                if self.safra.probe_clean() {
                     for n in 1..self.n_nodes as NodeId {
                         self.am(n, AM_EXIT, vec![]);
                     }
@@ -2057,14 +2114,11 @@ impl Worker {
                     return;
                 }
                 // Unclean probe: whiten and try again.
-                self.safra.color_black = false;
+                self.safra.start_probe();
                 self.send_token(1, false, 0);
             }
         } else if self.safra.has_token {
-            self.safra.has_token = false;
-            let black = self.safra.token_black || self.safra.color_black;
-            let q = self.safra.token_q + self.safra.counter;
-            self.safra.color_black = false;
+            let (black, q) = self.safra.forward_token();
             let next = ((self.node as usize + 1) % self.n_nodes) as NodeId;
             self.send_token(next, black, q);
         }
@@ -2149,7 +2203,10 @@ impl Worker {
         let mut out: HashMap<ObjectId, ExtractedObject> = HashMap::new();
         let keys: Vec<ObjectId> = self.table.keys().copied().collect();
         for oid in keys {
-            let e = self.table.remove(&oid).unwrap();
+            let e = self
+                .table
+                .remove(&oid)
+                .expect("tracked object has a table entry");
             let (priority, locked) = (e.priority, e.locked);
             match e.state {
                 TState::InCore(obj) => {
@@ -2268,14 +2325,14 @@ struct WorkerResult {
 /// workers. `max = 0` disables pooling (the legacy-spill escape hatch):
 /// every `get` misses and every `put` drops the buffer.
 struct BufferPool {
-    bufs: std::sync::Mutex<Vec<Vec<u8>>>,
+    bufs: crate::sync::Mutex<Vec<Vec<u8>>>,
     max: usize,
 }
 
 impl BufferPool {
     fn new(max: usize) -> Self {
         BufferPool {
-            bufs: std::sync::Mutex::new(Vec::new()),
+            bufs: crate::sync::Mutex::new(Vec::new()),
             max,
         }
     }
@@ -2283,7 +2340,7 @@ impl BufferPool {
     /// A buffer to pack into, plus whether it came from the pool (its
     /// capacity is reused — no fresh allocation on the hot path).
     fn get(&self) -> (Vec<u8>, bool) {
-        match self.bufs.lock().unwrap().pop() {
+        match self.bufs.lock().pop() {
             Some(b) => (b, true),
             None => (Vec::new(), false),
         }
@@ -2291,7 +2348,7 @@ impl BufferPool {
 
     fn put(&self, mut buf: Vec<u8>) {
         buf.clear();
-        let mut g = self.bufs.lock().unwrap();
+        let mut g = self.bufs.lock();
         if g.len() < self.max {
             g.push(buf);
         }
@@ -2319,7 +2376,7 @@ fn spawn_io_pool(
 ) {
     let (req_tx, req_rx) = channel::unbounded::<IoReq>();
     let (done_tx, done_rx) = channel::unbounded::<IoDone>();
-    let store = std::sync::Arc::new(std::sync::Mutex::new(store));
+    let store = crate::sync::Arc::new(crate::sync::Mutex::new(store));
     let pool = std::sync::Arc::new(BufferPool::new(pool_max));
     let mut handles = Vec::with_capacity(n_threads);
     for t in 0..n_threads {
@@ -2352,7 +2409,7 @@ fn spawn_io_pool(
                             let outcome = loop {
                                 attempt += 1;
                                 let (res, fr, cr) = {
-                                    let mut s = store.lock().unwrap();
+                                    let mut s = store.lock();
                                     let res = s.store(key, &bytes);
                                     // Drained unconditionally so the backend's
                                     // report buffers never accumulate.
@@ -2429,7 +2486,7 @@ fn spawn_io_pool(
                                 let pairs: Vec<(u64, &[u8])> =
                                     packed.iter().map(|(k, b, _)| (*k, b.as_slice())).collect();
                                 let (res, fr, cr) = {
-                                    let mut s = store.lock().unwrap();
+                                    let mut s = store.lock();
                                     let res = s.store_batch(&pairs);
                                     (res, s.take_fault_reports(), s.take_compaction_reports())
                                 };
@@ -2486,7 +2543,7 @@ fn spawn_io_pool(
                             let outcome = loop {
                                 attempt += 1;
                                 let (res, fr) = {
-                                    let mut s = store.lock().unwrap();
+                                    let mut s = store.lock();
                                     (s.load(key), s.take_fault_reports())
                                 };
                                 faults += fr.len();
@@ -2535,7 +2592,7 @@ fn spawn_io_pool(
                         }
                         IoReq::Probe => {
                             let (ok, fr) = {
-                                let mut s = store.lock().unwrap();
+                                let mut s = store.lock();
                                 (s.probe().is_ok(), s.take_fault_reports())
                             };
                             emit_faults(node, &fr, &audit);
@@ -2847,21 +2904,13 @@ impl ThreadedRuntime {
                 next_obj_seq: 0,
                 next_spill_key: 0,
                 multicasts: Vec::new(),
-                safra: Safra {
-                    color_black: false,
-                    counter: 0,
-                    has_token: false,
-                    token_black: false,
-                    token_q: 0,
-                    initiated: false,
-                },
+                safra: Safra::new(),
                 done: false,
                 net: self.cfg.net_fault.map(|plan| NetLayer {
                     plan,
-                    send_seq: HashMap::new(),
-                    unacked: HashMap::new(),
-                    expected: HashMap::new(),
-                    held: HashMap::new(),
+                    tx: ReliableSender::new(),
+                    rx: ReliableReceiver::new(),
+                    timers: HashMap::new(),
                     deferred: Vec::new(),
                     handlers_run: 0,
                     kill_at: plan.kills(i as NodeId),

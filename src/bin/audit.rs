@@ -27,6 +27,11 @@
 //! fault-free mesh with zero invariant violations — the
 //! reliable-delivery layer absorbs every fault. Report in
 //! `target/chaos-net-report.txt`.
+//!
+//! `--analyze` runs only the `mrts-analyzer` static-analysis pass
+//! (protocol exhaustiveness, lock-order graph, runtime unwrap ban)
+//! against the workspace source; the default gate also runs it between
+//! the test suite and the invariant sweep.
 
 use std::process::{Command, ExitCode};
 
@@ -51,6 +56,38 @@ fn cargo(args: &[&str]) -> bool {
         }
         Err(e) => {
             eprintln!("audit: could not spawn cargo: {e}");
+            false
+        }
+    }
+}
+
+/// Run the source-level static analysis (protocol exhaustiveness,
+/// lock-order graph, runtime unwrap ban) over the workspace tree.
+fn static_analysis() -> bool {
+    println!("==> mrts-analyzer (protocol / lock-order / unwrap-ban)");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    match mrts_analyzer::analyze_tree(root) {
+        Ok(report) => {
+            println!(
+                "    {} tags, {} counters, {} locks, {} fns scanned",
+                report.tags_checked, report.counters_checked, report.locks_seen, report.fns_scanned
+            );
+            for v in &report.violations {
+                eprintln!("    {v}");
+            }
+            if report.pass() {
+                println!("    analysis clean");
+                true
+            } else {
+                eprintln!(
+                    "audit: static analysis found {} violation(s)",
+                    report.violations.len()
+                );
+                false
+            }
+        }
+        Err(e) => {
+            eprintln!("audit: static analysis could not run: {e}");
             false
         }
     }
@@ -713,19 +750,27 @@ fn main() -> ExitCode {
     let chaos = args.iter().any(|a| a == "--chaos");
     let chaos_net = args.iter().any(|a| a == "--chaos-net");
     let quick = args.iter().any(|a| a == "--quick");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| a.as_str() != "--chaos" && a.as_str() != "--chaos-net" && a.as_str() != "--quick")
-    {
-        eprintln!("audit: unknown flag {bad} (expected --chaos, --chaos-net and/or --quick)");
+    let analyze = args.iter().any(|a| a == "--analyze");
+    if let Some(bad) = args.iter().find(|a| {
+        a.as_str() != "--chaos"
+            && a.as_str() != "--chaos-net"
+            && a.as_str() != "--quick"
+            && a.as_str() != "--analyze"
+    }) {
+        eprintln!(
+            "audit: unknown flag {bad} (expected --chaos, --chaos-net, --analyze and/or --quick)"
+        );
         return ExitCode::FAILURE;
     }
-    let ok = if chaos_net {
+    let ok = if analyze {
+        static_analysis()
+    } else if chaos_net {
         chaos_net_sweep::run(quick)
     } else if chaos {
         chaos_sweep::run(quick)
     } else {
         lint_and_test()
+            && static_analysis()
             && invariant_sweep::run()
             && chaos_sweep::run(true)
             && chaos_net_sweep::run(true)

@@ -1,0 +1,455 @@
+//! Locality benchmark: curve-ordered spill layout (cluster eviction,
+//! cluster prefetch, rank-ordered compaction) against the placement-blind
+//! baseline, on the threaded engine with real spill files.
+//!
+//! The workload is designed to expose the difference between an
+//! *access-order* layout and a *mesh-order* layout. A serial sweep walks
+//! a patch grid touching each patch and its four buffer-zone neighbors;
+//! successive sweeps alternate direction (row-major, then column-major).
+//! The baseline spill path appends in eviction order, i.e. in the order
+//! of the previous sweep — a layout that is perfect for repeating that
+//! sweep and pessimal for the perpendicular one. The locality layer
+//! instead converges on a direction-neutral layout: compact
+//! adjacency-grown blobs packed contiguously (cluster eviction + curve
+//! compaction) and pulled back as groups (cluster prefetch). Bender et
+//! al. (arXiv:0705.1033) call this the cache-oblivious mesh-layout
+//! property: one layout serves block transfers from any traversal.
+//!
+//! Both configurations differ only in [`MrtsConfig::with_no_locality`].
+//! Three locality metrics are compared:
+//!
+//! * **prefetch hit rate** — fraction of loads that completed while a
+//!   core was still busy (the load was masked by computation);
+//! * **read amplification** — bytes loaded from disk ÷ bytes something
+//!   actually waited for (cluster-prefetch waste shows up here);
+//! * **loads-per-segment** — segment-store reads per segment switch;
+//!   higher means consecutive loads land in the same segment file, i.e.
+//!   the curve layout actually packed cluster mates together.
+//!
+//! Results are printed and written to `BENCH_locality.json` for the CI
+//! artifact. Pass `--quick` (or set `PUMG_QUICK=1`) for the CI-sized
+//! run. Quick mode asserts the locality path is alive (cluster
+//! prefetches issued, rank-ordered compaction exercised); the full run
+//! additionally gates on loads-per-segment strictly improving and the
+//! prefetch hit rate holding the 72% floor.
+
+use mrts::codec::{PayloadReader, PayloadWriter};
+use mrts::config::MrtsConfig;
+use mrts::ids::ObjectId;
+use mrts::prelude::*;
+
+const PATCH_TAG: TypeTag = TypeTag(31);
+const H_SWEEP: HandlerId = HandlerId(31);
+const H_TOUCH: HandlerId = HandlerId(32);
+
+/// CPU work per handler: FNV passes over the pad. Enough that loads can
+/// hide behind computation (the hit-rate metric needs compute to mask
+/// I/O), small enough that the run stays I/O-shaped.
+const BURN_PASSES: usize = 4;
+
+/// A mesh-patch stand-in: knows its grid neighbors plus its successor in
+/// each sweep direction, and carries padding so the grid genuinely
+/// spills under an out-of-core budget.
+struct Patch {
+    value: u64,
+    neighbors: Vec<MobilePtr>,
+    next_row: Vec<MobilePtr>,
+    next_col: Vec<MobilePtr>,
+    first: Vec<MobilePtr>,
+    pad: Vec<u8>,
+}
+
+impl Patch {
+    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        let mut r = PayloadReader::new(buf);
+        let value = r.u64().expect("value");
+        let neighbors = r.ptrs().expect("neighbors");
+        let next_row = r.ptrs().expect("next_row");
+        let next_col = r.ptrs().expect("next_col");
+        let first = r.ptrs().expect("first");
+        let pad = r.bytes().expect("pad").to_vec();
+        Box::new(Patch {
+            value,
+            neighbors,
+            next_row,
+            next_col,
+            first,
+            pad,
+        })
+    }
+}
+
+impl MobileObject for Patch {
+    fn type_tag(&self) -> TypeTag {
+        PATCH_TAG
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        w.u64(self.value)
+            .ptrs(&self.neighbors)
+            .ptrs(&self.next_row)
+            .ptrs(&self.next_col)
+            .ptrs(&self.first)
+            .bytes(&self.pad);
+        buf.extend_from_slice(&w.finish());
+    }
+
+    fn footprint(&self) -> usize {
+        8 + 8 * (self.neighbors.len() + 3) + self.pad.len() + 48
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn burn(pad: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for _ in 0..BURN_PASSES {
+        for &b in pad {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// One sweep step: do local work, hand the baton to the successor in the
+/// current direction (or start the next round, flipped, from the first
+/// patch), then touch every buffer-zone neighbor. The baton is sent
+/// before the touches so the successor's load is in flight while the
+/// touch handlers run.
+fn h_sweep(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let dir = r.u64().expect("dir");
+    let remaining = r.u64().expect("remaining");
+    let p = obj
+        .as_any_mut()
+        .downcast_mut::<Patch>()
+        .expect("Patch object");
+    p.value = p.value.wrapping_add(burn(&p.pad) | 1);
+    let next = if dir == 0 { &p.next_row } else { &p.next_col };
+    if let Some(&succ) = next.first() {
+        let mut w = PayloadWriter::new();
+        w.u64(dir).u64(remaining);
+        ctx.send(succ, H_SWEEP, w.finish());
+    } else if remaining > 0 {
+        let mut w = PayloadWriter::new();
+        w.u64(1 - dir).u64(remaining - 1);
+        ctx.send(p.first[0], H_SWEEP, w.finish());
+    }
+    for &n in &p.neighbors {
+        ctx.send(n, H_TOUCH, Vec::new());
+    }
+}
+
+fn h_touch(obj: &mut dyn MobileObject, _ctx: &mut Ctx, _payload: &[u8]) {
+    let p = obj
+        .as_any_mut()
+        .downcast_mut::<Patch>()
+        .expect("Patch object");
+    p.value = p.value.wrapping_add(burn(&p.pad) | 1);
+}
+
+/// Pointer for grid index `i` on a single node (the bench runs one node:
+/// round-robin placement would split every other grid edge across the
+/// fabric and the layout question is per-node).
+fn grid_ptrs(side: usize) -> Vec<MobilePtr> {
+    (0..side * side)
+        .map(|i| MobilePtr::new(ObjectId::new(0, i as u64)))
+        .collect()
+}
+
+fn patch(i: usize, side: usize, ptrs: &[MobilePtr], pad: usize) -> Box<Patch> {
+    let (x, y) = (i % side, i / side);
+    let mut neighbors = Vec::new();
+    if x > 0 {
+        neighbors.push(ptrs[i - 1]);
+    }
+    if x + 1 < side {
+        neighbors.push(ptrs[i + 1]);
+    }
+    if y > 0 {
+        neighbors.push(ptrs[i - side]);
+    }
+    if y + 1 < side {
+        neighbors.push(ptrs[i + side]);
+    }
+    // Row-major successor: same row, next column; wraps to the next row.
+    let next_row = if i + 1 < side * side {
+        vec![ptrs[i + 1]]
+    } else {
+        Vec::new()
+    };
+    // Column-major successor: same column, next row; wraps to the next
+    // column.
+    let next_col = if y + 1 < side {
+        vec![ptrs[i + side]]
+    } else if x + 1 < side {
+        vec![ptrs[x + 1]]
+    } else {
+        Vec::new()
+    };
+    Box::new(Patch {
+        value: 0,
+        neighbors,
+        next_row,
+        next_col,
+        first: vec![ptrs[0]],
+        pad: vec![0xA5; pad],
+    })
+}
+
+/// Locality metrics summed over every repeat: per-rep layout counters are
+/// subject to thread-timing noise, and the gates below compare ratios
+/// that a single lucky/unlucky rep could flip.
+#[derive(Default)]
+struct Agg {
+    handlers: usize,
+    loads: usize,
+    segment_reads: usize,
+    segment_switches: usize,
+    bytes_from_disk: u64,
+    bytes_demanded: u64,
+    prefetch_hits: usize,
+    prefetch_misses: usize,
+    cluster_prefetches: usize,
+    compaction_reorders: usize,
+}
+
+impl Agg {
+    fn add(&mut self, s: &RunStats) {
+        self.handlers += s.total_of(|n| n.handlers_run);
+        self.loads += s.total_of(|n| n.loads);
+        self.segment_reads += s.total_of(|n| n.segment_reads);
+        self.segment_switches += s.total_of(|n| n.segment_switches);
+        self.bytes_from_disk += s.bytes_from_disk();
+        self.bytes_demanded += s.bytes_demanded();
+        self.prefetch_hits += s.total_of(|n| n.prefetch_hits);
+        self.prefetch_misses += s.total_of(|n| n.prefetch_misses);
+        self.cluster_prefetches += s.total_of(|n| n.cluster_prefetches);
+        self.compaction_reorders += s.total_of(|n| n.compaction_reorders);
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let n = self.prefetch_hits + self.prefetch_misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / n as f64
+        }
+    }
+
+    fn read_amp_x1000(&self) -> u64 {
+        if self.bytes_demanded == 0 {
+            0
+        } else {
+            (1000.0 * self.bytes_from_disk as f64 / self.bytes_demanded as f64).round() as u64
+        }
+    }
+
+    fn loads_per_segment(&self) -> f64 {
+        if self.segment_reads == 0 {
+            0.0
+        } else {
+            self.segment_reads as f64 / self.segment_switches.max(1) as f64
+        }
+    }
+}
+
+struct Timed {
+    secs: f64,
+    agg: Agg,
+}
+
+/// Best-of-`repeats` wall time (threaded runs are subject to OS noise);
+/// locality counters aggregated over all repeats.
+fn run(
+    side: usize,
+    rounds: u64,
+    pad: usize,
+    cfg: &MrtsConfig,
+    label: &str,
+    repeats: usize,
+) -> Timed {
+    let mut best = f64::INFINITY;
+    let mut agg = Agg::default();
+    for rep in 0..repeats {
+        let mut cfg = cfg.clone();
+        cfg.spill_dir = Some(std::env::temp_dir().join(format!(
+            "mrts-locality-{}-{label}-{rep}",
+            std::process::id()
+        )));
+        let spill = cfg.spill_dir.clone().expect("just set");
+        let mut rt = ThreadedRuntime::new(cfg);
+        rt.register_type(PATCH_TAG, Patch::decode);
+        rt.register_handler(H_SWEEP, "sweep", h_sweep);
+        rt.register_handler(H_TOUCH, "touch", h_touch);
+        let ptrs = grid_ptrs(side);
+        for i in 0..side * side {
+            let created = rt.create_object(0, patch(i, side, &ptrs, pad), 128);
+            assert_eq!(created, ptrs[i]);
+        }
+        let mut w = PayloadWriter::new();
+        w.u64(0).u64(rounds - 1);
+        rt.post(ptrs[0], H_SWEEP, w.finish());
+        let stats = rt.run();
+        let _ = std::fs::remove_dir_all(spill);
+        best = best.min(stats.total.as_secs_f64());
+        agg.add(&stats);
+    }
+    Timed { secs: best, agg }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("PUMG_QUICK").is_ok_and(|v| v != "0");
+    let (side, rounds, pad, budget, repeats) = if quick {
+        (12usize, 4u64, 2048usize, 80_000usize, 3usize)
+    } else {
+        (24, 6, 2048, 300_000, 5)
+    };
+
+    // Small segments and an eager garbage threshold, identically in both
+    // configurations: the default 1 MiB segment swallows this workload's
+    // whole spill volume, which would leave loads-per-segment degenerate
+    // (one segment, zero switches) and compaction untriggered. One I/O
+    // thread so the segment read stream reflects issue order rather than
+    // pool interleaving.
+    let (segment_bytes, garbage_frac) = (32 * 1024, 0.3);
+    let mut baseline = MrtsConfig::out_of_core(1, budget).with_no_locality();
+    baseline.segment_bytes = segment_bytes;
+    baseline.segment_garbage_frac = garbage_frac;
+    baseline.io_threads = 1;
+    let mut locality = MrtsConfig::out_of_core(1, budget);
+    locality.segment_bytes = segment_bytes;
+    locality.segment_garbage_frac = garbage_frac;
+    locality.io_threads = 1;
+
+    let r_base = run(side, rounds, pad, &baseline, "baseline", repeats);
+    let r_loc = run(side, rounds, pad, &locality, "locality", repeats);
+
+    // The message set is a pure function of the grid and round count, so
+    // both configurations must execute exactly the same handlers.
+    assert_eq!(
+        r_base.agg.handlers, r_loc.agg.handlers,
+        "configs diverged: different handler counts"
+    );
+
+    let sb = &r_base.agg;
+    let sl = &r_loc.agg;
+    let speedup = r_base.secs / r_loc.secs;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"locality_bench\",\n",
+            "  \"quick\": {},\n",
+            "  \"patches\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"nodes\": 1,\n",
+            "  \"mem_budget\": {},\n",
+            "  \"baseline_secs\": {:.6},\n",
+            "  \"locality_secs\": {:.6},\n",
+            "  \"locality_speedup\": {:.4},\n",
+            "  \"baseline_prefetch_hit_rate\": {:.4},\n",
+            "  \"locality_prefetch_hit_rate\": {:.4},\n",
+            "  \"baseline_read_amplification_x1000\": {},\n",
+            "  \"locality_read_amplification_x1000\": {},\n",
+            "  \"baseline_loads_per_segment\": {:.4},\n",
+            "  \"locality_loads_per_segment\": {:.4},\n",
+            "  \"baseline_segment_reads\": {},\n",
+            "  \"locality_segment_reads\": {},\n",
+            "  \"baseline_segment_switches\": {},\n",
+            "  \"locality_segment_switches\": {},\n",
+            "  \"cluster_prefetches\": {},\n",
+            "  \"compaction_reorders\": {},\n",
+            "  \"bytes_demanded\": {},\n",
+            "  \"baseline_loads\": {},\n",
+            "  \"locality_loads\": {},\n",
+            "  \"baseline_bytes_from_disk\": {},\n",
+            "  \"locality_bytes_from_disk\": {}\n",
+            "}}\n"
+        ),
+        quick,
+        side * side,
+        rounds,
+        budget,
+        r_base.secs,
+        r_loc.secs,
+        speedup,
+        sb.hit_rate(),
+        sl.hit_rate(),
+        sb.read_amp_x1000(),
+        sl.read_amp_x1000(),
+        sb.loads_per_segment(),
+        sl.loads_per_segment(),
+        sb.segment_reads,
+        sl.segment_reads,
+        sb.segment_switches,
+        sl.segment_switches,
+        sl.cluster_prefetches,
+        sl.compaction_reorders,
+        sl.bytes_demanded,
+        sb.loads,
+        sl.loads,
+        sb.bytes_from_disk,
+        sl.bytes_from_disk,
+    );
+    std::fs::write("BENCH_locality.json", &json).expect("write BENCH_locality.json");
+    print!("{json}");
+    eprintln!(
+        "baseline {:.3}s | locality {:.3}s ({speedup:.2}x) | \
+         hit rate {:.0}% -> {:.0}% | loads/segment {:.2} -> {:.2} | \
+         read amp x1000 {} -> {} | {} cluster prefetches, {} reordered compactions",
+        r_base.secs,
+        r_loc.secs,
+        100.0 * sb.hit_rate(),
+        100.0 * sl.hit_rate(),
+        sb.loads_per_segment(),
+        sl.loads_per_segment(),
+        sb.read_amp_x1000(),
+        sl.read_amp_x1000(),
+        sl.cluster_prefetches,
+        sl.compaction_reorders,
+    );
+    // Non-vacuity: the locality path must actually run — clusters formed,
+    // prefetches issued, and at least one compaction rewrote in rank
+    // order. Guards against the feature silently going dead.
+    assert!(
+        sl.loads > 0,
+        "budget {budget} no longer forces any loads — bench is vacuous"
+    );
+    assert!(
+        sl.cluster_prefetches > 0,
+        "locality run issued no cluster prefetches — clustering or the prefetch \
+         hook is dead (budget {budget} may no longer be out-of-core)"
+    );
+    assert!(
+        sl.compaction_reorders > 0,
+        "no compaction rewrote in curve order — rank shipping or the compaction \
+         trigger is dead"
+    );
+    // The baseline escape hatch must genuinely disable the layer.
+    assert_eq!(
+        sb.cluster_prefetches, 0,
+        "with_no_locality() baseline still issued cluster prefetches"
+    );
+    if !quick {
+        // Full-size gates: the curve layout must pay for itself.
+        assert!(
+            sl.loads_per_segment() > sb.loads_per_segment(),
+            "loads-per-segment did not improve: {:.3} (locality) vs {:.3} (baseline)",
+            sl.loads_per_segment(),
+            sb.loads_per_segment()
+        );
+        assert!(
+            sl.hit_rate() >= 0.72,
+            "locality prefetch hit rate {:.3} fell below the 0.72 floor",
+            sl.hit_rate()
+        );
+    }
+}

@@ -119,6 +119,13 @@ fn main() {
             "  \"bytes_write_avoided\": {},\n",
             "  \"spill_batches\": {},\n",
             "  \"buffer_pool_hits\": {},\n",
+            "  \"cluster_prefetches\": {},\n",
+            "  \"bytes_demanded\": {},\n",
+            "  \"read_amplification_x1000\": {},\n",
+            "  \"segment_reads\": {},\n",
+            "  \"segment_switches\": {},\n",
+            "  \"loads_per_segment\": {:.4},\n",
+            "  \"compaction_reorders\": {},\n",
             "  \"messages_dropped\": {},\n",
             "  \"retransmits\": {},\n",
             "  \"dup_suppressed\": {},\n",
@@ -159,6 +166,13 @@ fn main() {
         s.bytes_write_avoided(),
         s.total_of(|n| n.spill_batches),
         s.total_of(|n| n.buffer_pool_hits),
+        s.total_of(|n| n.cluster_prefetches),
+        s.bytes_demanded(),
+        s.read_amplification_x1000(),
+        s.total_of(|n| n.segment_reads),
+        s.total_of(|n| n.segment_switches),
+        s.loads_per_segment(),
+        s.total_of(|n| n.compaction_reorders),
         s.total_of(|n| n.messages_dropped),
         s.total_of(|n| n.retransmits),
         s.total_of(|n| n.dup_suppressed),

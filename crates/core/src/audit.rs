@@ -202,6 +202,22 @@ pub enum RuntimeEvent {
         live_bytes_after: u64,
         reclaimed_bytes: u64,
     },
+    /// A demand load on a cluster member triggered look-ahead loads for
+    /// the rest of locality cluster `cluster`; `oid` is one of the
+    /// prefetched companions (each companion gets its own event when its
+    /// load issues, inside the regular `Prefetch` window accounting).
+    ClusterPrefetch {
+        node: NodeId,
+        oid: ObjectId,
+        cluster: u64,
+    },
+    /// A compaction rewrote live records in locality-curve order:
+    /// `curve_ordered` of `live_objects` records carried a curve rank.
+    CompactionReorder {
+        node: NodeId,
+        curve_ordered: usize,
+        live_objects: usize,
+    },
     /// `node` decided (or was told) the computation terminated.
     Terminate { node: NodeId },
     /// `node` shut down reporting `used` in-core bytes still accounted.
@@ -971,17 +987,21 @@ impl EventSink for InvariantChecker {
                     ));
                 }
             }
-            // Fault/Retry and the network-fault events are observability
-            // events: they mark where a layer failed and where the engine
-            // recovered, but do not change the object-state model (the
-            // duplicate-delivery invariant is enforced at `Deliver`, where
-            // a duplicate that escaped dedup would surface).
+            // Fault/Retry, the network-fault events, and the locality
+            // events are observability events: they mark where a layer
+            // failed/recovered or why the spill path made a choice, but do
+            // not change the object-state model (the duplicate-delivery
+            // invariant is enforced at `Deliver`; the prefetch window is
+            // enforced at `Prefetch`, which cluster-prefetched loads also
+            // emit; compaction liveness is enforced at `Compaction`).
             RuntimeEvent::Fault { .. }
             | RuntimeEvent::Retry { .. }
             | RuntimeEvent::NetFault { .. }
             | RuntimeEvent::Retransmit { .. }
             | RuntimeEvent::DupSuppressed { .. }
-            | RuntimeEvent::HintInvalidated { .. } => {}
+            | RuntimeEvent::HintInvalidated { .. }
+            | RuntimeEvent::ClusterPrefetch { .. }
+            | RuntimeEvent::CompactionReorder { .. } => {}
             RuntimeEvent::Degraded { node, on } => {
                 if *on {
                     if !st.degraded.insert(*node) {

@@ -125,6 +125,26 @@ pub struct MrtsConfig {
     /// transmission; the DES models the same faults on its virtual
     /// channels.
     pub net_fault: Option<NetFaultPlan>,
+    /// Locality-aware spill layout (see `mrts::locality`): learn the
+    /// buffer-zone adjacency graph from object-to-object sends, order
+    /// objects along a deterministic BFS curve over it, and use that
+    /// ordering for cluster-biased eviction, cluster prefetch, and
+    /// curve-ordered segment compaction. `false` restores the
+    /// placement-blind behaviour (the measured baseline of
+    /// `locality_bench`).
+    pub locality: bool,
+    /// Locality cluster size in objects: the curve is cut into clusters of
+    /// this many consecutive objects; eviction prefers taking a whole
+    /// cluster, and a demand load prefetches the rest of the faulted
+    /// object's cluster.
+    pub locality_cluster_objects: usize,
+    /// How many of the faulted object's cluster mates a demand load
+    /// prefetches — the nearest on the curve, not the whole cluster.
+    /// Under a tight budget, whole-cluster prefetch loads mates so far
+    /// ahead of the access front that they are evicted again before use;
+    /// curve distance bounds that waste. `0` keeps cluster eviction and
+    /// curve compaction but disables the prefetch hook.
+    pub locality_prefetch_mates: usize,
 }
 
 impl Default for MrtsConfig {
@@ -151,6 +171,9 @@ impl Default for MrtsConfig {
             fault: None,
             retry: RetryPolicy::default(),
             net_fault: None,
+            locality: true,
+            locality_cluster_objects: 8,
+            locality_prefetch_mates: 2,
         }
     }
 }
@@ -241,6 +264,26 @@ impl MrtsConfig {
         self
     }
 
+    /// Disable the locality-aware spill layout (adjacency-learned curve
+    /// ordering, cluster eviction, cluster prefetch, curve-ordered
+    /// compaction). The measured baseline of `locality_bench`.
+    pub fn with_no_locality(mut self) -> Self {
+        self.locality = false;
+        self
+    }
+
+    /// Override the locality cluster size (objects per curve cluster).
+    pub fn with_locality_cluster(mut self, objects: usize) -> Self {
+        self.locality_cluster_objects = objects;
+        self
+    }
+
+    /// Override how many nearest cluster mates a demand load prefetches.
+    pub fn with_locality_prefetch_mates(mut self, mates: usize) -> Self {
+        self.locality_prefetch_mates = mates;
+        self
+    }
+
     /// Is the out-of-core layer active?
     pub fn ooc_enabled(&self) -> bool {
         self.mem_budget != usize::MAX
@@ -274,6 +317,9 @@ impl MrtsConfig {
         }
         if self.retry.max_attempts == 0 {
             return Err("retry.max_attempts must be > 0".into());
+        }
+        if self.locality_cluster_objects == 0 {
+            return Err("locality_cluster_objects must be > 0".into());
         }
         if self.retry.base_delay > self.retry.max_delay {
             return Err("retry.base_delay must not exceed retry.max_delay".into());
@@ -408,6 +454,24 @@ mod tests {
         assert!(l.legacy_spill);
         assert_eq!(l.spill_backend, SpillBackend::SegmentLog);
         assert_eq!(l.io_threads, 2);
+    }
+
+    #[test]
+    fn locality_default_and_escape_hatch() {
+        let c = MrtsConfig::default();
+        assert!(c.locality);
+        assert_eq!(c.locality_cluster_objects, 8);
+        let off = MrtsConfig::out_of_core(2, 1 << 16).with_no_locality();
+        off.validate().unwrap();
+        assert!(!off.locality);
+        let sized = MrtsConfig::default().with_locality_cluster(16);
+        assert_eq!(sized.locality_cluster_objects, 16);
+        assert!(MrtsConfig {
+            locality_cluster_objects: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::ctx::{Ctx, Effect};
 use crate::directory::Directory;
 use crate::fault::{is_out_of_space, FaultPlan, FaultyStore, MrtsError};
 use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
+use crate::locality::LocalityMap;
 use crate::msg::{Message, MulticastInfo};
 use crate::object::{MobileObject, Registry};
 use crate::ooc::{EvictCandidate, OocManager};
@@ -74,6 +75,9 @@ struct Entry {
     pending_migration: Option<NodeId>,
     /// The object sits in the node's `pending_loads` queue awaiting issue.
     load_queued: bool,
+    /// Queued by cluster prefetch rather than by demand: keeps the entry
+    /// "wanted" in `pump_loads` even though its message queue is empty.
+    prefetch_hint: bool,
     /// Mutation counter: bumped after every handler run and on migration
     /// install, never on read-only loads.
     version: u64,
@@ -123,6 +127,13 @@ struct NodeState {
     /// Reusable pack buffer for spills (the virtual-time analogue of the
     /// threaded engine's I/O-pool buffer pool).
     pack_buf: Vec<u8>,
+    /// Buffer-zone adjacency learned from sends; drives cluster eviction
+    /// and prefetch. Pure function of the edge set, so both engines agree.
+    locality: LocalityMap,
+    /// Curve key of the most recent demand anchor; successive anchors
+    /// estimate which way the access front is moving along the curve, so
+    /// cluster prefetch pulls mates ahead of the front, not behind it.
+    last_anchor_key: u64,
 }
 
 #[derive(Debug)]
@@ -246,6 +257,8 @@ impl DesRuntime {
                 inflight_loads: 0,
                 inflight_load_bytes: 0,
                 pack_buf: Vec::new(),
+                locality: LocalityMap::new(cfg.locality_cluster_objects),
+                last_anchor_key: 0,
             })
             .collect();
         DesRuntime {
@@ -342,6 +355,7 @@ impl DesRuntime {
                 disk_ready_at: Duration::ZERO,
                 pending_migration: None,
                 load_queued: false,
+                prefetch_hint: false,
                 version: 0,
                 stored_version: None,
             },
@@ -598,6 +612,13 @@ impl DesRuntime {
                 }
             );
         }
+        // The curve digest is a pure function of the learned edge set:
+        // both engines must agree on it for the same application.
+        if self.cfg.locality {
+            for n in &mut self.nodes {
+                n.stats.locality_digest = n.locality.digest();
+            }
+        }
         Ok(self.collect_stats())
     }
 
@@ -797,6 +818,53 @@ impl DesRuntime {
         self.nodes[node as usize].pending_loads.push_back(oid);
     }
 
+    /// A demanded load of `anchor` completed as a miss (no virtual core
+    /// was busy — the node stalled): queue the anchor's nearest on-disk
+    /// cluster mates behind it, only on the side of the curve the demand
+    /// front is moving toward (mates behind the front were just used and
+    /// would be evicted before their next use). Triggering on demand
+    /// misses rather than on every load keeps the speculation bounded:
+    /// queue-visible work is already covered by the look-ahead window,
+    /// and a miss is precisely the signal that the front moved somewhere
+    /// the window could not see. Mates enter `pending_loads` with a
+    /// prefetch hint, so the pump treats them as wanted look-ahead work —
+    /// still bounded by the prefetch window and pacing, and shed first
+    /// under disk pressure. Disabled when locality is off and under the
+    /// legacy (unpaced or zero-width) window shapes, which predate
+    /// prefetch pacing entirely.
+    fn cluster_prefetch(&mut self, node: NodeId, anchor: ObjectId) {
+        if !self.cfg.locality
+            || self.cfg.locality_prefetch_mates == 0
+            || self.cfg.prefetch_window_objects == 0
+            || self.cfg.prefetch_window_objects == usize::MAX
+        {
+            return;
+        }
+        self.nodes[node as usize].locality.maybe_rebuild();
+        let Some(key) = self.nodes[node as usize].locality.key_of(anchor) else {
+            return;
+        };
+        let forward = key >= self.nodes[node as usize].last_anchor_key;
+        self.nodes[node as usize].last_anchor_key = key;
+        let companions = self.nodes[node as usize].locality.companions_toward(
+            anchor,
+            self.cfg.locality_prefetch_mates,
+            forward,
+        );
+        for mate in companions {
+            let n = &mut self.nodes[node as usize];
+            let Some(e) = n.table.get_mut(&mate) else {
+                continue;
+            };
+            if e.load_queued || !matches!(e.state, EntryState::OnDisk) {
+                continue;
+            }
+            e.load_queued = true;
+            e.prefetch_hint = true;
+            n.pending_loads.push_back(mate);
+        }
+    }
+
     /// Bytes reclaimable by evicting only objects with no pending work —
     /// the only victims a look-ahead load is allowed to displace.
     fn idle_evictable_bytes(&self, node: NodeId, at: Duration) -> usize {
@@ -835,28 +903,32 @@ impl DesRuntime {
         let mut i = 0;
         while i < self.nodes[node as usize].pending_loads.len() {
             let oid = self.nodes[node as usize].pending_loads[i];
-            let (wants, urgent, footprint, packed_len) = {
+            let (wants, urgent, hinted, footprint, packed_len) = {
                 let e = self.nodes[node as usize]
                     .table
                     .get(&oid)
                     .expect("tracked object has a table entry");
                 let urgent = e.pending_migration.is_some() || e.locked;
-                let wants =
-                    matches!(e.state, EntryState::OnDisk) && (urgent || !e.queue.is_empty());
-                (wants, urgent, e.footprint, e.packed_len)
+                let wants = matches!(e.state, EntryState::OnDisk)
+                    && (urgent || !e.queue.is_empty() || e.prefetch_hint);
+                (wants, urgent, e.prefetch_hint, e.footprint, e.packed_len)
             };
             if !wants {
                 self.nodes[node as usize].pending_loads.remove(i);
                 let n = &mut self.nodes[node as usize];
-                n.table
+                let e = n
+                    .table
                     .get_mut(&oid)
-                    .expect("tracked object has a table entry")
-                    .load_queued = false;
+                    .expect("tracked object has a table entry");
+                e.load_queued = false;
+                e.prefetch_hint = false;
                 n.stats.prefetch_cancels += 1;
                 continue;
             }
             let n = &self.nodes[node as usize];
-            let look_ahead = n.core_free.iter().any(|&c| c > at);
+            // A cluster-prefetch hint is look-ahead by definition: nothing
+            // demands the object yet, so it must obey window and pacing.
+            let look_ahead = n.core_free.iter().any(|&c| c > at) || hinted;
             if look_ahead && !urgent {
                 if n.ooc.is_degraded() {
                     // Disk pressure: shed prefetch entirely; only demand
@@ -917,14 +989,15 @@ impl DesRuntime {
     /// Begin loading an on-disk object on the earliest-free virtual disk
     /// channel.
     fn issue_load(&mut self, node: NodeId, oid: ObjectId, at: Duration, look_ahead: bool) {
-        let (packed_len, footprint) = {
+        let (packed_len, footprint, hinted) = {
             let e = self.nodes[node as usize]
                 .table
                 .get_mut(&oid)
                 .expect("tracked object has a table entry");
             debug_assert!(matches!(e.state, EntryState::OnDisk));
             e.state = EntryState::Loading;
-            (e.packed_len, e.footprint)
+            let hinted = std::mem::replace(&mut e.prefetch_hint, false);
+            (e.packed_len, e.footprint, hinted)
         };
         {
             let n = &mut self.nodes[node as usize];
@@ -932,6 +1005,22 @@ impl DesRuntime {
             n.inflight_load_bytes += packed_len;
             if look_ahead {
                 n.stats.prefetch_issued += 1;
+            }
+            if hinted {
+                n.stats.cluster_prefetches += 1;
+            }
+        }
+        if hinted {
+            #[cfg(any(feature = "audit", debug_assertions))]
+            {
+                let cluster = self.nodes[node as usize]
+                    .locality
+                    .cluster_of(oid)
+                    .unwrap_or(0);
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::ClusterPrefetch { node, oid, cluster }
+                );
             }
         }
         if look_ahead {
@@ -984,6 +1073,7 @@ impl DesRuntime {
                 e.packed_len,
             )
         };
+        let mut cluster_prefetch_after = false;
         {
             let now = self.now;
             let n = &mut self.nodes[node as usize];
@@ -991,10 +1081,26 @@ impl DesRuntime {
             n.inflight_load_bytes = n.inflight_load_bytes.saturating_sub(packed_len);
             // Overlap classification: a load completing while a virtual
             // core is still busy was masked by computation.
-            if n.core_free.iter().any(|&c| c > now) {
+            let hit = n.core_free.iter().any(|&c| c > now);
+            if hit {
                 n.stats.prefetch_hits += 1;
             } else {
                 n.stats.prefetch_misses += 1;
+            }
+            // Demand accounting for read amplification: bytes were wanted
+            // if anything is actually waiting on this object. A cluster
+            // prefetch that nothing touched stays out of the numerator.
+            let e = n.table.get(&oid).expect("tracked object has a table entry");
+            let demanded = !e.queue.is_empty() || e.pending_migration.is_some() || e.locked;
+            if demanded {
+                n.stats.bytes_demanded += packed_len as u64;
+            }
+            // A demanded load that stalled the node is the access front
+            // arriving somewhere look-ahead did not predict — pull the
+            // anchor's cluster mates behind it before the front stalls
+            // on them too.
+            if !hit && demanded {
+                cluster_prefetch_after = true;
             }
         }
         // Read the spilled bytes back, retrying transient faults with
@@ -1071,6 +1177,9 @@ impl DesRuntime {
             }
         );
         self.audit_budget(node, false);
+        if cluster_prefetch_after {
+            self.cluster_prefetch(node, oid);
+        }
         // A pending migration takes precedence over queued work.
         let pending_mig = self.nodes[node as usize].table[&oid].pending_migration;
         if let Some(dest) = pending_mig {
@@ -1192,6 +1301,15 @@ impl DesRuntime {
             );
         }
 
+        // Sends between mobile objects trace the buffer-zone adjacency the
+        // locality curve is built from; learn them before they dispatch.
+        if self.cfg.locality {
+            for eff in &effects {
+                if let Effect::Send { to, .. } = eff {
+                    self.nodes[node as usize].locality.note_edge(oid, to.id);
+                }
+            }
+        }
         self.apply_effects(node, end, effects);
 
         // Hard budget enforcement (handlers grow objects in place), then
@@ -1280,6 +1398,7 @@ impl DesRuntime {
                             disk_ready_at: Duration::ZERO,
                             pending_migration: None,
                             load_queued: false,
+                            prefetch_hint: false,
                             version: 0,
                             stored_version: None,
                         },
@@ -1437,7 +1556,12 @@ impl DesRuntime {
         except: Option<ObjectId>,
     ) {
         let legacy = self.cfg.legacy_spill;
-        let mut candidates: Vec<EvictCandidate> = self.nodes[node as usize]
+        let locality = self.cfg.locality;
+        if locality {
+            self.nodes[node as usize].locality.maybe_rebuild();
+        }
+        let n = &self.nodes[node as usize];
+        let mut candidates: Vec<EvictCandidate> = n
             .table
             .iter()
             .filter(|(&oid, e)| {
@@ -1455,6 +1579,12 @@ impl DesRuntime {
                 priority: e.priority,
                 queued_msgs: e.queue.len(),
                 clean: !legacy && e.is_clean(),
+                cluster: if locality {
+                    n.locality.cluster_of(oid)
+                } else {
+                    None
+                },
+                lkey: n.locality.key_of(oid).unwrap_or(crate::locality::UNRANKED),
             })
             .collect();
         let victims = self.nodes[node as usize]
@@ -1867,6 +1997,7 @@ impl DesRuntime {
                     disk_ready_at: Duration::ZERO,
                     pending_migration: None,
                     load_queued: false,
+                    prefetch_hint: false,
                     // Install counts as a mutation (the checker model bumps
                     // on MigrateIn); any spill key left behind on the old
                     // node is invalid here anyway.
@@ -2102,6 +2233,7 @@ impl DesRuntime {
                 disk_ready_at: Duration::ZERO,
                 pending_migration: None,
                 load_queued: false,
+                prefetch_hint: false,
                 version: 0,
                 stored_version: None,
             },

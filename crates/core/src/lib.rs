@@ -34,6 +34,7 @@ pub mod des;
 pub mod directory;
 pub mod fault;
 pub mod ids;
+pub mod locality;
 pub mod msg;
 pub mod netfault;
 pub mod object;

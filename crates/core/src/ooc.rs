@@ -36,6 +36,14 @@ pub struct EvictCandidate {
     /// Preferred at equal swap-scheme rank — a clean eviction is nearly
     /// free.
     pub clean: bool,
+    /// Locality cluster of this object (see `mrts::locality`), if the
+    /// locality layer placed it on the curve. When any candidate carries a
+    /// cluster, victim selection pulls idle clustermates along with each
+    /// victim so the cluster spills as one contiguous run.
+    pub cluster: Option<u64>,
+    /// Position on the locality curve; clustermates are pulled in this
+    /// order so the batched store writes them curve-sequentially.
+    pub lkey: u64,
 }
 
 /// Memory accounting + swapping policy for one node.
@@ -219,6 +227,11 @@ impl OocManager {
                 .then_with(|| b.clean.cmp(&a.clean))
                 .then_with(|| a.oid.cmp(&b.oid))
         };
+        // Locality clusters present? Bias eviction toward whole clusters
+        // so members land contiguously in the same segment.
+        if candidates.iter().any(|c| c.cluster.is_some()) {
+            return self.pick_victims_clustered(candidates, need, cmp);
+        }
         // Evictions usually shed a handful of objects out of a large
         // resident set, so a full sort is wasted work: partition the k
         // best victims to the front (O(n) typical), sort only that small
@@ -246,6 +259,82 @@ impl OocManager {
             k = (k * 2).min(n);
         }
     }
+
+    /// Cluster-aware victim selection: walk candidates in normal eviction
+    /// order, but after taking a victim, pull its *idle* clustermates
+    /// (no queued messages) next, in curve-key order — the subsequent
+    /// batched store then writes the cluster as one contiguous run, which
+    /// is exactly the layout cluster prefetch reads back sequentially.
+    fn pick_victims_clustered(
+        &self,
+        candidates: &mut [EvictCandidate],
+        need: usize,
+        cmp: impl Fn(&EvictCandidate, &EvictCandidate) -> std::cmp::Ordering,
+    ) -> Vec<ObjectId> {
+        candidates.sort_unstable_by(&cmp);
+        // Eligibility horizon: how far down the eviction order the straight
+        // policy would have reached, doubled. A cluster pull may only
+        // *reorder* evictions inside that horizon so mates batch together
+        // on disk — pulling a mate the policy considers hot would evict an
+        // object about to be touched, trading one contiguous write for an
+        // extra load (measured: it loses more than the layout wins).
+        let mut horizon = 0usize;
+        {
+            let mut freed = 0usize;
+            for c in candidates.iter() {
+                if freed >= need {
+                    break;
+                }
+                freed += c.footprint;
+                horizon += 1;
+            }
+        }
+        let horizon = (horizon * 2).min(candidates.len());
+        // Cluster → candidate indices within the horizon (in eviction
+        // order; re-sorted by curve key below when a cluster is pulled).
+        let mut by_cluster: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, c) in candidates.iter().enumerate().take(horizon) {
+            if let Some(cl) = c.cluster {
+                by_cluster.entry(cl).or_default().push(i);
+            }
+        }
+        let mut taken = vec![false; candidates.len()];
+        let mut out = Vec::new();
+        let mut freed = 0usize;
+        for i in 0..candidates.len() {
+            if freed >= need {
+                break;
+            }
+            if taken[i] {
+                continue;
+            }
+            taken[i] = true;
+            out.push(candidates[i].oid);
+            freed += candidates[i].footprint;
+            let Some(cl) = candidates[i].cluster else {
+                continue;
+            };
+            let Some(mates) = by_cluster.get(&cl) else {
+                continue;
+            };
+            let mut mates: Vec<usize> = mates
+                .iter()
+                .copied()
+                .filter(|&j| !taken[j] && candidates[j].queued_msgs == 0)
+                .collect();
+            mates.sort_unstable_by_key(|&j| (candidates[j].lkey, candidates[j].oid));
+            for j in mates {
+                if freed >= need {
+                    break;
+                }
+                taken[j] = true;
+                out.push(candidates[j].oid);
+                freed += candidates[j].footprint;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +360,8 @@ mod tests {
             priority: prio,
             queued_msgs: queued,
             clean: false,
+            cluster: None,
+            lkey: 0,
         }
     }
 
@@ -451,6 +542,83 @@ mod tests {
         assert!(!m.exit_degraded());
         assert!(m.soft_pressure());
         assert!(m.needed_for_admission(300) > 0);
+    }
+
+    #[test]
+    fn cluster_victims_pull_idle_clustermates() {
+        let mut m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+        for _ in 0..100 {
+            m.tick();
+        }
+        // Base eviction order by age: 1 (oldest), then 4, then 2, 3.
+        // 1's clustermates 2 and 3 (cluster 7) must be pulled right after
+        // it — in curve-key order 3 (lkey 5) before 2 (lkey 6) — jumping
+        // ahead of the otherwise-better victim 4.
+        let with = |seq: u64, last: u64, cl: Option<u64>, lk: u64| {
+            let mut c = cand(seq, 100, last, 5, 128, 0);
+            c.cluster = cl;
+            c.lkey = lk;
+            c
+        };
+        let mut cands = vec![
+            with(1, 10, Some(7), 4),
+            with(2, 80, Some(7), 6),
+            with(3, 70, Some(7), 5),
+            with(4, 20, Some(9), 1),
+        ];
+        let victims = m.pick_victims(&mut cands, 300);
+        assert_eq!(
+            victims,
+            vec![
+                ObjectId::new(0, 1),
+                ObjectId::new(0, 3),
+                ObjectId::new(0, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn cluster_pull_skips_busy_clustermates() {
+        let mut m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+        for _ in 0..100 {
+            m.tick();
+        }
+        // Clustermate 2 has queued messages: the pull must skip it and
+        // fall through to the next victim in normal order.
+        let mut cands = vec![
+            {
+                let mut c = cand(1, 100, 10, 5, 128, 0);
+                c.cluster = Some(3);
+                c.lkey = 0;
+                c
+            },
+            {
+                let mut c = cand(2, 100, 80, 5, 128, 2);
+                c.cluster = Some(3);
+                c.lkey = 1;
+                c
+            },
+            cand(4, 100, 20, 5, 128, 0),
+        ];
+        let victims = m.pick_victims(&mut cands, 200);
+        assert_eq!(victims, vec![ObjectId::new(0, 1), ObjectId::new(0, 4)]);
+    }
+
+    #[test]
+    fn clusterless_candidates_use_partial_selection_path() {
+        // No candidate carries a cluster: selection must behave exactly
+        // like the pre-locality path (pick_victims_partial_selection_
+        // matches_full_sort pins the deeper property; this pins the gate).
+        let mut m = OocManager::new(1000, 2.0, 0.5, PolicyKind::Lru);
+        for _ in 0..100 {
+            m.tick();
+        }
+        let mut cands = vec![cand(1, 100, 50, 5, 128, 0), cand(2, 100, 10, 5, 128, 0)];
+        assert_eq!(
+            m.pick_victims(&mut cands, 100),
+            vec![ObjectId::new(0, 2)],
+            "oldest idle candidate first, as before"
+        );
     }
 
     #[test]

@@ -93,6 +93,26 @@ pub struct NodeStats {
     pub hints_invalidated: usize,
     /// Positive acknowledgements sent for received data messages.
     pub acks_sent: usize,
+    /// Cluster-prefetch loads issued: look-ahead loads enqueued because a
+    /// demand load faulted on another member of the same locality cluster.
+    pub cluster_prefetches: usize,
+    /// Packed bytes of loads that completed with work actually waiting for
+    /// the object (queued messages, a pending migration, or a lock) — the
+    /// demand denominator of read amplification.
+    pub bytes_demanded: u64,
+    /// Loads served by the segment log (threaded engine, SegmentLog
+    /// backend only).
+    pub segment_reads: usize,
+    /// Loads that switched segments relative to this node's previous load;
+    /// a sequential (curve-ordered) layout keeps this low relative to
+    /// `segment_reads`.
+    pub segment_switches: usize,
+    /// Compactions that rewrote live records in locality-curve order.
+    pub compaction_reorders: usize,
+    /// FNV-1a digest of this node's final locality ordering (0 when the
+    /// locality layer is off or learned no adjacency). Equal digests mean
+    /// equal orderings — the cross-engine determinism property pins this.
+    pub locality_digest: u64,
 }
 
 /// Aggregated result of one run.
@@ -217,6 +237,44 @@ impl RunStats {
         }
     }
 
+    /// Total packed bytes of loads that completed with work waiting.
+    pub fn bytes_demanded(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_demanded).sum()
+    }
+
+    /// Read amplification: bytes loaded from disk ÷ bytes demanded
+    /// (packed bytes of loads that had work waiting at completion).
+    /// 1.0 means every byte read was demanded; cluster prefetch trades a
+    /// little amplification for sequential segment access. 0.0 when the
+    /// run demanded nothing.
+    pub fn read_amplification(&self) -> f64 {
+        let demanded = self.bytes_demanded();
+        if demanded == 0 {
+            0.0
+        } else {
+            self.bytes_from_disk() as f64 / demanded as f64
+        }
+    }
+
+    /// Fixed-point read amplification (×1000), for JSON reports.
+    pub fn read_amplification_x1000(&self) -> u64 {
+        (self.read_amplification() * 1000.0).round() as u64
+    }
+
+    /// Loads served per segment visit: `segment_reads` over segment
+    /// switches. Sequential curve-ordered layouts drive this up; a
+    /// placement-blind layout pays a switch on almost every load,
+    /// pinning it near 1.0.
+    pub fn loads_per_segment(&self) -> f64 {
+        let reads = self.total_of(|n| n.segment_reads);
+        let switches = self.total_of(|n| n.segment_switches);
+        if reads == 0 {
+            0.0
+        } else {
+            reads as f64 / switches.max(1) as f64
+        }
+    }
+
     /// One-line human-readable summary. Fault-tolerance counters are
     /// appended only when the run actually saw faults/retries.
     pub fn summary(&self) -> String {
@@ -272,6 +330,20 @@ impl RunStats {
                 " elided={elided} write_avoided={}B batches={batches} pool_hits={}",
                 self.bytes_write_avoided(),
                 self.total_of(|n| n.buffer_pool_hits),
+            ));
+        }
+        let cluster = self.total_of(|n| n.cluster_prefetches);
+        let seg_reads = self.total_of(|n| n.segment_reads);
+        let reorders = self.total_of(|n| n.compaction_reorders);
+        if cluster + seg_reads + reorders > 0 {
+            s.push_str(&format!(
+                " cluster_prefetches={cluster} bytes_demanded={} read_amp_x1000={} \
+                 segment_reads={seg_reads} segment_switches={} loads_per_segment={:.2} \
+                 compaction_reorders={reorders}",
+                self.bytes_demanded(),
+                self.read_amplification_x1000(),
+                self.total_of(|n| n.segment_switches),
+                self.loads_per_segment(),
             ));
         }
         let dropped = self.total_of(|n| n.messages_dropped);
@@ -427,6 +499,42 @@ mod tests {
         assert!(text.contains("dup_suppressed=2"));
         assert!(text.contains("hints_invalidated=1"));
         assert!(text.contains("acks=40"));
+    }
+
+    #[test]
+    fn summary_surfaces_locality_counters() {
+        let mut s = stats_with(100, &[(50, 10, 20)]);
+        let text = s.summary();
+        assert!(
+            !text.contains("cluster_prefetches="),
+            "quiet runs stay quiet"
+        );
+        s.nodes[0].cluster_prefetches = 5;
+        s.nodes[0].bytes_from_disk = 3000;
+        s.nodes[0].bytes_demanded = 2000;
+        s.nodes[0].segment_reads = 40;
+        s.nodes[0].segment_switches = 8;
+        s.nodes[0].compaction_reorders = 2;
+        let text = s.summary();
+        assert!(text.contains("cluster_prefetches=5"));
+        assert!(text.contains("bytes_demanded=2000"));
+        assert!(text.contains("read_amp_x1000=1500"));
+        assert!(text.contains("segment_reads=40"));
+        assert!(text.contains("segment_switches=8"));
+        assert!(text.contains("loads_per_segment=5.00"));
+        assert!(text.contains("compaction_reorders=2"));
+        assert!((s.read_amplification() - 1.5).abs() < 1e-12);
+        assert!((s.loads_per_segment() - 5.0).abs() < 1e-12);
+        assert_eq!(s.read_amplification_x1000(), 1500);
+    }
+
+    #[test]
+    fn locality_derived_metrics_zero_safe() {
+        let s = empty_stats(2);
+        assert_eq!(s.read_amplification(), 0.0);
+        assert_eq!(s.read_amplification_x1000(), 0);
+        assert_eq!(s.loads_per_segment(), 0.0);
+        assert_eq!(s.bytes_demanded(), 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::ctx::{Ctx, Effect};
 use crate::directory::Directory;
 use crate::fault::{is_out_of_space, FaultPlan, FaultyStore, MrtsError, RetryPolicy};
 use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId};
+use crate::locality::LocalityMap;
 use crate::msg::{Message, MulticastInfo};
 use crate::netfault::{NetFaultKind, NetFaultPlan};
 use crate::object::{MobileObject, Registry};
@@ -89,6 +90,11 @@ struct TEntry {
     pending_migration: Option<NodeId>,
     /// The object sits in `pending_loads` awaiting issue.
     load_queued: bool,
+    /// Queued by cluster prefetch (a demand load faulted on a clustermate)
+    /// rather than by pending work of its own; keeps the entry alive in
+    /// `pending_loads` despite an empty queue, and is counted/cleared when
+    /// the load issues.
+    prefetch_hint: bool,
     /// The object's latest spill is still in the I/O pool: a load for its
     /// key must wait until the store lands (the pool is not FIFO).
     store_inflight: bool,
@@ -129,6 +135,10 @@ enum IoReq {
         key: u64,
         oid: ObjectId,
     },
+    /// Install the locality-curve rank per spill key in the store (see
+    /// [`StorageBackend::set_key_ranks`]). Fire-and-forget: no `IoDone`
+    /// reply, so it never counts against `outstanding_io`.
+    SetRanks(Vec<(u64, u64)>),
     /// Health check of the spill store (degraded-mode recovery).
     Probe,
     Shutdown,
@@ -144,6 +154,9 @@ enum IoDone {
         faults: usize,
         /// The pack buffer came from the I/O pool's buffer pool.
         pool_hit: bool,
+        /// Compactions triggered by this store that rewrote live records
+        /// in locality-curve order.
+        reorders: usize,
     },
     /// A whole [`IoReq::StoreBatch`] landed; `items` are per-object
     /// `(oid, packed_len)` in batch order.
@@ -154,6 +167,9 @@ enum IoDone {
         retries: u32,
         faults: usize,
         pool_hits: usize,
+        /// Compactions triggered by this batch that rewrote live records
+        /// in locality-curve order.
+        reorders: usize,
     },
     /// A batch store failed as a whole (a prefix may have landed, but no
     /// record is trusted); every object is reconstituted for the control
@@ -173,6 +189,11 @@ enum IoDone {
         unpack_dur: Duration,
         retries: u32,
         faults: usize,
+        /// Sequential-read tracker drained from the store with this load:
+        /// `(loads served, segment switches)` — see
+        /// [`StorageBackend::take_read_stats`].
+        seg_reads: u64,
+        seg_switches: u64,
     },
     /// The store rejected the object after exhausting the retry policy
     /// (or reported `ENOSPC`). `obj` is reconstituted from the packed
@@ -263,6 +284,21 @@ struct Worker {
     /// Loads currently in the I/O pool, for the prefetch window.
     inflight_load_objs: usize,
     inflight_load_bytes: usize,
+    /// Adjacency-learned locality ordering (see `mrts::locality`); fed
+    /// from handler sends, consumed by eviction, cluster prefetch, and
+    /// rank shipping to the spill store. Unused when `cfg.locality` is
+    /// off.
+    locality: LocalityMap,
+    /// Ordering generation last shipped to the store via
+    /// [`IoReq::SetRanks`], plus the `next_spill_key` watermark at that
+    /// shipment (spill keys are assigned monotonically, so the watermark
+    /// bounds how many keys are new since).
+    ranks_gen: u64,
+    ranks_keys: usize,
+    /// Curve key of the most recent demand anchor; successive anchors
+    /// estimate which way the access front is moving along the curve, so
+    /// cluster prefetch pulls mates ahead of the front, not behind it.
+    last_anchor_key: u64,
     backend: Box<dyn TaskBackend>,
     stats: NodeStats,
     next_obj_seq: u64,
@@ -891,6 +927,11 @@ impl Worker {
 
     fn evict_bytes(&mut self, need: usize, allow_queued: bool) {
         let legacy = self.cfg.legacy_spill;
+        let locality = self.cfg.locality;
+        if locality {
+            self.locality.maybe_rebuild();
+            self.push_ranks_if_stale();
+        }
         let mut candidates: Vec<EvictCandidate> = self
             .table
             .iter()
@@ -909,6 +950,15 @@ impl Worker {
                 // Legacy spill ignores dirty tracking; forcing `false`
                 // keeps the victim ordering byte-for-byte the old one.
                 clean: !legacy && e.is_clean(),
+                cluster: if locality {
+                    self.locality.cluster_of(oid)
+                } else {
+                    None
+                },
+                lkey: self
+                    .locality
+                    .key_of(oid)
+                    .unwrap_or(crate::locality::UNRANKED),
             })
             .collect();
         let victims = self.ooc.pick_victims(&mut candidates, need);
@@ -1112,6 +1162,81 @@ impl Worker {
         self.pending_loads.push_back(oid);
     }
 
+    /// Cluster prefetch: a demanded load of `anchor` just completed as a
+    /// miss (the node stalled on it), so enqueue the anchor's nearest
+    /// on-disk clustermates as hinted look-ahead loads — only on the side
+    /// of the curve the demand front is moving toward (mates behind the
+    /// front were just used; prefetching them is guaranteed waste under a
+    /// tight budget). Triggering on demand misses rather than on every
+    /// load keeps the speculation bounded: queue-visible work is already
+    /// covered by the ordinary look-ahead window, and a miss is precisely
+    /// the signal that the front moved somewhere that window could not
+    /// see. The mates flow through [`Worker::pump_loads`] window/pacing
+    /// (the hint only keeps them wanted despite their empty queues), so
+    /// the prefetch budget and degraded-mode shedding apply unchanged.
+    fn cluster_prefetch(&mut self, anchor: ObjectId) {
+        // Pointless without look-ahead (window 0) and off-contract in the
+        // legacy unpaced shape (usize::MAX), which predates prefetching.
+        if !self.cfg.locality
+            || self.cfg.locality_prefetch_mates == 0
+            || self.cfg.prefetch_window_objects == 0
+            || self.cfg.prefetch_window_objects == usize::MAX
+        {
+            return;
+        }
+        self.locality.maybe_rebuild();
+        let Some(key) = self.locality.key_of(anchor) else {
+            return;
+        };
+        let forward = key >= self.last_anchor_key;
+        self.last_anchor_key = key;
+        for oid in
+            self.locality
+                .companions_toward(anchor, self.cfg.locality_prefetch_mates, forward)
+        {
+            let Some(e) = self.table.get_mut(&oid) else {
+                continue;
+            };
+            if e.load_queued || !matches!(e.state, TState::OnDisk) {
+                continue;
+            }
+            e.load_queued = true;
+            e.prefetch_hint = true;
+            self.pending_loads.push_back(oid);
+        }
+    }
+
+    /// Ship the locality-curve ranks of all spilled objects to the store
+    /// when the ordering changed or enough new spill keys appeared since
+    /// the last shipment — compaction then rewrites live records in curve
+    /// order.
+    fn push_ranks_if_stale(&mut self) {
+        let gen = self.locality.generation();
+        if gen == 0 {
+            return;
+        }
+        // O(1) staleness gate before the table scan: `next_spill_key`
+        // only grows, so it bounds how many spill keys can be new since
+        // the last shipment.
+        if gen == self.ranks_gen && (self.next_spill_key as usize) < self.ranks_keys + 32 {
+            return;
+        }
+        let ranks = self.locality.ranks_for(
+            self.table
+                .iter()
+                .filter_map(|(&oid, e)| e.spill_key.map(|k| (oid, k))),
+        );
+        self.ranks_gen = gen;
+        self.ranks_keys = self.next_spill_key as usize;
+        if ranks.is_empty() {
+            return;
+        }
+        // Fire-and-forget: no IoDone reply, no outstanding_io accounting.
+        self.io_tx
+            .send(IoReq::SetRanks(ranks))
+            .expect("I/O pool outlives the worker");
+    }
+
     /// Bytes reclaimable by evicting only objects with no pending work —
     /// the only victims a look-ahead load is allowed to displace.
     fn idle_evictable_bytes(&self) -> usize {
@@ -1133,6 +1258,21 @@ impl Worker {
     /// (nothing resident to run) or an urgent one (migration or multicast
     /// waiting on the object) always makes progress. Entries whose reason
     /// to load evaporated are cancelled here.
+    /// Drop the pending hint-only load at `idx`: a cluster prefetch that
+    /// cannot issue right now is stale by the time conditions change, and
+    /// keeping it queued wedges termination (`idle()` requires an empty
+    /// `pending_loads`).
+    fn cancel_hint(&mut self, oid: ObjectId, idx: usize) {
+        self.pending_loads.remove(idx);
+        let e = self
+            .table
+            .get_mut(&oid)
+            .expect("tracked object has a table entry");
+        e.load_queued = false;
+        e.prefetch_hint = false;
+        self.stats.prefetch_cancels += 1;
+    }
+
     fn pump_loads(&mut self) {
         if self.pending_loads.is_empty() {
             return;
@@ -1146,21 +1286,32 @@ impl Worker {
         let mut i = 0;
         while i < self.pending_loads.len() {
             let oid = self.pending_loads[i];
-            let (wants, store_inflight, urgent, footprint, packed_len) = {
+            let (wants, store_inflight, urgent, hinted, demanded, footprint, packed_len) = {
                 let e = self
                     .table
                     .get(&oid)
                     .expect("tracked object has a table entry");
                 let urgent = e.pending_migration.is_some() || e.locked;
-                let wants = matches!(e.state, TState::OnDisk) && (urgent || !e.queue.is_empty());
-                (wants, e.store_inflight, urgent, e.footprint, e.packed_len)
+                let wants = matches!(e.state, TState::OnDisk)
+                    && (urgent || !e.queue.is_empty() || e.prefetch_hint);
+                (
+                    wants,
+                    e.store_inflight,
+                    urgent,
+                    e.prefetch_hint,
+                    !e.queue.is_empty(),
+                    e.footprint,
+                    e.packed_len,
+                )
             };
             if !wants {
                 self.pending_loads.remove(i);
-                self.table
+                let e = self
+                    .table
                     .get_mut(&oid)
-                    .expect("tracked object has a table entry")
-                    .load_queued = false;
+                    .expect("tracked object has a table entry");
+                e.load_queued = false;
+                e.prefetch_hint = false;
                 self.stats.prefetch_cancels += 1;
                 continue;
             }
@@ -1170,11 +1321,25 @@ impl Worker {
                 i += 1;
                 continue;
             }
-            let look_ahead = !self.ready.is_empty();
+            // A hinted (cluster-prefetched) load is look-ahead by nature:
+            // nothing queued demands it, so it must respect the window,
+            // the pacing, and degraded-mode shedding even when the node
+            // happens to be idle.
+            let look_ahead = !self.ready.is_empty() || hinted;
+            // A hint with nothing queued behind it is pure opportunism: if
+            // it cannot issue under the current gates it must be dropped,
+            // not parked — nothing else will ever change an idle node's
+            // pacing headroom, and `idle()` refuses to terminate while
+            // `pending_loads` is non-empty.
+            let hint_only = hinted && !urgent && !demanded;
             if look_ahead && !urgent {
                 if self.ooc.is_degraded() {
                     // Disk pressure: shed prefetch entirely; only demand
                     // and urgent loads keep flowing.
+                    if hint_only {
+                        self.cancel_hint(oid, i);
+                        continue;
+                    }
                     i += 1;
                     continue;
                 }
@@ -1193,6 +1358,10 @@ impl Worker {
                             *idle_evictable.get_or_insert_with(|| self.idle_evictable_bytes());
                         if need > avail {
                             // Paced: admission would thrash queued objects.
+                            if hint_only {
+                                self.cancel_hint(oid, i);
+                                continue;
+                            }
                             i += 1;
                             continue;
                         }
@@ -1215,21 +1384,34 @@ impl Worker {
     }
 
     fn issue_load(&mut self, oid: ObjectId, look_ahead: bool) {
-        let (key, footprint, packed_len) = {
+        let (key, footprint, packed_len, hinted) = {
             let e = self
                 .table
                 .get_mut(&oid)
                 .expect("tracked object has a table entry");
             debug_assert!(matches!(e.state, TState::OnDisk));
             e.state = TState::Loading;
+            let hinted = std::mem::replace(&mut e.prefetch_hint, false);
             (
                 e.spill_key.expect("on-disk object has spill key"),
                 e.footprint,
                 e.packed_len,
+                hinted,
             )
         };
         self.inflight_load_objs += 1;
         self.inflight_load_bytes += packed_len;
+        if hinted {
+            self.stats.cluster_prefetches += 1;
+            audit_emit!(
+                self.audit,
+                RuntimeEvent::ClusterPrefetch {
+                    node: self.node,
+                    oid,
+                    cluster: self.locality.cluster_of(oid).unwrap_or(0),
+                }
+            );
+        }
         if look_ahead {
             self.stats.prefetch_issued += 1;
             audit_emit!(
@@ -1264,6 +1446,7 @@ impl Worker {
                 retries,
                 faults,
                 pool_hit,
+                reorders,
             } => {
                 self.stats.disk += io_dur;
                 self.stats.comp += pack_dur;
@@ -1271,6 +1454,7 @@ impl Worker {
                 self.stats.io_retries += retries as usize;
                 self.stats.faults_injected += faults;
                 self.stats.buffer_pool_hits += usize::from(pool_hit);
+                self.stats.compaction_reorders += reorders;
                 let e = self
                     .table
                     .get_mut(&oid)
@@ -1285,12 +1469,14 @@ impl Worker {
                 retries,
                 faults,
                 pool_hits,
+                reorders,
             } => {
                 self.stats.disk += io_dur;
                 self.stats.comp += pack_dur;
                 self.stats.io_retries += retries as usize;
                 self.stats.faults_injected += faults;
                 self.stats.buffer_pool_hits += pool_hits;
+                self.stats.compaction_reorders += reorders;
                 for (oid, packed_len) in items {
                     self.stats.bytes_to_disk += packed_len as u64;
                     let e = self
@@ -1484,19 +1670,36 @@ impl Worker {
                 unpack_dur,
                 retries,
                 faults,
+                seg_reads,
+                seg_switches,
             } => {
                 self.stats.disk += io_dur;
                 self.stats.comp += unpack_dur;
                 self.stats.io_retries += retries as usize;
                 self.stats.faults_injected += faults;
+                self.stats.segment_reads += seg_reads as usize;
+                self.stats.segment_switches += seg_switches as usize;
                 self.inflight_load_objs -= 1;
                 self.inflight_load_bytes = self.inflight_load_bytes.saturating_sub(packed_len);
                 // Overlap classification: a load that completes while
                 // resident work remains was masked by computation.
-                if self.ready.is_empty() {
+                let miss = self.ready.is_empty();
+                if miss {
                     self.stats.prefetch_misses += 1;
                 } else {
                     self.stats.prefetch_hits += 1;
+                }
+                // Read-amplification accounting: the load was *demanded*
+                // if the object has actual work waiting (queued messages,
+                // a pending migration, or a lock); a cluster-prefetched
+                // load that nothing asked for yet counts only in
+                // `bytes_from_disk`, making waste visible.
+                let demanded = {
+                    let e = &self.table[&oid];
+                    !e.queue.is_empty() || e.pending_migration.is_some() || e.locked
+                };
+                if demanded {
+                    self.stats.bytes_demanded += packed_len as u64;
                 }
                 let footprint = obj.footprint();
                 let tick = self.ooc.tick();
@@ -1521,6 +1724,13 @@ impl Worker {
                     }
                 );
                 self.audit_budget(false);
+                // A demanded load that stalled the node is the access
+                // front arriving somewhere look-ahead did not predict —
+                // pull the anchor's cluster mates behind it before the
+                // front stalls on them too.
+                if miss && demanded {
+                    self.cluster_prefetch(oid);
+                }
                 if let Some(dest) = pending {
                     self.do_migrate(oid, dest);
                     return;
@@ -1623,6 +1833,16 @@ impl Worker {
             self.ready.push_back(oid);
         }
 
+        // Locality learning: an object-to-object send is exactly the
+        // buffer-zone adjacency (subdomains talk to their mesh neighbors),
+        // so each send contributes an edge to the curve ordering.
+        if self.cfg.locality {
+            for eff in &effects {
+                if let Effect::Send { to, .. } = eff {
+                    self.locality.note_edge(oid, to.id);
+                }
+            }
+        }
         self.apply_effects(effects);
         self.enforce_budget();
         self.soft_swap();
@@ -1680,6 +1900,7 @@ impl Worker {
                             spill_key: None,
                             pending_migration: None,
                             load_queued: false,
+                            prefetch_hint: false,
                             store_inflight: false,
                             version: 0,
                             stored_version: None,
@@ -1925,6 +2146,7 @@ impl Worker {
                 spill_key: None,
                 pending_migration: None,
                 load_queued: false,
+                prefetch_hint: false,
                 store_inflight: false,
                 // Installing is a mutation (matches the checker's
                 // `MigrateIn` bump); any bytes spilled on the old node
@@ -2257,6 +2479,9 @@ impl Worker {
         // Peak footprint comes from the budget manager's own high-water
         // mark — the single source of truth for in-core accounting.
         self.stats.peak_mem = self.ooc.peak_used;
+        if self.cfg.locality {
+            self.stats.locality_digest = self.locality.digest();
+        }
         WorkerResult {
             node: self.node,
             objects: out,
@@ -2401,6 +2626,7 @@ fn spawn_io_pool(
                             let t1 = Instant::now();
                             let mut retries = 0u32;
                             let mut faults = 0usize;
+                            let mut reorders = 0usize;
                             let mut attempt = 0u32;
                             // Retry with real backoff sleeps (outside the
                             // store lock). A torn write is repaired by the
@@ -2416,6 +2642,7 @@ fn spawn_io_pool(
                                     (res, s.take_fault_reports(), s.take_compaction_reports())
                                 };
                                 faults += fr.len();
+                                reorders += count_reorders(&cr);
                                 emit_faults(node, &fr, &audit);
                                 emit_compactions(node, &cr, &audit);
                                 match res {
@@ -2441,6 +2668,7 @@ fn spawn_io_pool(
                                         retries,
                                         faults,
                                         pool_hit,
+                                        reorders,
                                     };
                                     pool.put(bytes);
                                     done
@@ -2480,6 +2708,7 @@ fn spawn_io_pool(
                             let t1 = Instant::now();
                             let mut retries = 0u32;
                             let mut faults = 0usize;
+                            let mut reorders = 0usize;
                             let mut attempt = 0u32;
                             let outcome = loop {
                                 attempt += 1;
@@ -2491,6 +2720,7 @@ fn spawn_io_pool(
                                     (res, s.take_fault_reports(), s.take_compaction_reports())
                                 };
                                 faults += fr.len();
+                                reorders += count_reorders(&cr);
                                 emit_faults(node, &fr, &audit);
                                 emit_compactions(node, &cr, &audit);
                                 match res {
@@ -2520,6 +2750,7 @@ fn spawn_io_pool(
                                         retries,
                                         faults,
                                         pool_hits,
+                                        reorders,
                                     }
                                 }
                                 Err(_) => IoDone::StoreBatchFailed {
@@ -2539,14 +2770,18 @@ fn spawn_io_pool(
                             let t0 = Instant::now();
                             let mut retries = 0u32;
                             let mut faults = 0usize;
+                            let mut seg_reads = 0u64;
+                            let mut seg_switches = 0u64;
                             let mut attempt = 0u32;
                             let outcome = loop {
                                 attempt += 1;
-                                let (res, fr) = {
+                                let (res, fr, rs) = {
                                     let mut s = store.lock();
-                                    (s.load(key), s.take_fault_reports())
+                                    (s.load(key), s.take_fault_reports(), s.take_read_stats())
                                 };
                                 faults += fr.len();
+                                seg_reads += rs.0;
+                                seg_switches += rs.1;
                                 emit_faults(node, &fr, &audit);
                                 match res {
                                     Ok(b) => break Ok(b),
@@ -2578,6 +2813,8 @@ fn spawn_io_pool(
                                         unpack_dur,
                                         retries,
                                         faults,
+                                        seg_reads,
+                                        seg_switches,
                                     }
                                 }
                                 Err(error) => IoDone::LoadFailed {
@@ -2589,6 +2826,10 @@ fn spawn_io_pool(
                                 },
                             };
                             done_tx.send(done).ok();
+                        }
+                        IoReq::SetRanks(ranks) => {
+                            // Fire-and-forget placement hint: no reply.
+                            store.lock().set_key_ranks(&ranks);
                         }
                         IoReq::Probe => {
                             let (ok, fr) = {
@@ -2672,9 +2913,23 @@ fn emit_compactions(
                     live_bytes_after: r.live_bytes_after,
                     reclaimed_bytes: r.reclaimed_bytes,
                 });
+                if r.curve_ordered > 0 {
+                    sink.record(&RuntimeEvent::CompactionReorder {
+                        node,
+                        curve_ordered: r.curve_ordered,
+                        live_objects: r.live_objects_after,
+                    });
+                }
             }
         }
     }
+}
+
+/// Compactions in `reports` that rewrote live records in curve order
+/// (counted outside the audit gate — the stats counter must not depend on
+/// whether auditing is compiled in).
+fn count_reorders(reports: &[crate::storage::CompactionReport]) -> usize {
+    reports.iter().filter(|r| r.curve_ordered > 0).count()
 }
 
 enum BootAction {
@@ -2899,6 +3154,10 @@ impl ThreadedRuntime {
                 pending_loads: VecDeque::new(),
                 inflight_load_objs: 0,
                 inflight_load_bytes: 0,
+                locality: LocalityMap::new(self.cfg.locality_cluster_objects),
+                ranks_gen: 0,
+                ranks_keys: 0,
+                last_anchor_key: 0,
                 backend,
                 stats: NodeStats::default(),
                 next_obj_seq: 0,
@@ -2953,6 +3212,7 @@ impl ThreadedRuntime {
                             spill_key: None,
                             pending_migration: None,
                             load_queued: false,
+                            prefetch_hint: false,
                             store_inflight: false,
                             version: 0,
                             stored_version: None,

@@ -30,6 +30,8 @@ fn cand(
         priority: prio,
         queued_msgs: queued,
         clean: false,
+        cluster: None,
+        lkey: 0,
     }
 }
 

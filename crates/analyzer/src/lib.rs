@@ -13,7 +13,9 @@
 //!    (`RunStats::summary` or a helper it calls) and by the
 //!    `overlap_smoke` benchmark JSON. This catches the
 //!    "`overlap_fraction_pct = 0` because nobody ever surfaced the
-//!    counter" class of bug at analysis time.
+//!    counter" class of bug at analysis time. Every record/replay
+//!    `Decision` variant must likewise be constructed on the record
+//!    path and matched by a replay arm in the threaded engine.
 //! 2. **Lock-order graph** ([`locks`]): acquisition orders of
 //!    `Mutex`/`RwLock` values are extracted per function from
 //!    `threaded.rs` and `armci-sim`; a directed edge A→B means B was
@@ -89,6 +91,8 @@ pub struct AnalysisReport {
     pub tags_checked: usize,
     /// RunStats counters examined.
     pub counters_checked: usize,
+    /// Record/replay `Decision` variants examined.
+    pub decisions_checked: usize,
     /// Distinct locks in the acquisition graph.
     pub locks_seen: usize,
     /// Functions scanned by the unwrap checker.
@@ -104,7 +108,7 @@ impl AnalysisReport {
 /// Run every checker over a workspace model.
 pub fn analyze(ws: &Workspace) -> Result<AnalysisReport, String> {
     let mut violations = Vec::new();
-    let (tags_checked, counters_checked) = protocol::check(ws, &mut violations)?;
+    let (tags_checked, counters_checked, decisions_checked) = protocol::check(ws, &mut violations)?;
     let locks_seen = locks::check(ws, &mut violations)?;
     let fns_scanned = unwraps::check(ws, &mut violations)?;
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -112,6 +116,7 @@ pub fn analyze(ws: &Workspace) -> Result<AnalysisReport, String> {
         violations,
         tags_checked,
         counters_checked,
+        decisions_checked,
         locks_seen,
         fns_scanned,
     })
@@ -130,6 +135,12 @@ pub fn analyze_tree(root: &Path) -> Result<AnalysisReport, String> {
     }
     if report.counters_checked == 0 {
         return Err("protocol checker found no RunStats counters — stale workspace model?".into());
+    }
+    if report.decisions_checked == 0 {
+        return Err(
+            "protocol checker found no record/replay Decision variants — stale workspace model?"
+                .into(),
+        );
     }
     if report.locks_seen == 0 {
         return Err("lock-order checker saw no locks — stale workspace model?".into());

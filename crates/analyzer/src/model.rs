@@ -15,6 +15,10 @@ pub enum FileRole {
     ThreadedEngine,
     /// Declares the DES event enum and its dispatch arms.
     DesEngine,
+    /// Declares the record/replay `Decision` enum; every variant must be
+    /// constructed on the record path and matched on the replay path of
+    /// the threaded engine.
+    Replay,
     /// Declares the counter struct and the summary renderer.
     Stats,
     /// A reporting surface (benchmark JSON emitter): every incremented
@@ -47,6 +51,8 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// Name of the DES event enum (`EvKind`).
     pub des_event_enum: String,
+    /// Name of the record/replay decision enum (`Decision`).
+    pub decision_enum: String,
     /// Name of the per-node counter struct (`NodeStats`).
     pub stats_struct: String,
     /// Type whose `summary` method is the gate reporting surface
@@ -74,6 +80,7 @@ impl Workspace {
         Workspace {
             files: Vec::new(),
             des_event_enum: "EvKind".into(),
+            decision_enum: "Decision".into(),
             stats_struct: "NodeStats".into(),
             summary_impl: "RunStats".into(),
             tags_without_des_analog: vec!["AM_TOKEN".into(), "AM_EXIT".into(), "AM_ACK".into()],
@@ -123,6 +130,7 @@ impl Workspace {
             let roles = match name {
                 "threaded.rs" => vec![ThreadedEngine, LockScan, UnwrapScan, CounterScan],
                 "des.rs" => vec![DesEngine, UnwrapScan, CounterScan],
+                "replay.rs" => vec![Replay, UnwrapScan, CounterScan],
                 "stats.rs" => vec![Stats, UnwrapScan],
                 _ => vec![UnwrapScan, CounterScan],
             };

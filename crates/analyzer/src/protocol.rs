@@ -11,6 +11,10 @@
 //!   the runtime must surface both in the gate summary
 //!   (`RunStats::summary` or a helper it calls) and in the benchmark
 //!   report files.
+//! * Every record/replay `Decision` variant must be constructed on the
+//!   record path **and** matched by a replay arm in the threaded engine
+//!   — a variant recorded but never replayed (or vice versa) means the
+//!   sequencer silently skips a nondeterminism source.
 
 use crate::model::{fn_map, FileRole, Workspace};
 use crate::{Check, Violation};
@@ -21,10 +25,11 @@ use syn::{Item, Token};
 /// audit emission.
 const CALL_DEPTH: usize = 6;
 
-pub fn check(ws: &Workspace, out: &mut Vec<Violation>) -> Result<(usize, usize), String> {
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) -> Result<(usize, usize, usize), String> {
     let tags = check_tags_and_variants(ws, out);
     let counters = check_counters(ws, out);
-    Ok((tags, counters))
+    let decisions = check_decisions(ws, out);
+    Ok((tags, counters, decisions))
 }
 
 fn norm_tag(tag: &str) -> String {
@@ -320,6 +325,104 @@ fn arm_reaches_audit<'a>(
         }
     }
     false
+}
+
+// ---- record/replay decision exhaustiveness -----------------------------
+
+/// How one `Decision::Variant` occurrence is used.
+#[derive(Clone, Copy, PartialEq)]
+enum DecisionUse {
+    /// Expression context — the record path builds the value.
+    Construction,
+    /// Pattern context — a replay match arm consumes it.
+    Arm,
+}
+
+/// Classify the occurrence whose variant ident sits at `i`: skip an
+/// optional payload group (`{ .. }` / `( .. )`), then any closing
+/// parens from wrappers like `Some(Decision::V { .. })`; an arm follows
+/// with `=>`, an or-pattern `|`, or a match guard `if`.
+fn classify_decision_use(body: &[Token], i: usize) -> DecisionUse {
+    let mut j = i + 1;
+    if matches!(body.get(j).map(|t| t.text.as_str()), Some("(") | Some("{")) {
+        j = skip_group(body, j);
+    }
+    while body.get(j).map(|t| t.text.as_str()) == Some(")") {
+        j += 1;
+    }
+    match body.get(j).map(|t| t.text.as_str()) {
+        Some("=>") | Some("|") | Some("if") => DecisionUse::Arm,
+        _ => DecisionUse::Construction,
+    }
+}
+
+fn check_decisions(ws: &Workspace, out: &mut Vec<Violation>) -> usize {
+    let mut decisions: HashMap<String, Decl> = HashMap::new();
+    for f in ws.files_with(FileRole::Replay) {
+        collect_enums(&f.ast.items, &mut |e| {
+            if e.ident == ws.decision_enum {
+                for v in &e.variants {
+                    decisions.insert(
+                        v.ident.clone(),
+                        Decl {
+                            file: f.path.clone(),
+                            line: v.line,
+                        },
+                    );
+                }
+            }
+        });
+    }
+
+    let mut constructed: HashSet<String> = HashSet::new();
+    let mut matched: HashSet<String> = HashSet::new();
+    for f in ws.files_with(FileRole::ThreadedEngine) {
+        crate::model::walk_fns(&f.ast.items, false, &mut |fun, in_test| {
+            if in_test {
+                return;
+            }
+            for (i, t) in fun.body.iter().enumerate() {
+                if !decisions.contains_key(&t.text)
+                    || i < 2
+                    || fun.body[i - 1].text != "::"
+                    || fun.body[i - 2].text != ws.decision_enum
+                {
+                    continue;
+                }
+                match classify_decision_use(&fun.body, i) {
+                    DecisionUse::Construction => constructed.insert(t.text.clone()),
+                    DecisionUse::Arm => matched.insert(t.text.clone()),
+                };
+            }
+        });
+    }
+
+    for (variant, decl) in &decisions {
+        if !constructed.contains(variant.as_str()) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "{}::{variant} is never constructed on the record path of \
+                     the threaded engine",
+                    ws.decision_enum
+                ),
+            });
+        }
+        if !matched.contains(variant.as_str()) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "{}::{variant} has no replay match arm in the threaded engine",
+                    ws.decision_enum
+                ),
+            });
+        }
+    }
+    decisions.len()
 }
 
 // ---- counter reporting -------------------------------------------------

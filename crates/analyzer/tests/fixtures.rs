@@ -43,6 +43,29 @@ fn dispatch(tag: u32, st: &mut NodeStats) {
         _ => {}
     }
 }
+
+fn record_poll(log: &mut Vec<Decision>, got: bool) {
+    if got {
+        log.push(Decision::Step { n: 1 });
+    } else {
+        log.push(Decision::Halt);
+    }
+}
+
+fn replay_poll(d: Option<&Decision>) -> bool {
+    match d {
+        Some(Decision::Step { n }) => *n > 0,
+        Some(Decision::Halt) => false,
+        _ => false,
+    }
+}
+"#;
+
+const REPLAY_OK: &str = r#"
+pub enum Decision {
+    Step { n: u32 },
+    Halt,
+}
 "#;
 
 const DES_OK: &str = r#"
@@ -127,6 +150,7 @@ fn clean_files() -> Vec<(&'static str, &'static str, &'static [FileRole])> {
             &[ThreadedEngine, CounterScan][..],
         ),
         ("fix/des.rs", DES_OK, &[DesEngine][..]),
+        ("fix/replay.rs", REPLAY_OK, &[Replay][..]),
         ("fix/stats.rs", STATS_OK, &[Stats][..]),
         ("fix/report.rs", REPORT_OK, &[Report][..]),
         ("fix/locks.rs", LOCKS_OK, &[LockScan][..]),
@@ -152,6 +176,7 @@ fn clean_mini_tree_passes_and_every_checker_covers_something() {
     assert!(report.pass(), "clean fixture tree must be clean: {m:?}");
     assert_eq!(report.tags_checked, 1, "protocol checker went vacuous");
     assert_eq!(report.counters_checked, 1, "counter checker went vacuous");
+    assert_eq!(report.decisions_checked, 2, "decision checker went vacuous");
     assert_eq!(report.locks_seen, 2, "lock checker went vacuous");
     assert!(report.fns_scanned >= 1, "unwrap checker went vacuous");
 }
@@ -277,6 +302,106 @@ fn emit() {
         m.iter()
             .any(|v| v.contains("missing from the benchmark report JSON")),
         "report gap not flagged: {m:?}"
+    );
+}
+
+#[test]
+fn decision_without_replay_arm_is_flagged() {
+    // Both variants are recorded, but the replay dispatch lost its
+    // `Halt` arm behind the wildcard.
+    let ws = ws_with_broken(
+        "fix/threaded.rs",
+        r#"
+pub const AM_PING: u32 = 1;
+
+fn audit_emit(kind: u32) {
+    let _ = kind;
+}
+
+fn handle_ping(st: &mut NodeStats) {
+    audit_emit(1);
+    st.pings += 1;
+}
+
+fn dispatch(tag: u32, st: &mut NodeStats) {
+    match tag {
+        AM_PING => handle_ping(st),
+        _ => {}
+    }
+}
+
+fn record_poll(log: &mut Vec<Decision>, got: bool) {
+    if got {
+        log.push(Decision::Step { n: 1 });
+    } else {
+        log.push(Decision::Halt);
+    }
+}
+
+fn replay_poll(d: Option<&Decision>) -> bool {
+    match d {
+        Some(Decision::Step { n }) => *n > 0,
+        _ => false,
+    }
+}
+"#,
+    );
+    let (report, m) = msgs(&ws);
+    assert_eq!(report.decisions_checked, 2);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("Decision::Halt has no replay match arm")),
+        "missing replay arm not flagged: {m:?}"
+    );
+    assert!(
+        !m.iter().any(|v| v.contains("Decision::Step")),
+        "Step is handled on both paths: {m:?}"
+    );
+}
+
+#[test]
+fn decision_never_recorded_is_flagged() {
+    // `Halt` is matched on replay but the record path never produces it:
+    // replaying a recorded schedule could never exercise that arm.
+    let ws = ws_with_broken(
+        "fix/threaded.rs",
+        r#"
+pub const AM_PING: u32 = 1;
+
+fn audit_emit(kind: u32) {
+    let _ = kind;
+}
+
+fn handle_ping(st: &mut NodeStats) {
+    audit_emit(1);
+    st.pings += 1;
+}
+
+fn dispatch(tag: u32, st: &mut NodeStats) {
+    match tag {
+        AM_PING => handle_ping(st),
+        _ => {}
+    }
+}
+
+fn record_poll(log: &mut Vec<Decision>) {
+    log.push(Decision::Step { n: 1 });
+}
+
+fn replay_poll(d: Option<&Decision>) -> bool {
+    match d {
+        Some(Decision::Step { n }) => *n > 0,
+        Some(Decision::Halt) => false,
+        _ => false,
+    }
+}
+"#,
+    );
+    let (_, m) = msgs(&ws);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("Decision::Halt is never constructed on the record path")),
+        "missing record construction not flagged: {m:?}"
     );
 }
 
@@ -409,6 +534,7 @@ fn real_tree_is_clean_and_every_checker_is_nonvacuous() {
     assert!(report.pass(), "the tree must stay analysis-clean: {m:#?}");
     assert!(report.tags_checked >= 5, "AM tag coverage collapsed");
     assert!(report.counters_checked >= 10, "counter coverage collapsed");
+    assert!(report.decisions_checked >= 7, "decision coverage collapsed");
     assert!(report.locks_seen >= 3, "lock coverage collapsed");
     assert!(report.fns_scanned >= 100, "function coverage collapsed");
 }

@@ -130,7 +130,9 @@ fn main() {
             "  \"retransmits\": {},\n",
             "  \"dup_suppressed\": {},\n",
             "  \"hints_invalidated\": {},\n",
-            "  \"acks_sent\": {}\n",
+            "  \"acks_sent\": {},\n",
+            "  \"decisions_recorded\": {},\n",
+            "  \"replay_divergences\": {}\n",
             "}}\n"
         ),
         quick,
@@ -178,6 +180,8 @@ fn main() {
         s.total_of(|n| n.dup_suppressed),
         s.total_of(|n| n.hints_invalidated),
         s.total_of(|n| n.acks_sent),
+        s.total_of(|n| n.decisions_recorded),
+        s.total_of(|n| n.replay_divergences),
     );
     // The OOC configurations must actually run out of core: a budget
     // loose enough that the overlap run never spills or prefetches

@@ -124,8 +124,9 @@ pub enum RuntimeEvent {
     Pin { node: NodeId, oid: ObjectId },
     /// The lock was released.
     Unpin { node: NodeId, oid: ObjectId },
-    /// A point-to-point message destined for `oid` entered the system.
-    Post { oid: ObjectId },
+    /// A point-to-point message destined for `oid` entered the system
+    /// on `node` (the posting node, not the eventual delivery node).
+    Post { node: NodeId, oid: ObjectId },
     /// A handler ran against `oid` on `node` (consumes one `Post`).
     Deliver { node: NodeId, oid: ObjectId },
     /// A message for `oid` was re-routed from `node` towards `to`
@@ -301,6 +302,27 @@ impl EventLog {
 impl EventSink for EventLog {
     fn record(&self, ev: &RuntimeEvent) {
         lock(&self.events).push(ev.clone());
+    }
+}
+
+/// Forward every event to several sinks. The runtimes take a single
+/// sink; harnesses that need both an [`InvariantChecker`] and an
+/// [`EventLog`] (e.g. record/replay) attach one of these.
+pub struct FanOut {
+    sinks: Vec<std::sync::Arc<dyn EventSink>>,
+}
+
+impl FanOut {
+    pub fn new(sinks: Vec<std::sync::Arc<dyn EventSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl EventSink for FanOut {
+    fn record(&self, ev: &RuntimeEvent) {
+        for s in &self.sinks {
+            s.record(ev);
+        }
     }
 }
 
@@ -1231,11 +1253,23 @@ mod tests {
     #[test]
     fn event_log_records_in_order() {
         let log = EventLog::new();
-        log.record(&RuntimeEvent::Post { oid: oid(1) });
-        log.record(&RuntimeEvent::Post { oid: oid(2) });
+        log.record(&RuntimeEvent::Post {
+            node: 0,
+            oid: oid(1),
+        });
+        log.record(&RuntimeEvent::Post {
+            node: 0,
+            oid: oid(2),
+        });
         let evs = log.snapshot();
         assert_eq!(evs.len(), 2);
-        assert_eq!(evs[0], RuntimeEvent::Post { oid: oid(1) });
+        assert_eq!(
+            evs[0],
+            RuntimeEvent::Post {
+                node: 0,
+                oid: oid(1)
+            }
+        );
     }
 
     #[test]
@@ -1258,7 +1292,10 @@ mod tests {
             oid: oid(1),
             footprint: 100,
         });
-        c.record(&RuntimeEvent::Post { oid: oid(1) });
+        c.record(&RuntimeEvent::Post {
+            node: 0,
+            oid: oid(1),
+        });
         c.record(&RuntimeEvent::Deliver {
             node: 0,
             oid: oid(1),
@@ -1288,7 +1325,10 @@ mod tests {
             oid: oid(1),
             footprint: 100,
         });
-        c.record(&RuntimeEvent::Post { oid: oid(1) });
+        c.record(&RuntimeEvent::Post {
+            node: 0,
+            oid: oid(1),
+        });
         c.record(&RuntimeEvent::Deliver {
             node: 0,
             oid: oid(1),
@@ -1344,7 +1384,10 @@ mod tests {
             oid: oid(1),
             footprint: 100,
         });
-        c.record(&RuntimeEvent::Post { oid: oid(1) });
+        c.record(&RuntimeEvent::Post {
+            node: 0,
+            oid: oid(1),
+        });
         c.record(&RuntimeEvent::Deliver {
             node: 0,
             oid: oid(1),
@@ -1375,7 +1418,10 @@ mod tests {
             oid: oid(1),
             footprint: 100,
         });
-        c.record(&RuntimeEvent::Post { oid: oid(1) });
+        c.record(&RuntimeEvent::Post {
+            node: 0,
+            oid: oid(1),
+        });
         c.record(&RuntimeEvent::Deliver {
             node: 0,
             oid: oid(1),

@@ -145,6 +145,11 @@ pub struct MrtsConfig {
     /// curve distance bounds that waste. `0` keeps cluster eviction and
     /// curve compaction but disables the prefetch hook.
     pub locality_prefetch_mates: usize,
+    /// Replay-mode patience: how long a replaying worker waits for the
+    /// next recorded event (a fabric frame from the logged edge, an I/O
+    /// completion for the logged key) before declaring a divergence and
+    /// falling back to live execution. See `mrts::replay`.
+    pub replay_wait: Duration,
 }
 
 impl Default for MrtsConfig {
@@ -174,6 +179,7 @@ impl Default for MrtsConfig {
             locality: true,
             locality_cluster_objects: 8,
             locality_prefetch_mates: 2,
+            replay_wait: Duration::from_secs(2),
         }
     }
 }
@@ -284,6 +290,12 @@ impl MrtsConfig {
         self
     }
 
+    /// Override the replay-mode divergence-detection wait.
+    pub fn with_replay_wait(mut self, wait: Duration) -> Self {
+        self.replay_wait = wait;
+        self
+    }
+
     /// Is the out-of-core layer active?
     pub fn ooc_enabled(&self) -> bool {
         self.mem_budget != usize::MAX
@@ -323,6 +335,9 @@ impl MrtsConfig {
         }
         if self.retry.base_delay > self.retry.max_delay {
             return Err("retry.base_delay must not exceed retry.max_delay".into());
+        }
+        if self.replay_wait.is_zero() {
+            return Err("replay_wait must be > 0".into());
         }
         if let Some(f) = &self.fault {
             for (name, rate) in [

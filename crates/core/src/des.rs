@@ -386,7 +386,7 @@ impl DesRuntime {
     /// Post an initial message (delivered at virtual time zero).
     pub fn post(&mut self, to: MobilePtr, handler: HandlerId, payload: Vec<u8>) {
         let node = self.owner_of(to.id);
-        audit_emit!(self.audit, RuntimeEvent::Post { oid: to.id });
+        audit_emit!(self.audit, RuntimeEvent::Post { node, oid: to.id });
         self.push_event(
             Duration::ZERO,
             node,
@@ -1327,7 +1327,7 @@ impl DesRuntime {
                     payload,
                     immediate: _,
                 } => {
-                    audit_emit!(self.audit, RuntimeEvent::Post { oid: to.id });
+                    audit_emit!(self.audit, RuntimeEvent::Post { node, oid: to.id });
                     let msg = Message::new(to, handler, payload);
                     let local = matches!(
                         self.nodes[node as usize].table.get(&to.id),
@@ -2134,7 +2134,7 @@ impl DesRuntime {
         // Deliver to the first `deliver_to` targets; unlock everyone.
         for (i, t) in mc.info.targets.iter().enumerate() {
             if (i as u32) < mc.info.deliver_to {
-                audit_emit!(self.audit, RuntimeEvent::Post { oid: t.id });
+                audit_emit!(self.audit, RuntimeEvent::Post { node, oid: t.id });
                 let msg = Message::new(*t, mc.handler, mc.payload.clone());
                 self.push_event(self.now, node, EvKind::Msg(msg));
             }

@@ -41,6 +41,7 @@ pub mod object;
 pub mod ooc;
 pub mod policy;
 pub mod relnet;
+pub mod replay;
 pub mod stats;
 pub mod storage;
 pub mod sync;
@@ -49,7 +50,7 @@ pub mod threaded;
 /// The commonly used names in one import.
 pub mod prelude {
     pub use crate::audit::{
-        EventLog, EventSink, FailMode, InvariantChecker, RaceDetector, RuntimeEvent,
+        EventLog, EventSink, FailMode, FanOut, InvariantChecker, RaceDetector, RuntimeEvent,
     };
     pub use crate::codec::{PayloadReader, PayloadWriter};
     pub use crate::compute::ExecutorKind;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::netfault::{NetFaultKind, NetFaultPlan};
     pub use crate::object::{MobileObject, Registry};
     pub use crate::policy::PolicyKind;
+    pub use crate::replay::{Decision, DecisionLog, DivergenceReport, ReplayArtifact};
     pub use crate::stats::RunStats;
     pub use crate::storage::DiskModel;
     pub use crate::threaded::ThreadedRuntime;

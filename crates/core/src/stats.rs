@@ -113,6 +113,15 @@ pub struct NodeStats {
     /// locality layer is off or learned no adjacency). Equal digests mean
     /// equal orderings — the cross-engine determinism property pins this.
     pub locality_digest: u64,
+    /// Nondeterministic decisions logged by this node in record mode
+    /// (fabric receive order, I/O completion order, reliable-layer
+    /// timer firings). Zero outside record mode. See `mrts::replay`.
+    pub decisions_recorded: usize,
+    /// Points at which a replaying node could not follow its recorded
+    /// schedule and fell back to live execution (at most one per node,
+    /// plus one for residual unconsumed decisions at shutdown). Zero
+    /// means the recorded schedule was re-executed exactly.
+    pub replay_divergences: usize,
 }
 
 /// Aggregated result of one run.
@@ -346,6 +355,13 @@ impl RunStats {
                 self.loads_per_segment(),
             ));
         }
+        let rec = self.total_of(|n| n.decisions_recorded);
+        let div = self.total_of(|n| n.replay_divergences);
+        if rec + div > 0 {
+            s.push_str(&format!(
+                " decisions_recorded={rec} replay_divergences={div}"
+            ));
+        }
         let dropped = self.total_of(|n| n.messages_dropped);
         let retrans = self.total_of(|n| n.retransmits);
         let dups = self.total_of(|n| n.dup_suppressed);
@@ -499,6 +515,21 @@ mod tests {
         assert!(text.contains("dup_suppressed=2"));
         assert!(text.contains("hints_invalidated=1"));
         assert!(text.contains("acks=40"));
+    }
+
+    #[test]
+    fn summary_surfaces_replay_counters() {
+        let mut s = stats_with(100, &[(50, 10, 20)]);
+        let text = s.summary();
+        assert!(
+            !text.contains("decisions_recorded="),
+            "quiet runs stay quiet"
+        );
+        s.nodes[0].decisions_recorded = 123;
+        s.nodes[0].replay_divergences = 1;
+        let text = s.summary();
+        assert!(text.contains("decisions_recorded=123"));
+        assert!(text.contains("replay_divergences=1"));
     }
 
     #[test]

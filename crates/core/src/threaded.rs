@@ -47,6 +47,7 @@ use crate::object::{MobileObject, Registry};
 use crate::ooc::{EvictCandidate, OocManager};
 use crate::policy::AccessMeta;
 use crate::relnet::{ReliableReceiver, ReliableSender, Safra, TimerAction};
+use crate::replay::{Decision, DecisionLog, IoKind};
 use crate::stats::{NodeStats, RunStats};
 use crate::storage::{FileStore, MemStore, SegmentStore, StorageBackend};
 use armci_sim::{ActiveMessage, Endpoint, Fabric, NetworkModel};
@@ -221,6 +222,57 @@ enum IoDone {
     },
 }
 
+/// The `(kind, key)` identity of an I/O completion, for decision
+/// matching during record/replay: the pool's per-key ordering makes it
+/// unique among in-flight operations (batches are identified by their
+/// first object; health probes carry no key).
+fn io_done_key(d: &IoDone) -> (IoKind, u64) {
+    match d {
+        IoDone::Stored { oid, .. } => (IoKind::Stored, oid.0),
+        IoDone::StoredBatch { items, .. } => (
+            IoKind::StoredBatch,
+            items.first().map_or(0, |(oid, _)| oid.0),
+        ),
+        IoDone::StoreBatchFailed { items, .. } => (
+            IoKind::StoreBatchFailed,
+            items.first().map_or(0, |(oid, _)| oid.0),
+        ),
+        IoDone::Loaded { oid, .. } => (IoKind::Loaded, oid.0),
+        IoDone::StoreFailed { oid, .. } => (IoKind::StoreFailed, oid.0),
+        IoDone::LoadFailed { oid, .. } => (IoKind::LoadFailed, oid.0),
+        IoDone::Probed { .. } => (IoKind::Probed, 0),
+    }
+}
+
+/// Per-worker record/replay role (see `mrts::replay`). `Off` is the
+/// default and costs one enum-discriminant check per channel poll.
+enum ReplayRole {
+    Off,
+    /// Append every nondeterministic decision to the log.
+    Record(Vec<Decision>),
+    /// Substitute recorded decisions for live nondeterminism.
+    Replay(Box<ReplayState>),
+}
+
+/// Sequencer state for one replaying worker: the recorded decision
+/// stream plus holding buffers for events that arrived before the log
+/// says they may be observed.
+struct ReplayState {
+    log: Vec<Decision>,
+    cursor: usize,
+    /// Fabric frames received while waiting for a different edge.
+    fabric_buf: VecDeque<ActiveMessage>,
+    /// I/O completions received while waiting for a different key.
+    io_buf: VecDeque<IoDone>,
+    /// The schedule could not be followed (mismatch, timeout, or log
+    /// exhaustion): the worker fell back to live execution. Buffered
+    /// items are always consumed before the channels.
+    live: bool,
+    /// How long a replaying worker waits for the recorded next event
+    /// before declaring a divergence ([`MrtsConfig::replay_wait`]).
+    wait: Duration,
+}
+
 struct McWait {
     info: MulticastInfo,
     handler: HandlerId,
@@ -314,6 +366,8 @@ struct Worker {
     probe_inflight: bool,
     /// First unrecoverable storage failure seen by this node.
     fatal: Option<MrtsError>,
+    /// Record/replay role of this worker (see `mrts::replay`).
+    replay: ReplayRole,
     #[cfg(any(feature = "audit", debug_assertions))]
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
     #[cfg(any(feature = "audit", debug_assertions))]
@@ -435,6 +489,192 @@ impl Worker {
 
     fn entry_present(&self, oid: ObjectId) -> bool {
         matches!(self.table.get(&oid), Some(e) if !matches!(e.state, TState::Moved(_)))
+    }
+
+    // ----- record/replay sequencing (see mrts::replay) ----------------------
+
+    /// Append one decision in record mode; no-op otherwise.
+    fn record_decision(&mut self, d: Decision) {
+        if let ReplayRole::Record(log) = &mut self.replay {
+            log.push(d);
+            self.stats.decisions_recorded += 1;
+        }
+    }
+
+    /// The schedule can no longer be followed: count it once and fall
+    /// back to live execution for the rest of the run.
+    fn replay_diverge(&mut self, st: &mut ReplayState) {
+        if !st.live {
+            st.live = true;
+            self.stats.replay_divergences += 1;
+        }
+    }
+
+    /// Raw fabric poll: the control loop's non-blocking drain, or the
+    /// brief idle wait of step 6.
+    fn fabric_poll_raw(&mut self, idle: bool) -> Option<ActiveMessage> {
+        if idle {
+            self.ep.recv_timeout(Duration::from_micros(500))
+        } else {
+            self.ep.try_recv()
+        }
+    }
+
+    /// One fabric poll, virtualized for record/replay: in record mode
+    /// the outcome (which edge won, or nothing ripe) is logged; in
+    /// replay mode the recorded outcome is substituted — the sequencer
+    /// waits for the recorded edge's next frame, buffering others.
+    fn recv_fabric(&mut self, idle: bool) -> Option<ActiveMessage> {
+        if matches!(self.replay, ReplayRole::Replay(_)) {
+            let ReplayRole::Replay(mut st) = std::mem::replace(&mut self.replay, ReplayRole::Off)
+            else {
+                unreachable!("matched Replay above")
+            };
+            let out = self.replay_recv_fabric(&mut st, idle);
+            self.replay = ReplayRole::Replay(st);
+            return out;
+        }
+        let am = self.fabric_poll_raw(idle);
+        if matches!(self.replay, ReplayRole::Record(_)) {
+            match &am {
+                Some(m) => self.record_decision(Decision::FabricRecv {
+                    src: m.src,
+                    tag: m.handler,
+                }),
+                None => self.record_decision(Decision::FabricEmpty),
+            }
+        }
+        am
+    }
+
+    fn replay_recv_fabric(&mut self, st: &mut ReplayState, idle: bool) -> Option<ActiveMessage> {
+        if !st.live {
+            match st.log.get(st.cursor) {
+                Some(Decision::FabricEmpty) => {
+                    // Frames may already sit in the channel that the
+                    // recorded run had not yet observed; leave them there.
+                    st.cursor += 1;
+                    return None;
+                }
+                Some(&Decision::FabricRecv { src, tag }) => {
+                    // Per-edge FIFO: the next frame from `src` is exactly
+                    // the recorded one.
+                    if let Some(i) = st.fabric_buf.iter().position(|m| m.src == src) {
+                        let m = st.fabric_buf.remove(i).expect("position() index in bounds");
+                        if m.handler == tag {
+                            st.cursor += 1;
+                            return Some(m);
+                        }
+                        // Same edge, different tag: genuinely diverged.
+                        st.fabric_buf.push_front(m);
+                        self.replay_diverge(st);
+                    } else {
+                        let deadline = Instant::now() + st.wait;
+                        loop {
+                            match self.ep.recv_timeout(Duration::from_micros(500)) {
+                                Some(m) if m.src == src => {
+                                    if m.handler == tag {
+                                        st.cursor += 1;
+                                        return Some(m);
+                                    }
+                                    st.fabric_buf.push_back(m);
+                                    self.replay_diverge(st);
+                                    break;
+                                }
+                                Some(m) => st.fabric_buf.push_back(m),
+                                None => {}
+                            }
+                            if Instant::now() >= deadline {
+                                self.replay_diverge(st);
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Log exhausted, or a non-fabric decision at a fabric
+                // poll: the schedule cannot be followed further.
+                _ => self.replay_diverge(st),
+            }
+        }
+        // Live fallback: always drain the holding buffer first.
+        if let Some(m) = st.fabric_buf.pop_front() {
+            return Some(m);
+        }
+        self.fabric_poll_raw(idle)
+    }
+
+    /// One I/O-completion poll, virtualized for record/replay. The
+    /// post-termination drain blocks (`blocking = true`); the control
+    /// loop's drain does not, and only the non-blocking form records
+    /// `IoEmpty`.
+    fn recv_io(&mut self, blocking: bool) -> Option<IoDone> {
+        if matches!(self.replay, ReplayRole::Replay(_)) {
+            let ReplayRole::Replay(mut st) = std::mem::replace(&mut self.replay, ReplayRole::Off)
+            else {
+                unreachable!("matched Replay above")
+            };
+            let out = self.replay_recv_io(&mut st, blocking);
+            self.replay = ReplayRole::Replay(st);
+            return out;
+        }
+        let done = if blocking {
+            self.io_rx.recv().ok()
+        } else {
+            self.io_rx.try_recv().ok()
+        };
+        if matches!(self.replay, ReplayRole::Record(_)) {
+            match &done {
+                Some(d) => {
+                    let (kind, oid) = io_done_key(d);
+                    self.record_decision(Decision::IoDone { kind, oid });
+                }
+                None if !blocking => self.record_decision(Decision::IoEmpty),
+                None => {}
+            }
+        }
+        done
+    }
+
+    fn replay_recv_io(&mut self, st: &mut ReplayState, blocking: bool) -> Option<IoDone> {
+        if !st.live {
+            match st.log.get(st.cursor) {
+                // A blocking drain never recorded an empty poll; seeing
+                // one here is a divergence handled by the catch-all.
+                Some(Decision::IoEmpty) if !blocking => {
+                    st.cursor += 1;
+                    return None;
+                }
+                Some(&Decision::IoDone { kind, oid }) => {
+                    if let Some(i) = st.io_buf.iter().position(|d| io_done_key(d) == (kind, oid)) {
+                        st.cursor += 1;
+                        return st.io_buf.remove(i);
+                    }
+                    let deadline = Instant::now() + st.wait;
+                    loop {
+                        if let Ok(d) = self.io_rx.recv_timeout(Duration::from_micros(500)) {
+                            if io_done_key(&d) == (kind, oid) {
+                                st.cursor += 1;
+                                return Some(d);
+                            }
+                            st.io_buf.push_back(d);
+                        }
+                        if Instant::now() >= deadline {
+                            self.replay_diverge(st);
+                            break;
+                        }
+                    }
+                }
+                _ => self.replay_diverge(st),
+            }
+        }
+        if let Some(d) = st.io_buf.pop_front() {
+            return Some(d);
+        }
+        if blocking {
+            self.io_rx.recv().ok()
+        } else {
+            self.io_rx.try_recv().ok()
+        }
     }
 
     // ----- reliable delivery (net-fault runs) -------------------------------
@@ -587,6 +827,24 @@ impl Worker {
         if self.net.is_none() || self.dead || self.done {
             return;
         }
+        // Replay: fire deferred flushes and timers at the logged points
+        // instead of consulting the wall clock.
+        if matches!(self.replay, ReplayRole::Replay(_)) {
+            let ReplayRole::Replay(mut st) = std::mem::replace(&mut self.replay, ReplayRole::Off)
+            else {
+                unreachable!("matched Replay above")
+            };
+            let mut handled = false;
+            if !st.live {
+                self.replay_net_pump(&mut st);
+                handled = !st.live;
+            }
+            self.replay = ReplayRole::Replay(st);
+            if handled {
+                return;
+            }
+            // Diverged (now or earlier): fall through to the live pump.
+        }
         let now = Instant::now();
         loop {
             let due = {
@@ -597,6 +855,8 @@ impl Worker {
                 }
             };
             let (_, dest, tag, frame) = due;
+            let seq = u64::from_le_bytes(frame[..8].try_into().expect("seq prefix"));
+            self.record_decision(Decision::FlushDeferred { dest, seq });
             self.ep.am_send(dest, tag, frame);
         }
         let limit = self.net_attempt_limit();
@@ -610,6 +870,7 @@ impl Worker {
             .map(|(&k, _)| k)
             .collect();
         for (dest, seq) in due {
+            self.record_decision(Decision::TimerExpire { dest, seq });
             let action = {
                 let net = self.net.as_mut().expect("net layer");
                 let action = net.tx.on_timer(dest, seq, limit);
@@ -633,6 +894,9 @@ impl Worker {
                 } => {
                     self.escalate(dest, tag, &frame, attempts);
                     if self.done {
+                        // Both pump exits record their end marker, or a
+                        // replay desynchronizes right here.
+                        self.record_decision(Decision::PumpEnd);
                         return;
                     }
                 }
@@ -652,6 +916,96 @@ impl Worker {
                         }
                     );
                     self.transmit(dest, tag, seq, frame, attempt);
+                }
+            }
+        }
+        self.record_decision(Decision::PumpEnd);
+    }
+
+    /// Replay half of [`Worker::net_pump`]: consume recorded
+    /// `FlushDeferred` / `TimerExpire` decisions up to the pump's
+    /// recorded end marker, re-enacting each one against the reliable
+    /// layer's (deterministically evolved) protocol state.
+    fn replay_net_pump(&mut self, st: &mut ReplayState) {
+        let limit = self.net_attempt_limit();
+        loop {
+            match st.log.get(st.cursor) {
+                Some(Decision::PumpEnd) => {
+                    st.cursor += 1;
+                    return;
+                }
+                Some(&Decision::FlushDeferred { dest, seq }) => {
+                    let net = self.net.as_mut().expect("net layer");
+                    let pos = net.deferred.iter().position(|(_, d, _, frame)| {
+                        *d == dest
+                            && frame
+                                .get(..8)
+                                .is_some_and(|b| b == seq.to_le_bytes().as_slice())
+                    });
+                    match pos {
+                        Some(i) => {
+                            let (_, d, tag, frame) = net.deferred.swap_remove(i);
+                            st.cursor += 1;
+                            self.ep.am_send(d, tag, frame);
+                        }
+                        None => {
+                            self.replay_diverge(st);
+                            return;
+                        }
+                    }
+                }
+                Some(&Decision::TimerExpire { dest, seq }) => {
+                    st.cursor += 1;
+                    let action = {
+                        let net = self.net.as_mut().expect("net layer");
+                        let action = net.tx.on_timer(dest, seq, limit);
+                        match &action {
+                            TimerAction::Retransmit { attempt, .. } => {
+                                net.timers.insert(
+                                    (dest, seq),
+                                    Instant::now() + self.cfg.retry.delay(attempt + 1, seq),
+                                );
+                            }
+                            TimerAction::Acked | TimerAction::GiveUp { .. } => {
+                                net.timers.remove(&(dest, seq));
+                            }
+                        }
+                        action
+                    };
+                    match action {
+                        TimerAction::Acked => {}
+                        TimerAction::GiveUp {
+                            tag,
+                            frame,
+                            attempts,
+                        } => {
+                            // The recorded run stopped pumping here; its
+                            // PumpEnd marker is next and ends the loop.
+                            self.escalate(dest, tag, &frame, attempts);
+                        }
+                        TimerAction::Retransmit {
+                            tag,
+                            frame,
+                            attempt,
+                        } => {
+                            self.stats.retransmits += 1;
+                            audit_emit!(
+                                self.audit,
+                                RuntimeEvent::Retransmit {
+                                    node: self.node,
+                                    dest,
+                                    seq,
+                                    attempt
+                                }
+                            );
+                            self.transmit(dest, tag, seq, frame, attempt);
+                        }
+                    }
+                }
+                // Log exhausted or a foreign decision mid-pump.
+                _ => {
+                    self.replay_diverge(st);
+                    return;
                 }
             }
         }
@@ -1858,7 +2212,13 @@ impl Worker {
                     payload,
                     immediate: _,
                 } => {
-                    audit_emit!(self.audit, RuntimeEvent::Post { oid: to.id });
+                    audit_emit!(
+                        self.audit,
+                        RuntimeEvent::Post {
+                            node: self.node,
+                            oid: to.id
+                        }
+                    );
                     let msg = Message::new(to, handler, payload);
                     if self.entry_present(to.id) {
                         self.route_msg(msg);
@@ -2265,7 +2625,13 @@ impl Worker {
         );
         for (i, t) in mc.info.targets.iter().enumerate() {
             if (i as u32) < mc.info.deliver_to {
-                audit_emit!(self.audit, RuntimeEvent::Post { oid: t.id });
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::Post {
+                        node: self.node,
+                        oid: t.id
+                    }
+                );
                 self.route_msg(Message::new(*t, mc.handler, mc.payload.clone()));
             }
         }
@@ -2359,7 +2725,7 @@ impl Worker {
     fn run(mut self) -> WorkerResult {
         while !self.done {
             // 1. Drain the fabric.
-            while let Some(am) = self.ep.try_recv() {
+            while let Some(am) = self.recv_fabric(false) {
                 self.on_fabric(am);
                 if self.done || self.dead {
                     break;
@@ -2378,7 +2744,7 @@ impl Worker {
                 break;
             }
             // 3. Drain I/O completions.
-            while let Ok(done) = self.io_rx.try_recv() {
+            while let Some(done) = self.recv_io(false) {
                 self.on_io(done);
             }
             // 4. Issue queued loads under the prefetch window, so the disk
@@ -2400,7 +2766,7 @@ impl Worker {
             if self.done {
                 break;
             }
-            if let Some(am) = self.ep.recv_timeout(Duration::from_micros(500)) {
+            if let Some(am) = self.recv_fabric(true) {
                 self.on_fabric(am);
                 if self.dead {
                     return self.run_dead();
@@ -2409,8 +2775,9 @@ impl Worker {
         }
         // Drain outstanding I/O so every object is materializable.
         while self.outstanding_io > 0 {
-            if let Ok(done) = self.io_rx.recv() {
-                self.on_io(done);
+            match self.recv_io(true) {
+                Some(done) => self.on_io(done),
+                None => break, // pool gone; nothing more will arrive
             }
             self.pump_loads();
         }
@@ -2482,12 +2849,31 @@ impl Worker {
         if self.cfg.locality {
             self.stats.locality_digest = self.locality.digest();
         }
+        let decisions = self.finish_replay(true);
         WorkerResult {
             node: self.node,
             objects: out,
             stats: self.stats,
             next_seq: self.next_obj_seq,
             fatal: self.fatal,
+            decisions,
+        }
+    }
+
+    /// Close out the record/replay role at worker shutdown: hand the
+    /// recorded decisions back, and in replay mode flag unconsumed
+    /// residual decisions (the recorded run did more than we did) as one
+    /// final divergence.
+    fn finish_replay(&mut self, count_residual: bool) -> Vec<Decision> {
+        match std::mem::replace(&mut self.replay, ReplayRole::Off) {
+            ReplayRole::Record(log) => log,
+            ReplayRole::Replay(st) => {
+                if count_residual && !st.live && st.cursor < st.log.len() {
+                    self.stats.replay_divergences += 1;
+                }
+                Vec::new()
+            }
+            ReplayRole::Off => Vec::new(),
         }
     }
 
@@ -2500,14 +2886,27 @@ impl Worker {
     /// `tests/chaos.rs`).
     fn run_dead(mut self) -> WorkerResult {
         audit_emit!(self.audit, RuntimeEvent::Terminate { node: self.node });
-        loop {
-            // Keep the I/O pool from backing up while we linger.
-            while self.io_rx.try_recv().is_ok() {
-                self.outstanding_io = self.outstanding_io.saturating_sub(1);
-            }
-            match self.ep.recv_timeout(Duration::from_millis(2)) {
-                Some(am) if am.handler == AM_EXIT => break,
-                _ => {} // discarded unanswered — the node is gone
+        // A replaying worker's sequencer may already hold frames or
+        // completions pulled off the channels; a crashed node discards
+        // them like everything else (including a buffered exit, which
+        // would otherwise never be seen again).
+        let mut buffered_exit = false;
+        if let ReplayRole::Replay(st) = &mut self.replay {
+            self.outstanding_io = self.outstanding_io.saturating_sub(st.io_buf.len());
+            st.io_buf.clear();
+            buffered_exit = st.fabric_buf.iter().any(|m| m.handler == AM_EXIT);
+            st.fabric_buf.clear();
+        }
+        if !buffered_exit {
+            loop {
+                // Keep the I/O pool from backing up while we linger.
+                while self.io_rx.try_recv().is_ok() {
+                    self.outstanding_io = self.outstanding_io.saturating_sub(1);
+                }
+                match self.ep.recv_timeout(Duration::from_millis(2)) {
+                    Some(am) if am.handler == AM_EXIT => break,
+                    _ => {} // discarded unanswered — the node is gone
+                }
             }
         }
         while self.outstanding_io > 0 {
@@ -2520,12 +2919,16 @@ impl Worker {
             self.io_tx.send(IoReq::Shutdown).ok();
         }
         self.stats.peak_mem = self.ooc.peak_used;
+        // A crash truncates the schedule by design: residual recorded
+        // decisions past the kill point are not a divergence.
+        let decisions = self.finish_replay(false);
         WorkerResult {
             node: self.node,
             objects: HashMap::new(),
             stats: self.stats,
             next_seq: self.next_obj_seq,
             fatal: None,
+            decisions,
         }
     }
 }
@@ -2544,6 +2947,8 @@ struct WorkerResult {
     stats: NodeStats,
     next_seq: u64,
     fatal: Option<MrtsError>,
+    /// This worker's decision stream (record mode only; empty otherwise).
+    decisions: Vec<Decision>,
 }
 
 /// Bounded pool of reusable pack buffers shared by one node's I/O pool
@@ -2963,6 +3368,12 @@ pub struct ThreadedRuntime {
     next_seq: Vec<u64>,
     /// Post-run: all objects by id, with the metadata a checkpoint needs.
     results: HashMap<ObjectId, ResultEntry>,
+    /// Record every worker's nondeterministic decisions next run.
+    record_decisions: bool,
+    /// Replay the next run against this recorded decision log.
+    replay_log: Option<DecisionLog>,
+    /// The decision log captured by the last recorded run.
+    captured: Option<DecisionLog>,
     #[cfg(any(feature = "audit", debug_assertions))]
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
     #[cfg(any(feature = "audit", debug_assertions))]
@@ -2979,6 +3390,9 @@ impl ThreadedRuntime {
             boot: Vec::new(),
             next_seq: vec![0; nodes],
             results: HashMap::new(),
+            record_decisions: false,
+            replay_log: None,
+            captured: None,
             #[cfg(any(feature = "audit", debug_assertions))]
             audit: None,
             #[cfg(any(feature = "audit", debug_assertions))]
@@ -3005,6 +3419,31 @@ impl ThreadedRuntime {
     #[cfg(any(feature = "audit", debug_assertions))]
     pub fn attach_race_detector(&mut self, det: std::sync::Arc<crate::audit::RaceDetector>) {
         self.race = Some(det);
+    }
+
+    /// Record every nondeterministic decision of the next run: which
+    /// fabric edge won each poll, which I/O completion landed when, and
+    /// when each reliable-layer deferred flush / retransmit timer fired.
+    /// Retrieve the log afterwards with
+    /// [`ThreadedRuntime::take_decision_log`]. Always available (the
+    /// decision stream is engine state, not audit instrumentation).
+    pub fn record_decisions(&mut self) {
+        self.record_decisions = true;
+    }
+
+    /// Replay the next run against a recorded decision log: every
+    /// worker substitutes the recorded outcomes for live nondeterminism.
+    /// A worker that cannot follow its schedule (event mismatch, wait
+    /// timeout, log exhaustion) counts a `replay_divergences` and falls
+    /// back to live execution rather than deadlocking.
+    pub fn replay_decisions(&mut self, log: DecisionLog) {
+        self.replay_log = Some(log);
+    }
+
+    /// The decision log captured by the last run started after
+    /// [`ThreadedRuntime::record_decisions`], if any.
+    pub fn take_decision_log(&mut self) -> Option<DecisionLog> {
+        self.captured.take()
     }
 
     pub fn register_type(&mut self, tag: crate::ids::TypeTag, decode: crate::object::DecodeFn) {
@@ -3062,6 +3501,8 @@ impl ThreadedRuntime {
         let n = self.cfg.nodes;
         let endpoints = Fabric::new(n, NetworkModel::instant());
         let registry = std::sync::Arc::new(std::mem::take(&mut self.registry));
+        // A replay log is consumed by the run it drives.
+        let replay_log = self.replay_log.take();
 
         let mut workers: Vec<Worker> = Vec::with_capacity(n);
         let mut io_handles = Vec::with_capacity(n);
@@ -3177,6 +3618,20 @@ impl ThreadedRuntime {
                 dead: false,
                 probe_inflight: false,
                 fatal: None,
+                replay: match &replay_log {
+                    Some(log) => ReplayRole::Replay(Box::new(ReplayState {
+                        // A node absent from the log replays an empty
+                        // schedule: immediate divergence + live fallback.
+                        log: log.nodes.get(i).cloned().unwrap_or_default(),
+                        cursor: 0,
+                        fabric_buf: VecDeque::new(),
+                        io_buf: VecDeque::new(),
+                        live: false,
+                        wait: self.cfg.replay_wait,
+                    })),
+                    None if self.record_decisions => ReplayRole::Record(Vec::new()),
+                    None => ReplayRole::Off,
+                },
                 #[cfg(any(feature = "audit", debug_assertions))]
                 audit: self.audit.clone(),
                 #[cfg(any(feature = "audit", debug_assertions))]
@@ -3249,7 +3704,13 @@ impl ThreadedRuntime {
                 }
                 BootAction::Post(to, handler, payload) => {
                     let w = &mut workers[to.id.home() as usize % n];
-                    audit_emit!(w.audit, RuntimeEvent::Post { oid: to.id });
+                    audit_emit!(
+                        w.audit,
+                        RuntimeEvent::Post {
+                            node: w.node,
+                            oid: to.id
+                        }
+                    );
                     let msg = Message::new(to, handler, payload);
                     w.route_msg(msg);
                 }
@@ -3268,8 +3729,10 @@ impl ThreadedRuntime {
         }
         let mut nodes_stats = vec![NodeStats::default(); n];
         let mut fatal: Option<MrtsError> = None;
+        let mut captured = DecisionLog::new(n);
         for j in joins {
             let r = j.join().expect("worker panic");
+            captured.nodes[r.node as usize] = r.decisions;
             nodes_stats[r.node as usize] = r.stats;
             self.next_seq[r.node as usize] = self.next_seq[r.node as usize].max(r.next_seq);
             for (oid, x) in r.objects {
@@ -3288,6 +3751,9 @@ impl ThreadedRuntime {
             }
         }
         let total = t0.elapsed();
+        if self.record_decisions {
+            self.captured = Some(captured);
+        }
         // The I/O pool threads hold registry clones for unpacking; join
         // them before reclaiming the registry.
         for h in io_handles {

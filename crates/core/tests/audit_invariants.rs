@@ -67,7 +67,10 @@ fn flags_delivery_to_spilled_object() {
         oid: oid(1),
         footprint: 100,
     });
-    c.record(&RuntimeEvent::Post { oid: oid(1) });
+    c.record(&RuntimeEvent::Post {
+        node: 0,
+        oid: oid(1),
+    });
     c.record(&RuntimeEvent::Deliver {
         node: 0,
         oid: oid(1),
@@ -87,7 +90,10 @@ fn flags_delivery_on_wrong_node() {
         oid: oid(1),
         footprint: 100,
     });
-    c.record(&RuntimeEvent::Post { oid: oid(1) });
+    c.record(&RuntimeEvent::Post {
+        node: 0,
+        oid: oid(1),
+    });
     c.record(&RuntimeEvent::Deliver {
         node: 1,
         oid: oid(1),
@@ -243,7 +249,10 @@ fn forward_streak_resets_on_delivery() {
     });
     for _ in 0..8 {
         // Each forward is answered by a delivery: never a livelock.
-        c.record(&RuntimeEvent::Post { oid: oid(1) });
+        c.record(&RuntimeEvent::Post {
+            node: 0,
+            oid: oid(1),
+        });
         c.record(&RuntimeEvent::Forward {
             node: 1,
             oid: oid(1),
@@ -294,7 +303,10 @@ fn flags_termination_with_undelivered_messages() {
         oid: oid(1),
         footprint: 100,
     });
-    c.record(&RuntimeEvent::Post { oid: oid(1) });
+    c.record(&RuntimeEvent::Post {
+        node: 0,
+        oid: oid(1),
+    });
     c.record(&RuntimeEvent::Terminate { node: 0 });
     assert!(
         kinds(&c).contains(&Invariant::EarlyTermination),

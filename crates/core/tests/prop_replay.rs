@@ -1,0 +1,96 @@
+//! Property tests for the record/replay decision-log codec: round
+//! trips, byte-cap truncation, cut-anywhere truncation tolerance, and
+//! robustness of the strict decoder against arbitrary (hostile) bytes.
+
+use mrts::replay::{Decision, DecisionLog, IoKind, DEFAULT_LOG_BYTE_CAP};
+use proptest::prelude::*;
+
+fn arb_decision() -> impl Strategy<Value = Decision> {
+    (
+        0u8..7,
+        any::<u8>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(|(variant, kind, node, tag, word)| match variant {
+            0 => Decision::FabricRecv { src: node, tag },
+            1 => Decision::FabricEmpty,
+            2 => Decision::IoDone {
+                kind: IoKind::from_u8(kind % 7).expect("all seven kinds are encodable"),
+                oid: word,
+            },
+            3 => Decision::IoEmpty,
+            4 => Decision::FlushDeferred {
+                dest: node,
+                seq: word,
+            },
+            5 => Decision::TimerExpire {
+                dest: node,
+                seq: word,
+            },
+            _ => Decision::PumpEnd,
+        })
+}
+
+fn arb_log() -> impl Strategy<Value = DecisionLog> {
+    prop::collection::vec(prop::collection::vec(arb_decision(), 0..64), 0..5)
+        .prop_map(|nodes| DecisionLog { nodes })
+}
+
+fn is_prefix_of(shorter: &DecisionLog, longer: &DecisionLog) -> bool {
+    shorter.nodes.len() <= longer.nodes.len()
+        && shorter
+            .nodes
+            .iter()
+            .zip(&longer.nodes)
+            .all(|(s, l)| s.len() <= l.len() && s[..] == l[..s.len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decision_log_roundtrips(log in arb_log()) {
+        let (bytes, truncated) = log.encode(DEFAULT_LOG_BYTE_CAP);
+        prop_assert!(!truncated, "default cap must fit a small log");
+        let back = DecisionLog::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, log);
+    }
+
+    /// A byte cap never produces an undecodable log: whole tail
+    /// decisions are dropped, so what remains is a valid per-node
+    /// prefix of the original.
+    #[test]
+    fn byte_cap_yields_a_decodable_prefix(log in arb_log(), cap in 16usize..256) {
+        let (bytes, truncated) = log.encode(cap);
+        let back = DecisionLog::decode(&bytes).expect("capped encoding decodes");
+        prop_assert!(is_prefix_of(&back, &log));
+        if !truncated {
+            prop_assert_eq!(back, log);
+        }
+    }
+
+    /// Cutting a valid encoding at any byte never panics, and the lossy
+    /// decoder salvages only true prefixes of the recorded decisions —
+    /// a replay from a torn log can be short, never wrong.
+    #[test]
+    fn truncated_log_salvages_a_prefix(log in arb_log(), cut_frac in 0.0f64..1.0) {
+        let (bytes, _) = log.encode(DEFAULT_LOG_BYTE_CAP);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        let (salvaged, err) = DecisionLog::decode_lossy(&bytes[..cut]);
+        prop_assert!(is_prefix_of(&salvaged, &log));
+        if cut == bytes.len() {
+            prop_assert!(err.is_none());
+            prop_assert_eq!(salvaged, log);
+        }
+    }
+
+    /// The strict decoder is total over arbitrary bytes: a typed error
+    /// or a valid log, never a panic.
+    #[test]
+    fn hostile_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = DecisionLog::decode(&bytes);
+        let _ = DecisionLog::decode_lossy(&bytes);
+    }
+}

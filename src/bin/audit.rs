@@ -32,6 +32,14 @@
 //! (protocol exhaustiveness, lock-order graph, runtime unwrap ban)
 //! against the workspace source; the default gate also runs it between
 //! the test suite and the invariant sweep.
+//!
+//! Record/replay: both chaos sweeps record every threaded schedule's
+//! nondeterministic decisions and, on failure, persist a self-describing
+//! artifact under `target/replay/`; `--seed <n>` re-runs a single
+//! schedule, `--replay <path>` re-executes a persisted artifact under
+//! its decision log and reports the first divergence between recorded
+//! and live audit streams, and `--replay-smoke` proves byte-identical
+//! replay (plus perturbation probes) over a batch of chaos-net seeds.
 
 use std::process::{Command, ExitCode};
 
@@ -69,8 +77,12 @@ fn static_analysis() -> bool {
     match mrts_analyzer::analyze_tree(root) {
         Ok(report) => {
             println!(
-                "    {} tags, {} counters, {} locks, {} fns scanned",
-                report.tags_checked, report.counters_checked, report.locks_seen, report.fns_scanned
+                "    {} tags, {} counters, {} decisions, {} locks, {} fns scanned",
+                report.tags_checked,
+                report.counters_checked,
+                report.decisions_checked,
+                report.locks_seen,
+                report.fns_scanned
             );
             for v in &report.violations {
                 eprintln!("    {v}");
@@ -383,12 +395,11 @@ mod chaos_sweep {
     //! fault-free mesh (transient faults cost time, never correctness);
     //! ENOSPC schedules must degrade and recover.
 
+    use crate::replay_harness;
     use pumg::methods::domain::Workload;
-    use pumg::methods::ooc_pcdm::{
-        opcdm_run, opcdm_run_threaded, opcdm_run_threaded_with, opcdm_run_with,
-    };
+    use pumg::methods::ooc_pcdm::{opcdm_run, opcdm_run_threaded, opcdm_run_with};
     use pumg::methods::pcdm::PcdmParams;
-    use pumg::mrts::audit::{FailMode, InvariantChecker, RaceDetector};
+    use pumg::mrts::audit::{EventSink, FailMode, InvariantChecker, RaceDetector};
     use pumg::mrts::config::MrtsConfig;
     use pumg::mrts::fault::FaultPlan;
     use pumg::mrts::stats::RunStats;
@@ -419,9 +430,22 @@ mod chaos_sweep {
         )
     }
 
-    pub fn run(quick: bool) -> bool {
+    pub fn run(quick: bool, only: Option<u64>) -> bool {
         let (des_seeds, thr_seeds) = if quick { (4u64, 2u64) } else { (14, 6) };
-        let enospc_seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+        let des_seeds: Vec<u64> = match only {
+            Some(s) => vec![s],
+            None => (0..des_seeds).collect(),
+        };
+        let thr_seeds: Vec<u64> = match only {
+            Some(s) => vec![s],
+            None => (0..thr_seeds).collect(),
+        };
+        // `--seed` re-runs one schedule; the fixed-seed extras are skipped.
+        let enospc_seeds: &[u64] = match (only, quick) {
+            (Some(_), _) => &[],
+            (None, true) => &[1],
+            (None, false) => &[1, 2, 3],
+        };
         let mut report = Vec::<String>::new();
         let mut ok = true;
         let mut say = |line: String| {
@@ -433,7 +457,7 @@ mod chaos_sweep {
         println!("==> chaos sweep (seeded storage-fault schedules, both engines)");
         let reference = opcdm_run(&params(), MrtsConfig::out_of_core(2, budget));
 
-        for seed in 0..des_seeds {
+        for &seed in &des_seeds {
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let sink = chk.clone();
             let r = opcdm_run_with(
@@ -455,30 +479,22 @@ mod chaos_sweep {
             }
         }
 
-        let thr_budget = 70_000usize;
         let thr_reference = {
-            let mut cfg = MrtsConfig::out_of_core(2, thr_budget);
+            let mut cfg = MrtsConfig::out_of_core(2, budget);
             cfg.spill_dir = Some(spill_dir("chaos-ref"));
             let r = opcdm_run_threaded(&params(), cfg);
             let _ = std::fs::remove_dir_all(spill_dir("chaos-ref"));
             r
         };
-        for seed in 0..thr_seeds {
-            let plan = FaultPlan::new(0xBAD_D15C ^ seed)
-                .with_eio(120)
-                .with_torn_writes(80)
-                .with_latency(60, Duration::from_micros(200));
+        for &seed in &thr_seeds {
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let det = Arc::new(RaceDetector::new(2));
-            let dir = spill_dir(&format!("chaos-t{seed}"));
-            let mut cfg = MrtsConfig::out_of_core(2, thr_budget).with_faults(plan);
-            cfg.spill_dir = Some(dir.clone());
-            let (sink, races) = (chk.clone(), det.clone());
-            let r = opcdm_run_threaded_with(&params(), cfg, move |rt| {
-                rt.attach_audit(sink);
-                rt.attach_race_detector(races);
-            });
-            let _ = std::fs::remove_dir_all(dir);
+            let label = format!("chaos-t{seed}");
+            let cfg = replay_harness::harness_config(replay_harness::CHAOS_THREADED, seed, &label)
+                .expect("known harness id");
+            let sink: Arc<dyn EventSink> = chk.clone();
+            let r = replay_harness::record_run(cfg, std::slice::from_ref(&sink), Some(det.clone()));
+            let _ = std::fs::remove_dir_all(replay_harness::spill_dir(&label));
             let clean = chk.violations().is_empty()
                 && det.races().is_empty()
                 && (r.elements, r.vertices) == (thr_reference.elements, thr_reference.vertices);
@@ -491,6 +507,17 @@ mod chaos_sweep {
             ));
             if !chk.violations().is_empty() {
                 say(format!("  violations: {:?}", chk.violations()));
+            }
+            if !clean {
+                let path = replay_harness::persist_artifact(
+                    replay_harness::CHAOS_THREADED,
+                    seed,
+                    r.decisions,
+                    r.recorded,
+                );
+                say(format!(
+                    "  failing schedule persisted: {path} (re-run: audit -- --replay {path})"
+                ));
             }
         }
 
@@ -524,7 +551,7 @@ mod chaos_sweep {
         }
         println!(
             "    {} schedules swept — report in target/chaos-report.txt",
-            des_seeds + thr_seeds + enospc_seeds.len() as u64
+            des_seeds.len() + thr_seeds.len() + enospc_seeds.len()
         );
         ok
     }
@@ -536,7 +563,7 @@ mod chaos_sweep {
 
 #[cfg(not(any(feature = "audit", debug_assertions)))]
 mod chaos_sweep {
-    pub fn run(_quick: bool) -> bool {
+    pub fn run(_quick: bool, _only: Option<u64>) -> bool {
         println!("==> chaos sweep skipped (instrumentation compiled out)");
         true
     }
@@ -551,18 +578,18 @@ mod chaos_net_sweep {
     //! schedule with zero invariant violations and the byte-identical
     //! fault-free mesh; a duplicate storm must never re-execute a handler.
 
+    use crate::replay_harness;
     use pumg::methods::domain::Workload;
     use pumg::methods::ooc_pcdm::{
         opcdm_run, opcdm_run_threaded, opcdm_run_threaded_with, opcdm_run_with,
     };
     use pumg::methods::pcdm::PcdmParams;
-    use pumg::mrts::audit::{FailMode, InvariantChecker, RaceDetector};
+    use pumg::mrts::audit::{EventSink, FailMode, InvariantChecker, RaceDetector};
     use pumg::mrts::config::MrtsConfig;
     use pumg::mrts::netfault::NetFaultPlan;
     use pumg::mrts::stats::RunStats;
     use std::io::Write;
     use std::sync::Arc;
-    use std::time::Duration;
 
     fn params() -> PcdmParams {
         PcdmParams::new(Workload::uniform_square(6_000), 2)
@@ -571,12 +598,10 @@ mod chaos_net_sweep {
     // Rates run hotter than the `tests/chaos.rs` schedules: the mesh
     // workload exchanges only a handful of remote messages per run, so a
     // sweep at realistic rates could pass without injecting anything.
+    // (The plan itself lives in `replay_harness` so a persisted seed maps
+    // back to the exact schedule.)
     fn net_plan(seed: u64) -> NetFaultPlan {
-        NetFaultPlan::new(0x6E7F_A017 ^ seed)
-            .with_drops(200)
-            .with_dups(150)
-            .with_delay(80, Duration::from_micros(300))
-            .with_reorder(60)
+        replay_harness::chaos_net_plan(seed)
     }
 
     fn counters(stats: &RunStats) -> String {
@@ -590,9 +615,23 @@ mod chaos_net_sweep {
         )
     }
 
-    pub fn run(quick: bool) -> bool {
+    pub fn run(quick: bool, only: Option<u64>) -> bool {
         let (des_seeds, thr_seeds) = if quick { (4u64, 2u64) } else { (20, 20) };
-        let partition_seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+        let des_seeds: Vec<u64> = match only {
+            Some(s) => vec![s],
+            None => (0..des_seeds).collect(),
+        };
+        let thr_seeds: Vec<u64> = match only {
+            Some(s) => vec![s],
+            None => (0..thr_seeds).collect(),
+        };
+        // `--seed` re-runs one schedule; the fixed-seed extras are skipped.
+        let partition_seeds: &[u64] = match (only, quick) {
+            (Some(_), _) => &[],
+            (None, true) => &[1],
+            (None, false) => &[1, 2, 3],
+        };
+        let run_dup_storm = only.is_none();
         let mut report = Vec::<String>::new();
         let mut ok = true;
         let mut say = |line: String| {
@@ -605,7 +644,7 @@ mod chaos_net_sweep {
         let reference = opcdm_run(&params(), MrtsConfig::out_of_core(2, budget));
 
         let mut injected = 0usize;
-        for seed in 0..des_seeds {
+        for &seed in &des_seeds {
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let sink = chk.clone();
             let r = opcdm_run_with(
@@ -661,18 +700,16 @@ mod chaos_net_sweep {
             let _ = std::fs::remove_dir_all(spill_dir("chaos-net-ref"));
             r
         };
-        for seed in 0..thr_seeds {
+        for &seed in &thr_seeds {
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let det = Arc::new(RaceDetector::new(2));
-            let dir = spill_dir(&format!("chaos-net-t{seed}"));
-            let mut cfg = MrtsConfig::out_of_core(2, budget).with_net_faults(net_plan(seed));
-            cfg.spill_dir = Some(dir.clone());
-            let (sink, races) = (chk.clone(), det.clone());
-            let r = opcdm_run_threaded_with(&params(), cfg, move |rt| {
-                rt.attach_audit(sink);
-                rt.attach_race_detector(races);
-            });
-            let _ = std::fs::remove_dir_all(dir);
+            let label = format!("chaos-net-t{seed}");
+            let cfg =
+                replay_harness::harness_config(replay_harness::CHAOS_NET_THREADED, seed, &label)
+                    .expect("known harness id");
+            let sink: Arc<dyn EventSink> = chk.clone();
+            let r = replay_harness::record_run(cfg, std::slice::from_ref(&sink), Some(det.clone()));
+            let _ = std::fs::remove_dir_all(replay_harness::spill_dir(&label));
             let clean = chk.violations().is_empty()
                 && det.races().is_empty()
                 && (r.elements, r.vertices) == (thr_reference.elements, thr_reference.vertices);
@@ -688,12 +725,23 @@ mod chaos_net_sweep {
             if !chk.violations().is_empty() {
                 say(format!("  violations: {:?}", chk.violations()));
             }
+            if !clean {
+                let path = replay_harness::persist_artifact(
+                    replay_harness::CHAOS_NET_THREADED,
+                    seed,
+                    r.decisions,
+                    r.recorded,
+                );
+                say(format!(
+                    "  failing schedule persisted: {path} (re-run: audit -- --replay {path})"
+                ));
+            }
         }
 
         // Duplicate storm: half of all transmissions duplicated; a handler
         // executed twice drives the checker's outstanding-delivery count
         // negative (DuplicateDelivery) and would mutate the mesh.
-        {
+        if run_dup_storm {
             let plan = NetFaultPlan::new(0xD0D0).with_dups(500);
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let dir = spill_dir("chaos-net-dup");
@@ -727,7 +775,7 @@ mod chaos_net_sweep {
         }
         println!(
             "    {} schedules swept — report in target/chaos-net-report.txt",
-            des_seeds + thr_seeds + partition_seeds.len() as u64 + 1
+            des_seeds.len() + thr_seeds.len() + partition_seeds.len() + run_dup_storm as usize
         );
         ok
     }
@@ -739,41 +787,451 @@ mod chaos_net_sweep {
 
 #[cfg(not(any(feature = "audit", debug_assertions)))]
 mod chaos_net_sweep {
-    pub fn run(_quick: bool) -> bool {
+    pub fn run(_quick: bool, _only: Option<u64>) -> bool {
         println!("==> chaos-net sweep skipped (instrumentation compiled out)");
         true
     }
 }
 
+#[cfg(any(feature = "audit", debug_assertions))]
+mod replay_harness {
+    //! Record/replay plumbing shared by the chaos sweeps and the
+    //! `--replay` / `--replay-smoke` commands. A harness id + fault seed
+    //! fully determines a schedule's configuration, so a persisted
+    //! [`ReplayArtifact`] is self-describing: `--replay <path>` rebuilds
+    //! the workload, re-executes under the recorded decision log, and
+    //! diffs the live canonical audit stream against the recorded one.
+
+    use pumg::methods::domain::Workload;
+    use pumg::methods::ooc_pcdm::{opcdm_collect_threaded, opcdm_setup_threaded};
+    use pumg::methods::pcdm::PcdmParams;
+    use pumg::mrts::audit::{EventLog, EventSink, FanOut, RaceDetector};
+    use pumg::mrts::config::MrtsConfig;
+    use pumg::mrts::fault::FaultPlan;
+    use pumg::mrts::netfault::NetFaultPlan;
+    use pumg::mrts::replay::{
+        canonicalize, compare, CanonicalStream, Decision, DecisionLog, ReplayArtifact,
+        DEFAULT_LOG_BYTE_CAP,
+    };
+    use pumg::mrts::stats::RunStats;
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    pub const CHAOS_THREADED: &str = "chaos-threaded";
+    pub const CHAOS_NET_THREADED: &str = "chaos-net-threaded";
+    pub const REPLAY_SMOKE: &str = "replay-smoke";
+
+    const NODES: usize = 2;
+    const BUDGET: usize = 70_000;
+
+    fn params() -> PcdmParams {
+        PcdmParams::new(Workload::uniform_square(6_000), 2)
+    }
+
+    /// The chaos sweep's threaded storage-fault schedule for `seed`.
+    fn chaos_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(0xBAD_D15C ^ seed)
+            .with_eio(120)
+            .with_torn_writes(80)
+            .with_latency(60, Duration::from_micros(200))
+    }
+
+    /// The chaos-net sweep's fabric-fault schedule for `seed`.
+    pub fn chaos_net_plan(seed: u64) -> NetFaultPlan {
+        NetFaultPlan::new(0x6E7F_A017 ^ seed)
+            .with_drops(200)
+            .with_dups(150)
+            .with_delay(80, Duration::from_micros(300))
+            .with_reorder(60)
+    }
+
+    /// Map a harness id + seed back to the exact configuration that
+    /// produced a persisted artifact. `replay-smoke` pins `io_threads`
+    /// to 1: with a single pool thread both lanes of the canonical
+    /// stream are fully deterministic, so byte-identity is provable.
+    pub fn harness_config(harness: &str, seed: u64, label: &str) -> Option<MrtsConfig> {
+        let mut cfg = match harness {
+            CHAOS_THREADED => MrtsConfig::out_of_core(NODES, BUDGET).with_faults(chaos_plan(seed)),
+            CHAOS_NET_THREADED => {
+                MrtsConfig::out_of_core(NODES, BUDGET).with_net_faults(chaos_net_plan(seed))
+            }
+            REPLAY_SMOKE => MrtsConfig::out_of_core(NODES, BUDGET)
+                .with_net_faults(chaos_net_plan(seed))
+                .with_io_threads(1),
+            _ => return None,
+        };
+        cfg.spill_dir = Some(spill_dir(label));
+        Some(cfg)
+    }
+
+    pub fn spill_dir(label: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mrts-audit-{label}-{}", std::process::id()))
+    }
+
+    fn artifact_path(harness: &str, seed: u64) -> PathBuf {
+        PathBuf::from("target/replay").join(format!("{harness}-seed{seed}.replay"))
+    }
+
+    /// Persist a failing schedule for offline replay; returns the path
+    /// (or an error marker) for the sweep report.
+    pub fn persist_artifact(
+        harness: &str,
+        seed: u64,
+        decisions: DecisionLog,
+        recorded: CanonicalStream,
+    ) -> String {
+        let art = ReplayArtifact {
+            harness: harness.to_string(),
+            seed,
+            decisions,
+            recorded,
+        };
+        let path = artifact_path(harness, seed);
+        match art.save(&path, DEFAULT_LOG_BYTE_CAP) {
+            Ok(()) => path.display().to_string(),
+            Err(e) => format!("<persist failed: {e}>"),
+        }
+    }
+
+    /// One recorded (or replayed) schedule's outcome.
+    pub struct RunOutcome {
+        pub elements: u64,
+        pub vertices: u64,
+        pub stats: RunStats,
+        pub decisions: DecisionLog,
+        pub recorded: CanonicalStream,
+    }
+
+    fn execute(
+        cfg: MrtsConfig,
+        sinks: &[Arc<dyn EventSink>],
+        det: Option<Arc<RaceDetector>>,
+        mode: Option<DecisionLog>,
+    ) -> RunOutcome {
+        let log = Arc::new(EventLog::new());
+        let mut all: Vec<Arc<dyn EventSink>> = vec![log.clone()];
+        all.extend(sinks.iter().cloned());
+        let mut rt = opcdm_setup_threaded(&params(), cfg);
+        rt.attach_audit(Arc::new(FanOut::new(all)));
+        if let Some(d) = det {
+            rt.attach_race_detector(d);
+        }
+        match mode {
+            Some(decisions) => rt.replay_decisions(decisions),
+            None => rt.record_decisions(),
+        }
+        let stats = rt.run();
+        let (elements, vertices) = opcdm_collect_threaded(&rt);
+        let decisions = rt
+            .take_decision_log()
+            .unwrap_or_else(|| DecisionLog::new(NODES));
+        RunOutcome {
+            elements,
+            vertices,
+            stats,
+            decisions,
+            recorded: canonicalize(&log.snapshot(), NODES),
+        }
+    }
+
+    /// Run a schedule with decision recording on; `sinks` ride alongside
+    /// the internal [`EventLog`] via a [`FanOut`].
+    pub fn record_run(
+        cfg: MrtsConfig,
+        sinks: &[Arc<dyn EventSink>],
+        det: Option<Arc<RaceDetector>>,
+    ) -> RunOutcome {
+        execute(cfg, sinks, det, None)
+    }
+
+    /// Re-run a schedule under a recorded decision log. The returned
+    /// `recorded` field holds the *live* canonical stream; `decisions`
+    /// is empty (the sequencer consumes the log).
+    pub fn replay_run(cfg: MrtsConfig, decisions: DecisionLog) -> RunOutcome {
+        execute(cfg, &[], None, Some(decisions))
+    }
+
+    fn write_divergence_report(text: &str) {
+        let _ = std::fs::create_dir_all("target/replay");
+        if let Ok(mut f) = std::fs::File::create("target/replay/divergence-report.txt") {
+            let _ = f.write_all(text.as_bytes());
+        }
+    }
+
+    /// `--replay <path>`: load an artifact, re-execute its schedule under
+    /// the recorded decision log, and report the first divergence (if
+    /// any) between the recorded and live canonical audit streams.
+    pub fn replay_artifact_cmd(path: &Path) -> bool {
+        println!("==> replay ({})", path.display());
+        let art = match ReplayArtifact::load(path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("audit: cannot load replay artifact: {e}");
+                return false;
+            }
+        };
+        let label = format!("replay-{}", art.seed);
+        let Some(cfg) = harness_config(&art.harness, art.seed, &label) else {
+            eprintln!(
+                "audit: artifact names unknown harness {:?} (known: {CHAOS_THREADED}, \
+                 {CHAOS_NET_THREADED}, {REPLAY_SMOKE})",
+                art.harness
+            );
+            return false;
+        };
+        println!(
+            "    harness {} seed {} ({} recorded decisions, {} recorded events)",
+            art.harness,
+            art.seed,
+            art.decisions.len(),
+            art.recorded.total_events()
+        );
+        let r = replay_run(cfg, art.decisions.clone());
+        let _ = std::fs::remove_dir_all(spill_dir(&label));
+        let report = compare(&art.recorded, &r.recorded);
+        let seq_div = r.stats.total_of(|n| n.replay_divergences);
+        print!("    {report}");
+        println!("    sequencer divergences: {seq_div}");
+        let text = format!("{report}sequencer divergences: {seq_div}\n");
+        write_divergence_report(&text);
+        println!("    report in target/replay/divergence-report.txt");
+        report.is_clean() && seq_div == 0
+    }
+
+    /// `--replay-smoke`: record chaos-net schedules (single pool thread),
+    /// replay each, and require byte-identical canonical streams with
+    /// zero sequencer divergences — plus two perturbation probes proving
+    /// the detector is not vacuous.
+    pub fn smoke(quick: bool) -> bool {
+        let seeds: u64 = if quick { 3 } else { 10 };
+        println!("==> replay smoke ({seeds} record/replay pairs + perturbation probes)");
+        let mut ok = true;
+        let mut kept: Option<(DecisionLog, CanonicalStream)> = None;
+        let mut divergence_text = String::new();
+        for seed in 0..seeds {
+            let rec_label = format!("rsmoke-rec{seed}");
+            let cfg = harness_config(REPLAY_SMOKE, seed, &rec_label).expect("known harness id");
+            let rec = record_run(cfg, &[], None);
+            let _ = std::fs::remove_dir_all(spill_dir(&rec_label));
+            let n_decisions = rec.stats.total_of(|n| n.decisions_recorded);
+            if n_decisions == 0 {
+                println!("    seed {seed}: FAIL — recorded no decisions (vacuous)");
+                ok = false;
+                continue;
+            }
+            let rep_label = format!("rsmoke-rep{seed}");
+            let cfg = harness_config(REPLAY_SMOKE, seed, &rep_label).expect("known harness id");
+            let rep = replay_run(cfg, rec.decisions.clone());
+            let _ = std::fs::remove_dir_all(spill_dir(&rep_label));
+            let report = compare(&rec.recorded, &rep.recorded);
+            let seq_div = rep.stats.total_of(|n| n.replay_divergences);
+            let clean = report.is_clean()
+                && seq_div == 0
+                && report.events_compared > 0
+                && (rep.elements, rep.vertices) == (rec.elements, rec.vertices);
+            ok &= clean;
+            println!(
+                "    seed {seed}: {} ({} decisions, {} events byte-compared, {} sequencer \
+                 divergences, mesh {})",
+                if clean { "ok" } else { "FAIL" },
+                n_decisions,
+                report.events_compared,
+                seq_div,
+                rep.elements
+            );
+            if !clean {
+                divergence_text.push_str(&format!("seed {seed}:\n{report}"));
+                let path = persist_artifact(
+                    REPLAY_SMOKE,
+                    seed,
+                    rec.decisions.clone(),
+                    rec.recorded.clone(),
+                );
+                println!("      artifact persisted: {path}");
+            }
+            if kept.is_none() {
+                kept = Some((rec.decisions, rec.recorded));
+            }
+        }
+
+        let Some((decisions, recorded)) = kept else {
+            println!("    FAIL: no schedule recorded — probes skipped");
+            write_divergence_report(&divergence_text);
+            return false;
+        };
+        // Keep one good artifact around: it documents the on-disk format
+        // and gives `--replay` a known-clean input.
+        let path = persist_artifact(REPLAY_SMOKE, 0, decisions.clone(), recorded.clone());
+        println!("    seed 0 artifact kept: {path}");
+
+        // Probe 1: corrupt one fabric decision; the sequencer must notice
+        // (tag mismatch → divergence counter) even if the run then
+        // converges back to the recorded stream.
+        let mut bad = decisions.clone();
+        let flipped = bad.nodes.iter_mut().flatten().find_map(|d| {
+            if let Decision::FabricRecv { tag, .. } = d {
+                *tag ^= 0x5A5A;
+                Some(())
+            } else {
+                None
+            }
+        });
+        if flipped.is_none() {
+            println!("    FAIL: recorded log holds no FabricRecv to perturb (vacuous)");
+            ok = false;
+        } else {
+            let label = "rsmoke-perturb";
+            let cfg = harness_config(REPLAY_SMOKE, 0, label).expect("known harness id");
+            let rep = replay_run(cfg, bad);
+            let _ = std::fs::remove_dir_all(spill_dir(label));
+            let report = compare(&recorded, &rep.recorded);
+            let seq_div = rep.stats.total_of(|n| n.replay_divergences);
+            let caught = seq_div > 0 || !report.is_clean();
+            ok &= caught;
+            println!(
+                "    perturbed log: {} ({} sequencer divergences, stream {})",
+                if caught {
+                    "caught"
+                } else {
+                    "FAIL — undetected"
+                },
+                seq_div,
+                if report.is_clean() {
+                    "clean"
+                } else {
+                    "diverged"
+                }
+            );
+            if !report.is_clean() {
+                divergence_text.push_str(&format!("perturbed log:\n{report}"));
+            }
+        }
+
+        // Probe 2: corrupt the recorded stream itself; the detector must
+        // report the first divergence at exactly the cut index.
+        let mut cut = recorded.clone();
+        let probe = cut
+            .nodes
+            .iter()
+            .position(|n| n.control.len() >= 2)
+            .map(|node| {
+                let idx = cut.nodes[node].control.len() / 2;
+                cut.nodes[node].control.truncate(idx);
+                (node, idx)
+            });
+        match probe {
+            None => {
+                println!("    FAIL: recorded stream too small to perturb (vacuous)");
+                ok = false;
+            }
+            Some((node, idx)) => {
+                let report = compare(&cut, &recorded);
+                let hit = report
+                    .divergences
+                    .iter()
+                    .any(|d| d.node as usize == node && d.index == idx);
+                ok &= hit;
+                println!(
+                    "    perturbed stream: {} (expected first divergence node {node} index {idx})",
+                    if hit {
+                        "located"
+                    } else {
+                        "FAIL — misreported"
+                    },
+                );
+                divergence_text.push_str(&format!("perturbed stream probe:\n{report}"));
+            }
+        }
+
+        write_divergence_report(&divergence_text);
+        println!("    report in target/replay/divergence-report.txt");
+        ok
+    }
+}
+
+#[cfg(not(any(feature = "audit", debug_assertions)))]
+mod replay_harness {
+    use std::path::Path;
+
+    pub fn replay_artifact_cmd(_path: &Path) -> bool {
+        eprintln!(
+            "audit: --replay needs the audit stream; build with debug assertions or \
+             `--features audit`"
+        );
+        false
+    }
+
+    pub fn smoke(_quick: bool) -> bool {
+        eprintln!(
+            "audit: --replay-smoke needs the audit stream; build with debug assertions or \
+             `--features audit`"
+        );
+        false
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let chaos = args.iter().any(|a| a == "--chaos");
-    let chaos_net = args.iter().any(|a| a == "--chaos-net");
-    let quick = args.iter().any(|a| a == "--quick");
-    let analyze = args.iter().any(|a| a == "--analyze");
-    if let Some(bad) = args.iter().find(|a| {
-        a.as_str() != "--chaos"
-            && a.as_str() != "--chaos-net"
-            && a.as_str() != "--quick"
-            && a.as_str() != "--analyze"
-    }) {
-        eprintln!(
-            "audit: unknown flag {bad} (expected --chaos, --chaos-net, --analyze and/or --quick)"
-        );
+    let mut chaos = false;
+    let mut chaos_net = false;
+    let mut quick = false;
+    let mut analyze = false;
+    let mut replay_smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut replay_path: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chaos" => chaos = true,
+            "--chaos-net" => chaos_net = true,
+            "--quick" => quick = true,
+            "--analyze" => analyze = true,
+            "--replay-smoke" => replay_smoke = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = Some(v),
+                None => {
+                    eprintln!("audit: --seed requires an integer schedule seed");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--replay" => match it.next() {
+                Some(v) => replay_path = Some(std::path::PathBuf::from(v)),
+                None => {
+                    eprintln!("audit: --replay requires a path to a .replay artifact");
+                    return ExitCode::FAILURE;
+                }
+            },
+            bad => {
+                eprintln!(
+                    "audit: unknown flag {bad} (expected --chaos, --chaos-net, --analyze, \
+                     --replay-smoke, --replay <path>, --seed <n> and/or --quick)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if seed.is_some() && !(chaos || chaos_net) {
+        eprintln!("audit: --seed only applies to --chaos / --chaos-net");
         return ExitCode::FAILURE;
     }
-    let ok = if analyze {
+    let ok = if let Some(path) = replay_path {
+        replay_harness::replay_artifact_cmd(&path)
+    } else if replay_smoke {
+        replay_harness::smoke(quick)
+    } else if analyze {
         static_analysis()
     } else if chaos_net {
-        chaos_net_sweep::run(quick)
+        chaos_net_sweep::run(quick, seed)
     } else if chaos {
-        chaos_sweep::run(quick)
+        chaos_sweep::run(quick, seed)
     } else {
         lint_and_test()
             && static_analysis()
             && invariant_sweep::run()
-            && chaos_sweep::run(true)
-            && chaos_net_sweep::run(true)
+            && chaos_sweep::run(true, None)
+            && chaos_net_sweep::run(true, None)
     };
     if ok {
         println!("audit: all gates passed");

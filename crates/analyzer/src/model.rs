@@ -140,6 +140,21 @@ impl Workspace {
             &root.join("crates/armci-sim/src/lib.rs"),
             vec![LockScan, UnwrapScan],
         )?;
+        // Mesh-method runtime paths: handlers and decoders execute inside
+        // the engines, so a bare unwrap there panics a worker just like
+        // one in core would. `.expect` with a rationale is the allowed
+        // form (handlers cannot return `Result`).
+        let methods = root.join("crates/mesh-methods/src");
+        let entries =
+            fs::read_dir(&methods).map_err(|e| format!("read_dir {}: {e}", methods.display()))?;
+        let mut method_files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        method_files.sort();
+        for p in method_files {
+            ws.load(&p, vec![UnwrapScan])?;
+        }
         ws.load(
             &root.join("crates/bench/src/bin/overlap_smoke.rs"),
             vec![Report],

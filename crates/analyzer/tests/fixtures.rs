@@ -405,6 +405,87 @@ fn replay_poll(d: Option<&Decision>) -> bool {
     );
 }
 
+#[test]
+fn steal_decisions_require_both_paths() {
+    // The work-stealing decisions ride the same record/replay contract as
+    // the polls: a `StealGrant` variant whose record path never produces
+    // it (and whose replay path cannot match it) is dead protocol. The
+    // fixture constructs/matches only `StealRequest`.
+    let mut files = clean_files();
+    files
+        .iter_mut()
+        .find(|(n, _, _)| *n == "fix/replay.rs")
+        .expect("fixture slot exists")
+        .1 = r#"
+pub enum Decision {
+    Step { n: u32 },
+    Halt,
+    StealRequest { victim: u16 },
+    StealGrant { oid: u64 },
+}
+"#;
+    files
+        .iter_mut()
+        .find(|(n, _, _)| *n == "fix/threaded.rs")
+        .expect("fixture slot exists")
+        .1 = r#"
+pub const AM_PING: u32 = 1;
+
+fn audit_emit(kind: u32) {
+    let _ = kind;
+}
+
+fn handle_ping(st: &mut NodeStats) {
+    audit_emit(1);
+    st.pings += 1;
+}
+
+fn dispatch(tag: u32, st: &mut NodeStats) {
+    match tag {
+        AM_PING => handle_ping(st),
+        _ => {}
+    }
+}
+
+fn record_poll(log: &mut Vec<Decision>, got: bool) {
+    if got {
+        log.push(Decision::Step { n: 1 });
+    } else {
+        log.push(Decision::Halt);
+    }
+}
+
+fn maybe_steal(log: &mut Vec<Decision>) {
+    log.push(Decision::StealRequest { victim: 1 });
+}
+
+fn replay_poll(d: Option<&Decision>) -> bool {
+    match d {
+        Some(Decision::Step { n }) => *n > 0,
+        Some(Decision::Halt) => false,
+        Some(Decision::StealRequest { victim }) => *victim > 0,
+        _ => false,
+    }
+}
+"#;
+    let (report, m) = msgs(&ws_with(&files));
+    assert_eq!(report.decisions_checked, 4);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("Decision::StealGrant is never constructed on the record path")),
+        "unrecorded steal grant not flagged: {m:?}"
+    );
+    assert!(
+        m.iter()
+            .any(|v| v.contains("Decision::StealGrant has no replay match arm")),
+        "unmatched steal grant not flagged: {m:?}"
+    );
+    assert!(
+        !m.iter().any(|v| v.contains("Decision::StealRequest")),
+        "StealRequest is handled on both paths: {m:?}"
+    );
+}
+
 // ---- checker 2: lock order ---------------------------------------------
 
 #[test]
@@ -532,9 +613,12 @@ fn real_tree_is_clean_and_every_checker_is_nonvacuous() {
     let report = analyze_tree(&root).expect("analyze the real tree");
     let m: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
     assert!(report.pass(), "the tree must stay analysis-clean: {m:#?}");
-    assert!(report.tags_checked >= 5, "AM tag coverage collapsed");
+    // Floors include the work-stealing protocol: AM_STEAL_REQ/DENY among
+    // the tags, StealRequest/StealGrant among the decisions. Deleting
+    // them must fail here even though no violation would fire.
+    assert!(report.tags_checked >= 7, "AM tag coverage collapsed");
     assert!(report.counters_checked >= 10, "counter coverage collapsed");
-    assert!(report.decisions_checked >= 7, "decision coverage collapsed");
+    assert!(report.decisions_checked >= 9, "decision coverage collapsed");
     assert!(report.locks_seen >= 3, "lock coverage collapsed");
     assert!(report.fns_scanned >= 100, "function coverage collapsed");
 }

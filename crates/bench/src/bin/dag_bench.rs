@@ -1,0 +1,195 @@
+//! DAG scheduler benchmark: dependency-driven phase progress plus work
+//! stealing against the global-barrier baseline, on a graded (imbalanced)
+//! out-of-core OUPDR workload.
+//!
+//! Four configurations of the same graded mesh run on the DES engine
+//! (8 simulated nodes, virtual time, period-realistic disk/network), all
+//! out-of-core under the same tight memory budget:
+//!
+//! * **barrier** — [`MrtsConfig::with_barriers`]: every block waits for
+//!   the globally slowest block at each phase boundary;
+//! * **dag** — the dependency DAG alone: a block enters its next phase
+//!   the moment its in-neighbors have committed the previous one;
+//! * **dag+steal** — the full scheduler: DAG discipline with work
+//!   stealing, so starved nodes pull queued work off loaded peers.
+//!
+//! An in-core DAG run sizes the memory budget and provides a floor
+//! reference. Virtual time is *not* exactly reproducible — the DES
+//! charges measured kernel time scaled by `compute_scale` — so each
+//! configuration reports its best of several repeats, and the CI gates
+//! compare configurations with a structural margin well above the
+//! residual noise: the full scheduler must not be slower than the
+//! barrier baseline, its idle fraction must be lower, it must actually
+//! steal, and every configuration must mesh byte-identically. Results go
+//! to `BENCH_dag.json` for the CI artifact. Pass `--quick` (or set
+//! `PUMG_QUICK=1`) for the CI-sized run.
+
+use mrts::config::MrtsConfig;
+use pumg_bench::COMPUTE_SCALE;
+use pumg_geometry::Point2;
+use pumg_methods::common::MethodResult;
+use pumg_methods::domain::{h_for_elements, DomainSpec, SizingSpec, Workload};
+use pumg_methods::ooc_updr::oupdr_run_with_digest;
+use pumg_methods::updr::UpdrParams;
+
+/// A graded unit square: elements concentrate toward the origin corner,
+/// so the block-per-node partition is deliberately imbalanced — the
+/// regime where barrier idling grows with node count (paper §V).
+fn graded_params(elements: u64, grid: usize) -> UpdrParams {
+    let domain = DomainSpec::unit_square();
+    let h_avg = h_for_elements(domain.area(), elements);
+    let h_min = h_avg / 1.6;
+    UpdrParams::new(
+        Workload {
+            domain,
+            sizing: SizingSpec::Graded {
+                focus: Point2::new(0.0, 0.0),
+                h_min,
+                h_max: h_min * 4.0,
+                radius: 1.4,
+            },
+        },
+        grid,
+    )
+}
+
+/// Best-of-`repeats` virtual time (kernel timing feeds the DES clock, so
+/// virtual totals carry real measurement noise).
+fn run(p: &UpdrParams, cfg: &MrtsConfig, repeats: usize) -> (MethodResult, u64) {
+    let mut best: Option<(MethodResult, u64)> = None;
+    for _ in 0..repeats {
+        let (r, digest) = oupdr_run_with_digest(p, cfg.clone());
+        if best
+            .as_ref()
+            .is_none_or(|(b, _)| r.stats.total < b.stats.total)
+        {
+            best = Some((r, digest));
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("PUMG_QUICK").is_ok_and(|v| v != "0");
+    // Grid 8 = 64 blocks over 8 nodes: enough blocks per node that the
+    // dependency DAG has pipelining slack and the steal layer has queued
+    // work to move. With one block per node the critical path is the
+    // heaviest block under either discipline and neither layer can help.
+    let nodes = 8usize;
+    let (elements, grid, repeats) = if quick {
+        (12_000, 8, 3)
+    } else {
+        (24_000, 8, 5)
+    };
+    let p = graded_params(elements, grid);
+
+    let mut in_core = MrtsConfig::in_core(nodes);
+    in_core.compute_scale = COMPUTE_SCALE;
+    let (r_core, core_digest) = run(&p, &in_core, repeats);
+
+    // Budget a quarter of the in-core peak: tight enough that blocks
+    // spill between phases and message queues form on evicted objects —
+    // the only place DES stealing can find ready work.
+    let budget = (r_core.stats.peak_mem() / 4).max(60_000);
+    let mut barrier = MrtsConfig::out_of_core(nodes, budget).with_barriers();
+    barrier.compute_scale = COMPUTE_SCALE;
+    let mut dag = MrtsConfig::out_of_core(nodes, budget);
+    dag.compute_scale = COMPUTE_SCALE;
+    let steal = dag.clone().with_work_stealing();
+
+    let (r_bar, bar_digest) = run(&p, &barrier, repeats);
+    let (r_dag, dag_digest) = run(&p, &dag, repeats);
+    let (r_steal, steal_digest) = run(&p, &steal, repeats);
+
+    let core_secs = r_core.stats.total.as_secs_f64();
+    let bar_secs = r_bar.stats.total.as_secs_f64();
+    let dag_secs = r_dag.stats.total.as_secs_f64();
+    let steal_secs = r_steal.stats.total.as_secs_f64();
+    let steal_requests = r_steal.stats.total_of(|n| n.steal_requests as usize);
+    let tasks_stolen = r_steal.stats.total_of(|n| n.tasks_stolen as usize);
+
+    // The CI gates. Schedule independence is exact (canonical phase-3
+    // integration); the timing/idle comparisons ride a structural margin
+    // well above the DES's kernel-measurement noise.
+    for (label, d) in [
+        ("barrier", bar_digest),
+        ("dag", dag_digest),
+        ("dag+steal", steal_digest),
+    ] {
+        assert_eq!(
+            d, core_digest,
+            "{label} schedule meshed differently from the in-core reference"
+        );
+    }
+    assert!(
+        steal_secs <= bar_secs,
+        "full scheduler regressed: dag+steal {steal_secs:.4}s vs barrier {bar_secs:.4}s"
+    );
+    assert!(
+        r_steal.stats.idle_fraction() < r_bar.stats.idle_fraction(),
+        "dag+steal idle fraction {:.4} not below barrier {:.4}",
+        r_steal.stats.idle_fraction(),
+        r_bar.stats.idle_fraction()
+    );
+    // Non-vacuity: the budget must actually starve some node into
+    // stealing, or the headline columns measure a dead path.
+    assert!(
+        steal_requests > 0,
+        "steal run issued no steal requests — budget {budget} leaves no queued work \
+         to steal"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"dag_bench\",\n",
+            "  \"quick\": {},\n",
+            "  \"elements\": {},\n",
+            "  \"nodes\": {},\n",
+            "  \"grid\": {},\n",
+            "  \"mem_budget\": {},\n",
+            "  \"in_core_secs\": {:.6},\n",
+            "  \"barrier_secs\": {:.6},\n",
+            "  \"dag_secs\": {:.6},\n",
+            "  \"dag_steal_secs\": {:.6},\n",
+            "  \"steal_speedup_vs_barrier\": {:.4},\n",
+            "  \"barrier_idle_fraction\": {:.4},\n",
+            "  \"dag_idle_fraction\": {:.4},\n",
+            "  \"dag_steal_idle_fraction\": {:.4},\n",
+            "  \"steal_requests\": {},\n",
+            "  \"tasks_stolen\": {},\n",
+            "  \"idle_ticks\": {},\n",
+            "  \"meshes_byte_identical\": true\n",
+            "}}\n"
+        ),
+        quick,
+        r_steal.elements,
+        nodes,
+        grid,
+        budget,
+        core_secs,
+        bar_secs,
+        dag_secs,
+        steal_secs,
+        bar_secs / steal_secs,
+        r_bar.stats.idle_fraction(),
+        r_dag.stats.idle_fraction(),
+        r_steal.stats.idle_fraction(),
+        steal_requests,
+        tasks_stolen,
+        r_steal.stats.total_of(|n| n.idle_ticks as usize),
+    );
+    std::fs::write("BENCH_dag.json", &json).expect("write BENCH_dag.json");
+    print!("{json}");
+    eprintln!(
+        "in-core {core_secs:.3}s | barrier {bar_secs:.3}s (idle {:.1}%) | \
+         dag {dag_secs:.3}s (idle {:.1}%) | dag+steal {steal_secs:.3}s \
+         (idle {:.1}%, {:.2}x vs barrier, {steal_requests} requests, \
+         {tasks_stolen} stolen)",
+        100.0 * r_bar.stats.idle_fraction(),
+        100.0 * r_dag.stats.idle_fraction(),
+        100.0 * r_steal.stats.idle_fraction(),
+        bar_secs / steal_secs,
+    );
+}

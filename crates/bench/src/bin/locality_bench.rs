@@ -60,7 +60,7 @@ struct Patch {
 }
 
 impl Patch {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
         let value = r.u64().expect("value");
         let neighbors = r.ptrs().expect("neighbors");
@@ -68,14 +68,14 @@ impl Patch {
         let next_col = r.ptrs().expect("next_col");
         let first = r.ptrs().expect("first");
         let pad = r.bytes().expect("pad").to_vec();
-        Box::new(Patch {
+        Ok(Box::new(Patch {
             value,
             neighbors,
             next_row,
             next_col,
             first,
             pad,
-        })
+        }))
     }
 }
 

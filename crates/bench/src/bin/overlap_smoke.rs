@@ -132,7 +132,11 @@ fn main() {
             "  \"hints_invalidated\": {},\n",
             "  \"acks_sent\": {},\n",
             "  \"decisions_recorded\": {},\n",
-            "  \"replay_divergences\": {}\n",
+            "  \"replay_divergences\": {},\n",
+            "  \"idle_fraction\": {:.4},\n",
+            "  \"idle_ticks\": {},\n",
+            "  \"steal_requests\": {},\n",
+            "  \"tasks_stolen\": {}\n",
             "}}\n"
         ),
         quick,
@@ -182,6 +186,10 @@ fn main() {
         s.total_of(|n| n.acks_sent),
         s.total_of(|n| n.decisions_recorded),
         s.total_of(|n| n.replay_divergences),
+        s.idle_fraction(),
+        s.total_of(|n| n.idle_ticks as usize),
+        s.total_of(|n| n.steal_requests as usize),
+        s.total_of(|n| n.tasks_stolen as usize),
     );
     // The OOC configurations must actually run out of core: a budget
     // loose enough that the overlap run never spills or prefetches

@@ -64,6 +64,10 @@
 //!     transmissions, every `Deliver` consumes an outstanding `Post`; a
 //!     duplicate that escaped receiver-side dedup drives the outstanding
 //!     count negative and is flagged.
+//! 14. **Steals respect pinning and residency** — a `StealGrant` hands
+//!     over an object that is present (in-core or on this node's disk)
+//!     and unpinned on the granting node; the migration it triggers is
+//!     then held to invariants 3 and 5 like any other.
 //!
 //! A catch-all, [`Invariant::EventOrder`], flags protocol-impossible
 //! streams (loading an in-core object, installing a migration that never
@@ -267,6 +271,20 @@ pub enum RuntimeEvent {
         oid: ObjectId,
         loc: NodeId,
     },
+    /// An idle node `thief` asked `node` for ready work (work stealing;
+    /// see `mrts::sched`).
+    StealRequest { node: NodeId, thief: NodeId },
+    /// `node` answered a steal request by granting `oid` to thief `to`.
+    /// The handover must be legal: `oid` present on `node` (in-core or
+    /// on its disk) and unpinned (invariant 14). The migration that ships
+    /// it emits `MigrateOut`/`MigrateIn` as usual.
+    StealGrant {
+        node: NodeId,
+        oid: ObjectId,
+        to: NodeId,
+    },
+    /// `node` had nothing stealable for thief `to`.
+    StealDeny { node: NodeId, to: NodeId },
 }
 
 /// Observer of the runtime event stream. Must be thread-safe: the
@@ -358,6 +376,9 @@ pub enum Invariant {
     /// A handler executed more often than messages were posted — a
     /// duplicated transmission slipped past receiver-side dedup.
     DuplicateDelivery,
+    /// A steal grant handed over an object that was pinned, absent, or
+    /// already in flight on the granting node.
+    IllegalSteal,
     /// A protocol-impossible event for the tracked state (catch-all that
     /// keeps the checker honest about its own model).
     EventOrder,
@@ -1023,7 +1044,27 @@ impl EventSink for InvariantChecker {
             | RuntimeEvent::DupSuppressed { .. }
             | RuntimeEvent::HintInvalidated { .. }
             | RuntimeEvent::ClusterPrefetch { .. }
-            | RuntimeEvent::CompactionReorder { .. } => {}
+            | RuntimeEvent::CompactionReorder { .. }
+            | RuntimeEvent::StealRequest { .. }
+            | RuntimeEvent::StealDeny { .. } => {}
+            RuntimeEvent::StealGrant { node, oid, to } => match st.objs.get(oid) {
+                Some(o) if o.pinned => found.push((
+                    Invariant::IllegalSteal,
+                    format!("{oid:?} granted to thief {to} while pinned on node {node}"),
+                )),
+                Some(o) if o.loc != *node || o.residency == Residency::Migrating => found.push((
+                    Invariant::IllegalSteal,
+                    format!(
+                        "{oid:?} granted by node {node} to thief {to} but tracked {:?} at node {}",
+                        o.residency, o.loc
+                    ),
+                )),
+                Some(_) => {}
+                None => found.push((
+                    Invariant::IllegalSteal,
+                    format!("{oid:?} granted to thief {to} before creation"),
+                )),
+            },
             RuntimeEvent::Degraded { node, on } => {
                 if *on {
                     if !st.degraded.insert(*node) {
@@ -1437,6 +1478,58 @@ mod tests {
             c.violations()
                 .iter()
                 .any(|v| v.invariant == Invariant::StaleElision),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn steal_grant_legality_checked() {
+        let c = InvariantChecker::new(FailMode::Collect);
+        c.record(&RuntimeEvent::Create {
+            node: 0,
+            oid: oid(1),
+            footprint: 100,
+        });
+        c.record(&RuntimeEvent::StealRequest { node: 0, thief: 1 });
+        // Legal grant: in-core, unpinned, on the granting node.
+        c.record(&RuntimeEvent::StealGrant {
+            node: 0,
+            oid: oid(1),
+            to: 1,
+        });
+        c.record(&RuntimeEvent::StealDeny { node: 0, to: 2 });
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        // Pinned object: granting it is illegal.
+        c.record(&RuntimeEvent::Pin {
+            node: 0,
+            oid: oid(1),
+        });
+        c.record(&RuntimeEvent::StealGrant {
+            node: 0,
+            oid: oid(1),
+            to: 1,
+        });
+        assert!(c
+            .violations()
+            .iter()
+            .any(|v| v.invariant == Invariant::IllegalSteal));
+        // Wrong node: object lives on node 0, not node 2.
+        c.record(&RuntimeEvent::Unpin {
+            node: 0,
+            oid: oid(1),
+        });
+        c.record(&RuntimeEvent::StealGrant {
+            node: 2,
+            oid: oid(1),
+            to: 1,
+        });
+        assert_eq!(
+            c.violations()
+                .iter()
+                .filter(|v| v.invariant == Invariant::IllegalSteal)
+                .count(),
+            2,
             "{:?}",
             c.violations()
         );

@@ -216,7 +216,10 @@ impl Checkpoint {
             } else {
                 (e.oid.home() as usize % nodes) as NodeId
             };
-            let obj = rt.registry().unpack(&e.packed);
+            let obj = rt
+                .registry()
+                .unpack(&e.packed)
+                .expect("checkpoint entries hold pack output of registered types");
             rt.boot_install(node, e.oid, obj, e.priority, e.locked);
             for m in &e.queued {
                 rt.post(MobilePtr::new(e.oid), m.handler, m.payload.clone());

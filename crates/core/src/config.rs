@@ -150,6 +150,33 @@ pub struct MrtsConfig {
     /// completion for the logged key) before declaring a divergence and
     /// falling back to live execution. See `mrts::replay`.
     pub replay_wait: Duration,
+    /// How phase-structured method drivers release work (see
+    /// `mrts::sched`). [`SchedMode::Dag`] (the default) lets a block
+    /// enter phase `p` as soon as its buffer-zone in-neighbors committed
+    /// phase `p - 1`; [`SchedMode::Barriers`] restores the
+    /// bulk-synchronous coordinator barrier between phases and is kept as
+    /// the benchmark baseline (`with_barriers()`).
+    pub sched: SchedMode,
+    /// Cross-node work stealing: an idle node asks a loaded peer for a
+    /// ready task (an unpinned object with queued work), which migrates
+    /// over the regular install path. Off by default — stealing pays off
+    /// on imbalanced (graded/NUPDR) inputs at node counts where idle
+    /// fraction dominates, and is deliberately opt-in elsewhere.
+    pub work_stealing: bool,
+    /// Steal patience: how many consecutive idle observations a node
+    /// accumulates before it issues a steal request. Small values steal
+    /// eagerly (lower idle time, more migration traffic); large values
+    /// only steal under sustained starvation.
+    pub steal_patience: u32,
+}
+
+/// Work-release discipline for the phase-structured methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Region-dependency DAG: per-block readiness, no global barrier.
+    Dag,
+    /// Bulk-synchronous phases behind a coordinator barrier (baseline).
+    Barriers,
 }
 
 impl Default for MrtsConfig {
@@ -180,6 +207,9 @@ impl Default for MrtsConfig {
             locality_cluster_objects: 8,
             locality_prefetch_mates: 2,
             replay_wait: Duration::from_secs(2),
+            sched: SchedMode::Dag,
+            work_stealing: false,
+            steal_patience: 2,
         }
     }
 }
@@ -296,6 +326,25 @@ impl MrtsConfig {
         self
     }
 
+    /// Restore the bulk-synchronous phase barriers (the pre-DAG
+    /// behaviour); kept as the measured baseline of `dag_bench`.
+    pub fn with_barriers(mut self) -> Self {
+        self.sched = SchedMode::Barriers;
+        self
+    }
+
+    /// Enable cross-node work stealing for idle nodes.
+    pub fn with_work_stealing(mut self) -> Self {
+        self.work_stealing = true;
+        self
+    }
+
+    /// Set the steal patience (idle observations before a steal request).
+    pub fn with_steal_patience(mut self, patience: u32) -> Self {
+        self.steal_patience = patience;
+        self
+    }
+
     /// Is the out-of-core layer active?
     pub fn ooc_enabled(&self) -> bool {
         self.mem_budget != usize::MAX
@@ -338,6 +387,9 @@ impl MrtsConfig {
         }
         if self.replay_wait.is_zero() {
             return Err("replay_wait must be > 0".into());
+        }
+        if self.steal_patience == 0 {
+            return Err("steal_patience must be > 0".into());
         }
         if let Some(f) = &self.fault {
             for (name, rate) in [
@@ -483,6 +535,28 @@ mod tests {
         assert_eq!(sized.locality_cluster_objects, 16);
         assert!(MrtsConfig {
             locality_cluster_objects: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn sched_defaults_and_knobs() {
+        let c = MrtsConfig::default();
+        assert_eq!(c.sched, SchedMode::Dag);
+        assert!(!c.work_stealing);
+        let b = MrtsConfig::in_core(4).with_barriers();
+        b.validate().unwrap();
+        assert_eq!(b.sched, SchedMode::Barriers);
+        let s = MrtsConfig::in_core(4)
+            .with_work_stealing()
+            .with_steal_patience(5);
+        s.validate().unwrap();
+        assert!(s.work_stealing);
+        assert_eq!(s.steal_patience, 5);
+        assert!(MrtsConfig {
+            steal_patience: 0,
             ..Default::default()
         }
         .validate()

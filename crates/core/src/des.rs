@@ -165,6 +165,11 @@ enum EvKind {
     },
     /// Metadata operation routed to the object's owner.
     Meta(ObjectId, MetaOp),
+    /// An idle node (the payload) asking this node for one queued task.
+    StealReq(NodeId),
+    /// The named victim had nothing stealable. A grant has no event of
+    /// its own — the stolen object arrives as a regular `Install`.
+    StealDeny(NodeId),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -217,6 +222,13 @@ pub struct DesRuntime {
     /// Per-directed-edge logical message counter for the network fault
     /// model (sequence numbers the fault plan draws against).
     net_seq: HashMap<(NodeId, NodeId), u64>,
+    /// Events currently scheduled per node; a node at zero has nothing
+    /// coming and is the virtual-time notion of "idle" work stealing keys
+    /// off (the threaded engine's empty-poll streak, collapsed).
+    pending_events: Vec<usize>,
+    /// A steal request has been fired on this node's behalf and its
+    /// answer (an `Install` or a `StealDeny`) has not arrived yet.
+    thief_waiting: Vec<bool>,
     #[cfg(any(feature = "audit", debug_assertions))]
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
 }
@@ -261,6 +273,7 @@ impl DesRuntime {
                 last_anchor_key: 0,
             })
             .collect();
+        let n = cfg.nodes;
         DesRuntime {
             cfg,
             registry: Registry::new(),
@@ -273,6 +286,8 @@ impl DesRuntime {
             schedule_seed: None,
             fatal: None,
             net_seq: HashMap::new(),
+            pending_events: vec![0; n],
+            thief_waiting: vec![false; n],
             #[cfg(any(feature = "audit", debug_assertions))]
             audit: None,
         }
@@ -433,6 +448,7 @@ impl DesRuntime {
             None => raw,
         };
         self.end_time = self.end_time.max(at);
+        self.pending_events[node as usize] += 1;
         self.events.push(Reverse(Event {
             at,
             seq,
@@ -594,6 +610,8 @@ impl DesRuntime {
         while let Some(Reverse(ev)) = self.events.pop() {
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
+            self.pending_events[ev.node as usize] =
+                self.pending_events[ev.node as usize].saturating_sub(1);
             self.handle(ev);
             if let Some(err) = self.fatal.take() {
                 return Err(err);
@@ -645,6 +663,10 @@ impl DesRuntime {
                     // Peak footprint comes from the budget manager's own
                     // high-water mark — the single source of truth.
                     s.peak_mem = n.ooc.peak_used;
+                    // Virtual-time idleness: the makespan minus this
+                    // node's compute time — the span it spent waiting on
+                    // the disk, the network, or a phase's stragglers.
+                    s.idle = total.saturating_sub(s.comp);
                     s
                 })
                 .collect(),
@@ -675,7 +697,22 @@ impl DesRuntime {
                 payload,
             } => self.on_mc_start(node, info, handler, payload),
             EvKind::Meta(oid, op) => self.on_meta(node, oid, op),
+            EvKind::StealReq(thief) => self.on_steal_req(node, thief),
+            #[allow(unused_variables)] // `victim` feeds the audit emission
+            EvKind::StealDeny(victim) => {
+                self.thief_waiting[node as usize] = false;
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::StealDeny {
+                        node: victim,
+                        to: node
+                    }
+                );
+            }
         }
+        // A node that still has queued work after this event may feed an
+        // idle peer.
+        self.maybe_steal(node);
         // Every event may queue or unblock loads (messages arriving for
         // on-disk objects, evictions of queued objects, completed loads
         // freeing window slots); issue what the window allows.
@@ -1149,7 +1186,10 @@ impl DesRuntime {
         debug_assert_eq!(bytes.len(), packed_len);
         // Real unpack, charged as compute.
         let t0 = Instant::now();
-        let obj = self.registry.unpack(&bytes);
+        let obj = self
+            .registry
+            .unpack(&bytes)
+            .expect("spill bytes were packed by this runtime from a registered type");
         let unpack = t0.elapsed().mul_f64(self.cfg.compute_scale);
         let footprint = obj.footprint();
         {
@@ -1820,6 +1860,89 @@ impl DesRuntime {
 
     // ----- migration & multicast -------------------------------------------------
 
+    // ----- work stealing ----------------------------------------------------
+
+    /// Stealable work on `node`: queued-but-not-resident objects (the only
+    /// place messages wait in virtual time — resident objects execute
+    /// immediately), unpinned and not already migrating. Returns how many
+    /// there are plus the pick: deepest queue, ties to the smallest id —
+    /// the same total order the threaded victim uses, so the two engines
+    /// steal the same object from the same state.
+    fn steal_candidates(&self, node: NodeId) -> (usize, Option<ObjectId>) {
+        let mut count = 0usize;
+        let mut best: Option<(usize, ObjectId)> = None;
+        for (&oid, e) in &self.nodes[node as usize].table {
+            let ok = matches!(e.state, EntryState::OnDisk | EntryState::Loading)
+                && !e.locked
+                && e.pending_migration.is_none()
+                && !e.queue.is_empty();
+            if !ok {
+                continue;
+            }
+            count += 1;
+            let len = e.queue.len();
+            let better = match best {
+                None => true,
+                Some((blen, boid)) => len > blen || (len == blen && oid.0 < boid.0),
+            };
+            if better {
+                best = Some((len, oid));
+            }
+        }
+        (count, best.map(|(_, oid)| oid))
+    }
+
+    /// After each handled event: if this node has a backlog to spare and a
+    /// peer has gone completely quiet, fire a steal request on the idle
+    /// peer's behalf. The protocol still runs thief → victim and pays
+    /// control-message latency both ways, mirroring the threaded engine;
+    /// only the *trigger* is collapsed — virtual time can see "no events
+    /// scheduled" directly where a real thief counts empty polls.
+    fn maybe_steal(&mut self, node: NodeId) {
+        if !self.cfg.work_stealing || self.nodes.len() < 2 {
+            return;
+        }
+        // Keep at least one queued task at home: stealing the victim's
+        // last one just moves the imbalance around.
+        let (backlog, _) = self.steal_candidates(node);
+        if backlog < 2 {
+            return;
+        }
+        let thief = (0..self.nodes.len() as NodeId).find(|&t| {
+            t != node && self.pending_events[t as usize] == 0 && !self.thief_waiting[t as usize]
+        });
+        let Some(thief) = thief else { return };
+        self.thief_waiting[thief as usize] = true;
+        self.nodes[thief as usize].stats.idle_ticks += 1;
+        self.nodes[thief as usize].stats.steal_requests += 1;
+        self.ship(self.now, thief, node, CTL_BYTES, EvKind::StealReq(thief));
+    }
+
+    /// Victim side: grant the candidate pick (the object travels through
+    /// the ordinary migration path — load if spilled, then install at the
+    /// thief) or send a deny so the thief is re-armed.
+    fn on_steal_req(&mut self, node: NodeId, thief: NodeId) {
+        audit_emit!(self.audit, RuntimeEvent::StealRequest { node, thief });
+        match self.steal_candidates(node).1 {
+            Some(oid) => {
+                // Emitted while the object is still tracked here, so the
+                // checker validates the grant against pre-migration state.
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::StealGrant {
+                        node,
+                        oid,
+                        to: thief
+                    }
+                );
+                self.on_migrate_req(node, oid, thief);
+            }
+            None => {
+                self.ship(self.now, node, thief, CTL_BYTES, EvKind::StealDeny(node));
+            }
+        }
+    }
+
     fn on_migrate_req(&mut self, node: NodeId, oid: ObjectId, dest: NodeId) {
         let entry_state = self.nodes[node as usize]
             .table
@@ -1971,8 +2094,17 @@ impl DesRuntime {
         version: u64,
         queue: VecDeque<Message>,
     ) {
+        // An install that lands while a steal request is pending on this
+        // node's behalf is its answer: count the stolen task.
+        if self.thief_waiting[node as usize] {
+            self.thief_waiting[node as usize] = false;
+            self.nodes[node as usize].stats.tasks_stolen += 1;
+        }
         let t0 = Instant::now();
-        let obj = self.registry.unpack(&bytes);
+        let obj = self
+            .registry
+            .unpack(&bytes)
+            .expect("migration bytes were packed by the sending node from a registered type");
         let unpack = t0.elapsed().mul_f64(self.cfg.compute_scale);
         let footprint = obj.footprint();
         self.admit(node, footprint, self.now);
@@ -2178,7 +2310,10 @@ impl DesRuntime {
             EntryState::OnDisk | EntryState::Loading => {
                 let key = e.spill_key.expect("on-disk object has a key");
                 let bytes = Self::load_stubborn(n.store.as_mut(), key);
-                let obj = self.registry.unpack(&bytes);
+                let obj = self
+                    .registry
+                    .unpack(&bytes)
+                    .expect("spill bytes were packed by this runtime from a registered type");
                 f(obj.as_ref())
             }
             EntryState::Executing => unreachable!("no handler is running post-run"),
@@ -2212,7 +2347,10 @@ impl DesRuntime {
         priority: u8,
         locked: bool,
     ) {
-        let obj = self.registry.unpack(packed);
+        let obj = self
+            .registry
+            .unpack(packed)
+            .expect("checkpoint entries hold pack output of registered types");
         let footprint = obj.footprint();
         self.admit(node, footprint, Duration::ZERO);
         let n = &mut self.nodes[node as usize];

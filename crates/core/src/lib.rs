@@ -42,6 +42,7 @@ pub mod ooc;
 pub mod policy;
 pub mod relnet;
 pub mod replay;
+pub mod sched;
 pub mod stats;
 pub mod storage;
 pub mod sync;
@@ -54,15 +55,16 @@ pub mod prelude {
     };
     pub use crate::codec::{PayloadReader, PayloadWriter};
     pub use crate::compute::ExecutorKind;
-    pub use crate::config::{MrtsConfig, NetModel};
+    pub use crate::config::{MrtsConfig, NetModel, SchedMode};
     pub use crate::ctx::Ctx;
     pub use crate::des::DesRuntime;
     pub use crate::fault::{FaultKind, FaultPlan, FaultyStore, MrtsError, RetryPolicy};
     pub use crate::ids::{HandlerId, MobilePtr, NodeId, ObjectId, TypeTag};
     pub use crate::netfault::{NetFaultKind, NetFaultPlan};
-    pub use crate::object::{MobileObject, Registry};
+    pub use crate::object::{MobileObject, ObjectDecodeError, Registry};
     pub use crate::policy::PolicyKind;
     pub use crate::replay::{Decision, DecisionLog, DivergenceReport, ReplayArtifact};
+    pub use crate::sched::{ConflictSet, PhaseGate, RegionDag};
     pub use crate::stats::RunStats;
     pub use crate::storage::DiskModel;
     pub use crate::threaded::ThreadedRuntime;

@@ -7,10 +7,45 @@
 //! ([`MobileObject::encode`] plus a registered decoder) and receives
 //! messages through registered handler functions.
 
+use crate::codec::Truncated;
 use crate::ctx::Ctx;
 use crate::ids::{HandlerId, TypeTag};
 use std::any::Any;
 use std::collections::HashMap;
+
+/// Typed failure of an object decode (spill reload, migration install,
+/// checkpoint restore). Mirrors [`crate::msg::MsgDecodeError`]: decoders
+/// built on [`crate::codec::PayloadReader`] propagate `Truncated` with
+/// `?`, and the registry adds the framing-level cases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectDecodeError {
+    /// The buffer ended inside the encoding.
+    Truncated,
+    /// The framing named a type tag with no registered decoder.
+    UnknownType(TypeTag),
+    /// The bytes parsed but violate a structural invariant of the type.
+    Invalid(&'static str),
+}
+
+impl From<Truncated> for ObjectDecodeError {
+    fn from(_: Truncated) -> Self {
+        ObjectDecodeError::Truncated
+    }
+}
+
+impl std::fmt::Display for ObjectDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjectDecodeError::Truncated => write!(f, "object encoding truncated"),
+            ObjectDecodeError::UnknownType(t) => {
+                write!(f, "no decoder registered for {t:?}")
+            }
+            ObjectDecodeError::Invalid(what) => write!(f, "invalid object encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjectDecodeError {}
 
 /// Application data managed by the runtime.
 pub trait MobileObject: Send {
@@ -35,7 +70,9 @@ pub trait MobileObject: Send {
 pub type HandlerFn = fn(&mut dyn MobileObject, &mut Ctx, &[u8]);
 
 /// Decoder: reconstructs an object of a given type from its encoding.
-pub type DecodeFn = fn(&[u8]) -> Box<dyn MobileObject>;
+/// Fallible — corrupted or truncated bytes surface as a typed
+/// [`ObjectDecodeError`] instead of a panic inside the decoder.
+pub type DecodeFn = fn(&[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError>;
 
 /// Registry of object types and message handlers. Shared by every node of
 /// a runtime (registration happens before the parallel phase).
@@ -64,11 +101,11 @@ impl Registry {
         self.handler_names.insert(id, name);
     }
 
-    pub fn decoder(&self, tag: TypeTag) -> DecodeFn {
-        *self
-            .decoders
+    pub fn decoder(&self, tag: TypeTag) -> Result<DecodeFn, ObjectDecodeError> {
+        self.decoders
             .get(&tag)
-            .unwrap_or_else(|| panic!("no decoder registered for {tag:?}"))
+            .copied()
+            .ok_or(ObjectDecodeError::UnknownType(tag))
     }
 
     pub fn handler(&self, id: HandlerId) -> HandlerFn {
@@ -101,13 +138,12 @@ impl Registry {
     }
 
     /// Inverse of [`Registry::pack`].
-    pub fn unpack(&self, buf: &[u8]) -> Box<dyn MobileObject> {
+    pub fn unpack(&self, buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
+        let hdr = buf.get(..4).ok_or(ObjectDecodeError::Truncated)?;
         let tag = TypeTag(u32::from_le_bytes(
-            buf[..4]
-                .try_into()
-                .expect("header checked to hold a 4-byte tag"),
+            hdr.try_into().expect("4-byte slice checked"),
         ));
-        (self.decoder(tag))(&buf[4..])
+        (self.decoder(tag)?)(&buf[4..])
     }
 }
 
@@ -133,11 +169,11 @@ pub(crate) mod test_objects {
             }
         }
 
-        pub fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        pub fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
             let mut r = PayloadReader::new(buf);
-            let value = r.u64().unwrap();
-            let pad = r.bytes().unwrap().to_vec();
-            Box::new(Counter { value, pad })
+            let value = r.u64()?;
+            let pad = r.bytes()?.to_vec();
+            Ok(Box::new(Counter { value, pad }))
         }
     }
 
@@ -177,7 +213,7 @@ mod tests {
         reg.register_type(COUNTER_TAG, Counter::decode);
         let c = Counter::new(41, 100);
         let buf = Registry::pack(&c);
-        let back = reg.unpack(&buf);
+        let back = reg.unpack(&buf).expect("registered type decodes");
         let back = back.as_any().downcast_ref::<Counter>().unwrap();
         assert_eq!(back, &c);
         assert_eq!(back.footprint(), 116);
@@ -204,12 +240,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no decoder")]
-    fn unknown_type_panics() {
+    fn unknown_type_is_a_typed_error() {
         let reg = Registry::new();
         let c = Counter::new(1, 0);
         let buf = Registry::pack(&c);
-        reg.unpack(&buf);
+        assert_eq!(
+            reg.unpack(&buf).err(),
+            Some(ObjectDecodeError::UnknownType(COUNTER_TAG))
+        );
+        assert_eq!(
+            reg.unpack(&buf[..2]).err(),
+            Some(ObjectDecodeError::Truncated)
+        );
+        let mut reg = Registry::new();
+        reg.register_type(COUNTER_TAG, Counter::decode);
+        assert_eq!(
+            reg.unpack(&buf[..5]).err(),
+            Some(ObjectDecodeError::Truncated),
+            "truncated body propagates the decoder's error"
+        );
     }
 
     #[test]

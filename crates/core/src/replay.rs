@@ -119,7 +119,23 @@ pub enum Decision {
     TimerExpire { dest: NodeId, seq: u64 },
     /// This invocation of the reliable layer's timer pump finished.
     PumpEnd,
+    /// The idle path decided to issue a steal request to `victim`. The
+    /// *timing* of a steal rides the wall clock (how long the node sat
+    /// starved), so it is nondeterministic and must be logged; on replay
+    /// the request is re-issued exactly where the log says, to the
+    /// logged victim.
+    StealRequest { victim: NodeId },
+    /// A steal victim's answer: it granted object `oid`
+    /// (`STEAL_DENIED` when it had nothing stealable). The choice is a
+    /// deterministic function of the victim's table, but logging it lets
+    /// replay detect state drift at the handover point instead of
+    /// silently shipping a different object.
+    StealGrant { oid: u64 },
 }
+
+/// Sentinel `oid` in [`Decision::StealGrant`]: the victim denied the
+/// request instead of granting an object.
+pub const STEAL_DENIED: u64 = u64::MAX;
 
 // Decision wire tags.
 const D_FABRIC_RECV: u8 = 0;
@@ -129,6 +145,8 @@ const D_IO_EMPTY: u8 = 3;
 const D_FLUSH_DEFERRED: u8 = 4;
 const D_TIMER_EXPIRE: u8 = 5;
 const D_PUMP_END: u8 = 6;
+const D_STEAL_REQUEST: u8 = 7;
+const D_STEAL_GRANT: u8 = 8;
 
 // ---------------------------------------------------------------------------
 // Varint primitives
@@ -446,6 +464,14 @@ fn encode_decision_run(decisions: &[Decision], out: &mut Vec<u8>) -> usize {
             put_varint(out, u64::from(dest));
             put_varint(out, seq);
         }
+        Decision::StealRequest { victim } => {
+            out.push(D_STEAL_REQUEST);
+            put_varint(out, u64::from(victim));
+        }
+        Decision::StealGrant { oid } => {
+            out.push(D_STEAL_GRANT);
+            put_varint(out, oid);
+        }
         Decision::FabricEmpty | Decision::IoEmpty | Decision::PumpEnd => {
             unreachable!("handled as runs above")
         }
@@ -500,6 +526,14 @@ fn decode_decision_run(
             let seq = get_varint(buf, pos)?;
             out.push(Decision::TimerExpire { dest, seq });
         }
+        D_STEAL_REQUEST => {
+            let victim = get_varint(buf, pos)? as NodeId;
+            out.push(Decision::StealRequest { victim });
+        }
+        D_STEAL_GRANT => {
+            let oid = get_varint(buf, pos)?;
+            out.push(Decision::StealGrant { oid });
+        }
         other => return Err(ReplayDecodeError::BadDecisionTag { at, tag: other }),
     }
     Ok(())
@@ -538,6 +572,9 @@ const E_NET_FAULT: u8 = 24;
 const E_RETRANSMIT: u8 = 25;
 const E_DUP_SUPPRESSED: u8 = 26;
 const E_HINT_INVALIDATED: u8 = 27;
+const E_STEAL_REQUEST: u8 = 28;
+const E_STEAL_GRANT: u8 = 29;
+const E_STEAL_DENY: u8 = 30;
 
 fn fault_kind_u8(k: FaultKind) -> u8 {
     match k {
@@ -610,7 +647,10 @@ pub fn event_node(ev: &RuntimeEvent) -> NodeId {
         | NetFault { node, .. }
         | Retransmit { node, .. }
         | DupSuppressed { node, .. }
-        | HintInvalidated { node, .. } => *node,
+        | HintInvalidated { node, .. }
+        | StealRequest { node, .. }
+        | StealGrant { node, .. }
+        | StealDeny { node, .. } => *node,
     }
 }
 
@@ -860,6 +900,21 @@ pub fn encode_event(ev: &RuntimeEvent, out: &mut Vec<u8>) {
             node_oid(out, *node, *oid);
             put_varint(out, u64::from(*loc));
         }
+        StealRequest { node, thief } => {
+            out.push(E_STEAL_REQUEST);
+            put_varint(out, u64::from(*node));
+            put_varint(out, u64::from(*thief));
+        }
+        StealGrant { node, oid, to } => {
+            out.push(E_STEAL_GRANT);
+            node_oid(out, *node, *oid);
+            put_varint(out, u64::from(*to));
+        }
+        StealDeny { node, to } => {
+            out.push(E_STEAL_DENY);
+            put_varint(out, u64::from(*node));
+            put_varint(out, u64::from(*to));
+        }
     }
 }
 
@@ -1031,6 +1086,19 @@ pub fn decode_event(buf: &[u8], pos: &mut usize) -> Result<RuntimeEvent, ReplayD
             node,
             oid: ObjectId(get_varint(buf, pos)?),
             loc: get_varint(buf, pos)? as NodeId,
+        },
+        E_STEAL_REQUEST => StealRequest {
+            node,
+            thief: get_varint(buf, pos)? as NodeId,
+        },
+        E_STEAL_GRANT => StealGrant {
+            node,
+            oid: ObjectId(get_varint(buf, pos)?),
+            to: get_varint(buf, pos)? as NodeId,
+        },
+        E_STEAL_DENY => StealDeny {
+            node,
+            to: get_varint(buf, pos)? as NodeId,
         },
         other => return Err(ReplayDecodeError::BadEventTag { at, tag: other }),
     };
@@ -1425,6 +1493,9 @@ mod tests {
                 vec![
                     Decision::TimerExpire { dest: 0, seq: 7 },
                     Decision::FlushDeferred { dest: 0, seq: 9 },
+                    Decision::StealRequest { victim: 1 },
+                    Decision::StealGrant { oid: 42 },
+                    Decision::StealGrant { oid: STEAL_DENIED },
                     Decision::PumpEnd,
                 ],
             ],
@@ -1529,6 +1600,13 @@ mod tests {
                 node: 1,
                 targets: vec![ObjectId(3), ObjectId(4)],
             },
+            RuntimeEvent::StealRequest { node: 1, thief: 0 },
+            RuntimeEvent::StealGrant {
+                node: 1,
+                oid: ObjectId(3),
+                to: 0,
+            },
+            RuntimeEvent::StealDeny { node: 1, to: 2 },
             RuntimeEvent::Terminate { node: 1 },
             RuntimeEvent::Shutdown { node: 1, used: 0 },
         ]
@@ -1553,7 +1631,9 @@ mod tests {
         // Node 0: Create, Post, Deliver, NetFault on control; Fault on pool.
         assert_eq!(c.nodes[0].control.len(), 4);
         assert_eq!(c.nodes[0].pool.len(), 1);
-        assert_eq!(c.nodes[1].control.len(), 3);
+        // Node 1: McDeliver, the three steal events, Terminate, Shutdown
+        // — all control-lane (steals are worker-thread decisions).
+        assert_eq!(c.nodes[1].control.len(), 6);
         assert!(c.nodes[1].pool.is_empty());
     }
 

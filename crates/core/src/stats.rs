@@ -122,6 +122,20 @@ pub struct NodeStats {
     /// plus one for residual unconsumed decisions at shutdown). Zero
     /// means the recorded schedule was re-executed exactly.
     pub replay_divergences: usize,
+    /// Time this node spent starved: the threaded engine measures the
+    /// idle-path fabric waits of its control loop; the DES charges each
+    /// core's gap between its busy time and the makespan. Feeds
+    /// [`RunStats::idle_fraction`], the load-imbalance headline the DAG
+    /// scheduler exists to shrink.
+    pub idle: Duration,
+    /// Starvation observations: idle-path polls that found nothing to do
+    /// (threaded), or steal probes that saw this node starved (DES).
+    pub idle_ticks: u64,
+    /// Steal requests this node issued while starved.
+    pub steal_requests: u64,
+    /// Ready tasks this node obtained through stealing (objects installed
+    /// here in answer to its own steal requests).
+    pub tasks_stolen: u64,
 }
 
 /// Aggregated result of one run.
@@ -284,6 +298,18 @@ impl RunStats {
         }
     }
 
+    /// Fraction of the run's node-time spent starved: Σ idle over nodes ÷
+    /// (makespan × node count), in [0, 1]. 0.0 when nothing was measured.
+    /// This is the imbalance metric the DAG scheduler targets — under the
+    /// barrier discipline it grows with node count on graded inputs.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.nodes.is_empty() || self.total.is_zero() {
+            return 0.0;
+        }
+        let idle: f64 = self.nodes.iter().map(|n| n.idle.as_secs_f64()).sum();
+        (idle / (self.total.as_secs_f64() * self.nodes.len() as f64)).clamp(0.0, 1.0)
+    }
+
     /// One-line human-readable summary. Fault-tolerance counters are
     /// appended only when the run actually saw faults/retries.
     pub fn summary(&self) -> String {
@@ -360,6 +386,16 @@ impl RunStats {
         if rec + div > 0 {
             s.push_str(&format!(
                 " decisions_recorded={rec} replay_divergences={div}"
+            ));
+        }
+        let ticks: u64 = self.nodes.iter().map(|n| n.idle_ticks).sum();
+        let steal_reqs: u64 = self.nodes.iter().map(|n| n.steal_requests).sum();
+        let stolen: u64 = self.nodes.iter().map(|n| n.tasks_stolen).sum();
+        if ticks + steal_reqs + stolen > 0 {
+            s.push_str(&format!(
+                " idle_fraction={:.3} idle_ticks={ticks} steal_requests={steal_reqs} \
+                 tasks_stolen={stolen}",
+                self.idle_fraction(),
             ));
         }
         let dropped = self.total_of(|n| n.messages_dropped);
@@ -530,6 +566,32 @@ mod tests {
         let text = s.summary();
         assert!(text.contains("decisions_recorded=123"));
         assert!(text.contains("replay_divergences=1"));
+    }
+
+    #[test]
+    fn summary_surfaces_sched_counters() {
+        let mut s = stats_with(100, &[(50, 10, 20), (80, 5, 5)]);
+        let text = s.summary();
+        assert!(!text.contains("idle_ticks="), "quiet runs stay quiet");
+        s.nodes[0].idle = Duration::from_millis(40);
+        s.nodes[0].idle_ticks = 7;
+        s.nodes[0].steal_requests = 3;
+        s.nodes[0].tasks_stolen = 2;
+        let text = s.summary();
+        assert!(text.contains("idle_ticks=7"));
+        assert!(text.contains("steal_requests=3"));
+        assert!(text.contains("tasks_stolen=2"));
+        // 40ms idle over 2 nodes × 100ms.
+        assert!(text.contains("idle_fraction=0.200"));
+    }
+
+    #[test]
+    fn idle_fraction_zero_safe_and_clamped() {
+        assert_eq!(RunStats::default().idle_fraction(), 0.0);
+        let mut s = stats_with(100, &[(0, 0, 0)]);
+        assert_eq!(s.idle_fraction(), 0.0);
+        s.nodes[0].idle = Duration::from_millis(500); // over-measured
+        assert_eq!(s.idle_fraction(), 1.0);
     }
 
     #[test]

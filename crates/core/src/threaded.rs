@@ -47,7 +47,8 @@ use crate::object::{MobileObject, Registry};
 use crate::ooc::{EvictCandidate, OocManager};
 use crate::policy::AccessMeta;
 use crate::relnet::{ReliableReceiver, ReliableSender, Safra, TimerAction};
-use crate::replay::{Decision, DecisionLog, IoKind};
+use crate::replay::{Decision, DecisionLog, IoKind, STEAL_DENIED};
+use crate::sched::VictimCursor;
 use crate::stats::{NodeStats, RunStats};
 use crate::storage::{FileStore, MemStore, SegmentStore, StorageBackend};
 use armci_sim::{ActiveMessage, Endpoint, Fabric, NetworkModel};
@@ -67,6 +68,11 @@ const AM_EXIT: u32 = 8;
 /// Positive acknowledgement of one reliable-layer sequence number
 /// (net-fault runs only; see [`NetLayer`]).
 const AM_ACK: u32 = 9;
+/// An idle node asking a peer for one ready task (payload: thief id).
+const AM_STEAL_REQ: u32 = 10;
+/// The victim had nothing stealable (payload: victim id). A grant has no
+/// tag of its own — the stolen object arrives as a regular `AM_INSTALL`.
+const AM_STEAL_DENY: u32 = 11;
 
 const META_LOCK: u8 = 0;
 const META_UNLOCK: u8 = 1;
@@ -368,6 +374,19 @@ struct Worker {
     fatal: Option<MrtsError>,
     /// Record/replay role of this worker (see `mrts::replay`).
     replay: ReplayRole,
+    /// Victim of the steal request this node is awaiting an answer to
+    /// (`AM_INSTALL` or `AM_STEAL_DENY`); at most one in flight.
+    steal_inflight: Option<NodeId>,
+    /// Round-robin victim selection for work stealing.
+    victim_cursor: VictimCursor,
+    /// Consecutive empty idle polls; a steal fires only after
+    /// `cfg.steal_patience` of them, so transient gaps don't migrate work.
+    empty_polls: u32,
+    /// Consecutive denials since the last successful steal or local
+    /// handler run; at `n_nodes - 1` every peer said no and requests stop
+    /// until new work arrives (otherwise an all-idle fabric would trade
+    /// steal requests forever and Safra could never terminate).
+    deny_streak: u32,
     #[cfg(any(feature = "audit", debug_assertions))]
     audit: Option<std::sync::Arc<dyn crate::audit::EventSink>>,
     #[cfg(any(feature = "audit", debug_assertions))]
@@ -725,6 +744,7 @@ impl Worker {
         if d.delay.is_zero() {
             self.ep.am_send(dest, tag, frame);
         } else {
+            #[allow(unused_variables)] // consumed only by audit_emit!
             let kind = if d.delay > plan.delay {
                 NetFaultKind::Reorder
             } else {
@@ -1183,6 +1203,34 @@ impl Worker {
                 let op = payload[8];
                 let arg = payload[9];
                 self.on_meta(oid, op, arg);
+            }
+            AM_STEAL_REQ => {
+                let thief = u16::from_le_bytes(
+                    payload[..2]
+                        .try_into()
+                        .expect("steal-req payload is 2 bytes"),
+                );
+                self.on_steal_req(thief);
+            }
+            AM_STEAL_DENY => {
+                #[allow(unused_variables)] // consumed by the audit emission
+                let victim = u16::from_le_bytes(
+                    payload[..2]
+                        .try_into()
+                        .expect("steal-deny payload is 2 bytes"),
+                );
+                if self.steal_inflight.take().is_some() {
+                    self.deny_streak += 1;
+                }
+                // The deny is logged thief-side, where the round-trip
+                // resolves; the checker treats it as pure observability.
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::StealDeny {
+                        node: victim,
+                        to: self.node
+                    }
+                );
             }
             other => panic!("unknown AM tag {other}"),
         }
@@ -2469,6 +2517,150 @@ impl Worker {
         }
     }
 
+    // ----- work stealing ----------------------------------------------------
+
+    /// Can `oid` be handed to a thief right now? Mirrors the audit
+    /// checker's legality rule: resident here, not pinned, not already
+    /// migrating — plus "actually has work", or the steal is pointless.
+    fn steal_grantable(&self, oid: ObjectId) -> bool {
+        matches!(
+            self.table.get(&oid),
+            Some(e) if matches!(e.state, TState::InCore(_))
+                && !e.locked
+                && e.pending_migration.is_none()
+                && !e.queue.is_empty()
+        )
+    }
+
+    /// Deterministic victim-side candidate pick: the grantable object with
+    /// the deepest message queue, ties broken by smallest id. Selection by
+    /// total order, so the hash map's iteration order cannot leak into the
+    /// result (replay depends on this being a pure function of state).
+    fn steal_candidate(&self) -> Option<ObjectId> {
+        let mut best: Option<(usize, ObjectId)> = None;
+        for (&oid, e) in &self.table {
+            let ok = matches!(e.state, TState::InCore(_))
+                && !e.locked
+                && e.pending_migration.is_none()
+                && !e.queue.is_empty();
+            if !ok {
+                continue;
+            }
+            let len = e.queue.len();
+            let better = match best {
+                None => true,
+                Some((blen, boid)) => len > blen || (len == blen && oid.0 < boid.0),
+            };
+            if better {
+                best = Some((len, oid));
+            }
+        }
+        best.map(|(_, oid)| oid)
+    }
+
+    /// Victim side of the steal protocol. The grant-or-deny choice is a
+    /// recorded [`Decision`]: the live pick depends on this node's queue
+    /// depths at arrival, which a replay cannot reconstruct, so the log
+    /// overrides it (a recorded grant that is no longer grantable is a
+    /// divergence and falls back live).
+    fn on_steal_req(&mut self, thief: NodeId) {
+        audit_emit!(
+            self.audit,
+            RuntimeEvent::StealRequest {
+                node: self.node,
+                thief
+            }
+        );
+        let mut pick = self.steal_candidate();
+        if matches!(self.replay, ReplayRole::Replay(_)) {
+            let ReplayRole::Replay(mut st) = std::mem::replace(&mut self.replay, ReplayRole::Off)
+            else {
+                unreachable!("matched Replay above")
+            };
+            if !st.live {
+                match st.log.get(st.cursor) {
+                    Some(&Decision::StealGrant { oid }) => {
+                        st.cursor += 1;
+                        if oid == STEAL_DENIED {
+                            pick = None;
+                        } else if self.steal_grantable(ObjectId(oid)) {
+                            pick = Some(ObjectId(oid));
+                        } else {
+                            self.replay_diverge(&mut st);
+                        }
+                    }
+                    _ => self.replay_diverge(&mut st),
+                }
+            }
+            self.replay = ReplayRole::Replay(st);
+        }
+        self.record_decision(Decision::StealGrant {
+            oid: pick.map_or(STEAL_DENIED, |o| o.0),
+        });
+        match pick {
+            Some(oid) => {
+                // Emitted while the object is still resident and unpinned
+                // here, so the checker validates the legality of the grant
+                // against the pre-migration state.
+                audit_emit!(
+                    self.audit,
+                    RuntimeEvent::StealGrant {
+                        node: self.node,
+                        oid,
+                        to: thief
+                    }
+                );
+                self.do_migrate(oid, thief);
+            }
+            None => {
+                self.am(thief, AM_STEAL_DENY, self.node.to_le_bytes().to_vec());
+            }
+        }
+    }
+
+    /// Thief side: fire one steal request if this node has been idle for
+    /// `cfg.steal_patience` empty polls and peers remain untried. Whether
+    /// (and whom) to ask is recorded as a [`Decision`] so a replay steals
+    /// at exactly the recorded points — and nowhere else.
+    fn maybe_steal(&mut self) {
+        if !self.cfg.work_stealing
+            || self.n_nodes < 2
+            || self.done
+            || self.dead
+            || self.steal_inflight.is_some()
+            || !self.ready.is_empty()
+            || self.outstanding_io > 0
+            || !self.pending_loads.is_empty()
+            || (self.deny_streak as usize) >= self.n_nodes - 1
+            || self.empty_polls < self.cfg.steal_patience
+        {
+            return;
+        }
+        let victim = if let ReplayRole::Replay(st) = &mut self.replay {
+            if st.live {
+                self.victim_cursor.next_victim(self.node, self.n_nodes)
+            } else {
+                // Faithful replay: steal only where the record did. A
+                // missing decision here is not a divergence — the recorded
+                // run simply didn't steal at this poll.
+                match st.log.get(st.cursor) {
+                    Some(&Decision::StealRequest { victim }) => {
+                        st.cursor += 1;
+                        Some(victim)
+                    }
+                    _ => None,
+                }
+            }
+        } else {
+            self.victim_cursor.next_victim(self.node, self.n_nodes)
+        };
+        let Some(victim) = victim else { return };
+        self.record_decision(Decision::StealRequest { victim });
+        self.stats.steal_requests += 1;
+        self.steal_inflight = Some(victim);
+        self.am(victim, AM_STEAL_REQ, self.node.to_le_bytes().to_vec());
+    }
+
     fn on_install(&mut self, payload: &[u8]) {
         let mut r = crate::codec::PayloadReader::new(payload);
         let oid = ObjectId(r.u64().expect("install payload well-formed"));
@@ -2487,7 +2679,10 @@ impl Worker {
             );
         }
         let t0 = Instant::now();
-        let obj = self.registry.unpack(packed);
+        let obj = self
+            .registry
+            .unpack(packed)
+            .expect("install bytes were packed by the sending node from a registered type");
         self.stats.comp += t0.elapsed();
         let footprint = obj.footprint();
         self.admit(footprint);
@@ -2535,6 +2730,12 @@ impl Worker {
             }
         );
         self.audit_budget(true);
+        // An install that lands while a steal request is pending is its
+        // answer: count the stolen task and re-arm the thief.
+        if self.steal_inflight.take().is_some() {
+            self.stats.tasks_stolen += 1;
+            self.deny_streak = 0;
+        }
         for m in queue {
             self.route_msg(m);
         }
@@ -2655,6 +2856,9 @@ impl Worker {
         self.ready.is_empty()
             && self.outstanding_io == 0
             && self.pending_loads.is_empty()
+            // A thief awaiting a steal answer is not quiet: the granted
+            // install (or the deny) is still in flight toward it.
+            && self.steal_inflight.is_none()
             // Under faults a node with an unacked message, a deferred
             // transmission, or a held-back frame is *not* quiet: Safra must
             // never see it idle, or termination could be declared with a
@@ -2753,6 +2957,9 @@ impl Worker {
             self.maybe_probe();
             // 5. Execute one handler.
             if self.step() {
+                // Local progress re-arms the steal heuristics.
+                self.empty_polls = 0;
+                self.deny_streak = 0;
                 if self.net.is_some() {
                     self.net.as_mut().expect("net layer").handlers_run += 1;
                     if self.check_kill() {
@@ -2761,15 +2968,29 @@ impl Worker {
                 }
                 continue;
             }
-            // 6. Idle: termination protocol, then block briefly.
+            // 6. Idle: try to steal work, run the termination protocol,
+            //    then block briefly. The blocking poll is the engine's
+            //    idle-time measurement point: nothing ready, nothing in
+            //    the I/O pool, just waiting on peers.
+            self.maybe_steal();
             self.try_pass_token();
             if self.done {
                 break;
             }
-            if let Some(am) = self.recv_fabric(true) {
-                self.on_fabric(am);
-                if self.dead {
-                    return self.run_dead();
+            let t_idle = Instant::now();
+            let am = self.recv_fabric(true);
+            self.stats.idle += t_idle.elapsed();
+            match am {
+                Some(am) => {
+                    self.empty_polls = 0;
+                    self.on_fabric(am);
+                    if self.dead {
+                        return self.run_dead();
+                    }
+                }
+                None => {
+                    self.stats.idle_ticks += 1;
+                    self.empty_polls += 1;
                 }
             }
         }
@@ -3083,7 +3304,9 @@ fn spawn_io_pool(
                                     // object from the packed bytes so the
                                     // control thread can reinstate it.
                                     oid,
-                                    obj: registry.unpack(&bytes),
+                                    obj: registry
+                                        .unpack(&bytes)
+                                        .expect("store holds pack output of registered types"),
                                     io_dur,
                                     pack_dur,
                                     retries,
@@ -3161,7 +3384,12 @@ fn spawn_io_pool(
                                 Err(_) => IoDone::StoreBatchFailed {
                                     items: packed
                                         .iter()
-                                        .map(|(_, b, oid)| (*oid, registry.unpack(b)))
+                                        .map(|(_, b, oid)| {
+                                            let obj = registry.unpack(b).expect(
+                                                "store holds pack output of registered types",
+                                            );
+                                            (*oid, obj)
+                                        })
                                         .collect(),
                                     io_dur,
                                     pack_dur,
@@ -3205,7 +3433,9 @@ fn spawn_io_pool(
                                 Ok(bytes) => {
                                     let packed_len = bytes.len();
                                     let t1 = Instant::now();
-                                    let obj = registry.unpack(&bytes);
+                                    let obj = registry
+                                        .unpack(&bytes)
+                                        .expect("store holds pack output of registered types");
                                     let unpack_dur = t1.elapsed();
                                     // The loaded allocation feeds the pack
                                     // buffer pool for future stores.
@@ -3632,6 +3862,10 @@ impl ThreadedRuntime {
                     None if self.record_decisions => ReplayRole::Record(Vec::new()),
                     None => ReplayRole::Off,
                 },
+                steal_inflight: None,
+                victim_cursor: VictimCursor::new(),
+                empty_polls: 0,
+                deny_streak: 0,
                 #[cfg(any(feature = "audit", debug_assertions))]
                 audit: self.audit.clone(),
                 #[cfg(any(feature = "audit", debug_assertions))]

@@ -16,11 +16,11 @@ struct Acc {
 }
 
 impl Acc {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
         let sum = r.u64().unwrap();
         let pad = r.bytes().unwrap().to_vec();
-        Box::new(Acc { sum, pad })
+        Ok(Box::new(Acc { sum, pad }))
     }
 }
 

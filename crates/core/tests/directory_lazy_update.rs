@@ -58,11 +58,11 @@ struct Cell {
 }
 
 impl Cell {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
-        Box::new(Cell {
+        Ok(Box::new(Cell {
             value: r.u64().unwrap(),
-        })
+        }))
     }
 }
 

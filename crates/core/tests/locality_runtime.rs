@@ -21,16 +21,16 @@ struct Patch {
 }
 
 impl Patch {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
         let value = r.u64().expect("value");
         let neighbors = r.ptrs().expect("neighbors");
         let pad = r.bytes().expect("pad").to_vec();
-        Box::new(Patch {
+        Ok(Box::new(Patch {
             value,
             neighbors,
             pad,
-        })
+        }))
     }
 }
 

@@ -23,11 +23,11 @@ impl Blob {
             pad: vec![7; pad],
         })
     }
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
         let value = r.u64().unwrap();
         let pad = r.bytes().unwrap().to_vec();
-        Box::new(Blob { value, pad })
+        Ok(Box::new(Blob { value, pad }))
     }
 }
 

@@ -29,16 +29,16 @@ impl Cell {
         })
     }
 
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
         let value = r.u64().unwrap();
         let neighbors = r.ptrs().unwrap();
         let pad = r.bytes().unwrap().to_vec();
-        Box::new(Cell {
+        Ok(Box::new(Cell {
             value,
             neighbors,
             pad,
-        })
+        }))
     }
 }
 

@@ -89,6 +89,17 @@ pub fn point_batch_bytes(n: usize) -> usize {
     8 + 16 * n
 }
 
+/// FNV-1a over a byte slice: the digest primitive for mesh byte-identity
+/// checks across scheduling modes and engines.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 // ----- workload / geometry codecs ---------------------------------------------
 
 use crate::domain::{DomainSpec, SizingSpec, Workload};
@@ -215,7 +226,7 @@ impl ClusterSim {
     pub fn earliest_pe(&self) -> usize {
         (0..self.pe_free.len())
             .min_by_key(|&i| self.pe_free[i])
-            .unwrap()
+            .expect("a cluster model has at least one PE")
     }
 
     /// Run `task` on `pe`, measuring it and charging its duration; returns
@@ -255,7 +266,11 @@ impl ClusterSim {
 
     /// Global synchronization: everyone waits for the slowest PE.
     pub fn barrier(&mut self) {
-        let max = *self.pe_free.iter().max().unwrap();
+        let max = *self
+            .pe_free
+            .iter()
+            .max()
+            .expect("a cluster model has at least one PE");
         for t in &mut self.pe_free {
             *t = max;
         }
@@ -282,7 +297,11 @@ impl ClusterSim {
 
     /// Fold the model into a [`RunStats`] (total = slowest PE).
     pub fn into_stats(self) -> RunStats {
-        let total = *self.pe_free.iter().max().unwrap();
+        let total = *self
+            .pe_free
+            .iter()
+            .max()
+            .expect("a cluster model has at least one PE");
         let nodes = self
             .pe_free
             .iter()

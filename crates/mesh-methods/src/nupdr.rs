@@ -80,7 +80,7 @@ pub fn build_leaves(params: &NupdrParams) -> (QuadTree<u32>, Vec<LeafInfo>) {
         let bbox = tree.node_bbox(q);
         if leaf_touches_domain(wl, &bbox) {
             let idx = leaves.len();
-            *tree.leaf_data_mut(q).unwrap() = idx as u32;
+            *tree.leaf_data_mut(q).expect("q came from leaf_ids") = idx as u32;
             leaves.push(LeafInfo {
                 idx,
                 qnode: q,
@@ -96,7 +96,7 @@ pub fn build_leaves(params: &NupdrParams) -> (QuadTree<u32>, Vec<LeafInfo>) {
         let mut region = leaf.bbox;
         let mut buffer = Vec::new();
         for nq in tree.neighbors(q) {
-            let data = *tree.leaf_data(nq).unwrap();
+            let data = *tree.leaf_data(nq).expect("neighbors() returns leaves");
             if data != u32::MAX {
                 buffer.push(data as usize);
                 region.expand(tree.node_bbox(nq).min);

@@ -25,12 +25,14 @@ use crate::common::{
 };
 use crate::domain::Workload;
 use crate::nupdr::{build_leaves, leaf_task, LeafInfo, NupdrParams};
+use mrts::codec::Truncated;
 use mrts::codec::{PayloadReader, PayloadWriter};
 use mrts::config::MrtsConfig;
 use mrts::ctx::Ctx;
 use mrts::des::DesRuntime;
 use mrts::ids::{HandlerId, MobilePtr, NodeId, ObjectId, TypeTag};
-use mrts::object::MobileObject;
+use mrts::object::{MobileObject, ObjectDecodeError};
+use mrts::sched::ConflictSet;
 use pumg_geometry::{BBox, Point2};
 use std::any::Any;
 use std::collections::VecDeque;
@@ -98,15 +100,15 @@ impl OnupdrOpts {
             .u8(self.intra_tasks);
     }
 
-    fn decode(r: &mut PayloadReader) -> Self {
-        OnupdrOpts {
-            direct_calls: r.u8().unwrap() != 0,
-            lock_buffers: r.u8().unwrap() != 0,
-            priorities: r.u8().unwrap() != 0,
-            multicast: r.u8().unwrap() != 0,
-            max_active: r.u32().unwrap(),
-            intra_tasks: r.u8().unwrap(),
-        }
+    fn decode(r: &mut PayloadReader) -> Result<Self, Truncated> {
+        Ok(OnupdrOpts {
+            direct_calls: r.u8()? != 0,
+            lock_buffers: r.u8()? != 0,
+            priorities: r.u8()? != 0,
+            multicast: r.u8()? != 0,
+            max_active: r.u32()?,
+            intra_tasks: r.u8()?,
+        })
     }
 }
 
@@ -130,21 +132,21 @@ pub struct LeafObj {
 }
 
 impl LeafObj {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
-        let idx = r.u32().unwrap();
-        let bbox = get_bbox(&mut r).unwrap();
-        let region = get_bbox(&mut r).unwrap();
-        let workload = get_workload(&mut r).unwrap();
-        let opts = OnupdrOpts::decode(&mut r);
-        let points = decode_point_batch(r.bytes().unwrap()).unwrap();
-        let buffer_ptrs = r.ptrs().unwrap();
-        let queue_ptr = r.ptr().unwrap();
-        let elems = r.u64().unwrap();
-        let verts = r.u64().unwrap();
-        let expected = r.u32().unwrap();
-        let collected = decode_point_batch(r.bytes().unwrap()).unwrap();
-        Box::new(LeafObj {
+        let idx = r.u32()?;
+        let bbox = get_bbox(&mut r)?;
+        let region = get_bbox(&mut r)?;
+        let workload = get_workload(&mut r)?;
+        let opts = OnupdrOpts::decode(&mut r)?;
+        let points = decode_point_batch(r.bytes()?)?;
+        let buffer_ptrs = r.ptrs()?;
+        let queue_ptr = r.ptr()?;
+        let elems = r.u64()?;
+        let verts = r.u64()?;
+        let expected = r.u32()?;
+        let collected = decode_point_batch(r.bytes()?)?;
+        Ok(Box::new(LeafObj {
             idx,
             bbox,
             region,
@@ -157,7 +159,7 @@ impl LeafObj {
             verts,
             expected,
             collected,
-        })
+        }))
     }
 }
 
@@ -215,8 +217,9 @@ pub struct QueueObj {
     /// or a member of its buffer). The paper removes a dispatched leaf
     /// *and its buffer* from the queue: two adjacent leaves must never
     /// refine concurrently, or each computes from a stale view of the
-    /// other and the exchange never settles.
-    pub busy: Vec<bool>,
+    /// other and the exchange never settles. This is the
+    /// [`ConflictSet`] exclusion rule from `mrts::sched`.
+    pub busy: ConflictSet,
     pub active: u32,
     pub dispatched_tasks: u64,
 }
@@ -225,45 +228,45 @@ pub struct QueueObj {
 const STALE_CAP: u32 = 3;
 
 impl QueueObj {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
-        let workload = get_workload(&mut r).unwrap();
-        let opts = OnupdrOpts::decode(&mut r);
-        let leaf_ptrs = r.ptrs().unwrap();
+        let workload = get_workload(&mut r)?;
+        let opts = OnupdrOpts::decode(&mut r)?;
+        let leaf_ptrs = r.ptrs()?;
         let n = leaf_ptrs.len();
         let mut bboxes = Vec::with_capacity(n);
         for _ in 0..n {
-            bboxes.push(get_bbox(&mut r).unwrap());
+            bboxes.push(get_bbox(&mut r)?);
         }
         let mut buffers = Vec::with_capacity(n);
         for _ in 0..n {
-            let k = r.u32().unwrap() as usize;
+            let k = r.u32()? as usize;
             let mut b = Vec::with_capacity(k);
             for _ in 0..k {
-                b.push(r.u32().unwrap());
+                b.push(r.u32()?);
             }
             buffers.push(b);
         }
-        let qn = r.u32().unwrap() as usize;
+        let qn = r.u32()? as usize;
         let mut queue = VecDeque::with_capacity(qn);
         for _ in 0..qn {
-            queue.push_back(r.u32().unwrap());
+            queue.push_back(r.u32()?);
         }
         let mut in_queue = Vec::with_capacity(n);
         for _ in 0..n {
-            in_queue.push(r.u8().unwrap() != 0);
+            in_queue.push(r.u8()? != 0);
         }
         let mut stale = Vec::with_capacity(n);
         for _ in 0..n {
-            stale.push(r.u32().unwrap());
+            stale.push(r.u32()?);
         }
         let mut busy = Vec::with_capacity(n);
         for _ in 0..n {
-            busy.push(r.u8().unwrap() != 0);
+            busy.push(r.u8()? != 0);
         }
-        let active = r.u32().unwrap();
-        let dispatched_tasks = r.u64().unwrap();
-        Box::new(QueueObj {
+        let active = r.u32()?;
+        let dispatched_tasks = r.u64()?;
+        Ok(Box::new(QueueObj {
             workload,
             opts,
             leaf_ptrs,
@@ -272,10 +275,10 @@ impl QueueObj {
             queue,
             in_queue,
             stale,
-            busy,
+            busy: ConflictSet::from_flags(busy),
             active,
             dispatched_tasks,
-        })
+        }))
     }
 
     fn max_active(&self, nodes: usize) -> u32 {
@@ -303,12 +306,17 @@ impl QueueObj {
         }
     }
 
+    /// The exclusion footprint of a leaf: its whole buffer zone.
+    fn footprint_of(&self, idx: u32) -> Vec<usize> {
+        self.buffers[idx as usize]
+            .iter()
+            .map(|&b| b as usize)
+            .collect()
+    }
+
     /// Is this leaf free of conflicts with in-flight refinements?
     fn dispatchable(&self, idx: u32) -> bool {
-        !self.busy[idx as usize]
-            && self.buffers[idx as usize]
-                .iter()
-                .all(|&b| !self.busy[b as usize])
+        self.busy.can_run(idx as usize, &self.footprint_of(idx))
     }
 
     /// Dispatch leaves while workers are available (the master loop of the
@@ -323,13 +331,13 @@ impl QueueObj {
             else {
                 break;
             };
-            let idx = self.queue.remove(pos).unwrap();
+            let idx = self
+                .queue
+                .remove(pos)
+                .expect("position was found in the queue");
             self.in_queue[idx as usize] = false;
-            self.busy[idx as usize] = true;
-            for i in 0..self.buffers[idx as usize].len() {
-                let b = self.buffers[idx as usize][i];
-                self.busy[b as usize] = true;
-            }
+            let acquired = self.busy.acquire(idx as usize, &self.footprint_of(idx));
+            debug_assert!(acquired, "dispatchable() vetted the footprint");
             self.active += 1;
             self.dispatched_tasks += 1;
             let leaf = self.leaf_ptrs[idx as usize];
@@ -383,7 +391,7 @@ impl MobileObject for QueueObj {
         for &x in &self.stale {
             w.u32(x);
         }
-        for &x in &self.busy {
+        for &x in self.busy.flags() {
             w.u8(x as u8);
         }
         w.u32(self.active);
@@ -406,11 +414,15 @@ impl MobileObject for QueueObj {
 // ----- handlers -----------------------------------------------------------------
 
 fn leaf_mut(obj: &mut dyn MobileObject) -> &mut LeafObj {
-    obj.as_any_mut().downcast_mut::<LeafObj>().unwrap()
+    obj.as_any_mut()
+        .downcast_mut::<LeafObj>()
+        .expect("LEAF_TAG object is a LeafObj")
 }
 
 fn queue_mut(obj: &mut dyn MobileObject) -> &mut QueueObj {
-    obj.as_any_mut().downcast_mut::<QueueObj>().unwrap()
+    obj.as_any_mut()
+        .downcast_mut::<QueueObj>()
+        .expect("QUEUE_TAG object is a QueueObj")
 }
 
 /// `kick`: enqueue everything and start dispatching.
@@ -425,18 +437,17 @@ fn h_q_kick(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
 /// `update`: a leaf finished; requeue affected leaves, dispatch more.
 fn h_q_update(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
     let mut r = PayloadReader::new(payload);
-    let _finished = r.u32().unwrap();
-    let grew = r.u8().unwrap() != 0;
-    let affected_pts = decode_point_batch(r.bytes().unwrap()).unwrap();
-    let bad_ccs = decode_point_batch(r.bytes().unwrap()).unwrap();
+    let _finished = r.u32().expect("update payload holds the leaf index");
+    let grew = r.u8().expect("update payload holds the growth flag") != 0;
+    let affected_pts = decode_point_batch(r.bytes().expect("update payload holds affected points"))
+        .expect("point batch from a leaf");
+    let bad_ccs = decode_point_batch(r.bytes().expect("update payload holds bad circumcenters"))
+        .expect("point batch from a leaf");
     let q = queue_mut(obj);
     q.active = q.active.saturating_sub(1);
     // Release the finished leaf and its buffer.
-    q.busy[_finished as usize] = false;
-    for i in 0..q.buffers[_finished as usize].len() {
-        let b = q.buffers[_finished as usize][i];
-        q.busy[b as usize] = false;
-    }
+    let fp = q.footprint_of(_finished);
+    q.busy.release(_finished as usize, &fp);
     if grew {
         q.stale[_finished as usize] = 0;
     } else {
@@ -496,7 +507,7 @@ fn h_l_construct(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
 /// `construct buffer` (at a buffer leaf): ship my portion to the target.
 fn h_l_contribute(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
     let mut r = PayloadReader::new(payload);
-    let target = r.ptr().unwrap();
+    let target = r.ptr().expect("contribute payload holds the target ptr");
     let l = leaf_mut(obj);
     let batch = encode_point_batch(&l.points);
     if l.opts.direct_calls {
@@ -509,7 +520,7 @@ fn h_l_contribute(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
 /// `add to buffer`: a buffer portion arrived; refine when complete.
 fn h_l_addpts(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
     let l = leaf_mut(obj);
-    let pts = decode_point_batch(payload).unwrap();
+    let pts = decode_point_batch(payload).expect("point batch from a buffer leaf");
     l.collected.extend(pts);
     l.expected = l.expected.saturating_sub(1);
     if l.expected == 0 {
@@ -571,7 +582,10 @@ fn refine_parallel(l: &LeafObj, ctx: &mut Ctx) -> Option<crate::nupdr::LeafTaskO
     let quads = split_bbox(&l.bbox, l.opts.intra_tasks as usize);
     let results: Arc<Mutex<Vec<Option<crate::nupdr::LeafTaskOutput>>>> =
         Arc::new(Mutex::new(Vec::new()));
-    results.lock().unwrap().resize_with(quads.len(), || None);
+    results
+        .lock()
+        .expect("no task panicked holding the results lock")
+        .resize_with(quads.len(), || None);
     let mut tasks: Vec<mrts::compute::Task> = Vec::with_capacity(quads.len());
     for (qi, q) in quads.iter().enumerate() {
         let results = results.clone();
@@ -607,12 +621,15 @@ fn refine_parallel(l: &LeafObj, ctx: &mut Ctx) -> Option<crate::nupdr::LeafTaskO
                 buffer: Vec::new(),
             };
             let out = leaf_task(&workload, &info, pts.into_iter());
-            results.lock().unwrap()[qi] = out;
+            results.lock().expect("no task panicked holding the lock")[qi] = out;
         }));
     }
     ctx.run_tasks(tasks);
     // Merge quadrant results.
-    let results = Arc::try_unwrap(results).ok().unwrap().into_inner().unwrap();
+    let results = Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("all quadrant tasks joined before the merge"))
+        .into_inner()
+        .expect("no task panicked holding the results lock");
     let mut merged: Option<crate::nupdr::LeafTaskOutput> = None;
     for out in results {
         let Some(out) = out else { continue };
@@ -715,7 +732,7 @@ pub fn onupdr_run(params: &NupdrParams, cfg: MrtsConfig, opts: OnupdrOpts) -> Me
             queue: VecDeque::new(),
             in_queue: vec![false; n],
             stale: vec![0; n],
-            busy: vec![false; n],
+            busy: ConflictSet::new(n),
             active: 0,
             dispatched_tasks: 0,
         }),
@@ -760,6 +777,119 @@ pub fn register(rt: &mut DesRuntime) {
     rt.register_handler(H_L_ADDPTS, "nupdr_addpts", h_l_addpts);
 }
 
+/// Register ONUPDR's types and handlers on a threaded runtime (the
+/// handler functions are engine-agnostic).
+pub fn register_threaded(rt: &mut mrts::threaded::ThreadedRuntime) {
+    rt.register_type(LEAF_TAG, LeafObj::decode);
+    rt.register_type(QUEUE_TAG, QueueObj::decode);
+    rt.register_handler(H_Q_KICK, "nupdr_kick", h_q_kick);
+    rt.register_handler(H_Q_UPDATE, "nupdr_update", h_q_update);
+    rt.register_handler(H_L_CONSTRUCT, "nupdr_construct", h_l_construct);
+    rt.register_handler(H_L_CONTRIBUTE, "nupdr_contribute", h_l_contribute);
+    rt.register_handler(H_L_ADDPTS, "nupdr_addpts", h_l_addpts);
+}
+
+/// Build a threaded runtime with ONUPDR registered, objects created, the
+/// queue locked in memory, and the kick posted — ready to run.
+pub fn onupdr_setup_threaded(
+    params: &NupdrParams,
+    cfg: MrtsConfig,
+    opts: OnupdrOpts,
+) -> mrts::threaded::ThreadedRuntime {
+    let nodes = cfg.nodes;
+    let mut rt = mrts::threaded::ThreadedRuntime::new(cfg);
+    register_threaded(&mut rt);
+
+    let (_tree, leaves) = build_leaves(params);
+    let n = leaves.len();
+    assert!(n > 0, "no leaves intersect the domain");
+    let mut counters = vec![0u64; nodes];
+    let leaf_ptrs: Vec<MobilePtr> = (0..n)
+        .map(|i| {
+            let node = (i % nodes) as NodeId;
+            let seq = counters[i % nodes];
+            counters[i % nodes] += 1;
+            MobilePtr::new(ObjectId::new(node, seq))
+        })
+        .collect();
+    let queue_ptr = MobilePtr::new(ObjectId::new(0, counters[0]));
+
+    let mut opts = opts;
+    if opts.max_active == 0 {
+        opts.max_active = nodes as u32;
+    }
+
+    for leaf in &leaves {
+        let node = (leaf.idx % nodes) as NodeId;
+        let created = rt.create_object(
+            node,
+            Box::new(LeafObj {
+                idx: leaf.idx as u32,
+                bbox: leaf.bbox,
+                region: leaf.region,
+                workload: params.workload,
+                opts,
+                points: Vec::new(),
+                buffer_ptrs: leaf.buffer.iter().map(|&b| leaf_ptrs[b]).collect(),
+                queue_ptr,
+                elems: 0,
+                verts: 0,
+                expected: 0,
+                collected: Vec::new(),
+            }),
+            128,
+        );
+        assert_eq!(created, leaf_ptrs[leaf.idx]);
+    }
+    let created = rt.create_object(
+        0,
+        Box::new(QueueObj {
+            workload: params.workload,
+            opts,
+            leaf_ptrs: leaf_ptrs.clone(),
+            bboxes: leaves.iter().map(|l| l.bbox).collect(),
+            buffers: leaves
+                .iter()
+                .map(|l| l.buffer.iter().map(|&b| b as u32).collect())
+                .collect(),
+            queue: VecDeque::new(),
+            in_queue: vec![false; n],
+            stale: vec![0; n],
+            busy: ConflictSet::new(n),
+            active: 0,
+            dispatched_tasks: 0,
+        }),
+        255,
+    );
+    assert_eq!(created, queue_ptr);
+    rt.lock_object(queue_ptr);
+    rt.post(queue_ptr, H_Q_KICK, Vec::new());
+    rt
+}
+
+/// Run ONUPDR on the threaded engine.
+pub fn onupdr_run_threaded(
+    params: &NupdrParams,
+    cfg: MrtsConfig,
+    opts: OnupdrOpts,
+) -> MethodResult {
+    let mut rt = onupdr_setup_threaded(params, cfg, opts);
+    let stats = rt.run();
+    let mut elements = 0u64;
+    let mut vertices = 0u64;
+    rt.for_each_object(|_, obj| {
+        if let Some(l) = obj.as_any().downcast_ref::<LeafObj>() {
+            elements += l.elems;
+            vertices += l.verts;
+        }
+    });
+    MethodResult {
+        elements,
+        vertices,
+        stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -800,7 +930,7 @@ mod tests {
         let packed = mrts::object::Registry::pack(&obj);
         let mut reg = mrts::object::Registry::new();
         reg.register_type(LEAF_TAG, LeafObj::decode);
-        let back = reg.unpack(&packed);
+        let back = reg.unpack(&packed).expect("roundtrip decodes");
         let back = back.as_any().downcast_ref::<LeafObj>().unwrap();
         assert_eq!(back.idx, 3);
         assert_eq!(back.points, obj.points);
@@ -822,6 +952,23 @@ mod tests {
             "port {} vs baseline {}",
             port.elements,
             base.elements
+        );
+    }
+
+    #[test]
+    fn onupdr_threaded_matches_des_shape() {
+        // ONUPDR refinement order is schedule-dependent, so exact
+        // byte-identity across engines is not guaranteed (unlike OUPDR's
+        // canonical phase-3 integration); counts must agree closely.
+        let p = graded_square(3000);
+        let des = onupdr_run(&p, MrtsConfig::in_core(2), OnupdrOpts::default());
+        let thr = onupdr_run_threaded(&p, MrtsConfig::in_core(2), OnupdrOpts::default());
+        let ratio = thr.elements as f64 / des.elements as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "threaded {} vs DES {}",
+            thr.elements,
+            des.elements
         );
     }
 

@@ -19,7 +19,7 @@ use mrts::config::MrtsConfig;
 use mrts::ctx::Ctx;
 use mrts::des::DesRuntime;
 use mrts::ids::{HandlerId, MobilePtr, NodeId, TypeTag};
-use mrts::object::MobileObject;
+use mrts::object::{MobileObject, ObjectDecodeError};
 use pumg_delaunay::mesh::VFlags;
 use pumg_delaunay::TriMesh;
 use std::any::Any;
@@ -37,32 +37,33 @@ pub struct SubObj {
 }
 
 impl SubObj {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
-        let workload = get_workload(&mut r).unwrap();
-        let idx = r.u64().unwrap() as usize;
-        let cell = get_bbox(&mut r).unwrap();
-        let mesh = TriMesh::decode(r.bytes().unwrap()).unwrap();
-        let n_known = r.u32().unwrap() as usize;
+        let workload = get_workload(&mut r)?;
+        let idx = r.u64()? as usize;
+        let cell = get_bbox(&mut r)?;
+        let mesh = TriMesh::decode(r.bytes()?)
+            .map_err(|_| ObjectDecodeError::Invalid("TriMesh wire encoding"))?;
+        let n_known = r.u32()? as usize;
         let mut known = HashSet::with_capacity(n_known);
         for _ in 0..n_known {
-            let a = r.u64().unwrap();
-            let b = r.u64().unwrap();
+            let a = r.u64()?;
+            let b = r.u64()?;
             known.insert((a, b));
         }
         let mut neighbors = [None; SIDES];
         let mut neighbor_ptrs = [None; SIDES];
         for s in 0..SIDES {
-            if r.u8().unwrap() == 1 {
-                neighbors[s] = Some(r.u64().unwrap() as usize);
-                neighbor_ptrs[s] = Some(r.ptr().unwrap());
+            if r.u8()? == 1 {
+                neighbors[s] = Some(r.u64()? as usize);
+                neighbor_ptrs[s] = Some(r.ptr()?);
             }
         }
-        Box::new(SubObj {
+        Ok(Box::new(SubObj {
             sd: Subdomain::from_parts(idx, cell, mesh, known, neighbors),
             workload,
             neighbor_ptrs,
-        })
+        }))
     }
 }
 
@@ -109,7 +110,9 @@ impl MobileObject for SubObj {
 }
 
 fn sub_mut(obj: &mut dyn MobileObject) -> &mut SubObj {
-    obj.as_any_mut().downcast_mut::<SubObj>().unwrap()
+    obj.as_any_mut()
+        .downcast_mut::<SubObj>()
+        .expect("SUB_TAG object is a SubObj")
 }
 
 /// `refine`: refine the subdomain and fire aggregated split messages.
@@ -131,7 +134,7 @@ fn h_refine(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
 /// new, schedule a local refinement.
 fn h_splits(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
     let so = sub_mut(obj);
-    let pts = decode_point_batch(payload).unwrap();
+    let pts = decode_point_batch(payload).expect("point batch from a neighbor subdomain");
     let inserted = so.sd.insert_splits(&pts);
     if inserted > 0 {
         ctx.send(ctx.self_ptr(), H_REFINE, Vec::new());
@@ -206,7 +209,10 @@ pub fn opcdm_collect_threaded(rt: &mrts::threaded::ThreadedRuntime) -> (u64, u64
     let mut elements = 0u64;
     let mut vertices = 0u64;
     rt.for_each_object(|_, obj| {
-        let so = obj.as_any().downcast_ref::<SubObj>().unwrap();
+        let so = obj
+            .as_any()
+            .downcast_ref::<SubObj>()
+            .expect("this method only creates SubObj objects");
         elements += so.sd.mesh.num_tris() as u64;
         vertices += (0..so.sd.mesh.num_vertices() as u32)
             .filter(|&v| !so.sd.mesh.vflags(v).is(VFlags::SUPER))
@@ -301,7 +307,10 @@ pub fn opcdm_run_with(
     let mut elements = 0u64;
     let mut vertices = 0u64;
     rt.for_each_object(|_, obj| {
-        let so = obj.as_any().downcast_ref::<SubObj>().unwrap();
+        let so = obj
+            .as_any()
+            .downcast_ref::<SubObj>()
+            .expect("this method only creates SubObj objects");
         elements += so.sd.mesh.num_tris() as u64;
         vertices += (0..so.sd.mesh.num_vertices() as u32)
             .filter(|&v| !so.sd.mesh.vflags(v).is(VFlags::SUPER))
@@ -340,7 +349,7 @@ mod tests {
         let packed = mrts::object::Registry::pack(&obj);
         let mut reg = mrts::object::Registry::new();
         reg.register_type(SUB_TAG, SubObj::decode);
-        let back = reg.unpack(&packed);
+        let back = reg.unpack(&packed).expect("roundtrip decodes");
         let back = back.as_any().downcast_ref::<SubObj>().unwrap();
         assert_eq!(back.sd.idx, obj.sd.idx);
         assert_eq!(back.sd.mesh.num_tris(), obj.sd.mesh.num_tris());
@@ -447,7 +456,10 @@ mod tests {
         let mut sides: std::collections::HashMap<(usize, usize), Vec<(u64, u64)>> =
             std::collections::HashMap::new();
         rt.for_each_object(|_, obj| {
-            let so = obj.as_any().downcast_ref::<SubObj>().unwrap();
+            let so = obj
+                .as_any()
+                .downcast_ref::<SubObj>()
+                .expect("this method only creates SubObj objects");
             for s in 0..SIDES {
                 if so.sd.neighbors[s].is_some() {
                     sides.insert((so.sd.idx, s), so.sd.interface_points(s));

@@ -2,14 +2,26 @@
 //!
 //! Each block is a mobile object carrying its *entire region mesh* between
 //! phases — these are the large objects that exercise the storage layer.
-//! A small coordinator object reproduces UPDR's structured communication
-//! and global synchronization: it releases phase 2 only when every block
-//! finished phase 1, and so on. Within a phase, blocks work independently
-//! and the runtime overlaps their disk traffic with other blocks'
-//! computation.
+//! A small coordinator object reproduces UPDR's structured communication;
+//! phase progression runs in either of two scheduling modes
+//! ([`mrts::config::SchedMode`]):
+//!
+//! * **Dag** (default): dependency-driven. Each block embeds a
+//!   [`PhaseGate`] over its buffer-zone neighborhood and broadcasts a
+//!   commit notification when it finishes phase 1; a block enters phase 2
+//!   the moment it and every neighbor have committed — no global
+//!   synchronization, so a slow block delays only its own neighborhood.
+//! * **Barriers**: the original bulk-synchronous structure — the
+//!   coordinator releases phase 2 only when *every* block finished
+//!   phase 1. Kept as the measured baseline (`MrtsConfig::with_barriers`).
+//!
+//! Phase 3 entry was already dependency-driven in both modes (a block
+//! integrates when all neighbor point batches arrived), and
+//! `block_phase3` sorts the received points canonically, so the final
+//! mesh is byte-identical across modes and schedules.
 
 use crate::common::{
-    decode_point_batch, encode_point_batch, get_bbox, get_workload, put_bbox, put_workload,
+    decode_point_batch, encode_point_batch, fnv1a, get_bbox, get_workload, put_bbox, put_workload,
     MethodResult,
 };
 use crate::domain::Workload;
@@ -17,11 +29,12 @@ use crate::updr::{
     block_counts, block_phase1, block_phase3, buffer_points_for, decompose, Block, UpdrParams,
 };
 use mrts::codec::{PayloadReader, PayloadWriter};
-use mrts::config::MrtsConfig;
+use mrts::config::{MrtsConfig, SchedMode};
 use mrts::ctx::Ctx;
 use mrts::des::DesRuntime;
 use mrts::ids::{HandlerId, MobilePtr, NodeId, ObjectId, TypeTag};
-use mrts::object::MobileObject;
+use mrts::object::{MobileObject, ObjectDecodeError};
+use mrts::sched::PhaseGate;
 use pumg_delaunay::TriMesh;
 use pumg_geometry::{BBox, Point2};
 use std::any::Any;
@@ -34,6 +47,10 @@ pub const H_C_DONE3: HandlerId = HandlerId(0x312);
 pub const H_B_P1: HandlerId = HandlerId(0x320);
 pub const H_B_P2: HandlerId = HandlerId(0x321);
 pub const H_B_PTS: HandlerId = HandlerId(0x322);
+pub const H_B_COMMIT: HandlerId = HandlerId(0x323);
+
+/// The gated phase count: only the phase-1 commit gates an entry (phase 2).
+const GATE_PHASES: usize = 2;
 
 /// A UPDR block as a mobile object: geometry + its (phase-dependent) mesh.
 pub struct BlockObj {
@@ -46,6 +63,12 @@ pub struct BlockObj {
     pub neighbor_ptrs: Vec<MobilePtr>,
     pub neighbor_regions: Vec<BBox>,
     pub mesh: Option<TriMesh>,
+    /// Dependency-driven (DAG) phase progression, vs. coordinator barriers.
+    pub dag: bool,
+    /// This block ran phase 2 (shipped its buffer points).
+    pub shipped: bool,
+    /// Commit notifications heard from the in-neighborhood.
+    pub gate: PhaseGate,
     pub expected: u32,
     pub received: Vec<Point2>,
     pub elems: u64,
@@ -62,27 +85,33 @@ impl BlockObj {
         }
     }
 
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
-        let idx = r.u32().unwrap();
-        let cell = get_bbox(&mut r).unwrap();
-        let region = get_bbox(&mut r).unwrap();
-        let workload = get_workload(&mut r).unwrap();
-        let coord = r.ptr().unwrap();
-        let neighbor_ptrs = r.ptrs().unwrap();
+        let idx = r.u32()?;
+        let cell = get_bbox(&mut r)?;
+        let region = get_bbox(&mut r)?;
+        let workload = get_workload(&mut r)?;
+        let coord = r.ptr()?;
+        let neighbor_ptrs = r.ptrs()?;
         let mut neighbor_regions = Vec::with_capacity(neighbor_ptrs.len());
         for _ in 0..neighbor_ptrs.len() {
-            neighbor_regions.push(get_bbox(&mut r).unwrap());
+            neighbor_regions.push(get_bbox(&mut r)?);
         }
-        let mesh = match r.u8().unwrap() {
+        let mesh = match r.u8()? {
             0 => None,
-            _ => Some(TriMesh::decode(r.bytes().unwrap()).unwrap()),
+            _ => Some(
+                TriMesh::decode(r.bytes()?)
+                    .map_err(|_| ObjectDecodeError::Invalid("TriMesh wire encoding"))?,
+            ),
         };
-        let expected = r.u32().unwrap();
-        let received = decode_point_batch(r.bytes().unwrap()).unwrap();
-        let elems = r.u64().unwrap();
-        let verts = r.u64().unwrap();
-        Box::new(BlockObj {
+        let dag = r.u8()? != 0;
+        let shipped = r.u8()? != 0;
+        let gate = PhaseGate::decode(&mut r)?;
+        let expected = r.u32()?;
+        let received = decode_point_batch(r.bytes()?)?;
+        let elems = r.u64()?;
+        let verts = r.u64()?;
+        Ok(Box::new(BlockObj {
             idx,
             cell,
             region,
@@ -91,11 +120,14 @@ impl BlockObj {
             neighbor_ptrs,
             neighbor_regions,
             mesh,
+            dag,
+            shipped,
+            gate,
             expected,
             received,
             elems,
             verts,
-        })
+        }))
     }
 }
 
@@ -124,6 +156,8 @@ impl MobileObject for BlockObj {
                 w.u8(1).bytes(&m.encode());
             }
         }
+        w.u8(self.dag as u8).u8(self.shipped as u8);
+        self.gate.encode(&mut w);
         w.u32(self.expected);
         w.bytes(&encode_point_batch(&self.received));
         w.u64(self.elems).u64(self.verts);
@@ -142,30 +176,35 @@ impl MobileObject for BlockObj {
     }
 }
 
-/// The phase coordinator: UPDR's global synchronization points.
+/// The phase coordinator: start, (barrier-mode) phase release, and final
+/// count aggregation.
 pub struct CoordObj {
     pub block_ptrs: Vec<MobilePtr>,
     pub pending: u32,
     pub phase: u8,
+    /// Dependency-driven mode: blocks self-advance; no DONE1 traffic.
+    pub dag: bool,
     pub elems: u64,
     pub verts: u64,
 }
 
 impl CoordObj {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
-        let block_ptrs = r.ptrs().unwrap();
-        let pending = r.u32().unwrap();
-        let phase = r.u8().unwrap();
-        let elems = r.u64().unwrap();
-        let verts = r.u64().unwrap();
-        Box::new(CoordObj {
+        let block_ptrs = r.ptrs()?;
+        let pending = r.u32()?;
+        let phase = r.u8()?;
+        let dag = r.u8()? != 0;
+        let elems = r.u64()?;
+        let verts = r.u64()?;
+        Ok(Box::new(CoordObj {
             block_ptrs,
             pending,
             phase,
+            dag,
             elems,
             verts,
-        })
+        }))
     }
 }
 
@@ -179,6 +218,7 @@ impl MobileObject for CoordObj {
         w.ptrs(&self.block_ptrs);
         w.u32(self.pending)
             .u8(self.phase)
+            .u8(self.dag as u8)
             .u64(self.elems)
             .u64(self.verts);
         buf.extend_from_slice(&w.finish());
@@ -197,14 +237,20 @@ impl MobileObject for CoordObj {
 }
 
 fn block_mut(obj: &mut dyn MobileObject) -> &mut BlockObj {
-    obj.as_any_mut().downcast_mut::<BlockObj>().unwrap()
+    obj.as_any_mut()
+        .downcast_mut::<BlockObj>()
+        .expect("BLOCK_TAG object is a BlockObj")
 }
 
 fn coord_mut(obj: &mut dyn MobileObject) -> &mut CoordObj {
-    obj.as_any_mut().downcast_mut::<CoordObj>().unwrap()
+    obj.as_any_mut()
+        .downcast_mut::<CoordObj>()
+        .expect("COORD_TAG object is a CoordObj")
 }
 
-/// Coordinator: kick off phase 1 on every block.
+/// Coordinator: kick off phase 1 on every block. `pending` counts the
+/// barrier arrivals (DONE1) in barrier mode, the final reports (DONE3) in
+/// DAG mode.
 fn h_c_start(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
     let c = coord_mut(obj);
     c.phase = 1;
@@ -214,8 +260,9 @@ fn h_c_start(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
     }
 }
 
-/// Coordinator: a block finished phase 1; when all have, release phase 2
-/// (the global synchronization point).
+/// Coordinator, barrier mode only: a block finished phase 1; when all
+/// have, release phase 2 (the global synchronization point the DAG mode
+/// retires).
 fn h_c_done1(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
     let c = coord_mut(obj);
     c.pending = c.pending.saturating_sub(1);
@@ -231,8 +278,8 @@ fn h_c_done1(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
 /// Coordinator: a block finished phase 3 with its final counts.
 fn h_c_done3(obj: &mut dyn MobileObject, _ctx: &mut Ctx, payload: &[u8]) {
     let mut r = PayloadReader::new(payload);
-    let elems = r.u64().unwrap();
-    let verts = r.u64().unwrap();
+    let elems = r.u64().expect("done3 payload holds the element count");
+    let verts = r.u64().expect("done3 payload holds the vertex count");
     let c = coord_mut(obj);
     c.elems += elems;
     c.verts += verts;
@@ -242,19 +289,48 @@ fn h_c_done3(obj: &mut dyn MobileObject, _ctx: &mut Ctx, payload: &[u8]) {
     }
 }
 
-/// Block phase 1: mesh and refine the region.
+/// Block phase 1: mesh and refine the region, then commit — to the
+/// coordinator (barrier mode) or to the in-neighborhood (DAG mode).
 fn h_b_p1(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
     let b = block_mut(obj);
     b.mesh = block_phase1(&b.workload, &b.block());
-    ctx.send(b.coord, H_C_DONE1, Vec::new());
+    if b.dag {
+        let mut w = PayloadWriter::new();
+        w.u8(1);
+        let commit = w.finish();
+        for &np in &b.neighbor_ptrs {
+            ctx.send(np, H_B_COMMIT, commit.clone());
+        }
+        // Own commit counts locally; the gate may already be saturated by
+        // fast neighbors, in which case phase 2 starts right here.
+        if b.gate.on_commit(1) {
+            do_phase2(b, ctx);
+        }
+    } else {
+        ctx.send(b.coord, H_C_DONE1, Vec::new());
+    }
+}
+
+/// Block, DAG mode: a neighbor committed a phase. Entering `phase + 1`
+/// requires `|N(b)| + 1` commits of `phase` (the neighbors' plus our own).
+fn h_b_commit(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
+    let mut r = PayloadReader::new(payload);
+    let ph = r.u8().expect("commit payload holds the phase byte") as usize;
+    let b = block_mut(obj);
+    if b.gate.on_commit(ph) && ph == 1 {
+        do_phase2(b, ctx);
+    }
+}
+
+/// Block, barrier mode: the coordinator released phase 2.
+fn h_b_p2(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
+    do_phase2(block_mut(obj), ctx);
 }
 
 /// Block phase 2: ship owned buffer-zone points to every neighbor (an
 /// empty batch still counts — receivers count arrivals against the known
 /// neighbor count; UPDR's communication is fully structured).
-fn h_b_p2(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
-    let b = block_mut(obj);
-    b.expected = b.neighbor_ptrs.len() as u32;
+fn do_phase2(b: &mut BlockObj, ctx: &mut Ctx) {
     for (i, &np) in b.neighbor_ptrs.iter().enumerate() {
         let pts = match &b.mesh {
             Some(m) => buffer_points_for(m, &b.cell, &b.neighbor_regions[i]),
@@ -262,23 +338,30 @@ fn h_b_p2(obj: &mut dyn MobileObject, ctx: &mut Ctx, _payload: &[u8]) {
         };
         ctx.send(np, H_B_PTS, encode_point_batch(&pts));
     }
+    b.shipped = true;
     if b.expected == 0 {
         finish_phase3(b, ctx);
     }
 }
 
-/// Block: buffer points arrived from one neighbor.
+/// Block: buffer points arrived from one neighbor. In DAG mode a fast
+/// neighbor's batch may land before this block entered phase 2 itself;
+/// `expected` starts at the full neighbor count so early arrivals are
+/// simply counted, and phase 3 additionally waits for `shipped`.
 fn h_b_pts(obj: &mut dyn MobileObject, ctx: &mut Ctx, payload: &[u8]) {
     let b = block_mut(obj);
-    let pts = decode_point_batch(payload).unwrap();
+    let pts = decode_point_batch(payload).expect("point batch from a peer block");
     b.received.extend(pts);
     b.expected = b.expected.saturating_sub(1);
-    if b.expected == 0 {
+    if b.expected == 0 && b.shipped {
         finish_phase3(b, ctx);
     }
 }
 
 /// Phase 3: integrate the exchanged points, restore quality, report.
+/// `block_phase3` sorts the received points into a canonical order, so the
+/// result is independent of arrival order — and therefore of scheduling
+/// mode, message timing, and work stealing.
 fn finish_phase3(b: &mut BlockObj, ctx: &mut Ctx) {
     let block = b.block();
     let received = std::mem::take(&mut b.received);
@@ -293,7 +376,7 @@ fn finish_phase3(b: &mut BlockObj, ctx: &mut Ctx) {
     ctx.send(b.coord, H_C_DONE3, w.finish());
 }
 
-/// Register OUPDR's types and handlers on a runtime.
+/// Register OUPDR's types and handlers on a virtual-time runtime.
 pub fn register(rt: &mut DesRuntime) {
     rt.register_type(BLOCK_TAG, BlockObj::decode);
     rt.register_type(COORD_TAG, CoordObj::decode);
@@ -303,18 +386,35 @@ pub fn register(rt: &mut DesRuntime) {
     rt.register_handler(H_B_P1, "updr_phase1", h_b_p1);
     rt.register_handler(H_B_P2, "updr_phase2", h_b_p2);
     rt.register_handler(H_B_PTS, "updr_points", h_b_pts);
+    rt.register_handler(H_B_COMMIT, "updr_commit", h_b_commit);
 }
 
-/// Run OUPDR on the virtual-time MRTS engine.
-pub fn oupdr_run(params: &UpdrParams, cfg: MrtsConfig) -> MethodResult {
-    let mut rt = DesRuntime::new(cfg.clone());
-    register(&mut rt);
+/// Register OUPDR's types and handlers on a threaded runtime (the handler
+/// functions are engine-agnostic).
+pub fn register_threaded(rt: &mut mrts::threaded::ThreadedRuntime) {
+    rt.register_type(BLOCK_TAG, BlockObj::decode);
+    rt.register_type(COORD_TAG, CoordObj::decode);
+    rt.register_handler(H_C_START, "updr_start", h_c_start);
+    rt.register_handler(H_C_DONE1, "updr_done1", h_c_done1);
+    rt.register_handler(H_C_DONE3, "updr_done3", h_c_done3);
+    rt.register_handler(H_B_P1, "updr_phase1", h_b_p1);
+    rt.register_handler(H_B_P2, "updr_phase2", h_b_p2);
+    rt.register_handler(H_B_PTS, "updr_points", h_b_pts);
+    rt.register_handler(H_B_COMMIT, "updr_commit", h_b_commit);
+}
 
+/// The decomposition, pointer layout, and initial objects shared by both
+/// engines' setups.
+struct Layout {
+    blocks: Vec<Block>,
+    ptrs: Vec<MobilePtr>,
+    coord_ptr: MobilePtr,
+}
+
+fn layout(params: &UpdrParams, nodes: usize) -> Layout {
     let blocks = decompose(params);
     let n = blocks.len();
     assert!(n > 0, "no blocks intersect the domain");
-    let nodes = cfg.nodes;
-
     let mut counters = vec![0u64; nodes];
     let ptrs: Vec<MobilePtr> = (0..n)
         .map(|i| {
@@ -325,61 +425,213 @@ pub fn oupdr_run(params: &UpdrParams, cfg: MrtsConfig) -> MethodResult {
         })
         .collect();
     let coord_ptr = MobilePtr::new(ObjectId::new(0, counters[0]));
-
-    for b in &blocks {
-        let node = (b.idx % nodes) as NodeId;
-        let created = rt.create_object(
-            node,
-            Box::new(BlockObj {
-                idx: b.idx as u32,
-                cell: b.cell,
-                region: b.region,
-                workload: params.workload,
-                coord: coord_ptr,
-                neighbor_ptrs: b.neighbors.iter().map(|&x| ptrs[x]).collect(),
-                neighbor_regions: b.neighbors.iter().map(|&x| blocks[x].region).collect(),
-                mesh: None,
-                expected: 0,
-                received: Vec::new(),
-                elems: 0,
-                verts: 0,
-            }),
-            128,
-        );
-        assert_eq!(created, ptrs[b.idx]);
+    Layout {
+        blocks,
+        ptrs,
+        coord_ptr,
     }
-    let created = rt.create_object(
-        0,
-        Box::new(CoordObj {
-            block_ptrs: ptrs.clone(),
-            pending: 0,
-            phase: 0,
-            elems: 0,
-            verts: 0,
-        }),
-        255,
-    );
-    assert_eq!(created, coord_ptr);
-    rt.lock_object(coord_ptr);
+}
 
-    rt.post(coord_ptr, H_C_START, Vec::new());
+fn make_block(params: &UpdrParams, lay: &Layout, b: &Block, dag: bool) -> BlockObj {
+    BlockObj {
+        idx: b.idx as u32,
+        cell: b.cell,
+        region: b.region,
+        workload: params.workload,
+        coord: lay.coord_ptr,
+        neighbor_ptrs: b.neighbors.iter().map(|&x| lay.ptrs[x]).collect(),
+        neighbor_regions: b.neighbors.iter().map(|&x| lay.blocks[x].region).collect(),
+        mesh: None,
+        dag,
+        shipped: false,
+        gate: PhaseGate::new(b.neighbors.len(), GATE_PHASES),
+        expected: b.neighbors.len() as u32,
+        received: Vec::new(),
+        elems: 0,
+        verts: 0,
+    }
+}
+
+fn make_coord(lay: &Layout, dag: bool) -> CoordObj {
+    CoordObj {
+        block_ptrs: lay.ptrs.clone(),
+        pending: 0,
+        phase: 0,
+        dag,
+        elems: 0,
+        verts: 0,
+    }
+}
+
+/// Order-independent digest of the final meshes, for mesh-identity checks
+/// across scheduling modes and engines: FNV-1a over each block's canonical
+/// form (see [`block_digest_part`]), folded in block order.
+fn fold_digest(parts: &mut [(u32, u64)]) -> u64 {
+    parts.sort_unstable_by_key(|&(idx, _)| idx);
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for &(idx, d) in parts.iter() {
+        acc = fnv1a(&idx.to_le_bytes()) ^ acc.rotate_left(13) ^ d;
+    }
+    acc
+}
+
+/// Canonical per-block digest: every triangle as its three vertex
+/// coordinates, sorted within the triangle and across triangles. Hashing
+/// the canonical form (rather than `TriMesh::encode` bytes) makes the
+/// digest independent of arena numbering — a block spilled and reloaded
+/// mid-run rebuilds its arena in wire order, which permutes encode bytes
+/// without changing the mesh. Equal digests mean geometrically equal
+/// meshes regardless of which schedule (or engine) produced them.
+fn block_digest_part(obj: &dyn MobileObject) -> Option<(u32, u64)> {
+    let b = obj.as_any().downcast_ref::<BlockObj>()?;
+    let mut records: Vec<[u64; 6]> = Vec::new();
+    if let Some(m) = b.mesh.as_ref() {
+        for t in m.tri_ids() {
+            let mut pts: Vec<(u64, u64)> = m
+                .tri(t)
+                .v
+                .iter()
+                .map(|&v| {
+                    let p = m.point(v);
+                    (p.x.to_bits(), p.y.to_bits())
+                })
+                .collect();
+            pts.sort_unstable();
+            records.push([pts[0].0, pts[0].1, pts[1].0, pts[1].1, pts[2].0, pts[2].1]);
+        }
+    }
+    records.sort_unstable();
+    let mut bytes = Vec::with_capacity(records.len() * 48);
+    for r in &records {
+        for w in r {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    Some((b.idx, fnv1a(&bytes)))
+}
+
+/// Run OUPDR on the virtual-time MRTS engine.
+pub fn oupdr_run(params: &UpdrParams, cfg: MrtsConfig) -> MethodResult {
+    oupdr_run_with_digest(params, cfg).0
+}
+
+/// [`oupdr_run`], also returning the mesh digest (see [`fold_digest`]).
+pub fn oupdr_run_with_digest(params: &UpdrParams, cfg: MrtsConfig) -> (MethodResult, u64) {
+    let dag = matches!(cfg.sched, SchedMode::Dag);
+    let mut rt = DesRuntime::new(cfg.clone());
+    register(&mut rt);
+
+    let lay = layout(params, cfg.nodes);
+    for b in &lay.blocks {
+        let node = (b.idx % cfg.nodes) as NodeId;
+        let created = rt.create_object(node, Box::new(make_block(params, &lay, b, dag)), 128);
+        assert_eq!(created, lay.ptrs[b.idx]);
+    }
+    let created = rt.create_object(0, Box::new(make_coord(&lay, dag)), 255);
+    assert_eq!(created, lay.coord_ptr);
+    rt.lock_object(lay.coord_ptr);
+
+    rt.post(lay.coord_ptr, H_C_START, Vec::new());
     let stats = rt.run();
 
     let mut elements = 0;
     let mut vertices = 0;
     let mut phase = 0;
-    rt.with_object(coord_ptr, |obj| {
-        let c = obj.as_any().downcast_ref::<CoordObj>().unwrap();
+    rt.with_object(lay.coord_ptr, |obj| {
+        let c = obj
+            .as_any()
+            .downcast_ref::<CoordObj>()
+            .expect("coordinator pointer resolves to a CoordObj");
         elements = c.elems;
         vertices = c.verts;
         phase = c.phase;
     });
     assert_eq!(phase, 4, "run must complete all phases");
-    MethodResult {
-        elements,
-        vertices,
-        stats,
+    let mut parts = Vec::new();
+    rt.for_each_object(|_, obj| {
+        if let Some(p) = block_digest_part(obj) {
+            parts.push(p);
+        }
+    });
+    (
+        MethodResult {
+            elements,
+            vertices,
+            stats,
+        },
+        fold_digest(&mut parts),
+    )
+}
+
+/// Build a threaded runtime with OUPDR registered and the start message
+/// posted — ready to run. Exposed so harnesses (replay, chaos) can attach
+/// sinks or recorders around the run.
+pub fn oupdr_setup_threaded(
+    params: &UpdrParams,
+    cfg: MrtsConfig,
+) -> (mrts::threaded::ThreadedRuntime, MobilePtr) {
+    let dag = matches!(cfg.sched, SchedMode::Dag);
+    let nodes = cfg.nodes;
+    let mut rt = mrts::threaded::ThreadedRuntime::new(cfg);
+    register_threaded(&mut rt);
+
+    let lay = layout(params, nodes);
+    for b in &lay.blocks {
+        let node = (b.idx % nodes) as NodeId;
+        let created = rt.create_object(node, Box::new(make_block(params, &lay, b, dag)), 128);
+        assert_eq!(created, lay.ptrs[b.idx]);
     }
+    let created = rt.create_object(0, Box::new(make_coord(&lay, dag)), 255);
+    assert_eq!(created, lay.coord_ptr);
+    rt.lock_object(lay.coord_ptr);
+    rt.post(lay.coord_ptr, H_C_START, Vec::new());
+    (rt, lay.coord_ptr)
+}
+
+/// Collect `(elements, vertices, phase, digest)` from a finished threaded
+/// runtime.
+pub fn oupdr_collect_threaded(rt: &mrts::threaded::ThreadedRuntime) -> (u64, u64, u8, u64) {
+    let mut elements = 0u64;
+    let mut vertices = 0u64;
+    let mut phase = 0u8;
+    let mut parts = Vec::new();
+    rt.for_each_object(|_, obj| {
+        if let Some(c) = obj.as_any().downcast_ref::<CoordObj>() {
+            elements = c.elems;
+            vertices = c.verts;
+            phase = c.phase;
+        } else if let Some(p) = block_digest_part(obj) {
+            parts.push(p);
+        }
+    });
+    (elements, vertices, phase, fold_digest(&mut parts))
+}
+
+/// [`oupdr_run_threaded`] with a hook between setup and run.
+pub fn oupdr_run_threaded_with(
+    params: &UpdrParams,
+    cfg: MrtsConfig,
+    hook: impl FnOnce(&mut mrts::threaded::ThreadedRuntime),
+) -> (MethodResult, u64) {
+    let (mut rt, _coord) = oupdr_setup_threaded(params, cfg);
+    hook(&mut rt);
+    let stats = rt.run();
+    let (elements, vertices, phase, digest) = oupdr_collect_threaded(&rt);
+    assert_eq!(phase, 4, "run must complete all phases");
+    (
+        MethodResult {
+            elements,
+            vertices,
+            stats,
+        },
+        digest,
+    )
+}
+
+/// Run OUPDR on the threaded engine (real OS threads, real spill files
+/// when `cfg.spill_dir` is set).
+pub fn oupdr_run_threaded(params: &UpdrParams, cfg: MrtsConfig) -> MethodResult {
+    oupdr_run_threaded_with(params, cfg, |_| {}).0
 }
 
 #[cfg(test)]
@@ -396,6 +648,8 @@ mod tests {
         let p = params(1500, 2);
         let blocks = decompose(&p);
         let mesh = block_phase1(&p.workload, &blocks[0]);
+        let mut gate = PhaseGate::new(1, GATE_PHASES);
+        gate.on_commit(1);
         let obj = BlockObj {
             idx: 0,
             cell: blocks[0].cell,
@@ -405,6 +659,9 @@ mod tests {
             neighbor_ptrs: vec![MobilePtr::new(ObjectId::new(1, 1))],
             neighbor_regions: vec![blocks[1].region],
             mesh,
+            dag: true,
+            shipped: true,
+            gate,
             expected: 2,
             received: vec![Point2::new(0.5, 0.5)],
             elems: 10,
@@ -413,7 +670,7 @@ mod tests {
         let packed = mrts::object::Registry::pack(&obj);
         let mut reg = mrts::object::Registry::new();
         reg.register_type(BLOCK_TAG, BlockObj::decode);
-        let back = reg.unpack(&packed);
+        let back = reg.unpack(&packed).expect("roundtrip decodes");
         let back = back.as_any().downcast_ref::<BlockObj>().unwrap();
         assert_eq!(back.idx, 0);
         assert_eq!(
@@ -422,6 +679,8 @@ mod tests {
         );
         assert_eq!(back.received, obj.received);
         assert_eq!(back.expected, 2);
+        assert!(back.dag && back.shipped);
+        assert_eq!(back.gate, obj.gate);
         back.mesh.as_ref().unwrap().validate().unwrap();
     }
 
@@ -433,6 +692,80 @@ mod tests {
         assert_eq!(
             port.elements, base.elements,
             "identical kernels and deterministic phases must agree"
+        );
+    }
+
+    #[test]
+    fn oupdr_dag_and_barrier_meshes_are_byte_identical() {
+        let p = params(3000, 3);
+        let (dag, dag_digest) = oupdr_run_with_digest(&p, MrtsConfig::in_core(3));
+        let (bar, bar_digest) = oupdr_run_with_digest(&p, MrtsConfig::in_core(3).with_barriers());
+        assert_eq!(dag.elements, bar.elements);
+        assert_eq!(dag.vertices, bar.vertices);
+        assert_eq!(
+            dag_digest, bar_digest,
+            "canonical phase-3 integration makes the mesh schedule-independent"
+        );
+    }
+
+    #[test]
+    fn oupdr_des_and_threaded_meshes_are_byte_identical() {
+        let p = params(3000, 2);
+        let (des, des_digest) = oupdr_run_with_digest(&p, MrtsConfig::in_core(3));
+        let (thr, thr_digest) = oupdr_run_threaded_with(&p, MrtsConfig::in_core(3), |_| {});
+        assert_eq!(des.elements, thr.elements);
+        assert_eq!(des.vertices, thr.vertices);
+        assert_eq!(
+            des_digest, thr_digest,
+            "both engines run the same handlers; canonical phase-3 \
+             integration makes the mesh engine-independent"
+        );
+    }
+
+    #[test]
+    fn oupdr_work_stealing_preserves_mesh_and_replays() {
+        // Fewer blocks than nodes: a 2x2 grid on six nodes leaves nodes
+        // 4 and 5 with no objects at all, so they go idle immediately
+        // and must fire steal requests. Grants are timing-dependent
+        // (the victim may have drained its queue by the time the
+        // request lands), so only requests are asserted — the mesh
+        // digest proves any steals that did happen were harmless.
+        let p = params(2500, 2);
+        let cfg = MrtsConfig::in_core(6)
+            .with_work_stealing()
+            .with_steal_patience(1);
+        let (_plain, plain_digest) = oupdr_run_threaded_with(&p, MrtsConfig::in_core(6), |_| {});
+
+        let (mut rt, _coord) = oupdr_setup_threaded(&p, cfg.clone());
+        rt.record_decisions();
+        let stats = rt.run();
+        let (elements, _verts, phase, digest) = oupdr_collect_threaded(&rt);
+        assert_eq!(phase, 4);
+        assert_eq!(digest, plain_digest, "stealing must not change the mesh");
+        assert!(
+            stats.total_of(|n| n.steal_requests as usize) > 0,
+            "object-less nodes must ask for work: {}",
+            stats.summary()
+        );
+
+        // The recorded schedule — steal decisions included — must replay
+        // to the identical mesh without divergence.
+        let log = rt.take_decision_log().expect("recording was enabled");
+        let (mut rt2, _coord) = oupdr_setup_threaded(&p, cfg);
+        rt2.replay_decisions(log);
+        let stats2 = rt2.run();
+        let (elements2, _verts2, phase2, digest2) = oupdr_collect_threaded(&rt2);
+        assert_eq!(phase2, 4);
+        assert_eq!(
+            stats2.total_of(|n| n.replay_divergences),
+            0,
+            "{}",
+            stats2.summary()
+        );
+        assert_eq!(elements2, elements);
+        assert_eq!(
+            digest2, digest,
+            "the replayed schedule must rebuild the identical mesh"
         );
     }
 

@@ -176,7 +176,11 @@ pub fn buffer_points_for(mesh: &TriMesh, own_cell: &BBox, neighbor_region: &BBox
             }
         }
     }
-    out.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+    out.sort_by(|a, b| {
+        (a.x, a.y)
+            .partial_cmp(&(b.x, b.y))
+            .expect("refinement coordinates are finite")
+    });
     out.dedup();
     out
 }

@@ -22,7 +22,7 @@ use pumg::mrts::config::MrtsConfig;
 use pumg::mrts::ctx::Ctx;
 use pumg::mrts::des::DesRuntime;
 use pumg::mrts::ids::{HandlerId, MobilePtr, NodeId, ObjectId, TypeTag};
-use pumg::mrts::object::MobileObject;
+use pumg::mrts::object::{MobileObject, ObjectDecodeError};
 use pumg::mrts::threaded::ThreadedRuntime;
 use std::any::Any;
 use std::collections::VecDeque;
@@ -51,7 +51,7 @@ struct Strip {
 }
 
 impl Strip {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
         let n = r.u32().unwrap() as usize;
         let mut cells = Vec::with_capacity(n);
@@ -73,7 +73,7 @@ impl Strip {
         let step = r.u32().unwrap();
         let total_steps = r.u32().unwrap();
         let announced = r.u8().unwrap() != 0;
-        Box::new(Strip {
+        Ok(Box::new(Strip {
             cells,
             left,
             right,
@@ -84,7 +84,7 @@ impl Strip {
             step,
             total_steps,
             announced,
-        })
+        }))
     }
 }
 

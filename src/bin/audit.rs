@@ -139,16 +139,16 @@ mod invariant_sweep {
     }
 
     impl Cell {
-        fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+        fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
             let mut r = PayloadReader::new(buf);
             let value = r.u64().unwrap();
             let neighbors = r.ptrs().unwrap();
             let pad = r.bytes().unwrap().to_vec();
-            Box::new(Cell {
+            Ok(Box::new(Cell {
                 value,
                 neighbors,
                 pad,
-            })
+            }))
         }
     }
 
@@ -857,9 +857,12 @@ mod replay_harness {
             CHAOS_NET_THREADED => {
                 MrtsConfig::out_of_core(NODES, BUDGET).with_net_faults(chaos_net_plan(seed))
             }
+            // Work stealing stays on here so the smoke proves the steal
+            // decisions (`StealRequest`/`StealGrant`) replay faithfully.
             REPLAY_SMOKE => MrtsConfig::out_of_core(NODES, BUDGET)
                 .with_net_faults(chaos_net_plan(seed))
-                .with_io_threads(1),
+                .with_io_threads(1)
+                .with_work_stealing(),
             _ => return None,
         };
         cfg.spill_dir = Some(spill_dir(label));

@@ -34,7 +34,7 @@ use pumg::mrts::des::DesRuntime;
 use pumg::mrts::fault::{FaultPlan, MrtsError};
 use pumg::mrts::ids::{HandlerId, MobilePtr, ObjectId, TypeTag};
 use pumg::mrts::netfault::NetFaultPlan;
-use pumg::mrts::object::MobileObject;
+use pumg::mrts::object::{MobileObject, ObjectDecodeError};
 use pumg::mrts::threaded::ThreadedRuntime;
 use std::any::Any;
 use std::path::PathBuf;
@@ -218,7 +218,7 @@ struct Pad {
 }
 
 impl Pad {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
         let peer = if r.u8().unwrap() == 1 {
             Some(r.ptr().unwrap())
@@ -226,7 +226,7 @@ impl Pad {
             None
         };
         let data = r.bytes().unwrap().to_vec();
-        Box::new(Pad { peer, data })
+        Ok(Box::new(Pad { peer, data }))
     }
 }
 
@@ -615,13 +615,13 @@ struct Saga {
 }
 
 impl Saga {
-    fn decode(buf: &[u8]) -> Box<dyn MobileObject> {
+    fn decode(buf: &[u8]) -> Result<Box<dyn MobileObject>, ObjectDecodeError> {
         let mut r = PayloadReader::new(buf);
-        Box::new(Saga {
+        Ok(Box::new(Saga {
             x: r.ptr().unwrap(),
             a: r.ptr().unwrap(),
             b: r.ptr().unwrap(),
-        })
+        }))
     }
 }
 

@@ -15,7 +15,10 @@
 //!    "`overlap_fraction_pct = 0` because nobody ever surfaced the
 //!    counter" class of bug at analysis time. Every record/replay
 //!    `Decision` variant must likewise be constructed on the record
-//!    path and matched by a replay arm in the threaded engine.
+//!    path and matched by a replay arm in the threaded engine. The
+//!    job-service state machine (`JobState` in `service.rs`) gets the
+//!    same treatment: every state constructed and matched, every
+//!    incremented `ServiceStats` counter surfaced by its summary.
 //! 2. **Lock-order graph** ([`locks`]): acquisition orders of
 //!    `Mutex`/`RwLock` values are extracted per function from
 //!    `threaded.rs` and `armci-sim`; a directed edge A→B means B was
@@ -93,6 +96,8 @@ pub struct AnalysisReport {
     pub counters_checked: usize,
     /// Record/replay `Decision` variants examined.
     pub decisions_checked: usize,
+    /// Job-service `JobState` variants examined.
+    pub service_states_checked: usize,
     /// Distinct locks in the acquisition graph.
     pub locks_seen: usize,
     /// Functions scanned by the unwrap checker.
@@ -108,7 +113,8 @@ impl AnalysisReport {
 /// Run every checker over a workspace model.
 pub fn analyze(ws: &Workspace) -> Result<AnalysisReport, String> {
     let mut violations = Vec::new();
-    let (tags_checked, counters_checked, decisions_checked) = protocol::check(ws, &mut violations)?;
+    let (tags_checked, counters_checked, decisions_checked, service_states_checked) =
+        protocol::check(ws, &mut violations)?;
     let locks_seen = locks::check(ws, &mut violations)?;
     let fns_scanned = unwraps::check(ws, &mut violations)?;
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -117,6 +123,7 @@ pub fn analyze(ws: &Workspace) -> Result<AnalysisReport, String> {
         tags_checked,
         counters_checked,
         decisions_checked,
+        service_states_checked,
         locks_seen,
         fns_scanned,
     })
@@ -139,6 +146,12 @@ pub fn analyze_tree(root: &Path) -> Result<AnalysisReport, String> {
     if report.decisions_checked == 0 {
         return Err(
             "protocol checker found no record/replay Decision variants — stale workspace model?"
+                .into(),
+        );
+    }
+    if report.service_states_checked == 0 {
+        return Err(
+            "protocol checker found no job-service JobState variants — stale workspace model?"
                 .into(),
         );
     }

@@ -30,6 +30,11 @@ pub enum FileRole {
     UnwrapScan,
     /// Scanned for counter increments (`.field +=`).
     CounterScan,
+    /// Declares the job-service state machine (`JobState`) and the
+    /// service-level counter struct (`ServiceStats`); every state must
+    /// be constructed and matched by the supervisor, every incremented
+    /// service counter surfaced by `ServiceStats::summary`.
+    Service,
 }
 
 /// One parsed source file with its roles.
@@ -58,6 +63,11 @@ pub struct Workspace {
     /// Type whose `summary` method is the gate reporting surface
     /// (`RunStats`).
     pub summary_impl: String,
+    /// Name of the job-service state enum (`JobState`).
+    pub service_state_enum: String,
+    /// Name of the service-level counter struct (`ServiceStats`); also
+    /// the impl whose `summary` must surface its counters.
+    pub service_stats_struct: String,
     /// Threaded-only control-plane tags with no DES analog (the DES has
     /// no physical fabric: no acks, no termination ring, no exit
     /// broadcast).
@@ -83,6 +93,8 @@ impl Workspace {
             decision_enum: "Decision".into(),
             stats_struct: "NodeStats".into(),
             summary_impl: "RunStats".into(),
+            service_state_enum: "JobState".into(),
+            service_stats_struct: "ServiceStats".into(),
             tags_without_des_analog: vec!["AM_TOKEN".into(), "AM_EXIT".into(), "AM_ACK".into()],
             variants_without_threaded_analog: vec!["Loaded".into()],
             tags_without_audit: vec!["AM_TOKEN".into(), "AM_ACK".into()],
@@ -131,7 +143,12 @@ impl Workspace {
                 "threaded.rs" => vec![ThreadedEngine, LockScan, UnwrapScan, CounterScan],
                 "des.rs" => vec![DesEngine, UnwrapScan, CounterScan],
                 "replay.rs" => vec![Replay, UnwrapScan, CounterScan],
-                "stats.rs" => vec![Stats, UnwrapScan],
+                // stats.rs is also a Report surface: the shared
+                // `counters_json_fields` block is what the benchmark
+                // JSON emitters render, so the canonical counter list
+                // itself is the reporting surface.
+                "stats.rs" => vec![Stats, Report, UnwrapScan],
+                "service.rs" => vec![Service, UnwrapScan, CounterScan],
                 _ => vec![UnwrapScan, CounterScan],
             };
             ws.load(&p, roles)?;

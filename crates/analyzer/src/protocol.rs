@@ -15,6 +15,9 @@
 //!   record path **and** matched by a replay arm in the threaded engine
 //!   — a variant recorded but never replayed (or vice versa) means the
 //!   sequencer silently skips a nondeterminism source.
+//! * Every job-service `JobState` variant must be constructed by some
+//!   transition and matched by the supervisor, and every incremented
+//!   `ServiceStats` counter must surface in `ServiceStats::summary`.
 
 use crate::model::{fn_map, FileRole, Workspace};
 use crate::{Check, Violation};
@@ -25,11 +28,15 @@ use syn::{Item, Token};
 /// audit emission.
 const CALL_DEPTH: usize = 6;
 
-pub fn check(ws: &Workspace, out: &mut Vec<Violation>) -> Result<(usize, usize, usize), String> {
+pub fn check(
+    ws: &Workspace,
+    out: &mut Vec<Violation>,
+) -> Result<(usize, usize, usize, usize), String> {
     let tags = check_tags_and_variants(ws, out);
     let counters = check_counters(ws, out);
     let decisions = check_decisions(ws, out);
-    Ok((tags, counters, decisions))
+    let service_states = check_service(ws, out);
+    Ok((tags, counters, decisions, service_states))
 }
 
 fn norm_tag(tag: &str) -> String {
@@ -423,6 +430,169 @@ fn check_decisions(ws: &Workspace, out: &mut Vec<Violation>) -> usize {
         }
     }
     decisions.len()
+}
+
+// ---- job-service state machine -----------------------------------------
+
+/// Exhaustiveness of the job-service state machine: every `JobState`
+/// variant must be constructed by some transition **and** consumed by a
+/// match arm in the supervisor (a state nobody can enter, or one the
+/// scheduler cannot react to, is a liveness hole — a job parked there
+/// would block the queue forever). Additionally, every integer
+/// `ServiceStats` counter incremented in the service must surface in
+/// `ServiceStats::summary` — the same discipline `check_counters`
+/// enforces for the per-run scope.
+fn check_service(ws: &Workspace, out: &mut Vec<Violation>) -> usize {
+    let mut states: HashMap<String, Decl> = HashMap::new();
+    for f in ws.files_with(FileRole::Service) {
+        collect_enums(&f.ast.items, &mut |e| {
+            if e.ident == ws.service_state_enum {
+                for v in &e.variants {
+                    states.insert(
+                        v.ident.clone(),
+                        Decl {
+                            file: f.path.clone(),
+                            line: v.line,
+                        },
+                    );
+                }
+            }
+        });
+    }
+
+    let mut constructed: HashSet<String> = HashSet::new();
+    let mut matched: HashSet<String> = HashSet::new();
+    for f in ws.files_with(FileRole::Service) {
+        crate::model::walk_fns(&f.ast.items, false, &mut |fun, in_test| {
+            if in_test {
+                return;
+            }
+            for (i, t) in fun.body.iter().enumerate() {
+                if !states.contains_key(&t.text)
+                    || i < 2
+                    || fun.body[i - 1].text != "::"
+                    || fun.body[i - 2].text != ws.service_state_enum
+                {
+                    continue;
+                }
+                match classify_decision_use(&fun.body, i) {
+                    DecisionUse::Construction => constructed.insert(t.text.clone()),
+                    DecisionUse::Arm => matched.insert(t.text.clone()),
+                };
+            }
+        });
+    }
+
+    for (variant, decl) in &states {
+        if !constructed.contains(variant.as_str()) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "{}::{variant} is never constructed by any service transition \
+                     (unreachable state)",
+                    ws.service_state_enum
+                ),
+            });
+        }
+        if !matched.contains(variant.as_str()) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "{}::{variant} has no match arm in the service supervisor \
+                     (a job in this state would be unschedulable)",
+                    ws.service_state_enum
+                ),
+            });
+        }
+    }
+
+    // Service-level counters: incremented ⇒ surfaced by the summary.
+    let mut counters: Vec<(String, Decl)> = Vec::new();
+    for f in ws.files_with(FileRole::Service) {
+        collect_structs(&f.ast.items, &mut |s| {
+            if s.ident == ws.service_stats_struct {
+                for field in &s.fields {
+                    if matches!(field.ty.as_str(), "u64" | "u32" | "usize" | "u128") {
+                        counters.push((
+                            field.ident.clone(),
+                            Decl {
+                                file: f.path.clone(),
+                                line: field.line,
+                            },
+                        ));
+                    }
+                }
+            }
+        });
+    }
+    let mut incremented: HashSet<String> = HashSet::new();
+    let mut summary_tokens: Vec<String> = Vec::new();
+    for f in ws.files_with(FileRole::Service) {
+        crate::model::walk_fns(&f.ast.items, false, &mut |fun, in_test| {
+            if in_test {
+                return;
+            }
+            for (i, t) in fun.body.iter().enumerate() {
+                if t.text == "+="
+                    && i >= 2
+                    && fun.body[i - 2].text == "."
+                    && counters.iter().any(|(c, _)| *c == fun.body[i - 1].text)
+                {
+                    incremented.insert(fun.body[i - 1].text.clone());
+                }
+            }
+        });
+        for item in &f.ast.items {
+            let Item::Impl(im) = item else { continue };
+            if im.self_ty != ws.service_stats_struct {
+                continue;
+            }
+            let mut impl_fns: HashMap<&str, &syn::ItemFn> = HashMap::new();
+            for it in &im.items {
+                if let Item::Fn(fun) = it {
+                    impl_fns.insert(fun.ident.as_str(), fun);
+                }
+            }
+            let Some(summary) = impl_fns.get("summary") else {
+                continue;
+            };
+            let mut queue = vec![*summary];
+            let mut seen: HashSet<&str> = HashSet::new();
+            seen.insert("summary");
+            while let Some(fun) = queue.pop() {
+                for (i, t) in fun.body.iter().enumerate() {
+                    summary_tokens.push(t.text.clone());
+                    if fun.body.get(i + 1).map(|n| n.text.as_str()) == Some("(") {
+                        if let Some(callee) = impl_fns.get(t.text.as_str()) {
+                            if seen.insert(t.text.as_str()) {
+                                queue.push(callee);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let summary_set: HashSet<&str> = summary_tokens.iter().map(|s| s.as_str()).collect();
+    for (name, decl) in &counters {
+        if incremented.contains(name.as_str()) && !summary_set.contains(name.as_str()) {
+            out.push(Violation {
+                check: Check::Protocol,
+                file: decl.file.clone(),
+                line: decl.line,
+                msg: format!(
+                    "service counter `{name}` is incremented but never surfaced by \
+                     {}::summary (or a helper it calls)",
+                    ws.service_stats_struct
+                ),
+            });
+        }
+    }
+    states.len()
 }
 
 // ---- counter reporting -------------------------------------------------

@@ -113,6 +113,37 @@ fn emit(total: u64) {
 }
 "#;
 
+const SERVICE_OK: &str = r#"
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+}
+
+pub struct ServiceStats {
+    pub jobs_admitted: u64,
+}
+
+impl ServiceStats {
+    pub fn summary(&self) -> String {
+        format!("jobs_admitted={}", self.jobs_admitted)
+    }
+}
+
+fn admit(st: &mut ServiceStats) -> JobState {
+    st.jobs_admitted += 1;
+    JobState::Queued
+}
+
+fn advance(s: JobState) -> JobState {
+    match s {
+        JobState::Queued => JobState::Running,
+        JobState::Running => JobState::Done,
+        JobState::Done => JobState::Done,
+    }
+}
+"#;
+
 const LOCKS_OK: &str = r#"
 fn ordered(a: &Mutex<u32>, b: &Mutex<u32>) {
     let ga = a.lock().expect("a");
@@ -153,6 +184,7 @@ fn clean_files() -> Vec<(&'static str, &'static str, &'static [FileRole])> {
         ("fix/replay.rs", REPLAY_OK, &[Replay][..]),
         ("fix/stats.rs", STATS_OK, &[Stats][..]),
         ("fix/report.rs", REPORT_OK, &[Report][..]),
+        ("fix/service.rs", SERVICE_OK, &[Service][..]),
         ("fix/locks.rs", LOCKS_OK, &[LockScan][..]),
         ("fix/unwraps.rs", UNWRAP_OK, &[UnwrapScan][..]),
     ]
@@ -177,6 +209,10 @@ fn clean_mini_tree_passes_and_every_checker_covers_something() {
     assert_eq!(report.tags_checked, 1, "protocol checker went vacuous");
     assert_eq!(report.counters_checked, 1, "counter checker went vacuous");
     assert_eq!(report.decisions_checked, 2, "decision checker went vacuous");
+    assert_eq!(
+        report.service_states_checked, 3,
+        "service checker went vacuous"
+    );
     assert_eq!(report.locks_seen, 2, "lock checker went vacuous");
     assert!(report.fns_scanned >= 1, "unwrap checker went vacuous");
 }
@@ -486,6 +522,140 @@ fn replay_poll(d: Option<&Decision>) -> bool {
     );
 }
 
+// ---- job-service state machine ------------------------------------------
+
+#[test]
+fn unreachable_service_state_is_flagged() {
+    // `Done` is matched but never constructed: no transition can reach it.
+    let ws = ws_with_broken(
+        "fix/service.rs",
+        r#"
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+}
+
+pub struct ServiceStats {
+    pub jobs_admitted: u64,
+}
+
+impl ServiceStats {
+    pub fn summary(&self) -> String {
+        format!("jobs_admitted={}", self.jobs_admitted)
+    }
+}
+
+fn admit(st: &mut ServiceStats) -> JobState {
+    st.jobs_admitted += 1;
+    JobState::Queued
+}
+
+fn advance(s: JobState) -> JobState {
+    match s {
+        JobState::Queued => JobState::Running,
+        JobState::Running => JobState::Running,
+        JobState::Done => JobState::Running,
+    }
+}
+"#,
+    );
+    let (report, m) = msgs(&ws);
+    assert_eq!(report.service_states_checked, 3);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("JobState::Done is never constructed")),
+        "unreachable state not flagged: {m:?}"
+    );
+}
+
+#[test]
+fn unschedulable_service_state_is_flagged() {
+    // `Done` is constructed but no supervisor arm consumes it: a job
+    // parked there would never be scheduled again.
+    let ws = ws_with_broken(
+        "fix/service.rs",
+        r#"
+pub enum JobState {
+    Queued,
+    Done,
+}
+
+pub struct ServiceStats {
+    pub jobs_admitted: u64,
+}
+
+impl ServiceStats {
+    pub fn summary(&self) -> String {
+        format!("jobs_admitted={}", self.jobs_admitted)
+    }
+}
+
+fn admit(st: &mut ServiceStats) -> JobState {
+    st.jobs_admitted += 1;
+    JobState::Queued
+}
+
+fn advance(s: JobState) -> JobState {
+    match s {
+        JobState::Queued => JobState::Done,
+        _ => JobState::Done,
+    }
+}
+"#,
+    );
+    let (report, m) = msgs(&ws);
+    assert_eq!(report.service_states_checked, 2);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("JobState::Done has no match arm")),
+        "unschedulable state not flagged: {m:?}"
+    );
+}
+
+#[test]
+fn unreported_service_counter_is_flagged() {
+    // `jobs_shed` is incremented but ServiceStats::summary never
+    // mentions it.
+    let ws = ws_with_broken(
+        "fix/service.rs",
+        r#"
+pub enum JobState {
+    Queued,
+}
+
+pub struct ServiceStats {
+    pub jobs_admitted: u64,
+    pub jobs_shed: u64,
+}
+
+impl ServiceStats {
+    pub fn summary(&self) -> String {
+        format!("jobs_admitted={}", self.jobs_admitted)
+    }
+}
+
+fn admit(st: &mut ServiceStats) -> JobState {
+    st.jobs_admitted += 1;
+    st.jobs_shed += 1;
+    JobState::Queued
+}
+
+fn advance(s: JobState) -> JobState {
+    match s {
+        JobState::Queued => JobState::Queued,
+    }
+}
+"#,
+    );
+    let (_report, m) = msgs(&ws);
+    assert!(
+        m.iter()
+            .any(|v| v.contains("service counter `jobs_shed` is incremented but never surfaced")),
+        "unreported service counter not flagged: {m:?}"
+    );
+}
+
 // ---- checker 2: lock order ---------------------------------------------
 
 #[test]
@@ -619,6 +789,10 @@ fn real_tree_is_clean_and_every_checker_is_nonvacuous() {
     assert!(report.tags_checked >= 7, "AM tag coverage collapsed");
     assert!(report.counters_checked >= 10, "counter coverage collapsed");
     assert!(report.decisions_checked >= 9, "decision coverage collapsed");
+    assert!(
+        report.service_states_checked >= 5,
+        "service state coverage collapsed"
+    );
     assert!(report.locks_seen >= 3, "lock coverage collapsed");
     assert!(report.fns_scanned >= 100, "function coverage collapsed");
 }

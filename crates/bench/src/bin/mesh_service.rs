@@ -1,0 +1,206 @@
+//! Job-service throughput benchmark: a fleet of meshing jobs through the
+//! [`mrts::service::JobService`] supervisor, fault-free and under seeded
+//! storage+network chaos, on one shared 16-node pool.
+//!
+//! Two sustained-load passes over the same job fleet (shapes cycled so
+//! the pool mixes small/large and 2/3-phase jobs), both drained by a
+//! 4-worker supervisor pool:
+//!
+//! * **fault-free** — no injected faults. Doubles as the clean-seed
+//!   guard: any retry or quarantine here fails the bench, which is what
+//!   the CI `service-smoke` job leans on.
+//! * **chaos** — every job carries its own derived storage-fault stream
+//!   (EIO + torn writes) and every other job a network stream (drops +
+//!   dups + reorder). All jobs must still complete; retries are the
+//!   mechanism, quarantine would be a bug.
+//!
+//! The headline is jobs/sec of supervisor wall-clock under each regime
+//! plus the chaos overhead ratio. Results go to `BENCH_service.json` for
+//! the CI artifact. Pass `--quick` (or set `PUMG_QUICK=1`) for the
+//! CI-sized run.
+
+use mrts::fault::FaultPlan;
+use mrts::netfault::NetFaultPlan;
+use mrts::service::{JobService, JobSpec, ServiceConfig};
+use pumg_methods::domain::Workload;
+use pumg_methods::mesh_job::MeshJob;
+use pumg_methods::pcdm::PcdmParams;
+use std::time::Instant;
+
+/// Base seed every per-job fault stream derives from.
+const BASE_SEED: u64 = 0xBE9C_5E21;
+/// Fault-domain width of every job (16 nodes / 2 = 8 concurrent).
+const WIDTH: usize = 2;
+/// Per-pool-node memory budget: low enough that every job spills, so
+/// the chaos pass actually exercises the storage fault path.
+const NODE_BUDGET: usize = 60_000;
+/// Supervisor worker threads draining the pool.
+const WORKERS: usize = 4;
+
+/// Job shapes cycled across the fleet: (elements, grid, phases).
+const SHAPES: [(u64, usize, u32); 3] = [(1_500, 2, 2), (2_000, 2, 3), (1_200, 3, 2)];
+
+fn shape_job(shape: usize) -> MeshJob {
+    let (elements, grid, phases) = SHAPES[shape % SHAPES.len()];
+    MeshJob::new(
+        PcdmParams::new(Workload::uniform_square(elements), grid),
+        phases,
+    )
+}
+
+struct PassResult {
+    secs: f64,
+    jobs_per_sec: f64,
+    retried: u64,
+    quarantined: u64,
+    faults_injected: usize,
+    messages_dropped: usize,
+}
+
+/// Submit `jobs` shaped jobs (chaos streams when `chaos`), drain with the
+/// worker pool, and assert every job completed cleanly.
+fn run_pass(pool: usize, jobs: usize, chaos: bool) -> PassResult {
+    let svc = JobService::new(ServiceConfig {
+        pool_nodes: pool,
+        node_budget: NODE_BUDGET,
+        max_queue: jobs.max(64),
+        ..ServiceConfig::default()
+    });
+    let ids: Vec<u64> = (0..jobs)
+        .map(|i| {
+            let mut job = shape_job(i);
+            if chaos {
+                job = job
+                    .with_fault(
+                        FaultPlan::for_job(BASE_SEED, i as u64)
+                            .with_eio(120)
+                            .with_torn_writes(80),
+                    )
+                    .with_net_fault(
+                        NetFaultPlan::for_job(BASE_SEED, i as u64)
+                            .with_drops(250)
+                            .with_dups(150)
+                            .with_reorder(100),
+                    );
+            }
+            svc.submit(
+                JobSpec::new(format!("job-{i}"), WIDTH, WIDTH * NODE_BUDGET),
+                Box::new(job),
+            )
+            .expect("job admitted")
+        })
+        .collect();
+    let start = Instant::now();
+    svc.run_until_drained(WORKERS);
+    let secs = start.elapsed().as_secs_f64();
+
+    let stats = svc.stats();
+    let label = if chaos { "chaos" } else { "fault-free" };
+    assert_eq!(
+        stats.jobs_completed,
+        jobs as u64,
+        "{label} pass: not every job completed [{}]",
+        stats.summary()
+    );
+    assert_eq!(
+        stats.jobs_quarantined,
+        0,
+        "{label} pass quarantined a job [{}]",
+        stats.summary()
+    );
+    let (mut faults, mut dropped) = (0usize, 0usize);
+    for &id in &ids {
+        for phase in svc.job_phase_stats(id) {
+            faults += phase.total_of(|n| n.faults_injected);
+            dropped += phase.total_of(|n| n.messages_dropped);
+        }
+    }
+    if !chaos {
+        assert_eq!(
+            stats.jobs_retried,
+            0,
+            "fault-free pass retried a job [{}]",
+            stats.summary()
+        );
+        assert_eq!(faults + dropped, 0, "fault-free pass saw injected faults");
+    } else {
+        assert!(
+            faults + dropped > 0,
+            "chaos pass injected no faults — vacuous"
+        );
+    }
+    PassResult {
+        secs,
+        jobs_per_sec: jobs as f64 / secs,
+        retried: stats.jobs_retried,
+        quarantined: stats.jobs_quarantined,
+        faults_injected: faults,
+        messages_dropped: dropped,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("PUMG_QUICK").is_ok_and(|v| v != "0");
+    let pool = 16usize;
+    let jobs = if quick { 12 } else { 32 };
+
+    let clean = run_pass(pool, jobs, false);
+    let chaos = run_pass(pool, jobs, true);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"mesh_service\",\n",
+            "  \"quick\": {},\n",
+            "  \"pool_nodes\": {},\n",
+            "  \"job_width\": {},\n",
+            "  \"node_budget\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"fault_free_secs\": {:.6},\n",
+            "  \"fault_free_jobs_per_sec\": {:.4},\n",
+            "  \"fault_free_retries\": {},\n",
+            "  \"fault_free_quarantined\": {},\n",
+            "  \"chaos_secs\": {:.6},\n",
+            "  \"chaos_jobs_per_sec\": {:.4},\n",
+            "  \"chaos_retries\": {},\n",
+            "  \"chaos_quarantined\": {},\n",
+            "  \"chaos_faults_injected\": {},\n",
+            "  \"chaos_messages_dropped\": {},\n",
+            "  \"chaos_overhead_ratio\": {:.4}\n",
+            "}}\n"
+        ),
+        quick,
+        pool,
+        WIDTH,
+        NODE_BUDGET,
+        WORKERS,
+        jobs,
+        clean.secs,
+        clean.jobs_per_sec,
+        clean.retried,
+        clean.quarantined,
+        chaos.secs,
+        chaos.jobs_per_sec,
+        chaos.retried,
+        chaos.quarantined,
+        chaos.faults_injected,
+        chaos.messages_dropped,
+        chaos.secs / clean.secs,
+    );
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    print!("{json}");
+    eprintln!(
+        "fault-free {:.3}s ({:.2} jobs/s) | chaos {:.3}s ({:.2} jobs/s, \
+         {} faults, {} drops, {} retries, {:.2}x overhead)",
+        clean.secs,
+        clean.jobs_per_sec,
+        chaos.secs,
+        chaos.jobs_per_sec,
+        chaos.faults_injected,
+        chaos.messages_dropped,
+        chaos.retried,
+        chaos.secs / clean.secs,
+    );
+}

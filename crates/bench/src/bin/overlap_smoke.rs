@@ -82,6 +82,11 @@ fn main() {
 
     let s = &r_overlap.result.stats;
     let speedup = r_legacy.secs / r_overlap.secs;
+    // All runtime counters come from the shared per-scope block
+    // (`RunStats::counters_json_fields`) — the same source the one-line
+    // summary and the job service's per-job scopes render from, so this
+    // report can never drift from the canonical counter set. Only the
+    // bench-specific and derived (floating-point) fields are local.
     let json = format!(
         concat!(
             "{{\n",
@@ -94,49 +99,12 @@ fn main() {
             "  \"ooc_legacy_secs\": {:.6},\n",
             "  \"ooc_overlap_secs\": {:.6},\n",
             "  \"overlap_speedup_vs_legacy\": {:.4},\n",
+            "{}",
             "  \"overlap_fraction_pct\": {:.2},\n",
             "  \"prefetch_hit_rate\": {:.4},\n",
-            "  \"prefetch_issued\": {},\n",
-            "  \"prefetch_hits\": {},\n",
-            "  \"prefetch_misses\": {},\n",
-            "  \"prefetch_cancels\": {},\n",
-            "  \"loads\": {},\n",
-            "  \"stores\": {},\n",
-            "  \"handlers_run\": {},\n",
-            "  \"msgs_local\": {},\n",
-            "  \"msgs_remote\": {},\n",
-            "  \"msgs_forwarded\": {},\n",
-            "  \"bytes_sent\": {},\n",
-            "  \"bytes_to_disk\": {},\n",
-            "  \"bytes_from_disk\": {},\n",
-            "  \"evictions\": {},\n",
-            "  \"migrations\": {},\n",
-            "  \"faults_injected\": {},\n",
-            "  \"io_retries\": {},\n",
-            "  \"io_gave_up\": {},\n",
-            "  \"degraded_entries\": {},\n",
-            "  \"evictions_elided\": {},\n",
-            "  \"bytes_write_avoided\": {},\n",
-            "  \"spill_batches\": {},\n",
-            "  \"buffer_pool_hits\": {},\n",
-            "  \"cluster_prefetches\": {},\n",
-            "  \"bytes_demanded\": {},\n",
             "  \"read_amplification_x1000\": {},\n",
-            "  \"segment_reads\": {},\n",
-            "  \"segment_switches\": {},\n",
             "  \"loads_per_segment\": {:.4},\n",
-            "  \"compaction_reorders\": {},\n",
-            "  \"messages_dropped\": {},\n",
-            "  \"retransmits\": {},\n",
-            "  \"dup_suppressed\": {},\n",
-            "  \"hints_invalidated\": {},\n",
-            "  \"acks_sent\": {},\n",
-            "  \"decisions_recorded\": {},\n",
-            "  \"replay_divergences\": {},\n",
-            "  \"idle_fraction\": {:.4},\n",
-            "  \"idle_ticks\": {},\n",
-            "  \"steal_requests\": {},\n",
-            "  \"tasks_stolen\": {}\n",
+            "  \"idle_fraction\": {:.4}\n",
             "}}\n"
         ),
         quick,
@@ -147,49 +115,12 @@ fn main() {
         r_legacy.secs,
         r_overlap.secs,
         speedup,
+        s.counters_json_fields("  "),
         s.overlap_pct(),
         s.prefetch_hit_rate(),
-        s.total_of(|n| n.prefetch_issued),
-        s.total_of(|n| n.prefetch_hits),
-        s.total_of(|n| n.prefetch_misses),
-        s.total_of(|n| n.prefetch_cancels),
-        s.total_of(|n| n.loads),
-        s.total_of(|n| n.stores),
-        s.total_of(|n| n.handlers_run),
-        s.total_of(|n| n.msgs_local),
-        s.total_of(|n| n.msgs_remote),
-        s.total_of(|n| n.msgs_forwarded),
-        s.bytes_sent(),
-        s.bytes_to_disk(),
-        s.bytes_from_disk(),
-        s.total_of(|n| n.evictions),
-        s.total_of(|n| n.migrations),
-        s.total_of(|n| n.faults_injected),
-        s.total_of(|n| n.io_retries),
-        s.total_of(|n| n.io_gave_up),
-        s.total_of(|n| n.degraded_entries),
-        s.total_of(|n| n.evictions_elided),
-        s.bytes_write_avoided(),
-        s.total_of(|n| n.spill_batches),
-        s.total_of(|n| n.buffer_pool_hits),
-        s.total_of(|n| n.cluster_prefetches),
-        s.bytes_demanded(),
         s.read_amplification_x1000(),
-        s.total_of(|n| n.segment_reads),
-        s.total_of(|n| n.segment_switches),
         s.loads_per_segment(),
-        s.total_of(|n| n.compaction_reorders),
-        s.total_of(|n| n.messages_dropped),
-        s.total_of(|n| n.retransmits),
-        s.total_of(|n| n.dup_suppressed),
-        s.total_of(|n| n.hints_invalidated),
-        s.total_of(|n| n.acks_sent),
-        s.total_of(|n| n.decisions_recorded),
-        s.total_of(|n| n.replay_divergences),
         s.idle_fraction(),
-        s.total_of(|n| n.idle_ticks as usize),
-        s.total_of(|n| n.steal_requests as usize),
-        s.total_of(|n| n.tasks_stolen as usize),
     );
     // The OOC configurations must actually run out of core: a budget
     // loose enough that the overlap run never spills or prefetches

@@ -68,6 +68,9 @@
 //!     over an object that is present (in-core or on this node's disk)
 //!     and unpinned on the granting node; the migration it triggers is
 //!     then held to invariants 3 and 5 like any other.
+//! 15. **Jobs never interfere** — on the separate [`ServiceEvent`]
+//!     stream, the node domains granted to concurrently active jobs are
+//!     pairwise disjoint, and a quarantined job is never readmitted.
 //!
 //! A catch-all, [`Invariant::EventOrder`], flags protocol-impossible
 //! streams (loading an in-core object, installing a migration that never
@@ -379,6 +382,10 @@ pub enum Invariant {
     /// A steal grant handed over an object that was pinned, absent, or
     /// already in flight on the granting node.
     IllegalSteal,
+    /// Two concurrently active jobs were granted overlapping node
+    /// domains, or a quarantined job was resubmitted — either breaks the
+    /// job service's fault-domain isolation guarantee.
+    CrossJobInterference,
     /// A protocol-impossible event for the tracked state (catch-all that
     /// keeps the checker honest about its own model).
     EventOrder,
@@ -444,6 +451,13 @@ struct CheckState {
     /// Consecutive forwards per object since it last made progress
     /// (delivery or install); a runaway streak means a routing livelock.
     forward_streak: HashMap<ObjectId, u32>,
+    /// Active job → granted node domain (service-level stream). Domains
+    /// of concurrently active jobs must be disjoint (invariant 15).
+    job_domains: HashMap<u64, Vec<NodeId>>,
+    /// Jobs the service has quarantined — they may never be readmitted.
+    job_quarantined: HashSet<u64>,
+    /// Jobs that already completed — their ids may not be reused.
+    job_completed: HashSet<u64>,
     violations: Vec<Violation>,
     events: u64,
 }
@@ -1079,6 +1093,188 @@ impl EventSink for InvariantChecker {
                         format!("node {node} left degraded mode without entering it"),
                     ));
                 }
+            }
+        }
+        for (invariant, detail) in found {
+            if self.mode == FailMode::Panic {
+                panic!("MRTS invariant violated — {invariant:?}: {detail}");
+            }
+            st.violations.push(Violation { invariant, detail });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job-service event stream
+// ---------------------------------------------------------------------------
+
+/// One job-lifecycle transition, as emitted by [`crate::service::JobService`].
+///
+/// Service events are a **separate stream** from [`RuntimeEvent`]: runtime
+/// events are per-node (every variant carries its node — the canonical
+/// replay stream depends on that), while job events are service-scoped and
+/// span many nodes. Keeping them apart means the replay encoding and the
+/// per-run checker state are untouched by service concerns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// A job passed admission control and was granted a node domain and a
+    /// memory budget.
+    JobAdmitted {
+        job: u64,
+        nodes: Vec<NodeId>,
+        budget: usize,
+    },
+    /// A failed attempt is being retried (attempt numbers start at 1; the
+    /// retry announces the attempt about to run).
+    JobRetry { job: u64, attempt: u32 },
+    /// The job exhausted its attempts (or tripped an invariant) and was
+    /// quarantined; it may never be resubmitted.
+    JobQuarantined { job: u64, attempts: u32 },
+    /// The job's node domain lost node `from`; its domain is released and
+    /// the job will be re-granted onto survivors (a fresh `JobAdmitted`).
+    JobRecovered { job: u64, from: NodeId },
+    /// The job finished and released its domain.
+    JobCompleted { job: u64 },
+}
+
+/// Observer of the service event stream (the job-service analogue of
+/// [`EventSink`]).
+pub trait ServiceEventSink: Send + Sync {
+    fn record_service(&self, ev: &ServiceEvent);
+}
+
+/// A sink that keeps every service event, in arrival order.
+#[derive(Default)]
+pub struct ServiceLog {
+    events: Mutex<Vec<ServiceEvent>>,
+}
+
+impl ServiceLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> Vec<ServiceEvent> {
+        lock(&self.events).clone()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.events).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ServiceEventSink for ServiceLog {
+    fn record_service(&self, ev: &ServiceEvent) {
+        lock(&self.events).push(ev.clone());
+    }
+}
+
+impl ServiceEventSink for InvariantChecker {
+    /// Invariant 15: **jobs never interfere** — the node domains of
+    /// concurrently active jobs are pairwise disjoint, and a quarantined
+    /// job is never readmitted. Lifecycle-impossible transitions (retry of
+    /// an inactive job, double completion, id reuse) fall under
+    /// [`Invariant::EventOrder`], as in the per-run stream.
+    fn record_service(&self, ev: &ServiceEvent) {
+        let mut guard = lock(&self.state);
+        let st = &mut *guard;
+        st.events += 1;
+        let mut found: Vec<(Invariant, String)> = Vec::new();
+        match ev {
+            ServiceEvent::JobAdmitted { job, nodes, budget } => {
+                if st.job_quarantined.contains(job) {
+                    found.push((
+                        Invariant::CrossJobInterference,
+                        format!("quarantined job {job} was readmitted"),
+                    ));
+                }
+                if st.job_completed.contains(job) {
+                    found.push((
+                        Invariant::EventOrder,
+                        format!("completed job {job} was readmitted (job ids are unique)"),
+                    ));
+                }
+                if st.job_domains.contains_key(job) {
+                    found.push((
+                        Invariant::EventOrder,
+                        format!("job {job} admitted while already active"),
+                    ));
+                }
+                if *budget == 0 {
+                    found.push((
+                        Invariant::EventOrder,
+                        format!("job {job} admitted with a zero memory budget"),
+                    ));
+                }
+                for (other, domain) in &st.job_domains {
+                    if *other == *job {
+                        continue;
+                    }
+                    let overlap: Vec<NodeId> = nodes
+                        .iter()
+                        .copied()
+                        .filter(|n| domain.contains(n))
+                        .collect();
+                    if !overlap.is_empty() {
+                        found.push((
+                            Invariant::CrossJobInterference,
+                            format!(
+                                "job {job} granted nodes {overlap:?} already owned by \
+                                 active job {other}"
+                            ),
+                        ));
+                    }
+                }
+                st.job_domains.insert(*job, nodes.clone());
+            }
+            ServiceEvent::JobRetry { job, attempt } => {
+                if !st.job_domains.contains_key(job) {
+                    found.push((
+                        Invariant::EventOrder,
+                        format!("job {job} retried (attempt {attempt}) while not active"),
+                    ));
+                }
+            }
+            ServiceEvent::JobQuarantined { job, attempts } => {
+                // Quarantine is legal straight from the queue (a domain
+                // that became unsatisfiable) — no active-domain check.
+                if st.job_completed.contains(job) {
+                    found.push((
+                        Invariant::EventOrder,
+                        format!("completed job {job} quarantined (after {attempts} attempts)"),
+                    ));
+                }
+                if !st.job_quarantined.insert(*job) {
+                    found.push((
+                        Invariant::EventOrder,
+                        format!("job {job} quarantined twice"),
+                    ));
+                }
+                st.job_domains.remove(job);
+            }
+            ServiceEvent::JobRecovered { job, from } => match st.job_domains.remove(job) {
+                Some(domain) if domain.contains(from) => {}
+                Some(domain) => found.push((
+                    Invariant::EventOrder,
+                    format!("job {job} recovered from node {from} outside its domain {domain:?}"),
+                )),
+                None => found.push((
+                    Invariant::EventOrder,
+                    format!("job {job} recovered while not active"),
+                )),
+            },
+            ServiceEvent::JobCompleted { job } => {
+                if st.job_domains.remove(job).is_none() {
+                    found.push((
+                        Invariant::EventOrder,
+                        format!("job {job} completed while not active"),
+                    ));
+                }
+                st.job_completed.insert(*job);
             }
         }
         for (invariant, detail) in found {

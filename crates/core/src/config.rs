@@ -114,6 +114,16 @@ pub struct MrtsConfig {
     /// Deterministic storage fault schedule; `None` runs fault-free. When
     /// set, every node's spill store is wrapped in a
     /// [`crate::fault::FaultyStore`] seeded with `plan.seed + node`.
+    /// Charge a synthetic, size-proportional compute cost instead of
+    /// measured wall time on the virtual-time engine. The DES normally
+    /// charges *measured* compute (the paper's methodology), which makes
+    /// the event schedule — and, under memory pressure, eviction choices
+    /// and message interleavings — depend on real machine timing. With
+    /// this flag the schedule is a pure function of `(config, inputs)`:
+    /// required for byte-identity checks across runs and machines (the
+    /// job service's chaos sweep), wrong for performance regeneration
+    /// (the paper's tables need measured compute).
+    pub deterministic_compute: bool,
     pub fault: Option<FaultPlan>,
     /// Retry/backoff policy for storage operations in both engines (also
     /// paces message retransmission in the reliable-delivery layer).
@@ -200,6 +210,7 @@ impl Default for MrtsConfig {
             segment_bytes: 1 << 20,
             segment_garbage_frac: 0.5,
             legacy_spill: false,
+            deterministic_compute: false,
             fault: None,
             retry: RetryPolicy::default(),
             net_fault: None,

@@ -432,6 +432,37 @@ impl DesRuntime {
         n
     }
 
+    /// Compute charge for a measured `wall` interval that processed
+    /// `bytes` bytes of work product: measured (scaled) wall time
+    /// normally, a synthetic size-proportional cost under
+    /// [`MrtsConfig::deterministic_compute`] — the synthetic cost keeps
+    /// the virtual schedule a pure function of the inputs.
+    fn compute_charge(&self, wall: Duration, bytes: usize) -> Duration {
+        if self.cfg.deterministic_compute {
+            Duration::from_nanos(1_000 + bytes as u64)
+        } else {
+            wall.mul_f64(self.cfg.compute_scale)
+        }
+    }
+
+    /// Virtual-time cost of recovering from an injected fault (storage
+    /// retry backoff, injected latency, retransmit backoff, fabric
+    /// delay). Charged normally; zero under
+    /// [`MrtsConfig::deterministic_compute`], which makes transient-fault
+    /// recovery *schedule-transparent*: a chaos run executes the exact
+    /// event order of its fault-free twin (faults still count in the
+    /// stats and audit stream), so byte-identity of the results is a
+    /// provable property rather than a lucky seed. Degraded-mode entry
+    /// (ENOSPC) is exempt — suspending eviction is a semantic change,
+    /// not a timing charge.
+    fn fault_penalty(&self, d: Duration) -> Duration {
+        if self.cfg.deterministic_compute {
+            Duration::ZERO
+        } else {
+            d
+        }
+    }
+
     // ----- event plumbing ----------------------------------------------------
 
     fn push_event(&mut self, at: Duration, node: NodeId, kind: EvKind) {
@@ -542,7 +573,7 @@ impl DesRuntime {
                             attempt,
                         }
                     );
-                    arrive += self.cfg.retry.delay(attempt, seq) + transfer;
+                    arrive += self.fault_penalty(self.cfg.retry.delay(attempt, seq) + transfer);
                     continue;
                 }
                 if d.duplicate {
@@ -580,7 +611,7 @@ impl DesRuntime {
                             },
                         }
                     );
-                    arrive += d.delay;
+                    arrive += self.fault_penalty(d.delay);
                 }
                 break;
             }
@@ -732,6 +763,7 @@ impl DesRuntime {
         let ok = self.nodes[node as usize].store.probe().is_ok();
         self.drain_store_faults(node);
         if ok && self.nodes[node as usize].ooc.exit_degraded() {
+            self.nodes[node as usize].stats.degraded_mode_transitions += 1;
             audit_emit!(self.audit, RuntimeEvent::Degraded { node, on: false });
             self.enforce_budget(node, at, None);
             self.soft_swap(node, at);
@@ -1152,7 +1184,8 @@ impl DesRuntime {
             match self.nodes[node as usize].store.load(key) {
                 Ok(b) => break b,
                 Err(source) => {
-                    penalty += self.drain_store_faults(node);
+                    let injected = self.drain_store_faults(node);
+                    penalty += self.fault_penalty(injected);
                     if attempt >= retry.max_attempts {
                         let n = &mut self.nodes[node as usize];
                         n.stats.io_gave_up += 1;
@@ -1165,13 +1198,16 @@ impl DesRuntime {
                         });
                         return;
                     }
-                    penalty += self.cfg.disk.op_time(packed_len) + retry.delay(attempt, key);
+                    penalty += self.fault_penalty(
+                        self.cfg.disk.op_time(packed_len) + retry.delay(attempt, key),
+                    );
                     self.nodes[node as usize].stats.io_retries += 1;
                     audit_emit!(self.audit, RuntimeEvent::Retry { node, oid, attempt });
                 }
             }
         };
-        penalty += self.drain_store_faults(node);
+        let injected = self.drain_store_faults(node);
+        penalty += self.fault_penalty(injected);
         if !penalty.is_zero() {
             let now = self.now;
             let n = &mut self.nodes[node as usize];
@@ -1190,7 +1226,7 @@ impl DesRuntime {
             .registry
             .unpack(&bytes)
             .expect("spill bytes were packed by this runtime from a registered type");
-        let unpack = t0.elapsed().mul_f64(self.cfg.compute_scale);
+        let unpack = self.compute_charge(t0.elapsed(), bytes.len());
         let footprint = obj.footprint();
         {
             let n = &mut self.nodes[node as usize];
@@ -1291,8 +1327,11 @@ impl DesRuntime {
                     .makespan(&r.durations, self.cfg.cores_per_node)
             })
             .sum();
-        let vdur =
-            (wall.saturating_sub(tasks_wall) + tasks_virtual).mul_f64(self.cfg.compute_scale);
+        let vdur = if self.cfg.deterministic_compute {
+            self.compute_charge(Duration::ZERO, msg.payload.len())
+        } else {
+            (wall.saturating_sub(tasks_wall) + tasks_virtual).mul_f64(self.cfg.compute_scale)
+        };
 
         // Schedule on the earliest-free virtual core.
         let end = {
@@ -1734,7 +1773,7 @@ impl DesRuntime {
         };
         let pool_hit = !legacy && bytes.capacity() > 0;
         Registry::pack_into(obj.as_ref(), &mut bytes);
-        let pack = t0.elapsed().mul_f64(self.cfg.compute_scale);
+        let pack = self.compute_charge(t0.elapsed(), bytes.len());
         let packed_len = bytes.len();
 
         let key = {
@@ -1764,17 +1803,21 @@ impl DesRuntime {
             match self.nodes[node as usize].store.store(key, &bytes) {
                 Ok(()) => break Ok(()),
                 Err(e) => {
-                    penalty += self.drain_store_faults(node);
+                    let injected = self.drain_store_faults(node);
+                    penalty += self.fault_penalty(injected);
                     if attempt >= retry.max_attempts || is_out_of_space(&e) {
                         break Err(e);
                     }
-                    penalty += self.cfg.disk.op_time(packed_len) + retry.delay(attempt, key);
+                    penalty += self.fault_penalty(
+                        self.cfg.disk.op_time(packed_len) + retry.delay(attempt, key),
+                    );
                     self.nodes[node as usize].stats.io_retries += 1;
                     audit_emit!(self.audit, RuntimeEvent::Retry { node, oid, attempt });
                 }
             }
         };
-        penalty += self.drain_store_faults(node);
+        let injected = self.drain_store_faults(node);
+        penalty += self.fault_penalty(injected);
 
         if !legacy {
             self.nodes[node as usize].pack_buf = std::mem::take(&mut bytes);
@@ -1804,6 +1847,7 @@ impl DesRuntime {
             }
             if self.nodes[node as usize].ooc.enter_degraded() {
                 self.nodes[node as usize].stats.degraded_entries += 1;
+                self.nodes[node as usize].stats.degraded_mode_transitions += 1;
                 audit_emit!(self.audit, RuntimeEvent::Degraded { node, on: true });
             }
             return false;
@@ -2027,7 +2071,7 @@ impl DesRuntime {
         };
         let t0 = Instant::now();
         let bytes = Registry::pack(obj.as_ref());
-        let pack = t0.elapsed().mul_f64(self.cfg.compute_scale);
+        let pack = self.compute_charge(t0.elapsed(), bytes.len());
         drop(obj);
         {
             let n = &mut self.nodes[node as usize];
@@ -2105,7 +2149,7 @@ impl DesRuntime {
             .registry
             .unpack(&bytes)
             .expect("migration bytes were packed by the sending node from a registered type");
-        let unpack = t0.elapsed().mul_f64(self.cfg.compute_scale);
+        let unpack = self.compute_charge(t0.elapsed(), bytes.len());
         let footprint = obj.footprint();
         self.admit(node, footprint, self.now);
         {
@@ -2421,7 +2465,12 @@ impl DesRuntime {
         );
         let mut out = Vec::new();
         for node in 0..self.nodes.len() {
-            let oids: Vec<ObjectId> = self.nodes[node].table.keys().copied().collect();
+            // Hash order would leak into the entry order (and from there
+            // into the restored runtime's install order, which schedules
+            // work): sort so two captures of the same state encode
+            // identically, matching the threaded engine's checkpoint.
+            let mut oids: Vec<ObjectId> = self.nodes[node].table.keys().copied().collect();
+            oids.sort_unstable_by_key(|o| o.0);
             for oid in oids {
                 let n = &mut self.nodes[node];
                 let e = n.table.get(&oid).expect("tracked object has a table entry");

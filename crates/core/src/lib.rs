@@ -43,6 +43,7 @@ pub mod policy;
 pub mod relnet;
 pub mod replay;
 pub mod sched;
+pub mod service;
 pub mod stats;
 pub mod storage;
 pub mod sync;
@@ -52,6 +53,7 @@ pub mod threaded;
 pub mod prelude {
     pub use crate::audit::{
         EventLog, EventSink, FailMode, FanOut, InvariantChecker, RaceDetector, RuntimeEvent,
+        ServiceEvent, ServiceEventSink, ServiceLog,
     };
     pub use crate::codec::{PayloadReader, PayloadWriter};
     pub use crate::compute::ExecutorKind;
@@ -65,6 +67,10 @@ pub mod prelude {
     pub use crate::policy::PolicyKind;
     pub use crate::replay::{Decision, DecisionLog, DivergenceReport, ReplayArtifact};
     pub use crate::sched::{ConflictSet, PhaseGate, RegionDag};
+    pub use crate::service::{
+        AdmissionError, Job, JobAttempt, JobFailure, JobId, JobOutcome, JobProgress, JobService,
+        JobSpec, JobState, QuarantineArtifact, ServiceConfig, ServiceStats,
+    };
     pub use crate::stats::RunStats;
     pub use crate::storage::DiskModel;
     pub use crate::threaded::ThreadedRuntime;

@@ -61,7 +61,23 @@ pub struct OocManager {
     /// (`ENOSPC` or persistent failure), so eviction is pointless — the
     /// manager stops demanding evictions and reports no soft pressure
     /// until the engine probes the backend healthy again.
-    degraded: bool,
+    degraded: DegradedState,
+}
+
+/// First-class degraded-mode state of one node's out-of-core manager.
+/// Entry and exit are engine-driven (store failure → enter, successful
+/// probe → exit); each direction of the transition is counted in
+/// `NodeStats::degraded_mode_transitions` so recovery is observable from
+/// stats alone, not only from the audit stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradedState {
+    /// Store healthy: admission demands evictions, advisory swapping runs.
+    #[default]
+    Normal,
+    /// Store refusing writes: admission is unconditional (deliberate
+    /// budget overshoot), eviction and soft pressure are suspended.
+    /// Carries the manager clock at entry, for diagnostics.
+    Degraded { since_tick: u64 },
 }
 
 impl OocManager {
@@ -75,22 +91,33 @@ impl OocManager {
             largest_spilled: 0,
             clock: 0,
             peak_used: 0,
-            degraded: false,
+            degraded: DegradedState::Normal,
         }
     }
 
     /// Enter degraded mode. Returns `true` on the transition (callers emit
     /// the audit event and bump stats exactly once).
     pub fn enter_degraded(&mut self) -> bool {
-        !std::mem::replace(&mut self.degraded, true)
+        if matches!(self.degraded, DegradedState::Degraded { .. }) {
+            return false;
+        }
+        self.degraded = DegradedState::Degraded {
+            since_tick: self.clock,
+        };
+        true
     }
 
     /// Leave degraded mode. Returns `true` on the transition.
     pub fn exit_degraded(&mut self) -> bool {
-        std::mem::replace(&mut self.degraded, false)
+        std::mem::replace(&mut self.degraded, DegradedState::Normal) != DegradedState::Normal
     }
 
     pub fn is_degraded(&self) -> bool {
+        self.degraded != DegradedState::Normal
+    }
+
+    /// The typed degraded-mode state (see [`DegradedState`]).
+    pub fn degraded_state(&self) -> DegradedState {
         self.degraded
     }
 
@@ -162,7 +189,7 @@ impl OocManager {
     /// How many bytes must be evicted before admitting `incoming` bytes.
     /// Zero when the admission fits.
     pub fn needed_for_admission(&self, incoming: usize) -> usize {
-        if !self.enabled() || self.degraded {
+        if !self.enabled() || self.is_degraded() {
             // Degraded: the store cannot take evictions, so admission is
             // unconditional — the budget is knowingly overshot (the
             // effective threshold is raised) until space returns.
@@ -178,7 +205,7 @@ impl OocManager {
     /// Soft threshold: free memory below `soft_frac × budget` advises the
     /// storage layer to start swapping idle objects.
     pub fn soft_pressure(&self) -> bool {
-        if !self.enabled() || self.degraded {
+        if !self.enabled() || self.is_degraded() {
             return false;
         }
         let free = self.budget.saturating_sub(self.used);
@@ -187,7 +214,7 @@ impl OocManager {
 
     /// Bytes to shed to satisfy the soft threshold.
     pub fn soft_excess(&self) -> usize {
-        if !self.enabled() || self.degraded {
+        if !self.enabled() || self.is_degraded() {
             return 0;
         }
         let target_free = (self.soft_frac * self.budget as f64) as usize;

@@ -61,6 +61,10 @@ pub struct NodeStats {
     pub io_gave_up: usize,
     /// Times this node entered degraded (stop-evicting) mode.
     pub degraded_entries: usize,
+    /// Degraded-mode transitions in either direction (entries + exits).
+    /// An even count at run end means every entry was matched by a
+    /// probe-driven recovery; odd means the run finished degraded.
+    pub degraded_mode_transitions: usize,
     /// Evictions served by the clean-eviction fast path: the on-disk bytes
     /// were still current, so the resident copy was dropped without
     /// re-pack or re-write.
@@ -310,106 +314,186 @@ impl RunStats {
         (idle / (self.total.as_secs_f64() * self.nodes.len() as f64)).clamp(0.0, 1.0)
     }
 
-    /// One-line human-readable summary. Fault-tolerance counters are
-    /// appended only when the run actually saw faults/retries.
+    /// Every counter this run tracks, flattened to `(field name, total
+    /// over nodes)` pairs and grouped by subsystem. This is the single
+    /// source [`RunStats::summary`], the JSON reports (via
+    /// [`RunStats::counters_json_fields`]), and the job service's
+    /// per-job/service scopes all render from, so the scopes cannot
+    /// drift: a counter added here appears everywhere at once.
+    pub fn counter_groups(&self) -> Vec<CounterGroup> {
+        let t = |f: fn(&NodeStats) -> usize| self.total_of(f) as u64;
+        vec![
+            CounterGroup {
+                name: "core",
+                always: true,
+                counters: vec![
+                    ("loads", t(|n| n.loads)),
+                    ("stores", t(|n| n.stores)),
+                    ("peak_mem", self.peak_mem() as u64),
+                    ("handlers_run", t(|n| n.handlers_run)),
+                    ("msgs_local", t(|n| n.msgs_local)),
+                    ("msgs_remote", t(|n| n.msgs_remote)),
+                    ("msgs_forwarded", t(|n| n.msgs_forwarded)),
+                    ("bytes_sent", self.bytes_sent()),
+                    ("bytes_to_disk", self.bytes_to_disk()),
+                    ("bytes_from_disk", self.bytes_from_disk()),
+                    ("evictions", t(|n| n.evictions)),
+                    ("migrations", t(|n| n.migrations)),
+                ],
+            },
+            CounterGroup {
+                name: "prefetch",
+                always: false,
+                counters: vec![
+                    ("prefetch_issued", t(|n| n.prefetch_issued)),
+                    ("prefetch_hits", t(|n| n.prefetch_hits)),
+                    ("prefetch_misses", t(|n| n.prefetch_misses)),
+                    ("prefetch_cancels", t(|n| n.prefetch_cancels)),
+                ],
+            },
+            CounterGroup {
+                name: "fault",
+                always: false,
+                counters: vec![
+                    ("faults_injected", t(|n| n.faults_injected)),
+                    ("io_retries", t(|n| n.io_retries)),
+                    ("io_gave_up", t(|n| n.io_gave_up)),
+                    ("degraded_entries", t(|n| n.degraded_entries)),
+                    (
+                        "degraded_mode_transitions",
+                        t(|n| n.degraded_mode_transitions),
+                    ),
+                ],
+            },
+            CounterGroup {
+                name: "spill",
+                always: false,
+                counters: vec![
+                    ("evictions_elided", t(|n| n.evictions_elided)),
+                    ("bytes_write_avoided", self.bytes_write_avoided()),
+                    ("spill_batches", t(|n| n.spill_batches)),
+                    ("buffer_pool_hits", t(|n| n.buffer_pool_hits)),
+                ],
+            },
+            CounterGroup {
+                name: "locality",
+                always: false,
+                counters: vec![
+                    ("cluster_prefetches", t(|n| n.cluster_prefetches)),
+                    ("bytes_demanded", self.bytes_demanded()),
+                    ("segment_reads", t(|n| n.segment_reads)),
+                    ("segment_switches", t(|n| n.segment_switches)),
+                    ("compaction_reorders", t(|n| n.compaction_reorders)),
+                ],
+            },
+            CounterGroup {
+                name: "replay",
+                always: false,
+                counters: vec![
+                    ("decisions_recorded", t(|n| n.decisions_recorded)),
+                    ("replay_divergences", t(|n| n.replay_divergences)),
+                ],
+            },
+            CounterGroup {
+                name: "sched",
+                always: false,
+                counters: vec![
+                    ("idle_ticks", self.nodes.iter().map(|n| n.idle_ticks).sum()),
+                    (
+                        "steal_requests",
+                        self.nodes.iter().map(|n| n.steal_requests).sum(),
+                    ),
+                    (
+                        "tasks_stolen",
+                        self.nodes.iter().map(|n| n.tasks_stolen).sum(),
+                    ),
+                ],
+            },
+            CounterGroup {
+                name: "net",
+                always: false,
+                counters: vec![
+                    ("messages_dropped", t(|n| n.messages_dropped)),
+                    ("retransmits", t(|n| n.retransmits)),
+                    ("dup_suppressed", t(|n| n.dup_suppressed)),
+                    ("hints_invalidated", t(|n| n.hints_invalidated)),
+                    ("acks_sent", t(|n| n.acks_sent)),
+                ],
+            },
+        ]
+    }
+
+    /// Render every counter (all groups, active or not) as JSON object
+    /// fields: one `"name": value,` line per counter, prefixed by
+    /// `indent` and terminated by `,\n`. Callers open the object, append
+    /// this block, then their derived/bench-specific fields.
+    pub fn counters_json_fields(&self, indent: &str) -> String {
+        let mut s = String::new();
+        for g in self.counter_groups() {
+            for (name, v) in &g.counters {
+                s.push_str(&format!("{indent}\"{name}\": {v},\n"));
+            }
+        }
+        s
+    }
+
+    /// One-line human-readable summary rendered from
+    /// [`RunStats::counter_groups`]. Quiet runs stay quiet: a subsystem's
+    /// counters are appended only when the subsystem saw activity.
     pub fn summary(&self) -> String {
         let mut s = format!(
-            "T={:.3}s nodes={} comp={:.1}% comm={:.1}% disk={:.1}% overlap={:.1}% loads={} stores={} peak_mem={}",
+            "T={:.3}s nodes={} comp={:.1}% comm={:.1}% disk={:.1}% overlap={:.1}%",
             self.total.as_secs_f64(),
             self.nodes.len(),
             self.comp_pct(),
             self.comm_pct(),
             self.disk_pct(),
             self.overlap_pct(),
-            self.total_of(|n| n.loads),
-            self.total_of(|n| n.stores),
-            self.peak_mem(),
         );
-        s.push_str(&format!(
-            " handlers={} msgs_local={} msgs_remote={} forwarded={} bytes_sent={} \
-             to_disk={}B from_disk={}B evictions={} migrations={}",
-            self.total_of(|n| n.handlers_run),
-            self.total_of(|n| n.msgs_local),
-            self.total_of(|n| n.msgs_remote),
-            self.total_of(|n| n.msgs_forwarded),
-            self.bytes_sent(),
-            self.bytes_to_disk(),
-            self.bytes_from_disk(),
-            self.total_of(|n| n.evictions),
-            self.total_of(|n| n.migrations),
-        ));
-        let issued = self.total_of(|n| n.prefetch_issued);
-        if issued > 0 {
-            s.push_str(&format!(
-                " prefetch_issued={issued} prefetch_hits={} prefetch_misses={} \
-                 prefetch_cancels={} hit_rate={:.0}%",
-                self.total_of(|n| n.prefetch_hits),
-                self.total_of(|n| n.prefetch_misses),
-                self.total_of(|n| n.prefetch_cancels),
-                self.prefetch_hit_rate() * 100.0,
-            ));
-        }
-        let faults = self.total_of(|n| n.faults_injected);
-        let retries = self.total_of(|n| n.io_retries);
-        if faults + retries > 0 {
-            s.push_str(&format!(
-                " faults={faults} retries={retries} gave_up={} degraded={}",
-                self.total_of(|n| n.io_gave_up),
-                self.total_of(|n| n.degraded_entries),
-            ));
-        }
-        let elided = self.total_of(|n| n.evictions_elided);
-        let batches = self.total_of(|n| n.spill_batches);
-        if elided + batches > 0 {
-            s.push_str(&format!(
-                " elided={elided} write_avoided={}B batches={batches} pool_hits={}",
-                self.bytes_write_avoided(),
-                self.total_of(|n| n.buffer_pool_hits),
-            ));
-        }
-        let cluster = self.total_of(|n| n.cluster_prefetches);
-        let seg_reads = self.total_of(|n| n.segment_reads);
-        let reorders = self.total_of(|n| n.compaction_reorders);
-        if cluster + seg_reads + reorders > 0 {
-            s.push_str(&format!(
-                " cluster_prefetches={cluster} bytes_demanded={} read_amp_x1000={} \
-                 segment_reads={seg_reads} segment_switches={} loads_per_segment={:.2} \
-                 compaction_reorders={reorders}",
-                self.bytes_demanded(),
-                self.read_amplification_x1000(),
-                self.total_of(|n| n.segment_switches),
-                self.loads_per_segment(),
-            ));
-        }
-        let rec = self.total_of(|n| n.decisions_recorded);
-        let div = self.total_of(|n| n.replay_divergences);
-        if rec + div > 0 {
-            s.push_str(&format!(
-                " decisions_recorded={rec} replay_divergences={div}"
-            ));
-        }
-        let ticks: u64 = self.nodes.iter().map(|n| n.idle_ticks).sum();
-        let steal_reqs: u64 = self.nodes.iter().map(|n| n.steal_requests).sum();
-        let stolen: u64 = self.nodes.iter().map(|n| n.tasks_stolen).sum();
-        if ticks + steal_reqs + stolen > 0 {
-            s.push_str(&format!(
-                " idle_fraction={:.3} idle_ticks={ticks} steal_requests={steal_reqs} \
-                 tasks_stolen={stolen}",
-                self.idle_fraction(),
-            ));
-        }
-        let dropped = self.total_of(|n| n.messages_dropped);
-        let retrans = self.total_of(|n| n.retransmits);
-        let dups = self.total_of(|n| n.dup_suppressed);
-        let acks = self.total_of(|n| n.acks_sent);
-        if dropped + retrans + dups + acks > 0 {
-            s.push_str(&format!(
-                " net_dropped={dropped} retransmits={retrans} dup_suppressed={dups} \
-                 hints_invalidated={} acks={acks}",
-                self.total_of(|n| n.hints_invalidated),
-            ));
+        for g in self.counter_groups() {
+            if !g.active() {
+                continue;
+            }
+            for (name, v) in &g.counters {
+                s.push_str(&format!(" {name}={v}"));
+            }
+            // Derived metrics ride with their subsystem's group.
+            match g.name {
+                "prefetch" => s.push_str(&format!(
+                    " prefetch_hit_rate={:.0}%",
+                    self.prefetch_hit_rate() * 100.0
+                )),
+                "locality" => s.push_str(&format!(
+                    " read_amplification_x1000={} loads_per_segment={:.2}",
+                    self.read_amplification_x1000(),
+                    self.loads_per_segment(),
+                )),
+                "sched" => s.push_str(&format!(" idle_fraction={:.3}", self.idle_fraction())),
+                _ => {}
+            }
         }
         s
+    }
+}
+
+/// One subsystem's counters as `(NodeStats field name, total)` pairs —
+/// the per-scope unit of [`RunStats::counter_groups`]. Per-job stats and
+/// whole-service aggregates render through the same groups, so a scope
+/// can never report a counter set that drifted from the canonical one.
+#[derive(Clone, Debug)]
+pub struct CounterGroup {
+    /// Subsystem label (`"core"`, `"fault"`, `"net"`, ...).
+    pub name: &'static str,
+    /// Appears in human summaries even when all counters are zero.
+    pub always: bool,
+    /// `(field name, value summed over nodes)` pairs.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl CounterGroup {
+    /// Should this group appear in a human-readable summary?
+    pub fn active(&self) -> bool {
+        self.always || self.counters.iter().any(|&(_, v)| v != 0)
     }
 }
 
@@ -516,7 +600,7 @@ mod tests {
         assert!(text.contains("comp=50.0%"));
         assert!(text.contains("nodes=1"));
         // Fault counters stay out of fault-free summaries.
-        assert!(!text.contains("faults="));
+        assert!(!text.contains("faults_injected="));
     }
 
     #[test]
@@ -526,31 +610,33 @@ mod tests {
         s.nodes[0].io_retries = 4;
         s.nodes[0].io_gave_up = 1;
         s.nodes[0].degraded_entries = 2;
+        s.nodes[0].degraded_mode_transitions = 4;
         let text = s.summary();
-        assert!(text.contains("faults=5"));
-        assert!(text.contains("retries=4"));
-        assert!(text.contains("gave_up=1"));
-        assert!(text.contains("degraded=2"));
+        assert!(text.contains("faults_injected=5"));
+        assert!(text.contains("io_retries=4"));
+        assert!(text.contains("io_gave_up=1"));
+        assert!(text.contains("degraded_entries=2"));
+        assert!(text.contains("degraded_mode_transitions=4"));
         // Spill fast-path counters stay out until the path actually fires.
-        assert!(!text.contains("elided="));
+        assert!(!text.contains("evictions_elided="));
     }
 
     #[test]
     fn summary_surfaces_net_fault_counters() {
         let mut s = stats_with(100, &[(50, 10, 20)]);
         let text = s.summary();
-        assert!(!text.contains("net_dropped="), "quiet runs stay quiet");
+        assert!(!text.contains("messages_dropped="), "quiet runs stay quiet");
         s.nodes[0].messages_dropped = 7;
         s.nodes[0].retransmits = 9;
         s.nodes[0].dup_suppressed = 2;
         s.nodes[0].hints_invalidated = 1;
         s.nodes[0].acks_sent = 40;
         let text = s.summary();
-        assert!(text.contains("net_dropped=7"));
+        assert!(text.contains("messages_dropped=7"));
         assert!(text.contains("retransmits=9"));
         assert!(text.contains("dup_suppressed=2"));
         assert!(text.contains("hints_invalidated=1"));
-        assert!(text.contains("acks=40"));
+        assert!(text.contains("acks_sent=40"));
     }
 
     #[test]
@@ -611,7 +697,7 @@ mod tests {
         let text = s.summary();
         assert!(text.contains("cluster_prefetches=5"));
         assert!(text.contains("bytes_demanded=2000"));
-        assert!(text.contains("read_amp_x1000=1500"));
+        assert!(text.contains("read_amplification_x1000=1500"));
         assert!(text.contains("segment_reads=40"));
         assert!(text.contains("segment_switches=8"));
         assert!(text.contains("loads_per_segment=5.00"));
@@ -630,6 +716,39 @@ mod tests {
         assert_eq!(s.bytes_demanded(), 0);
     }
 
+    /// The no-drift guard for satellite scopes: every counter named in
+    /// `counter_groups` must appear in both the JSON field block and (with
+    /// its group active) the one-line summary — per-job and service-level
+    /// reports render through the same groups, so this pins all of them.
+    #[test]
+    fn json_fields_and_summary_render_every_counter() {
+        let mut s = stats_with(100, &[(50, 10, 20)]);
+        // One nonzero counter per group forces every group active.
+        s.nodes[0].loads = 1;
+        s.nodes[0].prefetch_issued = 1;
+        s.nodes[0].faults_injected = 1;
+        s.nodes[0].evictions_elided = 1;
+        s.nodes[0].cluster_prefetches = 1;
+        s.nodes[0].decisions_recorded = 1;
+        s.nodes[0].idle_ticks = 1;
+        s.nodes[0].messages_dropped = 1;
+        let json = s.counters_json_fields("  ");
+        let text = s.summary();
+        for g in s.counter_groups() {
+            assert!(g.active(), "group {} should be active", g.name);
+            for (name, _) in &g.counters {
+                assert!(
+                    json.contains(&format!("\"{name}\": ")),
+                    "counter {name} missing from JSON fields"
+                );
+                assert!(
+                    text.contains(&format!(" {name}=")),
+                    "counter {name} missing from summary"
+                );
+            }
+        }
+    }
+
     #[test]
     fn summary_surfaces_spill_fast_path_counters() {
         let mut s = stats_with(100, &[(50, 10, 20)]);
@@ -639,10 +758,10 @@ mod tests {
         s.nodes[0].spill_batches = 2;
         s.nodes[0].buffer_pool_hits = 6;
         let text = s.summary();
-        assert!(text.contains("elided=4"));
-        assert!(text.contains("write_avoided=4096B"));
-        assert!(text.contains("batches=2"));
-        assert!(text.contains("pool_hits=6"));
+        assert!(text.contains("evictions_elided=4"));
+        assert!(text.contains("bytes_write_avoided=4096"));
+        assert!(text.contains("spill_batches=2"));
+        assert!(text.contains("buffer_pool_hits=6"));
         assert!((s.elision_rate() - 0.4).abs() < 1e-12);
     }
 }

@@ -1942,6 +1942,7 @@ impl Worker {
                 }
                 if self.ooc.enter_degraded() {
                     self.stats.degraded_entries += 1;
+                    self.stats.degraded_mode_transitions += 1;
                     audit_emit!(
                         self.audit,
                         RuntimeEvent::Degraded {
@@ -1998,6 +1999,7 @@ impl Worker {
                 );
                 if self.ooc.enter_degraded() {
                     self.stats.degraded_entries += 1;
+                    self.stats.degraded_mode_transitions += 1;
                     audit_emit!(
                         self.audit,
                         RuntimeEvent::Degraded {
@@ -2051,6 +2053,7 @@ impl Worker {
                 self.probe_inflight = false;
                 self.stats.faults_injected += faults;
                 if ok && self.ooc.exit_degraded() {
+                    self.stats.degraded_mode_transitions += 1;
                     audit_emit!(
                         self.audit,
                         RuntimeEvent::Degraded {

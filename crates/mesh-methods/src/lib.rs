@@ -25,6 +25,7 @@
 
 pub mod common;
 pub mod domain;
+pub mod mesh_job;
 pub mod nupdr;
 pub mod ooc_nupdr;
 pub mod ooc_pcdm;

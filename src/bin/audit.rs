@@ -28,6 +28,20 @@
 //! reliable-delivery layer absorbs every fault. Report in
 //! `target/chaos-net-report.txt`.
 //!
+//! `--chaos-service` runs the supervised multi-job service sweep: a
+//! ≥16-node pool multiplexing ≥8 concurrent mesh jobs (each its own
+//! fault domain with an independent storage/network fault stream),
+//! plus poison jobs, an ENOSPC degraded-mode scenario with load
+//! shedding, and a mid-run node kill. Every non-quarantined job must
+//! reproduce its fault-free bytes; quarantined jobs must persist
+//! decodable replay artifacts. Report in
+//! `target/chaos-service-report.txt`.
+//!
+//! `--nodes <n>` overrides the simulated node count of the chaos
+//! sweeps (default 2; the service sweep floors its pool at 16). Runs
+//! at non-default widths skip replay-artifact persistence, since an
+//! artifact must be reproducible from its harness id + seed alone.
+//!
 //! `--analyze` runs only the `mrts-analyzer` static-analysis pass
 //! (protocol exhaustiveness, lock-order graph, runtime unwrap ban)
 //! against the workspace source; the default gate also runs it between
@@ -77,10 +91,12 @@ fn static_analysis() -> bool {
     match mrts_analyzer::analyze_tree(root) {
         Ok(report) => {
             println!(
-                "    {} tags, {} counters, {} decisions, {} locks, {} fns scanned",
+                "    {} tags, {} counters, {} decisions, {} service states, {} locks, \
+                 {} fns scanned",
                 report.tags_checked,
                 report.counters_checked,
                 report.decisions_checked,
+                report.service_states_checked,
                 report.locks_seen,
                 report.fns_scanned
             );
@@ -396,9 +412,7 @@ mod chaos_sweep {
     //! ENOSPC schedules must degrade and recover.
 
     use crate::replay_harness;
-    use pumg::methods::domain::Workload;
     use pumg::methods::ooc_pcdm::{opcdm_run, opcdm_run_threaded, opcdm_run_with};
-    use pumg::methods::pcdm::PcdmParams;
     use pumg::mrts::audit::{EventSink, FailMode, InvariantChecker, RaceDetector};
     use pumg::mrts::config::MrtsConfig;
     use pumg::mrts::fault::FaultPlan;
@@ -406,10 +420,6 @@ mod chaos_sweep {
     use std::io::Write;
     use std::sync::Arc;
     use std::time::Duration;
-
-    fn params() -> PcdmParams {
-        PcdmParams::new(Workload::uniform_square(6_000), 2)
-    }
 
     fn mixed_plan(seed: u64) -> FaultPlan {
         FaultPlan::new(0xC0FF_EE00 ^ seed)
@@ -430,7 +440,8 @@ mod chaos_sweep {
         )
     }
 
-    pub fn run(quick: bool, only: Option<u64>) -> bool {
+    pub fn run(quick: bool, only: Option<u64>, nodes: usize) -> bool {
+        let params = replay_harness::params(nodes);
         let (des_seeds, thr_seeds) = if quick { (4u64, 2u64) } else { (14, 6) };
         let des_seeds: Vec<u64> = match only {
             Some(s) => vec![s],
@@ -454,15 +465,15 @@ mod chaos_sweep {
         };
 
         let budget = 70_000usize;
-        println!("==> chaos sweep (seeded storage-fault schedules, both engines)");
-        let reference = opcdm_run(&params(), MrtsConfig::out_of_core(2, budget));
+        println!("==> chaos sweep (seeded storage-fault schedules, both engines, {nodes} nodes)");
+        let reference = opcdm_run(&params, MrtsConfig::out_of_core(nodes, budget));
 
         for &seed in &des_seeds {
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let sink = chk.clone();
             let r = opcdm_run_with(
-                &params(),
-                MrtsConfig::out_of_core(2, budget).with_faults(mixed_plan(seed)),
+                &params,
+                MrtsConfig::out_of_core(nodes, budget).with_faults(mixed_plan(seed)),
                 move |rt| rt.attach_audit(sink),
             );
             let clean = chk.violations().is_empty()
@@ -480,18 +491,19 @@ mod chaos_sweep {
         }
 
         let thr_reference = {
-            let mut cfg = MrtsConfig::out_of_core(2, budget);
+            let mut cfg = MrtsConfig::out_of_core(nodes, budget);
             cfg.spill_dir = Some(spill_dir("chaos-ref"));
-            let r = opcdm_run_threaded(&params(), cfg);
+            let r = opcdm_run_threaded(&params, cfg);
             let _ = std::fs::remove_dir_all(spill_dir("chaos-ref"));
             r
         };
         for &seed in &thr_seeds {
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
-            let det = Arc::new(RaceDetector::new(2));
+            let det = Arc::new(RaceDetector::new(nodes));
             let label = format!("chaos-t{seed}");
-            let cfg = replay_harness::harness_config(replay_harness::CHAOS_THREADED, seed, &label)
-                .expect("known harness id");
+            let cfg =
+                replay_harness::harness_config(replay_harness::CHAOS_THREADED, seed, &label, nodes)
+                    .expect("known harness id");
             let sink: Arc<dyn EventSink> = chk.clone();
             let r = replay_harness::record_run(cfg, std::slice::from_ref(&sink), Some(det.clone()));
             let _ = std::fs::remove_dir_all(replay_harness::spill_dir(&label));
@@ -508,7 +520,7 @@ mod chaos_sweep {
             if !chk.violations().is_empty() {
                 say(format!("  violations: {:?}", chk.violations()));
             }
-            if !clean {
+            if !clean && nodes == replay_harness::DEFAULT_NODES {
                 let path = replay_harness::persist_artifact(
                     replay_harness::CHAOS_THREADED,
                     seed,
@@ -522,12 +534,16 @@ mod chaos_sweep {
         }
 
         for &seed in enospc_seeds {
-            let plan = FaultPlan::new(seed).with_enospc_window(4, 6);
+            // Window from store-op 0: per-node store-op counters may only
+            // reach low single digits at wide `--nodes`, and a window
+            // nobody enters makes the degraded-entry requirement fail
+            // (by design — vacuity).
+            let plan = FaultPlan::new(seed).with_enospc_window(0, 8);
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let sink = chk.clone();
             let r = opcdm_run_with(
-                &params(),
-                MrtsConfig::out_of_core(2, budget).with_faults(plan),
+                &params,
+                MrtsConfig::out_of_core(nodes, budget).with_faults(plan),
                 move |rt| rt.attach_audit(sink),
             );
             let ratio = r.elements as f64 / reference.elements as f64;
@@ -563,7 +579,7 @@ mod chaos_sweep {
 
 #[cfg(not(any(feature = "audit", debug_assertions)))]
 mod chaos_sweep {
-    pub fn run(_quick: bool, _only: Option<u64>) -> bool {
+    pub fn run(_quick: bool, _only: Option<u64>, _nodes: usize) -> bool {
         println!("==> chaos sweep skipped (instrumentation compiled out)");
         true
     }
@@ -579,21 +595,15 @@ mod chaos_net_sweep {
     //! fault-free mesh; a duplicate storm must never re-execute a handler.
 
     use crate::replay_harness;
-    use pumg::methods::domain::Workload;
     use pumg::methods::ooc_pcdm::{
         opcdm_run, opcdm_run_threaded, opcdm_run_threaded_with, opcdm_run_with,
     };
-    use pumg::methods::pcdm::PcdmParams;
     use pumg::mrts::audit::{EventSink, FailMode, InvariantChecker, RaceDetector};
     use pumg::mrts::config::MrtsConfig;
     use pumg::mrts::netfault::NetFaultPlan;
     use pumg::mrts::stats::RunStats;
     use std::io::Write;
     use std::sync::Arc;
-
-    fn params() -> PcdmParams {
-        PcdmParams::new(Workload::uniform_square(6_000), 2)
-    }
 
     // Rates run hotter than the `tests/chaos.rs` schedules: the mesh
     // workload exchanges only a handful of remote messages per run, so a
@@ -615,7 +625,8 @@ mod chaos_net_sweep {
         )
     }
 
-    pub fn run(quick: bool, only: Option<u64>) -> bool {
+    pub fn run(quick: bool, only: Option<u64>, nodes: usize) -> bool {
+        let params = replay_harness::params(nodes);
         let (des_seeds, thr_seeds) = if quick { (4u64, 2u64) } else { (20, 20) };
         let des_seeds: Vec<u64> = match only {
             Some(s) => vec![s],
@@ -640,16 +651,18 @@ mod chaos_net_sweep {
         };
 
         let budget = 70_000usize;
-        println!("==> chaos-net sweep (seeded fabric-fault schedules, both engines)");
-        let reference = opcdm_run(&params(), MrtsConfig::out_of_core(2, budget));
+        println!(
+            "==> chaos-net sweep (seeded fabric-fault schedules, both engines, {nodes} nodes)"
+        );
+        let reference = opcdm_run(&params, MrtsConfig::out_of_core(nodes, budget));
 
         let mut injected = 0usize;
         for &seed in &des_seeds {
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let sink = chk.clone();
             let r = opcdm_run_with(
-                &params(),
-                MrtsConfig::out_of_core(2, budget).with_net_faults(net_plan(seed)),
+                &params,
+                MrtsConfig::out_of_core(nodes, budget).with_net_faults(net_plan(seed)),
                 move |rt| rt.attach_audit(sink),
             );
             let clean = chk.violations().is_empty()
@@ -678,8 +691,8 @@ mod chaos_net_sweep {
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let sink = chk.clone();
             let r = opcdm_run_with(
-                &params(),
-                MrtsConfig::out_of_core(2, budget).with_net_faults(plan),
+                &params,
+                MrtsConfig::out_of_core(nodes, budget).with_net_faults(plan),
                 move |rt| rt.attach_audit(sink),
             );
             let clean = chk.violations().is_empty()
@@ -694,19 +707,23 @@ mod chaos_net_sweep {
         }
 
         let thr_reference = {
-            let mut cfg = MrtsConfig::out_of_core(2, budget);
+            let mut cfg = MrtsConfig::out_of_core(nodes, budget);
             cfg.spill_dir = Some(spill_dir("chaos-net-ref"));
-            let r = opcdm_run_threaded(&params(), cfg);
+            let r = opcdm_run_threaded(&params, cfg);
             let _ = std::fs::remove_dir_all(spill_dir("chaos-net-ref"));
             r
         };
         for &seed in &thr_seeds {
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
-            let det = Arc::new(RaceDetector::new(2));
+            let det = Arc::new(RaceDetector::new(nodes));
             let label = format!("chaos-net-t{seed}");
-            let cfg =
-                replay_harness::harness_config(replay_harness::CHAOS_NET_THREADED, seed, &label)
-                    .expect("known harness id");
+            let cfg = replay_harness::harness_config(
+                replay_harness::CHAOS_NET_THREADED,
+                seed,
+                &label,
+                nodes,
+            )
+            .expect("known harness id");
             let sink: Arc<dyn EventSink> = chk.clone();
             let r = replay_harness::record_run(cfg, std::slice::from_ref(&sink), Some(det.clone()));
             let _ = std::fs::remove_dir_all(replay_harness::spill_dir(&label));
@@ -725,7 +742,7 @@ mod chaos_net_sweep {
             if !chk.violations().is_empty() {
                 say(format!("  violations: {:?}", chk.violations()));
             }
-            if !clean {
+            if !clean && nodes == replay_harness::DEFAULT_NODES {
                 let path = replay_harness::persist_artifact(
                     replay_harness::CHAOS_NET_THREADED,
                     seed,
@@ -745,10 +762,10 @@ mod chaos_net_sweep {
             let plan = NetFaultPlan::new(0xD0D0).with_dups(500);
             let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
             let dir = spill_dir("chaos-net-dup");
-            let mut cfg = MrtsConfig::out_of_core(2, budget).with_net_faults(plan);
+            let mut cfg = MrtsConfig::out_of_core(nodes, budget).with_net_faults(plan);
             cfg.spill_dir = Some(dir.clone());
             let sink = chk.clone();
-            let r = opcdm_run_threaded_with(&params(), cfg, move |rt| rt.attach_audit(sink));
+            let r = opcdm_run_threaded_with(&params, cfg, move |rt| rt.attach_audit(sink));
             let _ = std::fs::remove_dir_all(dir);
             let clean = chk.violations().is_empty()
                 && r.stats.total_of(|n| n.dup_suppressed) > 0
@@ -787,8 +804,387 @@ mod chaos_net_sweep {
 
 #[cfg(not(any(feature = "audit", debug_assertions)))]
 mod chaos_net_sweep {
-    pub fn run(_quick: bool, _only: Option<u64>) -> bool {
+    pub fn run(_quick: bool, _only: Option<u64>, _nodes: usize) -> bool {
         println!("==> chaos-net sweep skipped (instrumentation compiled out)");
+        true
+    }
+}
+
+#[cfg(any(feature = "audit", debug_assertions))]
+mod chaos_service_sweep {
+    //! The supervised multi-job service under sustained chaos: a ≥16-node
+    //! pool multiplexing ≥8 concurrent mesh jobs, each job a fault domain
+    //! with an independent storage/network fault stream derived from one
+    //! base seed. Every non-quarantined job must reproduce its fault-free
+    //! bytes; poison jobs must quarantine with decodable replay
+    //! artifacts; a mid-run node kill must recover exactly the jobs homed
+    //! there; an ENOSPC job must drive the service degraded (shedding
+    //! load) and fault-free completions must bring it back. A fault-free
+    //! reference pass doubles as the no-quarantine-on-clean-seed guard.
+
+    use pumg::methods::domain::Workload;
+    use pumg::methods::mesh_job::MeshJob;
+    use pumg::methods::pcdm::PcdmParams;
+    use pumg::mrts::audit::{FailMode, InvariantChecker, ServiceEvent, ServiceLog};
+    use pumg::mrts::fault::FaultPlan;
+    use pumg::mrts::netfault::NetFaultPlan;
+    use pumg::mrts::service::{
+        AdmissionError, JobService, JobSpec, JobState, QuarantineArtifact, ServiceConfig,
+    };
+    use std::io::Write;
+    use std::sync::Arc;
+
+    /// Base seed every per-job fault stream derives from.
+    const BASE_SEED: u64 = 0x5E21_11CE;
+    /// Fault-domain width of every mesh job (16 nodes / 2 = 8 concurrent).
+    const WIDTH: usize = 2;
+    /// Per-pool-node memory budget: low enough that every job spills — a
+    /// storage-chaos sweep with no storage traffic would be vacuous.
+    const NODE_BUDGET: usize = 60_000;
+    /// Supervisor step at which pool node 0 is killed.
+    const KILL_STEP: u64 = 6;
+    /// Drive-loop backstop against a wedged supervisor.
+    const MAX_STEPS: u64 = 1_000_000;
+
+    /// Job shapes cycled across the fleet: (elements, grid, phases).
+    const SHAPES: [(u64, usize, u32); 3] = [(1_500, 2, 2), (2_000, 2, 3), (1_200, 3, 2)];
+
+    fn shape_job(shape: usize) -> MeshJob {
+        let (elements, grid, phases) = SHAPES[shape % SHAPES.len()];
+        MeshJob::new(
+            PcdmParams::new(Workload::uniform_square(elements), grid),
+            phases,
+        )
+    }
+
+    /// The ENOSPC job's shape: single-phase, so its degraded-mode entry
+    /// lands in the outcome stats the service health machine reads, and
+    /// heavy enough that the store-op counter reaches the ENOSPC window.
+    fn single_phase_job() -> MeshJob {
+        MeshJob::new(PcdmParams::new(Workload::uniform_square(2_500), 2), 1)
+    }
+
+    fn spec(name: impl Into<String>) -> JobSpec {
+        JobSpec::new(name, WIDTH, WIDTH * NODE_BUDGET)
+    }
+
+    fn storage_chaos(job: u64) -> FaultPlan {
+        FaultPlan::for_job(BASE_SEED, job)
+            .with_eio(60)
+            .with_torn_writes(40)
+    }
+
+    fn net_chaos(job: u64) -> NetFaultPlan {
+        NetFaultPlan::for_job(BASE_SEED, job)
+            .with_drops(150)
+            .with_dups(100)
+            .with_reorder(60)
+    }
+
+    pub fn run(quick: bool, nodes: Option<usize>) -> bool {
+        let pool = nodes.unwrap_or(16).max(16);
+        let n_chaos = if quick { 8usize } else { 24 };
+        println!(
+            "==> chaos-service sweep ({pool} pool nodes, {n_chaos} chaos jobs + probes, \
+             width {WIDTH})"
+        );
+        let mut report = Vec::<String>::new();
+        let mut ok = true;
+        let mut say = |line: String| {
+            println!("    {line}");
+            report.push(line);
+        };
+
+        // Fault-free references: one job per shape (plus the ENOSPC
+        // job's single-phase shape) through a clean service, drained by
+        // a multi-worker pool. Doubles as the fault-free-seed guard:
+        // any quarantine or retry here fails the sweep.
+        let ref_svc = JobService::new(ServiceConfig {
+            pool_nodes: pool,
+            node_budget: NODE_BUDGET,
+            ..ServiceConfig::default()
+        });
+        let ref_chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+        ref_svc.attach_service_audit(ref_chk.clone());
+        let ref_ids: Vec<u64> = (0..SHAPES.len())
+            .map(|s| {
+                ref_svc
+                    .submit(spec(format!("ref-{s}")), Box::new(shape_job(s)))
+                    .expect("reference job admitted")
+            })
+            .collect();
+        let ref_1p = ref_svc
+            .submit(spec("ref-1p"), Box::new(single_phase_job()))
+            .expect("reference job admitted");
+        ref_svc.run_until_drained(4);
+        let rst = ref_svc.stats();
+        let refs_clean = rst.jobs_completed == SHAPES.len() as u64 + 1
+            && rst.jobs_quarantined == 0
+            && rst.jobs_retried == 0
+            && ref_chk.violations().is_empty();
+        ok &= refs_clean;
+        say(format!(
+            "fault-free references: {} [{}]",
+            if refs_clean {
+                "ok"
+            } else {
+                "FAIL — quarantine/retry/violation on a fault-free seed"
+            },
+            rst.summary()
+        ));
+        let refs: Vec<(u64, u64)> = ref_ids
+            .iter()
+            .map(|&id| {
+                let o = ref_svc.outcome(id).expect("reference outcome");
+                (o.digest, o.elements)
+            })
+            .collect();
+        let ref_1p_elements = ref_svc.outcome(ref_1p).expect("reference outcome").elements;
+
+        // The chaos service. Artifacts land in a dedicated directory so
+        // the quarantine assertions below see only this run's files.
+        let replay_dir = std::path::PathBuf::from("target/replay/service");
+        let _ = std::fs::remove_dir_all(&replay_dir);
+        let chk = Arc::new(InvariantChecker::new(FailMode::Collect));
+        let slog = Arc::new(ServiceLog::new());
+        let svc = JobService::new(ServiceConfig {
+            pool_nodes: pool,
+            node_budget: NODE_BUDGET,
+            replay_dir: replay_dir.clone(),
+            ..ServiceConfig::default()
+        });
+        svc.attach_service_audit(chk.clone());
+        svc.attach_service_audit(slog.clone());
+
+        let enospc = svc
+            .submit(
+                spec("enospc"),
+                Box::new(
+                    single_phase_job()
+                        .with_fault(FaultPlan::for_job(BASE_SEED, 1).with_enospc_window(1, 10)),
+                ),
+            )
+            .expect("enospc job admitted");
+        let mut chaos_jobs: Vec<(u64, usize)> = Vec::new();
+        for i in 0..n_chaos {
+            let shape = i % SHAPES.len();
+            // Fault streams are keyed by the fleet index: distinct per
+            // job, reproducible from (BASE_SEED, i) alone.
+            let mut job = shape_job(shape).with_fault(storage_chaos(100 + i as u64));
+            if i % 2 == 1 {
+                job = job.with_net_fault(net_chaos(100 + i as u64));
+            }
+            let id = svc
+                .submit(spec(format!("chaos-{i}")), Box::new(job))
+                .expect("chaos job admitted");
+            chaos_jobs.push((id, shape));
+        }
+        let flaky = svc
+            .submit(spec("flaky"), Box::new(shape_job(0).failing_attempts(1)))
+            .expect("flaky job admitted");
+        let poison_inv = svc
+            .submit(spec("poison-inv"), Box::new(shape_job(0).poisoned()))
+            .expect("poison job admitted");
+        let poison_rt = svc
+            .submit(
+                spec("poison-rt"),
+                Box::new(shape_job(0).failing_attempts(99)),
+            )
+            .expect("poison job admitted");
+        // Admission control: a domain wider than the pool can never be
+        // granted and must bounce at submission.
+        let infeasible = svc.submit(
+            JobSpec::new("too-wide", pool + 1, NODE_BUDGET),
+            Box::new(shape_job(0)),
+        );
+        let infeasible_ok = matches!(infeasible, Err(AdmissionError::Infeasible(_)));
+        ok &= infeasible_ok;
+        say(format!(
+            "admission (too-wide domain): {}",
+            if infeasible_ok {
+                "rejected ok"
+            } else {
+                "FAIL — admitted"
+            }
+        ));
+
+        // Serial drive: deterministic interleaving of job phases with the
+        // chaos script (node kill at a fixed step, shed probe at the
+        // first degraded observation).
+        let mut steps: u64 = 0;
+        let mut shed: Option<Result<u64, AdmissionError>> = None;
+        let mut drained = true;
+        while svc.step_serial() {
+            steps += 1;
+            if steps == KILL_STEP {
+                svc.kill_node(0);
+            }
+            if shed.is_none() && svc.is_degraded() {
+                shed = Some(svc.submit(spec("shed-probe"), Box::new(shape_job(0))));
+            }
+            if steps > MAX_STEPS {
+                drained = false;
+                break;
+            }
+        }
+        if !drained {
+            say(format!(
+                "FAIL: supervisor not drained after {MAX_STEPS} steps"
+            ));
+            ok = false;
+        }
+
+        // Byte-identity: every chaos job must have completed with its
+        // shape's fault-free digest — across retries, recoveries, and
+        // its private fault stream.
+        let mut bad = 0usize;
+        let mut faults_seen = 0usize;
+        for &(id, shape) in &chaos_jobs {
+            let good = match svc.outcome(id) {
+                Some(o) => {
+                    faults_seen += o.stats.total_of(|n| n.faults_injected)
+                        + o.stats.total_of(|n| n.messages_dropped)
+                        + o.stats.total_of(|n| n.dup_suppressed);
+                    (o.digest, o.elements) == refs[shape]
+                }
+                None => false,
+            };
+            if !good {
+                bad += 1;
+                say(format!(
+                    "job {id} (shape {shape}): FAIL — state {:?}, diverged from fault-free \
+                     reference",
+                    svc.job_state(id)
+                ));
+            }
+        }
+        say(format!(
+            "byte-identity: {}/{} chaos jobs reproduced their fault-free mesh",
+            n_chaos - bad,
+            n_chaos
+        ));
+        ok &= bad == 0;
+        if faults_seen == 0 {
+            say("FAIL: no faults observed across the fleet — vacuous".into());
+            ok = false;
+        }
+
+        let flaky_ok = svc
+            .outcome(flaky)
+            .is_some_and(|o| (o.digest, o.elements) == refs[0]);
+        ok &= flaky_ok;
+        say(format!(
+            "flaky job (1 failed attempt): {}",
+            if flaky_ok {
+                "retried, bytes ok"
+            } else {
+                "FAIL — diverged or not completed"
+            }
+        ));
+
+        // The ENOSPC job runs degraded: the mesh survives (ratio check —
+        // degraded eviction legitimately changes the schedule, so bytes
+        // may differ) and its completion drives the service health
+        // machine.
+        let enospc_out = svc.outcome(enospc);
+        let enospc_ok = enospc_out.as_ref().is_some_and(|o| {
+            let ratio = o.elements as f64 / ref_1p_elements as f64;
+            o.stats.total_of(|n| n.degraded_entries) > 0 && (0.97..1.03).contains(&ratio)
+        });
+        ok &= enospc_ok;
+        say(format!(
+            "enospc job: {} (elements {} vs fault-free {})",
+            if enospc_ok {
+                "degraded + recovered ok"
+            } else {
+                "FAIL — no degraded entry or mesh ratio off"
+            },
+            enospc_out.map_or(0, |o| o.elements),
+            ref_1p_elements
+        ));
+        let shed_ok = matches!(shed, Some(Err(AdmissionError::Shedding)));
+        ok &= shed_ok;
+        say(format!(
+            "degraded-mode shedding: {}",
+            if shed_ok {
+                "probe shed ok"
+            } else {
+                "FAIL — degraded window not observed or probe admitted"
+            }
+        ));
+
+        // Poison jobs: quarantined, never resubmitted, replay artifact
+        // persisted and decodable.
+        for (id, name, want_attempts) in [
+            (poison_inv, "poison-inv", 1u32),
+            (poison_rt, "poison-rt", 3u32),
+        ] {
+            let state_ok = svc.job_state(id) == Some(JobState::Quarantined);
+            let path = replay_dir.join(format!("job-{id:04}-{name}.mjob"));
+            let art = QuarantineArtifact::load(&path);
+            let art_ok = art
+                .as_ref()
+                .is_ok_and(|a| a.job == id && a.attempts == want_attempts);
+            ok &= state_ok && art_ok;
+            say(format!(
+                "{name}: {} (artifact {})",
+                if state_ok {
+                    "quarantined ok"
+                } else {
+                    "FAIL — not quarantined"
+                },
+                if art_ok {
+                    format!("{} ok", path.display())
+                } else {
+                    format!("FAIL — {} missing or wrong", path.display())
+                }
+            ));
+        }
+
+        let st = svc.stats();
+        let recovered_events = slog
+            .snapshot()
+            .iter()
+            .filter(|e| matches!(e, ServiceEvent::JobRecovered { .. }))
+            .count() as u64;
+        let counters_ok = st.jobs_quarantined == 2
+            && st.jobs_recovered >= 1
+            && recovered_events == st.jobs_recovered
+            && st.jobs_retried >= 3
+            && st.shed_events == 1
+            && st.jobs_rejected == 2
+            && st.degraded_mode_transitions == 2
+            && !svc.is_degraded();
+        ok &= counters_ok;
+        say(format!(
+            "service counters: {} [{}]",
+            if counters_ok { "ok" } else { "FAIL" },
+            st.summary()
+        ));
+        if !chk.violations().is_empty() {
+            say(format!("FAIL: violations {:?}", chk.violations()));
+            ok = false;
+        }
+
+        let _ = std::fs::create_dir_all("target");
+        if let Ok(mut f) = std::fs::File::create("target/chaos-service-report.txt") {
+            for line in &report {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+        println!(
+            "    {} jobs supervised over {steps} steps — report in \
+             target/chaos-service-report.txt",
+            n_chaos + 6
+        );
+        ok
+    }
+}
+
+#[cfg(not(any(feature = "audit", debug_assertions)))]
+mod chaos_service_sweep {
+    pub fn run(_quick: bool, _nodes: Option<usize>) -> bool {
+        println!("==> chaos-service sweep skipped (instrumentation compiled out)");
         true
     }
 }
@@ -823,11 +1219,31 @@ mod replay_harness {
     pub const CHAOS_NET_THREADED: &str = "chaos-net-threaded";
     pub const REPLAY_SMOKE: &str = "replay-smoke";
 
-    const NODES: usize = 2;
+    /// The node count persisted artifacts replay at. Sweeps run at other
+    /// widths (`--nodes`) skip artifact persistence, because an artifact
+    /// names only `(harness, seed)` and must rebuild its exact config.
+    pub const DEFAULT_NODES: usize = 2;
     const BUDGET: usize = 70_000;
 
-    fn params() -> PcdmParams {
-        PcdmParams::new(Workload::uniform_square(6_000), 2)
+    /// The sweep workload, scaled so a `--nodes` override keeps the
+    /// *per-node* memory pressure of the default 2-node sweep: the mesh
+    /// grows with the pool and the grid keeps at least one subdomain per
+    /// node. Without the scaling a 16-node sweep fits in-core and the
+    /// storage chaos never touches a disk — vacuously green.
+    pub fn params(nodes: usize) -> PcdmParams {
+        PcdmParams::new(
+            Workload::uniform_square(3_000 * nodes as u64),
+            grid_for(nodes),
+        )
+    }
+
+    /// Smallest grid with at least one subdomain per node.
+    pub fn grid_for(nodes: usize) -> usize {
+        let mut g = 2usize;
+        while g * g < nodes {
+            g += 1;
+        }
+        g
     }
 
     /// The chaos sweep's threaded storage-fault schedule for `seed`.
@@ -851,15 +1267,20 @@ mod replay_harness {
     /// produced a persisted artifact. `replay-smoke` pins `io_threads`
     /// to 1: with a single pool thread both lanes of the canonical
     /// stream are fully deterministic, so byte-identity is provable.
-    pub fn harness_config(harness: &str, seed: u64, label: &str) -> Option<MrtsConfig> {
+    pub fn harness_config(
+        harness: &str,
+        seed: u64,
+        label: &str,
+        nodes: usize,
+    ) -> Option<MrtsConfig> {
         let mut cfg = match harness {
-            CHAOS_THREADED => MrtsConfig::out_of_core(NODES, BUDGET).with_faults(chaos_plan(seed)),
+            CHAOS_THREADED => MrtsConfig::out_of_core(nodes, BUDGET).with_faults(chaos_plan(seed)),
             CHAOS_NET_THREADED => {
-                MrtsConfig::out_of_core(NODES, BUDGET).with_net_faults(chaos_net_plan(seed))
+                MrtsConfig::out_of_core(nodes, BUDGET).with_net_faults(chaos_net_plan(seed))
             }
             // Work stealing stays on here so the smoke proves the steal
             // decisions (`StealRequest`/`StealGrant`) replay faithfully.
-            REPLAY_SMOKE => MrtsConfig::out_of_core(NODES, BUDGET)
+            REPLAY_SMOKE => MrtsConfig::out_of_core(nodes, BUDGET)
                 .with_net_faults(chaos_net_plan(seed))
                 .with_io_threads(1)
                 .with_work_stealing(),
@@ -913,10 +1334,11 @@ mod replay_harness {
         det: Option<Arc<RaceDetector>>,
         mode: Option<DecisionLog>,
     ) -> RunOutcome {
+        let nodes = cfg.nodes;
         let log = Arc::new(EventLog::new());
         let mut all: Vec<Arc<dyn EventSink>> = vec![log.clone()];
         all.extend(sinks.iter().cloned());
-        let mut rt = opcdm_setup_threaded(&params(), cfg);
+        let mut rt = opcdm_setup_threaded(&params(nodes), cfg);
         rt.attach_audit(Arc::new(FanOut::new(all)));
         if let Some(d) = det {
             rt.attach_race_detector(d);
@@ -929,13 +1351,13 @@ mod replay_harness {
         let (elements, vertices) = opcdm_collect_threaded(&rt);
         let decisions = rt
             .take_decision_log()
-            .unwrap_or_else(|| DecisionLog::new(NODES));
+            .unwrap_or_else(|| DecisionLog::new(nodes));
         RunOutcome {
             elements,
             vertices,
             stats,
             decisions,
-            recorded: canonicalize(&log.snapshot(), NODES),
+            recorded: canonicalize(&log.snapshot(), nodes),
         }
     }
 
@@ -976,7 +1398,7 @@ mod replay_harness {
             }
         };
         let label = format!("replay-{}", art.seed);
-        let Some(cfg) = harness_config(&art.harness, art.seed, &label) else {
+        let Some(cfg) = harness_config(&art.harness, art.seed, &label, DEFAULT_NODES) else {
             eprintln!(
                 "audit: artifact names unknown harness {:?} (known: {CHAOS_THREADED}, \
                  {CHAOS_NET_THREADED}, {REPLAY_SMOKE})",
@@ -1015,7 +1437,8 @@ mod replay_harness {
         let mut divergence_text = String::new();
         for seed in 0..seeds {
             let rec_label = format!("rsmoke-rec{seed}");
-            let cfg = harness_config(REPLAY_SMOKE, seed, &rec_label).expect("known harness id");
+            let cfg = harness_config(REPLAY_SMOKE, seed, &rec_label, DEFAULT_NODES)
+                .expect("known harness id");
             let rec = record_run(cfg, &[], None);
             let _ = std::fs::remove_dir_all(spill_dir(&rec_label));
             let n_decisions = rec.stats.total_of(|n| n.decisions_recorded);
@@ -1025,7 +1448,8 @@ mod replay_harness {
                 continue;
             }
             let rep_label = format!("rsmoke-rep{seed}");
-            let cfg = harness_config(REPLAY_SMOKE, seed, &rep_label).expect("known harness id");
+            let cfg = harness_config(REPLAY_SMOKE, seed, &rep_label, DEFAULT_NODES)
+                .expect("known harness id");
             let rep = replay_run(cfg, rec.decisions.clone());
             let _ = std::fs::remove_dir_all(spill_dir(&rep_label));
             let report = compare(&rec.recorded, &rep.recorded);
@@ -1086,7 +1510,8 @@ mod replay_harness {
             ok = false;
         } else {
             let label = "rsmoke-perturb";
-            let cfg = harness_config(REPLAY_SMOKE, 0, label).expect("known harness id");
+            let cfg =
+                harness_config(REPLAY_SMOKE, 0, label, DEFAULT_NODES).expect("known harness id");
             let rep = replay_run(cfg, bad);
             let _ = std::fs::remove_dir_all(spill_dir(label));
             let report = compare(&recorded, &rep.recorded);
@@ -1179,16 +1604,19 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut chaos = false;
     let mut chaos_net = false;
+    let mut chaos_service = false;
     let mut quick = false;
     let mut analyze = false;
     let mut replay_smoke = false;
     let mut seed: Option<u64> = None;
+    let mut nodes: Option<usize> = None;
     let mut replay_path: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--chaos" => chaos = true,
             "--chaos-net" => chaos_net = true,
+            "--chaos-service" => chaos_service = true,
             "--quick" => quick = true,
             "--analyze" => analyze = true,
             "--replay-smoke" => replay_smoke = true,
@@ -1196,6 +1624,13 @@ fn main() -> ExitCode {
                 Some(v) => seed = Some(v),
                 None => {
                     eprintln!("audit: --seed requires an integer schedule seed");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--nodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => nodes = Some(v),
+                _ => {
+                    eprintln!("audit: --nodes requires a positive node count");
                     return ExitCode::FAILURE;
                 }
             },
@@ -1208,8 +1643,9 @@ fn main() -> ExitCode {
             },
             bad => {
                 eprintln!(
-                    "audit: unknown flag {bad} (expected --chaos, --chaos-net, --analyze, \
-                     --replay-smoke, --replay <path>, --seed <n> and/or --quick)"
+                    "audit: unknown flag {bad} (expected --chaos, --chaos-net, \
+                     --chaos-service, --analyze, --replay-smoke, --replay <path>, \
+                     --seed <n>, --nodes <n> and/or --quick)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -1219,22 +1655,29 @@ fn main() -> ExitCode {
         eprintln!("audit: --seed only applies to --chaos / --chaos-net");
         return ExitCode::FAILURE;
     }
+    if nodes.is_some() && !(chaos || chaos_net || chaos_service) {
+        eprintln!("audit: --nodes only applies to --chaos / --chaos-net / --chaos-service");
+        return ExitCode::FAILURE;
+    }
     let ok = if let Some(path) = replay_path {
         replay_harness::replay_artifact_cmd(&path)
     } else if replay_smoke {
         replay_harness::smoke(quick)
     } else if analyze {
         static_analysis()
+    } else if chaos_service {
+        chaos_service_sweep::run(quick, nodes)
     } else if chaos_net {
-        chaos_net_sweep::run(quick, seed)
+        chaos_net_sweep::run(quick, seed, nodes.unwrap_or(2))
     } else if chaos {
-        chaos_sweep::run(quick, seed)
+        chaos_sweep::run(quick, seed, nodes.unwrap_or(2))
     } else {
         lint_and_test()
             && static_analysis()
             && invariant_sweep::run()
-            && chaos_sweep::run(true, None)
-            && chaos_net_sweep::run(true, None)
+            && chaos_sweep::run(true, None, 2)
+            && chaos_net_sweep::run(true, None, 2)
+            && chaos_service_sweep::run(true, None)
     };
     if ok {
         println!("audit: all gates passed");
